@@ -1,0 +1,69 @@
+/// \file bench_ablation_blocksize.cpp
+/// \brief Experiment E9 — the block-size discussion of Section VIII: the
+/// paper reports 192 threads per block as the sweet spot (theoretical max
+/// 1024).  Sweeps the block size at a fixed ensemble and reports modeled
+/// device time per generation plus solution quality.
+
+#include <iostream>
+
+#include "benchutil/campaign.hpp"
+#include "benchutil/cli.hpp"
+#include "benchutil/table.hpp"
+#include "common/sweeps.hpp"
+#include "cudasim/device.hpp"
+#include "parallel/parallel_sa.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdd;
+  const benchutil::Args args(argc, argv);
+  if (args.GetBool("help")) {
+    std::cout << "Block-size ablation (Section VIII).\n"
+                 "Flags: --n JOBS --ensemble N --gens G --blocks list "
+                 "--seed S\n";
+    return 0;
+  }
+  const auto n = static_cast<std::uint32_t>(args.GetInt("n", 100));
+  const auto ensemble =
+      static_cast<std::uint32_t>(args.GetInt("ensemble", 768));
+  const auto gens = static_cast<std::uint64_t>(args.GetInt("gens", 60));
+  const std::vector<std::uint32_t> blocks =
+      args.GetUintList("blocks", {32, 48, 64, 96, 128, 192, 256, 384, 768});
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+
+  benchutil::Sweep sweep;
+  sweep.seed = seed;
+  const Instance instance =
+      benchrun::MakeSweepInstance(Problem::kCdd, sweep, n, 0);
+
+  std::cout << "=== Ablation: block size at ensemble " << ensemble
+            << ", CDD n=" << n << ", " << gens << " generations ===\n";
+  benchutil::TextTable table({"block", "grid", "waves", "device [ms]",
+                              "ms/generation", "best cost"});
+  for (const std::uint32_t block : blocks) {
+    par::ParallelSaParams params;
+    params.config = par::LaunchConfig::ForEnsemble(ensemble, block);
+    params.generations = gens;
+    params.temp_samples = 200;
+    params.seed = seed;
+    sim::Device gpu(sim::GeForceGT560M());
+    const par::GpuRunResult result =
+        par::RunParallelSa(gpu, instance, params);
+    const std::uint64_t waves = gpu.timing_model().Waves(
+        params.config.grid(), params.config.block());
+    table.AddRow({std::to_string(block),
+                  std::to_string(params.config.blocks),
+                  std::to_string(waves),
+                  benchutil::FmtDouble(result.device_seconds * 1e3, 2),
+                  benchutil::FmtDouble(
+                      result.device_seconds * 1e3 /
+                          static_cast<double>(gens),
+                      3),
+                  std::to_string(result.best_cost)});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nPaper shape to verify: warp-aligned block sizes beat "
+               "non-multiples of 32 (e.g. 48); very large blocks reduce "
+               "resident blocks per SM and stop hiding latency; mid-sized "
+               "blocks (the paper picked 192) sit at the sweet spot.\n";
+  return 0;
+}

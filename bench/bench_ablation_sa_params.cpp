@@ -1,0 +1,85 @@
+/// \file bench_ablation_sa_params.cpp
+/// \brief Experiment E12 — Section VI's parameter choices: cooling rate
+/// mu = 0.88 ("inferred from our experiments over a range of cooling
+/// rates") and perturbation size Pert = 4.  Regenerates both sweeps.
+
+#include <iostream>
+
+#include "benchutil/campaign.hpp"
+#include "benchutil/cli.hpp"
+#include "benchutil/stats.hpp"
+#include "benchutil/table.hpp"
+#include "common/sweeps.hpp"
+#include "cudasim/device.hpp"
+#include "parallel/parallel_sa.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdd;
+  const benchutil::Args args(argc, argv);
+  if (args.GetBool("help")) {
+    std::cout << "SA parameter ablation (mu sweep + Pert sweep).\n"
+                 "Flags: --n JOBS --ensemble N --block B --gens G "
+                 "--instances K --seed S\n";
+    return 0;
+  }
+  const auto n = static_cast<std::uint32_t>(args.GetInt("n", 100));
+  const auto ensemble =
+      static_cast<std::uint32_t>(args.GetInt("ensemble", 128));
+  const auto block = static_cast<std::uint32_t>(args.GetInt("block", 64));
+  const auto gens = static_cast<std::uint64_t>(args.GetInt("gens", 500));
+  const auto instances =
+      static_cast<std::uint32_t>(args.GetInt("instances", 4));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+
+  benchutil::Sweep sweep;
+  sweep.seed = seed;
+
+  const auto run = [&](double mu, std::uint32_t pert) {
+    benchutil::RunningStats costs;
+    for (std::uint32_t k = 0; k < instances; ++k) {
+      const Instance instance =
+          benchrun::MakeSweepInstance(Problem::kCdd, sweep, n, k);
+      par::ParallelSaParams params;
+      params.config = par::LaunchConfig::ForEnsemble(ensemble, block);
+      params.generations = gens;
+      params.mu = mu;
+      params.pert = pert;
+      params.temp_samples = 500;
+      params.seed = seed;
+      sim::Device gpu;
+      costs.Add(static_cast<double>(
+          par::RunParallelSa(gpu, instance, params).best_cost));
+    }
+    return costs.mean();
+  };
+
+  std::cout << "=== Ablation: cooling rate mu (Pert = 4), CDD n=" << n
+            << " ===\n";
+  benchutil::TextTable mu_table({"mu", "mean best cost", "vs mu=0.88 [%]"});
+  const double at_088 = run(0.88, 4);
+  for (const double mu : {0.70, 0.80, 0.85, 0.88, 0.92, 0.95, 0.99}) {
+    const double cost = mu == 0.88 ? at_088 : run(mu, 4);
+    mu_table.AddRow({benchutil::FmtDouble(mu, 2),
+                     benchutil::FmtDouble(cost, 1),
+                     benchutil::FmtDouble((cost - at_088) / at_088 * 100.0,
+                                          2)});
+  }
+  std::cout << mu_table.ToString();
+
+  std::cout << "\n=== Ablation: perturbation size Pert (mu = 0.88) ===\n";
+  benchutil::TextTable pert_table(
+      {"Pert", "mean best cost", "vs Pert=4 [%]"});
+  for (const std::uint32_t pert : {2u, 3u, 4u, 6u, 8u, 12u}) {
+    const double cost = pert == 4 ? at_088 : run(0.88, pert);
+    pert_table.AddRow({std::to_string(pert),
+                       benchutil::FmtDouble(cost, 1),
+                       benchutil::FmtDouble(
+                           (cost - at_088) / at_088 * 100.0, 2)});
+  }
+  std::cout << pert_table.ToString();
+  std::cout << "\nPaper shape to verify: a broad optimum around mu ~ 0.88 "
+               "(too-fast cooling quenches, mu->1 never converges within "
+               "the budget) and around Pert ~ 4 (1-2 barely moves, large "
+               "Pert degenerates toward random restart).\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// \file bench_table5_ucddcp_speedup.cpp
+/// \brief Experiment E6 — Table V and Figure 17: speed-ups of the four
+/// parallel algorithms for the UCDDCP relative to the CPU implementation
+/// of Awasthi et al. [8] (stand-in: our serial SA at matched budget).
+
+#include <iostream>
+
+#include "benchutil/campaign.hpp"
+#include "benchutil/cli.hpp"
+#include "benchutil/table.hpp"
+#include "common/paper_data.hpp"
+#include "common/report.hpp"
+#include "common/sweeps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdd;
+  const benchutil::Args args(argc, argv);
+  if (args.GetBool("help")) {
+    std::cout << "Regenerates Table V / Figure 17 (UCDDCP speed-ups).\n"
+                 "Flags: --paper --sizes a,b,c --ensemble N --block B "
+                 "--gens-low G --gens-high G --seed S\n";
+    return 0;
+  }
+  benchutil::Sweep sweep = benchutil::Sweep::FromArgs(args);
+  if (!args.Has("sizes") && !args.GetBool("paper")) {
+    sweep.sizes = {10, 20, 50, 100, 200, 500, 1000};
+  }
+  // Runtime/speed-up calibration is cheap (short real runs, analytic
+  // extrapolation), so default to the paper's launch configuration.
+  if (!args.Has("ensemble")) sweep.ensemble = 768;
+  if (!args.Has("block")) sweep.block_size = 192;
+  if (!args.Has("gens-low")) sweep.gens_low = 1000;
+  if (!args.Has("gens-high")) sweep.gens_high = 5000;
+
+  std::cout << "=== Table V / Fig 17: UCDDCP speed-ups vs CPU [8] ===\n";
+  std::cout << "sweep: " << sweep.Describe() << "\n\n";
+
+  const auto rows =
+      benchrun::RunSpeedupSweep(Problem::kUcddcp, sweep, std::cout);
+
+  benchutil::TextTable table({"Jobs", "SA_low (paper)", "SA_high (paper)",
+                              "DPSO_low (paper)", "DPSO_high (paper)"});
+  for (const auto& row : rows) {
+    const benchdata::AlgoRow* ref =
+        benchdata::FindRow(benchdata::kPaperTable5, row.jobs);
+    const auto cell = [&](double cpu, double gpu, double paper_value) {
+      std::string out = benchutil::FmtDouble(cpu / gpu, 2);
+      if (ref != nullptr) {
+        out += " (" + benchutil::FmtDouble(paper_value, 2) + ")";
+      }
+      return out;
+    };
+    table.AddRow({std::to_string(row.jobs),
+                  cell(row.cpu7_seconds, row.gpu_seconds[0],
+                       ref ? ref->sa_low : 0),
+                  cell(row.cpu7_seconds, row.gpu_seconds[1],
+                       ref ? ref->sa_high : 0),
+                  cell(row.cpu7_seconds, row.gpu_seconds[2],
+                       ref ? ref->dpso_low : 0),
+                  cell(row.cpu7_seconds, row.gpu_seconds[3],
+                       ref ? ref->dpso_high : 0)});
+  }
+  std::cout << "\n" << table.ToString();
+  if (args.Has("csv")) {
+    benchrun::WriteSpeedupCsv(args.GetString("csv", "table5.csv"), rows);
+  }
+  std::cout << "\nFig 17 (speed-ups vs [8], bar chart):\n";
+  benchrun::PrintSpeedupChart(rows);
+  std::cout << "\nPaper shape to verify: sub-1x speed-ups for the smallest "
+               "instances (transfer/launch overheads dominate), growing to "
+               "~47x (SA_low) and ~10x (SA_high) at n=1000; DPSO speed-ups "
+               "lower than SA throughout.\n";
+  return 0;
+}

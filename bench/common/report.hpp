@@ -1,0 +1,148 @@
+#pragma once
+/// \file report.hpp
+/// \brief Table rendering shared by the paper-reproduction bench mains.
+
+#include <iostream>
+#include <optional>
+
+#include "benchutil/asciichart.hpp"
+#include "benchutil/csv.hpp"
+#include "benchutil/table.hpp"
+#include "common/paper_data.hpp"
+#include "common/sweeps.hpp"
+
+namespace cdd::benchrun {
+
+/// Category labels ("n=10", ...) of a quality/speed-up sweep.
+template <typename Row>
+inline std::vector<std::string> JobLabels(const std::vector<Row>& rows) {
+  std::vector<std::string> labels;
+  labels.reserve(rows.size());
+  for (const Row& row : rows) labels.push_back(std::to_string(row.jobs));
+  return labels;
+}
+
+/// Renders the bar chart behind Figures 12 / 15 (mean %Delta per size and
+/// algorithm).
+inline void PrintDeviationChart(const std::vector<QualityRow>& rows) {
+  std::vector<benchutil::Series> series(4);
+  for (int a = 0; a < 4; ++a) {
+    series[a].name = kAlgoNames[a];
+    for (const QualityRow& row : rows) {
+      series[a].values.push_back(row.cell[a].deviation.mean());
+    }
+  }
+  std::cout << benchutil::BarChart(JobLabels(rows), series);
+}
+
+/// Renders the line chart behind Figures 14 / 16 (runtimes, log scale).
+inline void PrintRuntimeChart(const std::vector<SpeedupRowOut>& rows) {
+  std::vector<benchutil::Series> series(5);
+  const char* names[] = {"SA_low", "SA_high", "DPSO_low", "DPSO_high",
+                         "CPU[7]"};
+  for (int a = 0; a < 5; ++a) series[a].name = names[a];
+  for (const SpeedupRowOut& row : rows) {
+    for (int a = 0; a < 4; ++a) {
+      series[a].values.push_back(row.gpu_seconds[a]);
+    }
+    series[4].values.push_back(row.cpu7_seconds);
+  }
+  std::cout << benchutil::LineChart(JobLabels(rows), series);
+}
+
+/// Renders the bar chart behind Figures 13 / 17 (speed-ups vs the serial
+/// baseline per size and algorithm).
+inline void PrintSpeedupChart(const std::vector<SpeedupRowOut>& rows) {
+  std::vector<benchutil::Series> series(4);
+  for (int a = 0; a < 4; ++a) series[a].name = kAlgoNames[a];
+  for (const SpeedupRowOut& row : rows) {
+    for (int a = 0; a < 4; ++a) {
+      series[a].values.push_back(row.cpu7_seconds / row.gpu_seconds[a]);
+    }
+  }
+  std::cout << benchutil::BarChart(JobLabels(rows), series);
+}
+
+/// Prints a Table II/IV-style quality table: measured %Delta per algorithm
+/// with the paper's value in parentheses where the size matches.
+template <std::size_t N>
+inline void PrintQualityTable(
+    const std::vector<QualityRow>& rows,
+    const std::array<benchdata::AlgoRow, N>& paper) {
+  benchutil::TextTable table({"Jobs", "SA_low %D (paper)",
+                              "SA_high %D (paper)", "DPSO_low %D (paper)",
+                              "DPSO_high %D (paper)", "improved"});
+  for (const QualityRow& row : rows) {
+    const benchdata::AlgoRow* ref = benchdata::FindRow(paper, row.jobs);
+    const auto cell = [&](int algo, double paper_value) {
+      std::string out =
+          benchutil::FmtDouble(row.cell[algo].deviation.mean(), 3);
+      if (ref != nullptr) {
+        out += " (" + benchutil::FmtDouble(paper_value, 3) + ")";
+      }
+      return out;
+    };
+    table.AddRow({std::to_string(row.jobs),
+                  cell(0, ref ? ref->sa_low : 0),
+                  cell(1, ref ? ref->sa_high : 0),
+                  cell(2, ref ? ref->dpso_low : 0),
+                  cell(3, ref ? ref->dpso_high : 0),
+                  std::to_string(row.improved_best_known)});
+  }
+  std::cout << table.ToString();
+}
+
+/// Prints the runtime series behind Figures 14/16 (modeled GPU seconds per
+/// algorithm + extrapolated serial CPU seconds).
+inline void PrintRuntimeTable(const std::vector<SpeedupRowOut>& rows) {
+  benchutil::TextTable table({"Jobs", "SA_low [s]", "SA_high [s]",
+                              "DPSO_low [s]", "DPSO_high [s]",
+                              "CPU[7] [s]"});
+  for (const SpeedupRowOut& row : rows) {
+    table.AddRow({std::to_string(row.jobs),
+                  benchutil::FmtDouble(row.gpu_seconds[0], 4),
+                  benchutil::FmtDouble(row.gpu_seconds[1], 4),
+                  benchutil::FmtDouble(row.gpu_seconds[2], 4),
+                  benchutil::FmtDouble(row.gpu_seconds[3], 4),
+                  benchutil::FmtDouble(row.cpu7_seconds, 3)});
+  }
+  std::cout << table.ToString();
+}
+
+
+/// Dumps a quality sweep to CSV (one row per size x algorithm).
+inline void WriteQualityCsv(const std::string& path,
+                            const std::vector<QualityRow>& rows) {
+  benchutil::CsvWriter csv(path, {"jobs", "algorithm", "mean_deviation_pct",
+                                  "mean_device_seconds", "instances",
+                                  "improved_best_known"});
+  for (const QualityRow& row : rows) {
+    for (int a = 0; a < 4; ++a) {
+      csv.AddRow({std::to_string(row.jobs), kAlgoNames[a],
+                  benchutil::FmtDouble(row.cell[a].deviation.mean(), 6),
+                  benchutil::FmtDouble(row.cell[a].device_seconds.mean(), 9),
+                  std::to_string(row.instances),
+                  std::to_string(row.improved_best_known)});
+    }
+  }
+}
+
+/// Dumps a speed-up sweep to CSV.
+inline void WriteSpeedupCsv(const std::string& path,
+                            const std::vector<SpeedupRowOut>& rows) {
+  benchutil::CsvWriter csv(
+      path, {"jobs", "algorithm", "gpu_seconds", "cpu7_seconds",
+             "cpu18_seconds", "speedup_vs_7"});
+  for (const SpeedupRowOut& row : rows) {
+    for (int a = 0; a < 4; ++a) {
+      csv.AddRow({std::to_string(row.jobs), kAlgoNames[a],
+                  benchutil::FmtDouble(row.gpu_seconds[a], 9),
+                  benchutil::FmtDouble(row.cpu7_seconds, 6),
+                  benchutil::FmtDouble(row.cpu18_seconds, 6),
+                  benchutil::FmtDouble(
+                      row.cpu7_seconds / row.gpu_seconds[a], 4)});
+    }
+  }
+}
+
+}  // namespace cdd::benchrun

@@ -1,0 +1,154 @@
+#include "benchutil/asciichart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace cdd::benchutil {
+namespace {
+
+constexpr char kGlyphs[] = {'#', 'o', '*', '+', 'x', '@', '%', '~'};
+
+std::string AxisLabel(double value) {
+  char buf[32];
+  if (std::abs(value) >= 1000.0 || (value != 0.0 && std::abs(value) < 0.01)) {
+    std::snprintf(buf, sizeof buf, "%9.2e", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%9.2f", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string BarChart(const std::vector<std::string>& categories,
+                     const std::vector<Series>& series,
+                     std::size_t height) {
+  if (categories.empty() || series.empty() || height == 0) return "";
+  double max_value = 0.0;
+  double min_value = 0.0;
+  for (const Series& s : series) {
+    for (const double v : s.values) {
+      max_value = std::max(max_value, v);
+      min_value = std::min(min_value, v);
+    }
+  }
+  if (max_value == 0.0 && min_value == 0.0) max_value = 1.0;
+  const auto pos_rows = static_cast<std::size_t>(
+      std::lround(height * max_value / (max_value - min_value)));
+  const std::size_t neg_rows = height - pos_rows;
+
+  // Bar heights per (category, series).
+  const std::size_t group_width = series.size() + 1;
+  const auto rows_of = [&](double v) {
+    return static_cast<long>(std::lround(
+        v / (max_value - min_value) * static_cast<double>(height)));
+  };
+
+  std::ostringstream os;
+  for (std::size_t r = 0; r < height; ++r) {
+    const long level = static_cast<long>(pos_rows) - static_cast<long>(r);
+    // Value at the top of this row (for the axis label).
+    const double row_value = (max_value - min_value) *
+                             static_cast<double>(level) /
+                             static_cast<double>(height);
+    os << AxisLabel(row_value) << " |";
+    for (std::size_t c = 0; c < categories.size(); ++c) {
+      for (std::size_t s = 0; s < series.size(); ++s) {
+        const double v = c < series[s].values.size() ? series[s].values[c]
+                                                     : 0.0;
+        const long bar = rows_of(v);
+        char glyph = ' ';
+        if (level > 0 && bar >= level) {
+          glyph = kGlyphs[s % sizeof kGlyphs];
+        } else if (level <= 0 && bar <= level && bar < 0) {
+          glyph = kGlyphs[s % sizeof kGlyphs];
+        }
+        os << glyph;
+      }
+      os << ' ';
+    }
+    os << "\n";
+    if (level == 1 && neg_rows > 0) {
+      // Axis line between positive and negative halves.
+      os << AxisLabel(0.0) << " +";
+      for (std::size_t c = 0; c < categories.size(); ++c) {
+        os << std::string(series.size(), '-') << '-';
+      }
+      os << "\n";
+    }
+  }
+  // Category labels.
+  os << std::string(10, ' ') << ' ';
+  for (const std::string& cat : categories) {
+    std::string label = cat.substr(0, group_width - 1);
+    label.resize(group_width, ' ');
+    os << label;
+  }
+  os << "\n  legend: ";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    os << kGlyphs[s % sizeof kGlyphs] << "=" << series[s].name
+       << (s + 1 < series.size() ? "  " : "\n");
+  }
+  return os.str();
+}
+
+std::string LineChart(const std::vector<std::string>& categories,
+                      const std::vector<Series>& series,
+                      std::size_t height, bool log_scale) {
+  if (categories.empty() || series.empty() || height == 0) return "";
+  const auto transform = [&](double v) {
+    return log_scale ? std::log10(std::max(v, 1e-12)) : v;
+  };
+  double lo = transform(1e300);
+  double hi = -1e300;
+  lo = 1e300;
+  for (const Series& s : series) {
+    for (const double v : s.values) {
+      lo = std::min(lo, transform(v));
+      hi = std::max(hi, transform(v));
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  const std::size_t col_width = 8;
+  const std::size_t cols = categories.size() * col_width;
+  std::vector<std::string> canvas(height, std::string(cols, ' '));
+
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char glyph = kGlyphs[s % sizeof kGlyphs];
+    for (std::size_t c = 0;
+         c < categories.size() && c < series[s].values.size(); ++c) {
+      const double t = (transform(series[s].values[c]) - lo) / (hi - lo);
+      const auto row = static_cast<std::size_t>(std::lround(
+          (1.0 - t) * static_cast<double>(height - 1)));
+      const std::size_t col = c * col_width + col_width / 2;
+      canvas[std::min(row, height - 1)][col] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  for (std::size_t r = 0; r < height; ++r) {
+    const double t = 1.0 - static_cast<double>(r) /
+                               static_cast<double>(height - 1);
+    const double raw = lo + t * (hi - lo);
+    os << AxisLabel(log_scale ? std::pow(10.0, raw) : raw) << " |"
+       << canvas[r] << "\n";
+  }
+  os << std::string(10, ' ') << "+" << std::string(cols, '-') << "\n"
+     << std::string(10, ' ') << ' ';
+  for (const std::string& cat : categories) {
+    std::string label = cat.substr(0, col_width - 1);
+    label.resize(col_width, ' ');
+    os << label;
+  }
+  os << "\n  legend: ";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    os << kGlyphs[s % sizeof kGlyphs] << "=" << series[s].name
+       << (s + 1 < series.size() ? "  " : "\n");
+  }
+  return os.str();
+}
+
+}  // namespace cdd::benchutil

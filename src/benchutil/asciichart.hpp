@@ -1,0 +1,32 @@
+#pragma once
+/// \file asciichart.hpp
+/// \brief Terminal bar and line charts for the figure-reproduction benches
+/// (Figures 12-17 of the paper are bar/line charts; the benches render the
+/// same series as ASCII so the shape is visible without a plotting stack).
+
+#include <string>
+#include <vector>
+
+namespace cdd::benchutil {
+
+/// One named data series.
+struct Series {
+  std::string name;
+  std::vector<double> values;  ///< one value per category
+};
+
+/// Grouped bar chart (like the paper's Figures 12 and 15): one group per
+/// category (job count), one bar per series (algorithm).  Values are
+/// scaled to \p height rows; negative values render below the axis.
+std::string BarChart(const std::vector<std::string>& categories,
+                     const std::vector<Series>& series,
+                     std::size_t height = 12);
+
+/// Multi-series line chart on a log-ish row scale (like Figures 14 and
+/// 16's runtime curves): x positions are the categories, each series is
+/// drawn with its own glyph; a legend follows.
+std::string LineChart(const std::vector<std::string>& categories,
+                      const std::vector<Series>& series,
+                      std::size_t height = 14, bool log_scale = true);
+
+}  // namespace cdd::benchutil

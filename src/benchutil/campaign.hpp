@@ -1,0 +1,65 @@
+#pragma once
+/// \file campaign.hpp
+/// \brief Shared sweep configuration and reference computation for the
+/// paper-reproduction benches.
+///
+/// Every table/figure bench accepts the same flags:
+///   --paper                 full paper-scale sweep (sizes up to 1000 jobs,
+///                           40 instances per size, 768 chains, 1000/5000
+///                           generations) — hours of single-core wall time;
+///   --sizes 10,20,50        job counts to sweep;
+///   --instances K           instances per (size, h) pair;
+///   --ensemble N --block B  launch geometry;
+///   --gens-low / --gens-high  the two generation budgets (paper: 1000/5000);
+///   --seed S                benchmark seed.
+///
+/// "Best known" reference values are regenerated the way the paper's
+/// comparison targets were produced: serial CPU metaheuristics ([7]-style
+/// SA restarts seeded with a V-shape heuristic, plus a [18]-style threshold
+/// accepting run), taking the best result.
+
+#include <string>
+
+#include "benchutil/cli.hpp"
+#include "core/instance.hpp"
+#include "meta/objective.hpp"
+
+namespace cdd::benchutil {
+
+/// Sweep configuration shared by the table benches.
+struct Sweep {
+  std::vector<std::uint32_t> sizes{10, 20, 50, 100};
+  std::vector<double> h{0.2, 0.6};   ///< CDD restrictiveness factors
+  std::uint32_t instances = 2;       ///< k = 0..instances-1 per (size, h)
+  std::uint64_t gens_low = 200;      ///< paper: 1000
+  std::uint64_t gens_high = 1000;    ///< paper: 5000
+  std::uint32_t ensemble = 128;      ///< paper: 768
+  std::uint32_t block_size = 64;     ///< paper: 192
+  std::uint64_t ref_iterations = 50000;  ///< serial-SA budget per restart
+  std::uint32_t ref_restarts = 3;
+  std::uint64_t seed = 20160523;
+
+  /// The full configuration of Section VIII.
+  static Sweep Paper();
+
+  /// Builds from CLI flags, starting from the reduced defaults (or from
+  /// Paper() when --paper is present).
+  static Sweep FromArgs(const Args& args);
+
+  std::string Describe() const;
+};
+
+/// Best-known reference cost of one instance (the stand-in for the
+/// best-known values of [7] / [8] / [18]; see DESIGN.md §2).
+/// \p salt decorrelates the restart seeds across instances.
+Cost ComputeReferenceCost(const Instance& instance, const Sweep& sweep,
+                          std::uint64_t salt);
+
+/// Measured serial cost per objective evaluation (seconds), from a short
+/// calibration run of `calib_evals` serial-SA iterations.  Used to
+/// extrapolate CPU baseline runtimes to paper-scale budgets without paying
+/// the full single-core cost (documented in EXPERIMENTS.md).
+double MeasureSecondsPerEval(const meta::Objective& objective,
+                             std::uint64_t calib_evals, std::uint64_t seed);
+
+}  // namespace cdd::benchutil

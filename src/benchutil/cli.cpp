@@ -1,0 +1,105 @@
+#include "benchutil/cli.hpp"
+
+#include <stdexcept>
+
+namespace cdd::benchutil {
+
+Args::Args(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself a flag; bare "--flag"
+    // otherwise.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";
+    }
+  }
+}
+
+bool Args::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Args::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::GetInt(const std::string& key,
+                          std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Args::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Args::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second.empty() || it->second == "1" || it->second == "true" ||
+      it->second == "yes" || it->second == "on") {
+    return true;
+  }
+  if (it->second == "0" || it->second == "false" || it->second == "no" ||
+      it->second == "off") {
+    return false;
+  }
+  throw std::invalid_argument("--" + key + " expects a boolean, got '" +
+                              it->second + "'");
+}
+
+std::vector<std::uint32_t> Args::GetUintList(
+    const std::string& key, std::vector<std::uint32_t> fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  std::vector<std::uint32_t> out;
+  std::string token;
+  for (const char c : it->second + ",") {
+    if (c == ',') {
+      if (!token.empty()) {
+        try {
+          out.push_back(static_cast<std::uint32_t>(std::stoul(token)));
+        } catch (const std::exception&) {
+          throw std::invalid_argument("--" + key +
+                                      " expects a comma-separated integer "
+                                      "list, got '" +
+                                      it->second + "'");
+        }
+        token.clear();
+      }
+    } else {
+      token.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace cdd::benchutil

@@ -1,0 +1,44 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal command-line parsing for the bench and example binaries.
+///
+/// Supported syntax: --key=value, --key value, and boolean --flag.
+/// Every bench accepts --paper (full paper-scale sweep) and prints --help.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cdd::benchutil {
+
+/// Parsed command line.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Comma-separated integer list ("10,20,50").
+  std::vector<std::uint32_t> GetUintList(
+      const std::string& key, std::vector<std::uint32_t> fallback) const;
+
+  /// Unrecognized-looking positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cdd::benchutil

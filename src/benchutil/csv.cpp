@@ -1,0 +1,40 @@
+#include "benchutil/csv.hpp"
+
+#include <stdexcept>
+
+namespace cdd::benchutil {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  std::vector<std::string> row = std::move(header);
+  AddRow(row);
+  rows_ = 0;  // the header does not count as a data row
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& row) {
+  for (std::size_t c = 0; c < columns_; ++c) {
+    if (c > 0) out_ << ',';
+    out_ << Escape(c < row.size() ? row[c] : "");
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace cdd::benchutil

@@ -1,0 +1,36 @@
+#pragma once
+/// \file csv.hpp
+/// \brief Tiny CSV writer so bench results can feed external plotting.
+///
+/// Every paper-table bench accepts --csv PATH and dumps its rows through
+/// this writer; fields containing commas/quotes/newlines are quoted per
+/// RFC 4180.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cdd::benchutil {
+
+/// Append-style CSV writer; writes the header on construction.
+class CsvWriter {
+ public:
+  /// Opens \p path for writing (truncates).  Throws std::runtime_error on
+  /// failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Writes one row (padded/truncated to the header width).
+  void AddRow(const std::vector<std::string>& row);
+
+  std::size_t rows_written() const { return rows_; }
+
+  /// Quotes a field per RFC 4180 when needed (exposed for tests).
+  static std::string Escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace cdd::benchutil

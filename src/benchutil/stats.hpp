@@ -1,0 +1,47 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Small statistics helpers for the bench harness.
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace cdd::benchutil {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double value) {
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+inline double Mean(std::span<const double> values) {
+  RunningStats s;
+  for (const double v : values) s.Add(v);
+  return s.mean();
+}
+
+inline double StdDev(std::span<const double> values) {
+  RunningStats s;
+  for (const double v : values) s.Add(v);
+  return s.stddev();
+}
+
+}  // namespace cdd::benchutil

@@ -1,0 +1,33 @@
+#pragma once
+/// \file table.hpp
+/// \brief ASCII table printer for the paper-style bench outputs.
+
+#include <string>
+#include <vector>
+
+namespace cdd::benchutil {
+
+/// Column-aligned text table with a header row, printed the way the
+/// paper's tables read (one row per job count, one column per algorithm).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column alignment and a rule under the header.
+  std::string ToString() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers for table cells.
+std::string FmtDouble(double value, int precision = 3);
+std::string FmtSeconds(double seconds);  ///< 12.3 ms / 4.56 s style
+
+}  // namespace cdd::benchutil

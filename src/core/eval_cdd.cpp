@@ -1,0 +1,50 @@
+#include "core/eval_cdd.hpp"
+
+namespace cdd {
+
+CddEvaluator::CddEvaluator(const Instance& instance)
+    : due_date_(instance.due_date()) {
+  const std::size_t n = instance.size();
+  proc_.reserve(n);
+  alpha_.reserve(n);
+  beta_.reserve(n);
+  for (const Job& j : instance.jobs()) {
+    proc_.push_back(j.proc);
+    alpha_.push_back(j.early);
+    beta_.push_back(j.tardy);
+  }
+}
+
+Cost CddEvaluator::Evaluate(std::span<const JobId> seq) const {
+  return raw::EvalCdd(static_cast<std::int32_t>(seq.size()), due_date_,
+                      seq.data(), proc_.data(), alpha_.data(), beta_.data())
+      .cost;
+}
+
+raw::EvalResult CddEvaluator::EvaluateDetailed(
+    std::span<const JobId> seq) const {
+  return raw::EvalCdd(static_cast<std::int32_t>(seq.size()), due_date_,
+                      seq.data(), proc_.data(), alpha_.data(), beta_.data());
+}
+
+Schedule CddEvaluator::BuildSchedule(std::span<const JobId> seq) const {
+  const raw::EvalResult r = EvaluateDetailed(seq);
+  Schedule s;
+  s.order.assign(seq.begin(), seq.end());
+  s.completion.resize(seq.size());
+  s.compression.assign(seq.size(), 0);
+  Time c = r.offset;
+  for (std::size_t k = 0; k < seq.size(); ++k) {
+    c += proc_[static_cast<std::size_t>(seq[k])];
+    s.completion[k] = c;
+  }
+  return s;
+}
+
+Cost EvaluateCddSequence(const Instance& instance,
+                         std::span<const JobId> seq) {
+  ValidateSequence(seq, instance.size());
+  return CddEvaluator(instance).Evaluate(seq);
+}
+
+}  // namespace cdd

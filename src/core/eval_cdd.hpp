@@ -1,0 +1,51 @@
+#pragma once
+/// \file eval_cdd.hpp
+/// \brief Instance-level interface to the O(n) CDD sequence evaluator
+/// (Lässig et al. [7]) — layer (ii) of the paper's two-layered approach.
+
+#include <span>
+
+#include "core/eval_raw.hpp"
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/sequence.hpp"
+
+namespace cdd {
+
+/// \brief Reusable evaluator for one instance.
+///
+/// Flattens the instance into structure-of-arrays form once so that every
+/// Evaluate() call is a pure O(n) scan with no indirection through Job
+/// structs — the same memory layout the GPU-simulator kernels use.
+class CddEvaluator {
+ public:
+  explicit CddEvaluator(const Instance& instance);
+
+  /// Optimal cost of \p seq.  Does not validate the permutation (hot path);
+  /// use ValidateSequence() at call sites that consume external input.
+  Cost Evaluate(std::span<const JobId> seq) const;
+
+  /// Optimal cost plus the schedule geometry (offset / pinned position).
+  raw::EvalResult EvaluateDetailed(std::span<const JobId> seq) const;
+
+  /// Materializes the optimal schedule of \p seq (for reporting and tests).
+  Schedule BuildSchedule(std::span<const JobId> seq) const;
+
+  std::size_t size() const { return proc_.size(); }
+  Time due_date() const { return due_date_; }
+
+  const Time* proc_data() const { return proc_.data(); }
+  const Cost* alpha_data() const { return alpha_.data(); }
+  const Cost* beta_data() const { return beta_.data(); }
+
+ private:
+  Time due_date_;
+  std::vector<Time> proc_;
+  std::vector<Cost> alpha_;
+  std::vector<Cost> beta_;
+};
+
+/// One-shot convenience wrapper (validates the sequence).
+Cost EvaluateCddSequence(const Instance& instance, std::span<const JobId> seq);
+
+}  // namespace cdd

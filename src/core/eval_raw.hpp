@@ -1,0 +1,176 @@
+#pragma once
+/// \file eval_raw.hpp
+/// \brief Allocation-free O(n) sequence evaluators on raw arrays.
+///
+/// These are the library's equivalent of CUDA `__device__` functions: every
+/// GPU-simulator kernel thread calls them directly on device buffers, and the
+/// host-side convenience wrappers in eval_cdd.hpp / eval_ucddcp.hpp call the
+/// very same code.  Keeping one implementation guarantees that the parallel
+/// metaheuristics optimize exactly the objective the serial baselines and the
+/// oracles see.
+///
+/// Algorithmic background (Section IV of the paper):
+///  * EvalCdd implements the linear algorithm of Lässig et al. [7]: start the
+///    schedule at t = 0 without idle time (Cheng & Kahlbacher [9]), then
+///    repeatedly shift the whole block right to the next breakpoint — a
+///    completion time coinciding with the due date (Hall et al. [10]) — while
+///    the right derivative of the piecewise-linear cost is negative
+///    (Theorem 1).
+///  * EvalUcddcp implements the linear algorithm of Awasthi et al. [8]:
+///    solve the CDD relaxation to fix the due-date position r (Property 1),
+///    then decide each job's compression independently — a tardy job is
+///    compressed to its minimum iff the suffix sum of tardiness unit
+///    penalties exceeds its compression penalty, an early job iff the prefix
+///    sum of earliness unit penalties of its predecessors does (Property 2
+///    makes compression all-or-nothing).
+///
+/// Both functions are noexcept, perform no allocation and touch each input
+/// element O(1) times.
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace cdd::raw {
+
+/// Result of evaluating a fixed job sequence.
+struct EvalResult {
+  Cost cost = 0;    ///< optimal objective value for this sequence.
+  Time offset = 0;  ///< start time of the first job in the optimal schedule.
+  /// 0-based *position* (index into the sequence) of the job whose
+  /// completion time equals the due date, or -1 when the optimal schedule
+  /// starts at t=0 with no job finishing exactly at d.
+  std::int32_t pinned = -1;
+};
+
+/// \brief Optimal schedule cost of sequence \p seq for the CDD problem.
+///
+/// \param n      number of jobs (>= 1)
+/// \param d      common due date (>= 0)
+/// \param seq    permutation of {0..n-1}; seq[k] is processed k-th
+/// \param proc   P_i, indexed by job id
+/// \param alpha  earliness unit penalties, indexed by job id
+/// \param beta   tardiness unit penalties, indexed by job id
+inline EvalResult EvalCdd(std::int32_t n, Time d, const JobId* seq,
+                          const Time* proc, const Cost* alpha,
+                          const Cost* beta) noexcept {
+  // Pass 1: left-aligned schedule (s = 0).  tau = last position whose
+  // completion time is <= d; pe / pl = unit-penalty mass left / right of d.
+  Time c = 0;
+  Time prefix_tau = 0;
+  std::int32_t tau = -1;
+  Cost pe = 0;
+  Cost pl = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    const JobId j = seq[i];
+    c += proc[j];
+    if (c <= d) {
+      tau = i;
+      prefix_tau = c;
+      pe += alpha[j];
+    } else {
+      pl += beta[j];
+    }
+  }
+
+  Time offset = 0;
+  std::int32_t pinned = -1;
+  if (tau >= 0) {
+    if (prefix_tau < d) {
+      // Not at a breakpoint.  Slide right to the first breakpoint only if
+      // the cost is strictly decreasing there (right derivative pl-pe < 0).
+      if (pl < pe) {
+        offset = d - prefix_tau;
+        pinned = tau;
+      }
+    } else {
+      pinned = tau;  // s = 0 already has job tau finishing at d.
+    }
+    // Crossing loop: while making the pinned job tardy strictly improves
+    // the cost (Theorem 1 Case 2), shift right by its processing time so
+    // that the previous job completes at d.
+    while (pinned > 0) {
+      const JobId j = seq[pinned];
+      const Cost pl_next = pl + beta[j];
+      const Cost pe_next = pe - alpha[j];
+      if (pl_next < pe_next) {
+        offset += proc[j];
+        pl = pl_next;
+        pe = pe_next;
+        --pinned;
+      } else {
+        break;
+      }
+    }
+  }
+
+  // Pass 2: evaluate the objective at the chosen offset.
+  Cost cost = 0;
+  c = offset;
+  for (std::int32_t i = 0; i < n; ++i) {
+    const JobId j = seq[i];
+    c += proc[j];
+    cost += (c <= d) ? alpha[j] * (d - c) : beta[j] * (c - d);
+  }
+  return {cost, offset, pinned};
+}
+
+/// \brief Optimal schedule cost of sequence \p seq for the UCDDCP problem.
+///
+/// Precondition: d >= sum(proc) (unrestricted case); callers that cannot
+/// guarantee this should use Instance::Validate() first.  When no job is
+/// pinned at the due date (possible only when every earliness penalty is
+/// zero) compression can never pay off and the CDD cost is returned.
+///
+/// \param minproc  M_i, minimum processing times, indexed by job id
+/// \param gamma    gamma_i, compression unit penalties, indexed by job id
+/// \param x_out    optional (may be nullptr): receives the chosen reduction
+///                 X_i per *job id*; all n entries are written.
+inline EvalResult EvalUcddcp(std::int32_t n, Time d, const JobId* seq,
+                             const Time* proc, const Time* minproc,
+                             const Cost* alpha, const Cost* beta,
+                             const Cost* gamma, Time* x_out = nullptr) noexcept {
+  const EvalResult base = EvalCdd(n, d, seq, proc, alpha, beta);
+  if (x_out != nullptr) {
+    for (std::int32_t i = 0; i < n; ++i) x_out[i] = 0;
+  }
+  const std::int32_t r = base.pinned;
+  if (r < 0) {
+    return base;  // degenerate: no pinned job => no profitable compression.
+  }
+
+  Cost cost = 0;
+  Time compressed_before_d = 0;  // sum of (P_k - X_k) over positions <= r
+
+  // Tardy side: walk positions n-1 .. r+1 keeping the suffix sum of beta.
+  // The tardiness of the job at position k is the sum of the effective
+  // processing times of positions r+1..k, so one unit of compression of
+  // position k saves `sb` (the beta-mass at or after k) and costs gamma.
+  Cost sb = 0;
+  for (std::int32_t i = n - 1; i > r; --i) {
+    const JobId j = seq[i];
+    sb += beta[j];
+    const Time reducible = proc[j] - minproc[j];
+    const Time x = (sb > gamma[j]) ? reducible : Time{0};
+    cost += (proc[j] - x) * sb + gamma[j] * x;
+    if (x_out != nullptr) x_out[j] = x;
+  }
+
+  // Early side: walk positions 0 .. r keeping the prefix sum of alpha of
+  // strictly preceding jobs.  Compressing position k moves every earlier
+  // job right toward d, saving `pa` per unit.
+  Cost pa = 0;
+  for (std::int32_t i = 0; i <= r; ++i) {
+    const JobId j = seq[i];
+    const Time reducible = proc[j] - minproc[j];
+    const Time x = (pa > gamma[j]) ? reducible : Time{0};
+    cost += (proc[j] - x) * pa + gamma[j] * x;
+    compressed_before_d += proc[j] - x;
+    if (x_out != nullptr) x_out[j] = x;
+    pa += alpha[j];
+  }
+
+  return {cost, d - compressed_before_d, r};
+}
+
+}  // namespace cdd::raw

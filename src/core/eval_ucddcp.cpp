@@ -1,0 +1,70 @@
+#include "core/eval_ucddcp.hpp"
+
+#include <stdexcept>
+
+namespace cdd {
+
+UcddcpEvaluator::UcddcpEvaluator(const Instance& instance)
+    : due_date_(instance.due_date()) {
+  if (!instance.is_unrestricted()) {
+    throw std::invalid_argument(
+        "UcddcpEvaluator: instance is restricted (d < sum P_i); the O(n) "
+        "algorithm of Awasthi et al. requires the unrestricted case");
+  }
+  const std::size_t n = instance.size();
+  proc_.reserve(n);
+  min_proc_.reserve(n);
+  alpha_.reserve(n);
+  beta_.reserve(n);
+  gamma_.reserve(n);
+  for (const Job& j : instance.jobs()) {
+    proc_.push_back(j.proc);
+    min_proc_.push_back(j.min_proc);
+    alpha_.push_back(j.early);
+    beta_.push_back(j.tardy);
+    gamma_.push_back(j.compress);
+  }
+}
+
+Cost UcddcpEvaluator::Evaluate(std::span<const JobId> seq) const {
+  return raw::EvalUcddcp(static_cast<std::int32_t>(seq.size()), due_date_,
+                         seq.data(), proc_.data(), min_proc_.data(),
+                         alpha_.data(), beta_.data(), gamma_.data())
+      .cost;
+}
+
+raw::EvalResult UcddcpEvaluator::EvaluateDetailed(
+    std::span<const JobId> seq) const {
+  return raw::EvalUcddcp(static_cast<std::int32_t>(seq.size()), due_date_,
+                         seq.data(), proc_.data(), min_proc_.data(),
+                         alpha_.data(), beta_.data(), gamma_.data());
+}
+
+Schedule UcddcpEvaluator::BuildSchedule(std::span<const JobId> seq) const {
+  const auto n = static_cast<std::int32_t>(seq.size());
+  std::vector<Time> x(seq.size());
+  const raw::EvalResult r =
+      raw::EvalUcddcp(n, due_date_, seq.data(), proc_.data(),
+                      min_proc_.data(), alpha_.data(), beta_.data(),
+                      gamma_.data(), x.data());
+  Schedule s;
+  s.order.assign(seq.begin(), seq.end());
+  s.completion.resize(seq.size());
+  s.compression.resize(seq.size());
+  Time c = r.offset;
+  for (std::size_t k = 0; k < seq.size(); ++k) {
+    const auto j = static_cast<std::size_t>(seq[k]);
+    s.compression[k] = x[j];
+    c += proc_[j] - x[j];
+    s.completion[k] = c;
+  }
+  return s;
+}
+
+Cost EvaluateUcddcpSequence(const Instance& instance,
+                            std::span<const JobId> seq) {
+  ValidateSequence(seq, instance.size());
+  return UcddcpEvaluator(instance).Evaluate(seq);
+}
+
+}  // namespace cdd

@@ -1,0 +1,53 @@
+#pragma once
+/// \file eval_ucddcp.hpp
+/// \brief Instance-level interface to the O(n) UCDDCP sequence evaluator
+/// (Awasthi et al. [8]).
+
+#include <span>
+
+#include "core/eval_raw.hpp"
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/sequence.hpp"
+
+namespace cdd {
+
+/// Reusable O(n) evaluator for the Unrestricted Common Due-Date problem with
+/// Controllable Processing Times.  Requires an unrestricted instance
+/// (d >= sum P_i); the constructor enforces this.
+class UcddcpEvaluator {
+ public:
+  explicit UcddcpEvaluator(const Instance& instance);
+
+  /// Optimal cost of \p seq (completion times *and* compressions optimal).
+  Cost Evaluate(std::span<const JobId> seq) const;
+
+  /// Optimal cost plus schedule geometry.
+  raw::EvalResult EvaluateDetailed(std::span<const JobId> seq) const;
+
+  /// Materializes the optimal compressed schedule of \p seq.
+  Schedule BuildSchedule(std::span<const JobId> seq) const;
+
+  std::size_t size() const { return proc_.size(); }
+  Time due_date() const { return due_date_; }
+
+  const Time* proc_data() const { return proc_.data(); }
+  const Time* min_proc_data() const { return min_proc_.data(); }
+  const Cost* alpha_data() const { return alpha_.data(); }
+  const Cost* beta_data() const { return beta_.data(); }
+  const Cost* gamma_data() const { return gamma_.data(); }
+
+ private:
+  Time due_date_;
+  std::vector<Time> proc_;
+  std::vector<Time> min_proc_;
+  std::vector<Cost> alpha_;
+  std::vector<Cost> beta_;
+  std::vector<Cost> gamma_;
+};
+
+/// One-shot convenience wrapper (validates the sequence).
+Cost EvaluateUcddcpSequence(const Instance& instance,
+                            std::span<const JobId> seq);
+
+}  // namespace cdd

@@ -1,0 +1,115 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "core/reference_eval.hpp"
+
+namespace cdd {
+namespace {
+
+ExactResult BruteForce(const Instance& instance,
+                       const std::function<Cost(std::span<const JobId>)>&
+                           evaluate) {
+  if (instance.size() > 10) {
+    throw std::invalid_argument(
+        "BruteForce: refusing n > 10 (factorial blow-up)");
+  }
+  Sequence seq = IdentitySequence(instance.size());
+  ExactResult best;
+  do {
+    const Cost cost = evaluate(seq);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.sequence = seq;
+    }
+  } while (std::next_permutation(seq.begin(), seq.end()));
+  return best;
+}
+
+}  // namespace
+
+ExactResult BruteForceCdd(const Instance& instance) {
+  return BruteForce(instance, [&](std::span<const JobId> seq) {
+    return ReferenceCddCost(instance, seq);
+  });
+}
+
+ExactResult BruteForceUcddcp(const Instance& instance) {
+  return BruteForce(instance, [&](std::span<const JobId> seq) {
+    return ReferenceUcddcpCost(instance, seq);
+  });
+}
+
+ExactResult ExactVShapeCdd(const Instance& instance) {
+  if (!instance.is_unrestricted()) {
+    throw std::invalid_argument(
+        "ExactVShapeCdd: only valid for unrestricted instances");
+  }
+  const std::size_t n = instance.size();
+  if (n > 24) {
+    throw std::invalid_argument("ExactVShapeCdd: refusing n > 24 (2^n)");
+  }
+
+  // Global ratio orders.  Early side: nonincreasing P/alpha (ties broken by
+  // id for determinism); comparing a/b vs c/d as a*d vs c*b keeps integers.
+  Sequence early_order = IdentitySequence(n);
+  std::sort(early_order.begin(), early_order.end(),
+            [&](JobId a, JobId b) {
+              const Job& ja = instance.job(static_cast<std::size_t>(a));
+              const Job& jb = instance.job(static_cast<std::size_t>(b));
+              const Cost lhs = ja.proc * jb.early;
+              const Cost rhs = jb.proc * ja.early;
+              return lhs != rhs ? lhs > rhs : a < b;
+            });
+  // Tardy side: nondecreasing P/beta.
+  Sequence tardy_order = IdentitySequence(n);
+  std::sort(tardy_order.begin(), tardy_order.end(),
+            [&](JobId a, JobId b) {
+              const Job& ja = instance.job(static_cast<std::size_t>(a));
+              const Job& jb = instance.job(static_cast<std::size_t>(b));
+              const Cost lhs = ja.proc * jb.tardy;
+              const Cost rhs = jb.proc * ja.tardy;
+              return lhs != rhs ? lhs < rhs : a < b;
+            });
+
+  ExactResult best;
+  Sequence candidate(n);
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    // Bit set => job is on the early side (completes at or before d).
+    std::size_t pos = 0;
+    for (const JobId id : early_order) {
+      if (mask & (1u << id)) candidate[pos++] = id;
+    }
+    for (const JobId id : tardy_order) {
+      if (!(mask & (1u << id))) candidate[pos++] = id;
+    }
+    // Last early job completes exactly at d; evaluate directly.
+    const Time d = instance.due_date();
+    Time sum_early = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const JobId id = candidate[k];
+      if (mask & (1u << id)) {
+        sum_early += instance.job(static_cast<std::size_t>(id)).proc;
+      }
+    }
+    Cost cost = 0;
+    Time c = d - sum_early;
+    for (std::size_t k = 0; k < n; ++k) {
+      const Job& job =
+          instance.job(static_cast<std::size_t>(candidate[k]));
+      c += job.proc;
+      cost += job.early * std::max<Time>(0, d - c);
+      cost += job.tardy * std::max<Time>(0, c - d);
+    }
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.sequence = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace cdd

@@ -1,0 +1,41 @@
+#pragma once
+/// \file exact.hpp
+/// \brief Exact solvers for small instances — ground truth for the tests.
+///
+/// Two independent exact methods:
+///  * BruteForce* — enumerate all n! sequences (n <= 10 guarded), evaluate
+///    each with the O(n^2) reference oracle.  Slow and unarguable.
+///  * ExactVShapeCdd — for *unrestricted* CDD instances, enumerate the 2^n
+///    early/tardy assignments; within each side the optimal order is the
+///    classic ratio order (early: nonincreasing P/alpha; tardy:
+///    nondecreasing P/beta), so only subsets need enumeration.  Handles
+///    n <= ~20 and independently confirms the brute force.
+
+#include <optional>
+#include <span>
+
+#include "core/instance.hpp"
+#include "core/sequence.hpp"
+#include "core/types.hpp"
+
+namespace cdd {
+
+/// An exact optimum: best sequence and its cost.
+struct ExactResult {
+  Sequence sequence;
+  Cost cost = kInfiniteCost;
+};
+
+/// Exhaustive search over all sequences for the CDD problem.
+/// Throws std::invalid_argument for n > 10 (10! evaluations).
+ExactResult BruteForceCdd(const Instance& instance);
+
+/// Exhaustive search over all sequences for the UCDDCP problem
+/// (unrestricted instances only).  Throws for n > 10.
+ExactResult BruteForceUcddcp(const Instance& instance);
+
+/// Exact solver for unrestricted CDD via V-shape subset enumeration.
+/// Throws std::invalid_argument when the instance is restricted or n > 24.
+ExactResult ExactVShapeCdd(const Instance& instance);
+
+}  // namespace cdd

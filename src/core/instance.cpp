@@ -1,0 +1,112 @@
+#include "core/instance.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace cdd {
+
+Instance::Instance(Problem problem, Time due_date, std::vector<Time> proc,
+                   std::vector<Cost> early, std::vector<Cost> tardy,
+                   std::vector<Time> min_proc, std::vector<Cost> compress)
+    : problem_(problem), due_date_(due_date) {
+  const std::size_t n = proc.size();
+  if (early.size() != n || tardy.size() != n ||
+      (!min_proc.empty() && min_proc.size() != n) ||
+      (!compress.empty() && compress.size() != n)) {
+    throw std::invalid_argument("Instance: parallel arrays differ in length");
+  }
+  jobs_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs_[i].proc = proc[i];
+    jobs_[i].min_proc = min_proc.empty() ? proc[i] : min_proc[i];
+    jobs_[i].early = early[i];
+    jobs_[i].tardy = tardy[i];
+    jobs_[i].compress = compress.empty() ? Cost{0} : compress[i];
+  }
+}
+
+Instance::Instance(Problem problem, Time due_date, std::vector<Job> jobs)
+    : problem_(problem), due_date_(due_date), jobs_(std::move(jobs)) {}
+
+Time Instance::total_processing_time() const {
+  return std::accumulate(jobs_.begin(), jobs_.end(), Time{0},
+                         [](Time acc, const Job& j) { return acc + j.proc; });
+}
+
+Time Instance::total_min_processing_time() const {
+  return std::accumulate(
+      jobs_.begin(), jobs_.end(), Time{0},
+      [](Time acc, const Job& j) { return acc + j.min_proc; });
+}
+
+bool Instance::is_unrestricted() const {
+  return due_date_ >= total_processing_time();
+}
+
+double Instance::restrictiveness() const {
+  const Time total = total_processing_time();
+  return total == 0 ? 0.0
+                    : static_cast<double>(due_date_) /
+                          static_cast<double>(total);
+}
+
+Instance Instance::with_due_date(Time d) const {
+  Instance copy = *this;
+  copy.due_date_ = d;
+  return copy;
+}
+
+Instance Instance::as_cdd() const {
+  Instance copy = *this;
+  copy.problem_ = Problem::kCdd;
+  for (Job& j : copy.jobs_) {
+    j.min_proc = j.proc;
+    j.compress = 0;
+  }
+  return copy;
+}
+
+void Instance::Validate() const {
+  if (jobs_.empty()) {
+    throw std::invalid_argument("Instance: no jobs");
+  }
+  if (due_date_ < 0) {
+    throw std::invalid_argument("Instance: negative due date");
+  }
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Job& j = jobs_[i];
+    std::ostringstream at;
+    at << " (job " << i << ")";
+    if (j.proc < 1) {
+      throw std::invalid_argument("Instance: processing time < 1" + at.str());
+    }
+    if (j.min_proc < 0 || j.min_proc > j.proc) {
+      throw std::invalid_argument(
+          "Instance: minimum processing time outside [0, P_i]" + at.str());
+    }
+    if (j.early < 0 || j.tardy < 0 || j.compress < 0) {
+      throw std::invalid_argument("Instance: negative penalty" + at.str());
+    }
+  }
+  if (problem_ == Problem::kUcddcp && !is_unrestricted()) {
+    throw std::invalid_argument(
+        "Instance: UCDDCP requires d >= sum(P_i) (unrestricted case); use "
+        "Problem::kCddcp for the restricted controllable problem");
+  }
+}
+
+std::string Instance::Summary() const {
+  std::ostringstream os;
+  const char* name = "CDD";
+  if (problem_ == Problem::kUcddcp) name = "UCDDCP";
+  if (problem_ == Problem::kCddcp) name = "CDDCP";
+  os << name << " n=" << size()
+     << " d=" << due_date_;
+  os << " h=";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", restrictiveness());
+  os << buf;
+  return os.str();
+}
+
+}  // namespace cdd

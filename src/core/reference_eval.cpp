@@ -1,0 +1,112 @@
+#include "core/reference_eval.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace cdd {
+namespace {
+
+/// Cost of the no-idle schedule of \p seq starting at \p offset, from first
+/// principles.
+Cost CostAtOffset(const Instance& instance, std::span<const JobId> seq,
+                  Time offset) {
+  const Time d = instance.due_date();
+  Cost cost = 0;
+  Time c = offset;
+  for (const JobId id : seq) {
+    const Job& job = instance.job(static_cast<std::size_t>(id));
+    c += job.proc;
+    cost += job.early * std::max<Time>(0, d - c);
+    cost += job.tardy * std::max<Time>(0, c - d);
+  }
+  return cost;
+}
+
+}  // namespace
+
+Cost ReferenceCddCost(const Instance& instance, std::span<const JobId> seq) {
+  ValidateSequence(seq, instance.size());
+  const Time d = instance.due_date();
+
+  // Candidate offsets: 0, and every offset that puts some completion time
+  // exactly at the due date (Hall, Kubiak & Sethi).
+  Cost best = CostAtOffset(instance, seq, 0);
+  Time prefix = 0;
+  for (const JobId id : seq) {
+    prefix += instance.job(static_cast<std::size_t>(id)).proc;
+    const Time offset = d - prefix;
+    if (offset >= 0) {
+      best = std::min(best, CostAtOffset(instance, seq, offset));
+    }
+  }
+  return best;
+}
+
+Cost ReferenceUcddcpCost(const Instance& instance,
+                         std::span<const JobId> seq) {
+  ValidateSequence(seq, instance.size());
+  if (!instance.is_unrestricted()) {
+    throw std::invalid_argument(
+        "ReferenceUcddcpCost: requires the unrestricted case");
+  }
+  const Time d = instance.due_date();
+  const auto n = static_cast<std::int32_t>(seq.size());
+
+  // For every candidate pinned position r (job at position r completes at d)
+  // decide each job's compression by its exact marginal value and evaluate
+  // the resulting schedule from first principles.
+  Cost best = kInfiniteCost;
+  for (std::int32_t r = 0; r < n; ++r) {
+    std::vector<Time> x(seq.size(), 0);
+
+    // Tardy side: one unit of compression of position k > r lowers the
+    // tardiness of positions k..n-1 by one unit each.
+    Cost suffix_beta = 0;
+    for (std::int32_t k = n - 1; k > r; --k) {
+      const Job& job = instance.job(static_cast<std::size_t>(seq[k]));
+      suffix_beta += job.tardy;
+      if (suffix_beta > job.compress) {
+        x[static_cast<std::size_t>(k)] = job.proc - job.min_proc;
+      }
+    }
+    // Early side: one unit of compression of position k <= r moves every
+    // strictly earlier job one unit closer to d.
+    Cost prefix_alpha = 0;
+    for (std::int32_t k = 0; k <= r; ++k) {
+      const Job& job = instance.job(static_cast<std::size_t>(seq[k]));
+      if (prefix_alpha > job.compress) {
+        x[static_cast<std::size_t>(k)] = job.proc - job.min_proc;
+      }
+      prefix_alpha += job.early;
+    }
+
+    // Evaluate from first principles with position r pinned at d.
+    Time sum_before = 0;
+    for (std::int32_t k = 0; k <= r; ++k) {
+      const Job& job = instance.job(static_cast<std::size_t>(seq[k]));
+      sum_before += job.proc - x[static_cast<std::size_t>(k)];
+    }
+    const Time offset = d - sum_before;
+    if (offset < 0) continue;  // cannot happen when unrestricted; guard.
+
+    Cost cost = 0;
+    Time c = offset;
+    for (std::int32_t k = 0; k < n; ++k) {
+      const Job& job = instance.job(static_cast<std::size_t>(seq[k]));
+      const Time xi = x[static_cast<std::size_t>(k)];
+      c += job.proc - xi;
+      cost += job.early * std::max<Time>(0, d - c);
+      cost += job.tardy * std::max<Time>(0, c - d);
+      cost += job.compress * xi;
+    }
+    best = std::min(best, cost);
+  }
+
+  // Degenerate fall-back (all earliness penalties zero): the uncompressed
+  // left-aligned schedule.
+  best = std::min(best, CostAtOffset(instance, seq, 0));
+  return best;
+}
+
+}  // namespace cdd

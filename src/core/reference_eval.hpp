@@ -1,0 +1,37 @@
+#pragma once
+/// \file reference_eval.hpp
+/// \brief Slow, independent reference evaluators used as correctness oracles.
+///
+/// The O(n) evaluators of eval_raw.hpp are clever; these are dumb on
+/// purpose.  They enumerate every candidate structure the theory allows and
+/// take the minimum, sharing no code with the fast path:
+///
+///  * ReferenceCddCost — Hall et al. [10]: an optimal schedule starts at
+///    t = 0 or has some job completing exactly at d.  Try all n+1 candidate
+///    offsets, each evaluated from first principles: O(n^2).
+///  * ReferenceUcddcpCost — try every candidate due-date position r; for a
+///    fixed r the optimal compressions decompose per job (prefix/suffix
+///    penalty sums), but here we additionally try *both* compression choices
+///    per job via the marginal-cost argument evaluated from first
+///    principles: O(n^2).
+///
+/// The tests cross-check fast == reference on thousands of random instances
+/// and reference == simplex-LP on smaller ones.
+
+#include <span>
+
+#include "core/instance.hpp"
+#include "core/sequence.hpp"
+#include "core/types.hpp"
+
+namespace cdd {
+
+/// O(n^2) oracle for the optimal CDD cost of a fixed sequence.
+Cost ReferenceCddCost(const Instance& instance, std::span<const JobId> seq);
+
+/// O(n^2) oracle for the optimal UCDDCP cost of a fixed sequence.
+/// Requires an unrestricted instance (d >= sum P_i).
+Cost ReferenceUcddcpCost(const Instance& instance,
+                         std::span<const JobId> seq);
+
+}  // namespace cdd

@@ -1,0 +1,109 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdd {
+
+Time StartTime(const Instance& instance, const Schedule& schedule,
+               std::size_t k) {
+  const Job& job = instance.job(static_cast<std::size_t>(schedule.order[k]));
+  const Time x = schedule.compression.empty() ? Time{0}
+                                              : schedule.compression[k];
+  return schedule.completion[k] - (job.proc - x);
+}
+
+Cost EvaluateSchedule(const Instance& instance, const Schedule& schedule) {
+  const Time d = instance.due_date();
+  Cost cost = 0;
+  for (std::size_t k = 0; k < schedule.size(); ++k) {
+    const Job& job = instance.job(static_cast<std::size_t>(schedule.order[k]));
+    const Time c = schedule.completion[k];
+    const Time x =
+        schedule.compression.empty() ? Time{0} : schedule.compression[k];
+    cost += job.early * std::max<Time>(0, d - c);
+    cost += job.tardy * std::max<Time>(0, c - d);
+    cost += job.compress * x;
+  }
+  return cost;
+}
+
+void ValidateSchedule(const Instance& instance, const Schedule& schedule,
+                      bool require_no_idle) {
+  const std::size_t n = instance.size();
+  ValidateSequence(schedule.order, n);
+  if (schedule.completion.size() != n) {
+    throw std::invalid_argument("schedule: completion array length mismatch");
+  }
+  if (!schedule.compression.empty() && schedule.compression.size() != n) {
+    throw std::invalid_argument("schedule: compression array length mismatch");
+  }
+  Time prev_completion = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Job& job = instance.job(static_cast<std::size_t>(schedule.order[k]));
+    const Time x =
+        schedule.compression.empty() ? Time{0} : schedule.compression[k];
+    if (x < 0 || x > job.proc - job.min_proc) {
+      std::ostringstream os;
+      os << "schedule: compression " << x << " outside [0, "
+         << (job.proc - job.min_proc) << "] at position " << k;
+      throw std::invalid_argument(os.str());
+    }
+    const Time effective = job.proc - x;
+    const Time earliest = prev_completion + effective;
+    if (schedule.completion[k] < earliest) {
+      std::ostringstream os;
+      os << "schedule: job at position " << k << " completes at "
+         << schedule.completion[k] << " but cannot finish before " << earliest;
+      throw std::invalid_argument(os.str());
+    }
+    if (require_no_idle && k > 0 && schedule.completion[k] != earliest) {
+      std::ostringstream os;
+      os << "schedule: idle time before position " << k;
+      throw std::invalid_argument(os.str());
+    }
+    prev_completion = schedule.completion[k];
+  }
+}
+
+std::string RenderGantt(const Instance& instance, const Schedule& schedule,
+                        std::size_t max_width) {
+  const std::size_t n = schedule.size();
+  if (n == 0) return "(empty schedule)\n";
+  const Time horizon =
+      std::max(instance.due_date(), schedule.completion.back()) + 1;
+  const double scale =
+      horizon > static_cast<Time>(max_width)
+          ? static_cast<double>(max_width) / static_cast<double>(horizon)
+          : 1.0;
+  const auto col = [&](Time t) {
+    return static_cast<std::size_t>(static_cast<double>(t) * scale);
+  };
+
+  std::ostringstream os;
+  std::string lane(col(horizon) + 1, '.');
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t from = col(StartTime(instance, schedule, k));
+    const std::size_t to = col(schedule.completion[k]);
+    const char glyph = static_cast<char>('A' + (schedule.order[k] % 26));
+    for (std::size_t c = from; c < std::max(to, from + 1); ++c) {
+      lane[c] = glyph;
+    }
+  }
+  const std::size_t dcol = col(instance.due_date());
+  os << lane << "\n";
+  std::string marker(dcol, ' ');
+  os << marker << "^ d=" << instance.due_date() << "\n";
+  for (std::size_t k = 0; k < n && k < 26; ++k) {
+    os << static_cast<char>('A' + (schedule.order[k] % 26)) << "=job"
+       << schedule.order[k] << " C=" << schedule.completion[k];
+    if (!schedule.compression.empty() && schedule.compression[k] > 0) {
+      os << " X=" << schedule.compression[k];
+    }
+    os << (k + 1 == n ? "\n" : "  ");
+  }
+  return os.str();
+}
+
+}  // namespace cdd

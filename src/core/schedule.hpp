@@ -1,0 +1,60 @@
+#pragma once
+/// \file schedule.hpp
+/// \brief Fully materialized schedules: who runs when, and at what cost.
+///
+/// The evaluators in eval_cdd.hpp / eval_ucddcp.hpp only return the optimal
+/// cost of a sequence; a Schedule additionally records the completion time
+/// and compression of every job so that examples, tests and visualisation
+/// can inspect the Gantt structure (Figures 1-6 of the paper).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/sequence.hpp"
+#include "core/types.hpp"
+
+namespace cdd {
+
+/// A concrete single-machine schedule for an Instance.
+///
+/// All vectors are indexed by *position* k (processing order), not job id:
+/// order[k] is the job processed k-th, completion[k] its completion time and
+/// compression[k] the reduction X applied to its processing time.
+struct Schedule {
+  Sequence order;
+  std::vector<Time> completion;
+  std::vector<Time> compression;
+
+  std::size_t size() const { return order.size(); }
+};
+
+/// Start time of the job at position \p k (completion minus effective
+/// processing time P - X of the job scheduled there).
+Time StartTime(const Instance& instance, const Schedule& schedule,
+               std::size_t k);
+
+/// Objective value (1) / (2) of an explicit schedule, computed from first
+/// principles (max(0, d-C), max(0, C-d), gamma*X).  This is intentionally
+/// independent of the O(n) evaluators so tests can cross-check them.
+Cost EvaluateSchedule(const Instance& instance, const Schedule& schedule);
+
+/// \brief Checks feasibility of \p schedule for \p instance and throws
+/// std::invalid_argument on the first violation:
+///  * order is a permutation of the jobs,
+///  * 0 <= X_i <= P_i - M_i,
+///  * completion times strictly ordered with no overlap:
+///    C_k >= C_{k-1} + (P - X) and C_0 >= P - X (machine starts at t >= 0).
+/// CDD optimality additionally implies *no idle time*; pass
+/// \p require_no_idle to enforce equality in the spacing constraints.
+void ValidateSchedule(const Instance& instance, const Schedule& schedule,
+                      bool require_no_idle = false);
+
+/// Renders a small ASCII Gantt chart of the schedule with the due date
+/// marked, mirroring Figures 1-6 of the paper.  Intended for the examples;
+/// schedules wider than \p max_width time units are scaled down.
+std::string RenderGantt(const Instance& instance, const Schedule& schedule,
+                        std::size_t max_width = 100);
+
+}  // namespace cdd

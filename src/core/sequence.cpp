@@ -1,0 +1,44 @@
+#include "core/sequence.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace cdd {
+
+Sequence IdentitySequence(std::size_t n) {
+  Sequence seq(n);
+  std::iota(seq.begin(), seq.end(), JobId{0});
+  return seq;
+}
+
+bool IsPermutation(std::span<const JobId> seq) {
+  std::vector<bool> seen(seq.size(), false);
+  for (const JobId id : seq) {
+    if (id < 0 || static_cast<std::size_t>(id) >= seq.size() || seen[id]) {
+      return false;
+    }
+    seen[id] = true;
+  }
+  return true;
+}
+
+void ValidateSequence(std::span<const JobId> seq, std::size_t n) {
+  if (seq.size() != n) {
+    throw std::invalid_argument("sequence length does not match instance");
+  }
+  if (!IsPermutation(seq)) {
+    throw std::invalid_argument("sequence is not a permutation of the jobs");
+  }
+}
+
+std::size_t HammingDistance(std::span<const JobId> a,
+                            std::span<const JobId> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t dist = std::max(a.size(), b.size()) - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    dist += (a[i] != b[i]) ? 1 : 0;
+  }
+  return dist;
+}
+
+}  // namespace cdd

@@ -1,0 +1,122 @@
+#pragma once
+/// \file sequence.hpp
+/// \brief Job sequences (permutations) and the perturbation primitives used
+/// by every metaheuristic in the library.
+///
+/// A sequence assigns machine positions to jobs: sequence[k] is the id of
+/// the job processed k-th.  The paper's neighbourhood operator (Section VI-B)
+/// picks `Pert` positions uniformly at random and shuffles the jobs found
+/// there with the Fisher–Yates algorithm while every other job keeps its
+/// position; that operator is PartialFisherYates() below.
+
+#include <concepts>
+#include <cstdint>
+#include <random>  // std::uniform_random_bit_generator
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace cdd {
+
+/// A job sequence; element k is the job processed k-th on the machine.
+using Sequence = std::vector<JobId>;
+
+/// Returns the identity sequence (0, 1, ..., n-1).
+Sequence IdentitySequence(std::size_t n);
+
+/// True iff \p seq is a permutation of {0, ..., n-1}.
+bool IsPermutation(std::span<const JobId> seq);
+
+/// Throws std::invalid_argument unless IsPermutation(seq) and seq.size()==n.
+void ValidateSequence(std::span<const JobId> seq, std::size_t n);
+
+/// Uniformly random integer in [0, bound) from a 64-bit generator, using
+/// Lemire's multiply-shift rejection-free mapping (bias is below 2^-32 for
+/// every bound that occurs here; the statistical tests in tests/rng cover
+/// this helper).
+template <std::uniform_random_bit_generator Rng>
+inline std::uint32_t UniformBelow(Rng& rng, std::uint32_t bound) {
+  const std::uint64_t x = static_cast<std::uint32_t>(rng());
+  return static_cast<std::uint32_t>((x * bound) >> 32);
+}
+
+/// Fisher–Yates shuffle of the whole range (Cormen et al. [14]).
+template <std::uniform_random_bit_generator Rng>
+inline void FisherYates(std::span<JobId> seq, Rng& rng) {
+  for (std::size_t i = seq.size(); i > 1; --i) {
+    const std::uint32_t j = UniformBelow(rng, static_cast<std::uint32_t>(i));
+    std::swap(seq[i - 1], seq[j]);
+  }
+}
+
+/// Returns a uniformly random permutation of {0, ..., n-1}.
+template <std::uniform_random_bit_generator Rng>
+inline Sequence RandomSequence(std::size_t n, Rng& rng) {
+  Sequence seq = IdentitySequence(n);
+  FisherYates(std::span<JobId>(seq), rng);
+  return seq;
+}
+
+/// \brief The paper's perturbation operator: choose \p pert distinct
+/// positions uniformly at random and shuffle the jobs at those positions
+/// (Fisher–Yates on the selected sub-sequence); all other jobs stay put.
+///
+/// \p scratch must provide at least \p pert elements of JobId storage and
+/// \p pert elements of position storage; the overload below allocates.
+/// With pert >= seq.size() this degenerates to a full shuffle.
+template <std::uniform_random_bit_generator Rng>
+inline void PartialFisherYates(std::span<JobId> seq, std::uint32_t pert,
+                               Rng& rng, std::span<std::uint32_t> positions,
+                               std::span<JobId> values) {
+  const auto n = static_cast<std::uint32_t>(seq.size());
+  if (n < 2 || pert < 2) return;
+  if (pert > n) pert = n;
+  // Floyd's algorithm would avoid the retry loop, but pert is tiny (4 in the
+  // paper) so rejection sampling of distinct positions is cheap and keeps
+  // the RNG stream layout identical to the GPU kernel implementation.
+  std::uint32_t chosen = 0;
+  while (chosen < pert) {
+    const std::uint32_t p = UniformBelow(rng, n);
+    bool duplicate = false;
+    for (std::uint32_t k = 0; k < chosen; ++k) {
+      if (positions[k] == p) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) positions[chosen++] = p;
+  }
+  for (std::uint32_t k = 0; k < pert; ++k) values[k] = seq[positions[k]];
+  FisherYates(values.subspan(0, pert), rng);
+  for (std::uint32_t k = 0; k < pert; ++k) seq[positions[k]] = values[k];
+}
+
+/// Allocating convenience overload of PartialFisherYates().
+template <std::uniform_random_bit_generator Rng>
+inline void PartialFisherYates(std::span<JobId> seq, std::uint32_t pert,
+                               Rng& rng) {
+  std::vector<std::uint32_t> positions(pert);
+  std::vector<JobId> values(pert);
+  PartialFisherYates(seq, pert, rng, std::span<std::uint32_t>(positions),
+                     std::span<JobId>(values));
+}
+
+/// Swaps two distinct random positions (the F1 "velocity" operator of the
+/// DPSO, Section VII).  No-op for n < 2.
+template <std::uniform_random_bit_generator Rng>
+inline void RandomSwap(std::span<JobId> seq, Rng& rng) {
+  const auto n = static_cast<std::uint32_t>(seq.size());
+  if (n < 2) return;
+  const std::uint32_t i = UniformBelow(rng, n);
+  std::uint32_t j = UniformBelow(rng, n - 1);
+  if (j >= i) ++j;
+  std::swap(seq[i], seq[j]);
+}
+
+/// Number of positions at which two sequences differ (used by the
+/// diversity diagnostics of the sync-vs-async ablation).
+std::size_t HammingDistance(std::span<const JobId> a,
+                            std::span<const JobId> b);
+
+}  // namespace cdd

@@ -1,0 +1,31 @@
+#pragma once
+/// \file types.hpp
+/// \brief Fundamental scalar types shared by every module of the library.
+///
+/// The OR-library benchmark data (Biskup & Feldmann) and the instances of
+/// Awasthi et al. are integral, and both O(n) schedule-evaluation algorithms
+/// only ever add, subtract and compare instance data.  Keeping times and
+/// costs in 64-bit integers makes every evaluation exact and bit-for-bit
+/// reproducible across platforms, which the test suite relies on when it
+/// cross-checks the evaluators against each other and against the LP oracle.
+
+#include <cstdint>
+#include <limits>
+
+namespace cdd {
+
+/// Discrete time unit (processing times, due dates, completion times).
+using Time = std::int64_t;
+
+/// Penalty cost.  Products of a Time and a per-unit penalty fit comfortably:
+/// the largest benchmark has n = 1000, P_i <= 20, penalties <= 15, so the
+/// worst-case objective is far below 2^63.
+using Cost = std::int64_t;
+
+/// Index of a job (0-based everywhere in the code; the paper is 1-based).
+using JobId = std::int32_t;
+
+/// Sentinel for "no cost computed yet" / "infeasible".
+inline constexpr Cost kInfiniteCost = std::numeric_limits<Cost>::max();
+
+}  // namespace cdd

@@ -1,0 +1,63 @@
+#include "core/vshape.hpp"
+
+#include <algorithm>
+
+#include "core/eval_cdd.hpp"
+
+namespace cdd {
+
+bool IsVShaped(const Instance& instance, std::span<const JobId> seq,
+               std::int32_t pinned) {
+  const auto n = static_cast<std::int32_t>(seq.size());
+  // Early side (positions 0..pinned): nonincreasing P/alpha.
+  for (std::int32_t k = 0; k + 1 <= pinned; ++k) {
+    const Job& a = instance.job(static_cast<std::size_t>(seq[k]));
+    const Job& b = instance.job(static_cast<std::size_t>(seq[k + 1]));
+    // P_a/alpha_a >= P_b/alpha_b  <=>  P_a*alpha_b >= P_b*alpha_a
+    if (a.proc * b.early < b.proc * a.early) return false;
+  }
+  // Tardy side (positions pinned+1..n-1): nondecreasing P/beta.
+  for (std::int32_t k = std::max<std::int32_t>(pinned + 1, 0); k + 1 < n;
+       ++k) {
+    const Job& a = instance.job(static_cast<std::size_t>(seq[k]));
+    const Job& b = instance.job(static_cast<std::size_t>(seq[k + 1]));
+    // P_a/beta_a <= P_b/beta_b  <=>  P_a*beta_b <= P_b*beta_a
+    if (a.proc * b.tardy > b.proc * a.tardy) return false;
+  }
+  return true;
+}
+
+bool IsVShaped(const Instance& instance, std::span<const JobId> seq) {
+  const auto detail = CddEvaluator(instance).EvaluateDetailed(seq);
+  return IsVShaped(instance, seq, detail.pinned);
+}
+
+Sequence VShapeSeed(const Instance& instance) {
+  const std::size_t n = instance.size();
+  Sequence early;
+  Sequence tardy;
+  early.reserve(n);
+  tardy.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Job& j = instance.job(i);
+    (j.early <= j.tardy ? early : tardy).push_back(static_cast<JobId>(i));
+  }
+  std::sort(early.begin(), early.end(), [&](JobId a, JobId b) {
+    const Job& ja = instance.job(static_cast<std::size_t>(a));
+    const Job& jb = instance.job(static_cast<std::size_t>(b));
+    const Cost lhs = ja.proc * jb.early;
+    const Cost rhs = jb.proc * ja.early;
+    return lhs != rhs ? lhs > rhs : a < b;
+  });
+  std::sort(tardy.begin(), tardy.end(), [&](JobId a, JobId b) {
+    const Job& ja = instance.job(static_cast<std::size_t>(a));
+    const Job& jb = instance.job(static_cast<std::size_t>(b));
+    const Cost lhs = ja.proc * jb.tardy;
+    const Cost rhs = jb.proc * ja.tardy;
+    return lhs != rhs ? lhs < rhs : a < b;
+  });
+  early.insert(early.end(), tardy.begin(), tardy.end());
+  return early;
+}
+
+}  // namespace cdd

@@ -1,0 +1,36 @@
+#pragma once
+/// \file vshape.hpp
+/// \brief V-shape structure: checker and constructive seed heuristic.
+///
+/// Classic structural result for common due-date problems: there is an
+/// optimal schedule in which the jobs completing at or before d appear in
+/// nonincreasing order of P_i/alpha_i and the jobs completing after d in
+/// nondecreasing order of P_i/beta_i (the Gantt chart looks like a "V"
+/// around the due date).  The exact solver in exact.hpp exploits it; the
+/// property tests verify it on exact optima; VShapeSeed() uses it to build
+/// good initial sequences for the metaheuristics.
+
+#include <span>
+
+#include "core/instance.hpp"
+#include "core/sequence.hpp"
+
+namespace cdd {
+
+/// True iff \p seq is V-shaped around due-date position \p pinned
+/// (0-based position of the job completing at d; -1 treats every job as
+/// tardy).  Ratio comparisons are done in exact integer cross-products.
+bool IsVShaped(const Instance& instance, std::span<const JobId> seq,
+               std::int32_t pinned);
+
+/// Convenience overload: determines the pinned position with the O(n) CDD
+/// evaluator first.
+bool IsVShaped(const Instance& instance, std::span<const JobId> seq);
+
+/// Constructive heuristic: assigns each job to the early side when
+/// alpha_i <= beta_i (being early is cheaper), orders both sides by their
+/// ratio rules and concatenates.  Used to seed metaheuristics; never worse
+/// than random in practice and extremely cheap (O(n log n)).
+Sequence VShapeSeed(const Instance& instance);
+
+}  // namespace cdd

@@ -1,0 +1,346 @@
+#include "cudasim/device.hpp"
+
+#include "cudasim/stream.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdd::sim {
+
+/// Runtime-internal accessor for ThreadCtx's private launch state.
+struct ThreadCtxAccess {
+  static void Init(ThreadCtx& ctx, Dim3 tidx, Dim3 bidx, Dim3 bdim,
+                   Dim3 gdim, std::byte* shared, std::size_t shared_bytes,
+                   const DeviceProperties* props) {
+    ctx.thread_idx = tidx;
+    ctx.block_idx = bidx;
+    ctx.block_dim = bdim;
+    ctx.grid_dim = gdim;
+    ctx.shared_ = shared;
+    ctx.shared_bytes_ = shared_bytes;
+    ctx.work_ = 0;
+    ctx.fiber_ = nullptr;
+    ctx.props_ = props;
+  }
+  static void SetFiber(ThreadCtx& ctx, Fiber* fiber) { ctx.fiber_ = fiber; }
+  static std::uint64_t Work(const ThreadCtx& ctx) { return ctx.work_; }
+};
+
+namespace {
+
+Dim3 UnlinearizeBlock(Dim3 grid, std::size_t lin) {
+  Dim3 idx;
+  idx.x = static_cast<std::uint32_t>(lin % grid.x);
+  const std::size_t rest = lin / grid.x;
+  idx.y = static_cast<std::uint32_t>(rest % grid.y);
+  idx.z = static_cast<std::uint32_t>(rest / grid.y);
+  return idx;
+}
+
+Dim3 UnlinearizeThread(Dim3 block, std::size_t lin) {
+  Dim3 idx;
+  idx.x = static_cast<std::uint32_t>(lin % block.x);
+  const std::size_t rest = lin / block.x;
+  idx.y = static_cast<std::uint32_t>(rest % block.y);
+  idx.z = static_cast<std::uint32_t>(rest / block.y);
+  return idx;
+}
+
+/// Per-worker scratch needed to execute blocks.
+struct WorkerState {
+  FiberPool* pool = nullptr;
+  const DeviceProperties* props = nullptr;
+  std::vector<ThreadCtx> ctxs;
+  std::vector<std::max_align_t> smem;
+};
+
+struct BlockResult {
+  std::uint64_t total_work = 0;
+  std::uint64_t max_work = 0;
+};
+
+/// Executes one block and returns its charge aggregates.
+BlockResult RunOneBlock(Dim3 grid, Dim3 block, std::size_t linear_block,
+                        const LaunchOptions& opts, const KernelFn& kernel,
+                        WorkerState& ws) {
+  const std::size_t tpb = block.count();
+  const Dim3 bidx = UnlinearizeBlock(grid, linear_block);
+
+  // Zeroed dynamic shared memory for this block.
+  const std::size_t smem_cells =
+      (opts.shared_bytes + sizeof(std::max_align_t) - 1) /
+      sizeof(std::max_align_t);
+  if (ws.smem.size() < smem_cells) ws.smem.resize(smem_cells);
+  if (smem_cells > 0) {
+    std::memset(ws.smem.data(), 0, smem_cells * sizeof(std::max_align_t));
+  }
+  std::byte* smem_ptr = reinterpret_cast<std::byte*>(ws.smem.data());
+
+  if (ws.ctxs.size() < tpb) ws.ctxs.resize(tpb);
+  for (std::size_t t = 0; t < tpb; ++t) {
+    ThreadCtxAccess::Init(ws.ctxs[t], UnlinearizeThread(block, t), bidx,
+                          block, grid, smem_ptr, opts.shared_bytes,
+                          ws.props);
+  }
+
+  if (opts.cooperative) {
+    auto& fibers = ws.pool->Acquire(tpb);
+    for (std::size_t t = 0; t < tpb; ++t) {
+      ThreadCtx& ctx = ws.ctxs[t];
+      ThreadCtxAccess::SetFiber(ctx, &fibers[t]);
+      fibers[t].Reset([&kernel, &ctx]() { kernel(ctx); });
+    }
+    std::size_t finished = 0;
+    while (finished < tpb) {
+      std::size_t yielded = 0;
+      for (std::size_t t = 0; t < tpb; ++t) {
+        if (fibers[t].done()) continue;
+        if (fibers[t].Resume()) {
+          ++yielded;
+        } else {
+          fibers[t].RethrowIfFailed();
+          ++finished;
+        }
+      }
+      if (yielded > 0 && finished > 0) {
+        throw GpuError(
+            "__syncthreads divergence in block " + ToString(bidx) +
+            ": some threads exited while others wait at a barrier");
+      }
+    }
+  } else {
+    for (std::size_t t = 0; t < tpb; ++t) {
+      kernel(ws.ctxs[t]);
+    }
+  }
+
+  BlockResult res;
+  for (std::size_t t = 0; t < tpb; ++t) {
+    const std::uint64_t w = ThreadCtxAccess::Work(ws.ctxs[t]);
+    res.total_work += w;
+    res.max_work = std::max(res.max_work, w);
+  }
+  return res;
+}
+
+}  // namespace
+
+void ThreadCtx::syncthreads() {
+  if (fiber_ == nullptr) {
+    if (block_dim.count() == 1) return;  // trivially synchronized
+    throw GpuError(
+        "syncthreads() called in a non-cooperative launch; set "
+        "LaunchOptions::cooperative");
+  }
+  fiber_->Yield();
+}
+
+Device::Device(DeviceProperties props)
+    : props_(std::move(props)), model_(props_) {}
+
+Device::~Device() = default;
+
+void Device::set_worker_threads(unsigned workers) {
+  workers_ = workers == 0 ? 1u : workers;
+}
+
+void Device::ValidateLaunch(Dim3 grid, Dim3 block,
+                            std::size_t shared_bytes) const {
+  if (grid.count() == 0 || block.count() == 0) {
+    throw GpuError("launch: empty grid or block");
+  }
+  if (block.count() > props_.max_threads_per_block) {
+    throw GpuError("launch: " + std::to_string(block.count()) +
+                   " threads per block exceeds device limit " +
+                   std::to_string(props_.max_threads_per_block));
+  }
+  if (block.x > props_.max_block_dim_x || block.y > props_.max_block_dim_y ||
+      block.z > props_.max_block_dim_z) {
+    throw GpuError("launch: block dimension exceeds device limit");
+  }
+  if (grid.x > props_.max_grid_dim_x) {
+    throw GpuError("launch: grid.x exceeds device limit");
+  }
+  if (shared_bytes > props_.shared_mem_per_block) {
+    throw GpuError("launch: " + std::to_string(shared_bytes) +
+                   " bytes of shared memory exceeds per-block limit " +
+                   std::to_string(props_.shared_mem_per_block));
+  }
+}
+
+double Device::ExecuteLaunch(Dim3 grid, Dim3 block,
+                             const LaunchOptions& opts,
+                             const KernelFn& kernel) {
+  ValidateLaunch(grid, block, opts.shared_bytes);
+
+  std::uint64_t total_work = 0;
+  std::uint64_t max_work = 0;
+  if (workers_ <= 1) {
+    RunBlocksSequential(grid, block, opts, kernel, total_work, max_work);
+  } else {
+    RunBlocksParallel(grid, block, opts, kernel, total_work, max_work);
+  }
+
+  const LaunchCharge charge{grid, block, total_work, max_work,
+                            opts.shared_bytes};
+  const double seconds = model_.KernelSeconds(charge);
+  profiler_.RecordKernel(opts.name, grid.count(),
+                         grid.count() * block.count(), total_work, seconds);
+  return seconds;
+}
+
+void Device::Launch(Dim3 grid, Dim3 block, const LaunchOptions& opts,
+                    const KernelFn& kernel) {
+  sim_time_s_ += ExecuteLaunch(grid, block, opts, kernel);
+}
+
+void Device::LaunchAsync(Stream& stream, Dim3 grid, Dim3 block,
+                         const LaunchOptions& opts, const KernelFn& kernel) {
+  if (stream.device_ != this) {
+    throw GpuError("LaunchAsync: stream belongs to another device");
+  }
+  const double seconds = ExecuteLaunch(grid, block, opts, kernel);
+  stream.ready_at_ = std::max(stream.ready_at_, sim_time_s_) + seconds;
+}
+
+void Device::RunBlocksSequential(Dim3 grid, Dim3 block,
+                                 const LaunchOptions& opts,
+                                 const KernelFn& kernel,
+                                 std::uint64_t& total_work,
+                                 std::uint64_t& max_work) {
+  WorkerState ws;
+  FiberPool local_pool(opts.fiber_stack_bytes);
+  ws.props = &props_;
+  ws.pool = &pool_;
+  // A custom stack size forces a dedicated pool (the shared one has fixed
+  // stacks).
+  if (opts.fiber_stack_bytes != 64 * 1024) ws.pool = &local_pool;
+  try {
+    for (std::size_t b = 0; b < grid.count(); ++b) {
+      const BlockResult r = RunOneBlock(grid, block, b, opts, kernel, ws);
+      total_work += r.total_work;
+      max_work = std::max(max_work, r.max_work);
+    }
+  } catch (...) {
+    // Sibling fibers of a failing block remain suspended; drop them so the
+    // shared pool stays usable for future launches.
+    ws.pool->Clear();
+    throw;
+  }
+}
+
+void Device::RunBlocksParallel(Dim3 grid, Dim3 block,
+                               const LaunchOptions& opts,
+                               const KernelFn& kernel,
+                               std::uint64_t& total_work,
+                               std::uint64_t& max_work) {
+  std::atomic<std::size_t> next_block{0};
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<std::uint64_t> maxi{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(workers_, grid.count()));
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back([&]() {
+      WorkerState ws;
+      FiberPool pool(opts.fiber_stack_bytes);
+      ws.props = &props_;
+      ws.pool = &pool;
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t b =
+            next_block.fetch_add(1, std::memory_order_relaxed);
+        if (b >= grid.count()) break;
+        try {
+          const BlockResult r = RunOneBlock(grid, block, b, opts, kernel, ws);
+          total.fetch_add(r.total_work, std::memory_order_relaxed);
+          std::uint64_t seen = maxi.load(std::memory_order_relaxed);
+          while (r.max_work > seen &&
+                 !maxi.compare_exchange_weak(seen, r.max_work,
+                                             std::memory_order_relaxed)) {
+          }
+        } catch (...) {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  total_work = total.load();
+  max_work = maxi.load();
+}
+
+void Device::Synchronize() {
+  // Functionally a no-op (launches are synchronous); charge the fence cost
+  // the paper pays after each generation's four kernels (Section VI-D),
+  // and join every live stream's timeline.
+  for (Stream* stream : streams_) {
+    sim_time_s_ = std::max(sim_time_s_, stream->ready_at_);
+  }
+  sim_time_s_ += props_.launch_overhead_s;
+}
+
+Stream::Stream(Device& device) : device_(&device) {
+  ready_at_ = device.sim_time_s();
+  device.streams_.push_back(this);
+}
+
+Stream::~Stream() {
+  auto& streams = device_->streams_;
+  streams.erase(std::remove(streams.begin(), streams.end(), this),
+                streams.end());
+}
+
+void Stream::Synchronize() {
+  device_->sim_time_s_ = std::max(device_->sim_time_s_, ready_at_);
+}
+
+void Device::RegisterAlloc(std::size_t bytes, bool constant) {
+  if (constant) {
+    if (constant_allocated_ + bytes > props_.constant_mem) {
+      throw GpuError("constant memory exhausted");
+    }
+    constant_allocated_ += bytes;
+    return;
+  }
+  if (allocated_ + bytes > props_.global_mem) {
+    throw GpuError("device global memory exhausted (" +
+                   std::to_string(allocated_ + bytes) + " > " +
+                   std::to_string(props_.global_mem) + " bytes)");
+  }
+  allocated_ += bytes;
+}
+
+void Device::ReleaseAlloc(std::size_t bytes, bool constant) noexcept {
+  if (constant) {
+    constant_allocated_ -= std::min(constant_allocated_, bytes);
+  } else {
+    allocated_ -= std::min(allocated_, bytes);
+  }
+}
+
+void Device::RecordH2D(std::size_t bytes) {
+  const double seconds = model_.TransferSeconds(bytes, true);
+  sim_time_s_ += seconds;
+  profiler_.RecordTransfer(true, bytes, seconds);
+}
+
+void Device::RecordD2H(std::size_t bytes) {
+  const double seconds = model_.TransferSeconds(bytes, false);
+  sim_time_s_ += seconds;
+  profiler_.RecordTransfer(false, bytes, seconds);
+}
+
+}  // namespace cdd::sim

@@ -1,0 +1,222 @@
+#pragma once
+/// \file device.hpp
+/// \brief The simulated GPU: kernel launches, thread contexts, time ledger.
+///
+/// Usage mirrors CUDA host code:
+///
+///   sim::Device gpu(sim::GeForceGT560M());
+///   sim::DeviceBuffer<int> data(gpu, 1024);            // cudaMalloc
+///   data.CopyFromHost(host_span);                      // cudaMemcpy H2D
+///   gpu.Launch({4}, {192}, opts, [&](sim::ThreadCtx& t) {  // kernel<<<4,192>>>
+///     auto* smem = t.shared_as<int>();
+///     ...
+///     t.syncthreads();
+///     t.charge(n);                                     // timing model input
+///   });
+///   gpu.Synchronize();                                 // cudaDeviceSynchronize
+///   data.CopyToHost(host_span);                        // cudaMemcpy D2H
+///
+/// Execution is functionally synchronous and deterministic; the *time* a
+/// launch would have taken on the configured device is produced by the
+/// analytic TimingModel and accumulated in sim_time_s().
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cudasim/device_props.hpp"
+#include "cudasim/dim3.hpp"
+#include "cudasim/error.hpp"
+#include "cudasim/fiber.hpp"
+#include "cudasim/profiler.hpp"
+#include "cudasim/timing_model.hpp"
+
+namespace cdd::sim {
+
+class Device;
+class Stream;
+
+/// Per-simulated-thread view handed to the kernel body.
+class ThreadCtx {
+ public:
+  Dim3 thread_idx;  ///< threadIdx
+  Dim3 block_idx;   ///< blockIdx
+  Dim3 block_dim;   ///< blockDim
+  Dim3 grid_dim;    ///< gridDim
+
+  /// Linear thread index within the block (x fastest).
+  std::uint32_t linear_thread() const {
+    return static_cast<std::uint32_t>(
+        block_dim.linear(thread_idx.x, thread_idx.y, thread_idx.z));
+  }
+  /// Linear block index within the grid.
+  std::size_t linear_block() const {
+    return grid_dim.linear(block_idx.x, block_idx.y, block_idx.z);
+  }
+  /// Grid-global linear thread id (the paper's per-chain index).
+  std::uint64_t global_thread() const {
+    return static_cast<std::uint64_t>(linear_block()) * block_dim.count() +
+           linear_thread();
+  }
+
+  /// Block-wide barrier (__syncthreads).  Only valid in cooperative
+  /// launches; throws GpuError otherwise (a real GPU would hang or corrupt).
+  void syncthreads();
+
+  /// Start of this block's shared memory (zero-initialized per block; note
+  /// that real CUDA leaves shared memory uninitialized).
+  std::byte* shared() const { return shared_; }
+  std::size_t shared_bytes() const { return shared_bytes_; }
+  template <typename T>
+  T* shared_as() const {
+    return reinterpret_cast<T*>(shared_);
+  }
+
+  /// Reports \p units of abstract per-thread work to the timing model
+  /// (roughly: inner-loop iterations executed, memory served from global
+  /// memory / L2 — the baseline cost).
+  void charge(std::uint64_t units) { work_ += units; }
+
+  /// Work units whose memory traffic hits block shared memory (cheaper;
+  /// see DeviceProperties::shared_cost_factor).
+  void charge_shared(std::uint64_t units) {
+    work_ += Scaled(units, props_->shared_cost_factor);
+  }
+  /// Work units served by the read-only texture path's spatial cache.
+  void charge_texture(std::uint64_t units) {
+    work_ += Scaled(units, props_->texture_cost_factor);
+  }
+  /// Work units served by the constant cache's broadcast.
+  void charge_constant(std::uint64_t units) {
+    work_ += Scaled(units, props_->constant_cost_factor);
+  }
+
+  std::uint64_t charged() const { return work_; }
+
+ private:
+  friend class Device;
+  friend struct ThreadCtxAccess;  // runtime-internal initialization
+
+  static std::uint64_t Scaled(std::uint64_t units, double factor) {
+    return static_cast<std::uint64_t>(static_cast<double>(units) * factor +
+                                      0.5);
+  }
+
+  Fiber* fiber_ = nullptr;  // null in non-cooperative launches
+  std::byte* shared_ = nullptr;
+  std::size_t shared_bytes_ = 0;
+  std::uint64_t work_ = 0;
+  const DeviceProperties* props_ = nullptr;
+};
+
+/// Kernel body: invoked once per simulated thread.
+using KernelFn = std::function<void(ThreadCtx&)>;
+
+/// Per-launch options (the <<<grid, block, smem>>> extras).
+struct LaunchOptions {
+  std::string name = "kernel";   ///< profiler key
+  std::size_t shared_bytes = 0;  ///< dynamic shared memory per block
+  /// Cooperative launches run block threads as fibers and support
+  /// syncthreads(); non-cooperative launches run threads as a plain loop
+  /// (faster) and forbid barriers.
+  bool cooperative = false;
+  std::size_t fiber_stack_bytes = 64 * 1024;
+};
+
+/// A simulated GPU device.
+///
+/// Thread-compatibility: a Device may be driven from one host thread at a
+/// time (like a CUDA context).  Internally it may fan blocks out over a
+/// host worker pool; simulated-thread code must only touch per-thread data,
+/// shared memory (within its block) and global memory via atomics.hpp —
+/// the same rules CUDA imposes.
+class Device {
+ public:
+  explicit Device(DeviceProperties props = GeForceGT560M());
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceProperties& properties() const { return props_; }
+
+  /// Launches \p kernel on a grid x block geometry.  Throws GpuError for
+  /// configurations the device cannot run.
+  void Launch(Dim3 grid, Dim3 block, const LaunchOptions& opts,
+              const KernelFn& kernel);
+
+  /// Convenience overload with default options.
+  void Launch(Dim3 grid, Dim3 block, const KernelFn& kernel) {
+    Launch(grid, block, LaunchOptions{}, kernel);
+  }
+
+  /// Launches \p kernel on \p stream: execution is immediate (and
+  /// identical to Launch), but the modeled time accrues to the stream's
+  /// timeline, overlapping other streams and the default timeline.  The
+  /// kernel starts at max(stream.ready_at, current device clock).
+  void LaunchAsync(Stream& stream, Dim3 grid, Dim3 block,
+                   const LaunchOptions& opts, const KernelFn& kernel);
+
+  /// cudaDeviceSynchronize.  Execution is already synchronous; this is the
+  /// fence the paper calls out after the four kernel launches (Section VI-D)
+  /// and it charges the model's synchronization overhead.  When streams
+  /// are live, the device clock additionally advances past every stream's
+  /// ready_at (the overlap point of the stream model).
+  void Synchronize();
+
+  /// Accumulated simulated device-side seconds (kernels + transfers).
+  double sim_time_s() const { return sim_time_s_; }
+  /// Resets the simulated clock (not the profiler).
+  void ResetClock() { sim_time_s_ = 0.0; }
+
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
+  const TimingModel& timing_model() const { return model_; }
+
+  /// Host worker threads used to execute blocks (>=1).  The default is 1,
+  /// which is both deterministic and right for single-core hosts; the
+  /// parallel tests raise it to shake out races.
+  void set_worker_threads(unsigned workers);
+  unsigned worker_threads() const { return workers_; }
+
+  /// Validates a launch configuration without launching (used by the
+  /// launch-config helper and the tests).
+  void ValidateLaunch(Dim3 grid, Dim3 block,
+                      std::size_t shared_bytes) const;
+
+  // --- hooks for DeviceBuffer / ConstantBuffer ---------------------------
+  void RegisterAlloc(std::size_t bytes, bool constant);
+  void ReleaseAlloc(std::size_t bytes, bool constant) noexcept;
+  void RecordH2D(std::size_t bytes);
+  void RecordD2H(std::size_t bytes);
+  std::size_t allocated_bytes() const { return allocated_; }
+
+ private:
+  friend class Stream;
+
+  /// Executes all blocks and returns the modeled kernel seconds (shared by
+  /// Launch and LaunchAsync).
+  double ExecuteLaunch(Dim3 grid, Dim3 block, const LaunchOptions& opts,
+                       const KernelFn& kernel);
+
+  void RunBlocksSequential(Dim3 grid, Dim3 block, const LaunchOptions& opts,
+                           const KernelFn& kernel, std::uint64_t& total_work,
+                           std::uint64_t& max_work);
+  void RunBlocksParallel(Dim3 grid, Dim3 block, const LaunchOptions& opts,
+                         const KernelFn& kernel, std::uint64_t& total_work,
+                         std::uint64_t& max_work);
+
+  DeviceProperties props_;
+  TimingModel model_;
+  Profiler profiler_;
+  double sim_time_s_ = 0.0;
+  unsigned workers_ = 1;
+  std::size_t allocated_ = 0;
+  std::size_t constant_allocated_ = 0;
+  FiberPool pool_;  // reused by sequential launches
+  std::vector<Stream*> streams_;  // live streams (non-owning)
+};
+
+}  // namespace cdd::sim

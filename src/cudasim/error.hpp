@@ -1,0 +1,20 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error type of the GPU-simulator runtime.
+
+#include <stdexcept>
+#include <string>
+
+namespace cdd::sim {
+
+/// Thrown for the conditions a real CUDA runtime reports through
+/// cudaGetLastError (invalid launch configuration, out-of-bounds shared
+/// memory request) and for the conditions that are undefined behaviour on a
+/// real device but detectable here (barrier divergence, syncthreads in a
+/// non-cooperative launch).
+class GpuError : public std::runtime_error {
+ public:
+  explicit GpuError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace cdd::sim

@@ -1,0 +1,100 @@
+#include "cudasim/fiber.hpp"
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace cdd::sim {
+
+struct Fiber::Impl {
+  ucontext_t ctx{};
+  ucontext_t caller{};
+  std::vector<char> stack;
+  std::function<void()> body;
+  std::exception_ptr error;
+  bool finished = true;
+};
+
+namespace {
+
+/// makecontext only passes ints; split a pointer across two of them.
+void Trampoline(unsigned hi, unsigned lo) {
+  const std::uintptr_t bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  auto* impl = reinterpret_cast<Fiber::Impl*>(bits);
+  try {
+    impl->body();
+  } catch (...) {
+    impl->error = std::current_exception();
+  }
+  impl->finished = true;
+  // Returning transfers to ctx.uc_link == &impl->caller.
+}
+
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_bytes) : impl_(std::make_unique<Impl>()) {
+  impl_->stack.resize(stack_bytes < 16 * 1024 ? 16 * 1024 : stack_bytes);
+}
+
+Fiber::~Fiber() = default;
+Fiber::Fiber(Fiber&&) noexcept = default;
+Fiber& Fiber::operator=(Fiber&&) noexcept = default;
+
+void Fiber::Reset(std::function<void()> body) {
+  if (!done_) {
+    throw std::logic_error("Fiber::Reset while fiber is still running");
+  }
+  impl_->body = std::move(body);
+  impl_->error = nullptr;
+  impl_->finished = false;
+  done_ = false;
+
+  if (getcontext(&impl_->ctx) != 0) {
+    throw std::runtime_error("Fiber: getcontext failed");
+  }
+  impl_->ctx.uc_stack.ss_sp = impl_->stack.data();
+  impl_->ctx.uc_stack.ss_size = impl_->stack.size();
+  impl_->ctx.uc_link = &impl_->caller;
+  const auto bits = reinterpret_cast<std::uintptr_t>(impl_.get());
+  makecontext(&impl_->ctx, reinterpret_cast<void (*)()>(&Trampoline), 2,
+              static_cast<unsigned>(bits >> 32),
+              static_cast<unsigned>(bits & 0xffffffffu));
+}
+
+bool Fiber::Resume() {
+  if (done_) {
+    throw std::logic_error("Fiber::Resume on a finished fiber");
+  }
+  if (swapcontext(&impl_->caller, &impl_->ctx) != 0) {
+    throw std::runtime_error("Fiber: swapcontext failed");
+  }
+  done_ = impl_->finished;
+  return !done_;
+}
+
+void Fiber::Yield() {
+  if (swapcontext(&impl_->ctx, &impl_->caller) != 0) {
+    throw std::runtime_error("Fiber: swapcontext failed (yield)");
+  }
+}
+
+void Fiber::RethrowIfFailed() {
+  if (impl_->error) {
+    std::exception_ptr err = impl_->error;
+    impl_->error = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+std::vector<Fiber>& FiberPool::Acquire(std::size_t count) {
+  while (fibers_.size() < count) {
+    fibers_.emplace_back(stack_bytes_);
+  }
+  return fibers_;
+}
+
+}  // namespace cdd::sim

@@ -1,0 +1,169 @@
+#pragma once
+/// \file memory.hpp
+/// \brief Device memory: global buffers and constant-memory symbols.
+///
+/// DeviceBuffer<T> is the simulator's cudaMalloc + cudaMemcpy: allocation is
+/// charged against the device's global memory, every explicit copy is
+/// metered by the timing model and shows up in the profiler — this is how
+/// the benches account for the "back-and-forth" transfers of Figure 9.
+/// Kernels receive raw pointers via data(), exactly as CUDA kernels do.
+///
+/// ConstantBuffer<T> models __constant__ symbols: small, host-writable,
+/// kernel-readable, charged against the 64 KiB constant bank.  The paper
+/// stores the due date d and the job count n there (Section VI).
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "cudasim/device.hpp"
+#include "cudasim/error.hpp"
+
+namespace cdd::sim {
+
+/// RAII global-memory allocation of \p T elements on a Device.
+template <typename T>
+class DeviceBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "device memory holds trivially copyable data only");
+
+ public:
+  DeviceBuffer(Device& device, std::size_t count)
+      : device_(&device), storage_(count) {
+    device_->RegisterAlloc(bytes(), /*constant=*/false);
+  }
+
+  ~DeviceBuffer() {
+    if (device_ != nullptr) {
+      device_->ReleaseAlloc(bytes(), /*constant=*/false);
+    }
+  }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept
+      : device_(other.device_), storage_(std::move(other.storage_)) {
+    other.device_ = nullptr;
+  }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      if (device_ != nullptr) device_->ReleaseAlloc(bytes(), false);
+      device_ = other.device_;
+      storage_ = std::move(other.storage_);
+      other.device_ = nullptr;
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return storage_.size(); }
+  std::size_t bytes() const { return storage_.size() * sizeof(T); }
+
+  /// cudaMemcpyHostToDevice.  Throws GpuError on size mismatch.
+  void CopyFromHost(std::span<const T> host) {
+    if (host.size() != storage_.size()) {
+      throw GpuError("CopyFromHost: size mismatch");
+    }
+    std::memcpy(storage_.data(), host.data(), bytes());
+    device_->RecordH2D(bytes());
+  }
+
+  /// Partial H2D copy of \p host into the buffer starting at \p offset.
+  void CopyFromHost(std::span<const T> host, std::size_t offset) {
+    if (offset + host.size() > storage_.size()) {
+      throw GpuError("CopyFromHost: range out of bounds");
+    }
+    std::memcpy(storage_.data() + offset, host.data(),
+                host.size() * sizeof(T));
+    device_->RecordH2D(host.size() * sizeof(T));
+  }
+
+  /// cudaMemcpyDeviceToHost.  Throws GpuError on size mismatch.
+  void CopyToHost(std::span<T> host) const {
+    if (host.size() != storage_.size()) {
+      throw GpuError("CopyToHost: size mismatch");
+    }
+    std::memcpy(host.data(), storage_.data(), bytes());
+    device_->RecordD2H(bytes());
+  }
+
+  /// Partial D2H copy from the buffer starting at \p offset.
+  void CopyToHost(std::span<T> host, std::size_t offset) const {
+    if (offset + host.size() > storage_.size()) {
+      throw GpuError("CopyToHost: range out of bounds");
+    }
+    std::memcpy(host.data(), storage_.data() + offset,
+                host.size() * sizeof(T));
+    device_->RecordD2H(host.size() * sizeof(T));
+  }
+
+  /// cudaMemset-style fill (no transfer cost; device-side operation).
+  void Fill(const T& value) {
+    std::fill(storage_.begin(), storage_.end(), value);
+  }
+
+  /// Device pointer, for kernels.
+  T* data() { return storage_.data(); }
+  const T* data() const { return storage_.data(); }
+
+ private:
+  Device* device_;
+  std::vector<T> storage_;
+};
+
+/// RAII constant-memory symbol holding \p T elements.
+template <typename T>
+class ConstantBuffer {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  ConstantBuffer(Device& device, std::size_t count)
+      : device_(&device), storage_(count) {
+    device_->RegisterAlloc(storage_.size() * sizeof(T), /*constant=*/true);
+  }
+  ~ConstantBuffer() {
+    if (device_ != nullptr) {
+      device_->ReleaseAlloc(storage_.size() * sizeof(T), /*constant=*/true);
+    }
+  }
+  ConstantBuffer(const ConstantBuffer&) = delete;
+  ConstantBuffer& operator=(const ConstantBuffer&) = delete;
+
+  /// cudaMemcpyToSymbol.
+  void CopyFromHost(std::span<const T> host) {
+    if (host.size() != storage_.size()) {
+      throw GpuError("CopyFromHost(constant): size mismatch");
+    }
+    std::memcpy(storage_.data(), host.data(), host.size() * sizeof(T));
+    device_->RecordH2D(host.size() * sizeof(T));
+  }
+
+  /// Scalar convenience for single-element symbols.
+  void Set(const T& value) { CopyFromHost(std::span<const T>(&value, 1)); }
+
+  std::size_t size() const { return storage_.size(); }
+  const T* data() const { return storage_.data(); }
+  const T& value() const { return storage_[0]; }
+
+ private:
+  Device* device_;
+  std::vector<T> storage_;
+};
+
+/// CUDA-event-style timestamps on the simulated clock.
+class Event {
+ public:
+  /// cudaEventRecord: captures the device's simulated time.
+  void Record(const Device& device) { time_s_ = device.sim_time_s(); }
+  double time_s() const { return time_s_; }
+
+  /// cudaEventElapsedTime (milliseconds between two recorded events).
+  static double ElapsedMs(const Event& start, const Event& stop) {
+    return (stop.time_s_ - start.time_s_) * 1e3;
+  }
+
+ private:
+  double time_s_ = 0.0;
+};
+
+}  // namespace cdd::sim

@@ -1,0 +1,47 @@
+#pragma once
+/// \file stream.hpp
+/// \brief CUDA-stream analogue: independent device timelines that overlap.
+///
+/// The paper's pipeline uses the default stream (all four kernels are
+/// serialized, Section VI-D); streams extend the runtime so independent
+/// work — e.g. solving several benchmark instances on one device — can
+/// overlap in modeled time, exactly like cudaStream_t:
+///
+///   sim::Stream s1(gpu), s2(gpu);
+///   gpu.LaunchAsync(s1, grid, block, opts, kernelA);  // both issued "now"
+///   gpu.LaunchAsync(s2, grid, block, opts, kernelB);
+///   gpu.Synchronize();   // device clock advances by max(A, B), not A+B
+///
+/// Execution remains functionally immediate and deterministic; only the
+/// time accounting differs.  A kernel on stream S starts at
+/// max(S.ready_at, device clock at issue) and S.ready_at moves past it.
+
+#include <cstddef>
+
+namespace cdd::sim {
+
+class Device;
+
+/// An asynchronous device timeline.  Must not outlive its Device.
+class Stream {
+ public:
+  explicit Stream(Device& device);
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Simulated time at which all work queued on this stream has finished.
+  double ready_at() const { return ready_at_; }
+
+  /// cudaStreamSynchronize: the host (device default timeline) waits for
+  /// this stream only.
+  void Synchronize();
+
+ private:
+  friend class Device;
+  Device* device_;
+  double ready_at_ = 0.0;
+};
+
+}  // namespace cdd::sim

@@ -1,0 +1,48 @@
+#pragma once
+/// \file texture.hpp
+/// \brief Read-only texture references — the paper's "future work":
+/// "examine the utilization of the texture memory of the GPU to make use
+/// of its spatial cache" (Section IX).
+///
+/// A TextureRef binds a DeviceBuffer for read-only access through the
+/// texture path.  Functionally the data is identical; the *cost* differs:
+/// kernels account texture-served work with ThreadCtx::charge_texture(),
+/// which applies DeviceProperties::texture_cost_factor — cheaper than
+/// global memory (spatial cache) but not as cheap as explicitly staged
+/// shared memory.  bench_ablation_texture quantifies the three options on
+/// the fitness kernel.
+
+#include "cudasim/error.hpp"
+#include "cudasim/memory.hpp"
+
+namespace cdd::sim {
+
+/// Read-only view of a DeviceBuffer through the texture path.
+///
+/// The referenced buffer must outlive the TextureRef (as a CUDA texture
+/// object must not outlive its backing allocation).
+template <typename T>
+class TextureRef {
+ public:
+  explicit TextureRef(const DeviceBuffer<T>& buffer)
+      : data_(buffer.data()), size_(buffer.size()) {}
+
+  /// tex1Dfetch-style element access (bounds-checked: a real device would
+  /// clamp or return garbage; the simulator fails loudly).
+  const T& Fetch(std::size_t i) const {
+    if (i >= size_) {
+      throw GpuError("TextureRef: fetch out of bounds");
+    }
+    return data_[i];
+  }
+
+  /// Raw pointer for bulk loops; pair reads with charge_texture().
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  const T* data_;
+  std::size_t size_;
+};
+
+}  // namespace cdd::sim

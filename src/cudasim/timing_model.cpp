@@ -1,0 +1,76 @@
+#include "cudasim/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdd::sim {
+
+std::uint64_t TimingModel::Waves(Dim3 grid, Dim3 block) const {
+  const std::uint64_t blocks = grid.count();
+  const std::uint32_t resident = props_.ResidentBlocksPerSm(
+      static_cast<std::uint32_t>(block.count()));
+  const std::uint64_t per_wave =
+      static_cast<std::uint64_t>(props_.sm_count) * std::max(resident, 1u);
+  return (blocks + per_wave - 1) / per_wave;
+}
+
+double TimingModel::KernelSeconds(const LaunchCharge& charge) const {
+  const std::uint64_t blocks = charge.grid.count();
+  const std::uint64_t tpb = charge.block.count();
+  if (blocks == 0 || tpb == 0 || charge.total_work_units == 0) {
+    return props_.launch_overhead_s;
+  }
+
+  // Blocks are scheduled in waves: each SM hosts up to `resident` blocks at
+  // a time, so a launch of B blocks runs as full waves of
+  // sm_count * resident blocks followed by one partial wave.  Within a
+  // wave, every SM time-shares its `cores_per_sm` lanes among the lane-ops
+  // of its resident threads; a thread's lane-ops are its charged work units
+  // (padded to whole warps — lanes in the padding of the last warp of a
+  // block are dead weight).  A wave can never finish faster than its
+  // critical-path thread (latency bound).
+  const std::uint32_t resident =
+      props_.ResidentBlocksPerSm(static_cast<std::uint32_t>(tpb));
+  const std::uint64_t per_wave =
+      static_cast<std::uint64_t>(props_.sm_count) * std::max(resident, 1u);
+
+  const double avg_work = static_cast<double>(charge.total_work_units) /
+                          (static_cast<double>(blocks) *
+                           static_cast<double>(tpb));
+  const std::uint64_t warps =
+      (tpb + props_.warp_size - 1) / props_.warp_size;
+  const double padded_tpb =
+      static_cast<double>(warps) * props_.warp_size;
+  const double thread_cycles = avg_work * props_.cycles_per_work_unit;
+  const double latency_s =
+      static_cast<double>(charge.max_thread_work) *
+      props_.cycles_per_work_unit / props_.clock_hz;
+
+  const auto wave_seconds = [&](std::uint64_t blocks_per_sm) {
+    const double busy = static_cast<double>(blocks_per_sm) * padded_tpb *
+                        thread_cycles /
+                        (static_cast<double>(props_.cores_per_sm) *
+                         props_.clock_hz);
+    return std::max(busy, latency_s);
+  };
+
+  const std::uint64_t full_waves = blocks / per_wave;
+  const std::uint64_t rem = blocks % per_wave;
+  double seconds =
+      static_cast<double>(full_waves) * wave_seconds(resident);
+  if (rem > 0) {
+    const std::uint64_t sm_used =
+        std::min<std::uint64_t>(props_.sm_count, rem);
+    seconds += wave_seconds((rem + sm_used - 1) / sm_used);
+  }
+  return props_.launch_overhead_s + seconds;
+}
+
+double TimingModel::TransferSeconds(std::size_t bytes,
+                                    bool host_to_device) const {
+  const double bw =
+      host_to_device ? props_.h2d_bandwidth : props_.d2h_bandwidth;
+  return props_.transfer_latency_s + static_cast<double>(bytes) / bw;
+}
+
+}  // namespace cdd::sim

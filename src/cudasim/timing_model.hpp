@@ -1,0 +1,53 @@
+#pragma once
+/// \file timing_model.hpp
+/// \brief Analytic performance model of a simulated kernel launch.
+///
+/// The model reproduces the effects the paper reasons about in Section VIII:
+///  * blocks are scheduled in *waves* over the SMs, so pushing the ensemble
+///    size past (SMs x resident blocks) serializes block processing;
+///  * per-thread work (the O(n) evaluators) scales time linearly in n and in
+///    the number of generations (Figure 11);
+///  * host<->device copies pay a latency plus a bandwidth term, which is why
+///    the paper keeps data resident on the device between kernels (Fig 9).
+///
+/// It is a *model*: times are reported as simulated device seconds, never as
+/// host wall-clock.  See DESIGN.md §2 for why this substitution preserves
+/// the paper's claims.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cudasim/device_props.hpp"
+#include "cudasim/dim3.hpp"
+
+namespace cdd::sim {
+
+/// Work observed during one launch, fed to the model by the Device.
+struct LaunchCharge {
+  Dim3 grid;
+  Dim3 block;
+  std::uint64_t total_work_units = 0;  ///< sum over threads of charge()
+  std::uint64_t max_thread_work = 0;   ///< critical path of one thread
+  std::size_t shared_bytes = 0;
+};
+
+/// Stateless evaluator of the analytic model.
+class TimingModel {
+ public:
+  explicit TimingModel(const DeviceProperties& props) : props_(props) {}
+
+  /// Simulated seconds for one kernel launch.
+  double KernelSeconds(const LaunchCharge& charge) const;
+
+  /// Simulated seconds for one host<->device copy of \p bytes.
+  double TransferSeconds(std::size_t bytes, bool host_to_device) const;
+
+  /// Number of scheduling waves of the launch (exposed for tests and the
+  /// block-size ablation).
+  std::uint64_t Waves(Dim3 grid, Dim3 block) const;
+
+ private:
+  DeviceProperties props_;
+};
+
+}  // namespace cdd::sim

@@ -1,0 +1,92 @@
+#include "lp/models.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cdd::lp {
+namespace {
+
+/// Common builder: \p controllable adds the X block.
+LpProblem BuildModel(const Instance& instance, std::span<const JobId> seq,
+                     bool controllable) {
+  ValidateSequence(seq, instance.size());
+  const std::size_t n = instance.size();
+  const double d = static_cast<double>(instance.due_date());
+
+  LpProblem lp;
+  lp.num_vars = controllable ? 4 * n : 3 * n;
+  lp.objective.assign(lp.num_vars, 0.0);
+
+  const auto c_var = [&](std::size_t k) { return k; };
+  const auto e_var = [&](std::size_t k) { return n + k; };
+  const auto t_var = [&](std::size_t k) { return 2 * n + k; };
+  const auto x_var = [&](std::size_t k) { return 3 * n + k; };
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const Job& job = instance.job(static_cast<std::size_t>(seq[k]));
+    lp.objective[e_var(k)] = static_cast<double>(job.early);
+    lp.objective[t_var(k)] = static_cast<double>(job.tardy);
+    if (controllable) {
+      lp.objective[x_var(k)] = static_cast<double>(job.compress);
+    }
+
+    std::vector<double> row(lp.num_vars, 0.0);
+
+    // E_k >= d - C_k    <=>   E_k + C_k >= d
+    row.assign(lp.num_vars, 0.0);
+    row[e_var(k)] = 1.0;
+    row[c_var(k)] = 1.0;
+    lp.Add(row, Relation::kGe, d);
+
+    // T_k >= C_k - d    <=>   T_k - C_k >= -d
+    row.assign(lp.num_vars, 0.0);
+    row[t_var(k)] = 1.0;
+    row[c_var(k)] = -1.0;
+    lp.Add(row, Relation::kGe, -d);
+
+    // Sequencing (idle time allowed):
+    //   C_k - C_{k-1} + X_k >= P_k   (and C_0 + X_0 >= P_0)
+    row.assign(lp.num_vars, 0.0);
+    row[c_var(k)] = 1.0;
+    if (k > 0) row[c_var(k - 1)] = -1.0;
+    if (controllable) row[x_var(k)] = 1.0;
+    lp.Add(row, Relation::kGe, static_cast<double>(job.proc));
+
+    // X_k <= P_k - M_k
+    if (controllable) {
+      row.assign(lp.num_vars, 0.0);
+      row[x_var(k)] = 1.0;
+      lp.Add(row, Relation::kLe,
+             static_cast<double>(job.proc - job.min_proc));
+    }
+  }
+  return lp;
+}
+
+}  // namespace
+
+LpProblem BuildCddModel(const Instance& instance,
+                        std::span<const JobId> seq) {
+  return BuildModel(instance, seq, /*controllable=*/false);
+}
+
+LpProblem BuildUcddcpModel(const Instance& instance,
+                           std::span<const JobId> seq) {
+  return BuildModel(instance, seq, /*controllable=*/true);
+}
+
+Cost SolveSequenceLp(const Instance& instance, std::span<const JobId> seq) {
+  const LpProblem lp = instance.problem() == Problem::kUcddcp
+                           ? BuildUcddcpModel(instance, seq)
+                           : BuildCddModel(instance, seq);
+  const LpSolution sol = SolveSimplex(lp);
+  if (sol.status != LpStatus::kOptimal) {
+    throw std::runtime_error("SolveSequenceLp: simplex did not reach "
+                             "optimality (status " +
+                             std::to_string(static_cast<int>(sol.status)) +
+                             ")");
+  }
+  return static_cast<Cost>(std::llround(sol.objective));
+}
+
+}  // namespace cdd::lp

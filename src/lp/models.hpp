@@ -1,0 +1,42 @@
+#pragma once
+/// \file models.hpp
+/// \brief Fixed-sequence LP models for CDD and UCDDCP.
+///
+/// These are the linear programs of Section III with the binary precedence
+/// variables delta_ij fixed by a given job sequence — exactly the problem
+/// the specialized O(n) algorithms of Section IV solve.  Unlike the O(n)
+/// algorithms, the models do NOT assume "no machine idle time": completion
+/// times are free variables constrained only by
+///     C_k >= C_{k-1} + P_k - X_k   and   C_1 >= P_1 - X_1,
+/// so agreement between the simplex optimum and the O(n) evaluators also
+/// re-verifies the classic no-idle property the algorithms rely on.
+///
+/// Variable layout (positions k = 0..n-1 in sequence order):
+///   C_k  completion times        [0,     n)
+///   E_k  earliness               [n,    2n)
+///   T_k  tardiness               [2n,   3n)
+///   X_k  compression (UCDDCP)    [3n,   4n)
+
+#include <span>
+
+#include "core/instance.hpp"
+#include "core/sequence.hpp"
+#include "lp/simplex.hpp"
+
+namespace cdd::lp {
+
+/// Builds the fixed-sequence CDD LP (variables C, E, T).
+LpProblem BuildCddModel(const Instance& instance,
+                        std::span<const JobId> seq);
+
+/// Builds the fixed-sequence UCDDCP LP (variables C, E, T, X).
+LpProblem BuildUcddcpModel(const Instance& instance,
+                           std::span<const JobId> seq);
+
+/// Solves the appropriate model for the instance's problem and returns the
+/// optimal objective rounded to the nearest integer (the instances are
+/// integral, so the LP optimum is integral up to solver tolerance).
+/// Throws std::runtime_error if the solve does not reach optimality.
+Cost SolveSequenceLp(const Instance& instance, std::span<const JobId> seq);
+
+}  // namespace cdd::lp

@@ -1,0 +1,59 @@
+#include "lp/sequence_evaluator.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace cdd::lp {
+
+LpSequenceEvaluator::LpSequenceEvaluator(const Instance& instance)
+    : instance_(instance),
+      // kUcddcp and kCddcp carry compressibility; plain kCdd does not.
+      controllable_(instance.problem() != Problem::kCdd) {
+  instance_.Validate();
+}
+
+Cost LpSequenceEvaluator::Evaluate(std::span<const JobId> seq) const {
+  const LpProblem lp = controllable_ ? BuildUcddcpModel(instance_, seq)
+                                     : BuildCddModel(instance_, seq);
+  const LpSolution sol = SolveSimplex(lp);
+  if (sol.status != LpStatus::kOptimal) {
+    throw std::runtime_error(
+        "LpSequenceEvaluator: simplex did not reach optimality");
+  }
+  return static_cast<Cost>(std::llround(sol.objective));
+}
+
+Schedule LpSequenceEvaluator::BuildSchedule(
+    std::span<const JobId> seq) const {
+  const std::size_t n = instance_.size();
+  const LpProblem lp = controllable_ ? BuildUcddcpModel(instance_, seq)
+                                     : BuildCddModel(instance_, seq);
+  const LpSolution sol = SolveSimplex(lp);
+  if (sol.status != LpStatus::kOptimal) {
+    throw std::runtime_error(
+        "LpSequenceEvaluator: simplex did not reach optimality");
+  }
+  Schedule schedule;
+  schedule.order.assign(seq.begin(), seq.end());
+  schedule.completion.resize(n);
+  schedule.compression.assign(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    schedule.completion[k] = static_cast<Time>(std::llround(sol.x[k]));
+    if (controllable_) {
+      schedule.compression[k] =
+          static_cast<Time>(std::llround(sol.x[3 * n + k]));
+    }
+  }
+  return schedule;
+}
+
+meta::Objective MakeLpObjective(const Instance& instance) {
+  auto evaluator = std::make_shared<LpSequenceEvaluator>(instance);
+  return meta::Objective(instance.size(),
+                         [evaluator](std::span<const JobId> seq) {
+                           return evaluator->Evaluate(seq);
+                         });
+}
+
+}  // namespace cdd::lp

@@ -1,0 +1,241 @@
+#include "lp/simplex.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cdd::lp {
+
+void LpProblem::Add(std::vector<double> coeffs, Relation rel, double rhs) {
+  if (coeffs.size() != num_vars) {
+    throw std::invalid_argument(
+        "LpProblem::Add: coefficient count does not match num_vars");
+  }
+  constraints.push_back({std::move(coeffs), rel, rhs});
+}
+
+namespace {
+
+/// Dense tableau with an explicit basis.  Columns: structural variables,
+/// then slack/surplus, then artificials, then the RHS.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem, const SimplexOptions& options)
+      : options_(options), m_(problem.constraints.size()) {
+    n_struct_ = problem.num_vars;
+    // Count slack/surplus and artificial columns.
+    std::size_t n_slack = 0;
+    std::size_t n_art = 0;
+    for (const Constraint& c : problem.constraints) {
+      const bool flip = c.rhs < 0.0;
+      const Relation rel = flip ? Flip(c.rel) : c.rel;
+      if (rel != Relation::kEq) ++n_slack;
+      // kGe needs surplus + artificial, kEq needs artificial, kLe only slack.
+      if (rel != Relation::kLe) ++n_art;
+    }
+    n_slack_ = n_slack;
+    n_art_ = n_art;
+    cols_ = n_struct_ + n_slack_ + n_art_ + 1;  // +1 for RHS
+    a_.assign(m_ * cols_, 0.0);
+    basis_.assign(m_, 0);
+
+    std::size_t slack_at = n_struct_;
+    std::size_t art_at = n_struct_ + n_slack_;
+    for (std::size_t r = 0; r < m_; ++r) {
+      const Constraint& c = problem.constraints[r];
+      const bool flip = c.rhs < 0.0;
+      const double sign = flip ? -1.0 : 1.0;
+      const Relation rel = flip ? Flip(c.rel) : c.rel;
+      for (std::size_t j = 0; j < n_struct_; ++j) {
+        At(r, j) = sign * c.coeffs[j];
+      }
+      At(r, cols_ - 1) = sign * c.rhs;
+      switch (rel) {
+        case Relation::kLe:
+          At(r, slack_at) = 1.0;
+          basis_[r] = slack_at++;
+          break;
+        case Relation::kGe:
+          At(r, slack_at) = -1.0;
+          ++slack_at;
+          At(r, art_at) = 1.0;
+          basis_[r] = art_at++;
+          break;
+        case Relation::kEq:
+          At(r, art_at) = 1.0;
+          basis_[r] = art_at++;
+          break;
+      }
+    }
+  }
+
+  /// Runs both phases; returns the final status.
+  LpStatus Solve(const std::vector<double>& objective) {
+    if (n_art_ > 0) {
+      // Phase 1: minimize the sum of artificials.
+      std::vector<double> phase1(cols_ - 1, 0.0);
+      for (std::size_t j = n_struct_ + n_slack_; j < cols_ - 1; ++j) {
+        phase1[j] = 1.0;
+      }
+      const LpStatus s1 = RunPhase(phase1, /*restrict_arts=*/false);
+      if (s1 != LpStatus::kOptimal) return s1;
+      if (Objective(phase1) > options_.eps) return LpStatus::kInfeasible;
+      DriveOutArtificials();
+    }
+    // Phase 2: original objective, artificial columns barred.
+    std::vector<double> phase2(cols_ - 1, 0.0);
+    for (std::size_t j = 0; j < n_struct_; ++j) phase2[j] = objective[j];
+    return RunPhase(phase2, /*restrict_arts=*/true);
+  }
+
+  double Objective(const std::vector<double>& objective) const {
+    double v = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      v += objective[basis_[r]] * AtC(r, cols_ - 1);
+    }
+    return v;
+  }
+
+  std::vector<double> Primal() const {
+    std::vector<double> x(n_struct_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (basis_[r] < n_struct_) x[basis_[r]] = AtC(r, cols_ - 1);
+    }
+    return x;
+  }
+
+ private:
+  static Relation Flip(Relation rel) {
+    switch (rel) {
+      case Relation::kLe:
+        return Relation::kGe;
+      case Relation::kGe:
+        return Relation::kLe;
+      case Relation::kEq:
+        return Relation::kEq;
+    }
+    return rel;
+  }
+
+  double& At(std::size_t r, std::size_t c) { return a_[r * cols_ + c]; }
+  double AtC(std::size_t r, std::size_t c) const { return a_[r * cols_ + c]; }
+
+  /// Reduced cost of column j under \p obj.
+  double ReducedCost(const std::vector<double>& obj, std::size_t j) const {
+    double z = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      z += obj[basis_[r]] * AtC(r, j);
+    }
+    return obj[j] - z;
+  }
+
+  void Pivot(std::size_t pr, std::size_t pc) {
+    const double pivot = At(pr, pc);
+    for (std::size_t c = 0; c < cols_; ++c) At(pr, c) /= pivot;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == pr) continue;
+      const double factor = At(r, pc);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        At(r, c) -= factor * At(pr, c);
+      }
+    }
+    basis_[pr] = pc;
+  }
+
+  LpStatus RunPhase(const std::vector<double>& obj, bool restrict_arts) {
+    const std::size_t limit =
+        restrict_arts ? n_struct_ + n_slack_ : cols_ - 1;
+    for (std::uint64_t it = 0; it < options_.max_iterations; ++it) {
+      // Bland's rule: entering = smallest index with negative reduced cost.
+      std::size_t enter = cols_;
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (ReducedCost(obj, j) < -options_.eps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == cols_) return LpStatus::kOptimal;
+
+      // Leaving: min ratio, ties by smallest basis index (Bland).
+      std::size_t leave = m_;
+      double best_ratio = 0.0;
+      for (std::size_t r = 0; r < m_; ++r) {
+        const double col = AtC(r, enter);
+        if (col <= options_.eps) continue;
+        const double ratio = AtC(r, cols_ - 1) / col;
+        if (leave == m_ || ratio < best_ratio - options_.eps ||
+            (std::abs(ratio - best_ratio) <= options_.eps &&
+             basis_[r] < basis_[leave])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+      if (leave == m_) return LpStatus::kUnbounded;
+      Pivot(leave, enter);
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  /// After phase 1, pivots remaining basic artificials out (or leaves them
+  /// at zero in redundant rows).
+  void DriveOutArtificials() {
+    const std::size_t art_begin = n_struct_ + n_slack_;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (basis_[r] < art_begin) continue;
+      for (std::size_t j = 0; j < art_begin; ++j) {
+        if (std::abs(AtC(r, j)) > options_.eps) {
+          Pivot(r, j);
+          break;
+        }
+      }
+      // Redundant row: the artificial stays basic at value zero; harmless
+      // because phase 2 bars artificial columns from entering.
+    }
+  }
+
+  SimplexOptions options_;
+  std::size_t m_;
+  std::size_t n_struct_ = 0;
+  std::size_t n_slack_ = 0;
+  std::size_t n_art_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> a_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveSimplex(const LpProblem& problem,
+                        const SimplexOptions& options) {
+  if (problem.objective.size() != problem.num_vars) {
+    throw std::invalid_argument("SolveSimplex: objective size mismatch");
+  }
+  LpSolution solution;
+  if (problem.constraints.empty()) {
+    // Unconstrained nonnegative minimization: x = 0 unless a negative cost
+    // makes it unbounded.
+    for (const double c : problem.objective) {
+      if (c < 0.0) {
+        solution.status = LpStatus::kUnbounded;
+        return solution;
+      }
+    }
+    solution.status = LpStatus::kOptimal;
+    solution.objective = 0.0;
+    solution.x.assign(problem.num_vars, 0.0);
+    return solution;
+  }
+
+  Tableau tableau(problem, options);
+  solution.status = tableau.Solve(problem.objective);
+  if (solution.status == LpStatus::kOptimal) {
+    solution.x = tableau.Primal();
+    solution.objective = 0.0;
+    for (std::size_t j = 0; j < problem.num_vars; ++j) {
+      solution.objective += problem.objective[j] * solution.x[j];
+    }
+  }
+  return solution;
+}
+
+}  // namespace cdd::lp

@@ -1,0 +1,60 @@
+#pragma once
+/// \file simplex.hpp
+/// \brief Dense two-phase primal simplex solver.
+///
+/// Section IV of the paper motivates the specialized O(n) algorithms by the
+/// cost of "LP solvers ... run iteratively on some general heuristic
+/// algorithm".  This module is that general LP solver: the fixed-sequence
+/// CDD/UCDDCP linear programs (lp/models.hpp) are solved with it in the
+/// tests (as an independent correctness oracle for the O(n) algorithms) and
+/// in bench_micro_eval (to regenerate the latency comparison).
+///
+/// Implementation notes: dense tableau, two-phase method with artificial
+/// variables, Bland's anti-cycling rule, configurable iteration cap.
+/// Intended problem sizes are a few hundred variables — plenty for n <= 50
+/// job sequences, tiny by LP standards, and deliberately simple.
+
+#include <cstdint>
+#include <vector>
+
+namespace cdd::lp {
+
+/// Relation of one constraint row.
+enum class Relation { kLe, kGe, kEq };
+
+/// One constraint: coeffs . x  (rel)  rhs.
+struct Constraint {
+  std::vector<double> coeffs;
+  Relation rel = Relation::kLe;
+  double rhs = 0.0;
+};
+
+/// minimize c . x  subject to constraints, x >= 0.
+struct LpProblem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;       ///< c, size num_vars
+  std::vector<Constraint> constraints;
+
+  /// Appends a constraint (validates coefficient count).
+  void Add(std::vector<double> coeffs, Relation rel, double rhs);
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< primal values, size num_vars
+};
+
+/// Solver options.
+struct SimplexOptions {
+  std::uint64_t max_iterations = 100000;
+  double eps = 1e-9;  ///< pivot / feasibility tolerance
+};
+
+/// Solves \p problem with the two-phase primal simplex.
+LpSolution SolveSimplex(const LpProblem& problem,
+                        const SimplexOptions& options = {});
+
+}  // namespace cdd::lp

@@ -1,0 +1,61 @@
+#pragma once
+/// \file cooling.hpp
+/// \brief Cooling schedules for Simulated Annealing.
+///
+/// The paper uses the exponential schedule T <- T * mu with mu = 0.88,
+/// "inferred from our experiments over a range of cooling rates"
+/// (Section VI); bench_ablation_sa_params regenerates that sweep.  Linear
+/// and logarithmic schedules are provided for the comparison.
+
+#include <cmath>
+#include <cstdint>
+
+namespace cdd::meta {
+
+enum class CoolingKind {
+  kExponential,  ///< T_k = T_0 * mu^k (the paper's schedule)
+  kLinear,       ///< T_k = T_0 * (1 - k/K)
+  kLogarithmic,  ///< T_k = T_0 / log(k + e)
+};
+
+/// Stateless temperature schedule: maps iteration k to a temperature.
+class CoolingSchedule {
+ public:
+  CoolingSchedule(CoolingKind kind, double t0, double mu,
+                  std::uint64_t horizon)
+      : kind_(kind), t0_(t0), mu_(mu), horizon_(horizon == 0 ? 1 : horizon) {}
+
+  static CoolingSchedule Exponential(double t0, double mu) {
+    return {CoolingKind::kExponential, t0, mu, 1};
+  }
+  static CoolingSchedule Linear(double t0, std::uint64_t horizon) {
+    return {CoolingKind::kLinear, t0, 0.0, horizon};
+  }
+  static CoolingSchedule Logarithmic(double t0) {
+    return {CoolingKind::kLogarithmic, t0, 0.0, 1};
+  }
+
+  double operator()(std::uint64_t k) const {
+    switch (kind_) {
+      case CoolingKind::kExponential:
+        return t0_ * std::pow(mu_, static_cast<double>(k));
+      case CoolingKind::kLinear:
+        return t0_ * (1.0 - static_cast<double>(k) /
+                                static_cast<double>(horizon_));
+      case CoolingKind::kLogarithmic:
+        return t0_ / std::log(static_cast<double>(k) + 2.718281828459045);
+    }
+    return t0_;
+  }
+
+  double initial() const { return t0_; }
+  CoolingKind kind() const { return kind_; }
+
+ private:
+  CoolingKind kind_;
+  double t0_;
+  double mu_;
+  std::uint64_t horizon_;
+};
+
+}  // namespace cdd::meta

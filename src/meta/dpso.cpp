@@ -1,0 +1,82 @@
+#include "meta/dpso.hpp"
+
+#include <chrono>
+
+#include "meta/ops.hpp"
+#include "rng/philox.hpp"
+
+namespace cdd::meta {
+
+RunResult RunSerialDpso(const Objective& objective,
+                        const DpsoParams& params) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::size_t n = objective.size();
+  rng::Philox4x32 rng(params.seed, /*stream=*/0xd9500ULL);
+
+  struct Particle {
+    Sequence position;
+    Cost cost;
+    Sequence best;
+    Cost best_cost;
+  };
+
+  RunResult result;
+  std::vector<Particle> swarm(params.swarm);
+  for (Particle& p : swarm) {
+    p.position = RandomSequence(n, rng);
+    p.cost = objective(p.position);
+    ++result.evaluations;
+    p.best = p.position;
+    p.best_cost = p.cost;
+    if (p.best_cost < result.best_cost) {
+      result.best_cost = p.best_cost;
+      result.best = p.best;
+    }
+  }
+
+  Sequence scratch;
+  for (std::uint64_t it = 0; it < params.iterations; ++it) {
+    for (Particle& p : swarm) {
+      // w (+) F1: swap velocity.
+      if (rng.NextUniform() < params.w) {
+        RandomSwap(std::span<JobId>(p.position), rng);
+      }
+      // c1 (+) F2: one-point crossover with the particle best.
+      if (rng.NextUniform() < params.c1) {
+        OnePointCrossover(p.position, p.best, rng, scratch);
+        p.position.swap(scratch);
+      }
+      // c2 (+) F3: two-point crossover with the swarm best.
+      if (rng.NextUniform() < params.c2) {
+        TwoPointCrossover(p.position, result.best, rng, scratch);
+        p.position.swap(scratch);
+      }
+      p.cost = objective(p.position);
+      ++result.evaluations;
+      if (p.cost < p.best_cost) {
+        p.best_cost = p.cost;
+        p.best = p.position;
+      }
+    }
+    // Swarm best is updated once per generation (Algorithm 2 line 5), so
+    // every particle of a generation sees the same g(t).
+    for (const Particle& p : swarm) {
+      if (p.best_cost < result.best_cost) {
+        result.best_cost = p.best_cost;
+        result.best = p.best;
+      }
+    }
+    if (params.trajectory_stride > 0 &&
+        it % params.trajectory_stride == 0) {
+      result.trajectory.push_back(result.best_cost);
+    }
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  return result;
+}
+
+}  // namespace cdd::meta

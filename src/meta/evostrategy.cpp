@@ -1,0 +1,70 @@
+#include "meta/evostrategy.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "rng/philox.hpp"
+
+namespace cdd::meta {
+
+RunResult RunEvolutionStrategy(const Objective& objective,
+                               const EsParams& params) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::size_t n = objective.size();
+  rng::Philox4x32 rng(params.seed, /*stream=*/0xe5ULL);
+
+  struct Individual {
+    Sequence genome;
+    Cost cost;
+  };
+
+  RunResult result;
+  std::vector<Individual> population;
+  population.reserve(params.mu + params.lambda);
+  for (std::uint32_t i = 0; i < params.mu; ++i) {
+    Individual ind;
+    ind.genome = RandomSequence(n, rng);
+    ind.cost = objective(ind.genome);
+    ++result.evaluations;
+    population.push_back(std::move(ind));
+  }
+
+  std::vector<std::uint32_t> positions(params.pert);
+  std::vector<JobId> values(params.pert);
+
+  for (std::uint64_t g = 0; g < params.generations; ++g) {
+    const std::size_t parents = population.size();
+    for (std::uint32_t k = 0; k < params.lambda; ++k) {
+      const std::uint32_t pick =
+          UniformBelow(rng, static_cast<std::uint32_t>(parents));
+      Individual child;
+      child.genome = population[pick].genome;
+      PartialFisherYates(std::span<JobId>(child.genome), params.pert, rng,
+                         std::span<std::uint32_t>(positions),
+                         std::span<JobId>(values));
+      child.cost = objective(child.genome);
+      ++result.evaluations;
+      population.push_back(std::move(child));
+    }
+    // Plus-selection: keep the best mu individuals (stable for determinism).
+    std::stable_sort(population.begin(), population.end(),
+                     [](const Individual& a, const Individual& b) {
+                       return a.cost < b.cost;
+                     });
+    population.resize(params.mu);
+    if (params.trajectory_stride > 0 &&
+        g % params.trajectory_stride == 0) {
+      result.trajectory.push_back(population.front().cost);
+    }
+  }
+
+  result.best = population.front().genome;
+  result.best_cost = population.front().cost;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  return result;
+}
+
+}  // namespace cdd::meta

@@ -1,0 +1,31 @@
+#pragma once
+/// \file evostrategy.hpp
+/// \brief (mu + lambda) Evolution Strategy — the second Feldmann & Biskup
+/// [18]-style CPU baseline.
+///
+/// mu parents produce lambda offspring per generation by partial
+/// Fisher–Yates mutation; the best mu of parents + offspring survive
+/// (elitist plus-selection).
+
+#include <cstdint>
+
+#include "meta/objective.hpp"
+#include "meta/result.hpp"
+
+namespace cdd::meta {
+
+/// Parameters of a (mu + lambda)-ES run.
+struct EsParams {
+  std::uint64_t generations = 200;
+  std::uint32_t mu = 10;      ///< parents kept per generation
+  std::uint32_t lambda = 40;  ///< offspring per generation
+  std::uint32_t pert = 4;     ///< mutation strength (shuffled positions)
+  std::uint64_t seed = 1;
+  std::uint32_t trajectory_stride = 0;
+};
+
+/// Runs the serial evolution strategy.
+RunResult RunEvolutionStrategy(const Objective& objective,
+                               const EsParams& params);
+
+}  // namespace cdd::meta

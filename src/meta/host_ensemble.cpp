@@ -1,0 +1,75 @@
+#include "meta/host_ensemble.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "meta/temperature.hpp"
+
+namespace cdd::meta {
+
+RunResult RunHostEnsembleSa(const Objective& objective,
+                            const HostEnsembleParams& params) {
+  const auto t_start = std::chrono::steady_clock::now();
+
+  // Resolve the initial temperature once so every chain shares the ladder
+  // (and the Salamon sampling is not repeated per chain).
+  SaParams chain = params.chain;
+  if (chain.initial_temperature <= 0.0) {
+    chain.initial_temperature =
+        InitialTemperature(objective, chain.temp_samples, chain.seed);
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned workers = std::min<unsigned>(
+      params.threads == 0 ? std::max(hw, 1u) : params.threads,
+      std::max(params.chains, 1u));
+
+  std::atomic<std::uint32_t> next{0};
+  std::mutex best_mutex;
+  RunResult best;
+  std::uint32_t best_chain = std::numeric_limits<std::uint32_t>::max();
+  std::atomic<std::uint64_t> evaluations{0};
+
+  const auto worker = [&]() {
+    for (;;) {
+      const std::uint32_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= params.chains) break;
+      SaParams mine = chain;
+      mine.seed = chain.seed + c;  // chain-id keyed: thread-count invariant
+      const RunResult result = RunSerialSa(objective, mine);
+      evaluations.fetch_add(result.evaluations,
+                            std::memory_order_relaxed);
+      const std::scoped_lock lock(best_mutex);
+      // Ties break toward the lower chain id so the outcome does not
+      // depend on scheduling.
+      if (result.best_cost < best.best_cost ||
+          (result.best_cost == best.best_cost && c < best_chain)) {
+        best.best = result.best;
+        best.best_cost = result.best_cost;
+        best_chain = c;
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  best.evaluations = evaluations.load();
+  best.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  return best;
+}
+
+}  // namespace cdd::meta

@@ -1,0 +1,33 @@
+#pragma once
+/// \file host_ensemble.hpp
+/// \brief Multi-core CPU ensemble SA — the baseline the paper never ran.
+///
+/// The paper compares its GPU ensembles against *single-threaded* CPU
+/// implementations.  A fair modern question is how far plain std::thread
+/// parallelism gets: this runs the same asynchronous multi-chain SA
+/// (identical per-chain algorithm and Philox streams as the GPU version's
+/// chains) across host threads and reduces the best result.
+/// bench_ablation_host_ensemble compares it against the modeled GPU.
+
+#include <cstdint>
+
+#include "meta/objective.hpp"
+#include "meta/result.hpp"
+#include "meta/sa.hpp"
+
+namespace cdd::meta {
+
+/// Parameters of the host-parallel ensemble.
+struct HostEnsembleParams {
+  std::uint32_t chains = 64;    ///< independent SA chains
+  std::uint32_t threads = 0;    ///< host threads; 0 = hardware_concurrency
+  SaParams chain;               ///< per-chain SA configuration
+};
+
+/// Runs `chains` independent SA chains over a host thread pool and returns
+/// the best result.  Deterministic in (seed, chains) — independent of the
+/// thread count — because chain c uses seed chain.seed + c.
+RunResult RunHostEnsembleSa(const Objective& objective,
+                            const HostEnsembleParams& params);
+
+}  // namespace cdd::meta

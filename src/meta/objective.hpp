@@ -1,0 +1,58 @@
+#pragma once
+/// \file objective.hpp
+/// \brief Sequence-level objective shared by all metaheuristics.
+///
+/// Layer (i) of the paper's two-layered approach searches over job
+/// sequences; the objective of that search is "optimal schedule cost of the
+/// sequence", provided by the O(n) evaluators of layer (ii).  Objective
+/// packages that as a value type so SA / DPSO / TA / ES are written once
+/// for both problems.
+
+#include <functional>
+#include <stdexcept>
+#include <memory>
+#include <span>
+
+#include "core/eval_cdd.hpp"
+#include "core/eval_ucddcp.hpp"
+#include "core/instance.hpp"
+
+namespace cdd::meta {
+
+/// Callable objective over job sequences (lower is better).
+class Objective {
+ public:
+  using Fn = std::function<Cost(std::span<const JobId>)>;
+
+  Objective(std::size_t n, Fn fn) : n_(n), fn_(std::move(fn)) {}
+
+  /// Builds the appropriate O(n) evaluator for the instance's problem.
+  /// Problem::kCddcp has no O(n) evaluator — use lp::MakeLpObjective.
+  static Objective ForInstance(const Instance& instance) {
+    if (instance.problem() == Problem::kCddcp) {
+      throw std::invalid_argument(
+          "Objective::ForInstance: the restricted controllable problem has "
+          "no O(n) evaluator; build the objective with lp::MakeLpObjective");
+    }
+    if (instance.problem() == Problem::kUcddcp) {
+      auto eval = std::make_shared<UcddcpEvaluator>(instance);
+      return Objective(instance.size(),
+                       [eval](std::span<const JobId> seq) {
+                         return eval->Evaluate(seq);
+                       });
+    }
+    auto eval = std::make_shared<CddEvaluator>(instance);
+    return Objective(instance.size(), [eval](std::span<const JobId> seq) {
+      return eval->Evaluate(seq);
+    });
+  }
+
+  Cost operator()(std::span<const JobId> seq) const { return fn_(seq); }
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  Fn fn_;
+};
+
+}  // namespace cdd::meta

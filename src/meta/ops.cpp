@@ -1,0 +1,56 @@
+#include "meta/ops.hpp"
+
+#include <cassert>
+
+namespace cdd::meta {
+namespace {
+
+/// Fills every position of \p child that is not marked used, left to right,
+/// with the jobs of \p donor not in \p used, in donor order.
+void FillFromDonor(std::span<const JobId> donor, Sequence& child,
+                   std::vector<bool>& used_job,
+                   std::vector<bool>& used_pos) {
+  std::size_t write = 0;
+  for (const JobId job : donor) {
+    if (used_job[static_cast<std::size_t>(job)]) continue;
+    while (write < child.size() && used_pos[write]) ++write;
+    assert(write < child.size());
+    child[write] = job;
+    used_pos[write] = true;
+    used_job[static_cast<std::size_t>(job)] = true;
+  }
+}
+
+}  // namespace
+
+void OnePointCrossover(std::span<const JobId> p1, std::span<const JobId> p2,
+                       std::size_t cut, Sequence& child) {
+  const std::size_t n = p1.size();
+  assert(p2.size() == n && cut <= n);
+  child.resize(n);
+  std::vector<bool> used_job(n, false);
+  std::vector<bool> used_pos(n, false);
+  for (std::size_t k = 0; k < cut; ++k) {
+    child[k] = p1[k];
+    used_pos[k] = true;
+    used_job[static_cast<std::size_t>(p1[k])] = true;
+  }
+  FillFromDonor(p2, child, used_job, used_pos);
+}
+
+void TwoPointCrossover(std::span<const JobId> p1, std::span<const JobId> p2,
+                       std::size_t a, std::size_t b, Sequence& child) {
+  const std::size_t n = p1.size();
+  assert(p2.size() == n && a <= b && b <= n);
+  child.resize(n);
+  std::vector<bool> used_job(n, false);
+  std::vector<bool> used_pos(n, false);
+  for (std::size_t k = a; k < b; ++k) {
+    child[k] = p1[k];
+    used_pos[k] = true;
+    used_job[static_cast<std::size_t>(p1[k])] = true;
+  }
+  FillFromDonor(p2, child, used_job, used_pos);
+}
+
+}  // namespace cdd::meta

@@ -1,0 +1,50 @@
+#pragma once
+/// \file ops.hpp
+/// \brief Permutation crossover operators of the DPSO (Pan et al. [15]).
+///
+/// The DPSO position update (Section VII, Eq. 3) composes three operators:
+///   F1 — random swap ("velocity"), provided by RandomSwap() in core,
+///   F2 — one-point crossover with the particle's best position,
+///   F3 — two-point crossover with the swarm's best position.
+/// Both crossovers preserve permutation validity: positions taken from the
+/// first parent keep their place, every remaining job enters in the order it
+/// appears in the second parent.
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/sequence.hpp"
+
+namespace cdd::meta {
+
+/// One-point crossover: child = p1[0..cut) ++ (jobs missing, in p2 order).
+/// \p cut must be in [0, n].  Writes into \p child (resized to n).
+void OnePointCrossover(std::span<const JobId> p1, std::span<const JobId> p2,
+                       std::size_t cut, Sequence& child);
+
+/// Two-point crossover: child keeps p1[a..b) in place; all other positions
+/// are filled left to right with the remaining jobs in p2 order.
+/// Requires 0 <= a <= b <= n.
+void TwoPointCrossover(std::span<const JobId> p1, std::span<const JobId> p2,
+                       std::size_t a, std::size_t b, Sequence& child);
+
+/// Randomized convenience wrappers drawing the cut points uniformly.
+template <std::uniform_random_bit_generator Rng>
+void OnePointCrossover(std::span<const JobId> p1, std::span<const JobId> p2,
+                       Rng& rng, Sequence& child) {
+  const auto n = static_cast<std::uint32_t>(p1.size());
+  OnePointCrossover(p1, p2, UniformBelow(rng, n + 1), child);
+}
+
+template <std::uniform_random_bit_generator Rng>
+void TwoPointCrossover(std::span<const JobId> p1, std::span<const JobId> p2,
+                       Rng& rng, Sequence& child) {
+  const auto n = static_cast<std::uint32_t>(p1.size());
+  std::uint32_t a = UniformBelow(rng, n + 1);
+  std::uint32_t b = UniformBelow(rng, n + 1);
+  if (a > b) std::swap(a, b);
+  TwoPointCrossover(p1, p2, a, b, child);
+}
+
+}  // namespace cdd::meta

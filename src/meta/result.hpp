@@ -1,0 +1,24 @@
+#pragma once
+/// \file result.hpp
+/// \brief Common result record of one metaheuristic run.
+
+#include <vector>
+
+#include "core/sequence.hpp"
+#include "core/types.hpp"
+
+namespace cdd::meta {
+
+/// Outcome of a single optimization run.
+struct RunResult {
+  Sequence best;                  ///< best sequence found
+  Cost best_cost = kInfiniteCost; ///< its objective value
+  std::uint64_t evaluations = 0;  ///< objective calls performed
+  double wall_seconds = 0.0;      ///< measured host wall-clock time
+  /// Best-so-far cost sampled every `trajectory_stride` iterations when the
+  /// caller requested a trajectory (empty otherwise).  Used by the
+  /// convergence ablations.
+  std::vector<Cost> trajectory;
+};
+
+}  // namespace cdd::meta

@@ -1,0 +1,79 @@
+#include "meta/sa.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "meta/temperature.hpp"
+#include "rng/philox.hpp"
+
+namespace cdd::meta {
+
+RunResult RunSerialSa(const Objective& objective, const SaParams& params,
+                      const std::optional<Sequence>& initial) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::size_t n = objective.size();
+  rng::Philox4x32 rng(params.seed, /*stream=*/0x5a5a5a5aULL);
+
+  RunResult result;
+
+  Sequence current =
+      initial.has_value() ? *initial : RandomSequence(n, rng);
+  Cost energy = objective(current);
+  result.evaluations = 1;
+  result.best = current;
+  result.best_cost = energy;
+
+  const double t0 =
+      params.initial_temperature > 0.0
+          ? params.initial_temperature
+          : InitialTemperature(objective, params.temp_samples, params.seed);
+  const CoolingSchedule schedule(params.cooling, t0, params.mu,
+                                 params.iterations);
+
+  Sequence candidate = current;
+  std::vector<std::uint32_t> positions(params.pert);
+  std::vector<JobId> values(params.pert);
+
+  const std::uint32_t period = std::max(params.shuffle_period, 1u);
+  for (std::uint64_t i = 0; i < params.iterations; ++i) {
+    const double temperature = schedule(i);
+    candidate = current;
+    if (params.neighborhood == NeighborhoodMode::kShuffleEveryIteration ||
+        i % period == 0) {
+      PartialFisherYates(std::span<JobId>(candidate), params.pert, rng,
+                         std::span<std::uint32_t>(positions),
+                         std::span<JobId>(values));
+    } else {
+      RandomSwap(std::span<JobId>(candidate), rng);
+    }
+    const Cost new_energy = objective(candidate);
+    ++result.evaluations;
+
+    // Metropolis: always accept improvements; accept uphill moves with
+    // probability exp((E - E_new)/T)  (Algorithm 1, line 7).
+    const double u = rng.NextUniform();
+    const double accept =
+        std::exp(static_cast<double>(energy - new_energy) /
+                 std::max(temperature, 1e-300));
+    if (accept >= u) {
+      current.swap(candidate);
+      energy = new_energy;
+      if (energy < result.best_cost) {
+        result.best_cost = energy;
+        result.best = current;
+      }
+    }
+    if (params.trajectory_stride > 0 &&
+        i % params.trajectory_stride == 0) {
+      result.trajectory.push_back(result.best_cost);
+    }
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  return result;
+}
+
+}  // namespace cdd::meta

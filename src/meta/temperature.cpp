@@ -1,0 +1,29 @@
+#include "meta/temperature.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/philox.hpp"
+
+namespace cdd::meta {
+
+double InitialTemperature(const Objective& objective, std::uint64_t samples,
+                          std::uint64_t seed) {
+  rng::Philox4x32 rng(seed, /*stream=*/0x70DEADBEEFULL);
+  Sequence seq = IdentitySequence(objective.size());
+  // Welford's online algorithm: numerically stable single pass.
+  double mean = 0.0;
+  double m2 = 0.0;
+  for (std::uint64_t k = 1; k <= samples; ++k) {
+    FisherYates(std::span<JobId>(seq), rng);
+    const double value = static_cast<double>(objective(seq));
+    const double delta = value - mean;
+    mean += delta / static_cast<double>(k);
+    m2 += delta * (value - mean);
+  }
+  const double variance =
+      samples > 1 ? m2 / static_cast<double>(samples - 1) : 0.0;
+  return std::max(1.0, std::sqrt(variance));
+}
+
+}  // namespace cdd::meta

@@ -1,0 +1,24 @@
+#pragma once
+/// \file temperature.hpp
+/// \brief Initial-temperature selection for Simulated Annealing.
+///
+/// The paper takes T_0 as the standard deviation of the fitness of 5000
+/// random job sequences, following Salamon, Sibani & Frost [13]
+/// (Section VI).  The same procedure seeds both the serial and the
+/// GPU-parallel SA so their temperature ladders are comparable.
+
+#include <cstdint>
+
+#include "meta/objective.hpp"
+
+namespace cdd::meta {
+
+/// Standard deviation of the objective over \p samples uniformly random
+/// sequences, drawn with a Philox stream derived from \p seed.
+/// Returns at least 1.0 so the metropolis rule never divides by zero on
+/// degenerate instances (e.g. all penalties equal).
+double InitialTemperature(const Objective& objective,
+                          std::uint64_t samples = 5000,
+                          std::uint64_t seed = 0x5eed);
+
+}  // namespace cdd::meta

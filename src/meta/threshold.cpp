@@ -1,0 +1,63 @@
+#include "meta/threshold.hpp"
+
+#include <chrono>
+
+#include "meta/temperature.hpp"
+#include "rng/philox.hpp"
+
+namespace cdd::meta {
+
+RunResult RunThresholdAccepting(const Objective& objective,
+                                const TaParams& params,
+                                const std::optional<Sequence>& initial) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::size_t n = objective.size();
+  rng::Philox4x32 rng(params.seed, /*stream=*/0x7aULL);
+
+  RunResult result;
+  Sequence current = initial.has_value() ? *initial : RandomSequence(n, rng);
+  Cost energy = objective(current);
+  result.evaluations = 1;
+  result.best = current;
+  result.best_cost = energy;
+
+  double threshold =
+      params.initial_threshold > 0.0
+          ? params.initial_threshold
+          : 0.5 * InitialTemperature(objective, params.temp_samples,
+                                     params.seed);
+
+  Sequence candidate = current;
+  std::vector<std::uint32_t> positions(params.pert);
+  std::vector<JobId> values(params.pert);
+
+  for (std::uint64_t i = 0; i < params.iterations; ++i) {
+    candidate = current;
+    PartialFisherYates(std::span<JobId>(candidate), params.pert, rng,
+                       std::span<std::uint32_t>(positions),
+                       std::span<JobId>(values));
+    const Cost new_energy = objective(candidate);
+    ++result.evaluations;
+    if (static_cast<double>(new_energy - energy) <= threshold) {
+      current.swap(candidate);
+      energy = new_energy;
+      if (energy < result.best_cost) {
+        result.best_cost = energy;
+        result.best = current;
+      }
+    }
+    threshold *= params.decay;
+    if (params.trajectory_stride > 0 &&
+        i % params.trajectory_stride == 0) {
+      result.trajectory.push_back(result.best_cost);
+    }
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  return result;
+}
+
+}  // namespace cdd::meta

@@ -1,0 +1,38 @@
+#pragma once
+/// \file threshold.hpp
+/// \brief Threshold Accepting — one of the Feldmann & Biskup [18] CPU
+/// baselines the paper compares its speed-ups against.
+///
+/// TA is SA with a deterministic acceptance rule: a candidate is accepted
+/// iff E_new - E <= threshold, with the threshold shrinking geometrically.
+/// It needs no random acceptance draw, which made it popular for
+/// due-date scheduling (Feldmann & Biskup report it among their best
+/// heuristics).
+
+#include <cstdint>
+#include <optional>
+
+#include "meta/objective.hpp"
+#include "meta/result.hpp"
+
+namespace cdd::meta {
+
+/// Parameters of a Threshold Accepting run.
+struct TaParams {
+  std::uint64_t iterations = 1000;
+  /// Initial acceptance threshold; <= 0 derives it from the fitness spread
+  /// of `temp_samples` random sequences (half a standard deviation).
+  double initial_threshold = 0.0;
+  double decay = 0.88;  ///< geometric threshold decay per iteration
+  std::uint32_t pert = 4;
+  std::uint64_t temp_samples = 2000;
+  std::uint64_t seed = 1;
+  std::uint32_t trajectory_stride = 0;
+};
+
+/// Runs serial Threshold Accepting.
+RunResult RunThresholdAccepting(
+    const Objective& objective, const TaParams& params,
+    const std::optional<Sequence>& initial = std::nullopt);
+
+}  // namespace cdd::meta

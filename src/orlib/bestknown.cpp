@@ -1,0 +1,70 @@
+#include "orlib/bestknown.hpp"
+
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace cdd::orlib {
+
+bool BestKnownRegistry::Update(const std::string& key, Cost cost) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    values_.emplace(key, cost);
+    return true;
+  }
+  if (cost < it->second) {
+    it->second = cost;
+    return true;
+  }
+  return false;
+}
+
+std::optional<Cost> BestKnownRegistry::Find(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+double BestKnownRegistry::PercentDeviation(const std::string& key,
+                                           Cost cost) const {
+  const auto best = Find(key);
+  if (!best.has_value()) {
+    throw std::out_of_range("BestKnownRegistry: no entry for " + key);
+  }
+  if (*best == 0) {
+    return cost == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(cost - *best) / static_cast<double>(*best) *
+         100.0;
+}
+
+void BestKnownRegistry::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("BestKnownRegistry: cannot write " + path);
+  }
+  out << "instance,cost\n";
+  for (const auto& [key, cost] : values_) {
+    out << key << "," << cost << "\n";
+  }
+}
+
+void BestKnownRegistry::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;  // absent cache is fine
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) continue;
+    const std::string key = line.substr(0, comma);
+    try {
+      const Cost cost = std::stoll(line.substr(comma + 1));
+      Update(key, cost);
+    } catch (const std::exception&) {
+      // Skip malformed rows; the cache is advisory.
+    }
+  }
+}
+
+}  // namespace cdd::orlib

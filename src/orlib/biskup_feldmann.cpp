@@ -1,0 +1,84 @@
+#include "orlib/biskup_feldmann.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+#include "core/sequence.hpp"  // UniformBelow
+#include "rng/philox.hpp"
+
+namespace cdd::orlib {
+namespace {
+
+/// Uniform integer in {lo..hi} from a Philox stream.
+Time UniformInt(rng::Philox4x32& rng, Time lo, Time hi) {
+  const auto range = static_cast<std::uint32_t>(hi - lo + 1);
+  return lo + static_cast<Time>(cdd::UniformBelow(rng, range));
+}
+
+/// Dedicated stream per (n, k, purpose) so adding purposes never perturbs
+/// previously generated data.
+enum class Purpose : std::uint64_t { kCddJobs = 1, kUcddcpExtension = 2 };
+
+rng::Philox4x32 StreamFor(std::uint64_t seed, std::uint32_t n,
+                          std::uint32_t k, Purpose purpose) {
+  const std::uint64_t stream =
+      (static_cast<std::uint64_t>(purpose) << 56) |
+      (static_cast<std::uint64_t>(n) << 24) | k;
+  return rng::Philox4x32(seed, stream);
+}
+
+}  // namespace
+
+BiskupFeldmannGenerator::BiskupFeldmannGenerator(std::uint64_t seed)
+    : seed_(seed) {}
+
+std::vector<Job> BiskupFeldmannGenerator::JobData(std::uint32_t n,
+                                                  std::uint32_t k) const {
+  rng::Philox4x32 rng = StreamFor(seed_, n, k, Purpose::kCddJobs);
+  std::vector<Job> jobs(n);
+  for (Job& j : jobs) {
+    j.proc = UniformInt(rng, 1, 20);
+    j.min_proc = j.proc;
+    j.early = UniformInt(rng, 1, 10);
+    j.tardy = UniformInt(rng, 1, 15);
+    j.compress = 0;
+  }
+  return jobs;
+}
+
+Instance BiskupFeldmannGenerator::Cdd(std::uint32_t n, std::uint32_t k,
+                                      double h) const {
+  std::vector<Job> jobs = JobData(n, k);
+  const Time total = std::accumulate(
+      jobs.begin(), jobs.end(), Time{0},
+      [](Time acc, const Job& j) { return acc + j.proc; });
+  const Time d = static_cast<Time>(h * static_cast<double>(total));
+  return Instance(Problem::kCdd, d, std::move(jobs));
+}
+
+Instance BiskupFeldmannGenerator::Ucddcp(std::uint32_t n,
+                                         std::uint32_t k) const {
+  std::vector<Job> jobs = JobData(n, k);
+  rng::Philox4x32 rng = StreamFor(seed_, n, k, Purpose::kUcddcpExtension);
+  Time total = 0;
+  for (Job& j : jobs) {
+    j.min_proc = UniformInt(rng, 1, j.proc);
+    j.compress = UniformInt(rng, 1, 10);
+    total += j.proc;
+  }
+  return Instance(Problem::kUcddcp, total, std::move(jobs));
+}
+
+std::string CddKey(std::uint32_t n, std::uint32_t k, double h) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "cdd-n%u-k%u-h%.2f", n, k, h);
+  return buf;
+}
+
+std::string UcddcpKey(std::uint32_t n, std::uint32_t k) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "ucddcp-n%u-k%u", n, k);
+  return buf;
+}
+
+}  // namespace cdd::orlib

@@ -1,0 +1,71 @@
+#pragma once
+/// \file biskup_feldmann.hpp
+/// \brief Re-implementation of the Biskup & Feldmann benchmark generator
+/// behind the OR-library CDD instances [17], [18], plus the UCDDCP
+/// extension of Awasthi et al. [8].
+///
+/// The published benchmark set draws, per job,
+///   P_i ~ U{1..20},  alpha_i ~ U{1..10},  beta_i ~ U{1..15},
+/// and derives the common due date from a restrictiveness factor h:
+///   d = floor(h * sum P_i),  h in {0.2, 0.4, 0.6, 0.8},
+/// with 10 instances (k = 0..9) per job count n in
+/// {10, 20, 50, 100, 200, 500, 1000}.  The paper reports averages over the
+/// 40 = 10 x 4 instances of each n (Tables II-V).
+///
+/// This environment has no network access to the OR-library, so the
+/// generator reproduces the distributions (DESIGN.md §2); genuine sch files
+/// can be loaded through schfile.hpp instead.  Instances are deterministic
+/// in (seed, n, k): every run of every binary sees the same benchmark.
+///
+/// UCDDCP extension: the unrestricted due date d = sum P_i, minimum
+/// processing times M_i ~ U{1..P_i} and compression penalties
+/// gamma_i ~ U{1..10}.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace cdd::orlib {
+
+/// Job counts of the published benchmark (Tables II-V of the paper).
+inline constexpr std::array<std::uint32_t, 7> kPaperSizes = {
+    10, 20, 50, 100, 200, 500, 1000};
+
+/// Restrictiveness factors of the published benchmark.
+inline constexpr std::array<double, 4> kPaperH = {0.2, 0.4, 0.6, 0.8};
+
+/// Instances per (n, h) pair in the published benchmark.
+inline constexpr std::uint32_t kPaperInstancesPerSize = 10;
+
+/// Deterministic benchmark generator.
+class BiskupFeldmannGenerator {
+ public:
+  explicit BiskupFeldmannGenerator(std::uint64_t seed = 20160523);
+
+  /// Per-job data of benchmark instance (n, k); k is the instance index.
+  /// Pure CDD data (M_i = P_i, gamma_i = 0).
+  std::vector<Job> JobData(std::uint32_t n, std::uint32_t k) const;
+
+  /// CDD instance (n, k) with due date d = floor(h * sum P_i).
+  Instance Cdd(std::uint32_t n, std::uint32_t k, double h) const;
+
+  /// UCDDCP instance (n, k): same P/alpha/beta as the CDD instance, plus
+  /// M_i ~ U{1..P_i}, gamma_i ~ U{1..10}, and the unrestricted due date
+  /// d = sum P_i.
+  Instance Ucddcp(std::uint32_t n, std::uint32_t k) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Canonical string key of a benchmark instance, used by the best-known
+/// registry and the experiment logs (e.g. "cdd-n50-k3-h0.60",
+/// "ucddcp-n200-k7").
+std::string CddKey(std::uint32_t n, std::uint32_t k, double h);
+std::string UcddcpKey(std::uint32_t n, std::uint32_t k);
+
+}  // namespace cdd::orlib

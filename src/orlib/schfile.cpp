@@ -1,0 +1,144 @@
+#include "orlib/schfile.hpp"
+
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace cdd::orlib {
+namespace {
+
+/// Line-oriented token reader that tracks line numbers for diagnostics.
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream& in) : in_(in) {}
+
+  /// Next whitespace-separated integer token; throws SchParseError at EOF
+  /// or on a non-numeric token.
+  long long NextInt(const char* what) {
+    std::string token;
+    for (;;) {
+      if (!(line_stream_ >> token)) {
+        if (!std::getline(in_, line_)) {
+          throw SchParseError(std::string("unexpected end of file, wanted ") +
+                                  what,
+                              line_no_);
+        }
+        ++line_no_;
+        line_stream_.clear();
+        line_stream_.str(line_);
+        continue;
+      }
+      break;
+    }
+    try {
+      std::size_t pos = 0;
+      const long long value = std::stoll(token, &pos);
+      if (pos != token.size()) throw std::invalid_argument(token);
+      return value;
+    } catch (const std::exception&) {
+      throw SchParseError("expected integer for " + std::string(what) +
+                              ", got '" + token + "'",
+                          line_no_);
+    }
+  }
+
+  std::size_t line() const { return line_no_; }
+
+ private:
+  std::istream& in_;
+  std::string line_;
+  std::istringstream line_stream_;
+  std::size_t line_no_ = 0;
+};
+
+std::vector<JobTable> ParseFile(std::istream& in, int columns) {
+  TokenReader reader(in);
+  const long long count = reader.NextInt("instance count");
+  if (count < 1 || count > 1'000'000) {
+    throw SchParseError("implausible instance count " +
+                            std::to_string(count),
+                        reader.line());
+  }
+  std::vector<JobTable> tables;
+  tables.reserve(static_cast<std::size_t>(count));
+  for (long long inst = 0; inst < count; ++inst) {
+    const long long n = reader.NextInt("job count");
+    if (n < 1 || n > 10'000'000) {
+      throw SchParseError("implausible job count " + std::to_string(n),
+                          reader.line());
+    }
+    JobTable jobs(static_cast<std::size_t>(n));
+    for (Job& j : jobs) {
+      j.proc = reader.NextInt("processing time");
+      if (columns == 5) {
+        j.min_proc = reader.NextInt("minimum processing time");
+      } else {
+        j.min_proc = j.proc;
+      }
+      j.early = reader.NextInt("earliness penalty");
+      j.tardy = reader.NextInt("tardiness penalty");
+      j.compress = columns == 5 ? reader.NextInt("compression penalty") : 0;
+      if (j.proc < 1) {
+        throw SchParseError("processing time must be >= 1", reader.line());
+      }
+      if (j.min_proc < 0 || j.min_proc > j.proc) {
+        throw SchParseError("minimum processing time outside [0, p]",
+                            reader.line());
+      }
+      if (j.early < 0 || j.tardy < 0 || j.compress < 0) {
+        throw SchParseError("negative penalty", reader.line());
+      }
+    }
+    tables.push_back(std::move(jobs));
+  }
+  return tables;
+}
+
+}  // namespace
+
+std::vector<JobTable> ParseCddFile(std::istream& in) {
+  return ParseFile(in, 3);
+}
+
+std::vector<JobTable> ParseUcddcpFile(std::istream& in) {
+  return ParseFile(in, 5);
+}
+
+void WriteCddFile(std::ostream& out, const std::vector<JobTable>& tables) {
+  out << tables.size() << "\n";
+  for (const JobTable& jobs : tables) {
+    out << jobs.size() << "\n";
+    for (const Job& j : jobs) {
+      out << j.proc << " " << j.early << " " << j.tardy << "\n";
+    }
+  }
+}
+
+void WriteUcddcpFile(std::ostream& out, const std::vector<JobTable>& tables) {
+  out << tables.size() << "\n";
+  for (const JobTable& jobs : tables) {
+    out << jobs.size() << "\n";
+    for (const Job& j : jobs) {
+      out << j.proc << " " << j.min_proc << " " << j.early << " " << j.tardy
+          << " " << j.compress << "\n";
+    }
+  }
+}
+
+Instance MakeCddInstance(const JobTable& jobs, double h) {
+  const Time total = std::accumulate(
+      jobs.begin(), jobs.end(), Time{0},
+      [](Time acc, const Job& j) { return acc + j.proc; });
+  const Time d = static_cast<Time>(h * static_cast<double>(total));
+  return Instance(Problem::kCdd, d, jobs);
+}
+
+Instance MakeUcddcpInstance(const JobTable& jobs) {
+  const Time total = std::accumulate(
+      jobs.begin(), jobs.end(), Time{0},
+      [](Time acc, const Job& j) { return acc + j.proc; });
+  return Instance(Problem::kUcddcp, total, jobs);
+}
+
+}  // namespace cdd::orlib

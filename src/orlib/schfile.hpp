@@ -1,0 +1,67 @@
+#pragma once
+/// \file schfile.hpp
+/// \brief Reader/writer for OR-library "sch" benchmark files.
+///
+/// CDD format (OR-library `schN` files, Biskup & Feldmann):
+///
+///   K                      number of instances in the file
+///   n                      jobs of instance 1
+///   p_1 a_1 b_1            processing time, earliness and tardiness penalty
+///   ...                    (n rows)
+///   n                      jobs of instance 2
+///   ...
+///
+/// The due date is not stored; it derives from the restrictiveness factor h
+/// as d = floor(h * sum p_i), exactly as the OR-library documents.
+///
+/// UCDDCP extension format (this library's, for the instances of Awasthi
+/// et al. [8]): same framing with five columns per job,
+///   p_i m_i a_i b_i g_i
+/// and the unrestricted due date d = sum p_i.
+///
+/// Parse errors throw SchParseError with a line number.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace cdd::orlib {
+
+/// Error raised for malformed benchmark files.
+class SchParseError : public std::runtime_error {
+ public:
+  SchParseError(const std::string& what, std::size_t line)
+      : std::runtime_error("sch parse error (line " + std::to_string(line) +
+                           "): " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Job table of one parsed instance (no due date yet for CDD files).
+using JobTable = std::vector<Job>;
+
+/// Parses a CDD sch file (3 columns per job).
+std::vector<JobTable> ParseCddFile(std::istream& in);
+
+/// Parses a UCDDCP file (5 columns per job).
+std::vector<JobTable> ParseUcddcpFile(std::istream& in);
+
+/// Writes job tables in CDD sch format.
+void WriteCddFile(std::ostream& out, const std::vector<JobTable>& tables);
+
+/// Writes job tables in the UCDDCP 5-column format.
+void WriteUcddcpFile(std::ostream& out, const std::vector<JobTable>& tables);
+
+/// Materializes a CDD instance from a parsed table and an h factor.
+Instance MakeCddInstance(const JobTable& jobs, double h);
+
+/// Materializes a UCDDCP instance from a parsed table (d = sum p_i).
+Instance MakeUcddcpInstance(const JobTable& jobs);
+
+}  // namespace cdd::orlib

@@ -1,0 +1,192 @@
+#include "parallel/detail.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/eval_raw.hpp"
+#include "cudasim/atomics.hpp"
+#include "parallel/kernels_raw.hpp"
+
+namespace cdd::par::detail {
+
+std::vector<JobId> MakeInitialSequences(std::uint32_t ensemble,
+                                        std::int32_t n, std::uint64_t seed,
+                                        const Sequence* base) {
+  std::vector<JobId> host(static_cast<std::size_t>(ensemble) * n);
+  for (std::uint32_t t = 0; t < ensemble; ++t) {
+    JobId* row = host.data() + static_cast<std::size_t>(t) * n;
+    rng::Philox4x32 rng =
+        raw::MakeStream(seed, /*generation=*/0, raw::RngPhase::kInit, t);
+    if (base == nullptr) {
+      for (std::int32_t i = 0; i < n; ++i) row[i] = i;
+      FisherYates(std::span<JobId>(row, static_cast<std::size_t>(n)), rng);
+    } else {
+      for (std::int32_t i = 0; i < n; ++i) row[i] = (*base)[i];
+      if (t > 0) {
+        std::uint32_t positions[8];
+        JobId values[8];
+        raw::PerturbRaw(row, n, 4, rng, positions, values);
+      }
+    }
+  }
+  return host;
+}
+
+void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
+                   const LaunchConfig& config, const JobId* seqs,
+                   Cost* costs, const char* kernel_name,
+                   PenaltyMemory memory) {
+  const std::int32_t n = problem.n();
+  const Time d = problem.due_date();
+  const std::uint32_t ensemble = config.ensemble();
+  const bool controllable = problem.controllable();
+  const Time* proc = problem.proc();
+  const Time* min_proc = problem.min_proc();
+  const Cost* g_alpha = problem.alpha();
+  const Cost* g_beta = problem.beta();
+  const Cost* gamma = problem.gamma();
+
+  const std::size_t shared_bytes = problem.shared_bytes();
+  const bool use_shared =
+      memory == PenaltyMemory::kShared &&
+      shared_bytes <= device.properties().shared_mem_per_block;
+
+  sim::LaunchOptions opts;
+  opts.name = kernel_name;
+  opts.cooperative = use_shared;  // the barrier guards the staging phase
+  opts.shared_bytes = use_shared ? shared_bytes : 0;
+
+  device.Launch(
+      config.grid(), config.block(), opts, [=](sim::ThreadCtx& t) {
+        const Cost* alpha = g_alpha;
+        const Cost* beta = g_beta;
+        if (use_shared) {
+          // Cooperative staging: linear block => disjoint strided writes,
+          // then one barrier before anyone reads (Section VI-A).
+          Cost* s_alpha = t.shared_as<Cost>();
+          Cost* s_beta = s_alpha + n;
+          const auto tpb = static_cast<std::int32_t>(t.block_dim.count());
+          for (std::int32_t i =
+                   static_cast<std::int32_t>(t.linear_thread());
+               i < n; i += tpb) {
+            s_alpha[i] = g_alpha[i];
+            s_beta[i] = g_beta[i];
+          }
+          t.syncthreads();
+          alpha = s_alpha;
+          beta = s_beta;
+          t.charge(static_cast<std::uint64_t>(n) / t.block_dim.count() +
+                   1);
+        }
+        const std::uint64_t tid = t.global_thread();
+        if (tid >= ensemble) return;
+        const JobId* seq = seqs + tid * n;
+        cdd::raw::EvalResult r;
+        // Charge split: sequence/processing-time traffic is always global;
+        // the two penalty streams go through the selected memory path.
+        std::uint64_t other_units;
+        std::uint64_t penalty_units;
+        if (controllable) {
+          r = cdd::raw::EvalUcddcp(n, d, seq, proc, min_proc, alpha, beta,
+                                   gamma);
+          other_units = 3 * static_cast<std::uint64_t>(n);
+          penalty_units = 2 * static_cast<std::uint64_t>(n);
+        } else {
+          r = cdd::raw::EvalCdd(n, d, seq, proc, alpha, beta);
+          other_units = static_cast<std::uint64_t>(n);
+          penalty_units = 2 * static_cast<std::uint64_t>(n);
+        }
+        t.charge(other_units);
+        switch (memory) {
+          case PenaltyMemory::kShared:
+            if (use_shared) {
+              t.charge_shared(penalty_units);
+            } else {
+              t.charge(penalty_units);  // fell back to global
+            }
+            break;
+          case PenaltyMemory::kTexture:
+            t.charge_texture(penalty_units);
+            break;
+          case PenaltyMemory::kGlobal:
+            t.charge(penalty_units);
+            break;
+        }
+        costs[tid] = r.cost;
+      });
+}
+
+void LaunchReduction(sim::Device& device, const LaunchConfig& config,
+                     const Cost* costs, std::int64_t* packed_best,
+                     const char* kernel_name, ReductionKind kind) {
+  const std::uint32_t ensemble = config.ensemble();
+
+  if (kind == ReductionKind::kAtomic) {
+    // The paper's variant: every thread fires one atomicMin; contention is
+    // serialized in L2 (modeled as per-thread work).
+    sim::LaunchOptions opts;
+    opts.name = kernel_name;
+    device.Launch(config.grid(), config.block(), opts,
+                  [=](sim::ThreadCtx& t) {
+                    const std::uint64_t tid = t.global_thread();
+                    if (tid >= ensemble) return;
+                    sim::AtomicMin(
+                        packed_best,
+                        raw::PackCostThread(
+                            costs[tid], static_cast<std::uint32_t>(tid)));
+                    t.charge(2);
+                    // Same-address atomics serialize in L2 ("the full
+                    // process results in a sequential execution order",
+                    // Section VI-D).  Thread 0 carries the queue's
+                    // critical path so the latency bound of the timing
+                    // model sees the serialization (~1/8 work unit per
+                    // queued atomic).
+                    if (tid == 0) t.charge(ensemble / 8 + 1);
+                  });
+    return;
+  }
+
+  // Tree variant: stage keys in shared memory, fold pairwise behind
+  // barriers (log2(blockDim) rounds), one atomic per *block*.
+  sim::LaunchOptions opts;
+  opts.name = kernel_name;
+  opts.cooperative = true;
+  opts.shared_bytes = config.block_size * sizeof(std::int64_t);
+  device.Launch(
+      config.grid(), config.block(), opts, [=](sim::ThreadCtx& t) {
+        std::int64_t* keys = t.shared_as<std::int64_t>();
+        const std::uint32_t lt = t.linear_thread();
+        const auto tpb = static_cast<std::uint32_t>(t.block_dim.count());
+        const std::uint64_t tid = t.global_thread();
+        keys[lt] = tid < ensemble
+                       ? raw::PackCostThread(
+                             costs[tid], static_cast<std::uint32_t>(tid))
+                       : std::numeric_limits<std::int64_t>::max();
+        t.syncthreads();
+        // Round stride up to a power of two so odd block sizes fold
+        // correctly (reads beyond tpb are guarded).
+        std::uint32_t stride = 1;
+        while (stride < tpb) stride <<= 1;
+        for (stride >>= 1; stride > 0; stride >>= 1) {
+          if (lt < stride && lt + stride < tpb) {
+            keys[lt] = std::min(keys[lt], keys[lt + stride]);
+          }
+          t.syncthreads();
+          t.charge_shared(1);
+        }
+        if (lt == 0) {
+          sim::AtomicMin(packed_best, keys[0]);
+          t.charge(2);
+        }
+      });
+}
+
+Sequence DownloadRow(const sim::DeviceBuffer<JobId>& seqs, std::int32_t n,
+                     std::uint32_t thread) {
+  Sequence row(static_cast<std::size_t>(n));
+  seqs.CopyToHost(std::span<JobId>(row),
+                  static_cast<std::size_t>(thread) * n);
+  return row;
+}
+
+}  // namespace cdd::par::detail

@@ -1,0 +1,64 @@
+#pragma once
+/// \file detail.hpp
+/// \brief Internals shared by the parallel solvers (fitness kernel,
+/// ensemble initialization, reduction helpers).  Not part of the public API.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sequence.hpp"
+#include "cudasim/device.hpp"
+#include "cudasim/memory.hpp"
+#include "parallel/device_problem.hpp"
+#include "parallel/launch_config.hpp"
+
+namespace cdd::par::detail {
+
+/// Fills \p host with `ensemble` initial sequences of length n, one per
+/// thread, drawn from the thread's private init stream.  The layout is
+/// row-major: thread t owns host[t*n .. t*n + n).
+///
+/// Without \p base every row is an independent uniform permutation (the
+/// paper's default).  With \p base (e.g. the V-shape constructive seed),
+/// thread 0 keeps it verbatim and every other thread gets it diversified
+/// by a small Fisher-Yates shuffle from its own stream — "the initial
+/// configuration ... can be the same or different for all chains"
+/// (Section V-A).
+std::vector<JobId> MakeInitialSequences(std::uint32_t ensemble,
+                                        std::int32_t n, std::uint64_t seed,
+                                        const Sequence* base = nullptr);
+
+/// Where the fitness kernel reads the per-unit penalties from.
+/// kShared is the paper's choice (Section VI-A); kTexture is its stated
+/// future work (Section IX); kGlobal is the unoptimized baseline.
+enum class PenaltyMemory { kShared, kGlobal, kTexture };
+
+/// Launches the fitness kernel of Section VI-A on `ensemble` threads:
+/// cooperative staging of alpha/beta into shared memory (where they fit),
+/// read-only texture fetches, or direct global reads, per \p memory.
+/// Evaluates seqs[t*n..) into costs[t].
+void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
+                   const LaunchConfig& config, const JobId* seqs,
+                   Cost* costs, const char* kernel_name,
+                   PenaltyMemory memory = PenaltyMemory::kShared);
+
+/// How the best-of-ensemble reduction is implemented.
+/// kAtomic is the paper's choice: "an atomic minimization function ...
+/// inside the L2-Cache, which provides a good performance although the
+/// full process results in a sequential execution order" (Section VI-D).
+/// kTree is the canonical CUDA alternative: a shared-memory tree reduction
+/// per block behind barriers, then one atomic per block.
+enum class ReductionKind { kAtomic, kTree };
+
+/// Launches the reduction kernel of Section VI-D: folds the packed
+/// (costs[t], t) keys of all threads into *packed_best.
+void LaunchReduction(sim::Device& device, const LaunchConfig& config,
+                     const Cost* costs, std::int64_t* packed_best,
+                     const char* kernel_name,
+                     ReductionKind kind = ReductionKind::kAtomic);
+
+/// Downloads the winning thread's row from a row-major sequence buffer.
+Sequence DownloadRow(const sim::DeviceBuffer<JobId>& seqs, std::int32_t n,
+                     std::uint32_t thread);
+
+}  // namespace cdd::par::detail

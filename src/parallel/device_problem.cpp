@@ -1,0 +1,64 @@
+#include "parallel/device_problem.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace cdd::par {
+
+DeviceProblem::DeviceProblem(sim::Device& device, const Instance& instance)
+    : n_(static_cast<std::int32_t>(instance.size())),
+      controllable_(instance.problem() == Problem::kUcddcp),
+      cost_bound_(0),
+      proc_(device, instance.size()),
+      min_proc_(device, instance.size()),
+      alpha_(device, instance.size()),
+      beta_(device, instance.size()),
+      gamma_(device, instance.size()),
+      d_(device, 1),
+      n_const_(device, 1) {
+  if (instance.problem() == Problem::kCddcp) {
+    throw std::invalid_argument(
+        "DeviceProblem: the fitness kernels implement the O(n) algorithms, "
+        "which do not cover the restricted controllable problem; use the "
+        "serial metaheuristics with lp::MakeLpObjective instead");
+  }
+  instance.Validate();
+
+  std::vector<Time> proc;
+  std::vector<Time> min_proc;
+  std::vector<Cost> alpha;
+  std::vector<Cost> beta;
+  std::vector<Cost> gamma;
+  proc.reserve(instance.size());
+  for (const Job& j : instance.jobs()) {
+    proc.push_back(j.proc);
+    min_proc.push_back(j.min_proc);
+    alpha.push_back(j.early);
+    beta.push_back(j.tardy);
+    gamma.push_back(j.compress);
+  }
+
+  proc_.CopyFromHost(proc);
+  min_proc_.CopyFromHost(min_proc);
+  alpha_.CopyFromHost(alpha);
+  beta_.CopyFromHost(beta);
+  if (controllable_) {
+    gamma_.CopyFromHost(gamma);
+  } else {
+    gamma_.Fill(0);
+  }
+  d_.Set(instance.due_date());
+  n_const_.Set(n_);
+
+  // Worst case: every job maximally early (horizon = d) or maximally tardy
+  // (horizon = sum P), plus full compression penalties.
+  const Time horizon =
+      std::max(instance.due_date(), instance.total_processing_time()) +
+      instance.total_processing_time();
+  for (const Job& j : instance.jobs()) {
+    cost_bound_ += std::max(j.early, j.tardy) * horizon +
+                   j.compress * (j.proc - j.min_proc);
+  }
+}
+
+}  // namespace cdd::par

@@ -1,0 +1,149 @@
+#pragma once
+/// \file kernels_raw.hpp
+/// \brief Allocation-free "device function" helpers shared by the parallel
+/// kernels: per-thread perturbation, crossovers on raw arrays, and the
+/// packed keys of the atomic-min reduction.
+
+#include <cstdint>
+
+#include "core/sequence.hpp"
+#include "core/types.hpp"
+#include "rng/philox.hpp"
+
+namespace cdd::par::raw {
+
+/// Number of reserved RNG phases per generation (perturbation, acceptance,
+/// dpso-update).  Stream ids are ((generation * kRngPhases + phase) << 32)
+/// | thread, so every (generation, phase, thread) triple owns a private
+/// Philox stream: consumption never overlaps and a thread's stream sequence
+/// is independent of the ensemble size (the inclusion property tested in
+/// tests/parallel).
+inline constexpr std::uint64_t kRngPhases = 4;
+
+enum class RngPhase : std::uint64_t {
+  kInit = 0,
+  kPerturb = 1,
+  kAccept = 2,
+  kDpsoUpdate = 3,
+};
+
+/// Philox stream for (seed, generation, phase, thread).
+inline rng::Philox4x32 MakeStream(std::uint64_t seed,
+                                  std::uint64_t generation, RngPhase phase,
+                                  std::uint32_t thread) {
+  const std::uint64_t stream =
+      ((generation * kRngPhases + static_cast<std::uint64_t>(phase)) << 32) |
+      thread;
+  return rng::Philox4x32(seed, stream);
+}
+
+/// Partial Fisher–Yates on a raw sequence; \p positions and \p values are
+/// per-thread scratch of at least \p pert elements (the kernels use small
+/// stack arrays).
+inline void PerturbRaw(JobId* seq, std::int32_t n, std::uint32_t pert,
+                       rng::Philox4x32& rng, std::uint32_t* positions,
+                       JobId* values) {
+  if (n < 2 || pert < 2) return;
+  if (pert > static_cast<std::uint32_t>(n)) {
+    pert = static_cast<std::uint32_t>(n);
+  }
+  std::uint32_t chosen = 0;
+  while (chosen < pert) {
+    const std::uint32_t p =
+        cdd::UniformBelow(rng, static_cast<std::uint32_t>(n));
+    bool duplicate = false;
+    for (std::uint32_t k = 0; k < chosen; ++k) {
+      if (positions[k] == p) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) positions[chosen++] = p;
+  }
+  for (std::uint32_t k = 0; k < pert; ++k) values[k] = seq[positions[k]];
+  for (std::uint32_t i = pert; i > 1; --i) {
+    const std::uint32_t j = cdd::UniformBelow(rng, i);
+    const JobId tmp = values[i - 1];
+    values[i - 1] = values[j];
+    values[j] = tmp;
+  }
+  for (std::uint32_t k = 0; k < pert; ++k) seq[positions[k]] = values[k];
+}
+
+/// One-point crossover on raw arrays.  \p used is n bytes of per-thread
+/// scratch; \p child must not alias the parents.
+inline void OnePointCrossoverRaw(std::int32_t n, const JobId* p1,
+                                 const JobId* p2, std::uint32_t cut,
+                                 JobId* child, std::uint8_t* used) {
+  for (std::int32_t i = 0; i < n; ++i) used[i] = 0;
+  for (std::uint32_t k = 0; k < cut; ++k) {
+    child[k] = p1[k];
+    used[p1[k]] = 1;
+  }
+  std::int32_t write = static_cast<std::int32_t>(cut);
+  for (std::int32_t i = 0; i < n && write < n; ++i) {
+    if (!used[p2[i]]) child[write++] = p2[i];
+  }
+}
+
+/// Two-point crossover on raw arrays: child keeps p1[a..b), the remaining
+/// positions (0..a) then [b..n) are filled with p2's leftover jobs in order.
+inline void TwoPointCrossoverRaw(std::int32_t n, const JobId* p1,
+                                 const JobId* p2, std::uint32_t a,
+                                 std::uint32_t b, JobId* child,
+                                 std::uint8_t* used) {
+  for (std::int32_t i = 0; i < n; ++i) used[i] = 0;
+  for (std::uint32_t k = a; k < b; ++k) {
+    child[k] = p1[k];
+    used[p1[k]] = 1;
+  }
+  std::int32_t write = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (used[p2[i]]) continue;
+    if (write == static_cast<std::int32_t>(a)) {
+      write = static_cast<std::int32_t>(b);
+    }
+    if (write >= n) break;
+    child[write++] = p2[i];
+  }
+}
+
+/// Random swap of two distinct positions (DPSO's F1 operator).
+inline void SwapRaw(JobId* seq, std::int32_t n, rng::Philox4x32& rng) {
+  if (n < 2) return;
+  const std::uint32_t i =
+      cdd::UniformBelow(rng, static_cast<std::uint32_t>(n));
+  std::uint32_t j =
+      cdd::UniformBelow(rng, static_cast<std::uint32_t>(n - 1));
+  if (j >= i) ++j;
+  const JobId tmp = seq[i];
+  seq[i] = seq[j];
+  seq[j] = tmp;
+}
+
+// --- packed (cost, thread) reduction keys --------------------------------
+// The reduction kernel performs one atomicMin per thread on a 64-bit key
+// (cost in the high bits, thread id in the low 20), mirroring the paper's
+// single atomic minimization in L2 (Section VI-D).  The cost must fit in
+// 43 bits; DeviceProblem::cost_upper_bound() is checked against this at
+// solver construction.
+
+inline constexpr int kThreadBits = 20;
+inline constexpr std::uint64_t kThreadMask = (1ull << kThreadBits) - 1;
+inline constexpr Cost kMaxPackableCost = Cost{1} << 42;
+
+inline std::int64_t PackCostThread(Cost cost, std::uint32_t thread) {
+  return static_cast<std::int64_t>(
+      (static_cast<std::uint64_t>(cost) << kThreadBits) |
+      (thread & kThreadMask));
+}
+inline Cost UnpackCost(std::int64_t packed) {
+  return static_cast<Cost>(static_cast<std::uint64_t>(packed) >>
+                           kThreadBits);
+}
+inline std::uint32_t UnpackThread(std::int64_t packed) {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(packed) &
+                                    kThreadMask);
+}
+
+}  // namespace cdd::par::raw

@@ -1,0 +1,43 @@
+#pragma once
+/// \file launch_config.hpp
+/// \brief Grid/block geometry of the parallel metaheuristics.
+///
+/// The paper settles on 4 blocks x 192 threads = 768 chains after sweeping
+/// block sizes (Section VIII; bench_ablation_blocksize regenerates the
+/// sweep).  Linear one-dimensional geometry is used throughout "to avoid
+/// race conditions" when staging penalties into shared memory.
+
+#include <cstdint>
+
+#include "cudasim/device.hpp"
+
+namespace cdd::par {
+
+/// One-dimensional launch geometry; ensemble size = blocks * block_size.
+struct LaunchConfig {
+  std::uint32_t blocks = 4;        ///< grid size G = (blocks, 1, 1)
+  std::uint32_t block_size = 192;  ///< B = (block_size, 1, 1)
+
+  std::uint32_t ensemble() const { return blocks * block_size; }
+  sim::Dim3 grid() const { return {blocks, 1, 1}; }
+  sim::Dim3 block() const { return {block_size, 1, 1}; }
+
+  /// Geometry for a requested ensemble size: grid = ceil(N / N_B), matching
+  /// the paper's allocation rule (Section VI).  The resulting ensemble is
+  /// rounded up to a whole number of blocks.
+  static LaunchConfig ForEnsemble(std::uint32_t ensemble,
+                                  std::uint32_t block_size = 192) {
+    LaunchConfig cfg;
+    cfg.block_size = block_size == 0 ? 1 : block_size;
+    cfg.blocks = (ensemble + cfg.block_size - 1) / cfg.block_size;
+    if (cfg.blocks == 0) cfg.blocks = 1;
+    return cfg;
+  }
+
+  /// Throws sim::GpuError when the geometry exceeds the device's limits.
+  void Validate(const sim::Device& device) const {
+    device.ValidateLaunch(grid(), block(), 0);
+  }
+};
+
+}  // namespace cdd::par

@@ -1,0 +1,42 @@
+#include "parallel/multi_device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdd::par {
+
+MultiDeviceResult RunParallelSaMultiDevice(
+    std::span<sim::Device* const> devices, const Instance& instance,
+    const ParallelSaParams& params) {
+  if (devices.empty()) {
+    throw std::invalid_argument(
+        "RunParallelSaMultiDevice: no devices supplied");
+  }
+  MultiDeviceResult result;
+  result.best.best_cost = kInfiniteCost;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (devices[i] == nullptr) {
+      throw std::invalid_argument(
+          "RunParallelSaMultiDevice: null device pointer");
+    }
+    ParallelSaParams mine = params;
+    mine.seed = params.seed + i * kDeviceSeedStride;
+    const GpuRunResult run =
+        RunParallelSa(*devices[i], instance, mine);
+    result.fleet_seconds =
+        std::max(result.fleet_seconds, run.device_seconds);
+    result.total_device_seconds += run.device_seconds;
+    result.best.evaluations += run.evaluations;
+    if (run.best_cost < result.best.best_cost) {
+      // Keep the winner's sequence/cost and timing diagnostics.
+      const std::uint64_t evals = result.best.evaluations;
+      result.best = run;
+      result.best.evaluations = evals;
+      result.winning_device = i;
+    }
+  }
+  result.best.device_seconds = result.fleet_seconds;
+  return result;
+}
+
+}  // namespace cdd::par

@@ -1,0 +1,211 @@
+#include "parallel/parallel_dpso.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "cudasim/atomics.hpp"
+#include "core/vshape.hpp"
+#include "cudasim/memory.hpp"
+#include "parallel/detail.hpp"
+#include "parallel/device_problem.hpp"
+#include "parallel/kernels_raw.hpp"
+
+namespace cdd::par {
+
+GpuRunResult RunParallelDpso(sim::Device& device, const Instance& instance,
+                             const ParallelDpsoParams& params) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const double clock_at_start = device.sim_time_s();
+
+  params.config.Validate(device);
+  const std::uint32_t ensemble = params.config.ensemble();
+  if (ensemble > (1u << raw::kThreadBits)) {
+    throw std::invalid_argument(
+        "RunParallelDpso: ensemble exceeds packed-key thread capacity");
+  }
+
+  DeviceProblem problem(device, instance);
+  if (problem.cost_upper_bound() >= raw::kMaxPackableCost) {
+    throw std::invalid_argument(
+        "RunParallelDpso: instance costs exceed the packed key range");
+  }
+  const std::int32_t n = problem.n();
+
+  // Swarm state: positions, particle bests, swarm best, plus per-thread
+  // "local memory" scratch for the crossovers.
+  sim::DeviceBuffer<JobId> pos(device,
+                               static_cast<std::size_t>(ensemble) * n);
+  sim::DeviceBuffer<JobId> pbest(device,
+                                 static_cast<std::size_t>(ensemble) * n);
+  sim::DeviceBuffer<JobId> child(device,
+                                 static_cast<std::size_t>(ensemble) * n);
+  sim::DeviceBuffer<std::uint8_t> used(
+      device, static_cast<std::size_t>(ensemble) * n);
+  sim::DeviceBuffer<JobId> gbest(device, static_cast<std::size_t>(n));
+  sim::DeviceBuffer<Cost> pos_cost(device, ensemble);
+  sim::DeviceBuffer<Cost> pbest_cost(device, ensemble);
+  sim::DeviceBuffer<std::int64_t> packed_best(device, 1);
+  packed_best.Fill(raw::PackCostThread(problem.cost_upper_bound(), 0));
+
+  {
+    Sequence vseed;
+    if (params.vshape_init) vseed = VShapeSeed(instance);
+    const std::vector<JobId> init = detail::MakeInitialSequences(
+        ensemble, n, params.seed, params.vshape_init ? &vseed : nullptr);
+    pos.CopyFromHost(init);
+    pbest.CopyFromHost(init);
+  }
+
+  GpuRunResult result;
+
+  const std::uint64_t seed = params.seed;
+  const double w = params.w;
+  const double c1 = params.c1;
+  const double c2 = params.c2;
+  JobId* d_pos = pos.data();
+  JobId* d_pbest = pbest.data();
+  JobId* d_child = child.data();
+  std::uint8_t* d_used = used.data();
+  JobId* d_gbest = gbest.data();
+  Cost* d_pos_cost = pos_cost.data();
+  Cost* d_pbest_cost = pbest_cost.data();
+  std::int64_t* d_packed = packed_best.data();
+
+  // Initial fitness, particle bests and swarm best.
+  detail::LaunchFitness(device, problem, params.config, d_pos, d_pos_cost,
+                        "dpso_fitness");
+  result.evaluations += ensemble;
+  {
+    sim::LaunchOptions opts;
+    opts.name = "dpso_pbest_update";
+    device.Launch(params.config.grid(), params.config.block(), opts,
+                  [=](sim::ThreadCtx& t) {
+                    const std::uint64_t tid = t.global_thread();
+                    if (tid >= ensemble) return;
+                    d_pbest_cost[tid] = d_pos_cost[tid];
+                    t.charge(1);
+                  });
+  }
+  detail::LaunchReduction(device, params.config, d_pbest_cost, d_packed,
+                          "dpso_reduction");
+  const auto publish_gbest = [&]() {
+    sim::LaunchOptions opts;
+    opts.name = "dpso_gbest_publish";
+    device.Launch(params.config.grid(), params.config.block(), opts,
+                  [=](sim::ThreadCtx& t) {
+                    const std::uint64_t tid = t.global_thread();
+                    if (tid >= ensemble) return;
+                    // Exactly one thread matches the packed key's id.
+                    const std::int64_t packed = *d_packed;
+                    if (raw::UnpackThread(packed) != tid) return;
+                    if (d_pbest_cost[tid] != raw::UnpackCost(packed)) return;
+                    const JobId* src = d_pbest + tid * n;
+                    for (std::int32_t i = 0; i < n; ++i) d_gbest[i] = src[i];
+                    t.charge(static_cast<std::uint64_t>(n));
+                  });
+  };
+  publish_gbest();
+  device.Synchronize();
+
+  for (std::uint64_t g = 1; g <= params.generations; ++g) {
+    // --- position update: Eq. (3) -----------------------------------------
+    {
+      sim::LaunchOptions opts;
+      opts.name = "dpso_update";
+      device.Launch(
+          params.config.grid(), params.config.block(), opts,
+          [=](sim::ThreadCtx& t) {
+            const std::uint64_t tid = t.global_thread();
+            if (tid >= ensemble) return;
+            JobId* mine = d_pos + tid * n;
+            JobId* scratch = d_child + tid * n;
+            std::uint8_t* marks = d_used + tid * n;
+            rng::Philox4x32 rng =
+                raw::MakeStream(seed, g, raw::RngPhase::kDpsoUpdate,
+                                static_cast<std::uint32_t>(tid));
+            // w (+) F1: swap velocity.
+            if (rng.NextUniform() < w) {
+              raw::SwapRaw(mine, n, rng);
+              t.charge(2);
+            }
+            // c1 (+) F2: one-point crossover with the particle best.
+            if (rng.NextUniform() < c1) {
+              const std::uint32_t cut = cdd::UniformBelow(
+                  rng, static_cast<std::uint32_t>(n) + 1);
+              raw::OnePointCrossoverRaw(n, mine, d_pbest + tid * n, cut,
+                                        scratch, marks);
+              for (std::int32_t i = 0; i < n; ++i) mine[i] = scratch[i];
+              t.charge(3 * static_cast<std::uint64_t>(n));
+            }
+            // c2 (+) F3: two-point crossover with the swarm best.
+            if (rng.NextUniform() < c2) {
+              std::uint32_t a = cdd::UniformBelow(
+                  rng, static_cast<std::uint32_t>(n) + 1);
+              std::uint32_t b = cdd::UniformBelow(
+                  rng, static_cast<std::uint32_t>(n) + 1);
+              if (a > b) {
+                const std::uint32_t tmp = a;
+                a = b;
+                b = tmp;
+              }
+              raw::TwoPointCrossoverRaw(n, mine, d_gbest, a, b, scratch,
+                                        marks);
+              for (std::int32_t i = 0; i < n; ++i) mine[i] = scratch[i];
+              t.charge(3 * static_cast<std::uint64_t>(n));
+            }
+            t.charge(4);
+          });
+    }
+
+    // --- fitness -----------------------------------------------------------
+    detail::LaunchFitness(device, problem, params.config, d_pos, d_pos_cost,
+                          "dpso_fitness");
+    result.evaluations += ensemble;
+
+    // --- particle bests ----------------------------------------------------
+    {
+      sim::LaunchOptions opts;
+      opts.name = "dpso_pbest_update";
+      device.Launch(params.config.grid(), params.config.block(), opts,
+                    [=](sim::ThreadCtx& t) {
+                      const std::uint64_t tid = t.global_thread();
+                      if (tid >= ensemble) return;
+                      if (d_pos_cost[tid] < d_pbest_cost[tid]) {
+                        d_pbest_cost[tid] = d_pos_cost[tid];
+                        const JobId* src = d_pos + tid * n;
+                        JobId* dst = d_pbest + tid * n;
+                        for (std::int32_t i = 0; i < n; ++i) dst[i] = src[i];
+                        t.charge(static_cast<std::uint64_t>(n));
+                      }
+                      t.charge(2);
+                    });
+    }
+
+    // --- swarm best (reduction + publish) ----------------------------------
+    detail::LaunchReduction(device, params.config, d_pbest_cost, d_packed,
+                            "dpso_reduction");
+    publish_gbest();
+    device.Synchronize();
+
+    if (params.trajectory_stride > 0 &&
+        (g - 1) % params.trajectory_stride == 0) {
+      std::int64_t packed = 0;
+      packed_best.CopyToHost(std::span<std::int64_t>(&packed, 1));
+      result.trajectory.push_back(raw::UnpackCost(packed));
+    }
+  }
+
+  std::int64_t packed = 0;
+  packed_best.CopyToHost(std::span<std::int64_t>(&packed, 1));
+  result.best_cost = raw::UnpackCost(packed);
+  result.best = detail::DownloadRow(pbest, n, raw::UnpackThread(packed));
+
+  result.device_seconds = device.sim_time_s() - clock_at_start;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  return result;
+}
+
+}  // namespace cdd::par

@@ -1,0 +1,215 @@
+#include "parallel/parallel_sa.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/vshape.hpp"
+#include "cudasim/memory.hpp"
+#include "meta/objective.hpp"
+#include "meta/temperature.hpp"
+#include "parallel/detail.hpp"
+#include "parallel/device_problem.hpp"
+#include "parallel/kernels_raw.hpp"
+
+namespace cdd::par {
+
+namespace {
+constexpr std::uint32_t kMaxPert = 32;
+}
+
+GpuRunResult RunParallelSa(sim::Device& device, const Instance& instance,
+                           const ParallelSaParams& params) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const double clock_at_start = device.sim_time_s();
+
+  params.config.Validate(device);
+  if (params.pert > kMaxPert) {
+    throw std::invalid_argument(
+        "RunParallelSa: pert exceeds the kernel's scratch capacity (32)");
+  }
+  const std::uint32_t ensemble = params.config.ensemble();
+  if (ensemble > (1u << raw::kThreadBits)) {
+    throw std::invalid_argument(
+        "RunParallelSa: ensemble exceeds packed-key thread capacity");
+  }
+
+  // --- host-side setup ----------------------------------------------------
+  // Initial temperature via the Salamon rule (Section VI) — host work, as
+  // in the paper.
+  const meta::Objective objective = meta::Objective::ForInstance(instance);
+  const double t0 =
+      params.initial_temperature > 0.0
+          ? params.initial_temperature
+          : meta::InitialTemperature(objective, params.temp_samples,
+                                     params.seed);
+
+  // --- device-side setup (the uploads of Figure 9) ------------------------
+  DeviceProblem problem(device, instance);
+  if (problem.cost_upper_bound() >= raw::kMaxPackableCost) {
+    throw std::invalid_argument(
+        "RunParallelSa: instance costs exceed the packed reduction key "
+        "range");
+  }
+  const std::int32_t n = problem.n();
+
+  sim::DeviceBuffer<JobId> curr(device,
+                                static_cast<std::size_t>(ensemble) * n);
+  sim::DeviceBuffer<JobId> cand(device,
+                                static_cast<std::size_t>(ensemble) * n);
+  sim::DeviceBuffer<JobId> best_seq(device,
+                                    static_cast<std::size_t>(ensemble) * n);
+  sim::DeviceBuffer<Cost> curr_cost(device, ensemble);
+  sim::DeviceBuffer<Cost> cand_cost(device, ensemble);
+  sim::DeviceBuffer<Cost> best_cost(device, ensemble);
+  sim::DeviceBuffer<std::int64_t> packed_best(device, 1);
+  packed_best.Fill(raw::PackCostThread(problem.cost_upper_bound(), 0));
+
+  {
+    Sequence vseed;
+    if (params.vshape_init) vseed = VShapeSeed(instance);
+    const std::vector<JobId> init = detail::MakeInitialSequences(
+        ensemble, n, params.seed, params.vshape_init ? &vseed : nullptr);
+    curr.CopyFromHost(init);
+    best_seq.CopyFromHost(init);
+  }
+
+  GpuRunResult result;
+
+  // Initial fitness of the uploaded ensemble.
+  detail::LaunchFitness(device, problem, params.config, curr.data(),
+                        curr_cost.data(), "sa_fitness",
+                        params.penalty_memory);
+  result.evaluations += ensemble;
+  {
+    // Seed the per-thread bests from the initial states.
+    Cost* d_curr_cost = curr_cost.data();
+    Cost* d_best_cost = best_cost.data();
+    sim::LaunchOptions opts;
+    opts.name = "sa_seed_best";
+    device.Launch(params.config.grid(), params.config.block(), opts,
+                  [=](sim::ThreadCtx& t) {
+                    const std::uint64_t tid = t.global_thread();
+                    if (tid >= ensemble) return;
+                    d_best_cost[tid] = d_curr_cost[tid];
+                    t.charge(1);
+                  });
+  }
+
+  const std::uint64_t seed = params.seed;
+  const std::uint32_t pert = params.pert;
+  JobId* d_curr = curr.data();
+  JobId* d_cand = cand.data();
+  JobId* d_best = best_seq.data();
+  Cost* d_curr_cost = curr_cost.data();
+  Cost* d_cand_cost = cand_cost.data();
+  Cost* d_best_cost = best_cost.data();
+
+  double temperature = t0;
+  for (std::uint64_t g = 1; g <= params.generations; ++g) {
+    // --- kernel 1: perturbation (Section VI-B) ---------------------------
+    // A cheap swap most generations; the Pert-sized Fisher-Yates shuffle
+    // "after every 10 SA iterations" (configurable; see NeighborhoodMode).
+    const bool shuffle_now =
+        params.neighborhood ==
+            meta::NeighborhoodMode::kShuffleEveryIteration ||
+        (g - 1) % std::max(params.shuffle_period, 1u) == 0;
+    {
+      sim::LaunchOptions opts;
+      opts.name = "sa_perturbation";
+      device.Launch(
+          params.config.grid(), params.config.block(), opts,
+          [=](sim::ThreadCtx& t) {
+            const std::uint64_t tid = t.global_thread();
+            if (tid >= ensemble) return;
+            const JobId* src = d_curr + tid * n;
+            JobId* dst = d_cand + tid * n;
+            for (std::int32_t i = 0; i < n; ++i) dst[i] = src[i];
+            rng::Philox4x32 rng =
+                raw::MakeStream(seed, g, raw::RngPhase::kPerturb,
+                                static_cast<std::uint32_t>(tid));
+            if (shuffle_now) {
+              std::uint32_t positions[kMaxPert];
+              JobId values[kMaxPert];
+              raw::PerturbRaw(dst, n, pert, rng, positions, values);
+              t.charge(static_cast<std::uint64_t>(n) + 8 * pert);
+            } else {
+              raw::SwapRaw(dst, n, rng);
+              t.charge(static_cast<std::uint64_t>(n) + 2);
+            }
+          });
+    }
+
+    // --- kernel 2: fitness (Section VI-A) --------------------------------
+    detail::LaunchFitness(device, problem, params.config, d_cand,
+                          d_cand_cost, "sa_fitness",
+                          params.penalty_memory);
+    result.evaluations += ensemble;
+
+    // --- kernel 3: acceptance (Section VI-C) ------------------------------
+    {
+      const double temp = std::max(temperature, 1e-300);
+      sim::LaunchOptions opts;
+      opts.name = "sa_acceptance";
+      device.Launch(
+          params.config.grid(), params.config.block(), opts,
+          [=](sim::ThreadCtx& t) {
+            const std::uint64_t tid = t.global_thread();
+            if (tid >= ensemble) return;
+            rng::Philox4x32 rng =
+                raw::MakeStream(seed, g, raw::RngPhase::kAccept,
+                                static_cast<std::uint32_t>(tid));
+            const Cost e = d_curr_cost[tid];
+            const Cost e_new = d_cand_cost[tid];
+            const double accept =
+                std::exp(static_cast<double>(e - e_new) / temp);
+            if (accept >= static_cast<double>(rng.NextUniform())) {
+              JobId* cur = d_curr + tid * n;
+              const JobId* cnd = d_cand + tid * n;
+              for (std::int32_t i = 0; i < n; ++i) cur[i] = cnd[i];
+              d_curr_cost[tid] = e_new;
+              if (e_new < d_best_cost[tid]) {
+                d_best_cost[tid] = e_new;
+                JobId* bst = d_best + tid * n;
+                for (std::int32_t i = 0; i < n; ++i) bst[i] = cnd[i];
+                t.charge(static_cast<std::uint64_t>(n));
+              }
+              t.charge(static_cast<std::uint64_t>(n));
+            }
+            t.charge(4);
+          });
+    }
+
+    // --- kernel 4: reduction (Section VI-D) -------------------------------
+    detail::LaunchReduction(device, params.config, d_best_cost,
+                            packed_best.data(), "sa_reduction",
+                            params.reduction);
+
+    // All four launches are queued; the host fences once per generation.
+    device.Synchronize();
+
+    temperature *= params.mu;
+
+    if (params.trajectory_stride > 0 &&
+        (g - 1) % params.trajectory_stride == 0) {
+      std::int64_t packed = 0;
+      packed_best.CopyToHost(std::span<std::int64_t>(&packed, 1));
+      result.trajectory.push_back(raw::UnpackCost(packed));
+    }
+  }
+
+  // --- download the winner (Figure 9's single D2H of results) -------------
+  std::int64_t packed = 0;
+  packed_best.CopyToHost(std::span<std::int64_t>(&packed, 1));
+  result.best_cost = raw::UnpackCost(packed);
+  result.best = detail::DownloadRow(best_seq, n, raw::UnpackThread(packed));
+
+  result.device_seconds = device.sim_time_s() - clock_at_start;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  return result;
+}
+
+}  // namespace cdd::par

@@ -1,0 +1,236 @@
+#include "parallel/parallel_sa_sync.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "cudasim/atomics.hpp"
+#include "cudasim/memory.hpp"
+#include "meta/objective.hpp"
+#include "meta/temperature.hpp"
+#include "parallel/detail.hpp"
+#include "parallel/device_problem.hpp"
+#include "parallel/kernels_raw.hpp"
+
+namespace cdd::par {
+
+namespace {
+constexpr std::uint32_t kMaxPert = 32;
+}
+
+GpuRunResult RunParallelSaSync(sim::Device& device, const Instance& instance,
+                               const ParallelSaSyncParams& params) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const double clock_at_start = device.sim_time_s();
+
+  params.config.Validate(device);
+  if (params.pert > kMaxPert) {
+    throw std::invalid_argument("RunParallelSaSync: pert exceeds 32");
+  }
+  const std::uint32_t ensemble = params.config.ensemble();
+
+  const meta::Objective objective = meta::Objective::ForInstance(instance);
+  const double t0 =
+      params.initial_temperature > 0.0
+          ? params.initial_temperature
+          : meta::InitialTemperature(objective, params.temp_samples,
+                                     params.seed);
+
+  DeviceProblem problem(device, instance);
+  if (problem.cost_upper_bound() >= raw::kMaxPackableCost) {
+    throw std::invalid_argument(
+        "RunParallelSaSync: instance costs exceed the packed key range");
+  }
+  const std::int32_t n = problem.n();
+
+  sim::DeviceBuffer<JobId> curr(device,
+                                static_cast<std::size_t>(ensemble) * n);
+  sim::DeviceBuffer<JobId> cand(device,
+                                static_cast<std::size_t>(ensemble) * n);
+  sim::DeviceBuffer<JobId> broadcast(device, static_cast<std::size_t>(n));
+  sim::DeviceBuffer<Cost> curr_cost(device, ensemble);
+  sim::DeviceBuffer<Cost> cand_cost(device, ensemble);
+  sim::DeviceBuffer<std::int64_t> packed_level(device, 1);
+  sim::DeviceBuffer<std::int64_t> packed_best(device, 1);
+  sim::DeviceBuffer<std::int64_t> distance_sum(device, 1);
+  packed_best.Fill(raw::PackCostThread(problem.cost_upper_bound(), 0));
+
+  {
+    const std::vector<JobId> init =
+        detail::MakeInitialSequences(ensemble, n, params.seed);
+    curr.CopyFromHost(init);
+  }
+
+  GpuRunResult result;
+  detail::LaunchFitness(device, problem, params.config, curr.data(),
+                        curr_cost.data(), "sync_fitness");
+  result.evaluations += ensemble;
+
+  const std::uint64_t seed = params.seed;
+  const std::uint32_t pert = params.pert;
+  JobId* d_curr = curr.data();
+  JobId* d_cand = cand.data();
+  JobId* d_bcast = broadcast.data();
+  Cost* d_curr_cost = curr_cost.data();
+  Cost* d_cand_cost = cand_cost.data();
+  std::int64_t* d_packed_level = packed_level.data();
+  std::int64_t* d_packed_best = packed_best.data();
+  std::int64_t* d_distance = distance_sum.data();
+  const Cost bound = problem.cost_upper_bound();
+
+  for (std::uint32_t level = 0; level < params.temperature_levels; ++level) {
+    const double temp = std::max(
+        t0 * std::pow(params.mu, static_cast<double>(level)), 1e-300);
+
+    // --- constant-temperature Markov chain of length M --------------------
+    for (std::uint32_t m = 0; m < params.chain_length; ++m) {
+      const std::uint64_t g =
+          static_cast<std::uint64_t>(level) * params.chain_length + m + 1;
+      const bool shuffle_now =
+          params.neighborhood ==
+              meta::NeighborhoodMode::kShuffleEveryIteration ||
+          (g - 1) % std::max(params.shuffle_period, 1u) == 0;
+      {
+        sim::LaunchOptions opts;
+        opts.name = "sync_perturbation";
+        device.Launch(
+            params.config.grid(), params.config.block(), opts,
+            [=](sim::ThreadCtx& t) {
+              const std::uint64_t tid = t.global_thread();
+              if (tid >= ensemble) return;
+              const JobId* src = d_curr + tid * n;
+              JobId* dst = d_cand + tid * n;
+              for (std::int32_t i = 0; i < n; ++i) dst[i] = src[i];
+              rng::Philox4x32 rng =
+                  raw::MakeStream(seed, g, raw::RngPhase::kPerturb,
+                                  static_cast<std::uint32_t>(tid));
+              if (shuffle_now) {
+                std::uint32_t positions[kMaxPert];
+                JobId values[kMaxPert];
+                raw::PerturbRaw(dst, n, pert, rng, positions, values);
+                t.charge(static_cast<std::uint64_t>(n) + 8 * pert);
+              } else {
+                raw::SwapRaw(dst, n, rng);
+                t.charge(static_cast<std::uint64_t>(n) + 2);
+              }
+            });
+      }
+      detail::LaunchFitness(device, problem, params.config, d_cand,
+                            d_cand_cost, "sync_fitness");
+      result.evaluations += ensemble;
+      {
+        sim::LaunchOptions opts;
+        opts.name = "sync_acceptance";
+        device.Launch(
+            params.config.grid(), params.config.block(), opts,
+            [=](sim::ThreadCtx& t) {
+              const std::uint64_t tid = t.global_thread();
+              if (tid >= ensemble) return;
+              rng::Philox4x32 rng =
+                  raw::MakeStream(seed, g, raw::RngPhase::kAccept,
+                                  static_cast<std::uint32_t>(tid));
+              const Cost e = d_curr_cost[tid];
+              const Cost e_new = d_cand_cost[tid];
+              const double accept =
+                  std::exp(static_cast<double>(e - e_new) / temp);
+              if (accept >= static_cast<double>(rng.NextUniform())) {
+                JobId* cur = d_curr + tid * n;
+                const JobId* cnd = d_cand + tid * n;
+                for (std::int32_t i = 0; i < n; ++i) cur[i] = cnd[i];
+                d_curr_cost[tid] = e_new;
+                t.charge(static_cast<std::uint64_t>(n));
+              }
+              t.charge(4);
+            });
+      }
+      device.Synchronize();
+    }
+
+    // --- reduce the level's best current state ----------------------------
+    packed_level.Fill(raw::PackCostThread(bound, 0));
+    detail::LaunchReduction(device, params.config, d_curr_cost,
+                            d_packed_level, "sync_reduction");
+    {
+      // The winning thread publishes its state for the broadcast.
+      sim::LaunchOptions opts;
+      opts.name = "sync_select";
+      device.Launch(params.config.grid(), params.config.block(), opts,
+                    [=](sim::ThreadCtx& t) {
+                      const std::uint64_t tid = t.global_thread();
+                      if (tid >= ensemble) return;
+                      const std::int64_t packed = *d_packed_level;
+                      if (raw::UnpackThread(packed) != tid) return;
+                      const JobId* src = d_curr + tid * n;
+                      for (std::int32_t i = 0; i < n; ++i) {
+                        d_bcast[i] = src[i];
+                      }
+                      sim::AtomicMin(d_packed_best, packed);
+                      t.charge(static_cast<std::uint64_t>(n));
+                    });
+    }
+
+    // --- optional diversity metric (before states are overwritten) --------
+    if (params.record_diversity) {
+      distance_sum.Fill(0);
+      sim::LaunchOptions opts;
+      opts.name = "sync_diversity";
+      device.Launch(params.config.grid(), params.config.block(), opts,
+                    [=](sim::ThreadCtx& t) {
+                      const std::uint64_t tid = t.global_thread();
+                      if (tid >= ensemble) return;
+                      const JobId* mine = d_curr + tid * n;
+                      std::int64_t dist = 0;
+                      for (std::int32_t i = 0; i < n; ++i) {
+                        dist += (mine[i] != d_bcast[i]) ? 1 : 0;
+                      }
+                      sim::AtomicAdd(d_distance, dist);
+                      t.charge(static_cast<std::uint64_t>(n));
+                    });
+      std::int64_t total = 0;
+      distance_sum.CopyToHost(std::span<std::int64_t>(&total, 1));
+      result.diversity.push_back(static_cast<double>(total) /
+                                 static_cast<double>(ensemble));
+    }
+
+    // --- broadcast s_min to every thread (Fig 8's state exchange) ---------
+    {
+      sim::LaunchOptions opts;
+      opts.name = "sync_broadcast";
+      device.Launch(params.config.grid(), params.config.block(), opts,
+                    [=](sim::ThreadCtx& t) {
+                      const std::uint64_t tid = t.global_thread();
+                      if (tid >= ensemble) return;
+                      const Cost best = raw::UnpackCost(*d_packed_level);
+                      JobId* cur = d_curr + tid * n;
+                      for (std::int32_t i = 0; i < n; ++i) {
+                        cur[i] = d_bcast[i];
+                      }
+                      d_curr_cost[tid] = best;
+                      t.charge(static_cast<std::uint64_t>(n));
+                    });
+    }
+    device.Synchronize();
+
+    // Track the best-ever broadcast state on the host: later levels can
+    // regress (metropolis accepts uphill moves), so the final broadcast is
+    // not necessarily the best one seen.
+    std::int64_t level_packed = 0;
+    packed_level.CopyToHost(std::span<std::int64_t>(&level_packed, 1));
+    const Cost level_cost = raw::UnpackCost(level_packed);
+    if (level_cost < result.best_cost) {
+      result.best_cost = level_cost;
+      Sequence state(static_cast<std::size_t>(n));
+      broadcast.CopyToHost(std::span<JobId>(state));
+      result.best = std::move(state);
+    }
+  }
+
+  result.device_seconds = device.sim_time_s() - clock_at_start;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  return result;
+}
+
+}  // namespace cdd::par

@@ -1,0 +1,34 @@
+#pragma once
+/// \file result.hpp
+/// \brief Result record of one GPU-parallel metaheuristic run.
+
+#include <vector>
+
+#include "core/sequence.hpp"
+#include "core/types.hpp"
+
+namespace cdd::par {
+
+/// Outcome of a parallel run on the simulated device.
+struct GpuRunResult {
+  Sequence best;                   ///< best sequence found by the ensemble
+  Cost best_cost = kInfiniteCost;  ///< its objective value
+  std::uint64_t evaluations = 0;   ///< fitness evaluations across all threads
+
+  /// Modeled device time (kernels + host<->device transfers) of this run —
+  /// the "GPU runtime incorporating all the memory transfers" the paper's
+  /// speed-ups are computed from.
+  double device_seconds = 0.0;
+  /// Host wall-clock spent simulating (diagnostic only; not a GPU time).
+  double wall_seconds = 0.0;
+
+  /// Best-known cost after every `trajectory_stride` generations (empty
+  /// unless requested).
+  std::vector<Cost> trajectory;
+  /// Synchronous SA only: mean Hamming distance of the ensemble to the
+  /// broadcast state at each temperature level (diversity diagnostic for
+  /// the premature-convergence ablation).
+  std::vector<double> diversity;
+};
+
+}  // namespace cdd::par

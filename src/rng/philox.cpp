@@ -1,0 +1,51 @@
+#include "rng/philox.hpp"
+
+namespace cdd::rng {
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kPhiloxW0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kPhiloxW1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline std::uint32_t MulHi(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(a) * b) >> 32);
+}
+
+}  // namespace
+
+std::array<std::uint32_t, 4> Philox4x32Block(
+    std::array<std::uint32_t, 4> ctr, std::array<std::uint32_t, 2> key) {
+  for (int round = 0; round < 10; ++round) {
+    const std::uint32_t hi0 = MulHi(kPhiloxM0, ctr[0]);
+    const std::uint32_t lo0 = kPhiloxM0 * ctr[0];
+    const std::uint32_t hi1 = MulHi(kPhiloxM1, ctr[2]);
+    const std::uint32_t lo1 = kPhiloxM1 * ctr[2];
+    ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+    key[0] += kPhiloxW0;
+    key[1] += kPhiloxW1;
+  }
+  return ctr;
+}
+
+void Xoshiro256::LongJump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      (*this)();
+    }
+  }
+  state_ = {s0, s1, s2, s3};
+}
+
+}  // namespace cdd::rng

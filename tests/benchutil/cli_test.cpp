@@ -1,0 +1,70 @@
+/// CLI parser tests.
+
+#include "benchutil/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdd::benchutil {
+namespace {
+
+Args Make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, ParsesKeyEqualsValue) {
+  const Args args = Make({"prog", "--sizes=10,20", "--gens=500"});
+  EXPECT_EQ(args.GetString("sizes", ""), "10,20");
+  EXPECT_EQ(args.GetInt("gens", 0), 500);
+}
+
+TEST(Cli, ParsesKeySpaceValue) {
+  const Args args = Make({"prog", "--ensemble", "768", "--mu", "0.88"});
+  EXPECT_EQ(args.GetInt("ensemble", 0), 768);
+  EXPECT_DOUBLE_EQ(args.GetDouble("mu", 0.0), 0.88);
+}
+
+TEST(Cli, BareFlagsAreTrue) {
+  const Args args = Make({"prog", "--paper", "--verbose"});
+  EXPECT_TRUE(args.GetBool("paper"));
+  EXPECT_TRUE(args.GetBool("verbose"));
+  EXPECT_FALSE(args.GetBool("absent"));
+  EXPECT_TRUE(args.GetBool("absent", true));
+}
+
+TEST(Cli, ExplicitBooleans) {
+  const Args args = Make({"prog", "--a=true", "--b=0", "--c", "off"});
+  EXPECT_TRUE(args.GetBool("a"));
+  EXPECT_FALSE(args.GetBool("b"));
+  EXPECT_FALSE(args.GetBool("c"));
+  const Args bad = Make({"prog", "--x=maybe"});
+  EXPECT_THROW(bad.GetBool("x"), std::invalid_argument);
+}
+
+TEST(Cli, UintLists) {
+  const Args args = Make({"prog", "--sizes", "10,20,50"});
+  EXPECT_EQ(args.GetUintList("sizes", {}),
+            (std::vector<std::uint32_t>{10, 20, 50}));
+  EXPECT_EQ(args.GetUintList("absent", {7}),
+            (std::vector<std::uint32_t>{7}));
+  const Args bad = Make({"prog", "--sizes", "10,x"});
+  EXPECT_THROW(bad.GetUintList("sizes", {}), std::invalid_argument);
+}
+
+TEST(Cli, FallbacksAndErrors) {
+  const Args args = Make({"prog"});
+  EXPECT_EQ(args.GetInt("n", 42), 42);
+  EXPECT_DOUBLE_EQ(args.GetDouble("d", 1.5), 1.5);
+  const Args bad = Make({"prog", "--n", "abc"});
+  EXPECT_THROW(bad.GetInt("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArguments) {
+  const Args args = Make({"prog", "input.txt", "--k=1", "more.txt"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"input.txt", "more.txt"}));
+  EXPECT_EQ(args.program(), "prog");
+}
+
+}  // namespace
+}  // namespace cdd::benchutil

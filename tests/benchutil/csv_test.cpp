@@ -1,0 +1,62 @@
+/// CSV writer tests.
+
+#include "benchutil/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cdd::benchutil {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = TempPath("cdd_csv_test.csv");
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.AddRow({"1", "2"});
+    csv.AddRow({"3", "4"});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  EXPECT_EQ(Slurp(path), "a,b\n1,2\n3,4\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, PadsAndTruncatesRows) {
+  const std::string path = TempPath("cdd_csv_pad.csv");
+  {
+    CsvWriter csv(path, {"a", "b", "c"});
+    csv.AddRow({"1"});
+    csv.AddRow({"1", "2", "3", "4"});
+  }
+  EXPECT_EQ(Slurp(path), "a,b,c\n1,,\n1,2,3\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EscapesPerRfc4180) {
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::Escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cdd::benchutil

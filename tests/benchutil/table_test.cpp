@@ -1,0 +1,98 @@
+/// Table / chart / stats rendering tests.
+
+#include "benchutil/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchutil/asciichart.hpp"
+#include "benchutil/stats.hpp"
+
+namespace cdd::benchutil {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndPadsShortRows) {
+  TextTable table({"a", "bbbb", "c"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"333", "4", "5"});
+  const std::string out = table.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("bbbb"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Formatting, Doubles) {
+  EXPECT_EQ(FmtDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Formatting, Seconds) {
+  EXPECT_NE(FmtSeconds(5e-6).find("us"), std::string::npos);
+  EXPECT_NE(FmtSeconds(5e-3).find("ms"), std::string::npos);
+  EXPECT_NE(FmtSeconds(5.0).find("s"), std::string::npos);
+}
+
+TEST(RunningStats, WelfordMatchesClosedForm) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, DegenerateCases) {
+  RunningStats empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.variance(), 0.0);
+  RunningStats one;
+  one.Add(3.0);
+  EXPECT_EQ(one.variance(), 0.0);
+  EXPECT_EQ(one.mean(), 3.0);
+}
+
+TEST(BarChart, RendersSeriesAndLegend) {
+  const std::vector<std::string> cats{"10", "20"};
+  const std::vector<Series> series{{"SA", {1.0, 2.0}},
+                                   {"DPSO", {3.0, 0.5}}};
+  const std::string chart = BarChart(cats, series, 6);
+  EXPECT_NE(chart.find("legend"), std::string::npos);
+  EXPECT_NE(chart.find("#=SA"), std::string::npos);
+  EXPECT_NE(chart.find("o=DPSO"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(BarChart, HandlesNegativeValues) {
+  const std::vector<std::string> cats{"a"};
+  const std::vector<Series> series{{"s", {-1.0}}};
+  const std::string chart = BarChart(cats, series, 6);
+  EXPECT_FALSE(chart.empty());
+}
+
+TEST(BarChart, EmptyInputsReturnEmpty) {
+  EXPECT_TRUE(BarChart({}, {{"s", {1.0}}}).empty());
+  EXPECT_TRUE(BarChart({"a"}, {}).empty());
+}
+
+TEST(LineChart, RendersAllSeriesMarkers) {
+  const std::vector<std::string> cats{"10", "100", "1000"};
+  const std::vector<Series> series{{"gpu", {0.01, 0.1, 1.0}},
+                                   {"cpu", {0.1, 10.0, 1000.0}}};
+  const std::string chart = LineChart(cats, series, 10);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("#=gpu"), std::string::npos);
+}
+
+TEST(LineChart, LinearScaleWorksToo) {
+  const std::vector<std::string> cats{"a", "b"};
+  const std::vector<Series> series{{"s", {1.0, 2.0}}};
+  EXPECT_FALSE(LineChart(cats, series, 5, /*log_scale=*/false).empty());
+}
+
+}  // namespace
+}  // namespace cdd::benchutil

@@ -1,0 +1,80 @@
+#pragma once
+/// \file test_instances.hpp
+/// \brief Shared fixtures for the test suite: the paper's Table I example
+/// and randomized instance generators for property tests.
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/sequence.hpp"
+#include "rng/philox.hpp"
+
+namespace cdd::testing {
+
+/// Table I of the paper (5 jobs).  CDD illustration uses d = 16,
+/// UCDDCP illustration uses d = 22.
+inline Instance PaperExampleCdd() {
+  return Instance(Problem::kCdd, /*d=*/16,
+                  /*proc=*/{6, 5, 2, 4, 4},
+                  /*early=*/{7, 9, 6, 9, 3},
+                  /*tardy=*/{9, 5, 4, 3, 2});
+}
+
+inline Instance PaperExampleUcddcp() {
+  return Instance(Problem::kUcddcp, /*d=*/22,
+                  /*proc=*/{6, 5, 2, 4, 4},
+                  /*early=*/{7, 9, 6, 9, 3},
+                  /*tardy=*/{9, 5, 4, 3, 2},
+                  /*min_proc=*/{5, 5, 2, 3, 3},
+                  /*compress=*/{5, 4, 3, 2, 1});
+}
+
+/// Random CDD instance in the Biskup–Feldmann distribution family, with a
+/// due date of restrictiveness \p h (h > 1 gives unrestricted instances).
+inline Instance RandomCdd(std::uint32_t n, double h, std::uint64_t seed) {
+  rng::Philox4x32 rng(seed, /*stream=*/0x1e57ULL);
+  std::vector<Time> proc(n);
+  std::vector<Cost> early(n);
+  std::vector<Cost> tardy(n);
+  Time total = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    proc[i] = 1 + UniformBelow(rng, 20);
+    early[i] = UniformBelow(rng, 11);  // includes 0: exercises degenerate
+    tardy[i] = UniformBelow(rng, 16);  // penalty corners
+    total += proc[i];
+  }
+  const Time d = static_cast<Time>(h * static_cast<double>(total));
+  return Instance(Problem::kCdd, d, std::move(proc), std::move(early),
+                  std::move(tardy));
+}
+
+/// Random unrestricted UCDDCP instance (d >= sum P, slack controlled by
+/// \p h >= 1).
+inline Instance RandomUcddcp(std::uint32_t n, double h, std::uint64_t seed) {
+  rng::Philox4x32 rng(seed, /*stream=*/0x1e58ULL);
+  std::vector<Time> proc(n);
+  std::vector<Time> min_proc(n);
+  std::vector<Cost> early(n);
+  std::vector<Cost> tardy(n);
+  std::vector<Cost> gamma(n);
+  Time total = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    proc[i] = 1 + UniformBelow(rng, 20);
+    min_proc[i] = 1 + UniformBelow(rng, static_cast<std::uint32_t>(proc[i]));
+    early[i] = UniformBelow(rng, 11);
+    tardy[i] = UniformBelow(rng, 16);
+    gamma[i] = UniformBelow(rng, 11);
+    total += proc[i];
+  }
+  const Time d = static_cast<Time>(h * static_cast<double>(total));
+  return Instance(Problem::kUcddcp, d, std::move(proc), std::move(early),
+                  std::move(tardy), std::move(min_proc), std::move(gamma));
+}
+
+/// Random permutation of n jobs.
+inline Sequence RandomSeq(std::uint32_t n, std::uint64_t seed) {
+  rng::Philox4x32 rng(seed, /*stream=*/0x5e9ULL);
+  return RandomSequence(n, rng);
+}
+
+}  // namespace cdd::testing

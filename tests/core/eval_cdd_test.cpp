@@ -1,0 +1,153 @@
+/// Tests of the O(n) CDD evaluator (Lässig et al. [7]) against the paper's
+/// worked example and the independent O(n^2) oracle.
+
+#include "core/eval_cdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/test_instances.hpp"
+#include "core/reference_eval.hpp"
+#include "core/schedule.hpp"
+
+namespace cdd {
+namespace {
+
+TEST(EvalCdd, PaperIllustrationCostIs81) {
+  const Instance instance = cdd::testing::PaperExampleCdd();
+  const Sequence seq = IdentitySequence(5);
+  EXPECT_EQ(EvaluateCddSequence(instance, seq), 81);
+}
+
+TEST(EvalCdd, PaperIllustrationScheduleMatchesFigure3) {
+  // Figure 3: after two crossing shifts, job 2 (1-based) completes at the
+  // due date; completions are {11, 16, 18, 22, 26}.
+  const Instance instance = cdd::testing::PaperExampleCdd();
+  const CddEvaluator eval(instance);
+  const Sequence seq = IdentitySequence(5);
+  const auto detail = eval.EvaluateDetailed(seq);
+  EXPECT_EQ(detail.cost, 81);
+  EXPECT_EQ(detail.offset, 5);
+  EXPECT_EQ(detail.pinned, 1);  // 0-based position of job 2
+
+  const Schedule schedule = eval.BuildSchedule(seq);
+  const std::vector<Time> expected{11, 16, 18, 22, 26};
+  EXPECT_EQ(schedule.completion, expected);
+  EXPECT_EQ(EvaluateSchedule(instance, schedule), 81);
+  ValidateSchedule(instance, schedule, /*require_no_idle=*/true);
+}
+
+TEST(EvalCdd, InitialScheduleWhenTardinessDominates) {
+  // All-beta-heavy instance: the left-aligned schedule is optimal, no job
+  // pinned at the due date.
+  const Instance instance(Problem::kCdd, /*d=*/10,
+                          /*proc=*/{5, 5, 5},
+                          /*early=*/{1, 1, 1},
+                          /*tardy=*/{100, 100, 100});
+  const CddEvaluator eval(instance);
+  const auto detail = eval.EvaluateDetailed(IdentitySequence(3));
+  EXPECT_EQ(detail.offset, 0);
+  // C = {5, 10, 15}: job 2 ends exactly at d -> pinned at a breakpoint.
+  EXPECT_EQ(detail.pinned, 1);
+  EXPECT_EQ(detail.cost, 1 * 5 + 100 * 5);
+}
+
+TEST(EvalCdd, AllJobsTardyWhenDueDateTiny) {
+  const Instance instance(Problem::kCdd, /*d=*/0,
+                          /*proc=*/{3, 4},
+                          /*early=*/{5, 5},
+                          /*tardy=*/{2, 3});
+  const CddEvaluator eval(instance);
+  const auto detail = eval.EvaluateDetailed(IdentitySequence(2));
+  EXPECT_EQ(detail.offset, 0);
+  EXPECT_EQ(detail.pinned, -1);
+  EXPECT_EQ(detail.cost, 2 * 3 + 3 * 7);
+}
+
+TEST(EvalCdd, SingleJob) {
+  const Instance instance(Problem::kCdd, /*d=*/7, {4}, {3}, {5});
+  // Optimal: finish exactly at d (earliness penalty 3 > nothing).
+  EXPECT_EQ(EvaluateCddSequence(instance, IdentitySequence(1)), 0);
+}
+
+TEST(EvalCdd, ZeroEarlinessPenaltiesStayLeftAligned) {
+  const Instance instance(Problem::kCdd, /*d=*/100,
+                          /*proc=*/{5, 5},
+                          /*early=*/{0, 0},
+                          /*tardy=*/{7, 7});
+  const CddEvaluator eval(instance);
+  const auto detail = eval.EvaluateDetailed(IdentitySequence(2));
+  EXPECT_EQ(detail.cost, 0);
+  EXPECT_EQ(detail.offset, 0);
+}
+
+TEST(EvalCdd, MatchesReferenceOnPaperExampleAllPermutations) {
+  const Instance instance = cdd::testing::PaperExampleCdd();
+  Sequence seq = IdentitySequence(5);
+  const CddEvaluator eval(instance);
+  do {
+    EXPECT_EQ(eval.Evaluate(seq), ReferenceCddCost(instance, seq))
+        << "sequence " << seq[0] << seq[1] << seq[2] << seq[3] << seq[4];
+  } while (std::next_permutation(seq.begin(), seq.end()));
+}
+
+/// Property sweep: fast O(n) == O(n^2) oracle over random instances of
+/// varying size and restrictiveness, including unrestricted ones.
+class CddOracleSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
+
+TEST_P(CddOracleSweep, FastEvaluatorMatchesOracle) {
+  const auto [n, h] = GetParam();
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    const std::uint64_t seed = 7900 + trial * 13 + n * 1009;
+    const Instance instance = cdd::testing::RandomCdd(n, h, seed);
+    const CddEvaluator eval(instance);
+    const Sequence seq = cdd::testing::RandomSeq(n, seed ^ 0xabc);
+    ASSERT_EQ(eval.Evaluate(seq), ReferenceCddCost(instance, seq))
+        << instance.Summary() << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRestrictiveness, CddOracleSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 40u, 150u),
+                       ::testing::Values(0.2, 0.4, 0.6, 0.8, 1.0, 1.3)));
+
+/// Shift invariance: adding a constant to the due date of an unrestricted
+/// instance does not change the optimal cost of any sequence.
+TEST(EvalCddProperty, UnrestrictedCostInvariantToDueDateShift) {
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    const Instance base = cdd::testing::RandomCdd(12, 1.2, 4242 + trial);
+    const Sequence seq = cdd::testing::RandomSeq(12, trial);
+    const Cost c0 = EvaluateCddSequence(base, seq);
+    const Instance shifted = base.with_due_date(base.due_date() + 57);
+    EXPECT_EQ(EvaluateCddSequence(shifted, seq), c0);
+  }
+}
+
+/// The evaluator's schedule must be feasible, idle-free and reproduce the
+/// reported cost when evaluated from first principles.
+TEST(EvalCddProperty, ScheduleConsistentWithReportedCost) {
+  for (std::uint64_t trial = 0; trial < 25; ++trial) {
+    const std::uint32_t n = 2 + static_cast<std::uint32_t>(trial % 14);
+    const double h = 0.2 + 0.3 * static_cast<double>(trial % 4);
+    const Instance instance = cdd::testing::RandomCdd(n, h, 909 + trial);
+    const CddEvaluator eval(instance);
+    const Sequence seq = cdd::testing::RandomSeq(n, trial * 31);
+    const Schedule schedule = eval.BuildSchedule(seq);
+    ValidateSchedule(instance, schedule, /*require_no_idle=*/true);
+    EXPECT_EQ(EvaluateSchedule(instance, schedule), eval.Evaluate(seq));
+  }
+}
+
+TEST(EvalCdd, RejectsNonPermutation) {
+  const Instance instance = cdd::testing::PaperExampleCdd();
+  EXPECT_THROW(EvaluateCddSequence(instance, Sequence{0, 1, 2, 3, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(EvaluateCddSequence(instance, Sequence{0, 1, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdd

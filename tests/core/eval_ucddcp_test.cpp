@@ -1,0 +1,116 @@
+/// Tests of the O(n) UCDDCP evaluator (Awasthi et al. [8]) against the
+/// paper's worked example, the O(n^2) oracle and structural properties.
+
+#include "core/eval_ucddcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/test_instances.hpp"
+#include "core/eval_cdd.hpp"
+#include "core/reference_eval.hpp"
+#include "core/schedule.hpp"
+
+namespace cdd {
+namespace {
+
+TEST(EvalUcddcp, PaperIllustrationCostIs77) {
+  const Instance instance = cdd::testing::PaperExampleUcddcp();
+  const Sequence seq = IdentitySequence(5);
+  EXPECT_EQ(EvaluateUcddcpSequence(instance, seq), 77);
+}
+
+TEST(EvalUcddcp, PaperIllustrationCompressionsMatchFigures5And6) {
+  // Figures 5 and 6: jobs 5 and 4 (1-based) are compressed by one unit
+  // each; jobs 1..3 stay at their nominal processing times.
+  const Instance instance = cdd::testing::PaperExampleUcddcp();
+  const UcddcpEvaluator eval(instance);
+  const Sequence seq = IdentitySequence(5);
+  const Schedule schedule = eval.BuildSchedule(seq);
+  const std::vector<Time> expected_x{0, 0, 0, 1, 1};
+  EXPECT_EQ(schedule.compression, expected_x);
+  // Job 2 completes at the due date (Property 1, from the CDD optimum).
+  EXPECT_EQ(schedule.completion[1], instance.due_date());
+  EXPECT_EQ(EvaluateSchedule(instance, schedule), 77);
+  ValidateSchedule(instance, schedule, /*require_no_idle=*/true);
+}
+
+TEST(EvalUcddcp, CompressionNeverIncreasesCostVsCdd) {
+  // The UCDDCP optimum is at most the CDD optimum of the same sequence
+  // (X = 0 is always feasible).
+  for (std::uint64_t trial = 0; trial < 30; ++trial) {
+    const std::uint32_t n = 2 + static_cast<std::uint32_t>(trial % 12);
+    const Instance instance =
+        cdd::testing::RandomUcddcp(n, 1.0 + 0.1 * (trial % 4), 555 + trial);
+    const Sequence seq = cdd::testing::RandomSeq(n, trial);
+    const Cost controllable = EvaluateUcddcpSequence(instance, seq);
+    const Cost rigid = EvaluateCddSequence(instance.as_cdd(), seq);
+    EXPECT_LE(controllable, rigid) << instance.Summary();
+  }
+}
+
+TEST(EvalUcddcp, ZeroCompressionPenaltiesCompressEverythingTardy) {
+  // With gamma = 0 every tardy job is compressed to its minimum.
+  const Instance instance(Problem::kUcddcp, /*d=*/20,
+                          /*proc=*/{10, 5, 5},
+                          /*early=*/{1, 1, 1},
+                          /*tardy=*/{2, 2, 2},
+                          /*min_proc=*/{4, 2, 2},
+                          /*compress=*/{0, 0, 0});
+  const UcddcpEvaluator eval(instance);
+  const Schedule schedule = eval.BuildSchedule(IdentitySequence(3));
+  // Every position after the pinned one must be fully compressed.
+  const auto detail = eval.EvaluateDetailed(IdentitySequence(3));
+  for (std::size_t k = static_cast<std::size_t>(detail.pinned) + 1;
+       k < schedule.size(); ++k) {
+    const Job& job =
+        instance.job(static_cast<std::size_t>(schedule.order[k]));
+    EXPECT_EQ(schedule.compression[k], job.proc - job.min_proc);
+  }
+}
+
+TEST(EvalUcddcp, RejectsRestrictedInstances) {
+  EXPECT_THROW(
+      UcddcpEvaluator(Instance(Problem::kCdd, /*d=*/5, {4, 4}, {1, 1},
+                               {1, 1})),
+      std::invalid_argument);
+}
+
+/// Property sweep: fast O(n) == O(n^2) oracle (which scans all candidate
+/// due-date positions) over random unrestricted instances.
+class UcddcpOracleSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
+
+TEST_P(UcddcpOracleSweep, FastEvaluatorMatchesOracle) {
+  const auto [n, slack] = GetParam();
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    const std::uint64_t seed = 1200 + trial * 17 + n * 211;
+    const Instance instance = cdd::testing::RandomUcddcp(n, slack, seed);
+    const UcddcpEvaluator eval(instance);
+    const Sequence seq = cdd::testing::RandomSeq(n, seed ^ 0xdef);
+    ASSERT_EQ(eval.Evaluate(seq), ReferenceUcddcpCost(instance, seq))
+        << instance.Summary() << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSlack, UcddcpOracleSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 40u, 150u),
+                       ::testing::Values(1.0, 1.1, 1.5)));
+
+TEST(EvalUcddcpProperty, ScheduleConsistentWithReportedCost) {
+  for (std::uint64_t trial = 0; trial < 25; ++trial) {
+    const std::uint32_t n = 2 + static_cast<std::uint32_t>(trial % 14);
+    const Instance instance =
+        cdd::testing::RandomUcddcp(n, 1.0 + 0.2 * (trial % 3), 77 + trial);
+    const UcddcpEvaluator eval(instance);
+    const Sequence seq = cdd::testing::RandomSeq(n, trial * 7);
+    const Schedule schedule = eval.BuildSchedule(seq);
+    ValidateSchedule(instance, schedule, /*require_no_idle=*/true);
+    EXPECT_EQ(EvaluateSchedule(instance, schedule), eval.Evaluate(seq));
+  }
+}
+
+}  // namespace
+}  // namespace cdd

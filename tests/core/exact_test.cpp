@@ -1,0 +1,82 @@
+/// Exact-solver tests: brute force vs the V-shape subset solver, and both
+/// as ground truth for structural properties.
+
+#include "core/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+#include "core/eval_cdd.hpp"
+#include "core/eval_ucddcp.hpp"
+#include "core/vshape.hpp"
+
+namespace cdd {
+namespace {
+
+TEST(Exact, BruteForceRefusesLargeInstances) {
+  const Instance big = cdd::testing::RandomCdd(11, 0.5, 1);
+  EXPECT_THROW(BruteForceCdd(big), std::invalid_argument);
+}
+
+TEST(Exact, VShapeSolverRefusesRestrictedInstances) {
+  EXPECT_THROW(ExactVShapeCdd(cdd::testing::PaperExampleCdd()),
+               std::invalid_argument);
+}
+
+TEST(Exact, PaperExampleUcddcpOptimum) {
+  // The identity sequence scores 77; the optimum over all sequences can
+  // only be at most that.
+  const Instance instance = cdd::testing::PaperExampleUcddcp();
+  const ExactResult exact = BruteForceUcddcp(instance);
+  EXPECT_LE(exact.cost, 77);
+  EXPECT_EQ(EvaluateUcddcpSequence(instance, exact.sequence), exact.cost);
+}
+
+/// Brute force and the V-shape subset solver must agree on unrestricted
+/// CDD instances (two independent exact methods).
+class ExactAgreement : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ExactAgreement, BruteForceEqualsVShapeSolver) {
+  const std::uint32_t n = GetParam();
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    const Instance instance =
+        cdd::testing::RandomCdd(n, 1.0 + 0.2 * (trial % 3), 31 + trial * 7);
+    const ExactResult bf = BruteForceCdd(instance);
+    const ExactResult vs = ExactVShapeCdd(instance);
+    ASSERT_EQ(bf.cost, vs.cost) << instance.Summary() << " trial=" << trial;
+    // Both sequences must actually achieve the reported cost.
+    EXPECT_EQ(EvaluateCddSequence(instance, bf.sequence), bf.cost);
+    EXPECT_EQ(EvaluateCddSequence(instance, vs.sequence), vs.cost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, ExactAgreement,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+/// V-shape solver scales past brute force and its result is always
+/// achievable and V-shaped.
+TEST(Exact, VShapeSolverMediumSizes) {
+  for (const std::uint32_t n : {10u, 14u, 18u}) {
+    const Instance instance = cdd::testing::RandomCdd(n, 1.1, n * 97);
+    const ExactResult vs = ExactVShapeCdd(instance);
+    EXPECT_EQ(EvaluateCddSequence(instance, vs.sequence), vs.cost);
+    EXPECT_TRUE(IsVShaped(instance, vs.sequence));
+  }
+}
+
+/// Structural property: for unrestricted instances some optimal sequence is
+/// V-shaped, so the V-shape optimum equals the global optimum — and any
+/// metaheuristic result must be >= it.
+TEST(Exact, MetaheuristicResultsBoundedByExact) {
+  const Instance instance = cdd::testing::RandomCdd(6, 1.3, 2024);
+  const ExactResult exact = BruteForceCdd(instance);
+  const CddEvaluator eval(instance);
+  // Every single permutation costs at least the optimum.
+  Sequence seq = IdentitySequence(6);
+  do {
+    ASSERT_GE(eval.Evaluate(seq), exact.cost);
+  } while (std::next_permutation(seq.begin(), seq.end()));
+}
+
+}  // namespace
+}  // namespace cdd

@@ -1,0 +1,91 @@
+/// Instance construction and validation tests.
+
+#include "core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+
+namespace cdd {
+namespace {
+
+TEST(Instance, ParallelArrayConstructionFillsDefaults) {
+  const Instance inst(Problem::kCdd, 10, {3, 4}, {1, 2}, {5, 6});
+  EXPECT_EQ(inst.size(), 2u);
+  EXPECT_EQ(inst.job(0).proc, 3);
+  EXPECT_EQ(inst.job(0).min_proc, 3);  // defaults to P_i
+  EXPECT_EQ(inst.job(0).compress, 0);
+  EXPECT_EQ(inst.job(1).early, 2);
+  EXPECT_EQ(inst.job(1).tardy, 6);
+}
+
+TEST(Instance, MismatchedArrayLengthsThrow) {
+  EXPECT_THROW(Instance(Problem::kCdd, 10, {3, 4}, {1}, {5, 6}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Instance(Problem::kCdd, 10, {3, 4}, {1, 2}, {5, 6}, {3}),
+      std::invalid_argument);
+}
+
+TEST(Instance, TotalsAndRestrictiveness) {
+  const Instance inst = cdd::testing::PaperExampleCdd();
+  EXPECT_EQ(inst.total_processing_time(), 21);
+  EXPECT_FALSE(inst.is_unrestricted());  // d = 16 < 21
+  EXPECT_NEAR(inst.restrictiveness(), 16.0 / 21.0, 1e-12);
+
+  const Instance ucddcp = cdd::testing::PaperExampleUcddcp();
+  EXPECT_TRUE(ucddcp.is_unrestricted());  // d = 22 >= 21
+  EXPECT_EQ(ucddcp.total_min_processing_time(), 18);
+}
+
+TEST(Instance, ValidateAcceptsPaperExamples) {
+  EXPECT_NO_THROW(cdd::testing::PaperExampleCdd().Validate());
+  EXPECT_NO_THROW(cdd::testing::PaperExampleUcddcp().Validate());
+}
+
+TEST(Instance, ValidateRejectsBadData) {
+  // Processing time < 1.
+  EXPECT_THROW(Instance(Problem::kCdd, 5, {0}, {1}, {1}).Validate(),
+               std::invalid_argument);
+  // min_proc > proc.
+  EXPECT_THROW(
+      Instance(Problem::kUcddcp, 50, {4}, {1}, {1}, {5}, {1}).Validate(),
+      std::invalid_argument);
+  // Negative penalty.
+  EXPECT_THROW(Instance(Problem::kCdd, 5, {4}, {-1}, {1}).Validate(),
+               std::invalid_argument);
+  // Negative due date.
+  EXPECT_THROW(Instance(Problem::kCdd, -1, {4}, {1}, {1}).Validate(),
+               std::invalid_argument);
+  // Empty instance.
+  EXPECT_THROW(Instance(Problem::kCdd, 5, {}, {}, {}).Validate(),
+               std::invalid_argument);
+  // Restricted UCDDCP.
+  EXPECT_THROW(
+      Instance(Problem::kUcddcp, 3, {4}, {1}, {1}, {2}, {1}).Validate(),
+      std::invalid_argument);
+}
+
+TEST(Instance, WithDueDateAndAsCdd) {
+  const Instance ucddcp = cdd::testing::PaperExampleUcddcp();
+  const Instance shifted = ucddcp.with_due_date(30);
+  EXPECT_EQ(shifted.due_date(), 30);
+  EXPECT_EQ(shifted.job(0), ucddcp.job(0));
+
+  const Instance rigid = ucddcp.as_cdd();
+  EXPECT_EQ(rigid.problem(), Problem::kCdd);
+  for (std::size_t i = 0; i < rigid.size(); ++i) {
+    EXPECT_EQ(rigid.job(i).min_proc, rigid.job(i).proc);
+    EXPECT_EQ(rigid.job(i).compress, 0);
+  }
+}
+
+TEST(Instance, SummaryMentionsProblemAndSize) {
+  const std::string s = cdd::testing::PaperExampleCdd().Summary();
+  EXPECT_NE(s.find("CDD"), std::string::npos);
+  EXPECT_NE(s.find("n=5"), std::string::npos);
+  EXPECT_NE(s.find("d=16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdd

@@ -1,0 +1,91 @@
+/// Schedule feasibility checking and Gantt rendering tests.
+
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+#include "core/eval_cdd.hpp"
+
+namespace cdd {
+namespace {
+
+Schedule PaperSchedule() {
+  // Figure 3: completions {11, 16, 18, 22, 26}, no compression.
+  Schedule s;
+  s.order = IdentitySequence(5);
+  s.completion = {11, 16, 18, 22, 26};
+  s.compression = {0, 0, 0, 0, 0};
+  return s;
+}
+
+TEST(Schedule, EvaluateMatchesPaperFigure3) {
+  const Instance instance = cdd::testing::PaperExampleCdd();
+  EXPECT_EQ(EvaluateSchedule(instance, PaperSchedule()), 81);
+}
+
+TEST(Schedule, ValidateAcceptsFeasible) {
+  const Instance instance = cdd::testing::PaperExampleCdd();
+  EXPECT_NO_THROW(
+      ValidateSchedule(instance, PaperSchedule(), /*require_no_idle=*/true));
+}
+
+TEST(Schedule, ValidateRejectsOverlap) {
+  const Instance instance = cdd::testing::PaperExampleCdd();
+  Schedule s = PaperSchedule();
+  s.completion[1] = 12;  // job 1 needs 5 time units after completion 11
+  EXPECT_THROW(ValidateSchedule(instance, s), std::invalid_argument);
+}
+
+TEST(Schedule, ValidateRejectsIdleWhenForbidden) {
+  const Instance instance = cdd::testing::PaperExampleCdd();
+  Schedule s = PaperSchedule();
+  s.completion[4] = 28;  // 2 units of idle before the last job
+  EXPECT_NO_THROW(ValidateSchedule(instance, s));  // idle allowed by default
+  EXPECT_THROW(ValidateSchedule(instance, s, /*require_no_idle=*/true),
+               std::invalid_argument);
+}
+
+TEST(Schedule, ValidateRejectsExcessCompression) {
+  const Instance instance = cdd::testing::PaperExampleUcddcp();
+  Schedule s = PaperSchedule();
+  s.compression[0] = 2;  // job 0 is reducible by at most 1
+  EXPECT_THROW(ValidateSchedule(instance, s), std::invalid_argument);
+}
+
+TEST(Schedule, ValidateRejectsNegativeStart) {
+  const Instance instance(Problem::kCdd, 4, {5}, {1}, {1});
+  Schedule s;
+  s.order = {0};
+  s.completion = {4};  // would start at -1
+  EXPECT_THROW(ValidateSchedule(instance, s), std::invalid_argument);
+}
+
+TEST(Schedule, StartTimeAccountsForCompression) {
+  const Instance instance = cdd::testing::PaperExampleUcddcp();
+  Schedule s = PaperSchedule();
+  s.compression = {1, 0, 0, 0, 0};
+  EXPECT_EQ(StartTime(instance, s, 0), 11 - 5);  // P=6, X=1
+  EXPECT_EQ(StartTime(instance, s, 1), 16 - 5);
+}
+
+TEST(Schedule, RenderGanttMarksDueDate) {
+  const Instance instance = cdd::testing::PaperExampleCdd();
+  const std::string gantt = RenderGantt(instance, PaperSchedule());
+  EXPECT_NE(gantt.find("d=16"), std::string::npos);
+  EXPECT_NE(gantt.find("A=job0"), std::string::npos);
+}
+
+TEST(Schedule, RenderGanttScalesWideSchedules) {
+  const Instance instance = cdd::testing::RandomCdd(20, 0.5, 3);
+  const CddEvaluator eval(instance);
+  const Schedule s = eval.BuildSchedule(IdentitySequence(20));
+  const std::string gantt = RenderGantt(instance, s, /*max_width=*/40);
+  // First line (the lane) must respect the width cap.
+  const std::size_t eol = gantt.find('\n');
+  ASSERT_NE(eol, std::string::npos);
+  EXPECT_LE(eol, 45u);
+}
+
+}  // namespace
+}  // namespace cdd

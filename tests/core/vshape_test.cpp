@@ -1,0 +1,82 @@
+/// V-shape checker and seed-heuristic tests.
+
+#include "core/vshape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+#include "core/eval_cdd.hpp"
+#include "core/exact.hpp"
+
+namespace cdd {
+namespace {
+
+TEST(VShape, CheckerAcceptsRatioOrderedSequences) {
+  // proc/alpha ratios descending before d, proc/beta ascending after.
+  const Instance instance(Problem::kCdd, /*d=*/100,
+                          /*proc=*/{8, 4, 2, 3, 9},
+                          /*early=*/{1, 1, 1, 1, 1},
+                          /*tardy=*/{1, 1, 1, 1, 1});
+  // Early side: 8, 4, 2 (ratios 8 > 4 > 2); tardy side: 3, 9 (3 < 9).
+  const Sequence seq{0, 1, 2, 3, 4};
+  EXPECT_TRUE(IsVShaped(instance, seq, /*pinned=*/2));
+  // Violation on the early side.
+  const Sequence bad{1, 0, 2, 3, 4};
+  EXPECT_FALSE(IsVShaped(instance, bad, /*pinned=*/2));
+  // Violation on the tardy side.
+  const Sequence bad2{0, 1, 2, 4, 3};
+  EXPECT_FALSE(IsVShaped(instance, bad2, /*pinned=*/2));
+}
+
+TEST(VShape, PinnedMinusOneChecksOnlyTardyOrder) {
+  const Instance instance(Problem::kCdd, /*d=*/0,
+                          /*proc=*/{1, 2, 3},
+                          /*early=*/{1, 1, 1},
+                          /*tardy=*/{1, 1, 1});
+  EXPECT_TRUE(IsVShaped(instance, Sequence{0, 1, 2}, -1));
+  EXPECT_FALSE(IsVShaped(instance, Sequence{2, 1, 0}, -1));
+}
+
+TEST(VShape, ExactOptimaAreVShapedOnUnrestrictedInstances) {
+  // Classic structural theorem, verified against the brute-force optimum.
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    Instance instance = cdd::testing::RandomCdd(6, 1.2, 100 + trial);
+    // Avoid zero penalties: ties in ratios make "the" V-shape ambiguous.
+    std::vector<Job> jobs = instance.jobs();
+    for (Job& j : jobs) {
+      j.early = j.early == 0 ? 1 : j.early;
+      j.tardy = j.tardy == 0 ? 1 : j.tardy;
+    }
+    instance = Instance(Problem::kCdd, instance.due_date(), jobs);
+    const ExactResult vs = ExactVShapeCdd(instance);
+    const ExactResult bf = BruteForceCdd(instance);
+    EXPECT_EQ(vs.cost, bf.cost) << instance.Summary();
+    EXPECT_TRUE(IsVShaped(instance, vs.sequence));
+  }
+}
+
+TEST(VShape, SeedIsAValidPermutation) {
+  for (const std::uint32_t n : {1u, 2u, 5u, 17u, 64u}) {
+    const Instance instance = cdd::testing::RandomCdd(n, 0.6, n);
+    const Sequence seed = VShapeSeed(instance);
+    EXPECT_NO_THROW(ValidateSequence(seed, n));
+  }
+}
+
+TEST(VShape, SeedBeatsWorstCaseOrderings) {
+  // The seed should be no worse than the identity on average; check it is
+  // never catastrophically bad (within 3x of the exact optimum here).
+  const Instance instance = cdd::testing::RandomCdd(8, 1.1, 777);
+  const CddEvaluator eval(instance);
+  const Cost seed_cost = eval.Evaluate(VShapeSeed(instance));
+  const Cost exact = BruteForceCdd(instance).cost;
+  EXPECT_GE(seed_cost, exact);
+  if (exact > 0) {
+    EXPECT_LE(seed_cost, 3 * exact)
+        << "V-shape seed unexpectedly poor: " << seed_cost << " vs "
+        << exact;
+  }
+}
+
+}  // namespace
+}  // namespace cdd

@@ -1,0 +1,72 @@
+/// Dim3 geometry and timing-model corner tests.
+
+#include "cudasim/dim3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cudasim/timing_model.hpp"
+
+namespace cdd::sim {
+namespace {
+
+TEST(Dim3, CountsAndDefaults) {
+  EXPECT_EQ(Dim3{}.count(), 1u);
+  EXPECT_EQ(Dim3(192).count(), 192u);
+  EXPECT_EQ(Dim3(4, 3, 2).count(), 24u);
+}
+
+TEST(Dim3, LinearIsABijectionOverTheBox) {
+  const Dim3 box(3, 4, 5);
+  std::set<std::size_t> seen;
+  for (std::uint32_t z = 0; z < box.z; ++z) {
+    for (std::uint32_t y = 0; y < box.y; ++y) {
+      for (std::uint32_t x = 0; x < box.x; ++x) {
+        const std::size_t lin = box.linear(x, y, z);
+        EXPECT_LT(lin, box.count());
+        EXPECT_TRUE(seen.insert(lin).second) << "collision at " << lin;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), box.count());
+}
+
+TEST(Dim3, XIsFastestAsInCuda) {
+  const Dim3 box(4, 4, 4);
+  EXPECT_EQ(box.linear(0, 0, 0), 0u);
+  EXPECT_EQ(box.linear(1, 0, 0), 1u);
+  EXPECT_EQ(box.linear(0, 1, 0), 4u);
+  EXPECT_EQ(box.linear(0, 0, 1), 16u);
+}
+
+TEST(Dim3, ToStringAndEquality) {
+  EXPECT_EQ(ToString(Dim3(4, 1, 1)), "(4,1,1)");
+  EXPECT_EQ(Dim3(2, 3), Dim3(2, 3, 1));
+  EXPECT_NE(Dim3(2), Dim3(3));
+}
+
+TEST(TimingModel, LatencyBoundDominatesSkewedWork) {
+  // One thread does all the work: the launch cannot finish before that
+  // thread even though the average load is tiny.
+  const TimingModel model(GeForceGT560M());
+  const std::uint64_t heavy = 10'000'000;
+  LaunchCharge skewed{{4}, {192}, heavy, heavy, 0};
+  const double t = model.KernelSeconds(skewed);
+  const DeviceProperties props = GeForceGT560M();
+  const double critical_path =
+      static_cast<double>(heavy) * props.cycles_per_work_unit /
+      props.clock_hz;
+  EXPECT_GE(t, critical_path);
+}
+
+TEST(TimingModel, BalancedWorkBeatsSkewedWorkAtEqualTotal) {
+  const TimingModel model(GeForceGT560M());
+  const std::uint64_t total = 768ull * 10000;
+  LaunchCharge balanced{{4}, {192}, total, 10000, 0};
+  LaunchCharge skewed{{4}, {192}, total, total, 0};
+  EXPECT_LT(model.KernelSeconds(balanced), model.KernelSeconds(skewed));
+}
+
+}  // namespace
+}  // namespace cdd::sim

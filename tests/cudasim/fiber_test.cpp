@@ -1,0 +1,135 @@
+/// Fiber substrate tests: resume/yield lifecycle, exceptions, pooling.
+
+#include "cudasim/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace cdd::sim {
+namespace {
+
+TEST(Fiber, RunsToCompletionWithoutYield) {
+  Fiber fiber;
+  int counter = 0;
+  fiber.Reset([&]() { counter = 42; });
+  EXPECT_FALSE(fiber.done());
+  EXPECT_FALSE(fiber.Resume());  // returns false: body finished
+  EXPECT_TRUE(fiber.done());
+  EXPECT_EQ(counter, 42);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  Fiber fiber;
+  std::vector<int> trace;
+  fiber.Reset([&]() {
+    trace.push_back(1);
+    fiber.Yield();
+    trace.push_back(2);
+    fiber.Yield();
+    trace.push_back(3);
+  });
+  EXPECT_TRUE(fiber.Resume());
+  EXPECT_EQ(trace, (std::vector<int>{1}));
+  EXPECT_TRUE(fiber.Resume());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(fiber.Resume());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Fiber, InterleavesTwoFibers) {
+  Fiber a;
+  Fiber b;
+  std::vector<char> trace;
+  a.Reset([&]() {
+    trace.push_back('a');
+    a.Yield();
+    trace.push_back('A');
+  });
+  b.Reset([&]() {
+    trace.push_back('b');
+    b.Yield();
+    trace.push_back('B');
+  });
+  a.Resume();
+  b.Resume();
+  a.Resume();
+  b.Resume();
+  EXPECT_EQ(trace, (std::vector<char>{'a', 'b', 'A', 'B'}));
+}
+
+TEST(Fiber, ExceptionsAreCapturedAndRethrown) {
+  Fiber fiber;
+  fiber.Reset([]() { throw std::runtime_error("kernel exploded"); });
+  EXPECT_FALSE(fiber.Resume());  // body "finished" (by throwing)
+  EXPECT_THROW(fiber.RethrowIfFailed(), std::runtime_error);
+  // A second rethrow is a no-op (error consumed).
+  EXPECT_NO_THROW(fiber.RethrowIfFailed());
+}
+
+TEST(Fiber, IsReusableAfterCompletion) {
+  Fiber fiber;
+  int total = 0;
+  for (int round = 0; round < 10; ++round) {
+    fiber.Reset([&]() { total += round; });
+    fiber.Resume();
+    ASSERT_TRUE(fiber.done());
+  }
+  EXPECT_EQ(total, 45);
+}
+
+TEST(Fiber, ResetWhileRunningThrows) {
+  Fiber fiber;
+  fiber.Reset([&]() { fiber.Yield(); });
+  fiber.Resume();  // suspended at the yield
+  EXPECT_THROW(fiber.Reset([]() {}), std::logic_error);
+}
+
+TEST(Fiber, ResumeAfterDoneThrows) {
+  Fiber fiber;
+  fiber.Reset([]() {});
+  fiber.Resume();
+  EXPECT_THROW(fiber.Resume(), std::logic_error);
+}
+
+TEST(FiberPool, GrowsAndReuses) {
+  FiberPool pool;
+  auto& first = pool.Acquire(4);
+  EXPECT_GE(first.size(), 4u);
+  Fiber* addr = &first[0];
+  auto& second = pool.Acquire(2);  // no shrink
+  EXPECT_GE(second.size(), 4u);
+  EXPECT_EQ(&second[0], addr);  // same fibers, reused
+  auto& third = pool.Acquire(8);
+  EXPECT_GE(third.size(), 8u);
+}
+
+TEST(FiberPool, ClearDropsFibers) {
+  FiberPool pool;
+  pool.Acquire(4);
+  pool.Clear();
+  auto& fresh = pool.Acquire(1);
+  EXPECT_GE(fresh.size(), 1u);
+}
+
+TEST(Fiber, DeepStackUsageSurvives) {
+  // Exercise a few KB of stack inside the fiber (the O(n) evaluators use
+  // far less).
+  Fiber fiber(128 * 1024);
+  long long sum = 0;
+  fiber.Reset([&]() {
+    volatile char buffer[32 * 1024];
+    for (std::size_t i = 0; i < sizeof buffer; ++i) {
+      buffer[i] = static_cast<char>(i);
+    }
+    for (std::size_t i = 0; i < sizeof buffer; i += 1024) {
+      sum += buffer[i];
+    }
+  });
+  fiber.Resume();
+  EXPECT_TRUE(fiber.done());
+}
+
+}  // namespace
+}  // namespace cdd::sim

@@ -1,0 +1,61 @@
+/// Profiler bookkeeping tests.
+
+#include "cudasim/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdd::sim {
+namespace {
+
+TEST(Profiler, AggregatesPerKernelName) {
+  Profiler prof;
+  prof.RecordKernel("fitness", 4, 768, 1000, 0.5);
+  prof.RecordKernel("fitness", 4, 768, 2000, 0.25);
+  prof.RecordKernel("reduce", 1, 32, 10, 0.01);
+
+  const KernelRecord* fitness = prof.Find("fitness");
+  ASSERT_NE(fitness, nullptr);
+  EXPECT_EQ(fitness->launches, 2u);
+  EXPECT_EQ(fitness->blocks, 8u);
+  EXPECT_EQ(fitness->threads, 1536u);
+  EXPECT_EQ(fitness->work_units, 3000u);
+  EXPECT_DOUBLE_EQ(fitness->sim_time_s, 0.75);
+  EXPECT_EQ(prof.kernels().size(), 2u);
+  EXPECT_EQ(prof.Find("absent"), nullptr);
+}
+
+TEST(Profiler, TransfersByDirection) {
+  Profiler prof;
+  prof.RecordTransfer(true, 100, 0.1);
+  prof.RecordTransfer(true, 200, 0.2);
+  prof.RecordTransfer(false, 50, 0.05);
+  EXPECT_EQ(prof.h2d().count, 2u);
+  EXPECT_EQ(prof.h2d().bytes, 300u);
+  EXPECT_DOUBLE_EQ(prof.h2d().sim_time_s, 0.3);
+  EXPECT_EQ(prof.d2h().count, 1u);
+  EXPECT_EQ(prof.d2h().bytes, 50u);
+}
+
+TEST(Profiler, ReportContainsEverySection) {
+  Profiler prof;
+  prof.RecordKernel("my_kernel", 1, 1, 1, 0.001);
+  prof.RecordTransfer(true, 42, 0.002);
+  const std::string report = prof.Report();
+  EXPECT_NE(report.find("my_kernel"), std::string::npos);
+  EXPECT_NE(report.find("H->D"), std::string::npos);
+  EXPECT_NE(report.find("D->H"), std::string::npos);
+  EXPECT_NE(report.find("42"), std::string::npos);
+}
+
+TEST(Profiler, ResetClearsEverything) {
+  Profiler prof;
+  prof.RecordKernel("k", 1, 1, 1, 1.0);
+  prof.RecordTransfer(false, 1, 1.0);
+  prof.Reset();
+  EXPECT_TRUE(prof.kernels().empty());
+  EXPECT_EQ(prof.h2d().count, 0u);
+  EXPECT_EQ(prof.d2h().count, 0u);
+}
+
+}  // namespace
+}  // namespace cdd::sim

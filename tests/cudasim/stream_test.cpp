@@ -1,0 +1,113 @@
+/// Stream (async timeline) tests: overlap semantics, synchronization,
+/// functional equivalence with the default timeline.
+
+#include "cudasim/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cudasim/device.hpp"
+
+namespace cdd::sim {
+namespace {
+
+KernelFn Burn(std::uint64_t units) {
+  return [units](ThreadCtx& t) { t.charge(units); };
+}
+
+TEST(Stream, IndependentStreamsOverlap) {
+  Device serial_dev;
+  serial_dev.Launch({4}, {64}, Burn(100000));
+  serial_dev.Launch({4}, {64}, Burn(100000));
+  serial_dev.Synchronize();
+  const double serial_time = serial_dev.sim_time_s();
+
+  Device overlap_dev;
+  Stream s1(overlap_dev);
+  Stream s2(overlap_dev);
+  overlap_dev.LaunchAsync(s1, {4}, {64}, LaunchOptions{}, Burn(100000));
+  overlap_dev.LaunchAsync(s2, {4}, {64}, LaunchOptions{}, Burn(100000));
+  overlap_dev.Synchronize();
+  // Two equal kernels overlap: total ~ half of back-to-back execution.
+  EXPECT_LT(overlap_dev.sim_time_s(), 0.7 * serial_time);
+}
+
+TEST(Stream, SameStreamSerializes) {
+  Device gpu;
+  Stream s(gpu);
+  gpu.LaunchAsync(s, {4}, {64}, LaunchOptions{}, Burn(100000));
+  const double after_one = s.ready_at();
+  gpu.LaunchAsync(s, {4}, {64}, LaunchOptions{}, Burn(100000));
+  EXPECT_NEAR(s.ready_at(), 2.0 * after_one, 0.1 * after_one);
+}
+
+TEST(Stream, SynchronizeJoinsOnlyThatStream) {
+  Device gpu;
+  Stream fast(gpu);
+  Stream slow(gpu);
+  gpu.LaunchAsync(fast, {1}, {32}, LaunchOptions{}, Burn(10));
+  gpu.LaunchAsync(slow, {4}, {64}, LaunchOptions{}, Burn(1000000));
+  fast.Synchronize();
+  EXPECT_GE(gpu.sim_time_s(), fast.ready_at());
+  EXPECT_LT(gpu.sim_time_s(), slow.ready_at());
+  slow.Synchronize();
+  EXPECT_GE(gpu.sim_time_s(), slow.ready_at());
+}
+
+TEST(Stream, DeviceSynchronizeJoinsAllStreams) {
+  Device gpu;
+  Stream s1(gpu);
+  Stream s2(gpu);
+  gpu.LaunchAsync(s1, {2}, {64}, LaunchOptions{}, Burn(50000));
+  gpu.LaunchAsync(s2, {2}, {64}, LaunchOptions{}, Burn(90000));
+  gpu.Synchronize();
+  EXPECT_GE(gpu.sim_time_s(), std::max(s1.ready_at(), s2.ready_at()));
+}
+
+TEST(Stream, StreamStartsAtCurrentDeviceClock) {
+  Device gpu;
+  gpu.Launch({4}, {64}, Burn(100000));  // advances the default timeline
+  const double t0 = gpu.sim_time_s();
+  Stream s(gpu);
+  gpu.LaunchAsync(s, {1}, {32}, LaunchOptions{}, Burn(10));
+  EXPECT_GT(s.ready_at(), t0);  // issued after existing work
+}
+
+TEST(Stream, ExecutionIsFunctionallyIdentical) {
+  // The same kernel on a stream writes the same data as on the default
+  // timeline (streams change accounting only).
+  std::vector<std::uint64_t> a(128, 0);
+  std::vector<std::uint64_t> b(128, 0);
+  const auto kernel = [](std::uint64_t* out) {
+    return [out](ThreadCtx& t) {
+      out[t.global_thread()] = t.global_thread() * 17;
+    };
+  };
+  Device gpu;
+  gpu.Launch({2}, {64}, kernel(a.data()));
+  Stream s(gpu);
+  gpu.LaunchAsync(s, {2}, {64}, LaunchOptions{}, kernel(b.data()));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Stream, ForeignStreamRejected) {
+  Device d1;
+  Device d2;
+  Stream s(d1);
+  EXPECT_THROW(d2.LaunchAsync(s, {1}, {32}, LaunchOptions{}, Burn(1)),
+               GpuError);
+}
+
+TEST(Stream, DestructionUnregisters) {
+  Device gpu;
+  {
+    Stream s(gpu);
+    gpu.LaunchAsync(s, {4}, {64}, LaunchOptions{}, Burn(1000000));
+  }  // stream destroyed with pending modeled time
+  const double before = gpu.sim_time_s();
+  gpu.Synchronize();  // must not join the dead stream
+  EXPECT_NEAR(gpu.sim_time_s(), before,
+              2 * gpu.properties().launch_overhead_s);
+}
+
+}  // namespace
+}  // namespace cdd::sim

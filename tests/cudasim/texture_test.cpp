@@ -1,0 +1,63 @@
+/// Texture-path and per-memory-space charge tests.
+
+#include "cudasim/texture.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cudasim/device.hpp"
+
+namespace cdd::sim {
+namespace {
+
+TEST(Texture, FetchReadsBufferContents) {
+  Device gpu;
+  DeviceBuffer<int> buffer(gpu, 4);
+  const std::vector<int> host{10, 20, 30, 40};
+  buffer.CopyFromHost(host);
+  const TextureRef<int> tex(buffer);
+  EXPECT_EQ(tex.size(), 4u);
+  EXPECT_EQ(tex.Fetch(0), 10);
+  EXPECT_EQ(tex.Fetch(3), 40);
+  EXPECT_EQ(tex.data()[2], 30);
+}
+
+TEST(Texture, OutOfBoundsFetchThrows) {
+  Device gpu;
+  DeviceBuffer<int> buffer(gpu, 4);
+  const TextureRef<int> tex(buffer);
+  EXPECT_THROW(tex.Fetch(4), GpuError);
+}
+
+TEST(MemorySpaceCharges, OrderingGlobalTextureShared) {
+  // Same nominal work, different memory paths: global costs the most,
+  // shared the least, texture in between (Section IX's hypothesis).
+  const auto run = [](void (ThreadCtx::*charge)(std::uint64_t)) {
+    Device gpu;
+    gpu.Launch({4}, {64}, [charge](ThreadCtx& t) {
+      (t.*charge)(100000);
+    });
+    return gpu.sim_time_s();
+  };
+  const double global_t = run(&ThreadCtx::charge);
+  const double texture_t = run(&ThreadCtx::charge_texture);
+  const double shared_t = run(&ThreadCtx::charge_shared);
+  const double constant_t = run(&ThreadCtx::charge_constant);
+  EXPECT_LT(texture_t, global_t);
+  EXPECT_LT(shared_t, texture_t);
+  EXPECT_LT(constant_t, texture_t);
+}
+
+TEST(MemorySpaceCharges, FactorsApplyExactly) {
+  Device gpu;
+  std::uint64_t observed = 0;
+  gpu.Launch({1}, {1}, [&](ThreadCtx& t) {
+    t.charge_texture(1000);
+    observed = t.charged();
+  });
+  const double factor = gpu.properties().texture_cost_factor;
+  EXPECT_EQ(observed,
+            static_cast<std::uint64_t>(1000.0 * factor + 0.5));
+}
+
+}  // namespace
+}  // namespace cdd::sim

@@ -1,0 +1,108 @@
+/// Analytic timing-model tests: wave arithmetic and monotone behaviour the
+/// paper reasons about in Section VIII / Figure 11.
+
+#include "cudasim/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cudasim/device_props.hpp"
+
+namespace cdd::sim {
+namespace {
+
+TEST(TimingModel, WaveArithmetic) {
+  // TinyDevice: 1 SM, 256 threads/SM, 1 block/SM => every block is a wave.
+  const TimingModel tiny(TinyDevice());
+  EXPECT_EQ(tiny.Waves({1}, {64}), 1u);
+  EXPECT_EQ(tiny.Waves({5}, {64}), 5u);
+
+  // GT 560M: 4 SMs; with 192-thread blocks, 1536/192 = 8 resident blocks
+  // per SM, capped at 8 => 32 blocks per wave.
+  const TimingModel gt(GeForceGT560M());
+  EXPECT_EQ(gt.Waves({4}, {192}), 1u);   // the paper's configuration
+  EXPECT_EQ(gt.Waves({32}, {192}), 1u);
+  EXPECT_EQ(gt.Waves({33}, {192}), 2u);
+}
+
+TEST(TimingModel, MoreWorkTakesLonger) {
+  const TimingModel model(GeForceGT560M());
+  LaunchCharge a{{4}, {192}, 1000, 10, 0};
+  LaunchCharge b{{4}, {192}, 100000, 1000, 0};
+  EXPECT_LT(model.KernelSeconds(a), model.KernelSeconds(b));
+}
+
+TEST(TimingModel, TimeScalesRoughlyLinearlyInWork) {
+  const TimingModel model(GeForceGT560M());
+  // Large enough that launch overhead is negligible.
+  LaunchCharge a{{4}, {192}, 768ull * 100000, 100000, 0};
+  LaunchCharge b{{4}, {192}, 768ull * 200000, 200000, 0};
+  const double ta = model.KernelSeconds(a);
+  const double tb = model.KernelSeconds(b);
+  EXPECT_NEAR(tb / ta, 2.0, 0.1);
+}
+
+TEST(TimingModel, OversubscriptionSerializesBlocks) {
+  // Doubling the blocks past one wave should roughly double the time
+  // (same per-thread work).
+  const TimingModel model(GeForceGT560M());
+  LaunchCharge one_wave{{32}, {192}, 32ull * 192 * 10000, 10000, 0};
+  LaunchCharge two_waves{{64}, {192}, 64ull * 192 * 10000, 10000, 0};
+  const double t1 = model.KernelSeconds(one_wave);
+  const double t2 = model.KernelSeconds(two_waves);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.2);
+}
+
+TEST(TimingModel, PartialWaveAddsATail) {
+  // The 33rd block runs as a second (mostly empty) wave: a visible tail
+  // beyond the one-wave time of 32 blocks, but far less than a full second
+  // wave (one SM processes one block instead of eight).
+  const TimingModel model(GeForceGT560M());
+  const auto charge = [](std::uint32_t blocks) {
+    return LaunchCharge{{blocks}, {192},
+                        static_cast<std::uint64_t>(blocks) * 192 * 10000,
+                        10000, 0};
+  };
+  const double t32 = model.KernelSeconds(charge(32));
+  const double t33 = model.KernelSeconds(charge(33));
+  const double t64 = model.KernelSeconds(charge(64));
+  EXPECT_GT(t33, 1.05 * t32);
+  EXPECT_LT(t33, 1.3 * t32);
+  EXPECT_NEAR(t64 / t32, 2.0, 0.1);
+}
+
+TEST(TimingModel, EmptyLaunchCostsOnlyOverhead) {
+  const TimingModel model(GeForceGT560M());
+  LaunchCharge idle{{4}, {192}, 0, 0, 0};
+  EXPECT_NEAR(model.KernelSeconds(idle),
+              GeForceGT560M().launch_overhead_s, 1e-9);
+}
+
+TEST(TimingModel, TransferHasLatencyAndBandwidthTerms) {
+  const DeviceProperties props = GeForceGT560M();
+  const TimingModel model(props);
+  const double small = model.TransferSeconds(1, true);
+  EXPECT_GE(small, props.transfer_latency_s);
+  const double big = model.TransferSeconds(600'000'000, true);  // 0.6 GB
+  EXPECT_NEAR(big, 0.1, 0.02);  // ~ 0.6e9 / 6e9 = 0.1 s
+}
+
+TEST(TimingModel, WarpPaddingPenalizesOddBlockSizes) {
+  // 48 threads occupy 2 warps: same total work as a 64-thread block but
+  // lower lane efficiency => more time per work unit.
+  const TimingModel model(GeForceGT560M());
+  const std::uint64_t work = 1'000'000;
+  LaunchCharge b48{{4}, {48}, work, work / (4 * 48), 0};
+  LaunchCharge b64{{4}, {64}, work, work / (4 * 64), 0};
+  EXPECT_GT(model.KernelSeconds(b48), model.KernelSeconds(b64));
+}
+
+TEST(DeviceProperties, ResidentBlocksFollowThreadBudget) {
+  const DeviceProperties gt = GeForceGT560M();
+  EXPECT_EQ(gt.ResidentBlocksPerSm(192), 8u);
+  EXPECT_EQ(gt.ResidentBlocksPerSm(512), 3u);
+  EXPECT_EQ(gt.ResidentBlocksPerSm(1024), 1u);
+  EXPECT_EQ(gt.ResidentBlocksPerSm(1536), 1u);
+}
+
+}  // namespace
+}  // namespace cdd::sim

@@ -1,0 +1,84 @@
+/// Fixed-sequence LP models vs the O(n) evaluators: the strongest oracle
+/// chain in the suite.  The LP allows machine idle time, so agreement also
+/// re-verifies the no-idle property of Cheng & Kahlbacher.
+
+#include "lp/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+#include "core/eval_cdd.hpp"
+#include "core/eval_ucddcp.hpp"
+
+namespace cdd::lp {
+namespace {
+
+TEST(LpModels, PaperCddExampleSolvesTo81) {
+  const Instance instance = cdd::testing::PaperExampleCdd();
+  EXPECT_EQ(SolveSequenceLp(instance, IdentitySequence(5)), 81);
+}
+
+TEST(LpModels, PaperUcddcpExampleSolvesTo77) {
+  const Instance instance = cdd::testing::PaperExampleUcddcp();
+  EXPECT_EQ(SolveSequenceLp(instance, IdentitySequence(5)), 77);
+}
+
+class LpVsFastCdd
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
+
+TEST_P(LpVsFastCdd, SimplexMatchesLinearAlgorithm) {
+  const auto [n, h] = GetParam();
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    const std::uint64_t seed = 5000 + trial * 19 + n;
+    const Instance instance = cdd::testing::RandomCdd(n, h, seed);
+    const Sequence seq = cdd::testing::RandomSeq(n, seed ^ 0x77);
+    ASSERT_EQ(SolveSequenceLp(instance, seq),
+              EvaluateCddSequence(instance, seq))
+        << instance.Summary() << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LpVsFastCdd,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 7u, 12u),
+                       ::testing::Values(0.3, 0.7, 1.1)));
+
+class LpVsFastUcddcp
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
+
+TEST_P(LpVsFastUcddcp, SimplexMatchesLinearAlgorithm) {
+  const auto [n, slack] = GetParam();
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    const std::uint64_t seed = 6000 + trial * 23 + n;
+    const Instance instance = cdd::testing::RandomUcddcp(n, slack, seed);
+    const Sequence seq = cdd::testing::RandomSeq(n, seed ^ 0x99);
+    ASSERT_EQ(SolveSequenceLp(instance, seq),
+              EvaluateUcddcpSequence(instance, seq))
+        << instance.Summary() << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LpVsFastUcddcp,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 7u, 12u),
+                       ::testing::Values(1.0, 1.4)));
+
+TEST(LpModels, ModelShapesAreAsDocumented) {
+  const Instance instance = cdd::testing::PaperExampleUcddcp();
+  const Sequence seq = IdentitySequence(5);
+  const LpProblem cdd_model = BuildCddModel(instance, seq);
+  EXPECT_EQ(cdd_model.num_vars, 15u);           // C, E, T
+  EXPECT_EQ(cdd_model.constraints.size(), 15u); // 3 rows per job
+  const LpProblem ucddcp_model = BuildUcddcpModel(instance, seq);
+  EXPECT_EQ(ucddcp_model.num_vars, 20u);           // C, E, T, X
+  EXPECT_EQ(ucddcp_model.constraints.size(), 20u); // 4 rows per job
+}
+
+TEST(LpModels, RejectsInvalidSequences) {
+  const Instance instance = cdd::testing::PaperExampleCdd();
+  EXPECT_THROW(BuildCddModel(instance, Sequence{0, 0, 1, 2, 3}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdd::lp

@@ -1,0 +1,108 @@
+/// Two-phase simplex tests on hand-checked linear programs.
+
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdd::lp {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximizationAsMinimization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (optimum 36 at (2,6))
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-3.0, -5.0};  // minimize the negation
+  lp.Add({1.0, 0.0}, Relation::kLe, 4.0);
+  lp.Add({0.0, 2.0}, Relation::kLe, 12.0);
+  lp.Add({3.0, 2.0}, Relation::kLe, 18.0);
+  const LpSolution sol = SolveSimplex(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-7);
+}
+
+TEST(Simplex, HandlesGeAndEqConstraints) {
+  // min x + 2y s.t. x + y = 10, x >= 3  => x=10-y... optimum at y=0? No:
+  // min x + 2y with x+y=10, x>=3, y>=0: substitute x=10-y =>
+  // 10 - y + 2y = 10 + y, minimized at y = 0, x = 10.  Objective 10.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 2.0};
+  lp.Add({1.0, 1.0}, Relation::kEq, 10.0);
+  lp.Add({1.0, 0.0}, Relation::kGe, 3.0);
+  const LpSolution sol = SolveSimplex(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 10.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 10.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= 1 and x >= 2 cannot both hold.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.Add({1.0}, Relation::kLe, 1.0);
+  lp.Add({1.0}, Relation::kGe, 2.0);
+  EXPECT_EQ(SolveSimplex(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x s.t. x >= 1: x can grow forever.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  lp.Add({1.0}, Relation::kGe, 1.0);
+  EXPECT_EQ(SolveSimplex(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsRowsAreNormalized) {
+  // T - C >= -d style rows (as the CDD model emits them).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 0.0};
+  lp.Add({1.0, -1.0}, Relation::kGe, -5.0);  // x0 >= x1 - 5
+  lp.Add({0.0, 1.0}, Relation::kGe, 8.0);    // x1 >= 8
+  const LpSolution sol = SolveSimplex(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-7);  // x1 = 8, x0 = 3
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degeneracy: multiple constraints meet at the optimum; Bland's
+  // rule must still terminate.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, -1.0};
+  lp.Add({1.0, 0.0}, Relation::kLe, 1.0);
+  lp.Add({0.0, 1.0}, Relation::kLe, 1.0);
+  lp.Add({1.0, 1.0}, Relation::kLe, 2.0);  // redundant at the optimum
+  lp.Add({1.0, 1.0}, Relation::kLe, 2.0);  // duplicated on purpose
+  const LpSolution sol = SolveSimplex(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -2.0, 1e-7);
+}
+
+TEST(Simplex, EmptyConstraintSet) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 2.0};
+  const LpSolution sol = SolveSimplex(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_EQ(sol.objective, 0.0);
+
+  lp.objective = {-1.0, 2.0};
+  EXPECT_EQ(SolveSimplex(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, RejectsMalformedProblems) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0};  // wrong length
+  EXPECT_THROW(SolveSimplex(lp), std::invalid_argument);
+  EXPECT_THROW(lp.Add({1.0}, Relation::kLe, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdd::lp

@@ -1,0 +1,67 @@
+/// Host-thread ensemble SA tests.
+
+#include "meta/host_ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+#include "core/exact.hpp"
+
+namespace cdd::meta {
+namespace {
+
+TEST(HostEnsemble, FindsOptimumOnTinyInstance) {
+  const Instance instance = cdd::testing::RandomCdd(6, 0.5, 601);
+  const Cost optimum = BruteForceCdd(instance).cost;
+  const Objective objective = Objective::ForInstance(instance);
+  HostEnsembleParams params;
+  params.chains = 16;
+  params.chain.iterations = 400;
+  params.chain.temp_samples = 200;
+  const RunResult result = RunHostEnsembleSa(objective, params);
+  EXPECT_EQ(result.best_cost, optimum);
+}
+
+TEST(HostEnsemble, ThreadCountInvariant) {
+  const Instance instance = cdd::testing::RandomCdd(20, 0.6, 602);
+  const Objective objective = Objective::ForInstance(instance);
+  HostEnsembleParams params;
+  params.chains = 12;
+  params.chain.iterations = 300;
+  params.chain.temp_samples = 200;
+  params.threads = 1;
+  const RunResult serial = RunHostEnsembleSa(objective, params);
+  params.threads = 4;
+  const RunResult parallel = RunHostEnsembleSa(objective, params);
+  EXPECT_EQ(serial.best_cost, parallel.best_cost);
+  EXPECT_EQ(serial.best, parallel.best);
+  EXPECT_EQ(serial.evaluations, parallel.evaluations);
+}
+
+TEST(HostEnsemble, MoreChainsNeverHurt) {
+  const Instance instance = cdd::testing::RandomCdd(15, 0.5, 603);
+  const Objective objective = Objective::ForInstance(instance);
+  HostEnsembleParams params;
+  params.chain.iterations = 200;
+  params.chain.temp_samples = 200;
+  params.chains = 4;
+  const Cost few = RunHostEnsembleSa(objective, params).best_cost;
+  params.chains = 32;  // superset of the first 4 chains' seeds
+  const Cost many = RunHostEnsembleSa(objective, params).best_cost;
+  EXPECT_LE(many, few);
+}
+
+TEST(HostEnsemble, EvaluationAccounting) {
+  const Instance instance = cdd::testing::RandomCdd(10, 0.5, 604);
+  const Objective objective = Objective::ForInstance(instance);
+  HostEnsembleParams params;
+  params.chains = 8;
+  params.chain.iterations = 100;
+  params.chain.temp_samples = 100;
+  const RunResult result = RunHostEnsembleSa(objective, params);
+  EXPECT_EQ(result.evaluations, 8u * 101u);
+  EXPECT_NO_THROW(ValidateSequence(result.best, 10));
+}
+
+}  // namespace
+}  // namespace cdd::meta

@@ -1,0 +1,60 @@
+/// Objective adapter tests.
+
+#include "meta/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_instances.hpp"
+#include "core/eval_cdd.hpp"
+#include "core/eval_ucddcp.hpp"
+
+namespace cdd::meta {
+namespace {
+
+TEST(Objective, DispatchesToTheRightEvaluator) {
+  const Instance cdd = cdd::testing::PaperExampleCdd();
+  const Objective f_cdd = Objective::ForInstance(cdd);
+  EXPECT_EQ(f_cdd.size(), 5u);
+  EXPECT_EQ(f_cdd(IdentitySequence(5)), 81);
+
+  const Instance ucddcp = cdd::testing::PaperExampleUcddcp();
+  const Objective f_ucddcp = Objective::ForInstance(ucddcp);
+  EXPECT_EQ(f_ucddcp(IdentitySequence(5)), 77);
+}
+
+TEST(Objective, OutlivesTheInstanceItWasBuiltFrom) {
+  // The factory captures the evaluator by shared_ptr; the source Instance
+  // may die.
+  std::unique_ptr<Objective> objective;
+  {
+    const Instance temp = cdd::testing::RandomCdd(12, 0.6, 1101);
+    objective = std::make_unique<Objective>(Objective::ForInstance(temp));
+  }
+  const Sequence seq = IdentitySequence(12);
+  EXPECT_GT((*objective)(seq), 0);
+  EXPECT_EQ((*objective)(seq), (*objective)(seq));  // stable
+}
+
+TEST(Objective, CustomCallablesWork) {
+  const Objective constant(4, [](std::span<const JobId>) {
+    return Cost{7};
+  });
+  EXPECT_EQ(constant(IdentitySequence(4)), 7);
+  EXPECT_EQ(constant.size(), 4u);
+}
+
+TEST(Objective, RestrictedControllableRefusedWithGuidance) {
+  const Instance base = cdd::testing::RandomUcddcp(6, 1.0, 1102);
+  const Instance restricted =
+      Instance(Problem::kCddcp, base.due_date() - 1, base.jobs());
+  try {
+    Objective::ForInstance(restricted);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("MakeLpObjective"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cdd::meta

@@ -1,0 +1,81 @@
+/// Best-known registry tests: monotone updates, deviations, persistence.
+
+#include "orlib/bestknown.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace cdd::orlib {
+namespace {
+
+TEST(BestKnown, UpdateKeepsMinimum) {
+  BestKnownRegistry reg;
+  EXPECT_TRUE(reg.Update("a", 100));
+  EXPECT_FALSE(reg.Update("a", 150));  // worse: ignored
+  EXPECT_TRUE(reg.Update("a", 90));    // better: taken
+  EXPECT_EQ(reg.Find("a").value(), 90);
+  EXPECT_FALSE(reg.Find("missing").has_value());
+}
+
+TEST(BestKnown, PercentDeviationMatchesPaperFormula) {
+  BestKnownRegistry reg;
+  reg.Update("x", 200);
+  EXPECT_DOUBLE_EQ(reg.PercentDeviation("x", 204), 2.0);
+  EXPECT_DOUBLE_EQ(reg.PercentDeviation("x", 200), 0.0);
+  EXPECT_DOUBLE_EQ(reg.PercentDeviation("x", 198), -1.0);  // improvement
+  EXPECT_THROW(reg.PercentDeviation("missing", 1), std::out_of_range);
+}
+
+TEST(BestKnown, ZeroBestKnownEdgeCases) {
+  BestKnownRegistry reg;
+  reg.Update("zero", 0);
+  EXPECT_DOUBLE_EQ(reg.PercentDeviation("zero", 0), 0.0);
+  EXPECT_TRUE(std::isinf(reg.PercentDeviation("zero", 5)));
+}
+
+TEST(BestKnown, CsvRoundTripAndMerge) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cdd_bestknown_test.csv")
+          .string();
+  {
+    BestKnownRegistry reg;
+    reg.Update("cdd-n10-k0-h0.20", 1234);
+    reg.Update("ucddcp-n50-k3", 999);
+    reg.SaveCsv(path);
+  }
+  BestKnownRegistry loaded;
+  loaded.Update("cdd-n10-k0-h0.20", 1200);  // better than the file
+  loaded.Update("ucddcp-n50-k3", 2000);     // worse than the file
+  loaded.LoadCsv(path);
+  EXPECT_EQ(loaded.Find("cdd-n10-k0-h0.20").value(), 1200);
+  EXPECT_EQ(loaded.Find("ucddcp-n50-k3").value(), 999);
+  std::remove(path.c_str());
+}
+
+TEST(BestKnown, LoadMissingFileIsNoop) {
+  BestKnownRegistry reg;
+  EXPECT_NO_THROW(reg.LoadCsv("/nonexistent/path/bestknown.csv"));
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(BestKnown, MalformedCsvRowsAreSkipped) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cdd_bestknown_bad.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "instance,cost\ngood,42\nbadrow\nalso,notanumber\n";
+  }
+  BestKnownRegistry reg;
+  reg.LoadCsv(path);
+  EXPECT_EQ(reg.Find("good").value(), 42);
+  EXPECT_EQ(reg.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cdd::orlib

@@ -1,0 +1,98 @@
+/// Statistical tests of the Biskup-Feldmann generator: the drawn data must
+/// actually follow the published distributions, not merely stay in range.
+
+#include <gtest/gtest.h>
+
+#include "benchutil/stats.hpp"
+#include "orlib/biskup_feldmann.hpp"
+
+namespace cdd::orlib {
+namespace {
+
+/// Pools the job data of many instances for distribution checks.
+std::vector<Job> Pool(std::uint32_t n, std::uint32_t instances) {
+  const BiskupFeldmannGenerator gen;
+  std::vector<Job> all;
+  for (std::uint32_t k = 0; k < instances; ++k) {
+    const std::vector<Job> jobs = gen.JobData(n, k);
+    all.insert(all.end(), jobs.begin(), jobs.end());
+  }
+  return all;
+}
+
+TEST(GeneratorStats, ProcessingTimesUniform1To20) {
+  const std::vector<Job> jobs = Pool(500, 20);  // 10k samples
+  benchutil::RunningStats stats;
+  std::array<int, 21> counts{};
+  for (const Job& j : jobs) {
+    stats.Add(static_cast<double>(j.proc));
+    counts[static_cast<std::size_t>(j.proc)]++;
+  }
+  // U{1..20}: mean 10.5, variance (20^2-1)/12 = 33.25.
+  EXPECT_NEAR(stats.mean(), 10.5, 0.25);
+  EXPECT_NEAR(stats.variance(), 33.25, 1.5);
+  // Chi-square over the 20 buckets (19 dof, 99.9th pct ~ 43.8).
+  const double expected = jobs.size() / 20.0;
+  double chi2 = 0.0;
+  for (int v = 1; v <= 20; ++v) {
+    const double d = counts[v] - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 43.8);
+}
+
+TEST(GeneratorStats, PenaltiesUniformInPublishedRanges) {
+  const std::vector<Job> jobs = Pool(500, 20);
+  benchutil::RunningStats alpha;
+  benchutil::RunningStats beta;
+  for (const Job& j : jobs) {
+    alpha.Add(static_cast<double>(j.early));
+    beta.Add(static_cast<double>(j.tardy));
+  }
+  EXPECT_NEAR(alpha.mean(), 5.5, 0.2);   // U{1..10}
+  EXPECT_NEAR(beta.mean(), 8.0, 0.25);   // U{1..15}
+}
+
+TEST(GeneratorStats, UcddcpMinimaUniformWithinProcessingTime) {
+  const BiskupFeldmannGenerator gen;
+  benchutil::RunningStats ratio;
+  for (std::uint32_t k = 0; k < 20; ++k) {
+    const Instance inst = gen.Ucddcp(500, k);
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      const Job& j = inst.job(i);
+      // M ~ U{1..P}: E[M/P] -> (P+1)/(2P) ~ 0.5 for large P; pooled over
+      // P in {1..20} the mean ratio sits near 0.55-0.60.
+      ratio.Add(static_cast<double>(j.min_proc) /
+                static_cast<double>(j.proc));
+    }
+  }
+  EXPECT_GT(ratio.mean(), 0.45);
+  EXPECT_LT(ratio.mean(), 0.70);
+}
+
+TEST(GeneratorStats, InstancesAreDecorrelatedAcrossK) {
+  // First processing times of 64 instances: should look uniform, not
+  // constant or trending.
+  const BiskupFeldmannGenerator gen;
+  benchutil::RunningStats first;
+  for (std::uint32_t k = 0; k < 64; ++k) {
+    first.Add(static_cast<double>(gen.JobData(50, k)[0].proc));
+  }
+  EXPECT_GT(first.stddev(), 3.0);  // sigma of U{1..20} ~ 5.8
+}
+
+TEST(GeneratorStats, SeedChangesEverything) {
+  const BiskupFeldmannGenerator a(1);
+  const BiskupFeldmannGenerator b(2);
+  const std::vector<Job> ja = a.JobData(100, 0);
+  const std::vector<Job> jb = b.JobData(100, 0);
+  std::size_t equal = 0;
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    if (ja[i] == jb[i]) ++equal;
+  }
+  // P(full Job equal) ~ 1/(20*10*15) per position; 100 positions.
+  EXPECT_LT(equal, 5u);
+}
+
+}  // namespace
+}  // namespace cdd::orlib

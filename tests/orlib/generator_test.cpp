@@ -1,0 +1,84 @@
+/// Biskup–Feldmann generator tests: distribution ranges, determinism,
+/// CDD/UCDDCP consistency.
+
+#include "orlib/biskup_feldmann.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdd::orlib {
+namespace {
+
+TEST(Generator, JobDataStaysInPublishedRanges) {
+  const BiskupFeldmannGenerator gen;
+  for (const std::uint32_t n : {10u, 50u, 200u}) {
+    for (std::uint32_t k = 0; k < 5; ++k) {
+      for (const Job& j : gen.JobData(n, k)) {
+        EXPECT_GE(j.proc, 1);
+        EXPECT_LE(j.proc, 20);
+        EXPECT_GE(j.early, 1);
+        EXPECT_LE(j.early, 10);
+        EXPECT_GE(j.tardy, 1);
+        EXPECT_LE(j.tardy, 15);
+        EXPECT_EQ(j.min_proc, j.proc);  // CDD data
+        EXPECT_EQ(j.compress, 0);
+      }
+    }
+  }
+}
+
+TEST(Generator, DeterministicAcrossInstances) {
+  const BiskupFeldmannGenerator a(7);
+  const BiskupFeldmannGenerator b(7);
+  EXPECT_EQ(a.JobData(50, 3), b.JobData(50, 3));
+  EXPECT_NE(a.JobData(50, 3), a.JobData(50, 4));  // k matters
+  const BiskupFeldmannGenerator c(8);
+  EXPECT_NE(a.JobData(50, 3), c.JobData(50, 3));  // seed matters
+}
+
+TEST(Generator, DueDateFollowsRestrictiveness) {
+  const BiskupFeldmannGenerator gen;
+  for (const double h : kPaperH) {
+    const Instance inst = gen.Cdd(100, 0, h);
+    EXPECT_EQ(inst.due_date(),
+              static_cast<Time>(h * static_cast<double>(
+                                        inst.total_processing_time())));
+    EXPECT_NO_THROW(inst.Validate());
+  }
+}
+
+TEST(Generator, UcddcpSharesCddJobDataAndIsUnrestricted) {
+  const BiskupFeldmannGenerator gen;
+  const Instance ucddcp = gen.Ucddcp(50, 2);
+  const std::vector<Job> base = gen.JobData(50, 2);
+  ASSERT_EQ(ucddcp.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(ucddcp.job(i).proc, base[i].proc);
+    EXPECT_EQ(ucddcp.job(i).early, base[i].early);
+    EXPECT_EQ(ucddcp.job(i).tardy, base[i].tardy);
+    EXPECT_GE(ucddcp.job(i).min_proc, 1);
+    EXPECT_LE(ucddcp.job(i).min_proc, ucddcp.job(i).proc);
+    EXPECT_GE(ucddcp.job(i).compress, 1);
+    EXPECT_LE(ucddcp.job(i).compress, 10);
+  }
+  EXPECT_TRUE(ucddcp.is_unrestricted());
+  EXPECT_EQ(ucddcp.due_date(), ucddcp.total_processing_time());
+  EXPECT_NO_THROW(ucddcp.Validate());
+}
+
+TEST(Generator, PaperConstantsMatchSectionVIII) {
+  EXPECT_EQ(kPaperSizes.size(), 7u);
+  EXPECT_EQ(kPaperSizes.front(), 10u);
+  EXPECT_EQ(kPaperSizes.back(), 1000u);
+  EXPECT_EQ(kPaperH.size(), 4u);
+  EXPECT_EQ(kPaperInstancesPerSize, 10u);
+  // 40 instances per size, as the paper averages over.
+  EXPECT_EQ(kPaperH.size() * kPaperInstancesPerSize, 40u);
+}
+
+TEST(Generator, KeysAreCanonical) {
+  EXPECT_EQ(CddKey(50, 3, 0.6), "cdd-n50-k3-h0.60");
+  EXPECT_EQ(UcddcpKey(200, 7), "ucddcp-n200-k7");
+}
+
+}  // namespace
+}  // namespace cdd::orlib
