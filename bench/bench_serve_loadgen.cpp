@@ -1,0 +1,179 @@
+/// \file bench_serve_loadgen.cpp
+/// \brief Closed-loop load generator for the SolverService.
+///
+/// A fixed set of client threads each runs submit -> wait -> repeat
+/// against one service instance (closed loop: offered load adapts to
+/// service capacity, so the numbers measure the service, not the feeder).
+/// Sweeps the worker count and reports throughput, solve-latency
+/// percentiles and cache hit rate per configuration — the serving
+/// baseline for the perf trajectory.
+///
+///   bench_serve_loadgen                       # quick sweep
+///   bench_serve_loadgen --workers 1,2,4,8 --requests 4000 --clients 16
+///   bench_serve_loadgen --dup-frac 0.5        # cache-friendly traffic
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "benchutil/cli.hpp"
+#include "benchutil/stats.hpp"
+#include "benchutil/table.hpp"
+#include "orlib/biskup_feldmann.hpp"
+#include "rng/philox.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace cdd;
+
+struct SweepResult {
+  unsigned workers = 0;
+  std::size_t requests = 0;
+  double wall_seconds = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = 0.0;
+  std::uint64_t rejected = 0;
+};
+
+SweepResult RunSweep(unsigned workers, unsigned clients,
+                     std::size_t requests,
+                     const std::vector<serve::SolveRequest>& pool,
+                     double dup_frac, std::uint64_t seed) {
+  serve::ServiceConfig config;
+  config.workers = workers;
+  config.queue_capacity = std::max<std::size_t>(2 * clients, 16);
+  config.cache_capacity = 4096;
+  serve::SolverService service(config);
+
+  std::atomic<std::size_t> next{0};
+  const auto t_start = std::chrono::steady_clock::now();
+
+  const auto client = [&](unsigned client_id) {
+    rng::Philox4x32 rng(seed + client_id, /*stream=*/0x10adULL);
+    for (;;) {
+      const std::size_t k = next.fetch_add(1);
+      if (k >= requests) break;
+      // Re-offer an earlier request with probability dup_frac: the cache
+      // traffic a fleet of similar campaigns would generate.
+      serve::SolveRequest request =
+          rng.NextUniform() < dup_frac
+              ? pool[UniformBelow(
+                    rng, static_cast<std::uint32_t>(pool.size() / 4 + 1))]
+              : pool[k % pool.size()];
+      request.id = k;
+      for (;;) {
+        std::future<serve::SolveResponse> future =
+            service.Submit(request);
+        const serve::SolveResponse response = future.get();
+        if (response.status !=
+            serve::SolveStatus::kRejectedQueueFull) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) threads.emplace_back(client, c);
+  for (std::thread& t : threads) t.join();
+
+  SweepResult result;
+  result.workers = workers;
+  result.requests = requests;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  const serve::LatencyHistogram& solve_ms =
+      service.metrics().histogram("solve_ms");
+  result.p50_ms = solve_ms.Percentile(0.50);
+  result.p95_ms = solve_ms.Percentile(0.95);
+  result.p99_ms = solve_ms.Percentile(0.99);
+  const serve::CacheStats cache = service.cache().stats();
+  result.hit_rate = cache.hits + cache.misses == 0
+                        ? 0.0
+                        : static_cast<double>(cache.hits) /
+                              static_cast<double>(cache.hits + cache.misses);
+  result.rejected =
+      service.metrics().counter("rejected_queue_full").value();
+  service.Shutdown();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdd;
+  const benchutil::Args args(argc, argv);
+  if (args.GetBool("help")) {
+    std::cout << "Closed-loop load generator for the solver service.\n"
+                 "Flags: --workers LIST --clients C --requests N\n"
+                 "       --dup-frac F --sizes LIST --gens G --seed S\n";
+    return 0;
+  }
+
+  const std::vector<std::uint32_t> worker_sweep =
+      args.GetUintList("workers", {1, 2, 4, 8});
+  const auto clients =
+      static_cast<unsigned>(args.GetInt("clients", 8));
+  const auto requests =
+      static_cast<std::size_t>(args.GetInt("requests", 1500));
+  const double dup_frac = args.GetDouble("dup-frac", 0.25);
+  const std::vector<std::uint32_t> sizes =
+      args.GetUintList("sizes", {20, 50});
+  const auto gens = static_cast<std::uint64_t>(args.GetInt("gens", 200));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+
+  // Unique request pool shared by all sweeps: serial SA over mixed-size
+  // CDD instances (the cheap end of the engine table, so the sweep
+  // exercises queue/pool/cache machinery rather than one long solve).
+  const orlib::BiskupFeldmannGenerator gen(seed);
+  std::vector<serve::SolveRequest> pool;
+  const std::size_t pool_size = std::max<std::size_t>(requests / 2, 1);
+  pool.reserve(pool_size);
+  for (std::size_t u = 0; u < pool_size; ++u) {
+    serve::SolveRequest request;
+    request.instance = gen.Cdd(sizes[u % sizes.size()],
+                               static_cast<std::uint32_t>(u),
+                               0.2 + 0.2 * (u % 4));
+    request.engine = "sa";
+    request.options.generations = gens;
+    request.options.seed = seed;
+    pool.push_back(std::move(request));
+  }
+
+  std::cout << "=== Serving baseline: closed-loop load generator ("
+            << clients << " clients, " << requests << " requests/sweep, "
+            << 100.0 * dup_frac << "% duplicate offers, sa/" << gens
+            << " gens) ===\n";
+  benchutil::TextTable table({"workers", "req/s", "wall [s]", "p50 [ms]",
+                              "p95 [ms]", "p99 [ms]", "cache hit %",
+                              "rejections"});
+  for (const std::uint32_t workers : worker_sweep) {
+    const SweepResult r =
+        RunSweep(workers, clients, requests, pool, dup_frac, seed);
+    table.AddRow({std::to_string(r.workers),
+                  benchutil::FmtDouble(
+                      static_cast<double>(r.requests) / r.wall_seconds, 1),
+                  benchutil::FmtDouble(r.wall_seconds, 2),
+                  benchutil::FmtDouble(r.p50_ms, 2),
+                  benchutil::FmtDouble(r.p95_ms, 2),
+                  benchutil::FmtDouble(r.p99_ms, 2),
+                  benchutil::FmtDouble(100.0 * r.hit_rate, 1),
+                  std::to_string(r.rejected)});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nNote: closed loop — each client waits for its response "
+               "before offering the next request, so req/s is the "
+               "service's sustainable throughput at this concurrency, "
+               "and backpressure rejections are retried, never lost.\n";
+  return 0;
+}

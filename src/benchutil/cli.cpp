@@ -42,23 +42,29 @@ std::int64_t Args::GetInt(const std::string& key,
                           std::int64_t fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end() || it->second.empty()) return fallback;
+  // std::stoll alone would accept "12abc" as 12; require the whole token
+  // to parse so a typo'd flag fails loudly instead of half-applying.
   try {
-    return std::stoll(it->second);
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(it->second, &consumed);
+    if (consumed == it->second.size()) return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("--" + key + " expects an integer, got '" +
-                                it->second + "'");
   }
+  throw std::invalid_argument("--" + key + " expects an integer, got '" +
+                              it->second + "'");
 }
 
 double Args::GetDouble(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end() || it->second.empty()) return fallback;
   try {
-    return std::stod(it->second);
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed == it->second.size()) return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("--" + key + " expects a number, got '" +
-                                it->second + "'");
   }
+  throw std::invalid_argument("--" + key + " expects a number, got '" +
+                              it->second + "'");
 }
 
 bool Args::GetBool(const std::string& key, bool fallback) const {
@@ -86,7 +92,10 @@ std::vector<std::uint32_t> Args::GetUintList(
     if (c == ',') {
       if (!token.empty()) {
         try {
-          out.push_back(static_cast<std::uint32_t>(std::stoul(token)));
+          std::size_t consumed = 0;
+          const unsigned long value = std::stoul(token, &consumed);
+          if (consumed != token.size()) throw std::invalid_argument(token);
+          out.push_back(static_cast<std::uint32_t>(value));
         } catch (const std::exception&) {
           throw std::invalid_argument("--" + key +
                                       " expects a comma-separated integer "

@@ -1,0 +1,49 @@
+#include "core/hash.hpp"
+
+namespace cdd {
+
+namespace {
+
+/// SplitMix64 finalizer (Steele, Lea & Flood; the PCG/xorshift stream
+/// seeder).  Bijective on 64-bit words.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t HashCombine(std::uint64_t h, std::uint64_t value) {
+  // FNV-1a on the mixed word: xor then multiply by the 64-bit FNV prime.
+  h ^= Mix(value);
+  return h * 0x100000001b3ULL;
+}
+
+std::uint64_t HashBytes(std::uint64_t h, const void* data,
+                        std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return HashCombine(h, size);
+}
+
+std::uint64_t HashInstance(const Instance& instance) {
+  std::uint64_t h = kHashSeed;
+  h = HashCombine(h, static_cast<std::uint64_t>(instance.problem()));
+  h = HashCombine(h, static_cast<std::uint64_t>(instance.due_date()));
+  h = HashCombine(h, instance.size());
+  for (const Job& job : instance.jobs()) {
+    h = HashCombine(h, static_cast<std::uint64_t>(job.proc));
+    h = HashCombine(h, static_cast<std::uint64_t>(job.min_proc));
+    h = HashCombine(h, static_cast<std::uint64_t>(job.early));
+    h = HashCombine(h, static_cast<std::uint64_t>(job.tardy));
+    h = HashCombine(h, static_cast<std::uint64_t>(job.compress));
+  }
+  return h;
+}
+
+}  // namespace cdd

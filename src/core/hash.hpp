@@ -1,0 +1,34 @@
+#pragma once
+/// \file hash.hpp
+/// \brief Deterministic 64-bit hashing of problem instances.
+///
+/// The serve layer deduplicates solve requests through a result cache keyed
+/// by (instance, engine, parameters).  That key must be stable across runs,
+/// processes and platforms, so it cannot be std::hash (unspecified) — it is
+/// built from fixed-width integer arithmetic only: an FNV-1a accumulation
+/// over every field of the instance, with a SplitMix64 finalizer to spread
+/// the low entropy of small integer fields across all 64 bits.
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+
+namespace cdd {
+
+/// FNV-1a offset basis — the seed of an incremental hash chain.
+inline constexpr std::uint64_t kHashSeed = 0xcbf29ce484222325ULL;
+
+/// Folds one 64-bit word into an FNV-1a style accumulator and finalizes
+/// with the SplitMix64 mixer.  Deterministic across platforms.
+std::uint64_t HashCombine(std::uint64_t h, std::uint64_t value);
+
+/// Folds a byte string (e.g. an engine name) into the accumulator.
+std::uint64_t HashBytes(std::uint64_t h, const void* data, std::size_t size);
+
+/// Hash of every semantically relevant field of \p instance: problem kind,
+/// due date, job count and each job's (P, M, alpha, beta, gamma).  Two
+/// instances compare equal iff all those fields match, so
+/// a == b implies HashInstance(a) == HashInstance(b).
+std::uint64_t HashInstance(const Instance& instance);
+
+}  // namespace cdd

@@ -36,6 +36,12 @@ RunResult RunSerialDpso(const Objective& objective,
 
   Sequence scratch;
   for (std::uint64_t it = 0; it < params.iterations; ++it) {
+    // One DPSO generation evaluates the whole swarm, so the token is
+    // polled every generation rather than every kStopCheckStride.
+    if (params.stop.stop_requested()) {
+      result.stopped = true;
+      break;
+    }
     for (Particle& p : swarm) {
       // w (+) F1: swap velocity.
       if (rng.NextUniform() < params.w) {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "core/stop_token.hpp"
 #include "meta/objective.hpp"
 #include "meta/result.hpp"
 
@@ -25,6 +26,8 @@ struct DpsoParams {
   double c2 = 0.8;  ///< probability of the social crossover F3
   std::uint64_t seed = 1;
   std::uint32_t trajectory_stride = 0;
+  /// Cooperative cancellation, polled between generations.
+  StopToken stop{};
 };
 
 /// Runs the serial DPSO and returns the swarm's best particle.

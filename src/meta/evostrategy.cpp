@@ -33,6 +33,11 @@ RunResult RunEvolutionStrategy(const Objective& objective,
   std::vector<JobId> values(params.pert);
 
   for (std::uint64_t g = 0; g < params.generations; ++g) {
+    // A generation evaluates lambda offspring; poll once per generation.
+    if (params.stop.stop_requested()) {
+      result.stopped = true;
+      break;
+    }
     const std::size_t parents = population.size();
     for (std::uint32_t k = 0; k < params.lambda; ++k) {
       const std::uint32_t pick =

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "core/stop_token.hpp"
 #include "meta/objective.hpp"
 #include "meta/result.hpp"
 
@@ -22,6 +23,8 @@ struct EsParams {
   std::uint32_t pert = 4;     ///< mutation strength (shuffled positions)
   std::uint64_t seed = 1;
   std::uint32_t trajectory_stride = 0;
+  /// Cooperative cancellation, polled between generations.
+  StopToken stop{};
 };
 
 /// Runs the serial evolution strategy.

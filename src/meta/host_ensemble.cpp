@@ -33,9 +33,14 @@ RunResult RunHostEnsembleSa(const Objective& objective,
   RunResult best;
   std::uint32_t best_chain = std::numeric_limits<std::uint32_t>::max();
   std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<bool> stopped{false};
 
   const auto worker = [&]() {
     for (;;) {
+      if (chain.stop.stop_requested()) {
+        stopped.store(true, std::memory_order_relaxed);
+        break;
+      }
       const std::uint32_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= params.chains) break;
       SaParams mine = chain;
@@ -43,6 +48,7 @@ RunResult RunHostEnsembleSa(const Objective& objective,
       const RunResult result = RunSerialSa(objective, mine);
       evaluations.fetch_add(result.evaluations,
                             std::memory_order_relaxed);
+      if (result.stopped) stopped.store(true, std::memory_order_relaxed);
       const std::scoped_lock lock(best_mutex);
       // Ties break toward the lower chain id so the outcome does not
       // depend on scheduling.
@@ -65,6 +71,7 @@ RunResult RunHostEnsembleSa(const Objective& objective,
   }
 
   best.evaluations = evaluations.load();
+  best.stopped = stopped.load();
   best.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     t_start)

@@ -15,6 +15,10 @@ struct RunResult {
   Cost best_cost = kInfiniteCost; ///< its objective value
   std::uint64_t evaluations = 0;  ///< objective calls performed
   double wall_seconds = 0.0;      ///< measured host wall-clock time
+  /// True when the run was cut short by its StopToken (explicit stop or
+  /// deadline).  `best` is then the best of the iterations that did run —
+  /// still a valid sequence, just from a truncated search.
+  bool stopped = false;
   /// Best-so-far cost sampled every `trajectory_stride` iterations when the
   /// caller requested a trajectory (empty otherwise).  Used by the
   /// convergence ablations.

@@ -36,6 +36,10 @@ RunResult RunSerialSa(const Objective& objective, const SaParams& params,
 
   const std::uint32_t period = std::max(params.shuffle_period, 1u);
   for (std::uint64_t i = 0; i < params.iterations; ++i) {
+    if (i % kStopCheckStride == 0 && params.stop.stop_requested()) {
+      result.stopped = true;
+      break;
+    }
     const double temperature = schedule(i);
     candidate = current;
     if (params.neighborhood == NeighborhoodMode::kShuffleEveryIteration ||

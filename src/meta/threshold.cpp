@@ -32,6 +32,10 @@ RunResult RunThresholdAccepting(const Objective& objective,
   std::vector<JobId> values(params.pert);
 
   for (std::uint64_t i = 0; i < params.iterations; ++i) {
+    if (i % kStopCheckStride == 0 && params.stop.stop_requested()) {
+      result.stopped = true;
+      break;
+    }
     candidate = current;
     PartialFisherYates(std::span<JobId>(candidate), params.pert, rng,
                        std::span<std::uint32_t>(positions),

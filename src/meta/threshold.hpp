@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/stop_token.hpp"
 #include "meta/objective.hpp"
 #include "meta/result.hpp"
 
@@ -28,6 +29,8 @@ struct TaParams {
   std::uint64_t temp_samples = 2000;
   std::uint64_t seed = 1;
   std::uint32_t trajectory_stride = 0;
+  /// Cooperative cancellation, polled every kStopCheckStride iterations.
+  StopToken stop{};
 };
 
 /// Runs serial Threshold Accepting.

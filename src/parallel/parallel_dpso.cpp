@@ -108,6 +108,10 @@ GpuRunResult RunParallelDpso(sim::Device& device, const Instance& instance,
   device.Synchronize();
 
   for (std::uint64_t g = 1; g <= params.generations; ++g) {
+    if (params.stop.stop_requested()) {
+      result.stopped = true;
+      break;
+    }
     // --- position update: Eq. (3) -----------------------------------------
     {
       sim::LaunchOptions opts;

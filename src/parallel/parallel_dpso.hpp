@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "core/instance.hpp"
+#include "core/stop_token.hpp"
 #include "cudasim/device.hpp"
 #include "parallel/launch_config.hpp"
 #include "parallel/result.hpp"
@@ -32,6 +33,8 @@ struct ParallelDpsoParams {
   bool vshape_init = false;
   std::uint64_t seed = 1;
   std::uint32_t trajectory_stride = 0;
+  /// Cooperative cancellation, polled between generations.
+  StopToken stop{};
 };
 
 /// Runs the asynchronous parallel DPSO for \p instance on \p device.

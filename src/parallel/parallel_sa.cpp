@@ -107,6 +107,10 @@ GpuRunResult RunParallelSa(sim::Device& device, const Instance& instance,
 
   double temperature = t0;
   for (std::uint64_t g = 1; g <= params.generations; ++g) {
+    if (params.stop.stop_requested()) {
+      result.stopped = true;
+      break;
+    }
     // --- kernel 1: perturbation (Section VI-B) ---------------------------
     // A cheap swap most generations; the Pert-sized Fisher-Yates shuffle
     // "after every 10 SA iterations" (configurable; see NeighborhoodMode).

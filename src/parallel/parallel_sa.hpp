@@ -50,6 +50,9 @@ struct ParallelSaParams {
   detail::ReductionKind reduction = detail::ReductionKind::kAtomic;
   std::uint64_t seed = 1;
   std::uint32_t trajectory_stride = 0;
+  /// Cooperative cancellation, polled between generations (each generation
+  /// is a full 4-kernel ensemble launch, so the poll is negligible).
+  StopToken stop{};
 };
 
 /// Runs the asynchronous parallel SA for \p instance on \p device.

@@ -79,6 +79,10 @@ GpuRunResult RunParallelSaSync(sim::Device& device, const Instance& instance,
   const Cost bound = problem.cost_upper_bound();
 
   for (std::uint32_t level = 0; level < params.temperature_levels; ++level) {
+    if (params.stop.stop_requested()) {
+      result.stopped = true;
+      break;
+    }
     const double temp = std::max(
         t0 * std::pow(params.mu, static_cast<double>(level)), 1e-300);
 

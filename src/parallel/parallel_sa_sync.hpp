@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "core/instance.hpp"
+#include "core/stop_token.hpp"
 #include "cudasim/device.hpp"
 #include "meta/sa.hpp"  // NeighborhoodMode
 #include "parallel/launch_config.hpp"
@@ -36,6 +37,8 @@ struct ParallelSaSyncParams {
   /// Record the ensemble's mean Hamming distance to the broadcast state at
   /// every temperature level into GpuRunResult::diversity.
   bool record_diversity = false;
+  /// Cooperative cancellation, polled between temperature levels.
+  StopToken stop{};
 };
 
 /// Runs the synchronous parallel SA.

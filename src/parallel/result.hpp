@@ -21,6 +21,9 @@ struct GpuRunResult {
   double device_seconds = 0.0;
   /// Host wall-clock spent simulating (diagnostic only; not a GPU time).
   double wall_seconds = 0.0;
+  /// True when the run was cut short by its StopToken (checked between
+  /// generations); `best` is the ensemble best of the generations that ran.
+  bool stopped = false;
 
   /// Best-known cost after every `trajectory_stride` generations (empty
   /// unless requested).

@@ -1,0 +1,173 @@
+#include "serve/engine_registry.hpp"
+
+#include <algorithm>
+
+#include "meta/dpso.hpp"
+#include "meta/evostrategy.hpp"
+#include "meta/host_ensemble.hpp"
+#include "meta/objective.hpp"
+#include "meta/sa.hpp"
+#include "meta/threshold.hpp"
+#include "parallel/parallel_dpso.hpp"
+#include "parallel/parallel_sa.hpp"
+#include "parallel/parallel_sa_sync.hpp"
+
+namespace cdd::serve {
+
+namespace {
+
+/// Runs \p body with the caller's device or a private GT 560M.
+template <class Fn>
+EngineRun WithDevice(const EngineOptions& options, Fn&& body) {
+  if (options.device != nullptr) return body(*options.device);
+  sim::Device device;  // defaults to the paper's GeForce GT 560M
+  return body(device);
+}
+
+EngineRun FromGpu(const par::GpuRunResult& gpu) {
+  EngineRun run;
+  run.result.best = gpu.best;
+  run.result.best_cost = gpu.best_cost;
+  run.result.evaluations = gpu.evaluations;
+  run.result.wall_seconds = gpu.wall_seconds;
+  run.result.trajectory = gpu.trajectory;
+  run.result.stopped = gpu.stopped;
+  run.device_seconds = gpu.device_seconds;
+  return run;
+}
+
+EngineRegistry MakeDefault() {
+  EngineRegistry registry;
+
+  registry.Register(
+      "sa", [](const Instance& instance, const EngineOptions& options) {
+        meta::SaParams params;
+        params.iterations = options.generations;
+        params.seed = options.seed;
+        params.stop = options.stop;
+        const meta::Objective objective =
+            meta::Objective::ForInstance(instance);
+        return EngineRun{meta::RunSerialSa(objective, params), 0.0};
+      });
+
+  registry.Register(
+      "dpso", [](const Instance& instance, const EngineOptions& options) {
+        meta::DpsoParams params;
+        params.iterations = options.generations;
+        params.seed = options.seed;
+        params.stop = options.stop;
+        const meta::Objective objective =
+            meta::Objective::ForInstance(instance);
+        return EngineRun{meta::RunSerialDpso(objective, params), 0.0};
+      });
+
+  registry.Register(
+      "ta", [](const Instance& instance, const EngineOptions& options) {
+        meta::TaParams params;
+        params.iterations = options.generations;
+        params.seed = options.seed;
+        params.stop = options.stop;
+        const meta::Objective objective =
+            meta::Objective::ForInstance(instance);
+        return EngineRun{meta::RunThresholdAccepting(objective, params),
+                         0.0};
+      });
+
+  registry.Register(
+      "es", [](const Instance& instance, const EngineOptions& options) {
+        meta::EsParams params;
+        params.generations = options.generations;
+        params.seed = options.seed;
+        params.stop = options.stop;
+        const meta::Objective objective =
+            meta::Objective::ForInstance(instance);
+        return EngineRun{meta::RunEvolutionStrategy(objective, params),
+                         0.0};
+      });
+
+  registry.Register(
+      "host", [](const Instance& instance, const EngineOptions& options) {
+        meta::HostEnsembleParams params;
+        params.chains = options.chains;
+        params.threads = options.threads;
+        params.chain.iterations = options.generations;
+        params.chain.seed = options.seed;
+        params.chain.stop = options.stop;
+        const meta::Objective objective =
+            meta::Objective::ForInstance(instance);
+        return EngineRun{meta::RunHostEnsembleSa(objective, params), 0.0};
+      });
+
+  registry.Register(
+      "psa", [](const Instance& instance, const EngineOptions& options) {
+        return WithDevice(options, [&](sim::Device& device) {
+          par::ParallelSaParams params;
+          params.config = par::LaunchConfig::ForEnsemble(options.ensemble,
+                                                         options.block);
+          params.generations = options.generations;
+          params.seed = options.seed;
+          params.vshape_init = options.vshape_init;
+          params.stop = options.stop;
+          return FromGpu(par::RunParallelSa(device, instance, params));
+        });
+      });
+
+  registry.Register(
+      "pdpso", [](const Instance& instance, const EngineOptions& options) {
+        return WithDevice(options, [&](sim::Device& device) {
+          par::ParallelDpsoParams params;
+          params.config = par::LaunchConfig::ForEnsemble(options.ensemble,
+                                                         options.block);
+          params.generations = options.generations;
+          params.seed = options.seed;
+          params.vshape_init = options.vshape_init;
+          params.stop = options.stop;
+          return FromGpu(par::RunParallelDpso(device, instance, params));
+        });
+      });
+
+  registry.Register(
+      "psa-sync",
+      [](const Instance& instance, const EngineOptions& options) {
+        return WithDevice(options, [&](sim::Device& device) {
+          par::ParallelSaSyncParams params;
+          params.config = par::LaunchConfig::ForEnsemble(options.ensemble,
+                                                         options.block);
+          // The generation budget counts single SA steps; the synchronous
+          // variant spends them M (=chain_length) at a time per level.
+          params.temperature_levels = static_cast<std::uint32_t>(
+              std::max<std::uint64_t>(1, options.generations /
+                                             params.chain_length));
+          params.seed = options.seed;
+          params.stop = options.stop;
+          return FromGpu(par::RunParallelSaSync(device, instance, params));
+        });
+      });
+
+  return registry;
+}
+
+}  // namespace
+
+void EngineRegistry::Register(std::string name, EngineFn fn) {
+  engines_[std::move(name)] = std::move(fn);
+}
+
+const EngineFn* EngineRegistry::Find(std::string_view name) const {
+  const auto it = engines_.find(name);
+  return it == engines_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(engines_.size());
+  for (const auto& [name, fn] : engines_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+const EngineRegistry& EngineRegistry::Default() {
+  static const EngineRegistry registry = MakeDefault();
+  return registry;
+}
+
+}  // namespace cdd::serve

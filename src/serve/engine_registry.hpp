@@ -1,0 +1,77 @@
+#pragma once
+/// \file engine_registry.hpp
+/// \brief Name -> solver adapters over the library's seven engines.
+///
+/// The registry is the single place where an engine name ("psa", "host",
+/// "sa", ...) maps to runnable code, so the cdd_solve CLI, the
+/// SolverService and the load generator all accept exactly the same names
+/// and reject unknown ones the same way.  Each adapter translates the
+/// uniform EngineOptions into the engine's native parameter struct, runs
+/// it, and normalizes the outcome into a meta::RunResult plus the modeled
+/// device time (zero for host-side engines).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/stop_token.hpp"
+#include "cudasim/device.hpp"
+#include "meta/result.hpp"
+
+namespace cdd::serve {
+
+/// Engine-independent knobs of one solve.  Fields an engine has no use for
+/// are ignored (e.g. `chains` by "sa", `ensemble`/`block` by every serial
+/// engine); CacheKey() hashes only result-determining fields, and
+/// deliberately not `threads` (RunHostEnsembleSa is thread-count
+/// invariant), `stop` or `device`.
+struct EngineOptions {
+  std::uint64_t generations = 1000;  ///< iterations / generations budget
+  std::uint64_t seed = 1;
+  std::uint32_t ensemble = 768;  ///< parallel engines: total GPU threads
+  std::uint32_t block = 192;     ///< parallel engines: threads per block
+  std::uint32_t chains = 64;     ///< "host": independent SA chains
+  std::uint32_t threads = 0;     ///< "host": worker threads (0 = hardware)
+  bool vshape_init = false;      ///< parallel engines: V-shape seeding
+  /// Cooperative cancellation, forwarded into the engine's search loop.
+  StopToken stop{};
+  /// Simulated device for the parallel engines.  When null the adapter
+  /// creates a private GT 560M per call (what the service does); the CLI
+  /// passes its own device so --profile sees the kernels.
+  sim::Device* device = nullptr;
+};
+
+/// Normalized engine outcome.
+struct EngineRun {
+  meta::RunResult result;
+  double device_seconds = 0.0;  ///< modeled GPU time; 0 for host engines
+};
+
+using EngineFn =
+    std::function<EngineRun(const Instance&, const EngineOptions&)>;
+
+/// Immutable-after-setup name -> engine table.
+class EngineRegistry {
+ public:
+  /// Registers \p fn under \p name, replacing any previous entry.
+  void Register(std::string name, EngineFn fn);
+
+  /// Looks up an engine; nullptr when the name is unknown.
+  const EngineFn* Find(std::string_view name) const;
+
+  /// All registered names, sorted (for error messages and --help).
+  std::vector<std::string> Names() const;
+
+  /// The built-in engines: psa, pdpso, psa-sync (simulated GPU), sa, dpso,
+  /// ta, es (serial) and host (multi-threaded CPU ensemble).
+  static const EngineRegistry& Default();
+
+ private:
+  std::map<std::string, EngineFn, std::less<>> engines_;
+};
+
+}  // namespace cdd::serve

@@ -1,0 +1,97 @@
+#pragma once
+/// \file job_queue.hpp
+/// \brief Bounded MPMC queue — the admission-control point of the service.
+///
+/// The queue is deliberately *bounded* and *rejecting*: under overload,
+/// TryPush fails immediately so the caller can answer
+/// SolveStatus::kRejectedQueueFull instead of letting latency grow without
+/// bound (load shedding at the front door, not timeouts at the back).
+///
+/// Shutdown protocol: Close() makes all future pushes fail while consumers
+/// keep draining; Pop() returns nullopt only once the queue is closed *and*
+/// empty, so no accepted item is ever dropped.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace cdd::serve {
+
+/// Bounded multi-producer multi-consumer FIFO.  T must be movable.
+template <class T>
+class JobQueue {
+ public:
+  /// \p capacity must be >= 1; the queue never holds more items than this.
+  explicit JobQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueues \p item if there is room and the queue is open.  On failure
+  /// returns false and leaves \p item untouched (the caller still owns it
+  /// and can complete it with a rejection status).
+  bool TryPush(T&& item) {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained;
+  /// nullopt means "no more work ever" (the consumer should exit).
+  std::optional<T> Pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking Pop; nullopt when nothing is ready right now.
+  std::optional<T> TryPop() {
+    const std::scoped_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    return item;
+  }
+
+  /// Closes the queue: producers are rejected from now on, consumers drain
+  /// the remaining items and then see nullopt.  Idempotent.
+  void Close() {
+    {
+      const std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    const std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cdd::serve

@@ -1,0 +1,107 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cdd::serve {
+
+namespace {
+
+/// Bucket index for a latency of \p us microseconds: 4 sub-buckets per
+/// octave, i.e. lower bound of bucket i is 2^(i/4) us.
+int BucketIndex(double us) {
+  if (us <= 1.0) return 0;
+  const int i = static_cast<int>(std::floor(std::log2(us) * 4.0));
+  return std::min(i, LatencyHistogram::kBuckets - 1);
+}
+
+/// Geometric midpoint of bucket i, in microseconds.
+double BucketMid(int i) {
+  return std::exp2((static_cast<double>(i) + 0.5) / 4.0);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double ms) {
+  const double us = std::max(ms, 0.0) * 1000.0;
+  buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const auto us_int = static_cast<std::uint64_t>(us);
+  sum_us_.fetch_add(us_int, std::memory_order_relaxed);
+  std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
+  while (us_int > seen &&
+         !max_us_.compare_exchange_weak(seen, us_int,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile (1-based, nearest-rank definition).
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMid(i) / 1000.0;
+  }
+  return max_ms();
+}
+
+double LatencyHistogram::mean_ms() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n) / 1000.0;
+}
+
+double LatencyHistogram::max_ms() const {
+  return static_cast<double>(max_us_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [key, value] : counters_) {
+    if (key == name) return *value;
+  }
+  counters_.emplace_back(name, std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [key, value] : histograms_) {
+    if (key == name) return *value;
+  }
+  histograms_.emplace_back(name, std::make_unique<LatencyHistogram>());
+  return *histograms_.back().second;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  const std::scoped_lock lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << counters_[i].first
+        << "\":" << counters_[i].second->value();
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const LatencyHistogram& h = *histograms_[i].second;
+    if (i > 0) out << ",";
+    out << "\"" << histograms_[i].first << "\":{\"count\":" << h.count()
+        << ",\"mean\":" << h.mean_ms() << ",\"p50\":" << h.Percentile(0.50)
+        << ",\"p95\":" << h.Percentile(0.95)
+        << ",\"p99\":" << h.Percentile(0.99) << ",\"max\":" << h.max_ms()
+        << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace cdd::serve

@@ -1,0 +1,83 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Counters and latency histograms for the solver service.
+///
+/// Everything on the hot path is a relaxed atomic increment: counters are a
+/// single fetch_add, histograms one fetch_add into a geometric bucket
+/// (ratio 2^(1/4), so quantile estimates are within ~9% of the true value).
+/// Snapshots are read without stopping the world and serialized to JSON for
+/// scraping; registration returns stable references, so engines keep a
+/// Counter* and never touch the registry map again.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cdd::serve {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Latency histogram over geometric buckets of ratio 2^(1/4), covering
+/// 1 microsecond .. ~9 hours in 128 buckets.  Record() is wait-free;
+/// Percentile() walks the buckets and interpolates geometrically.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 128;
+
+  /// Records one sample, given in milliseconds.
+  void Record(double ms);
+
+  /// Approximate q-quantile in milliseconds, q in [0, 1]; 0 when empty.
+  double Percentile(double q) const;
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double mean_ms() const;
+  double max_ms() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+/// Named counters and histograms with a JSON snapshot.  Registration
+/// (counter()/histogram()) takes a lock and returns a stable reference;
+/// increments and snapshots are lock-free afterwards.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  /// One-line JSON object:
+  /// {"counters":{...},"histograms":{"solve_ms":{"count":..,"mean":..,
+  ///  "p50":..,"p95":..,"p99":..,"max":..},...}}
+  /// Registration order is preserved so diffs of scraped snapshots are
+  /// stable.
+  std::string SnapshotJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<LatencyHistogram>>>
+      histograms_;
+};
+
+}  // namespace cdd::serve

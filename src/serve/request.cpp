@@ -1,0 +1,39 @@
+#include "serve/request.hpp"
+
+#include "core/hash.hpp"
+
+namespace cdd::serve {
+
+std::string_view ToString(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk:
+      return "ok";
+    case SolveStatus::kCacheHit:
+      return "cache_hit";
+    case SolveStatus::kDeadlineExpired:
+      return "deadline_expired";
+    case SolveStatus::kRejectedQueueFull:
+      return "rejected_queue_full";
+    case SolveStatus::kRejectedUnknownEngine:
+      return "rejected_unknown_engine";
+    case SolveStatus::kShutdown:
+      return "shutdown";
+    case SolveStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+std::uint64_t CacheKey(const SolveRequest& request) {
+  std::uint64_t h = HashInstance(request.instance);
+  h = HashBytes(h, request.engine.data(), request.engine.size());
+  h = HashCombine(h, request.options.generations);
+  h = HashCombine(h, request.options.seed);
+  h = HashCombine(h, request.options.ensemble);
+  h = HashCombine(h, request.options.block);
+  h = HashCombine(h, request.options.chains);
+  h = HashCombine(h, request.options.vshape_init ? 1 : 0);
+  return h;
+}
+
+}  // namespace cdd::serve

@@ -1,0 +1,68 @@
+#pragma once
+/// \file request.hpp
+/// \brief Request/response records of the solver service.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/instance.hpp"
+#include "meta/result.hpp"
+#include "serve/engine_registry.hpp"
+
+namespace cdd::serve {
+
+/// Terminal state of one submitted request.
+enum class SolveStatus {
+  kOk,                     ///< solved to its full budget
+  kCacheHit,               ///< served from the result cache, no solve ran
+  kDeadlineExpired,        ///< deadline hit; result is the best-so-far
+  kRejectedQueueFull,      ///< backpressure: not admitted, try later
+  kRejectedUnknownEngine,  ///< engine name not in the registry
+  kShutdown,               ///< service stopped before/while solving it
+  kFailed,                 ///< engine threw; see SolveResponse::error
+};
+
+/// Stable lower-case name ("ok", "cache_hit", ...), for logs and tables.
+std::string_view ToString(SolveStatus status);
+
+/// One solve request.  The id is an opaque caller-side correlation tag.
+struct SolveRequest {
+  std::uint64_t id = 0;
+  Instance instance;
+  std::string engine = "sa";
+  EngineOptions options;
+  /// Wall-clock budget measured from admission; zero means none.  An
+  /// expired request still returns its best-so-far sequence, flagged
+  /// kDeadlineExpired.
+  std::chrono::milliseconds deadline{0};
+};
+
+/// Outcome delivered through the future returned by Submit().
+struct SolveResponse {
+  std::uint64_t id = 0;
+  SolveStatus status = SolveStatus::kFailed;
+  meta::RunResult result;
+  double device_seconds = 0.0;  ///< modeled GPU time (parallel engines)
+  double queue_ms = 0.0;        ///< admission -> dequeue
+  double solve_ms = 0.0;        ///< engine run time
+  bool from_cache = false;
+  std::string error;  ///< populated for kFailed
+
+  /// True when `result` carries a usable sequence.
+  bool ok() const {
+    return status == SolveStatus::kOk || status == SolveStatus::kCacheHit ||
+           (status == SolveStatus::kDeadlineExpired &&
+            !result.best.empty());
+  }
+};
+
+/// Canonical 64-bit cache/dedup key: instance hash combined with the
+/// engine name and every result-determining option (generations, seed,
+/// ensemble geometry, chains, vshape) — and nothing else, so requests that
+/// must produce identical results share a key regardless of deadline,
+/// thread count or submission order.
+std::uint64_t CacheKey(const SolveRequest& request);
+
+}  // namespace cdd::serve

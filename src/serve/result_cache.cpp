@@ -1,0 +1,77 @@
+#include "serve/result_cache.hpp"
+
+#include <algorithm>
+
+namespace cdd::serve {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  const std::size_t count =
+      std::clamp<std::size_t>(shards, 1, std::max<std::size_t>(capacity, 1));
+  shards_.reserve(count);
+  // Distribute the capacity; the first shards absorb the remainder so the
+  // total is exactly `capacity`.
+  const std::size_t base = capacity / count;
+  std::size_t remainder = capacity % count;
+  for (std::size_t s = 0; s < count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::optional<ResultCache::Entry> ResultCache::Get(std::uint64_t key) {
+  Shard& shard = ShardFor(key);
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void ResultCache::Put(std::uint64_t key, Entry entry) {
+  if (capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
+  const std::scoped_lock lock(shard.mutex);
+  if (shard.capacity == 0) return;
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= shard.capacity) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.emplace_front(key, std::move(entry));
+  shard.index[key] = shard.lru.begin();
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+  }
+  return total;
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace cdd::serve

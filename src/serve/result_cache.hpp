@@ -1,0 +1,82 @@
+#pragma once
+/// \file result_cache.hpp
+/// \brief Sharded LRU cache of solve results.
+///
+/// Keyed by the 64-bit canonical request hash (core/hash.hpp over the
+/// instance, combined with engine name and search parameters — see
+/// serve::CacheKey).  Sharded so concurrent workers rarely contend on the
+/// same mutex: the shard is selected from the key's high bits, each shard
+/// is an independent LRU of capacity/shards entries.
+///
+/// Only *completed* runs belong in the cache; the service never inserts a
+/// deadline-truncated result, so a hit is always as good as a fresh solve.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "meta/result.hpp"
+
+namespace cdd::serve {
+
+/// Aggregate hit/miss/eviction counts across all shards.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Thread-safe sharded LRU mapping request keys to finished runs.
+class ResultCache {
+ public:
+  /// A cached solve outcome.
+  struct Entry {
+    meta::RunResult result;
+    double device_seconds = 0.0;  ///< modeled GPU time (parallel engines)
+  };
+
+  /// \p capacity 0 disables the cache entirely (every Get misses, Put is a
+  /// no-op).  \p shards is clamped to [1, capacity].
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+
+  /// Returns the entry and refreshes its recency, or nullopt on miss.
+  std::optional<Entry> Get(std::uint64_t key);
+
+  /// Inserts or refreshes; evicts the shard's least-recently-used entry
+  /// when the shard is full.
+  void Put(std::uint64_t key, Entry entry);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used.
+    std::list<std::pair<std::uint64_t, Entry>> lru;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, Entry>>::iterator>
+        index;
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(std::uint64_t key) {
+    // Keys are SplitMix-mixed, so the high bits are as uniform as any.
+    return *shards_[(key >> 32) % shards_.size()];
+  }
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace cdd::serve

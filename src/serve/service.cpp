@@ -1,0 +1,192 @@
+#include "serve/service.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace cdd::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+SolverService::SolverService(ServiceConfig config,
+                             const EngineRegistry& registry)
+    : config_(config),
+      registry_(registry),
+      cache_(config.cache_capacity, config.cache_shards),
+      submitted_(&metrics_.counter("submitted")),
+      enqueued_(&metrics_.counter("enqueued")),
+      rejected_queue_full_(&metrics_.counter("rejected_queue_full")),
+      rejected_unknown_engine_(
+          &metrics_.counter("rejected_unknown_engine")),
+      cache_hits_(&metrics_.counter("cache_hits")),
+      completed_(&metrics_.counter("completed")),
+      deadline_expired_(&metrics_.counter("deadline_expired")),
+      cancelled_(&metrics_.counter("cancelled")),
+      failed_(&metrics_.counter("failed")),
+      queue_ms_(&metrics_.histogram("queue_ms")),
+      solve_ms_(&metrics_.histogram("solve_ms")),
+      queue_(config.queue_capacity) {
+  if (config_.workers == 0) config_.workers = 1;
+  slot_stops_.reserve(config_.workers);
+  for (unsigned w = 0; w < config_.workers; ++w) {
+    slot_stops_.push_back(std::make_unique<StopSource>());
+  }
+  pool_ = std::make_unique<WorkerPool<Job>>(
+      queue_, config_.workers,
+      [this](Job&& job, unsigned slot) { Process(std::move(job), slot); });
+}
+
+SolverService::~SolverService() { Shutdown(); }
+
+std::future<SolveResponse> SolverService::Submit(SolveRequest request) {
+  submitted_->Increment();
+
+  SolveResponse response;
+  response.id = request.id;
+
+  const EngineFn* engine = registry_.Find(request.engine);
+  if (engine == nullptr) {
+    rejected_unknown_engine_->Increment();
+    response.status = SolveStatus::kRejectedUnknownEngine;
+    response.error = "unknown engine '" + request.engine + "'";
+    std::promise<SolveResponse> done;
+    done.set_value(std::move(response));
+    return done.get_future();
+  }
+
+  const std::uint64_t key = CacheKey(request);
+
+  // Fast path: an identical finished request is served synchronously, no
+  // queue slot consumed.
+  if (auto hit = cache_.Get(key)) {
+    cache_hits_->Increment();
+    response.status = SolveStatus::kCacheHit;
+    response.result = std::move(hit->result);
+    response.device_seconds = hit->device_seconds;
+    response.from_cache = true;
+    std::promise<SolveResponse> done;
+    done.set_value(std::move(response));
+    return done.get_future();
+  }
+
+  Job job;
+  job.request = std::move(request);
+  job.engine = engine;
+  job.key = key;
+  job.admitted = Clock::now();
+  std::future<SolveResponse> future = job.promise.get_future();
+
+  if (!queue_.TryPush(std::move(job))) {
+    // TryPush moves only on success, so the job (and its promise, already
+    // tied to `future`) is still ours to answer.
+    rejected_queue_full_->Increment();
+    response.status = stopped_.load() ? SolveStatus::kShutdown
+                                      : SolveStatus::kRejectedQueueFull;
+    job.promise.set_value(std::move(response));
+    return future;
+  }
+  enqueued_->Increment();
+  return future;
+}
+
+void SolverService::Process(Job&& job, unsigned slot) {
+  const Clock::time_point dequeued = Clock::now();
+  SolveResponse response;
+  response.id = job.request.id;
+  response.queue_ms = MsSince(job.admitted, dequeued);
+  queue_ms_->Record(response.queue_ms);
+
+  if (aborting_.load()) {
+    response.status = SolveStatus::kShutdown;
+    cancelled_->Increment();
+    job.promise.set_value(std::move(response));
+    return;
+  }
+
+  // A duplicate may have completed while this request waited in the queue.
+  if (auto hit = cache_.Get(job.key)) {
+    cache_hits_->Increment();
+    response.status = SolveStatus::kCacheHit;
+    response.result = std::move(hit->result);
+    response.device_seconds = hit->device_seconds;
+    response.from_cache = true;
+    job.promise.set_value(std::move(response));
+    return;
+  }
+
+  StopSource& stop = *slot_stops_[slot];
+  stop.Reset();
+  const bool has_deadline = job.request.deadline.count() > 0;
+  if (has_deadline) {
+    const Clock::time_point deadline = job.admitted + job.request.deadline;
+    if (dequeued >= deadline) {
+      // Expired while queued: answer without burning a solve.
+      deadline_expired_->Increment();
+      response.status = SolveStatus::kDeadlineExpired;
+      job.promise.set_value(std::move(response));
+      return;
+    }
+    stop.SetDeadline(deadline);
+  }
+  if (aborting_.load()) stop.RequestStop();
+
+  EngineOptions options = job.request.options;
+  options.stop = stop.token();
+  options.device = nullptr;  // each call gets a private simulated device
+  // Safe because RunHostEnsembleSa is thread-count invariant: the pool
+  // already provides the parallelism, each engine call stays serial.
+  options.threads = 1;
+
+  const Clock::time_point solve_start = Clock::now();
+  try {
+    EngineRun run = (*job.engine)(job.request.instance, options);
+    response.solve_ms = MsSince(solve_start, Clock::now());
+    solve_ms_->Record(response.solve_ms);
+    response.device_seconds = run.device_seconds;
+    if (run.result.stopped) {
+      if (aborting_.load()) {
+        response.status = SolveStatus::kShutdown;
+        cancelled_->Increment();
+      } else {
+        response.status = SolveStatus::kDeadlineExpired;
+        deadline_expired_->Increment();
+      }
+      // Truncated searches never enter the cache: a later duplicate must
+      // get the full-budget answer, not this one.
+    } else {
+      response.status = SolveStatus::kOk;
+      completed_->Increment();
+      cache_.Put(job.key, {run.result, run.device_seconds});
+    }
+    response.result = std::move(run.result);
+  } catch (const std::exception& e) {
+    response.solve_ms = MsSince(solve_start, Clock::now());
+    response.status = SolveStatus::kFailed;
+    response.error = e.what();
+    failed_->Increment();
+  }
+  job.promise.set_value(std::move(response));
+}
+
+void SolverService::Shutdown() {
+  stopped_.store(true);
+  queue_.Close();
+  pool_->Join();
+}
+
+void SolverService::CancelAll() {
+  stopped_.store(true);
+  aborting_.store(true);
+  for (const auto& stop : slot_stops_) stop->RequestStop();
+  queue_.Close();
+  pool_->Join();
+}
+
+}  // namespace cdd::serve

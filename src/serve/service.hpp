@@ -1,0 +1,120 @@
+#pragma once
+/// \file service.hpp
+/// \brief SolverService — the request-driven front of the solver library.
+///
+/// Composition (one instance of each, wired in the constructor):
+///
+///   Submit() -> [cache fast path] -> JobQueue (bounded, rejecting)
+///                                      -> WorkerPool -> EngineRegistry
+///                                           -> ResultCache / Metrics
+///
+/// Invariants the tests pin down:
+///  * No accepted request is ever lost: every future returned by Submit()
+///    resolves — solved, cache-served, deadline-expired, failed, or
+///    answered kShutdown during CancelAll().
+///  * Backpressure is synchronous: a full queue rejects at Submit() time
+///    with kRejectedQueueFull; nothing is silently queued beyond capacity.
+///  * Deadlines are honored cooperatively: the worker arms a per-request
+///    StopSource and the engine's search loop truncates; a request whose
+///    deadline passed while queued is answered without solving at all.
+///  * Only complete (unstopped) runs enter the result cache, so a cache
+///    hit is bit-identical to a fresh full solve of the same request.
+///  * "host" runs are clamped to 1 thread per worker — legal because
+///    RunHostEnsembleSa is thread-count invariant (documented contract) —
+///    so a w-worker service never oversubscribes the machine.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/stop_token.hpp"
+#include "serve/engine_registry.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/worker_pool.hpp"
+
+namespace cdd::serve {
+
+/// Sizing of one SolverService.
+struct ServiceConfig {
+  unsigned workers = 4;             ///< solver threads
+  std::size_t queue_capacity = 256; ///< admission bound (backpressure)
+  std::size_t cache_capacity = 4096;///< result-cache entries; 0 disables
+  std::size_t cache_shards = 8;
+};
+
+/// Concurrent solve service over the engine registry.  Thread-safe:
+/// Submit() may be called from any number of client threads.
+class SolverService {
+ public:
+  explicit SolverService(
+      ServiceConfig config,
+      const EngineRegistry& registry = EngineRegistry::Default());
+
+  /// Drains and joins (Shutdown()).
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Submits one request.  Always returns a valid future; rejections
+  /// (queue full, unknown engine) and cache hits resolve it immediately.
+  std::future<SolveResponse> Submit(SolveRequest request);
+
+  /// Graceful shutdown: stop admitting, let the workers drain every queued
+  /// request to completion, join.  Idempotent.
+  void Shutdown();
+
+  /// Fast shutdown: stop admitting, cancel the in-flight runs through
+  /// their stop tokens (best effort) and answer the still-queued requests
+  /// with kShutdown, join.  Every future still resolves.  Idempotent.
+  void CancelAll();
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const ResultCache& cache() const { return cache_; }
+  unsigned workers() const { return config_.workers; }
+
+ private:
+  struct Job {
+    SolveRequest request;
+    const EngineFn* engine = nullptr;
+    std::uint64_t key = 0;
+    std::chrono::steady_clock::time_point admitted;
+    std::promise<SolveResponse> promise;
+  };
+
+  void Process(Job&& job, unsigned slot);
+
+  ServiceConfig config_;
+  const EngineRegistry& registry_;
+  ResultCache cache_;
+  MetricsRegistry metrics_;
+
+  // Hot-path metric handles, resolved once in the constructor.
+  Counter* submitted_;
+  Counter* enqueued_;
+  Counter* rejected_queue_full_;
+  Counter* rejected_unknown_engine_;
+  Counter* cache_hits_;
+  Counter* completed_;
+  Counter* deadline_expired_;
+  Counter* cancelled_;
+  Counter* failed_;
+  LatencyHistogram* queue_ms_;
+  LatencyHistogram* solve_ms_;
+
+  JobQueue<Job> queue_;
+  /// One reusable StopSource per worker slot so CancelAll() can reach the
+  /// runs currently executing.  unique_ptr: StopSource is not movable.
+  std::vector<std::unique_ptr<StopSource>> slot_stops_;
+  std::atomic<bool> aborting_{false};
+  std::atomic<bool> stopped_{false};
+  std::unique_ptr<WorkerPool<Job>> pool_;  // constructed last, joins first
+};
+
+}  // namespace cdd::serve

@@ -1,0 +1,61 @@
+#pragma once
+/// \file worker_pool.hpp
+/// \brief Fixed pool of consumer threads over a JobQueue.
+///
+/// Each worker loops Pop() -> handler until the queue is closed and
+/// drained, so joining the pool after JobQueue::Close() guarantees every
+/// accepted job was handed to the handler exactly once.  The handler
+/// receives the worker's slot index so the owner can maintain per-worker
+/// state (the SolverService keeps one reusable StopSource per slot).
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/job_queue.hpp"
+
+namespace cdd::serve {
+
+/// Consumes a JobQueue<T> with `workers` threads.
+template <class T>
+class WorkerPool {
+ public:
+  using Handler = std::function<void(T&&, unsigned slot)>;
+
+  WorkerPool(JobQueue<T>& queue, unsigned workers, Handler handler)
+      : queue_(queue), handler_(std::move(handler)) {
+    if (workers == 0) workers = 1;
+    threads_.reserve(workers);
+    for (unsigned slot = 0; slot < workers; ++slot) {
+      threads_.emplace_back([this, slot] {
+        while (auto job = queue_.Pop()) {
+          handler_(std::move(*job), slot);
+        }
+      });
+    }
+  }
+
+  ~WorkerPool() { Join(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Waits for all workers to finish.  Callers must Close() the queue
+  /// first or this blocks forever; idempotent afterwards.
+  void Join() {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  unsigned size() const { return static_cast<unsigned>(threads_.size()); }
+
+ private:
+  JobQueue<T>& queue_;
+  Handler handler_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cdd::serve

@@ -59,6 +59,27 @@ TEST(Cli, FallbacksAndErrors) {
   EXPECT_THROW(bad.GetInt("n", 0), std::invalid_argument);
 }
 
+TEST(Cli, RejectsPartiallyNumericValues) {
+  // std::stoll/std::stod accept a numeric *prefix*; the parser must not —
+  // "--gens 12abc" is a typo, not 12 generations.
+  const Args trailing = Make({"prog", "--gens", "12abc"});
+  EXPECT_THROW(trailing.GetInt("gens", 0), std::invalid_argument);
+
+  const Args doubled = Make({"prog", "--h", "0.x6"});
+  EXPECT_THROW(doubled.GetDouble("h", 0.0), std::invalid_argument);
+
+  const Args suffixed = Make({"prog", "--mu", "0.88x"});
+  EXPECT_THROW(suffixed.GetDouble("mu", 0.0), std::invalid_argument);
+
+  const Args listed = Make({"prog", "--sizes", "10,20x,50"});
+  EXPECT_THROW(listed.GetUintList("sizes", {}), std::invalid_argument);
+
+  // Clean values keep parsing, including negatives and exponents.
+  const Args good = Make({"prog", "--n", "-3", "--d", "1e-2"});
+  EXPECT_EQ(good.GetInt("n", 0), -3);
+  EXPECT_DOUBLE_EQ(good.GetDouble("d", 0.0), 0.01);
+}
+
 TEST(Cli, PositionalArguments) {
   const Args args = Make({"prog", "input.txt", "--k=1", "more.txt"});
   EXPECT_EQ(args.positional(),

@@ -1,0 +1,73 @@
+/// StopSource / StopToken semantics.
+
+#include "core/stop_token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace cdd {
+namespace {
+
+TEST(StopToken, DefaultTokenNeverStops) {
+  const StopToken token;
+  EXPECT_FALSE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(StopToken, ExplicitStopIsObserved) {
+  StopSource source;
+  const StopToken token = source.token();
+  EXPECT_TRUE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+  source.RequestStop();
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(StopToken, DeadlineInThePastStopsImmediately) {
+  StopSource source(StopSource::Clock::now() -
+                    std::chrono::milliseconds(1));
+  EXPECT_TRUE(source.token().stop_requested());
+}
+
+TEST(StopToken, DeadlineInTheFutureFiresAfterItPasses) {
+  StopSource source(StopSource::Clock::now() +
+                    std::chrono::milliseconds(20));
+  const StopToken token = source.token();
+  EXPECT_FALSE(token.stop_requested());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(StopToken, ResetRearmsTheSource) {
+  StopSource source;
+  source.RequestStop();
+  EXPECT_TRUE(source.stop_requested());
+  source.Reset();
+  EXPECT_FALSE(source.stop_requested());
+  EXPECT_FALSE(source.token().stop_requested());
+
+  source.SetDeadline(StopSource::Clock::now() -
+                     std::chrono::milliseconds(1));
+  EXPECT_TRUE(source.stop_requested());
+  source.Reset();
+  EXPECT_FALSE(source.stop_requested());
+}
+
+TEST(StopToken, StopFromAnotherThreadIsVisible) {
+  StopSource source;
+  const StopToken token = source.token();
+  std::thread stopper([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    source.RequestStop();
+  });
+  while (!token.stop_requested()) {
+    std::this_thread::yield();
+  }
+  stopper.join();
+  EXPECT_TRUE(token.stop_requested());
+}
+
+}  // namespace
+}  // namespace cdd

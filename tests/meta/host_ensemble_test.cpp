@@ -38,6 +38,32 @@ TEST(HostEnsemble, ThreadCountInvariant) {
   EXPECT_EQ(serial.evaluations, parallel.evaluations);
 }
 
+TEST(HostEnsemble, ThreadCountInvariantAcrossWideSweep) {
+  // Regression guard for the serve layer: SolverService clamps every
+  // "host" run to threads=1 and relies on this invariance to do so
+  // without changing results.  Chain c always runs seed+c, so any thread
+  // count — including more threads than chains, and odd counts that
+  // split the chains unevenly — must produce the identical result.
+  const Instance instance = cdd::testing::RandomCdd(25, 0.4, 605);
+  const Objective objective = Objective::ForInstance(instance);
+  HostEnsembleParams params;
+  params.chains = 10;
+  params.chain.iterations = 250;
+  params.chain.temp_samples = 150;
+
+  params.threads = 1;
+  const RunResult baseline = RunHostEnsembleSa(objective, params);
+  for (const unsigned threads : {2u, 3u, 4u, 7u, 10u, 16u}) {
+    params.threads = threads;
+    const RunResult result = RunHostEnsembleSa(objective, params);
+    EXPECT_EQ(result.best, baseline.best) << "threads=" << threads;
+    EXPECT_EQ(result.best_cost, baseline.best_cost)
+        << "threads=" << threads;
+    EXPECT_EQ(result.evaluations, baseline.evaluations)
+        << "threads=" << threads;
+  }
+}
+
 TEST(HostEnsemble, MoreChainsNeverHurt) {
   const Instance instance = cdd::testing::RandomCdd(15, 0.5, 603);
   const Objective objective = Objective::ForInstance(instance);

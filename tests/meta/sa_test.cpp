@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "common/test_instances.hpp"
 #include "core/exact.hpp"
+#include "core/stop_token.hpp"
 #include "meta/temperature.hpp"
 
 namespace cdd::meta {
@@ -90,6 +93,67 @@ TEST(SerialSa, WorksOnUcddcp) {
   EXPECT_GE(result.best_cost, optimum);
   // Near-optimality on an 8-job instance with 6000 iterations.
   EXPECT_LE(result.best_cost, optimum + std::max<Cost>(optimum / 10, 5));
+}
+
+TEST(SerialSa, StopTokenTruncatesTheRun) {
+  const Instance instance = cdd::testing::RandomCdd(30, 0.6, 71);
+  const Objective objective = Objective::ForInstance(instance);
+  SaParams params;
+  params.iterations = 100'000'000;  // far beyond what we let it run
+  params.temp_samples = 100;
+
+  StopSource source;
+  source.RequestStop();  // already stopped: the loop must bail at its
+                         // first poll, not after the full budget
+  params.stop = source.token();
+  const RunResult result = RunSerialSa(objective, params);
+  EXPECT_TRUE(result.stopped);
+  EXPECT_LT(result.evaluations, params.iterations);
+  // Even a truncated run returns a coherent best-so-far.
+  EXPECT_NO_THROW(ValidateSequence(result.best, 30));
+  EXPECT_EQ(result.best_cost, objective(result.best));
+}
+
+TEST(SerialSa, DeadlineStopsALongRunEarly) {
+  const Instance instance = cdd::testing::RandomCdd(40, 0.6, 72);
+  const Objective objective = Objective::ForInstance(instance);
+  SaParams params;
+  params.iterations = 500'000'000;  // would run for minutes
+  params.temp_samples = 100;
+
+  StopSource source(StopSource::Clock::now() +
+                    std::chrono::milliseconds(50));
+  params.stop = source.token();
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult result = RunSerialSa(objective, params);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(result.stopped);
+  EXPECT_LT(result.evaluations, params.iterations);
+  // The deadline, not the budget, ended the run (generous CI margin).
+  EXPECT_LT(wall_ms, 5000.0);
+}
+
+TEST(SerialSa, UnstoppedRunIsBitIdenticalWithAndWithoutToken) {
+  // Polling must never consume randomness: attaching a token that never
+  // fires cannot change the search trajectory in any way.
+  const Instance instance = cdd::testing::RandomCdd(20, 0.5, 73);
+  const Objective objective = Objective::ForInstance(instance);
+  SaParams params;
+  params.iterations = 800;
+  params.temp_samples = 100;
+  params.seed = 5;
+  const RunResult bare = RunSerialSa(objective, params);
+
+  StopSource source;  // never stopped, no deadline
+  params.stop = source.token();
+  const RunResult tokened = RunSerialSa(objective, params);
+  EXPECT_FALSE(tokened.stopped);
+  EXPECT_EQ(bare.best, tokened.best);
+  EXPECT_EQ(bare.best_cost, tokened.best_cost);
+  EXPECT_EQ(bare.evaluations, tokened.evaluations);
 }
 
 TEST(InitialTemperature, MatchesFitnessSpread) {

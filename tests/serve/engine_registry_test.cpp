@@ -1,0 +1,116 @@
+/// EngineRegistry: one name per engine, uniform adapters, stop tokens.
+
+#include "serve/engine_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/test_instances.hpp"
+#include "core/sequence.hpp"
+
+namespace cdd::serve {
+namespace {
+
+TEST(EngineRegistry, DefaultHasAllEightEngines) {
+  const std::vector<std::string> names =
+      EngineRegistry::Default().Names();
+  const std::vector<std::string> expected = {
+      "dpso", "es", "host", "pdpso", "psa", "psa-sync", "sa", "ta"};
+  EXPECT_EQ(names, expected);  // Names() is sorted
+}
+
+TEST(EngineRegistry, UnknownNameReturnsNull) {
+  const EngineRegistry& registry = EngineRegistry::Default();
+  EXPECT_EQ(registry.Find("SA"), nullptr);  // names are case-sensitive
+  EXPECT_EQ(registry.Find("gpu"), nullptr);
+  EXPECT_EQ(registry.Find(""), nullptr);
+}
+
+TEST(EngineRegistry, RegisterReplacesAndFinds) {
+  EngineRegistry registry;
+  int calls = 0;
+  registry.Register("x", [&calls](const Instance&, const EngineOptions&) {
+    ++calls;
+    return EngineRun{};
+  });
+  const EngineFn* fn = registry.Find("x");
+  ASSERT_NE(fn, nullptr);
+  (*fn)(cdd::testing::PaperExampleCdd(), EngineOptions{});
+  EXPECT_EQ(calls, 1);
+
+  registry.Register("x", [](const Instance&, const EngineOptions&) {
+    return EngineRun{};
+  });
+  (*registry.Find("x"))(cdd::testing::PaperExampleCdd(), EngineOptions{});
+  EXPECT_EQ(calls, 1);  // replaced, old adapter not called again
+}
+
+TEST(EngineRegistry, EveryEngineSolvesASmallInstance) {
+  const Instance instance = cdd::testing::RandomCdd(10, 0.6, 17);
+  const EngineRegistry& registry = EngineRegistry::Default();
+
+  EngineOptions options;
+  options.generations = 50;
+  options.seed = 5;
+  options.ensemble = 32;  // keep the simulated-GPU engines cheap
+  options.block = 16;
+  options.chains = 4;
+  options.threads = 1;
+
+  for (const std::string& name : registry.Names()) {
+    const EngineFn* engine = registry.Find(name);
+    ASSERT_NE(engine, nullptr) << name;
+    const EngineRun run = (*engine)(instance, options);
+    EXPECT_NO_THROW(ValidateSequence(run.result.best, 10)) << name;
+    EXPECT_GE(run.result.best_cost, 0) << name;
+    EXPECT_GT(run.result.evaluations, 0u) << name;
+    EXPECT_FALSE(run.result.stopped) << name;
+    // Simulated-GPU engines report modeled device time, host engines 0.
+    const bool gpu =
+        name == "psa" || name == "pdpso" || name == "psa-sync";
+    if (gpu) {
+      EXPECT_GT(run.device_seconds, 0.0) << name;
+    } else {
+      EXPECT_DOUBLE_EQ(run.device_seconds, 0.0) << name;
+    }
+  }
+}
+
+TEST(EngineRegistry, AdapterIsDeterministicPerSeed) {
+  const Instance instance = cdd::testing::RandomCdd(12, 0.4, 23);
+  const EngineFn* sa = EngineRegistry::Default().Find("sa");
+  ASSERT_NE(sa, nullptr);
+  EngineOptions options;
+  options.generations = 200;
+  options.seed = 9;
+  const EngineRun a = (*sa)(instance, options);
+  const EngineRun b = (*sa)(instance, options);
+  EXPECT_EQ(a.result.best, b.result.best);
+  EXPECT_EQ(a.result.best_cost, b.result.best_cost);
+}
+
+TEST(EngineRegistry, StopTokenTruncatesARun) {
+  // A pre-stopped token must end the run far short of its budget while
+  // still returning a valid best-so-far sequence.
+  const Instance instance = cdd::testing::RandomCdd(30, 0.6, 31);
+  StopSource source;
+  source.RequestStop();
+
+  EngineOptions options;
+  options.generations = 2'000'000;  // would take far too long if honored
+  options.stop = source.token();
+
+  for (const std::string& name : {std::string("sa"), std::string("ta"),
+                                  std::string("dpso"), std::string("es")}) {
+    const EngineFn* engine = EngineRegistry::Default().Find(name);
+    ASSERT_NE(engine, nullptr) << name;
+    const EngineRun run = (*engine)(instance, options);
+    EXPECT_TRUE(run.result.stopped) << name;
+    EXPECT_NO_THROW(ValidateSequence(run.result.best, 30)) << name;
+    EXPECT_LT(run.result.evaluations, options.generations) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cdd::serve

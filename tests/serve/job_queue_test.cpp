@@ -1,0 +1,146 @@
+/// Bounded MPMC JobQueue: backpressure, drain-on-close, MPMC stress.
+
+#include "serve/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cdd::serve {
+namespace {
+
+TEST(JobQueue, FifoOrder) {
+  JobQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.TryPush(int(i)));
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto item = queue.TryPop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+TEST(JobQueue, RejectsWhenFull) {
+  JobQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // backpressure, not blocking
+  EXPECT_EQ(queue.size(), 2u);
+
+  // Popping one frees one slot.
+  EXPECT_TRUE(queue.TryPop().has_value());
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_FALSE(queue.TryPush(4));
+}
+
+TEST(JobQueue, FailedPushLeavesItemIntact) {
+  // The TryPush contract: on failure the caller still owns the item —
+  // the service relies on this to answer the rejection through the job's
+  // still-valid promise.
+  JobQueue<std::string> queue(1);
+  EXPECT_TRUE(queue.TryPush("first"));
+  std::string rejected = "keep me";
+  EXPECT_FALSE(queue.TryPush(std::move(rejected)));
+  EXPECT_EQ(rejected, "keep me");
+}
+
+TEST(JobQueue, ZeroCapacityIsClampedToOne) {
+  JobQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_FALSE(queue.TryPush(2));
+}
+
+TEST(JobQueue, CloseRejectsProducersButDrainsConsumers) {
+  JobQueue<int> queue(8);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(3));
+
+  // Accepted items are still delivered after Close ...
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+  // ... and only then does Pop signal "no more work ever".
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(JobQueue, CloseIsIdempotent) {
+  JobQueue<int> queue(2);
+  queue.Close();
+  queue.Close();
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(JobQueue, CloseWakesBlockedConsumer) {
+  JobQueue<int> queue(2);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(queue.Pop().has_value());  // blocks until Close
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(woke.load());
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(JobQueue, MpmcStressDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  JobQueue<int> queue(16);
+
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  std::atomic<int> rejected{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = p * kPerProducer + i;
+        // Closed-loop retry: backpressure rejections are re-offered, so
+        // every value eventually lands exactly once.
+        while (!queue.TryPush(int(value))) {
+          rejected.fetch_add(1);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (const auto item = queue.Pop()) {
+        seen[static_cast<std::size_t>(*item)].fetch_add(1);
+      }
+    });
+  }
+
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+
+  for (const std::atomic<int>& count : seen) {
+    EXPECT_EQ(count.load(), 1);
+  }
+  // The queue is 16 deep against 2000 offered items: with producers and
+  // consumers racing, at least the bound must have been respected; the
+  // rejection counter just documents that backpressure actually engaged
+  // in this run or not — both are legal, losing an item is not.
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cdd::serve

@@ -1,0 +1,110 @@
+/// Counters, latency histograms and the JSON snapshot.
+
+#include "serve/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cdd::serve {
+namespace {
+
+TEST(Counter, IncrementsAtomically) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 10000; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), 42u + 40000u);
+}
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.mean_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max_ms(), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesWithinBucketResolution) {
+  // Buckets grow by 2^(1/4) ≈ 19%, so a quantile estimate may be off by
+  // one bucket: accept a generous ±25% band around the true value.
+  LatencyHistogram hist;
+  for (int i = 1; i <= 1000; ++i) {
+    hist.Record(static_cast<double>(i) / 10.0);  // 0.1 .. 100 ms, uniform
+  }
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_NEAR(hist.Percentile(0.50), 50.0, 50.0 * 0.25);
+  EXPECT_NEAR(hist.Percentile(0.95), 95.0, 95.0 * 0.25);
+  EXPECT_NEAR(hist.Percentile(0.99), 99.0, 99.0 * 0.25);
+  EXPECT_NEAR(hist.mean_ms(), 50.05, 1.0);
+  EXPECT_NEAR(hist.max_ms(), 100.0, 100.0 * 0.25);
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotone) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 500; ++i) hist.Record(0.5 + (i % 37) * 3.0);
+  double prev = 0.0;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double value = hist.Percentile(q);
+    EXPECT_GE(value, prev) << "q=" << q;
+    prev = value;
+  }
+}
+
+TEST(LatencyHistogram, ExtremesAreClamped) {
+  LatencyHistogram hist;
+  hist.Record(0.0);        // below the 1 µs floor
+  hist.Record(1e12);       // way past the ~9 h ceiling
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_GT(hist.Percentile(1.0), 0.0);  // no crash, finite answer
+}
+
+TEST(MetricsRegistry, NamesAreStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("requests");
+  Counter& b = registry.counter("requests");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(registry.counter("requests").value(), 3u);
+
+  LatencyHistogram& h1 = registry.histogram("solve_ms");
+  LatencyHistogram& h2 = registry.histogram("solve_ms");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, SnapshotJsonShape) {
+  MetricsRegistry registry;
+  registry.counter("submitted").Increment(5);
+  registry.counter("completed").Increment(4);
+  registry.histogram("solve_ms").Record(2.0);
+  registry.histogram("solve_ms").Record(8.0);
+
+  const std::string json = registry.SnapshotJson();
+  // Shape, not exact float formatting.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"submitted\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"completed\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"solve_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  for (const char* field : {"\"mean\":", "\"p50\":", "\"p95\":",
+                            "\"p99\":", "\"max\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  // Registration order is preserved: submitted before completed.
+  EXPECT_LT(json.find("submitted"), json.find("completed"));
+}
+
+}  // namespace
+}  // namespace cdd::serve

@@ -1,0 +1,122 @@
+/// Sharded LRU ResultCache: hit/miss, eviction, recency refresh.
+
+#include "serve/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace cdd::serve {
+namespace {
+
+ResultCache::Entry EntryWithCost(Cost cost) {
+  ResultCache::Entry entry;
+  entry.result.best = {0, 1, 2};
+  entry.result.best_cost = cost;
+  return entry;
+}
+
+/// Keys whose high 32 bits are zero all land in shard 0, which makes the
+/// single-shard LRU order fully predictable.
+std::uint64_t ShardZeroKey(std::uint64_t k) { return k & 0xffffffffULL; }
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(4, 1);
+  EXPECT_FALSE(cache.Get(42).has_value());
+  cache.Put(42, EntryWithCost(7));
+  const auto entry = cache.Get(42);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->result.best_cost, 7);
+  EXPECT_EQ(entry->result.best, (Sequence{0, 1, 2}));
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, PutRefreshesExistingKey) {
+  ResultCache cache(4, 1);
+  cache.Put(1, EntryWithCost(10));
+  cache.Put(1, EntryWithCost(20));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(1)->result.best_cost, 20);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2, 1);
+  cache.Put(ShardZeroKey(1), EntryWithCost(1));
+  cache.Put(ShardZeroKey(2), EntryWithCost(2));
+  cache.Put(ShardZeroKey(3), EntryWithCost(3));  // evicts key 1
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.Get(ShardZeroKey(1)).has_value());
+  EXPECT_TRUE(cache.Get(ShardZeroKey(2)).has_value());
+  EXPECT_TRUE(cache.Get(ShardZeroKey(3)).has_value());
+}
+
+TEST(ResultCache, GetRefreshesRecency) {
+  ResultCache cache(2, 1);
+  cache.Put(ShardZeroKey(1), EntryWithCost(1));
+  cache.Put(ShardZeroKey(2), EntryWithCost(2));
+  // Touch 1, so 2 is now the LRU entry.
+  EXPECT_TRUE(cache.Get(ShardZeroKey(1)).has_value());
+  cache.Put(ShardZeroKey(3), EntryWithCost(3));  // evicts key 2, not 1
+  EXPECT_TRUE(cache.Get(ShardZeroKey(1)).has_value());
+  EXPECT_FALSE(cache.Get(ShardZeroKey(2)).has_value());
+  EXPECT_TRUE(cache.Get(ShardZeroKey(3)).has_value());
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  cache.Put(1, EntryWithCost(1));
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, ShardCountIsClampedToCapacity) {
+  // 2 entries cannot meaningfully spread over 8 shards; each shard must
+  // still hold at least one entry.
+  ResultCache cache(2, 8);
+  EXPECT_LE(cache.shards(), 2u);
+  EXPECT_GE(cache.shards(), 1u);
+}
+
+TEST(ResultCache, KeysSpreadAcrossShards) {
+  // SplitMix-mixed keys differ in their high bits, so with capacity
+  // comfortably above the key count nothing should be evicted even though
+  // each shard only holds capacity/shards entries.
+  ResultCache cache(64, 8);
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    // Spread the keys like real CacheKey values (high bits vary).
+    cache.Put(k * 0x9e3779b97f4a7c15ULL, EntryWithCost(static_cast<Cost>(k)));
+  }
+  EXPECT_EQ(cache.size(), 32u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ResultCache, ConcurrentGetPutIsSafe) {
+  ResultCache cache(128, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (std::uint64_t i = 0; i < 1000; ++i) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(t) << 40) | (i % 64);
+        cache.Put(key * 0x9e3779b97f4a7c15ULL,
+                  EntryWithCost(static_cast<Cost>(i)));
+        cache.Get((i % 64) * 0x9e3779b97f4a7c15ULL);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.size(), 128u);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 4000u);
+}
+
+}  // namespace
+}  // namespace cdd::serve

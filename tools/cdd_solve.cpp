@@ -1,19 +1,22 @@
 /// \file cdd_solve.cpp
 /// \brief Command-line solver: the library as a tool.
 ///
-/// Solve a benchmark or user-supplied instance with any of the seven
-/// algorithms in the library and inspect the schedule.
+/// Solve a benchmark or user-supplied instance with any of the engines in
+/// the serve::EngineRegistry and inspect the schedule.
 ///
 ///   cdd_solve --generate 50 --h 0.6 --algo psa --gens 1000 --gantt
 ///   cdd_solve --file sch50.txt --index 3 --h 0.4 --algo host --chains 32
 ///   cdd_solve --generate 20 --problem ucddcp --algo pdpso --profile
 ///
-/// Algorithms: psa (parallel SA, default), pdpso (parallel DPSO),
-/// psa-sync (synchronous parallel SA), sa, dpso, ta, es (serial),
-/// host (multi-threaded CPU ensemble).
+/// The --algo names are exactly the registry's names — the same set the
+/// sched_serve service accepts — so scripts move between the one-shot CLI
+/// and the serving front-end without translation.  Unknown algorithms and
+/// malformed numeric flags are hard errors (nonzero exit), never silently
+/// replaced by defaults.
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "benchutil/cli.hpp"
 #include "benchutil/table.hpp"
@@ -21,20 +24,24 @@
 #include "core/eval_ucddcp.hpp"
 #include "core/schedule.hpp"
 #include "cudasim/device.hpp"
-#include "meta/dpso.hpp"
-#include "meta/evostrategy.hpp"
-#include "meta/host_ensemble.hpp"
-#include "meta/sa.hpp"
-#include "meta/threshold.hpp"
 #include "orlib/biskup_feldmann.hpp"
 #include "orlib/schfile.hpp"
-#include "parallel/parallel_dpso.hpp"
-#include "parallel/parallel_sa.hpp"
-#include "parallel/parallel_sa_sync.hpp"
+#include "serve/engine_registry.hpp"
 
 namespace {
 
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out << "|";
+    out << names[i];
+  }
+  return out.str();
+}
+
 void PrintUsage() {
+  const std::string algos =
+      JoinNames(cdd::serve::EngineRegistry::Default().Names());
   std::cout <<
       "cdd_solve — scheduling against a common due date\n\n"
       "Instance selection:\n"
@@ -45,7 +52,7 @@ void PrintUsage() {
       "  --h H                restrictiveness factor for CDD (default 0.6)\n"
       "  --seed S             generator / algorithm seed (default 1)\n\n"
       "Algorithm:\n"
-      "  --algo psa|pdpso|psa-sync|sa|dpso|ta|es|host   (default psa)\n"
+      "  --algo " << algos << "   (default psa)\n"
       "  --gens G             generations / iterations (default 1000)\n"
       "  --ensemble N --block B   parallel launch geometry (default 768/192)\n"
       "  --chains N           host-ensemble chains (default 64)\n"
@@ -67,6 +74,16 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // --- resolve the engine first: fail fast on a typo'd name -------------
+    const serve::EngineRegistry& registry = serve::EngineRegistry::Default();
+    const std::string algo = args.GetString("algo", "psa");
+    const serve::EngineFn* engine = registry.Find(algo);
+    if (engine == nullptr) {
+      std::cerr << "error: unknown --algo '" << algo << "' (expected one of "
+                << JoinNames(registry.Names()) << ")\n";
+      return 1;
+    }
+
     // --- build the instance -----------------------------------------------
     const bool ucddcp = args.GetString("problem", "cdd") == "ucddcp";
     const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
@@ -100,98 +117,27 @@ int main(int argc, char** argv) {
     instance.Validate();
     std::cout << "instance: " << instance.Summary() << "\n";
 
-    // --- run the selected algorithm ----------------------------------------
-    const std::string algo = args.GetString("algo", "psa");
-    const auto gens = static_cast<std::uint64_t>(args.GetInt("gens", 1000));
-    const auto ensemble =
-        static_cast<std::uint32_t>(args.GetInt("ensemble", 768));
-    const auto block =
-        static_cast<std::uint32_t>(args.GetInt("block", 192));
-
-    Sequence best;
-    Cost best_cost = kInfiniteCost;
+    // --- run the selected engine ------------------------------------------
     sim::Device gpu(sim::GeForceGT560M());
-    const meta::Objective objective =
-        meta::Objective::ForInstance(instance);
+    serve::EngineOptions options;
+    options.generations =
+        static_cast<std::uint64_t>(args.GetInt("gens", 1000));
+    options.seed = seed;
+    options.ensemble =
+        static_cast<std::uint32_t>(args.GetInt("ensemble", 768));
+    options.block = static_cast<std::uint32_t>(args.GetInt("block", 192));
+    options.chains = static_cast<std::uint32_t>(args.GetInt("chains", 64));
+    options.vshape_init = args.GetBool("vshape-init");
+    options.device = &gpu;  // so --profile sees the kernel launches
 
-    if (algo == "psa" || algo == "pdpso" || algo == "psa-sync") {
-      if (algo == "psa") {
-        par::ParallelSaParams params;
-        params.config = par::LaunchConfig::ForEnsemble(ensemble, block);
-        params.generations = gens;
-        params.seed = seed;
-        params.vshape_init = args.GetBool("vshape-init");
-        const auto result = par::RunParallelSa(gpu, instance, params);
-        best = result.best;
-        best_cost = result.best_cost;
-        std::cout << "modeled GT 560M time: " << result.device_seconds
-                  << " s over " << result.evaluations << " evaluations\n";
-      } else if (algo == "pdpso") {
-        par::ParallelDpsoParams params;
-        params.config = par::LaunchConfig::ForEnsemble(ensemble, block);
-        params.generations = gens;
-        params.seed = seed;
-        params.vshape_init = args.GetBool("vshape-init");
-        const auto result = par::RunParallelDpso(gpu, instance, params);
-        best = result.best;
-        best_cost = result.best_cost;
-        std::cout << "modeled GT 560M time: " << result.device_seconds
-                  << " s over " << result.evaluations << " evaluations\n";
-      } else {
-        par::ParallelSaSyncParams params;
-        params.config = par::LaunchConfig::ForEnsemble(ensemble, block);
-        params.temperature_levels =
-            static_cast<std::uint32_t>(gens / params.chain_length);
-        params.seed = seed;
-        const auto result = par::RunParallelSaSync(gpu, instance, params);
-        best = result.best;
-        best_cost = result.best_cost;
-        std::cout << "modeled GT 560M time: " << result.device_seconds
-                  << " s over " << result.evaluations << " evaluations\n";
-      }
-    } else if (algo == "sa") {
-      meta::SaParams params;
-      params.iterations = gens;
-      params.seed = seed;
-      const auto result = meta::RunSerialSa(objective, params);
-      best = result.best;
-      best_cost = result.best_cost;
-    } else if (algo == "dpso") {
-      meta::DpsoParams params;
-      params.iterations = gens;
-      params.seed = seed;
-      const auto result = meta::RunSerialDpso(objective, params);
-      best = result.best;
-      best_cost = result.best_cost;
-    } else if (algo == "ta") {
-      meta::TaParams params;
-      params.iterations = gens;
-      params.seed = seed;
-      const auto result = meta::RunThresholdAccepting(objective, params);
-      best = result.best;
-      best_cost = result.best_cost;
-    } else if (algo == "es") {
-      meta::EsParams params;
-      params.generations = gens;
-      params.seed = seed;
-      const auto result = meta::RunEvolutionStrategy(objective, params);
-      best = result.best;
-      best_cost = result.best_cost;
-    } else if (algo == "host") {
-      meta::HostEnsembleParams params;
-      params.chains =
-          static_cast<std::uint32_t>(args.GetInt("chains", 64));
-      params.chain.iterations = gens;
-      params.chain.seed = seed;
-      const auto result = meta::RunHostEnsembleSa(objective, params);
-      best = result.best;
-      best_cost = result.best_cost;
-    } else {
-      std::cerr << "error: unknown --algo '" << algo << "'\n";
-      return 1;
+    const serve::EngineRun run = (*engine)(instance, options);
+    if (run.device_seconds > 0.0) {
+      std::cout << "modeled GT 560M time: " << run.device_seconds
+                << " s over " << run.result.evaluations
+                << " evaluations\n";
     }
-
-    std::cout << "best cost: " << best_cost << "\n";
+    std::cout << "best cost: " << run.result.best_cost << "\n";
+    const Sequence& best = run.result.best;
 
     // --- schedule output ----------------------------------------------------
     Schedule schedule;

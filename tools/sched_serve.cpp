@@ -1,0 +1,297 @@
+/// \file sched_serve.cpp
+/// \brief Batch solver server: drive the SolverService end to end.
+///
+/// Feeds the service a workload of solve requests — synthetic (mixed
+/// CDD/UCDDCP Biskup-Feldmann instances with a controlled duplicate
+/// fraction) or read from a request file — waits for every response, and
+/// reports per-status counts, cache effectiveness and the metrics JSON.
+///
+///   sched_serve --requests 1000 --dup-frac 0.25 --workers 8
+///   sched_serve --requests 500 --engines sa,ta,es --deadline-ms 50
+///   sched_serve --file requests.txt --metrics
+///
+/// Request-file format: one request per line,
+///   engine problem n index h gens seed deadline_ms
+/// e.g. "sa cdd 50 3 0.6 1000 1 250"; '#' starts a comment.
+///
+/// A rejected submission (bounded queue full) is retried with backoff
+/// until admitted, so the run terminates with zero lost requests by
+/// construction — backpressure slows the feeder down instead of dropping
+/// work on the floor.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "benchutil/cli.hpp"
+#include "benchutil/table.hpp"
+#include "orlib/biskup_feldmann.hpp"
+#include "rng/philox.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace cdd;
+
+void PrintUsage() {
+  std::cout <<
+      "sched_serve — concurrent solver service, batch front-end\n\n"
+      "Workload (synthetic):\n"
+      "  --requests N        total requests (default 1000)\n"
+      "  --dup-frac F        fraction of duplicate requests (default 0.25)\n"
+      "  --ucddcp-frac F     fraction of UCDDCP instances (default 0.25)\n"
+      "  --sizes LIST        instance sizes to mix (default 20,50)\n"
+      "  --engines LIST      engine names to mix (default sa,ta,es)\n"
+      "  --gens G            per-request search budget (default 200)\n"
+      "  --deadline-ms D     per-request deadline, 0 = none (default 0)\n"
+      "  --seed S            workload seed (default 1)\n"
+      "Workload (file):\n"
+      "  --file PATH         one request per line:\n"
+      "                      engine problem n index h gens seed deadline_ms\n"
+      "Service:\n"
+      "  --workers W         solver threads (default hardware)\n"
+      "  --queue Q           admission queue capacity (default 128)\n"
+      "  --cache C           result cache entries, 0 = off (default 4096)\n"
+      "Output:\n"
+      "  --metrics           print the metrics JSON snapshot\n"
+      "  --quiet             suppress the per-run summary table\n";
+}
+
+struct WorkloadStats {
+  std::size_t submitted = 0;
+  std::size_t retries = 0;
+};
+
+/// Submits with retry-on-backpressure so no request is ever lost.
+std::future<serve::SolveResponse> SubmitReliably(
+    serve::SolverService& service, serve::SolveRequest request,
+    WorkloadStats& stats) {
+  ++stats.submitted;
+  for (;;) {
+    std::future<serve::SolveResponse> future =
+        service.Submit(request);
+    // Rejections resolve immediately; anything pending was admitted.
+    if (future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      return future;
+    }
+    serve::SolveResponse response = future.get();
+    if (response.status != serve::SolveStatus::kRejectedQueueFull) {
+      // Terminal (cache hit, unknown engine, ...): hand it back as-is.
+      std::promise<serve::SolveResponse> done;
+      done.set_value(std::move(response));
+      return done.get_future();
+    }
+    ++stats.retries;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+std::vector<serve::SolveRequest> LoadRequestFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<serve::SolveRequest> requests;
+  std::string line;
+  std::uint64_t id = 0;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // blank or comment-only line
+    }
+    std::istringstream fields(line);
+    std::string engine, problem;
+    std::uint32_t n = 0, index = 0;
+    double h = 0.6;
+    std::uint64_t gens = 0, seed = 1;
+    std::int64_t deadline_ms = 0;
+    if (!(fields >> engine >> problem >> n >> index >> h >> gens >> seed >>
+          deadline_ms)) {
+      // A non-empty line that doesn't parse is a typo, not a request to
+      // silently drop.
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": malformed request line '" + line + "'");
+    }
+    if (problem != "cdd" && problem != "ucddcp") {
+      throw std::runtime_error("bad problem '" + problem + "' in " + path);
+    }
+    const orlib::BiskupFeldmannGenerator gen(seed);
+    serve::SolveRequest request;
+    request.id = id++;
+    request.instance = problem == "ucddcp" ? gen.Ucddcp(n, index)
+                                           : gen.Cdd(n, index, h);
+    request.engine = engine;
+    request.options.generations = gens;
+    request.options.seed = seed;
+    request.deadline = std::chrono::milliseconds(deadline_ms);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+std::vector<std::string> SplitNames(const std::string& csv) {
+  std::vector<std::string> names;
+  std::string token;
+  std::istringstream in(csv);
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) names.push_back(token);
+  }
+  return names;
+}
+
+std::vector<serve::SolveRequest> SyntheticWorkload(
+    const benchutil::Args& args) {
+  const auto total =
+      static_cast<std::size_t>(args.GetInt("requests", 1000));
+  const double dup_frac = args.GetDouble("dup-frac", 0.25);
+  const double ucddcp_frac = args.GetDouble("ucddcp-frac", 0.25);
+  const std::vector<std::uint32_t> sizes =
+      args.GetUintList("sizes", {20, 50});
+  const std::vector<std::string> engines =
+      SplitNames(args.GetString("engines", "sa,ta,es"));
+  const auto gens = static_cast<std::uint64_t>(args.GetInt("gens", 200));
+  const auto deadline_ms = args.GetInt("deadline-ms", 0);
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+
+  if (engines.empty()) throw std::runtime_error("--engines is empty");
+  if (total == 0) return {};
+  const auto uniques = static_cast<std::size_t>(
+      std::max(1.0, static_cast<double>(total) * (1.0 - dup_frac)));
+
+  rng::Philox4x32 rng(seed, /*stream=*/0x5e72eULL);
+  const orlib::BiskupFeldmannGenerator gen(seed);
+
+  // The unique request pool: distinct (instance, engine, params) tuples.
+  std::vector<serve::SolveRequest> pool;
+  pool.reserve(uniques);
+  for (std::size_t u = 0; u < uniques; ++u) {
+    const bool ucddcp =
+        rng.NextUniform() < ucddcp_frac;
+    const std::uint32_t n = sizes[u % sizes.size()];
+    const auto index = static_cast<std::uint32_t>(u);
+    serve::SolveRequest request;
+    request.instance = ucddcp
+                           ? gen.Ucddcp(n, index)
+                           : gen.Cdd(n, index, 0.2 + 0.2 * (u % 4));
+    request.engine = engines[u % engines.size()];
+    request.options.generations = gens;
+    request.options.seed = seed;
+    request.deadline = std::chrono::milliseconds(deadline_ms);
+    pool.push_back(std::move(request));
+  }
+
+  // Fill to `total` by re-sampling the pool (the duplicates), then shuffle
+  // so duplicates interleave with first occurrences.
+  std::vector<serve::SolveRequest> workload = pool;
+  workload.reserve(total);
+  while (workload.size() < total) {
+    workload.push_back(pool[UniformBelow(
+        rng, static_cast<std::uint32_t>(pool.size()))]);
+  }
+  for (std::size_t i = workload.size(); i > 1; --i) {
+    const std::uint32_t j =
+        UniformBelow(rng, static_cast<std::uint32_t>(i));
+    std::swap(workload[i - 1], workload[j]);
+  }
+  for (std::size_t i = 0; i < workload.size(); ++i) workload[i].id = i;
+  return workload;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdd;
+  const benchutil::Args args(argc, argv);
+  if (args.GetBool("help")) {
+    PrintUsage();
+    return 0;
+  }
+
+  try {
+    std::vector<serve::SolveRequest> workload;
+    const std::string file = args.GetString("file", "");
+    if (!file.empty()) {
+      workload = LoadRequestFile(file);
+    } else {
+      workload = SyntheticWorkload(args);
+    }
+
+    serve::ServiceConfig config;
+    const unsigned hardware = std::thread::hardware_concurrency();
+    config.workers = static_cast<unsigned>(
+        args.GetInt("workers", hardware == 0 ? 4 : hardware));
+    config.queue_capacity =
+        static_cast<std::size_t>(args.GetInt("queue", 128));
+    config.cache_capacity =
+        static_cast<std::size_t>(args.GetInt("cache", 4096));
+    serve::SolverService service(config);
+
+    std::cout << "sched_serve: " << workload.size() << " requests, "
+              << config.workers << " workers, queue "
+              << config.queue_capacity << ", cache "
+              << config.cache_capacity << "\n";
+
+    const auto t_start = std::chrono::steady_clock::now();
+    WorkloadStats stats;
+    std::vector<std::future<serve::SolveResponse>> futures;
+    futures.reserve(workload.size());
+    for (serve::SolveRequest& request : workload) {
+      futures.push_back(
+          SubmitReliably(service, std::move(request), stats));
+    }
+
+    std::map<std::string, std::size_t> by_status;
+    std::size_t resolved = 0;
+    Cost cost_sum = 0;
+    for (auto& future : futures) {
+      serve::SolveResponse response = future.get();
+      ++resolved;
+      ++by_status[std::string(serve::ToString(response.status))];
+      if (response.ok()) cost_sum += response.result.best_cost;
+    }
+    service.Shutdown();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+
+    const serve::CacheStats cache = service.cache().stats();
+    const double hit_rate =
+        cache.hits + cache.misses == 0
+            ? 0.0
+            : static_cast<double>(cache.hits) /
+                  static_cast<double>(cache.hits + cache.misses);
+
+    if (!args.GetBool("quiet")) {
+      benchutil::TextTable table({"outcome", "requests"});
+      for (const auto& [status, count] : by_status) {
+        table.AddRow({status, std::to_string(count)});
+      }
+      std::cout << table.ToString();
+      std::cout << "resolved " << resolved << "/" << futures.size()
+                << " requests in " << wall << " s ("
+                << static_cast<double>(resolved) / wall
+                << " req/s), retries " << stats.retries
+                << ", cache hit rate " << 100.0 * hit_rate << "%\n";
+    }
+    if (args.GetBool("metrics")) {
+      std::cout << service.metrics().SnapshotJson() << "\n";
+    }
+
+    const bool lost = resolved != futures.size();
+    const bool failed = by_status.count("failed") > 0 ||
+                        by_status.count("rejected_unknown_engine") > 0;
+    if (lost) std::cerr << "error: lost requests\n";
+    if (failed) std::cerr << "error: failed requests\n";
+    return lost || failed ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
