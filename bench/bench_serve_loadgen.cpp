@@ -25,6 +25,7 @@
 #include "orlib/biskup_feldmann.hpp"
 #include "rng/philox.hpp"
 #include "serve/service.hpp"
+#include "trace/tracer.hpp"
 
 namespace {
 
@@ -116,9 +117,17 @@ int main(int argc, char** argv) {
   if (args.GetBool("help")) {
     std::cout << "Closed-loop load generator for the solver service.\n"
                  "Flags: --workers LIST --clients C --requests N\n"
-                 "       --dup-frac F --sizes LIST --gens G --seed S\n";
+                 "       --dup-frac F --sizes LIST --gens G --seed S\n"
+                 "       --trace   enable runtime tracing during the sweep\n"
+                 "                 (measures instrumentation overhead)\n";
     return 0;
   }
+
+  // The tracing-overhead experiment: identical sweep with recording on vs
+  // off quantifies what the instrumentation costs a hot serving path
+  // (results/exp_serve_tracing_overhead.txt; the ISSUE budget is <5%).
+  const bool tracing = args.GetBool("trace");
+  trace::SetEnabled(tracing);
 
   const std::vector<std::uint32_t> worker_sweep =
       args.GetUintList("workers", {1, 2, 4, 8});
@@ -153,7 +162,7 @@ int main(int argc, char** argv) {
   std::cout << "=== Serving baseline: closed-loop load generator ("
             << clients << " clients, " << requests << " requests/sweep, "
             << 100.0 * dup_frac << "% duplicate offers, sa/" << gens
-            << " gens) ===\n";
+            << " gens, tracing " << (tracing ? "ON" : "off") << ") ===\n";
   benchutil::TextTable table({"workers", "req/s", "wall [s]", "p50 [ms]",
                               "p95 [ms]", "p99 [ms]", "cache hit %",
                               "rejections"});

@@ -1,6 +1,7 @@
 #include "cudasim/device.hpp"
 
 #include "cudasim/stream.hpp"
+#include "trace/tracer.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -31,6 +32,21 @@ struct ThreadCtxAccess {
 };
 
 namespace {
+
+/// One shared virtual export track for modeled device time.  Kernel,
+/// transfer and sync events carry TimingModel timestamps (not wall
+/// clock), so a Perfetto view of this track IS the paper's per-kernel
+/// runtime breakdown (Fig. 11/14/16).  Allocated lazily: a process that
+/// never enables tracing never registers it.
+std::uint32_t SimTrack() {
+  static const std::uint32_t track =
+      trace::NewTrack("sim-device (modeled time)");
+  return track;
+}
+
+std::int64_t SimNs(double seconds) {
+  return static_cast<std::int64_t>(seconds * 1e9);
+}
 
 Dim3 UnlinearizeBlock(Dim3 grid, std::size_t lin) {
   Dim3 idx;
@@ -195,7 +211,13 @@ double Device::ExecuteLaunch(Dim3 grid, Dim3 block,
 
 void Device::Launch(Dim3 grid, Dim3 block, const LaunchOptions& opts,
                     const KernelFn& kernel) {
-  sim_time_s_ += ExecuteLaunch(grid, block, opts, kernel);
+  const double start = sim_time_s_;
+  const double seconds = ExecuteLaunch(grid, block, opts, kernel);
+  sim_time_s_ = start + seconds;
+  if (trace::Enabled()) {
+    trace::Complete(trace::InternName(opts.name), SimNs(start),
+                    SimNs(seconds), SimTrack());
+  }
 }
 
 void Device::LaunchAsync(Stream& stream, Dim3 grid, Dim3 block,
@@ -204,7 +226,12 @@ void Device::LaunchAsync(Stream& stream, Dim3 grid, Dim3 block,
     throw GpuError("LaunchAsync: stream belongs to another device");
   }
   const double seconds = ExecuteLaunch(grid, block, opts, kernel);
-  stream.ready_at_ = std::max(stream.ready_at_, sim_time_s_) + seconds;
+  const double start = std::max(stream.ready_at_, sim_time_s_);
+  stream.ready_at_ = start + seconds;
+  if (trace::Enabled()) {
+    trace::Complete(trace::InternName(opts.name), SimNs(start),
+                    SimNs(seconds), SimTrack());
+  }
 }
 
 void Device::RunBlocksSequential(Dim3 grid, Dim3 block,
@@ -289,6 +316,10 @@ void Device::Synchronize() {
   for (Stream* stream : streams_) {
     sim_time_s_ = std::max(sim_time_s_, stream->ready_at_);
   }
+  if (trace::Enabled()) {
+    trace::Complete("sync", SimNs(sim_time_s_),
+                    SimNs(props_.launch_overhead_s), SimTrack());
+  }
   sim_time_s_ += props_.launch_overhead_s;
 }
 
@@ -333,12 +364,22 @@ void Device::ReleaseAlloc(std::size_t bytes, bool constant) noexcept {
 
 void Device::RecordH2D(std::size_t bytes) {
   const double seconds = model_.TransferSeconds(bytes, true);
+  if (trace::Enabled()) {
+    trace::Complete("h2d", SimNs(sim_time_s_), SimNs(seconds), SimTrack());
+    trace::CounterSampleAt("h2d.bytes", SimNs(sim_time_s_),
+                           static_cast<std::int64_t>(bytes), SimTrack());
+  }
   sim_time_s_ += seconds;
   profiler_.RecordTransfer(true, bytes, seconds);
 }
 
 void Device::RecordD2H(std::size_t bytes) {
   const double seconds = model_.TransferSeconds(bytes, false);
+  if (trace::Enabled()) {
+    trace::Complete("d2h", SimNs(sim_time_s_), SimNs(seconds), SimTrack());
+    trace::CounterSampleAt("d2h.bytes", SimNs(sim_time_s_),
+                           static_cast<std::int64_t>(bytes), SimTrack());
+  }
   sim_time_s_ += seconds;
   profiler_.RecordTransfer(false, bytes, seconds);
 }

@@ -4,11 +4,13 @@
 
 #include "meta/ops.hpp"
 #include "rng/philox.hpp"
+#include "trace/tracer.hpp"
 
 namespace cdd::meta {
 
 RunResult RunSerialDpso(const Objective& objective,
                         const DpsoParams& params) {
+  CDD_TRACE_SPAN("meta.dpso");
   const auto t_start = std::chrono::steady_clock::now();
   const std::size_t n = objective.size();
   rng::Philox4x32 rng(params.seed, /*stream=*/0xd9500ULL);
@@ -75,6 +77,7 @@ RunResult RunSerialDpso(const Objective& objective,
     if (params.trajectory_stride > 0 &&
         it % params.trajectory_stride == 0) {
       result.trajectory.push_back(result.best_cost);
+      CDD_TRACE_COUNTER("dpso.best_cost", result.best_cost);
     }
   }
 

@@ -5,11 +5,13 @@
 
 #include "meta/temperature.hpp"
 #include "rng/philox.hpp"
+#include "trace/tracer.hpp"
 
 namespace cdd::meta {
 
 RunResult RunSerialSa(const Objective& objective, const SaParams& params,
                       const std::optional<Sequence>& initial) {
+  CDD_TRACE_SPAN("meta.sa");
   const auto t_start = std::chrono::steady_clock::now();
   const std::size_t n = objective.size();
   rng::Philox4x32 rng(params.seed, /*stream=*/0x5a5a5a5aULL);
@@ -70,6 +72,9 @@ RunResult RunSerialSa(const Objective& objective, const SaParams& params,
     if (params.trajectory_stride > 0 &&
         i % params.trajectory_stride == 0) {
       result.trajectory.push_back(result.best_cost);
+      // Convergence telemetry rides the existing sampling points, so the
+      // trace adds no work on unsampled iterations and never touches rng.
+      CDD_TRACE_COUNTER("sa.best_cost", result.best_cost);
     }
   }
 

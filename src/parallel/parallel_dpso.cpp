@@ -9,11 +9,13 @@
 #include "parallel/detail.hpp"
 #include "parallel/device_problem.hpp"
 #include "parallel/kernels_raw.hpp"
+#include "trace/tracer.hpp"
 
 namespace cdd::par {
 
 GpuRunResult RunParallelDpso(sim::Device& device, const Instance& instance,
                              const ParallelDpsoParams& params) {
+  CDD_TRACE_SPAN("par.dpso");
   const auto t_start = std::chrono::steady_clock::now();
   const double clock_at_start = device.sim_time_s();
 
@@ -196,6 +198,7 @@ GpuRunResult RunParallelDpso(sim::Device& device, const Instance& instance,
       std::int64_t packed = 0;
       packed_best.CopyToHost(std::span<std::int64_t>(&packed, 1));
       result.trajectory.push_back(raw::UnpackCost(packed));
+      CDD_TRACE_COUNTER("pdpso.best_cost", result.trajectory.back());
     }
   }
 

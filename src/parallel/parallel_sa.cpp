@@ -11,6 +11,7 @@
 #include "parallel/detail.hpp"
 #include "parallel/device_problem.hpp"
 #include "parallel/kernels_raw.hpp"
+#include "trace/tracer.hpp"
 
 namespace cdd::par {
 
@@ -20,6 +21,7 @@ constexpr std::uint32_t kMaxPert = 32;
 
 GpuRunResult RunParallelSa(sim::Device& device, const Instance& instance,
                            const ParallelSaParams& params) {
+  CDD_TRACE_SPAN("par.sa");
   const auto t_start = std::chrono::steady_clock::now();
   const double clock_at_start = device.sim_time_s();
 
@@ -199,6 +201,7 @@ GpuRunResult RunParallelSa(sim::Device& device, const Instance& instance,
       std::int64_t packed = 0;
       packed_best.CopyToHost(std::span<std::int64_t>(&packed, 1));
       result.trajectory.push_back(raw::UnpackCost(packed));
+      CDD_TRACE_COUNTER("psa.best_cost", result.trajectory.back());
     }
   }
 

@@ -44,6 +44,7 @@ EngineRegistry MakeDefault() {
         meta::SaParams params;
         params.iterations = options.generations;
         params.seed = options.seed;
+        params.trajectory_stride = options.trajectory_stride;
         params.stop = options.stop;
         const meta::Objective objective =
             meta::Objective::ForInstance(instance);
@@ -55,6 +56,7 @@ EngineRegistry MakeDefault() {
         meta::DpsoParams params;
         params.iterations = options.generations;
         params.seed = options.seed;
+        params.trajectory_stride = options.trajectory_stride;
         params.stop = options.stop;
         const meta::Objective objective =
             meta::Objective::ForInstance(instance);
@@ -66,6 +68,7 @@ EngineRegistry MakeDefault() {
         meta::TaParams params;
         params.iterations = options.generations;
         params.seed = options.seed;
+        params.trajectory_stride = options.trajectory_stride;
         params.stop = options.stop;
         const meta::Objective objective =
             meta::Objective::ForInstance(instance);
@@ -78,6 +81,7 @@ EngineRegistry MakeDefault() {
         meta::EsParams params;
         params.generations = options.generations;
         params.seed = options.seed;
+        params.trajectory_stride = options.trajectory_stride;
         params.stop = options.stop;
         const meta::Objective objective =
             meta::Objective::ForInstance(instance);
@@ -107,6 +111,7 @@ EngineRegistry MakeDefault() {
           params.generations = options.generations;
           params.seed = options.seed;
           params.vshape_init = options.vshape_init;
+          params.trajectory_stride = options.trajectory_stride;
           params.stop = options.stop;
           return FromGpu(par::RunParallelSa(device, instance, params));
         });
@@ -121,6 +126,7 @@ EngineRegistry MakeDefault() {
           params.generations = options.generations;
           params.seed = options.seed;
           params.vshape_init = options.vshape_init;
+          params.trajectory_stride = options.trajectory_stride;
           params.stop = options.stop;
           return FromGpu(par::RunParallelDpso(device, instance, params));
         });

@@ -37,6 +37,11 @@ struct EngineOptions {
   std::uint32_t chains = 64;     ///< "host": independent SA chains
   std::uint32_t threads = 0;     ///< "host": worker threads (0 = hardware)
   bool vshape_init = false;      ///< parallel engines: V-shape seeding
+  /// When > 0, RunResult::trajectory samples the best-so-far cost every
+  /// this many iterations/generations (engines without trajectory
+  /// machinery — "host", "psa-sync" — ignore it).  Result-determining in
+  /// the sense that the returned record differs, so CacheKey hashes it.
+  std::uint32_t trajectory_stride = 0;
   /// Cooperative cancellation, forwarded into the engine's search loop.
   StopToken stop{};
   /// Simulated device for the parallel engines.  When null the adapter

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "trace/json.hpp"
+
 namespace cdd::serve {
 
 namespace {
@@ -24,9 +26,15 @@ double BucketMid(int i) {
 }  // namespace
 
 void LatencyHistogram::Record(double ms) {
-  const double us = std::max(ms, 0.0) * 1000.0;
-  buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
+  // Harden against hostile samples before any float->int conversion (all
+  // of which would be UB on NaN/inf): NaN and negatives clamp to zero,
+  // +inf clamps to the top bucket's range.  A corrupted duration must
+  // never corrupt the histogram, only land in an extreme bucket.
+  if (std::isnan(ms) || ms < 0.0) ms = 0.0;
+  constexpr double kMaxUs = 4.0e13;  // ~11,000 hours; above every bucket
+  const double us = std::min(ms * 1000.0, kMaxUs);
   count_.fetch_add(1, std::memory_order_relaxed);
+  buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
   const auto us_int = static_cast<std::uint64_t>(us);
   sum_us_.fetch_add(us_int, std::memory_order_relaxed);
   std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
@@ -87,14 +95,17 @@ std::string MetricsRegistry::SnapshotJson() const {
   out << "{\"counters\":{";
   for (std::size_t i = 0; i < counters_.size(); ++i) {
     if (i > 0) out << ",";
-    out << "\"" << counters_[i].first
+    // Names are caller-supplied: escape them so a quote, backslash or
+    // control character cannot break the snapshot out of its JSON string.
+    out << "\"" << trace::JsonEscape(counters_[i].first)
         << "\":" << counters_[i].second->value();
   }
   out << "},\"histograms\":{";
   for (std::size_t i = 0; i < histograms_.size(); ++i) {
     const LatencyHistogram& h = *histograms_[i].second;
     if (i > 0) out << ",";
-    out << "\"" << histograms_[i].first << "\":{\"count\":" << h.count()
+    out << "\"" << trace::JsonEscape(histograms_[i].first)
+        << "\":{\"count\":" << h.count()
         << ",\"mean\":" << h.mean_ms() << ",\"p50\":" << h.Percentile(0.50)
         << ",\"p95\":" << h.Percentile(0.95)
         << ",\"p99\":" << h.Percentile(0.99) << ",\"max\":" << h.max_ms()

@@ -1,0 +1,72 @@
+#pragma once
+/// \file replay.hpp
+/// \brief Record/replay bridge between run manifests and the engine table.
+///
+/// Recording: MakeManifestRecord() snapshots a finished solve (instance,
+/// engine, result-determining options, outcome) into a trace::ManifestRecord
+/// — the SolverService appends one per completed request when configured,
+/// and cdd_solve does the same under --manifest.
+///
+/// Replay: ReplayRecord() re-executes a manifest through the same
+/// EngineRegistry the service uses and demands a *bit-identical* outcome —
+/// equal best_cost, equal evaluation count, equal trajectory digest.  Any
+/// drift (a changed kernel, a perturbed RNG stream, a tampered manifest)
+/// is a hard failure, which turns the determinism invariant of PR 1 into
+/// an executable regression check (tools/sched_replay, CI golden run).
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "core/types.hpp"
+#include "meta/result.hpp"
+#include "serve/engine_registry.hpp"
+#include "trace/manifest.hpp"
+
+namespace cdd::serve {
+
+/// Builds the manifest record of one finished (unstopped) solve.
+trace::ManifestRecord MakeManifestRecord(const Instance& instance,
+                                         const std::string& engine,
+                                         const EngineOptions& options,
+                                         const meta::RunResult& result);
+
+/// The engine-facing view of a manifest's recorded options.
+EngineOptions OptionsFromManifest(const trace::ManifestOptions& options);
+
+/// Outcome of replaying one manifest record.
+struct ReplayOutcome {
+  bool ok = false;
+  std::string error;  ///< first check that failed, empty when ok
+  std::string engine;
+  std::size_t jobs = 0;
+  Cost recorded_cost = 0;
+  Cost replayed_cost = 0;
+  std::uint64_t recorded_evaluations = 0;
+  std::uint64_t replayed_evaluations = 0;
+};
+
+/// Re-executes \p record and verifies the outcome bit-for-bit.  Integrity
+/// failures (hash mismatch), unknown engines, engine errors and result
+/// mismatches all come back as ok=false with a message — replay never
+/// throws on bad data, so one corrupt line cannot abort a whole file.
+ReplayOutcome ReplayRecord(
+    const trace::ManifestRecord& record,
+    const EngineRegistry& registry = EngineRegistry::Default());
+
+/// Aggregate of a JSONL manifest stream replay.
+struct ReplaySummary {
+  std::size_t total = 0;   ///< non-empty lines seen
+  std::size_t passed = 0;  ///< replays that reproduced exactly
+  std::size_t failed = 0;  ///< parse errors + integrity/mismatch failures
+
+  bool all_ok() const { return failed == 0 && total > 0; }
+};
+
+/// Replays every line of \p in (JSONL; blank lines skipped), writing one
+/// verdict line per record to \p log.
+ReplaySummary ReplayStream(
+    std::istream& in, std::ostream& log,
+    const EngineRegistry& registry = EngineRegistry::Default());
+
+}  // namespace cdd::serve

@@ -33,6 +33,7 @@ std::uint64_t CacheKey(const SolveRequest& request) {
   h = HashCombine(h, request.options.block);
   h = HashCombine(h, request.options.chains);
   h = HashCombine(h, request.options.vshape_init ? 1 : 0);
+  h = HashCombine(h, request.options.trajectory_stride);
   return h;
 }
 

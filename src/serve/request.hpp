@@ -60,7 +60,8 @@ struct SolveResponse {
 
 /// Canonical 64-bit cache/dedup key: instance hash combined with the
 /// engine name and every result-determining option (generations, seed,
-/// ensemble geometry, chains, vshape) — and nothing else, so requests that
+/// ensemble geometry, chains, vshape, trajectory stride) — and nothing
+/// else, so requests that
 /// must produce identical results share a key regardless of deadline,
 /// thread count or submission order.
 std::uint64_t CacheKey(const SolveRequest& request);

@@ -3,6 +3,10 @@
 #include <exception>
 #include <utility>
 
+#include "serve/replay.hpp"
+#include "trace/manifest.hpp"
+#include "trace/tracer.hpp"
+
 namespace cdd::serve {
 
 namespace {
@@ -34,6 +38,9 @@ SolverService::SolverService(ServiceConfig config,
       solve_ms_(&metrics_.histogram("solve_ms")),
       queue_(config.queue_capacity) {
   if (config_.workers == 0) config_.workers = 1;
+  if (!config_.manifest_path.empty()) {
+    manifest_.open(config_.manifest_path, std::ios::app);
+  }
   slot_stops_.reserve(config_.workers);
   for (unsigned w = 0; w < config_.workers; ++w) {
     slot_stops_.push_back(std::make_unique<StopSource>());
@@ -46,6 +53,7 @@ SolverService::SolverService(ServiceConfig config,
 SolverService::~SolverService() { Shutdown(); }
 
 std::future<SolveResponse> SolverService::Submit(SolveRequest request) {
+  CDD_TRACE_SPAN("serve.submit");
   submitted_->Increment();
 
   SolveResponse response;
@@ -67,6 +75,7 @@ std::future<SolveResponse> SolverService::Submit(SolveRequest request) {
   // queue slot consumed.
   if (auto hit = cache_.Get(key)) {
     cache_hits_->Increment();
+    CDD_TRACE_INSTANT("serve.cache_hit");
     response.status = SolveStatus::kCacheHit;
     response.result = std::move(hit->result);
     response.device_seconds = hit->device_seconds;
@@ -87,16 +96,19 @@ std::future<SolveResponse> SolverService::Submit(SolveRequest request) {
     // TryPush moves only on success, so the job (and its promise, already
     // tied to `future`) is still ours to answer.
     rejected_queue_full_->Increment();
+    CDD_TRACE_INSTANT("serve.rejected_queue_full");
     response.status = stopped_.load() ? SolveStatus::kShutdown
                                       : SolveStatus::kRejectedQueueFull;
     job.promise.set_value(std::move(response));
     return future;
   }
   enqueued_->Increment();
+  CDD_TRACE_INSTANT("serve.enqueued");
   return future;
 }
 
 void SolverService::Process(Job&& job, unsigned slot) {
+  CDD_TRACE_SPAN("serve.process");
   const Clock::time_point dequeued = Clock::now();
   SolveResponse response;
   response.id = job.request.id;
@@ -113,6 +125,7 @@ void SolverService::Process(Job&& job, unsigned slot) {
   // A duplicate may have completed while this request waited in the queue.
   if (auto hit = cache_.Get(job.key)) {
     cache_hits_->Increment();
+    CDD_TRACE_INSTANT("serve.cache_hit");
     response.status = SolveStatus::kCacheHit;
     response.result = std::move(hit->result);
     response.device_seconds = hit->device_seconds;
@@ -146,7 +159,10 @@ void SolverService::Process(Job&& job, unsigned slot) {
 
   const Clock::time_point solve_start = Clock::now();
   try {
-    EngineRun run = (*job.engine)(job.request.instance, options);
+    EngineRun run = [&] {
+      CDD_TRACE_SPAN("serve.engine");
+      return (*job.engine)(job.request.instance, options);
+    }();
     response.solve_ms = MsSince(solve_start, Clock::now());
     solve_ms_->Record(response.solve_ms);
     response.device_seconds = run.device_seconds;
@@ -164,6 +180,15 @@ void SolverService::Process(Job&& job, unsigned slot) {
       response.status = SolveStatus::kOk;
       completed_->Increment();
       cache_.Put(job.key, {run.result, run.device_seconds});
+      if (manifest_.is_open()) {
+        // Only full-budget runs are recorded: a manifest is a promise of
+        // bit-identical replay, which a truncated search cannot make.
+        const std::string line = trace::WriteManifestLine(
+            MakeManifestRecord(job.request.instance, job.request.engine,
+                               job.request.options, run.result));
+        const std::scoped_lock lock(manifest_mutex_);
+        manifest_ << line << "\n";
+      }
     }
     response.result = std::move(run.result);
   } catch (const std::exception& e) {

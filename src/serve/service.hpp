@@ -26,8 +26,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/stop_token.hpp"
@@ -46,6 +49,11 @@ struct ServiceConfig {
   std::size_t queue_capacity = 256; ///< admission bound (backpressure)
   std::size_t cache_capacity = 4096;///< result-cache entries; 0 disables
   std::size_t cache_shards = 8;
+  /// When non-empty, every *completed* (full-budget, uncached) solve
+  /// appends one JSONL run manifest here — the record tools/sched_replay
+  /// re-executes and verifies bit-identically.  Truncated and failed runs
+  /// are never recorded: a manifest always describes a reproducible run.
+  std::string manifest_path;
 };
 
 /// Concurrent solve service over the engine registry.  Thread-safe:
@@ -107,6 +115,11 @@ class SolverService {
   Counter* failed_;
   LatencyHistogram* queue_ms_;
   LatencyHistogram* solve_ms_;
+
+  /// Run-manifest recording (ServiceConfig::manifest_path); the mutex
+  /// serializes appends so lines from concurrent workers never interleave.
+  std::mutex manifest_mutex_;
+  std::ofstream manifest_;
 
   JobQueue<Job> queue_;
   /// One reusable StopSource per worker slot so CancelAll() can reach the

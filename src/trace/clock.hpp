@@ -1,0 +1,23 @@
+#pragma once
+/// \file clock.hpp
+/// \brief Monotonic nanosecond timestamps anchored at process start.
+///
+/// Anchoring keeps timestamps small (hours fit in 42 bits), which Chrome's
+/// trace viewer prefers, and makes traces from one process directly
+/// comparable without epoch bookkeeping.
+
+#include <chrono>
+#include <cstdint>
+
+namespace cdd::trace {
+
+/// Nanoseconds since the first call in this process (monotonic).
+inline std::int64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point anchor = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              anchor)
+      .count();
+}
+
+}  // namespace cdd::trace

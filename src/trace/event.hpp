@@ -1,0 +1,44 @@
+#pragma once
+/// \file event.hpp
+/// \brief The 32-byte POD record every trace producer writes.
+///
+/// Events are designed for a fixed-size overwrite ring: trivially copyable,
+/// no ownership.  `name` is a pointer to storage that outlives the trace —
+/// either a string literal at the instrumentation site (the common, free
+/// case) or a string interned through trace::InternName() (dynamic kernel
+/// names).  Timestamps are nanoseconds; host events use the monotonic
+/// process clock (trace::NowNs()), simulated-device events carry the
+/// TimingModel's clock so a Perfetto timeline shows the paper's per-kernel
+/// breakdown directly.
+
+#include <cstdint>
+
+namespace cdd::trace {
+
+/// Chrome-trace phase of one event.
+enum class EventType : std::uint8_t {
+  kBegin,    ///< span opens ("ph":"B"); value unused
+  kEnd,      ///< span closes ("ph":"E"); value unused
+  kInstant,  ///< point event ("ph":"i"); value unused
+  kCounter,  ///< sampled series ("ph":"C"); value is the sample
+  kComplete, ///< closed interval ("ph":"X"); value is the duration in ns
+};
+
+/// Track an event renders on.  0 means "the thread that recorded it"
+/// (resolved to a per-thread id at export); nonzero ids name virtual
+/// timelines, e.g. one per simulated device.
+inline constexpr std::uint32_t kTrackOwnThread = 0;
+
+/// One trace record.  Kept at 32 bytes so a ring of a few thousand events
+/// costs ~100 KiB per thread.
+struct Event {
+  const char* name = nullptr;  ///< literal or interned; never owned
+  std::int64_t ts_ns = 0;      ///< event (or interval-start) timestamp
+  std::int64_t value = 0;      ///< counter sample / complete duration [ns]
+  std::uint32_t track = kTrackOwnThread;
+  EventType type = EventType::kInstant;
+};
+
+static_assert(sizeof(Event) <= 32, "Event outgrew its ring budget");
+
+}  // namespace cdd::trace

@@ -1,0 +1,333 @@
+#include "trace/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace cdd::trace {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool JsonValue::AsBool() const {
+  if (kind_ != Kind::kBool) throw JsonError("not a bool");
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  if (kind_ != Kind::kNumber) throw JsonError("not a number");
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text_.data(), text_.data() + text_.size(), value);
+  if (ec != std::errc() || ptr != text_.data() + text_.size()) {
+    throw JsonError("bad number token '" + text_ + "'");
+  }
+  return value;
+}
+
+std::int64_t JsonValue::AsInt() const {
+  if (kind_ != Kind::kNumber) throw JsonError("not a number");
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text_.data(), text_.data() + text_.size(), value);
+  if (ec != std::errc() || ptr != text_.data() + text_.size()) {
+    throw JsonError("not a 64-bit integer: '" + text_ + "'");
+  }
+  return value;
+}
+
+std::uint64_t JsonValue::AsUint() const {
+  if (kind_ != Kind::kNumber) throw JsonError("not a number");
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text_.data(), text_.data() + text_.size(), value);
+  if (ec != std::errc() || ptr != text_.data() + text_.size()) {
+    throw JsonError("not an unsigned 64-bit integer: '" + text_ + "'");
+  }
+  return value;
+}
+
+const std::string& JsonValue::AsString() const {
+  if (kind_ != Kind::kString) throw JsonError("not a string");
+  return text_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  if (kind_ != Kind::kArray) throw JsonError("not an array");
+  return array_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) throw JsonError("not an object");
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::At(const std::string& key) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr) throw JsonError("missing key '" + key + "'");
+  return *value;
+}
+
+/// Recursive-descent parser over a string_view (no copies until leaves).
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue value = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw JsonError("JSON error at offset " + std::to_string(pos_) + ": " +
+                    what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  JsonValue ParseValue() {
+    SkipSpace();
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::kString;
+        value.text_ = ParseString();
+        return value;
+      }
+      case 't': {
+        if (!Consume("true")) Fail("bad literal");
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = true;
+        return value;
+      }
+      case 'f': {
+        if (!Consume("false")) Fail("bad literal");
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = false;
+        return value;
+      }
+      case 'n': {
+        if (!Consume("null")) Fail("bad literal");
+        return JsonValue();
+      }
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key = ParseString();
+      SkipSpace();
+      Expect(':');
+      value.object_.emplace(std::move(key), ParseValue());
+      SkipSpace();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return value;
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      value.array_.push_back(ParseValue());
+      SkipSpace();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return value;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad \\u escape digit");
+            }
+          }
+          // Our writers only emit \u00XX (control bytes); reject the rest
+          // rather than mis-decode surrogate pairs.
+          if (code > 0xFF) Fail("unsupported \\u escape > 0xFF");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          Fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a value");
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kNumber;
+    value.text_ = std::string(text_.substr(start, pos_ - start));
+    // Validate the token eagerly so malformed numbers fail at parse time.
+    double probe = 0.0;
+    const auto [ptr, ec] = std::from_chars(
+        value.text_.data(), value.text_.data() + value.text_.size(), probe);
+    if (ec != std::errc() ||
+        ptr != value.text_.data() + value.text_.size()) {
+      Fail("bad number '" + value.text_ + "'");
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+}  // namespace cdd::trace

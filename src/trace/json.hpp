@@ -1,0 +1,66 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal JSON primitives shared by the trace exporters and the
+/// serve metrics snapshot: string escaping on the write side, a small
+/// recursive-descent value parser on the read side (manifests).
+///
+/// Deliberately not a general JSON library — only what the repo's own
+/// formats need (objects, arrays, strings, integer/double numbers, bools,
+/// null), with strict errors instead of extensions.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdd::trace {
+
+/// Escapes \p text for inclusion inside a JSON string literal: quote,
+/// backslash, and every control character below 0x20 (\n, \t, ... and
+/// \u00XX for the rest).
+std::string JsonEscape(std::string_view text);
+
+/// Malformed JSON input.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed JSON value (tree-owning).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+
+  bool AsBool() const;
+  /// Numbers are kept as doubles plus the raw text, so 64-bit integers
+  /// (hashes, costs) round-trip exactly through AsInt/AsUint.
+  double AsDouble() const;
+  std::int64_t AsInt() const;
+  std::uint64_t AsUint() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+
+  /// Object member access; Find returns nullptr when absent, At throws.
+  const JsonValue* Find(const std::string& key) const;
+  const JsonValue& At(const std::string& key) const;
+
+  /// Parses exactly one JSON document from \p text (trailing whitespace
+  /// allowed, anything else throws JsonError).
+  static JsonValue Parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string text_;  // string value, or the raw number token
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace cdd::trace

@@ -1,0 +1,209 @@
+#include "trace/manifest.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "core/hash.hpp"
+#include "trace/json.hpp"
+
+namespace cdd::trace {
+
+namespace {
+
+std::string_view ProblemName(Problem problem) {
+  switch (problem) {
+    case Problem::kCdd:
+      return "cdd";
+    case Problem::kUcddcp:
+      return "ucddcp";
+    case Problem::kCddcp:
+      return "cddcp";
+  }
+  return "cdd";
+}
+
+Problem ProblemFromName(std::string_view name) {
+  if (name == "cdd") return Problem::kCdd;
+  if (name == "ucddcp") return Problem::kUcddcp;
+  if (name == "cddcp") return Problem::kCddcp;
+  throw ManifestError("unknown problem kind '" + std::string(name) + "'");
+}
+
+template <typename T>
+void WriteIntArray(std::ostringstream& out, const char* key,
+                   const std::vector<T>& values) {
+  out << "\"" << key << "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ",";
+    out << values[i];
+  }
+  out << "]";
+}
+
+/// Hashes travel as decimal strings; JSON numbers only hold 53 bits.
+std::uint64_t ParseU64String(const JsonValue& value, const char* what) {
+  const std::string& text = value.AsString();
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw ManifestError(std::string("bad 64-bit value for ") + what +
+                        ": '" + text + "'");
+  }
+  return parsed;
+}
+
+template <typename T>
+std::vector<T> ParseIntArray(const JsonValue& value, const char* what) {
+  std::vector<T> out;
+  out.reserve(value.AsArray().size());
+  for (const JsonValue& element : value.AsArray()) {
+    out.push_back(static_cast<T>(element.AsInt()));
+  }
+  (void)what;
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t TrajectoryDigest(std::span<const Cost> trajectory) {
+  if (trajectory.empty()) return 0;
+  std::uint64_t h = kHashSeed;
+  h = HashCombine(h, trajectory.size());
+  for (const Cost cost : trajectory) {
+    h = HashCombine(h, static_cast<std::uint64_t>(cost));
+  }
+  return h;
+}
+
+std::string WriteManifestLine(const ManifestRecord& record) {
+  const Instance& instance = record.instance;
+  std::vector<Time> proc;
+  std::vector<Time> min_proc;
+  std::vector<Cost> early;
+  std::vector<Cost> tardy;
+  std::vector<Cost> compress;
+  proc.reserve(instance.size());
+  min_proc.reserve(instance.size());
+  early.reserve(instance.size());
+  tardy.reserve(instance.size());
+  compress.reserve(instance.size());
+  for (const Job& job : instance.jobs()) {
+    proc.push_back(job.proc);
+    min_proc.push_back(job.min_proc);
+    early.push_back(job.early);
+    tardy.push_back(job.tardy);
+    compress.push_back(job.compress);
+  }
+
+  std::ostringstream out;
+  out << "{\"schema\":" << kManifestSchema << ",\"engine\":\""
+      << JsonEscape(record.engine) << "\",\"instance\":{\"problem\":\""
+      << ProblemName(instance.problem())
+      << "\",\"due\":" << instance.due_date() << ",";
+  WriteIntArray(out, "proc", proc);
+  out << ",";
+  WriteIntArray(out, "min_proc", min_proc);
+  out << ",";
+  WriteIntArray(out, "early", early);
+  out << ",";
+  WriteIntArray(out, "tardy", tardy);
+  out << ",";
+  WriteIntArray(out, "compress", compress);
+  out << "},\"instance_hash\":\"" << record.instance_hash
+      << "\",\"options\":{\"generations\":" << record.options.generations
+      << ",\"seed\":" << record.options.seed
+      << ",\"ensemble\":" << record.options.ensemble
+      << ",\"block\":" << record.options.block
+      << ",\"chains\":" << record.options.chains
+      << ",\"trajectory_stride\":" << record.options.trajectory_stride
+      << ",\"vshape_init\":"
+      << (record.options.vshape_init ? "true" : "false")
+      << "},\"best_cost\":" << record.best_cost
+      << ",\"evaluations\":" << record.evaluations
+      << ",\"trajectory_samples\":" << record.trajectory_samples
+      << ",\"trajectory_digest\":\"" << record.trajectory_digest << "\"}";
+  return out.str();
+}
+
+ManifestRecord ParseManifestLine(std::string_view line) {
+  JsonValue root = [&] {
+    try {
+      return JsonValue::Parse(line);
+    } catch (const JsonError& e) {
+      throw ManifestError(std::string("manifest line is not valid JSON: ") +
+                          e.what());
+    }
+  }();
+
+  try {
+    const std::int64_t schema = root.At("schema").AsInt();
+    if (schema != kManifestSchema) {
+      throw ManifestError("unsupported manifest schema " +
+                          std::to_string(schema));
+    }
+
+    ManifestRecord record;
+    record.engine = root.At("engine").AsString();
+
+    const JsonValue& inst = root.At("instance");
+    const Problem problem = ProblemFromName(inst.At("problem").AsString());
+    const Time due = inst.At("due").AsInt();
+    auto proc = ParseIntArray<Time>(inst.At("proc"), "proc");
+    auto min_proc = ParseIntArray<Time>(inst.At("min_proc"), "min_proc");
+    auto early = ParseIntArray<Cost>(inst.At("early"), "early");
+    auto tardy = ParseIntArray<Cost>(inst.At("tardy"), "tardy");
+    auto compress = ParseIntArray<Cost>(inst.At("compress"), "compress");
+    record.instance =
+        Instance(problem, due, std::move(proc), std::move(early),
+                 std::move(tardy), std::move(min_proc), std::move(compress));
+    record.instance.Validate();
+
+    record.instance_hash =
+        ParseU64String(root.At("instance_hash"), "instance_hash");
+
+    const JsonValue& options = root.At("options");
+    record.options.generations =
+        static_cast<std::uint64_t>(options.At("generations").AsInt());
+    record.options.seed =
+        static_cast<std::uint64_t>(options.At("seed").AsInt());
+    record.options.ensemble =
+        static_cast<std::uint32_t>(options.At("ensemble").AsInt());
+    record.options.block =
+        static_cast<std::uint32_t>(options.At("block").AsInt());
+    record.options.chains =
+        static_cast<std::uint32_t>(options.At("chains").AsInt());
+    record.options.trajectory_stride = static_cast<std::uint32_t>(
+        options.At("trajectory_stride").AsInt());
+    record.options.vshape_init = options.At("vshape_init").AsBool();
+
+    record.best_cost = root.At("best_cost").AsInt();
+    record.evaluations =
+        static_cast<std::uint64_t>(root.At("evaluations").AsInt());
+    record.trajectory_samples =
+        static_cast<std::uint64_t>(root.At("trajectory_samples").AsInt());
+    record.trajectory_digest =
+        ParseU64String(root.At("trajectory_digest"), "trajectory_digest");
+    return record;
+  } catch (const JsonError& e) {
+    throw ManifestError(std::string("manifest field error: ") + e.what());
+  } catch (const std::invalid_argument& e) {
+    // Instance::Validate() rejects tampered job data.
+    throw ManifestError(std::string("manifest instance invalid: ") +
+                        e.what());
+  }
+}
+
+void VerifyManifestIntegrity(const ManifestRecord& record) {
+  const std::uint64_t recomputed = HashInstance(record.instance);
+  if (recomputed != record.instance_hash) {
+    throw ManifestError(
+        "instance hash mismatch: recorded " +
+        std::to_string(record.instance_hash) + ", recomputed " +
+        std::to_string(recomputed) +
+        " — the manifest's instance data or hash was altered");
+  }
+}
+
+}  // namespace cdd::trace

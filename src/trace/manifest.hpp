@@ -1,0 +1,85 @@
+#pragma once
+/// \file manifest.hpp
+/// \brief Deterministic run manifests: record a solve, replay it later.
+///
+/// A manifest line is one self-contained JSON object holding everything a
+/// replay needs — the full instance data, the engine name, every
+/// result-determining option, the seed — plus everything a verifier
+/// checks: the instance hash (core/hash.hpp, platform-stable), the final
+/// best cost, the evaluation count and a digest of the convergence
+/// trajectory.  Because the engines are bit-deterministic for a fixed
+/// seed (the PR-1 invariant), re-running a manifest must reproduce
+/// `best_cost` exactly; tools/sched_replay turns that statement into an
+/// executable regression check, and a corrupted manifest (edited costs,
+/// altered instance data) is detected mechanically.
+///
+/// The format is JSONL: one record per line, append-only, safe to
+/// concatenate across runs.  64-bit hashes travel as decimal *strings*
+/// (JSON numbers only guarantee 53 bits).
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace cdd::trace {
+
+/// Malformed, incomplete, or internally inconsistent manifest data.
+class ManifestError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Current manifest schema version (bumped on breaking format changes).
+inline constexpr int kManifestSchema = 1;
+
+/// The result-determining options of one solve — mirrors
+/// serve::EngineOptions minus the runtime-only fields (stop token,
+/// device, thread count) that never influence the answer.
+struct ManifestOptions {
+  std::uint64_t generations = 1000;
+  std::uint64_t seed = 1;
+  std::uint32_t ensemble = 768;
+  std::uint32_t block = 192;
+  std::uint32_t chains = 64;
+  std::uint32_t trajectory_stride = 0;
+  bool vshape_init = false;
+
+  friend bool operator==(const ManifestOptions&,
+                         const ManifestOptions&) = default;
+};
+
+/// One recorded solve.
+struct ManifestRecord {
+  std::string engine = "sa";
+  Instance instance;
+  std::uint64_t instance_hash = 0;  ///< HashInstance() at record time
+  ManifestOptions options;
+  Cost best_cost = 0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t trajectory_samples = 0;
+  std::uint64_t trajectory_digest = 0;  ///< 0 when no trajectory recorded
+};
+
+/// Order-sensitive 64-bit digest of a best-so-far trajectory.
+std::uint64_t TrajectoryDigest(std::span<const Cost> trajectory);
+
+/// Serializes \p record as one JSON line (no trailing newline).  The
+/// engine name is JSON-escaped, so hostile names cannot break the format.
+std::string WriteManifestLine(const ManifestRecord& record);
+
+/// Parses one JSONL manifest line.  Throws ManifestError on malformed
+/// JSON, missing fields, an unsupported schema, or instance data that
+/// fails Instance::Validate().
+ManifestRecord ParseManifestLine(std::string_view line);
+
+/// Integrity check: recomputes the instance hash and compares it with the
+/// recorded one.  Throws ManifestError on mismatch — the signature of a
+/// manifest whose instance data or hash was tampered with.
+void VerifyManifestIntegrity(const ManifestRecord& record);
+
+}  // namespace cdd::trace

@@ -1,0 +1,88 @@
+#pragma once
+/// \file ring_buffer.hpp
+/// \brief Single-producer overwrite ring of trace events.
+///
+/// The recorder's core data structure: a power-of-two array of Event slots
+/// written by exactly one thread.  Push() is two plain stores plus one
+/// release store of the write index — no locks, no CAS, no allocation —
+/// so tracing a hot loop costs on the order of a histogram increment.
+///
+/// Overflow policy is drop-oldest: the producer keeps writing and simply
+/// overwrites the oldest slot; the number of lost events is derivable from
+/// the monotonically increasing write index (`written - capacity`), so
+/// nothing blocks and nothing is silently exact-looking — exports carry an
+/// explicit drop count.
+///
+/// Concurrency contract: Push() from the owning thread only.  Snapshot()
+/// may run from any thread but yields a consistent event list only while
+/// the producer is quiescent (between its writes); the exporters in this
+/// repo run after workers join / engines return, which satisfies that.
+/// This is the same contract CUDA's own profiler buffers have, and it is
+/// what keeps the hot path free of read-side synchronization.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace cdd::trace {
+
+class EventRing {
+ public:
+  /// \p capacity is rounded up to a power of two (minimum 8).
+  explicit EventRing(std::size_t capacity) {
+    std::size_t cap = 8;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Records one event; called by the owning thread only.  Never blocks:
+  /// when the ring is full the oldest event is overwritten.
+  void Push(const Event& event) {
+    const std::uint64_t w = write_.load(std::memory_order_relaxed);
+    slots_[w & (slots_.size() - 1)] = event;
+    write_.store(w + 1, std::memory_order_release);
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Total events ever pushed (monotonic, survives overflow).
+  std::uint64_t written() const {
+    return write_.load(std::memory_order_acquire);
+  }
+
+  /// Events lost to overwriting so far.
+  std::uint64_t dropped() const {
+    const std::uint64_t w = written();
+    return w > slots_.size() ? w - slots_.size() : 0;
+  }
+
+  /// Copies the surviving events, oldest first.  See the class comment for
+  /// the quiescence requirement.
+  std::vector<Event> Snapshot() const {
+    const std::uint64_t w = written();
+    const std::uint64_t n =
+        w < slots_.size() ? w : static_cast<std::uint64_t>(slots_.size());
+    std::vector<Event> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = w - n; i < w; ++i) {
+      out.push_back(slots_[i & (slots_.size() - 1)]);
+    }
+    return out;
+  }
+
+  /// Forgets all events and the drop count (test/registry reset; producer
+  /// must be quiescent).
+  void Clear() { write_.store(0, std::memory_order_release); }
+
+ private:
+  std::vector<Event> slots_;
+  std::atomic<std::uint64_t> write_{0};
+};
+
+}  // namespace cdd::trace

@@ -1,0 +1,213 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/json.hpp"
+#include "trace/ring_buffer.hpp"
+
+namespace cdd::trace {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::size_t> g_ring_capacity{8192};
+
+/// First id handed out by NewTrack(); per-thread ids stay below it so the
+/// two ranges never collide in the exported "tid" field.
+constexpr std::uint32_t kFirstVirtualTrack = 1u << 16;
+
+/// One registered producer: a ring plus its export identity.
+struct ThreadSlot {
+  std::unique_ptr<EventRing> ring;
+  std::uint32_t tid = 0;
+};
+
+/// Registry of every ring and every virtual track label.  Rings are owned
+/// here (not by the threads), so exports after a producer thread exits
+/// still see its events.
+struct Registry {
+  std::mutex mutex;
+  std::vector<ThreadSlot> threads;
+  std::vector<std::pair<std::uint32_t, std::string>> tracks;
+  std::uint32_t next_tid = 1;
+  std::uint32_t next_track = kFirstVirtualTrack;
+};
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlive all threads
+  return *registry;
+}
+
+/// The calling thread's ring, registered on first use.
+EventRing& LocalRing() {
+  thread_local EventRing* ring = nullptr;
+  if (ring == nullptr) {
+    Registry& reg = TheRegistry();
+    const std::scoped_lock lock(reg.mutex);
+    ThreadSlot slot;
+    slot.ring =
+        std::make_unique<EventRing>(g_ring_capacity.load(std::memory_order_relaxed));
+    slot.tid = reg.next_tid++;
+    ring = slot.ring.get();
+    reg.threads.push_back(std::move(slot));
+  }
+  return *ring;
+}
+
+void WriteEventJson(std::ostream& out, const Event& event,
+                    std::uint32_t thread_tid) {
+  const std::uint32_t tid =
+      event.track == kTrackOwnThread ? thread_tid : event.track;
+  const double ts_us = static_cast<double>(event.ts_ns) / 1000.0;
+  out << "{\"name\":\"" << JsonEscape(event.name) << "\",\"pid\":1,\"tid\":"
+      << tid << ",\"ts\":" << ts_us;
+  switch (event.type) {
+    case EventType::kBegin:
+      out << ",\"ph\":\"B\"}";
+      break;
+    case EventType::kEnd:
+      out << ",\"ph\":\"E\"}";
+      break;
+    case EventType::kInstant:
+      out << ",\"ph\":\"i\",\"s\":\"t\"}";
+      break;
+    case EventType::kCounter:
+      out << ",\"ph\":\"C\",\"args\":{\"value\":" << event.value << "}}";
+      break;
+    case EventType::kComplete:
+      out << ",\"ph\":\"X\",\"dur\":"
+          << static_cast<double>(event.value) / 1000.0 << "}";
+      break;
+  }
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+#if CDD_TRACING
+  g_enabled.store(enabled, std::memory_order_relaxed);
+#else
+  (void)enabled;
+#endif
+}
+
+bool Enabled() {
+#if CDD_TRACING
+  return g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+const char* InternName(std::string_view name) {
+  // Interned names live for the process: Event stores bare pointers.
+  static std::mutex mutex;
+  static std::unordered_map<std::string, std::unique_ptr<std::string>>*
+      interned = new std::unordered_map<std::string,
+                                        std::unique_ptr<std::string>>();
+  const std::scoped_lock lock(mutex);
+  const auto it = interned->find(std::string(name));
+  if (it != interned->end()) return it->second->c_str();
+  auto owned = std::make_unique<std::string>(name);
+  const char* stable = owned->c_str();
+  interned->emplace(*owned, std::move(owned));
+  return stable;
+}
+
+std::uint32_t NewTrack(std::string_view label) {
+  Registry& reg = TheRegistry();
+  const std::scoped_lock lock(reg.mutex);
+  const std::uint32_t id = reg.next_track++;
+  reg.tracks.emplace_back(id, std::string(label));
+  return id;
+}
+
+void SetRingCapacity(std::size_t events) {
+  g_ring_capacity.store(events == 0 ? 8 : events,
+                        std::memory_order_relaxed);
+}
+
+std::uint64_t DroppedTotal() {
+  Registry& reg = TheRegistry();
+  const std::scoped_lock lock(reg.mutex);
+  std::uint64_t dropped = 0;
+  for (const ThreadSlot& slot : reg.threads) dropped += slot.ring->dropped();
+  return dropped;
+}
+
+std::uint64_t EventCount() {
+  Registry& reg = TheRegistry();
+  const std::scoped_lock lock(reg.mutex);
+  std::uint64_t count = 0;
+  for (const ThreadSlot& slot : reg.threads) {
+    count += slot.ring->written() - slot.ring->dropped();
+  }
+  return count;
+}
+
+void Record(const Event& event) { LocalRing().Push(event); }
+
+void ExportChromeTrace(std::ostream& out) {
+  struct Tagged {
+    Event event;
+    std::uint32_t tid;
+  };
+  std::vector<Tagged> all;
+  std::vector<std::pair<std::uint32_t, std::string>> tracks;
+  std::uint64_t dropped = 0;
+  {
+    Registry& reg = TheRegistry();
+    const std::scoped_lock lock(reg.mutex);
+    tracks = reg.tracks;
+    for (const ThreadSlot& slot : reg.threads) {
+      dropped += slot.ring->dropped();
+      for (const Event& event : slot.ring->Snapshot()) {
+        all.push_back({event, slot.tid});
+      }
+    }
+  }
+  // Global timestamp order; stable, so same-timestamp events keep their
+  // per-thread recording order (snapshots are chronological per ring).
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.event.ts_ns < b.event.ts_ns;
+                   });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+      << dropped << "},\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [id, label] : tracks) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << id
+        << ",\"args\":{\"name\":\"" << JsonEscape(label) << "\"}}";
+  }
+  for (const Tagged& tagged : all) {
+    if (!first) out << ",";
+    first = false;
+    WriteEventJson(out, tagged.event, tagged.tid);
+  }
+  out << "]}\n";
+}
+
+bool ExportChromeTraceFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  ExportChromeTrace(out);
+  return static_cast<bool>(out);
+}
+
+void ResetForTest() {
+  Registry& reg = TheRegistry();
+  const std::scoped_lock lock(reg.mutex);
+  for (ThreadSlot& slot : reg.threads) slot.ring->Clear();
+}
+
+}  // namespace cdd::trace

@@ -1,0 +1,152 @@
+#pragma once
+/// \file tracer.hpp
+/// \brief Process-wide structured tracing: spans, instants, counters.
+///
+/// Layering:
+///   instrumentation macros -> thread-local EventRing -> TraceRegistry
+///     -> Chrome-trace JSON export (chrome://tracing, Perfetto)
+///
+/// Cost model (the invariants DESIGN.md §9 pins down):
+///  * Compiled out (CDD_TRACING=0): every macro expands to `(void)0` —
+///    no atomics, no branches, no code on the hot path at all.
+///  * Compiled in, runtime-disabled (the default): one relaxed atomic
+///    load and a predictable branch per site.
+///  * Enabled: one ring Push (~two stores) per event; overflow drops the
+///    oldest event and counts the loss instead of blocking or allocating.
+///  * Tracing NEVER consumes engine randomness and never takes a lock on
+///    the record path, so a traced run is bit-identical to an untraced
+///    one (tests/trace/tracer_test.cpp proves it on a live SA chain).
+///
+/// Names passed to the macros must be string literals (they are stored as
+/// bare pointers).  Dynamic names — simulated kernel names, engine names —
+/// go through InternName(), which returns a stable pointer for the
+/// process lifetime.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "trace/clock.hpp"
+#include "trace/event.hpp"
+
+#ifndef CDD_TRACING
+#define CDD_TRACING 1
+#endif
+
+namespace cdd::trace {
+
+/// Turns recording on or off for every thread (relaxed; takes effect on
+/// each site's next event).  No-op when tracing is compiled out.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/// Returns a stable pointer equal (as a string) to \p name; repeated calls
+/// with the same contents return the same pointer.  Takes a lock — call it
+/// once per dynamic name, not per event, where that matters.
+const char* InternName(std::string_view name);
+
+/// Allocates a virtual export track (e.g. one per simulated device).
+/// Returned ids start above any per-thread id.
+std::uint32_t NewTrack(std::string_view label);
+
+/// Ring capacity for threads that record their first event after this
+/// call (existing rings keep their size).  Default 8192 events.
+void SetRingCapacity(std::size_t events);
+
+/// Events lost to ring overflow, summed over all threads.
+std::uint64_t DroppedTotal();
+
+/// Events currently held, summed over all threads.
+std::uint64_t EventCount();
+
+/// Writes every surviving event as one Chrome trace JSON document
+/// ({"traceEvents":[...]}) loadable in chrome://tracing or Perfetto.
+/// Events are globally sorted by timestamp (ties keep per-thread order),
+/// so cross-thread ordering in the file matches causal recording order
+/// whenever clocks do.  Producers should be quiescent (see ring_buffer.hpp).
+void ExportChromeTrace(std::ostream& out);
+
+/// Convenience: ExportChromeTrace into \p path; returns false on I/O error.
+bool ExportChromeTraceFile(const std::string& path);
+
+/// Clears every thread's events and drop counts (rings stay allocated, so
+/// thread-local fast paths remain valid).  Test helper.
+void ResetForTest();
+
+/// Records one event into the calling thread's ring.  Callers normally go
+/// through the macros below, which compile out and check Enabled().
+void Record(const Event& event);
+
+/// RAII span: Begin on construction, End on destruction.  Captures the
+/// enabled flag once so a mid-span toggle cannot emit an unbalanced event.
+class Span {
+ public:
+  explicit Span(const char* name) : name_(name), live_(Enabled()) {
+    if (live_) {
+      Record({name_, NowNs(), 0, kTrackOwnThread, EventType::kBegin});
+    }
+  }
+  ~Span() {
+    if (live_) {
+      Record({name_, NowNs(), 0, kTrackOwnThread, EventType::kEnd});
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  bool live_;
+};
+
+inline void Instant(const char* name) {
+  if (Enabled()) {
+    Record({name, NowNs(), 0, kTrackOwnThread, EventType::kInstant});
+  }
+}
+
+inline void CounterSample(const char* name, std::int64_t value) {
+  if (Enabled()) {
+    Record({name, NowNs(), value, kTrackOwnThread, EventType::kCounter});
+  }
+}
+
+/// A closed interval with caller-supplied clock values — how the cudasim
+/// layer posts *modeled* kernel/transfer durations onto a device track.
+inline void Complete(const char* name, std::int64_t ts_ns,
+                     std::int64_t dur_ns,
+                     std::uint32_t track = kTrackOwnThread) {
+  if (Enabled()) {
+    Record({name, ts_ns, dur_ns, track, EventType::kComplete});
+  }
+}
+
+/// Counter variant with an explicit timestamp/track (device-track series).
+inline void CounterSampleAt(const char* name, std::int64_t ts_ns,
+                            std::int64_t value, std::uint32_t track) {
+  if (Enabled()) {
+    Record({name, ts_ns, value, track, EventType::kCounter});
+  }
+}
+
+}  // namespace cdd::trace
+
+// --- instrumentation macros (the only thing hot paths should use) --------
+#if CDD_TRACING
+#define CDD_TRACE_CONCAT_INNER(a, b) a##b
+#define CDD_TRACE_CONCAT(a, b) CDD_TRACE_CONCAT_INNER(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define CDD_TRACE_SPAN(name) \
+  const ::cdd::trace::Span CDD_TRACE_CONCAT(cdd_trace_span_, __LINE__)(name)
+#define CDD_TRACE_INSTANT(name) ::cdd::trace::Instant(name)
+#define CDD_TRACE_COUNTER(name, value) \
+  ::cdd::trace::CounterSample((name), static_cast<std::int64_t>(value))
+#define CDD_TRACE_COMPLETE(name, ts_ns, dur_ns, track) \
+  ::cdd::trace::Complete((name), (ts_ns), (dur_ns), (track))
+#else
+#define CDD_TRACE_SPAN(name) ((void)0)
+#define CDD_TRACE_INSTANT(name) ((void)0)
+#define CDD_TRACE_COUNTER(name, value) ((void)0)
+#define CDD_TRACE_COMPLETE(name, ts_ns, dur_ns, track) ((void)0)
+#endif

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "trace/json.hpp"
 
 namespace cdd::serve {
 namespace {
@@ -70,6 +74,26 @@ TEST(LatencyHistogram, ExtremesAreClamped) {
   EXPECT_GT(hist.Percentile(1.0), 0.0);  // no crash, finite answer
 }
 
+TEST(LatencyHistogram, HostileSamplesCannotPoisonTheHistogram) {
+  // NaN, infinities and negative durations (a clock that stepped
+  // backwards) must be absorbed as clamped samples, never corrupt the
+  // aggregates.
+  LatencyHistogram hist;
+  hist.Record(std::numeric_limits<double>::quiet_NaN());
+  hist.Record(std::numeric_limits<double>::infinity());
+  hist.Record(-std::numeric_limits<double>::infinity());
+  hist.Record(-5.0);
+  hist.Record(2.0);  // one honest sample
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_TRUE(std::isfinite(hist.mean_ms()));
+  EXPECT_TRUE(std::isfinite(hist.max_ms()));
+  for (const double q : {0.5, 0.95, 0.99, 1.0}) {
+    const double value = hist.Percentile(q);
+    EXPECT_TRUE(std::isfinite(value)) << "q=" << q;
+    EXPECT_GE(value, 0.0) << "q=" << q;
+  }
+}
+
 TEST(MetricsRegistry, NamesAreStableReferences) {
   MetricsRegistry registry;
   Counter& a = registry.counter("requests");
@@ -104,6 +128,23 @@ TEST(MetricsRegistry, SnapshotJsonShape) {
   }
   // Registration order is preserved: submitted before completed.
   EXPECT_LT(json.find("submitted"), json.find("completed"));
+}
+
+TEST(MetricsRegistry, SnapshotJsonEscapesHostileNames) {
+  // Metric names come from code today, but the snapshot is the service's
+  // wire format: a name with quotes, backslashes or control characters
+  // must still yield parseable JSON that round-trips the name.
+  MetricsRegistry registry;
+  const std::string hostile = "evil\"name\\with\nnewline";
+  registry.counter(hostile).Increment(7);
+  registry.histogram(hostile).Record(1.0);
+
+  const std::string json = registry.SnapshotJson();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+
+  const trace::JsonValue doc = trace::JsonValue::Parse(json);
+  EXPECT_EQ(doc.At("counters").At(hostile).AsInt(), 7);
+  EXPECT_EQ(doc.At("histograms").At(hostile).At("count").AsInt(), 1);
 }
 
 }  // namespace

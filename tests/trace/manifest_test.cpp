@@ -1,0 +1,123 @@
+/// Run manifests: write/parse round-trip, trajectory digest properties,
+/// hostile engine names, malformed input, and tamper detection.
+
+#include "trace/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/hash.hpp"
+#include "orlib/biskup_feldmann.hpp"
+
+namespace cdd::trace {
+namespace {
+
+ManifestRecord SampleRecord() {
+  ManifestRecord record;
+  record.engine = "sa";
+  record.instance = orlib::BiskupFeldmannGenerator().Cdd(10, 0, 0.6);
+  record.instance_hash = HashInstance(record.instance);
+  record.options.generations = 500;
+  record.options.seed = 42;
+  record.options.trajectory_stride = 10;
+  record.best_cost = 1234;
+  record.evaluations = 501;
+  record.trajectory_samples = 50;
+  record.trajectory_digest = 0xdeadbeef;
+  return record;
+}
+
+TEST(Manifest, WriteParseRoundTrip) {
+  const ManifestRecord record = SampleRecord();
+  const std::string line = WriteManifestLine(record);
+  // One line, no embedded newline: JSONL-safe.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  const ManifestRecord parsed = ParseManifestLine(line);
+  EXPECT_EQ(parsed.engine, record.engine);
+  EXPECT_EQ(parsed.instance, record.instance);
+  EXPECT_EQ(parsed.instance_hash, record.instance_hash);
+  EXPECT_EQ(parsed.options, record.options);
+  EXPECT_EQ(parsed.best_cost, record.best_cost);
+  EXPECT_EQ(parsed.evaluations, record.evaluations);
+  EXPECT_EQ(parsed.trajectory_samples, record.trajectory_samples);
+  EXPECT_EQ(parsed.trajectory_digest, record.trajectory_digest);
+  EXPECT_NO_THROW(VerifyManifestIntegrity(parsed));
+}
+
+TEST(Manifest, RoundTripsUcddcpInstances) {
+  ManifestRecord record = SampleRecord();
+  record.instance = orlib::BiskupFeldmannGenerator().Ucddcp(10, 0);
+  record.instance_hash = HashInstance(record.instance);
+  const ManifestRecord parsed = ParseManifestLine(WriteManifestLine(record));
+  EXPECT_EQ(parsed.instance, record.instance);
+  EXPECT_NO_THROW(VerifyManifestIntegrity(parsed));
+}
+
+TEST(Manifest, HashesSurvive64BitRange) {
+  // Hashes above 2^53 lose bits as JSON doubles; the format must carry
+  // them as decimal strings and round-trip exactly.
+  ManifestRecord record = SampleRecord();
+  record.trajectory_digest = 0xfedcba9876543210ull;
+  const ManifestRecord parsed = ParseManifestLine(WriteManifestLine(record));
+  EXPECT_EQ(parsed.trajectory_digest, 0xfedcba9876543210ull);
+}
+
+TEST(Manifest, HostileEngineNameCannotBreakTheLine) {
+  ManifestRecord record = SampleRecord();
+  record.engine = "sa\",\"best_cost\":\"0\n}";
+  const std::string line = WriteManifestLine(record);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const ManifestRecord parsed = ParseManifestLine(line);
+  EXPECT_EQ(parsed.engine, record.engine);
+  EXPECT_EQ(parsed.best_cost, record.best_cost);
+}
+
+TEST(Manifest, TrajectoryDigestIsOrderSensitive) {
+  const std::vector<Cost> forward = {10, 9, 8, 7};
+  const std::vector<Cost> reversed = {7, 8, 9, 10};
+  EXPECT_NE(TrajectoryDigest(forward), TrajectoryDigest(reversed));
+  EXPECT_EQ(TrajectoryDigest(forward), TrajectoryDigest(forward));
+  EXPECT_EQ(TrajectoryDigest({}), 0u);
+  // A digest must also distinguish prefixes (length matters).
+  const std::vector<Cost> prefix = {10, 9, 8};
+  EXPECT_NE(TrajectoryDigest(forward), TrajectoryDigest(prefix));
+}
+
+TEST(Manifest, RejectsMalformedLines) {
+  EXPECT_THROW(ParseManifestLine(""), ManifestError);
+  EXPECT_THROW(ParseManifestLine("not json at all"), ManifestError);
+  EXPECT_THROW(ParseManifestLine("{\"schema\":1}"), ManifestError);
+  EXPECT_THROW(ParseManifestLine("[1,2,3]"), ManifestError);
+  // Truncated JSON (cut mid-record, e.g. a killed writer).
+  const std::string line = WriteManifestLine(SampleRecord());
+  EXPECT_THROW(ParseManifestLine(line.substr(0, line.size() / 2)),
+               ManifestError);
+}
+
+TEST(Manifest, RejectsUnsupportedSchema) {
+  const std::string line = WriteManifestLine(SampleRecord());
+  const std::string needle = "\"schema\":1";
+  const auto pos = line.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  std::string future = line;
+  future.replace(pos, needle.size(), "\"schema\":99");
+  EXPECT_THROW(ParseManifestLine(future), ManifestError);
+}
+
+TEST(Manifest, DetectsTamperedInstanceData) {
+  // Flip the due date after recording: the parsed record is well-formed
+  // JSON, but the integrity check must reject it.
+  ManifestRecord record = SampleRecord();
+  const std::string line = WriteManifestLine(record);
+  ManifestRecord parsed = ParseManifestLine(line);
+  parsed.instance =
+      Instance(parsed.instance.problem(), parsed.instance.due_date() + 1,
+               parsed.instance.jobs());
+  EXPECT_THROW(VerifyManifestIntegrity(parsed), ManifestError);
+}
+
+}  // namespace
+}  // namespace cdd::trace

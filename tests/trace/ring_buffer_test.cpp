@@ -1,0 +1,76 @@
+/// EventRing: single-producer overwrite ring semantics — ordering,
+/// drop-oldest overflow with an exact drop counter, reset.
+
+#include "trace/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cdd::trace {
+namespace {
+
+Event Instant(const char* name, std::int64_t ts) {
+  return Event{name, ts, 0, kTrackOwnThread, EventType::kInstant};
+}
+
+TEST(EventRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventRing(1).capacity(), 8u);
+  EXPECT_EQ(EventRing(8).capacity(), 8u);
+  EXPECT_EQ(EventRing(9).capacity(), 16u);
+  EXPECT_EQ(EventRing(1000).capacity(), 1024u);
+}
+
+TEST(EventRing, PreservesInsertionOrderBelowCapacity) {
+  EventRing ring(8);
+  for (int i = 0; i < 5; ++i) ring.Push(Instant("e", i));
+  EXPECT_EQ(ring.written(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+
+  const std::vector<Event> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(events[i].ts_ns, i);
+}
+
+TEST(EventRing, OverflowDropsOldestAndCountsDrops) {
+  EventRing ring(8);
+  for (int i = 0; i < 20; ++i) ring.Push(Instant("e", i));
+
+  EXPECT_EQ(ring.written(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);  // 20 pushed - 8 surviving
+
+  // The survivors are exactly the 8 *newest* events, still in order:
+  // drop-oldest, never drop-newest, never block.
+  const std::vector<Event> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(events[i].ts_ns, 12 + i);
+}
+
+TEST(EventRing, SnapshotCopiesEventPayloads) {
+  EventRing ring(8);
+  ring.Push(Event{"counter", 7, 42, 3, EventType::kCounter});
+  const std::vector<Event> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "counter");
+  EXPECT_EQ(events[0].ts_ns, 7);
+  EXPECT_EQ(events[0].value, 42);
+  EXPECT_EQ(events[0].track, 3u);
+  EXPECT_EQ(events[0].type, EventType::kCounter);
+}
+
+TEST(EventRing, ClearForgetsEventsAndDrops) {
+  EventRing ring(8);
+  for (int i = 0; i < 20; ++i) ring.Push(Instant("e", i));
+  ring.Clear();
+  EXPECT_EQ(ring.written(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+
+  // The ring is fully usable after a reset.
+  ring.Push(Instant("e", 99));
+  ASSERT_EQ(ring.Snapshot().size(), 1u);
+  EXPECT_EQ(ring.Snapshot()[0].ts_ns, 99);
+}
+
+}  // namespace
+}  // namespace cdd::trace

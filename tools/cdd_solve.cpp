@@ -27,6 +27,9 @@
 #include "orlib/biskup_feldmann.hpp"
 #include "orlib/schfile.hpp"
 #include "serve/engine_registry.hpp"
+#include "serve/replay.hpp"
+#include "trace/manifest.hpp"
+#include "trace/tracer.hpp"
 
 namespace {
 
@@ -60,7 +63,13 @@ void PrintUsage() {
       "Output:\n"
       "  --gantt              ASCII Gantt chart of the best schedule\n"
       "  --schedule           per-job schedule table\n"
-      "  --profile            simulated-GPU profiler report\n";
+      "  --profile            simulated-GPU profiler report\n\n"
+      "Telemetry:\n"
+      "  --trajectory FILE    CSV of (iteration, best-so-far cost)\n"
+      "  --trajectory-stride N  sampling stride (default 10)\n"
+      "  --manifest FILE      append a JSONL run manifest (sched_replay\n"
+      "                       re-executes and verifies it bit-identically)\n"
+      "  --trace FILE         Chrome trace JSON (chrome://tracing, Perfetto)\n";
 }
 
 }  // namespace
@@ -130,7 +139,51 @@ int main(int argc, char** argv) {
     options.vshape_init = args.GetBool("vshape-init");
     options.device = &gpu;  // so --profile sees the kernel launches
 
+    const std::string trajectory_file = args.GetString("trajectory", "");
+    const auto trajectory_stride =
+        static_cast<std::uint32_t>(args.GetInt("trajectory-stride", 10));
+    if (!trajectory_file.empty()) {
+      options.trajectory_stride = trajectory_stride;
+    }
+    const std::string trace_file = args.GetString("trace", "");
+    if (!trace_file.empty()) trace::SetEnabled(true);
+
     const serve::EngineRun run = (*engine)(instance, options);
+
+    if (!trajectory_file.empty()) {
+      std::ofstream out(trajectory_file);
+      if (!out) {
+        std::cerr << "error: cannot write " << trajectory_file << "\n";
+        return 1;
+      }
+      out << "iteration,best_cost\n";
+      for (std::size_t k = 0; k < run.result.trajectory.size(); ++k) {
+        out << k * trajectory_stride << "," << run.result.trajectory[k]
+            << "\n";
+      }
+      std::cout << "trajectory: " << run.result.trajectory.size()
+                << " samples (stride " << trajectory_stride << ") -> "
+                << trajectory_file << "\n";
+    }
+
+    const std::string manifest_file = args.GetString("manifest", "");
+    if (!manifest_file.empty()) {
+      if (run.result.stopped) {
+        std::cerr << "error: refusing to record a manifest of a truncated "
+                     "run\n";
+        return 1;
+      }
+      std::ofstream out(manifest_file, std::ios::app);
+      if (!out) {
+        std::cerr << "error: cannot append to " << manifest_file << "\n";
+        return 1;
+      }
+      out << trace::WriteManifestLine(serve::MakeManifestRecord(
+                 instance, algo, options, run.result))
+          << "\n";
+      std::cout << "manifest: appended to " << manifest_file << "\n";
+    }
+
     if (run.device_seconds > 0.0) {
       std::cout << "modeled GT 560M time: " << run.device_seconds
                 << " s over " << run.result.evaluations
@@ -168,6 +221,15 @@ int main(int argc, char** argv) {
     }
     if (args.GetBool("profile")) {
       std::cout << gpu.profiler().Report();
+    }
+    if (!trace_file.empty()) {
+      if (!trace::ExportChromeTraceFile(trace_file)) {
+        std::cerr << "error: cannot write " << trace_file << "\n";
+        return 1;
+      }
+      std::cout << "trace: " << trace::EventCount() << " events ("
+                << trace::DroppedTotal() << " dropped) -> " << trace_file
+                << "\n";
     }
     return 0;
   } catch (const std::exception& e) {

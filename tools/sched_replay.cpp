@@ -1,0 +1,65 @@
+/// \file sched_replay.cpp
+/// \brief Deterministic replay of recorded run manifests.
+///
+/// Reads JSONL manifests (written by `cdd_solve --manifest` or a
+/// SolverService configured with ServiceConfig::manifest_path),
+/// re-executes every record through the same engine registry and verifies
+/// the outcome *bit-identically*: equal best cost, equal evaluation
+/// count, equal trajectory digest, and an instance hash that matches the
+/// recorded data.  Exit status is the contract — 0 only when every record
+/// reproduces — so CI can pin the determinism invariant with one call:
+///
+///   sched_replay results/golden_manifest.jsonl
+///   sched_replay run1.jsonl run2.jsonl --quiet
+///
+/// A failing replay means one of three things, all worth stopping a merge
+/// for: an algorithm changed without its goldens being re-derived, an RNG
+/// stream moved, or the manifest itself was corrupted.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "benchutil/cli.hpp"
+#include "serve/replay.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdd;
+  const benchutil::Args args(argc, argv);
+  if (args.GetBool("help") || args.positional().empty()) {
+    std::cout
+        << "sched_replay — re-execute run manifests and verify outcomes\n\n"
+           "  sched_replay MANIFEST.jsonl [MORE.jsonl ...] [--quiet]\n\n"
+           "Each line of each file is one recorded solve; every record is\n"
+           "re-run through the engine registry and must reproduce its\n"
+           "best_cost, evaluation count and trajectory digest exactly.\n"
+           "Exits 0 only when every record replays bit-identically.\n";
+    return args.GetBool("help") ? 0 : 2;
+  }
+  const bool quiet = args.GetBool("quiet");
+
+  serve::ReplaySummary total;
+  for (const std::string& path : args.positional()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "error: cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream log;
+    const serve::ReplaySummary summary = serve::ReplayStream(in, log);
+    if (!quiet || summary.failed > 0) {
+      std::cout << path << ":\n" << log.str();
+    }
+    total.total += summary.total;
+    total.passed += summary.passed;
+    total.failed += summary.failed;
+  }
+
+  std::cout << "replayed " << total.total << " record(s): " << total.passed
+            << " ok, " << total.failed << " failed\n";
+  if (total.total == 0) {
+    std::cerr << "error: no manifest records found\n";
+    return 2;
+  }
+  return total.failed == 0 ? 0 : 1;
+}
