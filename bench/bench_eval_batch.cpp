@@ -1,0 +1,165 @@
+/// \file bench_eval_batch.cpp
+/// \brief Experiment E12 — the batched-evaluation refactor, measured.
+///
+/// Before the refactor every engine scored candidates one at a time through
+/// a type-erased std::function objective; after it, a generation lands in a
+/// CandidatePool and one EvalCddBatch call scores all rows.  This bench
+/// pits the two hot paths against each other on identical pools and checks
+/// that the costs are bit-identical — the refactor's core promise.
+///
+///   bench_eval_batch [--sizes 50,200,500] [--batch 768] [--seed 1]
+///                    [--json BENCH_eval.json] [--smoke]
+///
+/// --smoke runs a fast verification-only pass (tiny rep counts, no JSON) —
+/// the CI hook.  The full run writes BENCH_eval.json with evals/sec for
+/// both paths per size; results/exp_eval_batch.txt captures the stdout
+/// table.
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "benchutil/cli.hpp"
+#include "benchutil/table.hpp"
+#include "common/test_instances.hpp"
+#include "core/candidate_pool.hpp"
+#include "core/eval_cdd.hpp"
+#include "core/sequence.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct SizeResult {
+  std::uint32_t n = 0;
+  double function_evals_per_sec = 0;
+  double batch_evals_per_sec = 0;
+  double speedup = 0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdd;
+  const benchutil::Args args(argc, argv);
+  if (args.GetBool("help")) {
+    std::cout << "Batched vs per-candidate std::function evaluation.\n"
+                 "Flags: --sizes list --batch B --seed S --json PATH "
+                 "--smoke\n";
+    return 0;
+  }
+  const bool smoke = args.GetBool("smoke");
+  const std::vector<std::uint32_t> sizes =
+      args.GetUintList("sizes", {50, 200, 500});
+  const auto batch = static_cast<std::uint32_t>(args.GetInt("batch", 768));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const std::string json_path = args.GetString("json", "BENCH_eval.json");
+
+  std::cout << "=== Batched SoA evaluation vs std::function dispatch "
+            << "(B=" << batch << (smoke ? ", smoke" : "") << ") ===\n";
+  benchutil::TextTable table({"n", "fn evals/s", "batch evals/s", "speedup",
+                              "bit-identical"});
+  std::vector<SizeResult> results;
+  bool all_identical = true;
+
+  for (const std::uint32_t n : sizes) {
+    const Instance instance = testing::RandomCdd(n, 0.6, seed + n);
+    const CddEvaluator eval(instance);
+    CandidatePool pool(n, batch);
+    for (std::uint32_t b = 0; b < batch; ++b) {
+      pool.Append(testing::RandomSeq(n, seed * 10'000 + b));
+    }
+
+    // The pre-refactor hot path: one type-erased call per candidate.
+    const std::function<Cost(std::span<const JobId>)> objective =
+        [&eval](std::span<const JobId> seq) { return eval.Evaluate(seq); };
+    std::vector<Cost> fn_costs(batch, 0);
+
+    // Size the rep counts so each timed section does comparable work
+    // regardless of n (~50M job-steps for the full run).
+    const std::uint64_t reps =
+        smoke ? 2
+              : std::max<std::uint64_t>(
+                    3, 50'000'000 /
+                           (static_cast<std::uint64_t>(n) * batch));
+
+    // Warm both paths once (also produces the comparison data).
+    for (std::uint32_t b = 0; b < batch; ++b) {
+      fn_costs[b] = objective(pool.row(b));
+    }
+    eval.EvaluateBatch(pool);
+
+    const Clock::time_point t0 = Clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      for (std::uint32_t b = 0; b < batch; ++b) {
+        fn_costs[b] = objective(pool.row(b));
+      }
+    }
+    const Clock::time_point t1 = Clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      eval.EvaluateBatch(pool);
+    }
+    const Clock::time_point t2 = Clock::now();
+
+    bool identical = true;
+    for (std::uint32_t b = 0; b < batch; ++b) {
+      identical = identical && pool.costs()[b] == fn_costs[b];
+    }
+    all_identical = all_identical && identical;
+
+    const double evals = static_cast<double>(reps) * batch;
+    SizeResult row;
+    row.n = n;
+    row.function_evals_per_sec = evals / Seconds(t0, t1);
+    row.batch_evals_per_sec = evals / Seconds(t1, t2);
+    row.speedup = row.batch_evals_per_sec / row.function_evals_per_sec;
+    row.identical = identical;
+    results.push_back(row);
+    table.AddRow({std::to_string(n),
+                  benchutil::FmtDouble(row.function_evals_per_sec, 0),
+                  benchutil::FmtDouble(row.batch_evals_per_sec, 0),
+                  benchutil::FmtDouble(row.speedup, 2),
+                  identical ? "yes" : "NO"});
+  }
+  std::cout << table.ToString();
+
+  if (!all_identical) {
+    std::cerr << "FAIL: batched costs differ from per-candidate costs\n";
+    return 1;
+  }
+  if (smoke) {
+    std::cout << "\nsmoke: batched evaluation bit-identical to "
+                 "std::function dispatch on all sizes\n";
+    return 0;
+  }
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "error: cannot write " << json_path << "\n";
+    return 1;
+  }
+  json << "{\n  \"bench\": \"eval_batch\",\n  \"batch\": " << batch
+       << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    json << "    {\"n\": " << r.n << ", \"function_evals_per_sec\": "
+         << benchutil::FmtDouble(r.function_evals_per_sec, 0)
+         << ", \"batch_evals_per_sec\": "
+         << benchutil::FmtDouble(r.batch_evals_per_sec, 0)
+         << ", \"speedup\": " << benchutil::FmtDouble(r.speedup, 3)
+         << ", \"bit_identical\": " << (r.identical ? "true" : "false")
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

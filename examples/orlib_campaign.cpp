@@ -43,12 +43,13 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, Instance>> campaign;
   const std::string file = args.GetString("file", "");
   if (!file.empty()) {
-    std::ifstream in(file);
-    if (!in) {
-      std::cerr << "cannot open " << file << "\n";
+    std::vector<orlib::JobTable> tables;
+    try {
+      tables = orlib::LoadCddFile(file);
+    } catch (const orlib::SchParseError& e) {
+      std::cerr << e.what() << "\n";
       return 1;
     }
-    const auto tables = orlib::ParseCddFile(in);
     std::cout << "loaded " << tables.size() << " instances from " << file
               << "\n";
     for (std::size_t k = 0; k < tables.size(); ++k) {

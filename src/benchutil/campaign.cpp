@@ -4,6 +4,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "core/candidate_pool.hpp"
 #include "core/vshape.hpp"
 #include "meta/sa.hpp"
 #include "meta/threshold.hpp"
@@ -60,16 +61,27 @@ std::string Sweep::Describe() const {
 
 Cost ComputeReferenceCost(const Instance& instance, const Sweep& sweep,
                           std::uint64_t salt) {
-  const meta::Objective objective = meta::Objective::ForInstance(instance);
+  const meta::SequenceObjective objective =
+      meta::SequenceObjective::ForInstance(instance);
   Cost best = kInfiniteCost;
 
   // For n <= 10 the best-known values of the literature are exact optima;
   // enumerate all sequences with the O(n) evaluator (~1 s at n = 10).
+  // Permutations are staged into a candidate pool and costed in batches —
+  // the same SoA hot path the engines use.
   if (instance.size() <= 10) {
+    CandidatePool pool(instance.size(), /*capacity=*/256);
     Sequence seq = IdentitySequence(instance.size());
-    do {
-      best = std::min(best, objective(seq));
-    } while (std::next_permutation(seq.begin(), seq.end()));
+    bool more = true;
+    while (more) {
+      pool.Clear();
+      do {
+        pool.Append(seq);
+        more = std::next_permutation(seq.begin(), seq.end());
+      } while (more && !pool.full());
+      objective.EvaluateBatch(pool);
+      for (const Cost c : pool.costs()) best = std::min(best, c);
+    }
     return best;
   }
 
@@ -95,7 +107,7 @@ Cost ComputeReferenceCost(const Instance& instance, const Sweep& sweep,
   return best;
 }
 
-double MeasureSecondsPerEval(const meta::Objective& objective,
+double MeasureSecondsPerEval(const meta::SequenceObjective& objective,
                              std::uint64_t calib_evals, std::uint64_t seed) {
   meta::SaParams params;
   params.iterations = std::max<std::uint64_t>(calib_evals, 100);

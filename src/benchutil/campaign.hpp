@@ -59,7 +59,7 @@ Cost ComputeReferenceCost(const Instance& instance, const Sweep& sweep,
 /// calibration run of `calib_evals` serial-SA iterations.  Used to
 /// extrapolate CPU baseline runtimes to paper-scale budgets without paying
 /// the full single-core cost (documented in EXPERIMENTS.md).
-double MeasureSecondsPerEval(const meta::Objective& objective,
+double MeasureSecondsPerEval(const meta::SequenceObjective& objective,
                              std::uint64_t calib_evals, std::uint64_t seed);
 
 }  // namespace cdd::benchutil

@@ -1,0 +1,47 @@
+#include "core/candidate_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdd {
+
+namespace {
+
+std::size_t RoundUpToRowAlign(std::size_t n) {
+  const std::size_t a = CandidatePool::kRowAlign;
+  return ((std::max<std::size_t>(n, 1) + a - 1) / a) * a;
+}
+
+}  // namespace
+
+CandidatePool::CandidatePool(std::size_t n, std::size_t capacity)
+    : n_(n),
+      stride_(RoundUpToRowAlign(n)),
+      capacity_(std::max<std::size_t>(capacity, 1)),
+      seqs_(stride_ * capacity_, 0),
+      shadow_(stride_ * capacity_, 0),
+      costs_(capacity_, 0),
+      pinned_(capacity_, -1) {
+  if (n == 0) {
+    throw std::invalid_argument("CandidatePool: n must be >= 1");
+  }
+}
+
+std::size_t CandidatePool::Append(std::span<const JobId> src) {
+  if (src.size() != n_) {
+    throw std::invalid_argument(
+        "CandidatePool::Append: sequence length mismatch");
+  }
+  const std::size_t b = AppendUninitialized();
+  std::copy(src.begin(), src.end(), seqs_.data() + b * stride_);
+  return b;
+}
+
+std::size_t CandidatePool::AppendUninitialized() {
+  if (size_ == capacity_) {
+    throw std::length_error("CandidatePool: capacity exhausted");
+  }
+  return size_++;
+}
+
+}  // namespace cdd

@@ -1,0 +1,126 @@
+#pragma once
+/// \file candidate_pool.hpp
+/// \brief Generation-batched candidate storage for the evaluation hot path.
+///
+/// Every engine of the library evaluates a generation of candidate
+/// sequences at a time — a swarm, an offspring cohort, an SA step's single
+/// neighbour, or a simulated ensemble.  CandidatePool gives all of them one
+/// bookkeeping idiom: a structure-of-arrays block of B stride-aligned
+/// sequence rows plus parallel costs[B] / pinned[B] result arrays, filled
+/// by a single EvalCddBatch / EvalUcddcpBatch call per generation (see
+/// meta::SequenceObjective::EvaluateBatch).
+///
+/// Layout contract:
+///  * row b occupies seqs[b*stride .. b*stride + n); stride rounds n up to
+///    a 64-byte multiple so rows never share a cache line,
+///  * rows are perturbed in place (the spans returned by row() are
+///    writable) — engines copy a parent in, mutate, and evaluate without
+///    per-candidate allocation,
+///  * the pool double-buffers its sequence storage: engines that build
+///    generation g+1 from generation g (selection, elitism) write survivors
+///    into the shadow rows and flip with SwapBuffers(), an O(1) exchange.
+///
+/// The pool is a plain value type: no allocation after construction, no
+/// virtual dispatch, movable, and the raw view() is trivially copyable so
+/// the cudasim fitness kernel can consume the same geometry for device
+/// buffers.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace cdd {
+
+/// Non-owning view of a stride-aligned candidate pool.  Trivially copyable
+/// by design: the GPU-simulator kernels capture it by value, host code
+/// builds it over CandidatePool storage or over device buffers.
+struct CandidatePoolView {
+  JobId* seqs = nullptr;          ///< row b at seqs[b*stride]
+  Cost* costs = nullptr;          ///< per-row objective values
+  std::int32_t* pinned = nullptr; ///< optional per-row pinned positions
+  std::int32_t n = 0;             ///< jobs per sequence
+  std::int32_t stride = 0;        ///< row pitch in elements (>= n)
+  std::uint32_t count = 0;        ///< number of live rows
+
+  JobId* row(std::uint32_t b) const {
+    return seqs + static_cast<std::size_t>(b) * stride;
+  }
+};
+
+/// Owning, reusable candidate pool (see file comment for the layout).
+class CandidatePool {
+ public:
+  /// Elements per cache line; stride is rounded up to this so adjacent
+  /// rows never false-share.
+  static constexpr std::size_t kRowAlign = 64 / sizeof(JobId);
+
+  /// Pool for sequences of \p n jobs with room for \p capacity rows.
+  CandidatePool(std::size_t n, std::size_t capacity);
+
+  std::size_t n() const { return n_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t capacity() const { return capacity_; }
+  /// Number of live rows appended since the last Clear().
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  /// Forgets all live rows (storage is retained).
+  void Clear() { size_ = 0; }
+
+  /// Claims the next row and copies \p src into it; returns the row index.
+  std::size_t Append(std::span<const JobId> src);
+
+  /// Claims the next row uninitialized (callers fill it in place).
+  std::size_t AppendUninitialized();
+
+  /// Writable view of live row \p b (exactly n elements).
+  std::span<JobId> row(std::size_t b) {
+    return {seqs_.data() + b * stride_, n_};
+  }
+  std::span<const JobId> row(std::size_t b) const {
+    return {seqs_.data() + b * stride_, n_};
+  }
+
+  /// Writable view of shadow row \p b — the other half of the generation
+  /// double buffer.  Selection-style engines write survivors here and flip.
+  std::span<JobId> shadow_row(std::size_t b) {
+    return {shadow_.data() + b * stride_, n_};
+  }
+
+  /// O(1) exchange of live and shadow sequence storage.  Costs and pinned
+  /// arrays describe whatever was evaluated last and are not swapped.
+  void SwapBuffers() { seqs_.swap(shadow_); }
+
+  /// Per-row results of the last EvaluateBatch over this pool.
+  std::span<Cost> costs() { return {costs_.data(), size_}; }
+  std::span<const Cost> costs() const { return {costs_.data(), size_}; }
+  std::span<std::int32_t> pinned() { return {pinned_.data(), size_}; }
+  std::span<const std::int32_t> pinned() const {
+    return {pinned_.data(), size_};
+  }
+
+  /// Raw view over the live rows (the batch evaluators' input).
+  CandidatePoolView view() {
+    return {seqs_.data(),
+            costs_.data(),
+            pinned_.data(),
+            static_cast<std::int32_t>(n_),
+            static_cast<std::int32_t>(stride_),
+            static_cast<std::uint32_t>(size_)};
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t stride_;
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  std::vector<JobId> seqs_;
+  std::vector<JobId> shadow_;
+  std::vector<Cost> costs_;
+  std::vector<std::int32_t> pinned_;
+};
+
+}  // namespace cdd

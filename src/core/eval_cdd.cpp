@@ -27,6 +27,13 @@ raw::EvalResult CddEvaluator::EvaluateDetailed(
                       seq.data(), proc_.data(), alpha_.data(), beta_.data());
 }
 
+void CddEvaluator::EvaluateBatch(CandidatePool& pool) const {
+  const CandidatePoolView v = pool.view();
+  raw::EvalCddBatch(v.n, due_date_, v.seqs, v.stride,
+                    static_cast<std::int32_t>(v.count), proc_.data(),
+                    alpha_.data(), beta_.data(), v.costs, v.pinned);
+}
+
 Schedule CddEvaluator::BuildSchedule(std::span<const JobId> seq) const {
   const raw::EvalResult r = EvaluateDetailed(seq);
   Schedule s;

@@ -5,6 +5,7 @@
 
 #include <span>
 
+#include "core/candidate_pool.hpp"
 #include "core/eval_raw.hpp"
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
@@ -27,6 +28,10 @@ class CddEvaluator {
 
   /// Optimal cost plus the schedule geometry (offset / pinned position).
   raw::EvalResult EvaluateDetailed(std::span<const JobId> seq) const;
+
+  /// Evaluates every live row of \p pool in one raw::EvalCddBatch call,
+  /// filling pool.costs() and pool.pinned().
+  void EvaluateBatch(CandidatePool& pool) const;
 
   /// Materializes the optimal schedule of \p seq (for reporting and tests).
   Schedule BuildSchedule(std::span<const JobId> seq) const;

@@ -26,6 +26,15 @@
 ///
 /// Both functions are noexcept, perform no allocation and touch each input
 /// element O(1) times.
+///
+/// Batched evaluation (the generation hot path): EvalCddFused folds the
+/// second pass of EvalCdd into the breakpoint walk — the objective is
+/// piecewise linear in the start time s with integral slope pl - pe, so the
+/// cost at the chosen offset is the s = 0 cost plus slope x distance per
+/// segment, bit-identical to the two-pass result in exact integer
+/// arithmetic.  EvalCddBatch / EvalUcddcpBatch run the fused evaluator over
+/// B stride-aligned sequences of one candidate pool while the instance
+/// arrays stay cache-resident, with no per-candidate dispatch.
 
 #include <cstdint>
 
@@ -171,6 +180,158 @@ inline EvalResult EvalUcddcp(std::int32_t n, Time d, const JobId* seq,
   }
 
   return {cost, d - compressed_before_d, r};
+}
+
+/// \brief Single-pass variant of EvalCdd (bit-identical results).
+///
+/// Computes the s = 0 cost during the tau/pe/pl scan, then follows the
+/// breakpoint walk of Theorem 1 accumulating slope x distance instead of
+/// re-scanning the sequence: cost(s) is piecewise linear with right
+/// derivative pl - pe, every quantity is integral, so the folded sum equals
+/// the explicit second pass exactly.  This is the row evaluator behind the
+/// batched entry points below and the simulator's fitness kernel; EvalCdd
+/// keeps the literal two-pass shape of Lässig et al. as the reference.
+inline EvalResult EvalCddFused(std::int32_t n, Time d, const JobId* seq,
+                               const Time* proc, const Cost* alpha,
+                               const Cost* beta) noexcept {
+  Time c = 0;
+  Time prefix_tau = 0;
+  std::int32_t tau = -1;
+  Cost pe = 0;
+  Cost pl = 0;
+  Cost cost = 0;  // objective of the left-aligned schedule (s = 0)
+  for (std::int32_t i = 0; i < n; ++i) {
+    const JobId j = seq[i];
+    c += proc[j];
+    if (c <= d) {
+      tau = i;
+      prefix_tau = c;
+      pe += alpha[j];
+      cost += alpha[j] * (d - c);
+    } else {
+      pl += beta[j];
+      cost += beta[j] * (c - d);
+    }
+  }
+
+  Time offset = 0;
+  std::int32_t pinned = -1;
+  if (tau >= 0) {
+    if (prefix_tau < d) {
+      // Slide right to the first breakpoint only while strictly improving;
+      // no job crosses d on the way, so the slope pl - pe is constant.
+      if (pl < pe) {
+        offset = d - prefix_tau;
+        cost += offset * (pl - pe);
+        pinned = tau;
+      }
+    } else {
+      pinned = tau;
+    }
+    while (pinned > 0) {
+      const JobId j = seq[pinned];
+      const Cost pl_next = pl + beta[j];
+      const Cost pe_next = pe - alpha[j];
+      if (pl_next < pe_next) {
+        // Job `pinned` is tardy over the whole shift, so the slope on this
+        // segment is pl_next - pe_next (negative by the branch condition).
+        offset += proc[j];
+        cost += proc[j] * (pl_next - pe_next);
+        pl = pl_next;
+        pe = pe_next;
+        --pinned;
+      } else {
+        break;
+      }
+    }
+  }
+  return {cost, offset, pinned};
+}
+
+/// \brief Evaluates \p batch sequences of a stride-aligned SoA pool against
+/// the CDD objective: row b lives at seqs[b*stride .. b*stride + n).
+///
+/// Writes costs[b] for every row; \p pinned and \p offsets are optional
+/// parallel outputs.  The instance arrays are read once per row with no
+/// per-candidate dispatch — this is the generation hot path shared by the
+/// serial metaheuristics, the host ensembles and the service.
+inline void EvalCddBatch(std::int32_t n, Time d, const JobId* seqs,
+                         std::int32_t stride, std::int32_t batch,
+                         const Time* proc, const Cost* alpha,
+                         const Cost* beta, Cost* costs,
+                         std::int32_t* pinned = nullptr,
+                         Time* offsets = nullptr) noexcept {
+  for (std::int32_t b = 0; b < batch; ++b) {
+    const EvalResult r = EvalCddFused(
+        n, d, seqs + static_cast<std::size_t>(b) * stride, proc, alpha,
+        beta);
+    costs[b] = r.cost;
+    if (pinned != nullptr) pinned[b] = r.pinned;
+    if (offsets != nullptr) offsets[b] = r.offset;
+  }
+}
+
+/// Single-pass-base variant of EvalUcddcp (bit-identical results): the CDD
+/// relaxation is solved by EvalCddFused, the compression decisions are the
+/// unchanged Property 2 walks.
+inline EvalResult EvalUcddcpFused(std::int32_t n, Time d, const JobId* seq,
+                                  const Time* proc, const Time* minproc,
+                                  const Cost* alpha, const Cost* beta,
+                                  const Cost* gamma,
+                                  Time* x_out = nullptr) noexcept {
+  const EvalResult base = EvalCddFused(n, d, seq, proc, alpha, beta);
+  if (x_out != nullptr) {
+    for (std::int32_t i = 0; i < n; ++i) x_out[i] = 0;
+  }
+  const std::int32_t r = base.pinned;
+  if (r < 0) {
+    return base;
+  }
+
+  Cost cost = 0;
+  Time compressed_before_d = 0;
+
+  Cost sb = 0;
+  for (std::int32_t i = n - 1; i > r; --i) {
+    const JobId j = seq[i];
+    sb += beta[j];
+    const Time reducible = proc[j] - minproc[j];
+    const Time x = (sb > gamma[j]) ? reducible : Time{0};
+    cost += (proc[j] - x) * sb + gamma[j] * x;
+    if (x_out != nullptr) x_out[j] = x;
+  }
+
+  Cost pa = 0;
+  for (std::int32_t i = 0; i <= r; ++i) {
+    const JobId j = seq[i];
+    const Time reducible = proc[j] - minproc[j];
+    const Time x = (pa > gamma[j]) ? reducible : Time{0};
+    cost += (proc[j] - x) * pa + gamma[j] * x;
+    compressed_before_d += proc[j] - x;
+    if (x_out != nullptr) x_out[j] = x;
+    pa += alpha[j];
+  }
+
+  return {cost, d - compressed_before_d, r};
+}
+
+/// Batched UCDDCP evaluation over a stride-aligned SoA pool; see
+/// EvalCddBatch for the layout contract.
+inline void EvalUcddcpBatch(std::int32_t n, Time d, const JobId* seqs,
+                            std::int32_t stride, std::int32_t batch,
+                            const Time* proc, const Time* minproc,
+                            const Cost* alpha, const Cost* beta,
+                            const Cost* gamma, Cost* costs,
+                            std::int32_t* pinned = nullptr,
+                            Time* offsets = nullptr) noexcept {
+  for (std::int32_t b = 0; b < batch; ++b) {
+    const EvalResult r = EvalUcddcpFused(
+        n, d, seqs + static_cast<std::size_t>(b) * stride, proc, minproc,
+        alpha, beta, gamma);
+    costs[b] = r.cost;
+    if (pinned != nullptr) pinned[b] = r.pinned;
+    if (offsets != nullptr) offsets[b] = r.offset;
+  }
 }
 
 }  // namespace cdd::raw

@@ -40,6 +40,14 @@ raw::EvalResult UcddcpEvaluator::EvaluateDetailed(
                          alpha_.data(), beta_.data(), gamma_.data());
 }
 
+void UcddcpEvaluator::EvaluateBatch(CandidatePool& pool) const {
+  const CandidatePoolView v = pool.view();
+  raw::EvalUcddcpBatch(v.n, due_date_, v.seqs, v.stride,
+                       static_cast<std::int32_t>(v.count), proc_.data(),
+                       min_proc_.data(), alpha_.data(), beta_.data(),
+                       gamma_.data(), v.costs, v.pinned);
+}
+
 Schedule UcddcpEvaluator::BuildSchedule(std::span<const JobId> seq) const {
   const auto n = static_cast<std::int32_t>(seq.size());
   std::vector<Time> x(seq.size());

@@ -5,6 +5,7 @@
 
 #include <span>
 
+#include "core/candidate_pool.hpp"
 #include "core/eval_raw.hpp"
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
@@ -24,6 +25,10 @@ class UcddcpEvaluator {
 
   /// Optimal cost plus schedule geometry.
   raw::EvalResult EvaluateDetailed(std::span<const JobId> seq) const;
+
+  /// Evaluates every live row of \p pool in one raw::EvalUcddcpBatch call,
+  /// filling pool.costs() and pool.pinned().
+  void EvaluateBatch(CandidatePool& pool) const;
 
   /// Materializes the optimal compressed schedule of \p seq.
   Schedule BuildSchedule(std::span<const JobId> seq) const;

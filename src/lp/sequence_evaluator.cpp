@@ -49,11 +49,8 @@ Schedule LpSequenceEvaluator::BuildSchedule(
 }
 
 meta::Objective MakeLpObjective(const Instance& instance) {
-  auto evaluator = std::make_shared<LpSequenceEvaluator>(instance);
   return meta::Objective(instance.size(),
-                         [evaluator](std::span<const JobId> seq) {
-                           return evaluator->Evaluate(seq);
-                         });
+                         std::make_shared<LpSequenceEvaluator>(instance));
 }
 
 }  // namespace cdd::lp

@@ -25,14 +25,16 @@ namespace cdd::lp {
 
 /// Evaluates fixed sequences by building and solving the fixed-sequence
 /// linear program.  Accepts every problem variant, including restricted
-/// controllable instances.
-class LpSequenceEvaluator {
+/// controllable instances.  Implements meta::BatchEvaluator so it can back
+/// a SequenceObjective: the inherited EvaluateBatch walks the candidate
+/// pool row by row (one simplex per candidate — there is nothing to fuse).
+class LpSequenceEvaluator : public meta::BatchEvaluator {
  public:
   explicit LpSequenceEvaluator(const Instance& instance);
 
   /// Optimal cost of \p seq (throws std::runtime_error if the simplex
   /// fails to reach optimality — cannot happen for well-formed instances).
-  Cost Evaluate(std::span<const JobId> seq) const;
+  Cost Evaluate(std::span<const JobId> seq) const override;
 
   /// Materializes the LP's optimal schedule (completion times rounded to
   /// the nearest integer; the instances are integral so the LP optimum

@@ -2,13 +2,14 @@
 
 #include <chrono>
 
+#include "core/candidate_pool.hpp"
 #include "meta/ops.hpp"
 #include "rng/philox.hpp"
 #include "trace/tracer.hpp"
 
 namespace cdd::meta {
 
-RunResult RunSerialDpso(const Objective& objective,
+RunResult RunSerialDpso(const SequenceObjective& objective,
                         const DpsoParams& params) {
   CDD_TRACE_SPAN("meta.dpso");
   const auto t_start = std::chrono::steady_clock::now();
@@ -22,11 +23,23 @@ RunResult RunSerialDpso(const Objective& objective,
     Cost best_cost;
   };
 
+  // Whole-swarm SoA pool: every generation stages the updated positions
+  // into the pool's stride-aligned rows and issues one EvaluateBatch call.
+  // The evaluators consume no rng, so splitting "perturb all" from
+  // "evaluate all" leaves the Philox stream order — and therefore every
+  // result — bit-identical to the interleaved loop.
+  CandidatePool pool(n, params.swarm);
+
   RunResult result;
   std::vector<Particle> swarm(params.swarm);
   for (Particle& p : swarm) {
     p.position = RandomSequence(n, rng);
-    p.cost = objective(p.position);
+    pool.Append(p.position);
+  }
+  objective.EvaluateBatch(pool);
+  for (std::size_t b = 0; b < swarm.size(); ++b) {
+    Particle& p = swarm[b];
+    p.cost = pool.costs()[b];
     ++result.evaluations;
     p.best = p.position;
     p.best_cost = p.cost;
@@ -44,6 +57,7 @@ RunResult RunSerialDpso(const Objective& objective,
       result.stopped = true;
       break;
     }
+    pool.Clear();
     for (Particle& p : swarm) {
       // w (+) F1: swap velocity.
       if (rng.NextUniform() < params.w) {
@@ -54,12 +68,19 @@ RunResult RunSerialDpso(const Objective& objective,
         OnePointCrossover(p.position, p.best, rng, scratch);
         p.position.swap(scratch);
       }
-      // c2 (+) F3: two-point crossover with the swarm best.
+      // c2 (+) F3: two-point crossover with the swarm best.  p.best and
+      // result.best are read-only within a generation (personal bests and
+      // g(t) update below), so staging the evaluation is order-safe.
       if (rng.NextUniform() < params.c2) {
         TwoPointCrossover(p.position, result.best, rng, scratch);
         p.position.swap(scratch);
       }
-      p.cost = objective(p.position);
+      pool.Append(p.position);
+    }
+    objective.EvaluateBatch(pool);
+    for (std::size_t b = 0; b < swarm.size(); ++b) {
+      Particle& p = swarm[b];
+      p.cost = pool.costs()[b];
       ++result.evaluations;
       if (p.cost < p.best_cost) {
         p.best_cost = p.cost;

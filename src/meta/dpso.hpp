@@ -31,6 +31,7 @@ struct DpsoParams {
 };
 
 /// Runs the serial DPSO and returns the swarm's best particle.
-RunResult RunSerialDpso(const Objective& objective, const DpsoParams& params);
+RunResult RunSerialDpso(const SequenceObjective& objective,
+                        const DpsoParams& params);
 
 }  // namespace cdd::meta

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/candidate_pool.hpp"
 #include "rng/philox.hpp"
 
 namespace cdd::meta {
 
-RunResult RunEvolutionStrategy(const Objective& objective,
+RunResult RunEvolutionStrategy(const SequenceObjective& objective,
                                const EsParams& params) {
   const auto t_start = std::chrono::steady_clock::now();
   const std::size_t n = objective.size();
@@ -15,8 +16,14 @@ RunResult RunEvolutionStrategy(const Objective& objective,
 
   struct Individual {
     Sequence genome;
-    Cost cost;
+    Cost cost = 0;
   };
+
+  // Offspring are bred directly inside the pool: each child row is a copy
+  // of its parent perturbed in place, and the whole brood is costed with
+  // one EvaluateBatch call per generation.
+  CandidatePool pool(n, std::max<std::uint32_t>(
+                            std::max(params.lambda, params.mu), 1));
 
   RunResult result;
   std::vector<Individual> population;
@@ -24,9 +31,13 @@ RunResult RunEvolutionStrategy(const Objective& objective,
   for (std::uint32_t i = 0; i < params.mu; ++i) {
     Individual ind;
     ind.genome = RandomSequence(n, rng);
-    ind.cost = objective(ind.genome);
-    ++result.evaluations;
+    pool.Append(ind.genome);
     population.push_back(std::move(ind));
+  }
+  objective.EvaluateBatch(pool);
+  for (std::uint32_t i = 0; i < params.mu; ++i) {
+    population[i].cost = pool.costs()[i];
+    ++result.evaluations;
   }
 
   std::vector<std::uint32_t> positions(params.pert);
@@ -39,15 +50,22 @@ RunResult RunEvolutionStrategy(const Objective& objective,
       break;
     }
     const std::size_t parents = population.size();
+    pool.Clear();
     for (std::uint32_t k = 0; k < params.lambda; ++k) {
       const std::uint32_t pick =
           UniformBelow(rng, static_cast<std::uint32_t>(parents));
-      Individual child;
-      child.genome = population[pick].genome;
-      PartialFisherYates(std::span<JobId>(child.genome), params.pert, rng,
+      const std::span<JobId> child =
+          pool.row(pool.Append(population[pick].genome));
+      PartialFisherYates(child, params.pert, rng,
                          std::span<std::uint32_t>(positions),
                          std::span<JobId>(values));
-      child.cost = objective(child.genome);
+    }
+    objective.EvaluateBatch(pool);
+    for (std::uint32_t k = 0; k < params.lambda; ++k) {
+      const std::span<const JobId> genome = pool.row(k);
+      Individual child;
+      child.genome.assign(genome.begin(), genome.end());
+      child.cost = pool.costs()[k];
       ++result.evaluations;
       population.push_back(std::move(child));
     }

@@ -28,7 +28,7 @@ struct EsParams {
 };
 
 /// Runs the serial evolution strategy.
-RunResult RunEvolutionStrategy(const Objective& objective,
+RunResult RunEvolutionStrategy(const SequenceObjective& objective,
                                const EsParams& params);
 
 }  // namespace cdd::meta

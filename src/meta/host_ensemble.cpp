@@ -11,7 +11,7 @@
 
 namespace cdd::meta {
 
-RunResult RunHostEnsembleSa(const Objective& objective,
+RunResult RunHostEnsembleSa(const SequenceObjective& objective,
                             const HostEnsembleParams& params) {
   const auto t_start = std::chrono::steady_clock::now();
 

@@ -34,7 +34,7 @@ struct HostEnsembleParams {
 /// between chains; a stopped run sets RunResult::stopped.  The thread-count
 /// invariance contract applies only to runs that finish unstopped — where a
 /// wall-clock stop lands depends on scheduling by construction.
-RunResult RunHostEnsembleSa(const Objective& objective,
+RunResult RunHostEnsembleSa(const SequenceObjective& objective,
                             const HostEnsembleParams& params);
 
 }  // namespace cdd::meta

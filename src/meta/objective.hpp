@@ -4,55 +4,172 @@
 ///
 /// Layer (i) of the paper's two-layered approach searches over job
 /// sequences; the objective of that search is "optimal schedule cost of the
-/// sequence", provided by the O(n) evaluators of layer (ii).  Objective
-/// packages that as a value type so SA / DPSO / TA / ES are written once
-/// for both problems.
+/// sequence", provided by the O(n) evaluators of layer (ii).
+///
+/// SequenceObjective packages that as a concrete value type.  For kCdd and
+/// kUcddcp instances it owns the flattened SoA instance arrays and calls
+/// the raw evaluators directly — no type erasure, no per-candidate
+/// indirect dispatch.  Engines hand it a whole generation at a time:
+/// EvaluateBatch(pool) runs cdd::raw::EvalCddBatch / EvalUcddcpBatch over
+/// the pool's stride-aligned rows while the instance arrays stay
+/// cache-resident.  The restricted controllable problem (kCddcp) has no
+/// O(n) evaluator; lp::MakeLpObjective supplies a BatchEvaluator fallback
+/// behind the same interface, so every engine is written once.
 
-#include <functional>
-#include <stdexcept>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <vector>
 
-#include "core/eval_cdd.hpp"
-#include "core/eval_ucddcp.hpp"
+#include "core/candidate_pool.hpp"
+#include "core/eval_raw.hpp"
 #include "core/instance.hpp"
+#include "core/sequence.hpp"
 
 namespace cdd::meta {
 
-/// Callable objective over job sequences (lower is better).
-class Objective {
+/// Fallback evaluation backend for objectives with no O(n) algorithm (the
+/// LP-in-the-loop path).  The batch default simply walks the pool — the
+/// virtual call is per *generation*, never per candidate.
+class BatchEvaluator {
  public:
-  using Fn = std::function<Cost(std::span<const JobId>)>;
+  virtual ~BatchEvaluator() = default;
 
-  Objective(std::size_t n, Fn fn) : n_(n), fn_(std::move(fn)) {}
+  /// Optimal cost of one sequence.
+  virtual Cost Evaluate(std::span<const JobId> seq) const = 0;
 
-  /// Builds the appropriate O(n) evaluator for the instance's problem.
+  /// Evaluates every live row of \p pool into pool.costs(); backends with
+  /// no schedule geometry leave pinned[b] = -1.
+  virtual void EvaluateBatch(CandidatePool& pool) const {
+    const std::size_t count = pool.size();
+    for (std::size_t b = 0; b < count; ++b) {
+      pool.costs()[b] = Evaluate(pool.row(b));
+      pool.pinned()[b] = -1;
+    }
+  }
+};
+
+/// Concrete objective over job sequences (lower is better).
+class SequenceObjective {
+ public:
+  /// Builds the O(n) evaluator for the instance's problem.
   /// Problem::kCddcp has no O(n) evaluator — use lp::MakeLpObjective.
-  static Objective ForInstance(const Instance& instance) {
+  static SequenceObjective ForInstance(const Instance& instance) {
     if (instance.problem() == Problem::kCddcp) {
       throw std::invalid_argument(
-          "Objective::ForInstance: the restricted controllable problem has "
-          "no O(n) evaluator; build the objective with lp::MakeLpObjective");
+          "SequenceObjective::ForInstance: the restricted controllable "
+          "problem has no O(n) evaluator; build the objective with "
+          "lp::MakeLpObjective");
     }
-    if (instance.problem() == Problem::kUcddcp) {
-      auto eval = std::make_shared<UcddcpEvaluator>(instance);
-      return Objective(instance.size(),
-                       [eval](std::span<const JobId> seq) {
-                         return eval->Evaluate(seq);
-                       });
-    }
-    auto eval = std::make_shared<CddEvaluator>(instance);
-    return Objective(instance.size(), [eval](std::span<const JobId> seq) {
-      return eval->Evaluate(seq);
-    });
+    return SequenceObjective(instance.problem() == Problem::kUcddcp
+                                 ? Kind::kUcddcp
+                                 : Kind::kCdd,
+                             instance);
   }
 
-  Cost operator()(std::span<const JobId> seq) const { return fn_(seq); }
+  /// Objective backed by a custom evaluation backend (the LP fallback).
+  SequenceObjective(std::size_t n,
+                    std::shared_ptr<const BatchEvaluator> backend)
+      : kind_(Kind::kFallback), n_(n), backend_(std::move(backend)) {
+    if (backend_ == nullptr) {
+      throw std::invalid_argument("SequenceObjective: null backend");
+    }
+  }
+
+  /// Optimal cost of one sequence (the cold path; generations should go
+  /// through EvaluateBatch).
+  Cost Evaluate(std::span<const JobId> seq) const {
+    const auto n = static_cast<std::int32_t>(seq.size());
+    switch (kind_) {
+      case Kind::kCdd:
+        return raw::EvalCddFused(n, d_, seq.data(), proc_.data(),
+                                 alpha_.data(), beta_.data())
+            .cost;
+      case Kind::kUcddcp:
+        return raw::EvalUcddcpFused(n, d_, seq.data(), proc_.data(),
+                                    min_proc_.data(), alpha_.data(),
+                                    beta_.data(), gamma_.data())
+            .cost;
+      case Kind::kFallback:
+        break;
+    }
+    return backend_->Evaluate(seq);
+  }
+
+  Cost operator()(std::span<const JobId> seq) const { return Evaluate(seq); }
+
+  /// Evaluates every live row of \p pool in one call: costs() and pinned()
+  /// are filled per row.  This is the only objective entry point on any
+  /// engine's generation hot path.
+  void EvaluateBatch(CandidatePool& pool) const {
+    const CandidatePoolView v = pool.view();
+    switch (kind_) {
+      case Kind::kCdd:
+        raw::EvalCddBatch(v.n, d_, v.seqs, v.stride,
+                          static_cast<std::int32_t>(v.count), proc_.data(),
+                          alpha_.data(), beta_.data(), v.costs, v.pinned);
+        return;
+      case Kind::kUcddcp:
+        raw::EvalUcddcpBatch(v.n, d_, v.seqs, v.stride,
+                             static_cast<std::int32_t>(v.count),
+                             proc_.data(), min_proc_.data(), alpha_.data(),
+                             beta_.data(), gamma_.data(), v.costs,
+                             v.pinned);
+        return;
+      case Kind::kFallback:
+        backend_->EvaluateBatch(pool);
+        return;
+    }
+  }
+
   std::size_t size() const { return n_; }
 
+  /// True when the objective evaluates through the O(n) SoA fast path
+  /// (false for backend-driven objectives such as the LP fallback).
+  bool direct() const { return kind_ != Kind::kFallback; }
+
  private:
+  enum class Kind { kCdd, kUcddcp, kFallback };
+
+  SequenceObjective(Kind kind, const Instance& instance)
+      : kind_(kind), n_(instance.size()), d_(instance.due_date()) {
+    proc_.reserve(n_);
+    alpha_.reserve(n_);
+    beta_.reserve(n_);
+    const bool controllable = kind == Kind::kUcddcp;
+    if (controllable) {
+      if (!instance.is_unrestricted()) {
+        throw std::invalid_argument(
+            "SequenceObjective: instance is restricted (d < sum P_i); the "
+            "O(n) algorithm of Awasthi et al. requires the unrestricted "
+            "case");
+      }
+      min_proc_.reserve(n_);
+      gamma_.reserve(n_);
+    }
+    for (const Job& j : instance.jobs()) {
+      proc_.push_back(j.proc);
+      alpha_.push_back(j.early);
+      beta_.push_back(j.tardy);
+      if (controllable) {
+        min_proc_.push_back(j.min_proc);
+        gamma_.push_back(j.compress);
+      }
+    }
+  }
+
+  Kind kind_;
   std::size_t n_;
-  Fn fn_;
+  Time d_ = 0;
+  std::vector<Time> proc_;
+  std::vector<Time> min_proc_;
+  std::vector<Cost> alpha_;
+  std::vector<Cost> beta_;
+  std::vector<Cost> gamma_;
+  std::shared_ptr<const BatchEvaluator> backend_;
 };
+
+/// Historical name; every engine now takes the concrete SequenceObjective.
+using Objective = SequenceObjective;
 
 }  // namespace cdd::meta

@@ -1,15 +1,18 @@
 #include "meta/sa.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
+#include "core/candidate_pool.hpp"
 #include "meta/temperature.hpp"
 #include "rng/philox.hpp"
 #include "trace/tracer.hpp"
 
 namespace cdd::meta {
 
-RunResult RunSerialSa(const Objective& objective, const SaParams& params,
+RunResult RunSerialSa(const SequenceObjective& objective,
+                      const SaParams& params,
                       const std::optional<Sequence>& initial) {
   CDD_TRACE_SPAN("meta.sa");
   const auto t_start = std::chrono::steady_clock::now();
@@ -32,7 +35,12 @@ RunResult RunSerialSa(const Objective& objective, const SaParams& params,
   const CoolingSchedule schedule(params.cooling, t0, params.mu,
                                  params.iterations);
 
-  Sequence candidate = current;
+  // The SA chain is sequential, so its "generation" is one candidate: the
+  // neighbour is perturbed directly inside a single-row pool and evaluated
+  // with one EvaluateBatch call — the same entry point the population
+  // engines use, with no per-candidate dispatch.
+  CandidatePool pool(n, /*capacity=*/1);
+  const std::span<JobId> candidate = pool.row(pool.AppendUninitialized());
   std::vector<std::uint32_t> positions(params.pert);
   std::vector<JobId> values(params.pert);
 
@@ -43,16 +51,17 @@ RunResult RunSerialSa(const Objective& objective, const SaParams& params,
       break;
     }
     const double temperature = schedule(i);
-    candidate = current;
+    std::copy(current.begin(), current.end(), candidate.begin());
     if (params.neighborhood == NeighborhoodMode::kShuffleEveryIteration ||
         i % period == 0) {
-      PartialFisherYates(std::span<JobId>(candidate), params.pert, rng,
+      PartialFisherYates(candidate, params.pert, rng,
                          std::span<std::uint32_t>(positions),
                          std::span<JobId>(values));
     } else {
-      RandomSwap(std::span<JobId>(candidate), rng);
+      RandomSwap(candidate, rng);
     }
-    const Cost new_energy = objective(candidate);
+    objective.EvaluateBatch(pool);
+    const Cost new_energy = pool.costs()[0];
     ++result.evaluations;
 
     // Metropolis: always accept improvements; accept uphill moves with
@@ -62,7 +71,7 @@ RunResult RunSerialSa(const Objective& objective, const SaParams& params,
         std::exp(static_cast<double>(energy - new_energy) /
                  std::max(temperature, 1e-300));
     if (accept >= u) {
-      current.swap(candidate);
+      current.assign(candidate.begin(), candidate.end());
       energy = new_energy;
       if (energy < result.best_cost) {
         result.best_cost = energy;

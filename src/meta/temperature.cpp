@@ -3,23 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/candidate_pool.hpp"
 #include "rng/philox.hpp"
 
 namespace cdd::meta {
 
-double InitialTemperature(const Objective& objective, std::uint64_t samples,
-                          std::uint64_t seed) {
+double InitialTemperature(const SequenceObjective& objective,
+                          std::uint64_t samples, std::uint64_t seed) {
   rng::Philox4x32 rng(seed, /*stream=*/0x70DEADBEEFULL);
   Sequence seq = IdentitySequence(objective.size());
-  // Welford's online algorithm: numerically stable single pass.
+  // Sampling runs in pool-sized chunks: each chunk reshuffles `seq`
+  // cumulatively (identical Philox consumption to the one-by-one loop) and
+  // costs the whole chunk with one EvaluateBatch.  Welford's online update
+  // then consumes the costs in their original sample order, so the
+  // resulting temperature is bit-identical.
+  constexpr std::uint64_t kChunk = 256;
+  CandidatePool pool(objective.size(),
+                     static_cast<std::size_t>(std::min(
+                         std::max<std::uint64_t>(samples, 1), kChunk)));
   double mean = 0.0;
   double m2 = 0.0;
-  for (std::uint64_t k = 1; k <= samples; ++k) {
-    FisherYates(std::span<JobId>(seq), rng);
-    const double value = static_cast<double>(objective(seq));
-    const double delta = value - mean;
-    mean += delta / static_cast<double>(k);
-    m2 += delta * (value - mean);
+  std::uint64_t k = 0;
+  while (k < samples) {
+    pool.Clear();
+    const std::uint64_t batch = std::min<std::uint64_t>(samples - k, kChunk);
+    for (std::uint64_t b = 0; b < batch; ++b) {
+      FisherYates(std::span<JobId>(seq), rng);
+      pool.Append(seq);
+    }
+    objective.EvaluateBatch(pool);
+    for (std::uint64_t b = 0; b < batch; ++b) {
+      ++k;
+      const double value = static_cast<double>(pool.costs()[b]);
+      const double delta = value - mean;
+      mean += delta / static_cast<double>(k);
+      m2 += delta * (value - mean);
+    }
   }
   const double variance =
       samples > 1 ? m2 / static_cast<double>(samples - 1) : 0.0;

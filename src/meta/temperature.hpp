@@ -17,7 +17,7 @@ namespace cdd::meta {
 /// sequences, drawn with a Philox stream derived from \p seed.
 /// Returns at least 1.0 so the metropolis rule never divides by zero on
 /// degenerate instances (e.g. all penalties equal).
-double InitialTemperature(const Objective& objective,
+double InitialTemperature(const SequenceObjective& objective,
                           std::uint64_t samples = 5000,
                           std::uint64_t seed = 0x5eed);
 

@@ -1,13 +1,15 @@
 #include "meta/threshold.hpp"
 
+#include <algorithm>
 #include <chrono>
 
+#include "core/candidate_pool.hpp"
 #include "meta/temperature.hpp"
 #include "rng/philox.hpp"
 
 namespace cdd::meta {
 
-RunResult RunThresholdAccepting(const Objective& objective,
+RunResult RunThresholdAccepting(const SequenceObjective& objective,
                                 const TaParams& params,
                                 const std::optional<Sequence>& initial) {
   const auto t_start = std::chrono::steady_clock::now();
@@ -27,7 +29,10 @@ RunResult RunThresholdAccepting(const Objective& objective,
           : 0.5 * InitialTemperature(objective, params.temp_samples,
                                      params.seed);
 
-  Sequence candidate = current;
+  // Like the SA chain, TA is sequential: one pool row per iteration,
+  // perturbed in place and evaluated through the batch entry point.
+  CandidatePool pool(n, /*capacity=*/1);
+  const std::span<JobId> candidate = pool.row(pool.AppendUninitialized());
   std::vector<std::uint32_t> positions(params.pert);
   std::vector<JobId> values(params.pert);
 
@@ -36,14 +41,15 @@ RunResult RunThresholdAccepting(const Objective& objective,
       result.stopped = true;
       break;
     }
-    candidate = current;
-    PartialFisherYates(std::span<JobId>(candidate), params.pert, rng,
+    std::copy(current.begin(), current.end(), candidate.begin());
+    PartialFisherYates(candidate, params.pert, rng,
                        std::span<std::uint32_t>(positions),
                        std::span<JobId>(values));
-    const Cost new_energy = objective(candidate);
+    objective.EvaluateBatch(pool);
+    const Cost new_energy = pool.costs()[0];
     ++result.evaluations;
     if (static_cast<double>(new_energy - energy) <= threshold) {
-      current.swap(candidate);
+      current.assign(candidate.begin(), candidate.end());
       energy = new_energy;
       if (energy < result.best_cost) {
         result.best_cost = energy;

@@ -35,7 +35,7 @@ struct TaParams {
 
 /// Runs serial Threshold Accepting.
 RunResult RunThresholdAccepting(
-    const Objective& objective, const TaParams& params,
+    const SequenceObjective& objective, const TaParams& params,
     const std::optional<Sequence>& initial = std::nullopt);
 
 }  // namespace cdd::meta

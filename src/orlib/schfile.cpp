@@ -1,5 +1,6 @@
 #include "orlib/schfile.hpp"
 
+#include <fstream>
 #include <istream>
 #include <numeric>
 #include <ostream>
@@ -8,10 +9,12 @@
 namespace cdd::orlib {
 namespace {
 
-/// Line-oriented token reader that tracks line numbers for diagnostics.
+/// Line-oriented token reader that tracks line numbers (and optionally the
+/// source file path) for diagnostics.
 class TokenReader {
  public:
-  explicit TokenReader(std::istream& in) : in_(in) {}
+  TokenReader(std::istream& in, const std::string& file)
+      : in_(in), file_(file) {}
 
   /// Next whitespace-separated integer token; throws SchParseError at EOF
   /// or on a non-numeric token.
@@ -22,7 +25,7 @@ class TokenReader {
         if (!std::getline(in_, line_)) {
           throw SchParseError(std::string("unexpected end of file, wanted ") +
                                   what,
-                              line_no_);
+                              line_no_, file_);
         }
         ++line_no_;
         line_stream_.clear();
@@ -39,26 +42,46 @@ class TokenReader {
     } catch (const std::exception&) {
       throw SchParseError("expected integer for " + std::string(what) +
                               ", got '" + token + "'",
-                          line_no_);
+                          line_no_, file_);
+    }
+  }
+
+  /// True when nothing but whitespace remains in the input.
+  bool AtEnd() {
+    std::string token;
+    for (;;) {
+      if (line_stream_ >> token) {
+        leftover_ = token;
+        return false;
+      }
+      if (!std::getline(in_, line_)) return true;
+      ++line_no_;
+      line_stream_.clear();
+      line_stream_.str(line_);
     }
   }
 
   std::size_t line() const { return line_no_; }
+  const std::string& file() const { return file_; }
+  const std::string& leftover() const { return leftover_; }
 
  private:
   std::istream& in_;
+  std::string file_;
   std::string line_;
+  std::string leftover_;
   std::istringstream line_stream_;
   std::size_t line_no_ = 0;
 };
 
-std::vector<JobTable> ParseFile(std::istream& in, int columns) {
-  TokenReader reader(in);
+std::vector<JobTable> ParseFile(std::istream& in, int columns,
+                                const std::string& file = "") {
+  TokenReader reader(in, file);
   const long long count = reader.NextInt("instance count");
   if (count < 1 || count > 1'000'000) {
     throw SchParseError("implausible instance count " +
                             std::to_string(count),
-                        reader.line());
+                        reader.line(), file);
   }
   std::vector<JobTable> tables;
   tables.reserve(static_cast<std::size_t>(count));
@@ -66,7 +89,7 @@ std::vector<JobTable> ParseFile(std::istream& in, int columns) {
     const long long n = reader.NextInt("job count");
     if (n < 1 || n > 10'000'000) {
       throw SchParseError("implausible job count " + std::to_string(n),
-                          reader.line());
+                          reader.line(), file);
     }
     JobTable jobs(static_cast<std::size_t>(n));
     for (Job& j : jobs) {
@@ -80,19 +103,36 @@ std::vector<JobTable> ParseFile(std::istream& in, int columns) {
       j.tardy = reader.NextInt("tardiness penalty");
       j.compress = columns == 5 ? reader.NextInt("compression penalty") : 0;
       if (j.proc < 1) {
-        throw SchParseError("processing time must be >= 1", reader.line());
+        throw SchParseError("processing time must be >= 1", reader.line(),
+                            file);
       }
       if (j.min_proc < 0 || j.min_proc > j.proc) {
         throw SchParseError("minimum processing time outside [0, p]",
-                            reader.line());
+                            reader.line(), file);
       }
       if (j.early < 0 || j.tardy < 0 || j.compress < 0) {
-        throw SchParseError("negative penalty", reader.line());
+        throw SchParseError("negative penalty", reader.line(), file);
       }
     }
     tables.push_back(std::move(jobs));
   }
+  // A well-formed file ends after its declared instances; leftover tokens
+  // almost always mean a wrong count or a concatenated/corrupted file.
+  if (!reader.AtEnd()) {
+    throw SchParseError("trailing data after the declared " +
+                            std::to_string(count) + " instance(s): '" +
+                            reader.leftover() + "'",
+                        reader.line(), file);
+  }
   return tables;
+}
+
+std::vector<JobTable> LoadFile(const std::string& path, int columns) {
+  std::ifstream in(path);
+  if (!in) {
+    throw SchParseError("cannot open file", 0, path);
+  }
+  return ParseFile(in, columns, path);
 }
 
 }  // namespace
@@ -103,6 +143,14 @@ std::vector<JobTable> ParseCddFile(std::istream& in) {
 
 std::vector<JobTable> ParseUcddcpFile(std::istream& in) {
   return ParseFile(in, 5);
+}
+
+std::vector<JobTable> LoadCddFile(const std::string& path) {
+  return LoadFile(path, 3);
+}
+
+std::vector<JobTable> LoadUcddcpFile(const std::string& path) {
+  return LoadFile(path, 5);
 }
 
 void WriteCddFile(std::ostream& out, const std::vector<JobTable>& tables) {

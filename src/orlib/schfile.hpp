@@ -19,7 +19,8 @@
 ///   p_i m_i a_i b_i g_i
 /// and the unrestricted due date d = sum p_i.
 ///
-/// Parse errors throw SchParseError with a line number.
+/// Parse errors throw SchParseError carrying the offending line number and,
+/// when the input came from a file, the file path ("path:line: ...").
 
 #include <iosfwd>
 #include <stdexcept>
@@ -30,17 +31,29 @@
 
 namespace cdd::orlib {
 
-/// Error raised for malformed benchmark files.
+/// Error raised for malformed or truncated benchmark files.
 class SchParseError : public std::runtime_error {
  public:
-  SchParseError(const std::string& what, std::size_t line)
-      : std::runtime_error("sch parse error (line " + std::to_string(line) +
-                           "): " + what),
-        line_(line) {}
+  SchParseError(const std::string& what, std::size_t line,
+                const std::string& file = "")
+      : std::runtime_error(Format(what, line, file)),
+        line_(line),
+        file_(file) {}
   std::size_t line() const { return line_; }
+  /// Source file path; empty when parsing an anonymous stream.
+  const std::string& file() const { return file_; }
 
  private:
+  static std::string Format(const std::string& what, std::size_t line,
+                            const std::string& file) {
+    const std::string at = file.empty()
+                               ? "line " + std::to_string(line)
+                               : file + ":" + std::to_string(line);
+    return "sch parse error (" + at + "): " + what;
+  }
+
   std::size_t line_;
+  std::string file_;
 };
 
 /// Job table of one parsed instance (no due date yet for CDD files).
@@ -51,6 +64,13 @@ std::vector<JobTable> ParseCddFile(std::istream& in);
 
 /// Parses a UCDDCP file (5 columns per job).
 std::vector<JobTable> ParseUcddcpFile(std::istream& in);
+
+/// Opens and parses a CDD sch file.  Throws SchParseError with the path in
+/// the message for unreadable, malformed or truncated files.
+std::vector<JobTable> LoadCddFile(const std::string& path);
+
+/// Opens and parses a UCDDCP 5-column file, with the same diagnostics.
+std::vector<JobTable> LoadUcddcpFile(const std::string& path);
 
 /// Writes job tables in CDD sch format.
 void WriteCddFile(std::ostream& out, const std::vector<JobTable>& tables);

@@ -33,12 +33,10 @@ std::vector<JobId> MakeInitialSequences(std::uint32_t ensemble,
 }
 
 void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
-                   const LaunchConfig& config, const JobId* seqs,
-                   Cost* costs, const char* kernel_name,
-                   PenaltyMemory memory) {
+                   const LaunchConfig& config, const CandidatePoolView& pool,
+                   const char* kernel_name, PenaltyMemory memory) {
   const std::int32_t n = problem.n();
   const Time d = problem.due_date();
-  const std::uint32_t ensemble = config.ensemble();
   const bool controllable = problem.controllable();
   const Time* proc = problem.proc();
   const Time* min_proc = problem.min_proc();
@@ -79,20 +77,23 @@ void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
                    1);
         }
         const std::uint64_t tid = t.global_thread();
-        if (tid >= ensemble) return;
-        const JobId* seq = seqs + tid * n;
+        if (tid >= pool.count) return;
+        const JobId* seq = pool.row(static_cast<std::uint32_t>(tid));
         cdd::raw::EvalResult r;
         // Charge split: sequence/processing-time traffic is always global;
         // the two penalty streams go through the selected memory path.
+        // The fused single-pass evaluators return bit-identical costs to
+        // the two-pass references, and the charge model is kept unchanged
+        // so the modeled device timing is unaffected by the fusion.
         std::uint64_t other_units;
         std::uint64_t penalty_units;
         if (controllable) {
-          r = cdd::raw::EvalUcddcp(n, d, seq, proc, min_proc, alpha, beta,
-                                   gamma);
+          r = cdd::raw::EvalUcddcpFused(n, d, seq, proc, min_proc, alpha,
+                                        beta, gamma);
           other_units = 3 * static_cast<std::uint64_t>(n);
           penalty_units = 2 * static_cast<std::uint64_t>(n);
         } else {
-          r = cdd::raw::EvalCdd(n, d, seq, proc, alpha, beta);
+          r = cdd::raw::EvalCddFused(n, d, seq, proc, alpha, beta);
           other_units = static_cast<std::uint64_t>(n);
           penalty_units = 2 * static_cast<std::uint64_t>(n);
         }
@@ -112,7 +113,10 @@ void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
             t.charge(penalty_units);
             break;
         }
-        costs[tid] = r.cost;
+        pool.costs[tid] = r.cost;
+        if (pool.pinned != nullptr) {
+          pool.pinned[tid] = r.pinned;
+        }
       });
 }
 

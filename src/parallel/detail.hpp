@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/candidate_pool.hpp"
 #include "core/sequence.hpp"
 #include "cudasim/device.hpp"
 #include "cudasim/memory.hpp"
@@ -33,13 +34,15 @@ std::vector<JobId> MakeInitialSequences(std::uint32_t ensemble,
 /// future work (Section IX); kGlobal is the unoptimized baseline.
 enum class PenaltyMemory { kShared, kGlobal, kTexture };
 
-/// Launches the fitness kernel of Section VI-A on `ensemble` threads:
-/// cooperative staging of alpha/beta into shared memory (where they fit),
-/// read-only texture fetches, or direct global reads, per \p memory.
-/// Evaluates seqs[t*n..) into costs[t].
+/// Launches the fitness kernel of Section VI-A over the rows of \p pool —
+/// the same CandidatePoolView geometry the host engines batch through,
+/// here built over device buffers (thread t evaluates pool.row(t) into
+/// pool.costs[t]; pool.pinned may be null).  Penalty reads go through
+/// cooperative shared-memory staging (where they fit), read-only texture
+/// fetches, or direct global loads, per \p memory.
 void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
-                   const LaunchConfig& config, const JobId* seqs,
-                   Cost* costs, const char* kernel_name,
+                   const LaunchConfig& config, const CandidatePoolView& pool,
+                   const char* kernel_name,
                    PenaltyMemory memory = PenaltyMemory::kShared);
 
 /// How the best-of-ensemble reduction is implemented.

@@ -73,8 +73,12 @@ GpuRunResult RunParallelDpso(sim::Device& device, const Instance& instance,
   Cost* d_pbest_cost = pbest_cost.data();
   std::int64_t* d_packed = packed_best.data();
 
+  // Positions as a device-side candidate pool (dense rows, stride == n).
+  const CandidatePoolView pos_pool{d_pos, d_pos_cost, nullptr, n, n,
+                                   ensemble};
+
   // Initial fitness, particle bests and swarm best.
-  detail::LaunchFitness(device, problem, params.config, d_pos, d_pos_cost,
+  detail::LaunchFitness(device, problem, params.config, pos_pool,
                         "dpso_fitness");
   result.evaluations += ensemble;
   {
@@ -164,7 +168,7 @@ GpuRunResult RunParallelDpso(sim::Device& device, const Instance& instance,
     }
 
     // --- fitness -----------------------------------------------------------
-    detail::LaunchFitness(device, problem, params.config, d_pos, d_pos_cost,
+    detail::LaunchFitness(device, problem, params.config, pos_pool,
                           "dpso_fitness");
     result.evaluations += ensemble;
 

@@ -39,7 +39,8 @@ GpuRunResult RunParallelSa(sim::Device& device, const Instance& instance,
   // --- host-side setup ----------------------------------------------------
   // Initial temperature via the Salamon rule (Section VI) — host work, as
   // in the paper.
-  const meta::Objective objective = meta::Objective::ForInstance(instance);
+  const meta::SequenceObjective objective =
+      meta::SequenceObjective::ForInstance(instance);
   const double t0 =
       params.initial_temperature > 0.0
           ? params.initial_temperature
@@ -78,10 +79,18 @@ GpuRunResult RunParallelSa(sim::Device& device, const Instance& instance,
 
   GpuRunResult result;
 
+  // Pool views over the device buffers: same row geometry the host
+  // engines evaluate through (stride == n — rows are dense on device).
+  const CandidatePoolView curr_pool{curr.data(), curr_cost.data(),
+                                    nullptr,     n,
+                                    n,           ensemble};
+  const CandidatePoolView cand_pool{cand.data(), cand_cost.data(),
+                                    nullptr,     n,
+                                    n,           ensemble};
+
   // Initial fitness of the uploaded ensemble.
-  detail::LaunchFitness(device, problem, params.config, curr.data(),
-                        curr_cost.data(), "sa_fitness",
-                        params.penalty_memory);
+  detail::LaunchFitness(device, problem, params.config, curr_pool,
+                        "sa_fitness", params.penalty_memory);
   result.evaluations += ensemble;
   {
     // Seed the per-thread bests from the initial states.
@@ -147,9 +156,8 @@ GpuRunResult RunParallelSa(sim::Device& device, const Instance& instance,
     }
 
     // --- kernel 2: fitness (Section VI-A) --------------------------------
-    detail::LaunchFitness(device, problem, params.config, d_cand,
-                          d_cand_cost, "sa_fitness",
-                          params.penalty_memory);
+    detail::LaunchFitness(device, problem, params.config, cand_pool,
+                          "sa_fitness", params.penalty_memory);
     result.evaluations += ensemble;
 
     // --- kernel 3: acceptance (Section VI-C) ------------------------------

@@ -29,7 +29,8 @@ GpuRunResult RunParallelSaSync(sim::Device& device, const Instance& instance,
   }
   const std::uint32_t ensemble = params.config.ensemble();
 
-  const meta::Objective objective = meta::Objective::ForInstance(instance);
+  const meta::SequenceObjective objective =
+      meta::SequenceObjective::ForInstance(instance);
   const double t0 =
       params.initial_temperature > 0.0
           ? params.initial_temperature
@@ -62,8 +63,14 @@ GpuRunResult RunParallelSaSync(sim::Device& device, const Instance& instance,
   }
 
   GpuRunResult result;
-  detail::LaunchFitness(device, problem, params.config, curr.data(),
-                        curr_cost.data(), "sync_fitness");
+  const CandidatePoolView curr_pool{curr.data(), curr_cost.data(),
+                                    nullptr,     n,
+                                    n,           ensemble};
+  const CandidatePoolView cand_pool{cand.data(), cand_cost.data(),
+                                    nullptr,     n,
+                                    n,           ensemble};
+  detail::LaunchFitness(device, problem, params.config, curr_pool,
+                        "sync_fitness");
   result.evaluations += ensemble;
 
   const std::uint64_t seed = params.seed;
@@ -119,8 +126,8 @@ GpuRunResult RunParallelSaSync(sim::Device& device, const Instance& instance,
               }
             });
       }
-      detail::LaunchFitness(device, problem, params.config, d_cand,
-                            d_cand_cost, "sync_fitness");
+      detail::LaunchFitness(device, problem, params.config, cand_pool,
+                            "sync_fitness");
       result.evaluations += ensemble;
       {
         sim::LaunchOptions opts;

@@ -46,8 +46,8 @@ EngineRegistry MakeDefault() {
         params.seed = options.seed;
         params.trajectory_stride = options.trajectory_stride;
         params.stop = options.stop;
-        const meta::Objective objective =
-            meta::Objective::ForInstance(instance);
+        const meta::SequenceObjective objective =
+            meta::SequenceObjective::ForInstance(instance);
         return EngineRun{meta::RunSerialSa(objective, params), 0.0};
       });
 
@@ -58,8 +58,8 @@ EngineRegistry MakeDefault() {
         params.seed = options.seed;
         params.trajectory_stride = options.trajectory_stride;
         params.stop = options.stop;
-        const meta::Objective objective =
-            meta::Objective::ForInstance(instance);
+        const meta::SequenceObjective objective =
+            meta::SequenceObjective::ForInstance(instance);
         return EngineRun{meta::RunSerialDpso(objective, params), 0.0};
       });
 
@@ -70,8 +70,8 @@ EngineRegistry MakeDefault() {
         params.seed = options.seed;
         params.trajectory_stride = options.trajectory_stride;
         params.stop = options.stop;
-        const meta::Objective objective =
-            meta::Objective::ForInstance(instance);
+        const meta::SequenceObjective objective =
+            meta::SequenceObjective::ForInstance(instance);
         return EngineRun{meta::RunThresholdAccepting(objective, params),
                          0.0};
       });
@@ -83,8 +83,8 @@ EngineRegistry MakeDefault() {
         params.seed = options.seed;
         params.trajectory_stride = options.trajectory_stride;
         params.stop = options.stop;
-        const meta::Objective objective =
-            meta::Objective::ForInstance(instance);
+        const meta::SequenceObjective objective =
+            meta::SequenceObjective::ForInstance(instance);
         return EngineRun{meta::RunEvolutionStrategy(objective, params),
                          0.0};
       });
@@ -97,8 +97,8 @@ EngineRegistry MakeDefault() {
         params.chain.iterations = options.generations;
         params.chain.seed = options.seed;
         params.chain.stop = options.stop;
-        const meta::Objective objective =
-            meta::Objective::ForInstance(instance);
+        const meta::SequenceObjective objective =
+            meta::SequenceObjective::ForInstance(instance);
         return EngineRun{meta::RunHostEnsembleSa(objective, params), 0.0};
       });
 

@@ -1,0 +1,89 @@
+/// CandidatePool layout and lifecycle tests.
+
+#include "core/candidate_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <type_traits>
+
+#include "core/sequence.hpp"
+
+namespace cdd {
+namespace {
+
+TEST(CandidatePool, StrideRoundsUpToCacheLineMultiples) {
+  // 64-byte lines over 4-byte JobIds: stride is a multiple of 16 >= n.
+  EXPECT_EQ(CandidatePool(1, 4).stride(), CandidatePool::kRowAlign);
+  EXPECT_EQ(CandidatePool(16, 4).stride(), 16u);
+  EXPECT_EQ(CandidatePool(17, 4).stride(), 32u);
+  EXPECT_EQ(CandidatePool(50, 4).stride(), 64u);
+}
+
+TEST(CandidatePool, RejectsEmptySequences) {
+  EXPECT_THROW(CandidatePool(0, 4), std::invalid_argument);
+}
+
+TEST(CandidatePool, AppendCopiesAndReportsRowIndices) {
+  CandidatePool pool(5, 3);
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(pool.Append(Sequence{0, 1, 2, 3, 4}), 0u);
+  EXPECT_EQ(pool.Append(Sequence{4, 3, 2, 1, 0}), 1u);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_FALSE(pool.full());
+  EXPECT_EQ(pool.row(1)[0], 4);
+  EXPECT_EQ(pool.row(0)[4], 4);
+
+  // Rows are independent: mutating one leaves its neighbours alone.
+  pool.row(0)[0] = 9;
+  EXPECT_EQ(pool.row(1)[0], 4);
+}
+
+TEST(CandidatePool, AppendValidatesLengthAndCapacity) {
+  CandidatePool pool(5, 1);
+  EXPECT_THROW(pool.Append(Sequence{0, 1, 2}), std::invalid_argument);
+  pool.Append(Sequence{0, 1, 2, 3, 4});
+  EXPECT_TRUE(pool.full());
+  EXPECT_THROW(pool.AppendUninitialized(), std::length_error);
+  pool.Clear();
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(pool.AppendUninitialized(), 0u);
+}
+
+TEST(CandidatePool, ViewSharesStorageWithRows) {
+  CandidatePool pool(6, 2);
+  pool.Append(Sequence{5, 4, 3, 2, 1, 0});
+  const CandidatePoolView v = pool.view();
+  EXPECT_EQ(v.n, 6);
+  EXPECT_EQ(v.count, 1u);
+  EXPECT_GE(v.stride, v.n);
+  EXPECT_EQ(v.row(0), pool.row(0).data());
+  v.row(0)[0] = 7;
+  EXPECT_EQ(pool.row(0)[0], 7);
+  EXPECT_EQ(v.costs, pool.costs().data());
+}
+
+TEST(CandidatePool, ShadowBufferSwapsInConstantTime) {
+  CandidatePool pool(4, 2);
+  pool.Append(Sequence{0, 1, 2, 3});
+  pool.Append(Sequence{3, 2, 1, 0});
+  // Stage the next generation in shadow rows, then flip.
+  const Sequence survivor{1, 0, 3, 2};
+  for (std::size_t b = 0; b < 2; ++b) {
+    std::copy(survivor.begin(), survivor.end(), pool.shadow_row(b).begin());
+  }
+  pool.SwapBuffers();
+  EXPECT_EQ(pool.row(0)[0], 1);
+  EXPECT_EQ(pool.row(1)[3], 2);
+}
+
+TEST(CandidatePoolView, IsTriviallyCopyable) {
+  // The cudasim kernels capture views by value; this property is load-
+  // bearing, not stylistic.
+  static_assert(std::is_trivially_copyable_v<CandidatePoolView>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cdd

@@ -1,0 +1,186 @@
+/// Property tests for the batched SoA evaluators: EvalCddBatch /
+/// EvalUcddcpBatch must agree bit-for-bit with the scalar reference
+/// algorithms (EvalCdd / EvalUcddcp), with the fused single-pass variants,
+/// and — on small instances — with the LP oracle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/test_instances.hpp"
+#include "core/candidate_pool.hpp"
+#include "core/eval_cdd.hpp"
+#include "core/eval_raw.hpp"
+#include "core/eval_ucddcp.hpp"
+#include "core/instance.hpp"
+#include "core/sequence.hpp"
+#include "lp/sequence_evaluator.hpp"
+#include "meta/objective.hpp"
+
+namespace cdd {
+namespace {
+
+/// Fills a pool with `batch` random permutations of the instance's jobs.
+CandidatePool RandomPool(std::size_t n, std::size_t batch,
+                         std::uint64_t seed) {
+  CandidatePool pool(n, batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    pool.Append(testing::RandomSeq(static_cast<std::uint32_t>(n),
+                                   seed * 1000 + b));
+  }
+  return pool;
+}
+
+/// Batch result == scalar EvalCdd == EvalCddFused, row by row, including
+/// the schedule geometry (offset, pinned position).
+void ExpectCddBatchMatchesScalar(const Instance& instance,
+                                 std::uint64_t seed, std::size_t batch) {
+  const CddEvaluator eval(instance);
+  const auto n = static_cast<std::int32_t>(instance.size());
+  CandidatePool pool = RandomPool(instance.size(), batch, seed);
+  const CandidatePoolView v = pool.view();
+  std::vector<Time> offsets(batch, -1);
+  raw::EvalCddBatch(n, eval.due_date(), v.seqs, v.stride,
+                    static_cast<std::int32_t>(v.count), eval.proc_data(),
+                    eval.alpha_data(), eval.beta_data(), v.costs, v.pinned,
+                    offsets.data());
+  for (std::size_t b = 0; b < batch; ++b) {
+    const raw::EvalResult two_pass =
+        raw::EvalCdd(n, eval.due_date(), pool.row(b).data(),
+                     eval.proc_data(), eval.alpha_data(), eval.beta_data());
+    const raw::EvalResult fused = raw::EvalCddFused(
+        n, eval.due_date(), pool.row(b).data(), eval.proc_data(),
+        eval.alpha_data(), eval.beta_data());
+    ASSERT_EQ(pool.costs()[b], two_pass.cost)
+        << "n=" << n << " seed=" << seed << " row=" << b;
+    ASSERT_EQ(pool.pinned()[b], two_pass.pinned);
+    ASSERT_EQ(offsets[b], two_pass.offset);
+    ASSERT_EQ(fused.cost, two_pass.cost);
+    ASSERT_EQ(fused.pinned, two_pass.pinned);
+    ASSERT_EQ(fused.offset, two_pass.offset);
+  }
+}
+
+TEST(EvalCddBatch, MatchesScalarOnRandomInstances) {
+  for (const std::uint32_t n : {1u, 2u, 5u, 12u, 30u}) {
+    for (const double h : {0.2, 0.6, 1.2}) {
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        ExpectCddBatchMatchesScalar(testing::RandomCdd(n, h, seed), seed,
+                                    /*batch=*/8);
+      }
+    }
+  }
+}
+
+TEST(EvalCddBatch, MatchesScalarOnEdgeInstances) {
+  // All-tardy: d = 0 forces every completion past the due date.
+  ExpectCddBatchMatchesScalar(
+      Instance(Problem::kCdd, /*d=*/0, {3, 1, 4}, {5, 2, 7}, {2, 6, 1}),
+      /*seed=*/11, /*batch=*/6);
+  // All-early reachable: d = sum P, the whole block fits left of d.
+  ExpectCddBatchMatchesScalar(
+      Instance(Problem::kCdd, /*d=*/8, {3, 1, 4}, {5, 2, 7}, {2, 6, 1}),
+      /*seed=*/12, /*batch=*/6);
+  // Zero earliness penalties: sliding right never pays, pinned may stay -1.
+  ExpectCddBatchMatchesScalar(
+      Instance(Problem::kCdd, /*d=*/6, {3, 1, 4}, {0, 0, 0}, {2, 6, 1}),
+      /*seed=*/13, /*batch=*/6);
+  // Single job.
+  ExpectCddBatchMatchesScalar(
+      Instance(Problem::kCdd, /*d=*/5, {4}, {3}, {2}), /*seed=*/14,
+      /*batch=*/3);
+}
+
+TEST(EvalCddBatch, MatchesLpOracleOnSmallInstances) {
+  for (const std::uint32_t n : {1u, 3u, 6u, 8u}) {
+    for (const double h : {0.3, 0.7}) {
+      const Instance instance = testing::RandomCdd(n, h, 97 + n);
+      const CddEvaluator eval(instance);
+      const lp::LpSequenceEvaluator oracle(instance);
+      CandidatePool pool = RandomPool(n, /*batch=*/4, /*seed=*/n + 41);
+      eval.EvaluateBatch(pool);
+      for (std::size_t b = 0; b < pool.size(); ++b) {
+        ASSERT_EQ(pool.costs()[b], oracle.Evaluate(pool.row(b)))
+            << "n=" << n << " h=" << h << " row=" << b;
+      }
+    }
+  }
+}
+
+TEST(EvalUcddcpBatch, MatchesScalarOnRandomInstances) {
+  for (const std::uint32_t n : {1u, 2u, 5u, 12u, 30u}) {
+    for (const double h : {1.0, 1.4}) {  // unrestricted requires h >= 1
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const Instance instance = testing::RandomUcddcp(n, h, seed);
+        const UcddcpEvaluator eval(instance);
+        const auto nn = static_cast<std::int32_t>(n);
+        CandidatePool pool = RandomPool(n, /*batch=*/8, seed + 7);
+        const CandidatePoolView v = pool.view();
+        std::vector<Time> offsets(pool.size(), -1);
+        raw::EvalUcddcpBatch(nn, eval.due_date(), v.seqs, v.stride,
+                             static_cast<std::int32_t>(v.count),
+                             eval.proc_data(), eval.min_proc_data(),
+                             eval.alpha_data(), eval.beta_data(),
+                             eval.gamma_data(), v.costs, v.pinned,
+                             offsets.data());
+        for (std::size_t b = 0; b < pool.size(); ++b) {
+          const raw::EvalResult ref = raw::EvalUcddcp(
+              nn, eval.due_date(), pool.row(b).data(), eval.proc_data(),
+              eval.min_proc_data(), eval.alpha_data(), eval.beta_data(),
+              eval.gamma_data());
+          ASSERT_EQ(pool.costs()[b], ref.cost)
+              << "n=" << n << " seed=" << seed << " row=" << b;
+          ASSERT_EQ(pool.pinned()[b], ref.pinned);
+          ASSERT_EQ(offsets[b], ref.offset);
+        }
+      }
+    }
+  }
+}
+
+TEST(EvalUcddcpBatch, MatchesLpOracleOnSmallInstances) {
+  for (const std::uint32_t n : {1u, 3u, 6u}) {
+    const Instance instance = testing::RandomUcddcp(n, 1.3, 55 + n);
+    const UcddcpEvaluator eval(instance);
+    const lp::LpSequenceEvaluator oracle(instance);
+    CandidatePool pool = RandomPool(n, /*batch=*/4, /*seed=*/n + 71);
+    eval.EvaluateBatch(pool);
+    for (std::size_t b = 0; b < pool.size(); ++b) {
+      ASSERT_EQ(pool.costs()[b], oracle.Evaluate(pool.row(b)))
+          << "n=" << n << " row=" << b;
+    }
+  }
+}
+
+TEST(EvalUcddcpBatch, MatchesPaperExample) {
+  const Instance instance = testing::PaperExampleUcddcp();
+  const UcddcpEvaluator eval(instance);
+  CandidatePool pool(instance.size(), 2);
+  pool.Append(Sequence{0, 1, 2, 3, 4});
+  pool.Append(Sequence{4, 3, 2, 1, 0});
+  eval.EvaluateBatch(pool);
+  for (std::size_t b = 0; b < pool.size(); ++b) {
+    EXPECT_EQ(pool.costs()[b], eval.Evaluate(pool.row(b)));
+  }
+}
+
+/// The objective facade must route a mixed workload through the same
+/// batch kernels: EvaluateBatch(pool) == Evaluate(row) for every row.
+TEST(SequenceObjective, BatchAgreesWithScalarFacade) {
+  const Instance cdd = testing::RandomCdd(9, 0.5, 3);
+  const Instance ucddcp = testing::RandomUcddcp(9, 1.2, 3);
+  for (const Instance* instance : {&cdd, &ucddcp}) {
+    const meta::SequenceObjective objective =
+        meta::SequenceObjective::ForInstance(*instance);
+    CandidatePool pool = RandomPool(instance->size(), /*batch=*/6,
+                                    /*seed=*/29);
+    objective.EvaluateBatch(pool);
+    for (std::size_t b = 0; b < pool.size(); ++b) {
+      ASSERT_EQ(pool.costs()[b], objective.Evaluate(pool.row(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdd

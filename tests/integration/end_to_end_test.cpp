@@ -6,7 +6,10 @@
 
 #include <sstream>
 
+#include "core/eval_cdd.hpp"
+#include "core/eval_ucddcp.hpp"
 #include "core/exact.hpp"
+#include "core/schedule.hpp"
 #include "rng/philox.hpp"
 #include "core/reference_eval.hpp"
 #include "cudasim/device.hpp"

@@ -35,12 +35,45 @@ TEST(Objective, OutlivesTheInstanceItWasBuiltFrom) {
   EXPECT_EQ((*objective)(seq), (*objective)(seq));  // stable
 }
 
-TEST(Objective, CustomCallablesWork) {
-  const Objective constant(4, [](std::span<const JobId>) {
-    return Cost{7};
-  });
+class ConstantEvaluator : public BatchEvaluator {
+ public:
+  Cost Evaluate(std::span<const JobId>) const override { return Cost{7}; }
+};
+
+TEST(Objective, CustomBackendsWork) {
+  const Objective constant(4, std::make_shared<ConstantEvaluator>());
   EXPECT_EQ(constant(IdentitySequence(4)), 7);
   EXPECT_EQ(constant.size(), 4u);
+  EXPECT_FALSE(constant.direct());
+
+  // The default batch path walks the pool and marks pinned unknown.
+  CandidatePool pool(4, 3);
+  for (int b = 0; b < 3; ++b) pool.Append(IdentitySequence(4));
+  constant.EvaluateBatch(pool);
+  for (int b = 0; b < 3; ++b) {
+    EXPECT_EQ(pool.costs()[b], 7);
+    EXPECT_EQ(pool.pinned()[b], -1);
+  }
+}
+
+TEST(Objective, NullBackendRefused) {
+  EXPECT_THROW(Objective(4, nullptr), std::invalid_argument);
+}
+
+TEST(Objective, DirectObjectivesFillBatchGeometry) {
+  const Instance cdd = cdd::testing::PaperExampleCdd();
+  const Objective objective = Objective::ForInstance(cdd);
+  EXPECT_TRUE(objective.direct());
+  CandidatePool pool(5, 2);
+  pool.Append(IdentitySequence(5));
+  pool.Append(IdentitySequence(5));
+  objective.EvaluateBatch(pool);
+  const CddEvaluator reference(cdd);
+  const raw::EvalResult want = reference.EvaluateDetailed(IdentitySequence(5));
+  for (int b = 0; b < 2; ++b) {
+    EXPECT_EQ(pool.costs()[b], want.cost);
+    EXPECT_EQ(pool.pinned()[b], want.pinned);
+  }
 }
 
 TEST(Objective, RestrictedControllableRefusedWithGuidance) {

@@ -156,9 +156,14 @@ TEST(SerialSa, UnstoppedRunIsBitIdenticalWithAndWithoutToken) {
   EXPECT_EQ(bare.evaluations, tokened.evaluations);
 }
 
+class FlatEvaluator : public BatchEvaluator {
+ public:
+  Cost Evaluate(std::span<const JobId>) const override { return Cost{42}; }
+};
+
 TEST(InitialTemperature, MatchesFitnessSpread) {
   // Constant objective => spread 0 => clamped to 1.
-  const Objective flat(6, [](std::span<const JobId>) { return Cost{42}; });
+  const Objective flat(6, std::make_shared<FlatEvaluator>());
   EXPECT_DOUBLE_EQ(InitialTemperature(flat, 500, 1), 1.0);
 
   // Non-trivial instance: positive spread, deterministic per seed.

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "orlib/biskup_feldmann.hpp"
@@ -96,6 +98,67 @@ TEST(SchFile, RejectsSemanticViolations) {
 TEST(SchFile, EmptyStreamFailsCleanly) {
   std::stringstream empty;
   EXPECT_THROW(ParseCddFile(empty), SchParseError);
+}
+
+TEST(SchFile, RejectsTrailingData) {
+  // One declared instance followed by a stray token: almost certainly a
+  // wrong count or a concatenated file, never silently ignored.
+  std::stringstream stream("1\n1\n4 1 2\n99\n");
+  try {
+    ParseCddFile(stream);
+    FAIL() << "expected SchParseError";
+  } catch (const SchParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing data"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'99'"), std::string::npos);
+  }
+  // Trailing whitespace / blank lines stay fine.
+  std::stringstream ok("1\n1\n4 1 2\n\n   \n");
+  EXPECT_EQ(ParseCddFile(ok).size(), 1u);
+}
+
+TEST(SchFile, LoadReportsPathForMissingFile) {
+  const std::string path = "/nonexistent/dir/jobs.sch";
+  try {
+    LoadCddFile(path);
+    FAIL() << "expected SchParseError";
+  } catch (const SchParseError& e) {
+    EXPECT_EQ(e.file(), path);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
+}
+
+TEST(SchFile, LoadReportsPathAndLineForMalformedFile) {
+  const std::string path =
+      ::testing::TempDir() + "/schfile_test_malformed.sch";
+  {
+    std::ofstream out(path);
+    out << "1\n2\n4 1 2\n5 x 6\n";  // bad token on line 4
+  }
+  try {
+    LoadCddFile(path);
+    FAIL() << "expected SchParseError";
+  } catch (const SchParseError& e) {
+    EXPECT_EQ(e.file(), path);
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(std::string(e.what()).find(path + ":4"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SchFile, LoadRoundTripsAWellFormedFile) {
+  const std::string path = ::testing::TempDir() + "/schfile_test_ok.sch";
+  const BiskupFeldmannGenerator gen;
+  const std::vector<JobTable> original{gen.JobData(8, 2)};
+  {
+    std::ofstream out(path);
+    WriteCddFile(out, original);
+  }
+  const std::vector<JobTable> loaded = LoadCddFile(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0], original[0]);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/test_instances.hpp"
+#include "core/eval_cdd.hpp"
 #include "parallel/detail.hpp"
 #include "parallel/parallel_sa.hpp"
 

@@ -103,13 +103,11 @@ int main(int argc, char** argv) {
     Instance instance(Problem::kCdd, 1, {1}, {0}, {0});
     const std::string file = args.GetString("file", "");
     if (!file.empty()) {
-      std::ifstream in(file);
-      if (!in) {
-        std::cerr << "error: cannot open " << file << "\n";
-        return 1;
-      }
-      const auto tables = ucddcp ? orlib::ParseUcddcpFile(in)
-                                 : orlib::ParseCddFile(in);
+      // LoadCddFile/LoadUcddcpFile report unreadable, malformed and
+      // truncated files as SchParseError with "path:line" context; the
+      // catch below prints exactly that.
+      const auto tables = ucddcp ? orlib::LoadUcddcpFile(file)
+                                 : orlib::LoadCddFile(file);
       if (index >= tables.size()) {
         std::cerr << "error: file holds " << tables.size()
                   << " instances, index " << index << " out of range\n";
