@@ -7,13 +7,19 @@
 /// pits the two hot paths against each other on identical pools and checks
 /// that the costs are bit-identical — the refactor's core promise.
 ///
+/// On top of that it times the two builds of the batch walk itself: the
+/// portable scalar loop (raw::EvalCddBatch) against the lane-per-candidate
+/// SIMD transposition (raw::EvalCddBatchSimd, AVX2 / NEON — see
+/// core/eval_simd.hpp), again pinning bit-identity.  The header line names
+/// the backend the dispatching call sites resolved to on this host.
+///
 ///   bench_eval_batch [--sizes 50,200,500] [--batch 768] [--seed 1]
 ///                    [--json BENCH_eval.json] [--smoke]
 ///
 /// --smoke runs a fast verification-only pass (tiny rep counts, no JSON) —
-/// the CI hook.  The full run writes BENCH_eval.json with evals/sec for
-/// both paths per size; results/exp_eval_batch.txt captures the stdout
-/// table.
+/// the CI hook, run once per CDD_EVAL_BACKEND value.  The full run writes
+/// BENCH_eval.json with evals/sec for all four paths per size;
+/// results/exp_eval_simd.txt captures the stdout table.
 
 #include <chrono>
 #include <cstdint>
@@ -27,7 +33,10 @@
 #include "benchutil/table.hpp"
 #include "common/test_instances.hpp"
 #include "core/candidate_pool.hpp"
+#include "core/cpu_features.hpp"
 #include "core/eval_cdd.hpp"
+#include "core/eval_raw.hpp"
+#include "core/eval_simd.hpp"
 #include "core/sequence.hpp"
 
 namespace {
@@ -44,6 +53,10 @@ struct SizeResult {
   double batch_evals_per_sec = 0;
   double speedup = 0;
   bool identical = false;
+  double scalar_batch_evals_per_sec = 0;
+  double simd_batch_evals_per_sec = 0;
+  double simd_speedup = 0;
+  bool simd_identical = false;
 };
 
 }  // namespace
@@ -52,7 +65,8 @@ int main(int argc, char** argv) {
   using namespace cdd;
   const benchutil::Args args(argc, argv);
   if (args.GetBool("help")) {
-    std::cout << "Batched vs per-candidate std::function evaluation.\n"
+    std::cout << "Batched vs per-candidate std::function evaluation, plus\n"
+                 "scalar-batch vs SIMD-batch (lane-per-candidate) builds.\n"
                  "Flags: --sizes list --batch B --seed S --json PATH "
                  "--smoke\n";
     return 0;
@@ -64,10 +78,16 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
   const std::string json_path = args.GetString("json", "BENCH_eval.json");
 
+  const std::string_view backend = core::ToString(core::ActiveEvalBackend());
+  const char* isa = raw::SimdBatchIsa();
   std::cout << "=== Batched SoA evaluation vs std::function dispatch "
-            << "(B=" << batch << (smoke ? ", smoke" : "") << ") ===\n";
+            << "(B=" << batch << (smoke ? ", smoke" : "") << ") ===\n"
+            << "dispatch backend: " << backend << " (simd isa: " << isa
+            << ", available: " << (raw::SimdBatchAvailable() ? "yes" : "no")
+            << ")\n";
   benchutil::TextTable table({"n", "fn evals/s", "batch evals/s", "speedup",
-                              "bit-identical"});
+                              "scalar evals/s", "simd evals/s",
+                              "simd speedup", "bit-identical"});
   std::vector<SizeResult> results;
   bool all_identical = true;
 
@@ -78,11 +98,16 @@ int main(int argc, char** argv) {
     for (std::uint32_t b = 0; b < batch; ++b) {
       pool.Append(testing::RandomSeq(n, seed * 10'000 + b));
     }
+    const CandidatePoolView view = pool.view();
+    const auto nn = static_cast<std::int32_t>(n);
+    const auto bb = static_cast<std::int32_t>(batch);
 
     // The pre-refactor hot path: one type-erased call per candidate.
     const std::function<Cost(std::span<const JobId>)> objective =
         [&eval](std::span<const JobId> seq) { return eval.Evaluate(seq); };
     std::vector<Cost> fn_costs(batch, 0);
+    std::vector<Cost> scalar_costs(batch, 0);
+    std::vector<Cost> simd_costs(batch, 0);
 
     // Size the rep counts so each timed section does comparable work
     // regardless of n (~50M job-steps for the full run).
@@ -92,11 +117,17 @@ int main(int argc, char** argv) {
                     3, 50'000'000 /
                            (static_cast<std::uint64_t>(n) * batch));
 
-    // Warm both paths once (also produces the comparison data).
+    // Warm all paths once (also produces the comparison data).
     for (std::uint32_t b = 0; b < batch; ++b) {
       fn_costs[b] = objective(pool.row(b));
     }
     eval.EvaluateBatch(pool);
+    raw::EvalCddBatch(nn, eval.due_date(), view.seqs, view.stride, bb,
+                      eval.proc_data(), eval.alpha_data(), eval.beta_data(),
+                      scalar_costs.data());
+    raw::EvalCddBatchSimd(nn, eval.due_date(), view.seqs, view.stride, bb,
+                          eval.proc_data(), eval.alpha_data(),
+                          eval.beta_data(), simd_costs.data());
 
     const Clock::time_point t0 = Clock::now();
     for (std::uint64_t r = 0; r < reps; ++r) {
@@ -109,12 +140,27 @@ int main(int argc, char** argv) {
       eval.EvaluateBatch(pool);
     }
     const Clock::time_point t2 = Clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      raw::EvalCddBatch(nn, eval.due_date(), view.seqs, view.stride, bb,
+                        eval.proc_data(), eval.alpha_data(),
+                        eval.beta_data(), scalar_costs.data());
+    }
+    const Clock::time_point t3 = Clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      raw::EvalCddBatchSimd(nn, eval.due_date(), view.seqs, view.stride, bb,
+                            eval.proc_data(), eval.alpha_data(),
+                            eval.beta_data(), simd_costs.data());
+    }
+    const Clock::time_point t4 = Clock::now();
 
     bool identical = true;
+    bool simd_identical = true;
     for (std::uint32_t b = 0; b < batch; ++b) {
       identical = identical && pool.costs()[b] == fn_costs[b];
+      simd_identical = simd_identical && simd_costs[b] == scalar_costs[b] &&
+                       simd_costs[b] == fn_costs[b];
     }
-    all_identical = all_identical && identical;
+    all_identical = all_identical && identical && simd_identical;
 
     const double evals = static_cast<double>(reps) * batch;
     SizeResult row;
@@ -123,22 +169,31 @@ int main(int argc, char** argv) {
     row.batch_evals_per_sec = evals / Seconds(t1, t2);
     row.speedup = row.batch_evals_per_sec / row.function_evals_per_sec;
     row.identical = identical;
+    row.scalar_batch_evals_per_sec = evals / Seconds(t2, t3);
+    row.simd_batch_evals_per_sec = evals / Seconds(t3, t4);
+    row.simd_speedup =
+        row.simd_batch_evals_per_sec / row.scalar_batch_evals_per_sec;
+    row.simd_identical = simd_identical;
     results.push_back(row);
     table.AddRow({std::to_string(n),
                   benchutil::FmtDouble(row.function_evals_per_sec, 0),
                   benchutil::FmtDouble(row.batch_evals_per_sec, 0),
                   benchutil::FmtDouble(row.speedup, 2),
-                  identical ? "yes" : "NO"});
+                  benchutil::FmtDouble(row.scalar_batch_evals_per_sec, 0),
+                  benchutil::FmtDouble(row.simd_batch_evals_per_sec, 0),
+                  benchutil::FmtDouble(row.simd_speedup, 2),
+                  identical && simd_identical ? "yes" : "NO"});
   }
   std::cout << table.ToString();
 
   if (!all_identical) {
-    std::cerr << "FAIL: batched costs differ from per-candidate costs\n";
+    std::cerr << "FAIL: evaluation paths disagree (function vs batch vs "
+                 "scalar vs simd)\n";
     return 1;
   }
   if (smoke) {
-    std::cout << "\nsmoke: batched evaluation bit-identical to "
-                 "std::function dispatch on all sizes\n";
+    std::cout << "\nsmoke: function, batch, scalar-batch and simd-batch "
+                 "evaluation all bit-identical on all sizes\n";
     return 0;
   }
 
@@ -148,7 +203,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   json << "{\n  \"bench\": \"eval_batch\",\n  \"batch\": " << batch
-       << ",\n  \"results\": [\n";
+       << ",\n  \"backend\": \"" << backend << "\",\n  \"simd_isa\": \""
+       << isa << "\",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SizeResult& r = results[i];
     json << "    {\"n\": " << r.n << ", \"function_evals_per_sec\": "
@@ -157,7 +213,15 @@ int main(int argc, char** argv) {
          << benchutil::FmtDouble(r.batch_evals_per_sec, 0)
          << ", \"speedup\": " << benchutil::FmtDouble(r.speedup, 3)
          << ", \"bit_identical\": " << (r.identical ? "true" : "false")
-         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+         << ", \"scalar_batch_evals_per_sec\": "
+         << benchutil::FmtDouble(r.scalar_batch_evals_per_sec, 0)
+         << ", \"simd_batch_evals_per_sec\": "
+         << benchutil::FmtDouble(r.simd_batch_evals_per_sec, 0)
+         << ", \"simd_speedup\": "
+         << benchutil::FmtDouble(r.simd_speedup, 3)
+         << ", \"simd_bit_identical\": "
+         << (r.simd_identical ? "true" : "false") << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   std::cout << "\nwrote " << json_path << "\n";

@@ -24,7 +24,17 @@
 /// virtual dispatch, movable, and the raw view() is trivially copyable so
 /// the cudasim fitness kernel can consume the same geometry for device
 /// buffers.
+///
+/// View invalidation rule: SwapBuffers() exchanges the live and shadow
+/// sequence storage, so every CandidatePoolView taken before the swap
+/// points at what are now the *shadow* rows.  A view is valid only until
+/// the next SwapBuffers() on its pool; engines that hold one across a swap
+/// must re-fetch it with view().  Each swap bumps a buffer-generation
+/// counter recorded by view(); CandidatePoolView::current() reports
+/// staleness, row() asserts it in debug builds, and views built over
+/// device buffers (no owning pool) are exempt.
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -43,8 +53,21 @@ struct CandidatePoolView {
   std::int32_t n = 0;             ///< jobs per sequence
   std::int32_t stride = 0;        ///< row pitch in elements (>= n)
   std::uint32_t count = 0;        ///< number of live rows
+  /// Buffer generation of the owning pool when this view was taken; stale
+  /// after the pool's next SwapBuffers() (see the file comment).
+  std::uint32_t generation = 0;
+  /// The owning pool's live generation counter, or nullptr for views over
+  /// device buffers / raw storage, which never go stale.
+  const std::uint32_t* pool_generation = nullptr;
+
+  /// False exactly when the owning pool swapped buffers after this view
+  /// was taken, i.e. when seqs now aliases the shadow rows.
+  bool current() const {
+    return pool_generation == nullptr || *pool_generation == generation;
+  }
 
   JobId* row(std::uint32_t b) const {
+    assert(current() && "stale CandidatePoolView: pool swapped buffers");
     return seqs + static_cast<std::size_t>(b) * stride;
   }
 };
@@ -92,7 +115,17 @@ class CandidatePool {
 
   /// O(1) exchange of live and shadow sequence storage.  Costs and pinned
   /// arrays describe whatever was evaluated last and are not swapped.
-  void SwapBuffers() { seqs_.swap(shadow_); }
+  /// Invalidates every outstanding view (see the file comment): the swap
+  /// bumps the buffer generation, so stale views fail current() and the
+  /// debug assert in CandidatePoolView::row().
+  void SwapBuffers() {
+    seqs_.swap(shadow_);
+    ++generation_;
+  }
+
+  /// Buffer generation: bumped once per SwapBuffers().  Views record the
+  /// value at creation; a mismatch marks the view stale.
+  std::uint32_t generation() const { return generation_; }
 
   /// Per-row results of the last EvaluateBatch over this pool.
   std::span<Cost> costs() { return {costs_.data(), size_}; }
@@ -102,14 +135,17 @@ class CandidatePool {
     return {pinned_.data(), size_};
   }
 
-  /// Raw view over the live rows (the batch evaluators' input).
+  /// Raw view over the live rows (the batch evaluators' input).  Valid
+  /// until the next SwapBuffers() on this pool; re-fetch after a swap.
   CandidatePoolView view() {
     return {seqs_.data(),
             costs_.data(),
             pinned_.data(),
             static_cast<std::int32_t>(n_),
             static_cast<std::int32_t>(stride_),
-            static_cast<std::uint32_t>(size_)};
+            static_cast<std::uint32_t>(size_),
+            generation_,
+            &generation_};
   }
 
  private:
@@ -117,6 +153,7 @@ class CandidatePool {
   std::size_t stride_;
   std::size_t capacity_;
   std::size_t size_ = 0;
+  std::uint32_t generation_ = 0;
   std::vector<JobId> seqs_;
   std::vector<JobId> shadow_;
   std::vector<Cost> costs_;

@@ -1,0 +1,56 @@
+#include "core/cpu_features.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "core/eval_simd.hpp"
+
+namespace cdd::core {
+
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures features;
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+#elif defined(__aarch64__)
+  // Advanced SIMD is part of the AArch64 baseline; no runtime probe needed.
+  features.neon = true;
+#endif
+  return features;
+}
+
+EvalBackend Resolve() {
+  const bool simd_runs = raw::SimdBatchAvailable();
+  if (const char* env = std::getenv("CDD_EVAL_BACKEND")) {
+    const std::string_view value(env);
+    if (value == "scalar") return EvalBackend::kScalar;
+    if (value == "simd") {
+      // Forcing SIMD on a host that cannot execute it would be a crash,
+      // not a preference; degrade to scalar (results are identical).
+      return simd_runs ? EvalBackend::kSimd : EvalBackend::kScalar;
+    }
+    // Unknown value: fall through to the automatic choice.
+  }
+  return simd_runs ? EvalBackend::kSimd : EvalBackend::kScalar;
+}
+
+}  // namespace
+
+const CpuFeatures& HostCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+std::string_view ToString(EvalBackend backend) {
+  return backend == EvalBackend::kSimd ? "simd" : "scalar";
+}
+
+EvalBackend ActiveEvalBackend() {
+  static const EvalBackend backend = Resolve();
+  return backend;
+}
+
+}  // namespace cdd::core

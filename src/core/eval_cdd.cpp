@@ -1,5 +1,7 @@
 #include "core/eval_cdd.hpp"
 
+#include "core/eval_simd.hpp"
+
 namespace cdd {
 
 CddEvaluator::CddEvaluator(const Instance& instance)
@@ -29,9 +31,9 @@ raw::EvalResult CddEvaluator::EvaluateDetailed(
 
 void CddEvaluator::EvaluateBatch(CandidatePool& pool) const {
   const CandidatePoolView v = pool.view();
-  raw::EvalCddBatch(v.n, due_date_, v.seqs, v.stride,
-                    static_cast<std::int32_t>(v.count), proc_.data(),
-                    alpha_.data(), beta_.data(), v.costs, v.pinned);
+  raw::EvalCddBatchDispatch(v.n, due_date_, v.seqs, v.stride,
+                            static_cast<std::int32_t>(v.count), proc_.data(),
+                            alpha_.data(), beta_.data(), v.costs, v.pinned);
 }
 
 Schedule CddEvaluator::BuildSchedule(std::span<const JobId> seq) const {

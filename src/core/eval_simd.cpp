@@ -1,0 +1,795 @@
+#include "core/eval_simd.hpp"
+
+#include <vector>
+
+#include "core/cpu_features.hpp"
+#include "core/eval_raw.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CDD_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define CDD_SIMD_NEON 1
+#endif
+
+namespace cdd::raw {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable lane-transposed kernels (the compile-time NEON backend).
+//
+// One lane per candidate, outer loop over sequence positions.  Every lane
+// update is a branch-free select on exactly the condition the scalar
+// EvalCddFused evaluates, so the per-lane arithmetic is the scalar
+// algorithm verbatim — the compiler maps the K-wide inner loops onto
+// Advanced SIMD on aarch64 and onto whatever the host offers elsewhere.
+// ---------------------------------------------------------------------------
+
+template <int K>
+void CddLanesPortable(std::int32_t n, Time d, const JobId* seqs,
+                      const std::int64_t* row_off, const Time* proc,
+                      const Cost* alpha, const Cost* beta, Cost* cost_out,
+                      std::int64_t* pinned_out, Time* offset_out) noexcept {
+  Time c[K] = {};
+  Time prefix_tau[K] = {};
+  std::int64_t tau[K];
+  Cost pe[K] = {};
+  Cost pl[K] = {};
+  Cost cost[K] = {};
+  for (int k = 0; k < K; ++k) tau[k] = -1;
+
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (int k = 0; k < K; ++k) {
+      const JobId j = seqs[row_off[k] + i];
+      const Time pj = proc[j];
+      const Cost aj = alpha[j];
+      const Cost bj = beta[j];
+      c[k] += pj;
+      const bool early = c[k] <= d;
+      tau[k] = early ? i : tau[k];
+      prefix_tau[k] = early ? c[k] : prefix_tau[k];
+      pe[k] += early ? aj : Cost{0};
+      pl[k] += early ? Cost{0} : bj;
+      cost[k] += early ? aj * (d - c[k]) : bj * (c[k] - d);
+    }
+  }
+
+  Time offset[K] = {};
+  std::int64_t pinned[K];
+  bool active[K];
+  bool any = false;
+  for (int k = 0; k < K; ++k) {
+    const bool has_tau = tau[k] >= 0;
+    const bool slide = has_tau && prefix_tau[k] < d && pl[k] < pe[k];
+    const bool at_bp = has_tau && prefix_tau[k] >= d;
+    offset[k] = slide ? d - prefix_tau[k] : Time{0};
+    cost[k] += slide ? offset[k] * (pl[k] - pe[k]) : Cost{0};
+    pinned[k] = (slide || at_bp) ? tau[k] : std::int64_t{-1};
+    active[k] = pinned[k] > 0;
+    any = any || active[k];
+  }
+
+  // Crossing loop of Theorem 1 with masked lane retirement: a lane leaves
+  // the walk exactly when its scalar counterpart would break.
+  while (any) {
+    any = false;
+    for (int k = 0; k < K; ++k) {
+      if (!active[k]) continue;
+      const JobId j = seqs[row_off[k] + pinned[k]];
+      const Cost pl_next = pl[k] + beta[j];
+      const Cost pe_next = pe[k] - alpha[j];
+      if (pl_next < pe_next) {
+        const Time pj = proc[j];
+        offset[k] += pj;
+        cost[k] += pj * (pl_next - pe_next);
+        pl[k] = pl_next;
+        pe[k] = pe_next;
+        --pinned[k];
+        active[k] = pinned[k] > 0;
+      } else {
+        active[k] = false;
+      }
+      any = any || active[k];
+    }
+  }
+
+  for (int k = 0; k < K; ++k) {
+    cost_out[k] = cost[k];
+    pinned_out[k] = pinned[k];
+    offset_out[k] = offset[k];
+  }
+}
+
+template <int K>
+void UcddcpLanesPortable(std::int32_t n, Time d, const JobId* seqs,
+                         const std::int64_t* row_off, const Time* proc,
+                         const Time* minproc, const Cost* alpha,
+                         const Cost* beta, const Cost* gamma, Cost* cost_out,
+                         std::int64_t* pinned_out,
+                         Time* offset_out) noexcept {
+  Cost base_cost[K];
+  std::int64_t r[K];
+  Time base_offset[K];
+  CddLanesPortable<K>(n, d, seqs, row_off, proc, alpha, beta, base_cost, r,
+                      base_offset);
+
+  Cost cost[K] = {};
+  Time compressed[K] = {};
+  Cost sb[K] = {};
+  Cost pa[K] = {};
+
+  // Tardy side (Property 2): lane k participates while i > r[k]; lanes
+  // with no pinned job (r < 0) never enter either walk.
+  for (std::int32_t i = n - 1; i >= 1; --i) {
+    bool any = false;
+    for (int k = 0; k < K; ++k) {
+      if (r[k] < 0 || i <= r[k]) continue;
+      any = true;
+      const JobId j = seqs[row_off[k] + i];
+      sb[k] += beta[j];
+      const Time reducible = proc[j] - minproc[j];
+      const Time x = (sb[k] > gamma[j]) ? reducible : Time{0};
+      cost[k] += (proc[j] - x) * sb[k] + gamma[j] * x;
+    }
+    if (!any) break;
+  }
+
+  // Early side: lane k participates while i <= r[k].
+  for (std::int32_t i = 0; i < n; ++i) {
+    bool any = false;
+    for (int k = 0; k < K; ++k) {
+      if (r[k] < 0 || i > r[k]) continue;
+      any = true;
+      const JobId j = seqs[row_off[k] + i];
+      const Time reducible = proc[j] - minproc[j];
+      const Time x = (pa[k] > gamma[j]) ? reducible : Time{0};
+      cost[k] += (proc[j] - x) * pa[k] + gamma[j] * x;
+      compressed[k] += proc[j] - x;
+      pa[k] += alpha[j];
+    }
+    if (!any) break;
+  }
+
+  for (int k = 0; k < K; ++k) {
+    const bool part = r[k] >= 0;
+    cost_out[k] = part ? cost[k] : base_cost[k];
+    offset_out[k] = part ? d - compressed[k] : base_offset[k];
+    pinned_out[k] = r[k];
+  }
+}
+
+/// Lanes per group in the portable kernels: 2x64-bit matches one NEON
+/// vector register (and keeps the x86 test build honest about what the
+/// aarch64 build executes).
+constexpr int kPortableLanes = 2;
+
+template <int K>
+void StoreLanes(const Cost* cost, const std::int64_t* pinned,
+                const Time* offset, std::int32_t b, Cost* costs,
+                std::int32_t* pinned_out, Time* offsets_out) noexcept {
+  for (int k = 0; k < K; ++k) {
+    costs[b + k] = cost[k];
+    if (pinned_out != nullptr) {
+      pinned_out[b + k] = static_cast<std::int32_t>(pinned[k]);
+    }
+    if (offsets_out != nullptr) offsets_out[b + k] = offset[k];
+  }
+}
+
+#if defined(CDD_SIMD_X86)
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels: 4 candidates per vector, 64-bit lanes.
+//
+// Two structural facts make the hot loop cheap:
+//
+//  * The completion time c only grows, so the early/tardy condition is
+//    monotone per lane.  The position scan therefore splits into an
+//    all-early phase, a short mixed phase around the due-date crossing,
+//    and an all-tardy phase — the two long phases carry no masks, no
+//    blends, and touch only the fields they need.
+//  * With 16-bit instance fields and 31-bit field sums (see Packable)
+//    every partial sum — c, pe, pl, |c - d|, the walk prefixes — stays
+//    below 2^31, so every product is one vpmuludq (32x32 -> 64, exact).
+//
+// Each phase reads one 32-bit packed word per lane and step,
+// (alpha << 16) | proc in the early phase and (beta << 16) | proc in the
+// tardy phase, assembled with plain scalar loads: vpgather is microcoded
+// on most production x86 cores (and slowed further by the Downfall
+// mitigation), four independent loads are not.  The breakpoint slide and
+// Theorem-1 crossing walk run scalar per lane — they touch a handful of
+// positions, and scalarizing them removes the masked-lane machinery from
+// the kernel entirely.
+// ---------------------------------------------------------------------------
+
+constexpr std::int64_t kFieldLimit = std::int64_t{1} << 16;
+constexpr std::int64_t kSumLimit = std::int64_t{1} << 31;
+
+/// The AVX2 kernels require every instance field to fit 16 bits and every
+/// field sum (and d) to fit 31 bits — see the block comment above.  Every
+/// benchmark family is orders of magnitude inside these bounds (P_i <= 20,
+/// penalties <= 15); wider instances take the scalar batch, which is
+/// bit-identical anyway.
+bool Packable(std::int32_t n, Time d, const Time* proc, const Cost* alpha,
+              const Cost* beta) noexcept {
+  if (d < 0 || d >= kSumLimit) return false;
+  std::int64_t sp = 0;
+  std::int64_t sa = 0;
+  std::int64_t sb = 0;
+  for (std::int32_t j = 0; j < n; ++j) {
+    if (proc[j] < 0 || proc[j] >= kFieldLimit) return false;
+    if (alpha[j] < 0 || alpha[j] >= kFieldLimit) return false;
+    if (beta[j] < 0 || beta[j] >= kFieldLimit) return false;
+    sp += proc[j];
+    sa += alpha[j];
+    sb += beta[j];
+  }
+  return sp < kSumLimit && sa < kSumLimit && sb < kSumLimit;
+}
+
+bool Packable2(std::int32_t n, const Time* minproc,
+               const Cost* gamma) noexcept {
+  for (std::int32_t j = 0; j < n; ++j) {
+    if (minproc[j] < 0 || minproc[j] >= kFieldLimit) return false;
+    if (gamma[j] < 0 || gamma[j] >= kFieldLimit) return false;
+  }
+  return true;
+}
+
+/// (alpha << 16) | proc, one 32-bit word per job id — everything an
+/// early-phase step touches in one load.
+const std::uint32_t* PackEarly32(std::int32_t n, const Time* proc,
+                                 const Cost* alpha) {
+  static thread_local std::vector<std::uint32_t> scratch;
+  scratch.resize(static_cast<std::size_t>(n));
+  for (std::int32_t j = 0; j < n; ++j) {
+    scratch[static_cast<std::size_t>(j)] =
+        static_cast<std::uint32_t>((alpha[j] << 16) | proc[j]);
+  }
+  return scratch.data();
+}
+
+/// (beta << 16) | proc, one 32-bit word per job id (tardy-phase data).
+const std::uint32_t* PackTardy32(std::int32_t n, const Time* proc,
+                                 const Cost* beta) {
+  static thread_local std::vector<std::uint32_t> scratch;
+  scratch.resize(static_cast<std::size_t>(n));
+  for (std::int32_t j = 0; j < n; ++j) {
+    scratch[static_cast<std::size_t>(j)] =
+        static_cast<std::uint32_t>((beta[j] << 16) | proc[j]);
+  }
+  return scratch.data();
+}
+
+/// (gamma << 16) | minproc, one word per job id (UCDDCP compression data).
+const std::uint32_t* PackCompression32(std::int32_t n, const Time* minproc,
+                                       const Cost* gamma) {
+  static thread_local std::vector<std::uint32_t> scratch;
+  scratch.resize(static_cast<std::size_t>(n));
+  for (std::int32_t j = 0; j < n; ++j) {
+    scratch[static_cast<std::size_t>(j)] =
+        static_cast<std::uint32_t>((gamma[j] << 16) | minproc[j]);
+  }
+  return scratch.data();
+}
+
+/// Four packed words — one per candidate lane — zero-extended into the
+/// 64-bit lanes.
+__attribute__((target("avx2"))) inline __m256i Lanes32(
+    const std::uint32_t* pack, JobId j0, JobId j1, JobId j2,
+    JobId j3) noexcept {
+  return _mm256_cvtepu32_epi64(
+      _mm_setr_epi32(static_cast<int>(pack[j0]), static_cast<int>(pack[j1]),
+                     static_cast<int>(pack[j2]),
+                     static_cast<int>(pack[j3])));
+}
+
+/// The EvalCddFused walk over 4 lanes; leaves the per-lane cost, offset
+/// and pinned position in the output vectors.
+__attribute__((target("avx2"))) inline void CddLanesAvx2(
+    std::int32_t n, Time d, const JobId* seqs, std::int64_t row0,
+    std::int64_t stride, const std::uint32_t* packE,
+    const std::uint32_t* packT, __m256i& cost_v, __m256i& offset_v,
+    __m256i& pinned_v) noexcept {
+  const JobId* r0 = seqs + row0;
+  const JobId* r1 = r0 + stride;
+  const JobId* r2 = r1 + stride;
+  const JobId* r3 = r2 + stride;
+  const __m256i vd = _mm256_set1_epi64x(d);
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i neg1 = _mm256_set1_epi64x(-1);
+  const __m256i low16 = _mm256_set1_epi64x(0xffff);
+
+  __m256i c = zero;
+  __m256i pe = zero;
+  __m256i pl = zero;
+  __m256i cost = zero;
+
+  // All-early phase: runs until the first lane's completion time would
+  // cross d; that position is left uncommitted for the mixed phase.
+  std::int32_t i = 0;
+  while (i < n) {
+    const __m256i w = Lanes32(packE, r0[i], r1[i], r2[i], r3[i]);
+    const __m256i pj = _mm256_and_si256(w, low16);
+    const __m256i aj = _mm256_srli_epi64(w, 16);
+    const __m256i c_next = _mm256_add_epi64(c, pj);
+    if (_mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpgt_epi64(c_next, vd))) != 0) {
+      break;
+    }
+    c = c_next;
+    pe = _mm256_add_epi64(pe, aj);
+    cost = _mm256_add_epi64(
+        cost, _mm256_mul_epu32(aj, _mm256_sub_epi64(vd, c)));
+    ++i;
+  }
+
+  // Mixed phase: lanes cross d at different positions, so the early/tardy
+  // split is a mask.  tau counts the early steps (monotone, so a masked
+  // increment replaces the blend) and prefix_tau tracks c over them.
+  bool entered_mixed = false;
+  __m256i tau = zero;
+  __m256i prefix_tau = zero;
+  if (i < n) {
+    entered_mixed = true;
+    tau = _mm256_set1_epi64x(i - 1);
+    prefix_tau = c;
+    while (i < n) {
+      const __m256i wE = Lanes32(packE, r0[i], r1[i], r2[i], r3[i]);
+      const __m256i wT = Lanes32(packT, r0[i], r1[i], r2[i], r3[i]);
+      const __m256i pj = _mm256_and_si256(wE, low16);
+      const __m256i aj = _mm256_srli_epi64(wE, 16);
+      const __m256i bj = _mm256_srli_epi64(wT, 16);
+      c = _mm256_add_epi64(c, pj);
+      const __m256i tardy = _mm256_cmpgt_epi64(c, vd);
+      const __m256i early = _mm256_xor_si256(tardy, neg1);
+      tau = _mm256_sub_epi64(tau, early);  // tau += 1 in early lanes
+      prefix_tau =
+          _mm256_add_epi64(prefix_tau, _mm256_and_si256(early, pj));
+      pe = _mm256_add_epi64(pe, _mm256_and_si256(early, aj));
+      pl = _mm256_add_epi64(pl, _mm256_and_si256(tardy, bj));
+      // dist = |c - d| via conditional negate: t in tardy lanes, -t early.
+      const __m256i t = _mm256_sub_epi64(c, vd);
+      const __m256i dist =
+          _mm256_sub_epi64(_mm256_xor_si256(t, early), early);
+      const __m256i pen = _mm256_blendv_epi8(aj, bj, tardy);
+      cost = _mm256_add_epi64(cost, _mm256_mul_epu32(pen, dist));
+      ++i;
+      if (_mm256_movemask_pd(_mm256_castsi256_pd(tardy)) == 0xf) break;
+    }
+  }
+
+  // All-tardy phase: tardiness is monotone, so no lane re-enters.
+  for (; i < n; ++i) {
+    const __m256i w = Lanes32(packT, r0[i], r1[i], r2[i], r3[i]);
+    const __m256i pj = _mm256_and_si256(w, low16);
+    const __m256i bj = _mm256_srli_epi64(w, 16);
+    c = _mm256_add_epi64(c, pj);
+    pl = _mm256_add_epi64(pl, bj);
+    cost = _mm256_add_epi64(
+        cost, _mm256_mul_epu32(bj, _mm256_sub_epi64(c, vd)));
+  }
+
+  // Breakpoint slide and Theorem-1 crossing walk, scalar per lane — the
+  // arithmetic is EvalCddFused's tail verbatim, so results stay
+  // bit-identical.
+  alignas(32) std::int64_t pe_a[4];
+  alignas(32) std::int64_t pl_a[4];
+  alignas(32) std::int64_t cost_a[4];
+  alignas(32) std::int64_t tau_a[4];
+  alignas(32) std::int64_t pt_a[4];
+  alignas(32) std::int64_t pin_a[4];
+  alignas(32) std::int64_t off_a[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(pe_a), pe);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(pl_a), pl);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(cost_a), cost);
+  if (entered_mixed) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tau_a), tau);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pt_a), prefix_tau);
+  } else {
+    // Every position stayed early in every lane: tau is the last index
+    // and prefix_tau the full completion time.
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pt_a), c);
+    for (int k = 0; k < 4; ++k) tau_a[k] = n - 1;
+  }
+
+  const JobId* rows[4] = {r0, r1, r2, r3};
+  for (int k = 0; k < 4; ++k) {
+    Cost cost_k = cost_a[k];
+    Cost pe_k = pe_a[k];
+    Cost pl_k = pl_a[k];
+    std::int64_t pinned = -1;
+    Time offset = 0;
+    if (tau_a[k] >= 0) {
+      const bool slide = pt_a[k] < d && pl_k < pe_k;
+      if (slide) {
+        offset = d - pt_a[k];
+        cost_k += offset * (pl_k - pe_k);
+      }
+      if (slide || pt_a[k] >= d) pinned = tau_a[k];
+    }
+    while (pinned > 0) {
+      const JobId j = rows[k][pinned];
+      const Cost aj = static_cast<Cost>(packE[j] >> 16);
+      const Cost bj = static_cast<Cost>(packT[j] >> 16);
+      const Cost pl_next = pl_k + bj;
+      const Cost pe_next = pe_k - aj;
+      if (pl_next >= pe_next) break;
+      const Time pj = static_cast<Time>(packE[j] & 0xffff);
+      offset += pj;
+      cost_k += pj * (pl_next - pe_next);
+      pl_k = pl_next;
+      pe_k = pe_next;
+      --pinned;
+    }
+    cost_a[k] = cost_k;
+    pin_a[k] = pinned;
+    off_a[k] = offset;
+  }
+  cost_v = _mm256_load_si256(reinterpret_cast<const __m256i*>(cost_a));
+  pinned_v = _mm256_load_si256(reinterpret_cast<const __m256i*>(pin_a));
+  offset_v = _mm256_load_si256(reinterpret_cast<const __m256i*>(off_a));
+}
+
+__attribute__((target("avx2"))) inline void Store4Avx2(
+    __m256i cost, __m256i pinned, __m256i offset, std::int32_t b,
+    Cost* costs, std::int32_t* pinned_out, Time* offsets_out) noexcept {
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), cost);
+  StoreLanes<4>(lanes, lanes, lanes, 0, costs + b, nullptr, nullptr);
+  if (pinned_out != nullptr) {
+    alignas(32) std::int64_t p[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), pinned);
+    for (int k = 0; k < 4; ++k) {
+      pinned_out[b + k] = static_cast<std::int32_t>(p[k]);
+    }
+  }
+  if (offsets_out != nullptr) {
+    alignas(32) std::int64_t o[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(o), offset);
+    for (int k = 0; k < 4; ++k) offsets_out[b + k] = o[k];
+  }
+}
+
+__attribute__((target("avx2"))) void EvalCddGroupAvx2(
+    std::int32_t n, Time d, const JobId* seqs, std::int64_t row0,
+    std::int64_t stride, const std::uint32_t* packE,
+    const std::uint32_t* packT, std::int32_t b, Cost* costs,
+    std::int32_t* pinned_out, Time* offsets_out) noexcept {
+  __m256i cost;
+  __m256i offset;
+  __m256i pinned;
+  CddLanesAvx2(n, d, seqs, row0, stride, packE, packT, cost, offset,
+               pinned);
+  Store4Avx2(cost, pinned, offset, b, costs, pinned_out, offsets_out);
+}
+
+__attribute__((target("avx2"))) void EvalUcddcpGroupAvx2(
+    std::int32_t n, Time d, const JobId* seqs, std::int64_t row0,
+    std::int64_t stride, const std::uint32_t* packE,
+    const std::uint32_t* packT, const std::uint32_t* packC, std::int32_t b,
+    Cost* costs, std::int32_t* pinned_out, Time* offsets_out) noexcept {
+  __m256i base_cost;
+  __m256i base_offset;
+  __m256i r;
+  CddLanesAvx2(n, d, seqs, row0, stride, packE, packT, base_cost,
+               base_offset, r);
+
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i neg1 = _mm256_set1_epi64x(-1);
+  const __m256i low16 = _mm256_set1_epi64x(0xffff);
+  const __m256i vd = _mm256_set1_epi64x(d);
+  // Lanes with no pinned job keep the CDD relaxation result verbatim.
+  const __m256i part = _mm256_cmpgt_epi64(r, neg1);
+  if (_mm256_movemask_epi8(part) == 0) {
+    Store4Avx2(base_cost, r, base_offset, b, costs, pinned_out,
+               offsets_out);
+    return;
+  }
+
+  const JobId* rows[4] = {seqs + row0, seqs + row0 + stride,
+                          seqs + row0 + 2 * stride,
+                          seqs + row0 + 3 * stride};
+
+  __m256i cost = zero;
+  __m256i compressed = zero;
+  __m256i sb = zero;
+  __m256i pa = zero;
+
+  // Lane operands come from guarded scalar loads: inactive lanes read
+  // nothing and see zero packed words.
+  alignas(32) std::int64_t w1[4];
+  alignas(32) std::int64_t w2[4];
+
+  // Tardy side: lane active while i > r (Property 2 suffix walk).
+  for (std::int32_t i = n - 1; i >= 1; --i) {
+    const __m256i vi = _mm256_set1_epi64x(i);
+    const __m256i act =
+        _mm256_and_si256(part, _mm256_cmpgt_epi64(vi, r));
+    const int am = _mm256_movemask_pd(_mm256_castsi256_pd(act));
+    if (am == 0) break;
+    for (int k = 0; k < 4; ++k) {
+      if (((am >> k) & 1) != 0) {
+        const JobId j = rows[k][i];
+        w1[k] = packT[j];
+        w2[k] = packC[j];
+      } else {
+        w1[k] = 0;
+        w2[k] = 0;
+      }
+    }
+    const __m256i packed1 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(w1));
+    const __m256i packed2 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(w2));
+    const __m256i pj = _mm256_and_si256(packed1, low16);
+    const __m256i bj = _mm256_srli_epi64(packed1, 16);
+    const __m256i mj = _mm256_and_si256(packed2, low16);
+    const __m256i gj = _mm256_srli_epi64(packed2, 16);
+    sb = _mm256_add_epi64(sb, _mm256_and_si256(act, bj));
+    const __m256i reducible = _mm256_sub_epi64(pj, mj);
+    const __m256i x =
+        _mm256_and_si256(_mm256_cmpgt_epi64(sb, gj), reducible);
+    const __m256i term =
+        _mm256_add_epi64(_mm256_mul_epu32(_mm256_sub_epi64(pj, x), sb),
+                         _mm256_mul_epu32(gj, x));
+    cost = _mm256_add_epi64(cost, _mm256_and_si256(act, term));
+  }
+
+  // Early side: lane active while i <= r (Property 2 prefix walk).
+  for (std::int32_t i = 0; i < n; ++i) {
+    const __m256i vi = _mm256_set1_epi64x(i);
+    const __m256i act =
+        _mm256_andnot_si256(_mm256_cmpgt_epi64(vi, r), part);
+    const int am = _mm256_movemask_pd(_mm256_castsi256_pd(act));
+    if (am == 0) break;
+    for (int k = 0; k < 4; ++k) {
+      if (((am >> k) & 1) != 0) {
+        const JobId j = rows[k][i];
+        w1[k] = packE[j];
+        w2[k] = packC[j];
+      } else {
+        w1[k] = 0;
+        w2[k] = 0;
+      }
+    }
+    const __m256i packed1 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(w1));
+    const __m256i packed2 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(w2));
+    const __m256i pj = _mm256_and_si256(packed1, low16);
+    const __m256i aj = _mm256_srli_epi64(packed1, 16);
+    const __m256i mj = _mm256_and_si256(packed2, low16);
+    const __m256i gj = _mm256_srli_epi64(packed2, 16);
+    const __m256i reducible = _mm256_sub_epi64(pj, mj);
+    const __m256i x =
+        _mm256_and_si256(_mm256_cmpgt_epi64(pa, gj), reducible);
+    const __m256i pmx = _mm256_sub_epi64(pj, x);
+    const __m256i term = _mm256_add_epi64(_mm256_mul_epu32(pmx, pa),
+                                          _mm256_mul_epu32(gj, x));
+    cost = _mm256_add_epi64(cost, _mm256_and_si256(act, term));
+    compressed = _mm256_add_epi64(compressed, _mm256_and_si256(act, pmx));
+    pa = _mm256_add_epi64(pa, _mm256_and_si256(act, aj));
+  }
+
+  const __m256i out_cost = _mm256_blendv_epi8(base_cost, cost, part);
+  const __m256i out_offset = _mm256_blendv_epi8(
+      base_offset, _mm256_sub_epi64(vd, compressed), part);
+  Store4Avx2(out_cost, r, out_offset, b, costs, pinned_out, offsets_out);
+}
+
+#endif  // CDD_SIMD_X86
+
+void PortableLanesCddDriver(std::int32_t n, Time d, const JobId* seqs,
+                            std::int32_t stride, std::int32_t batch,
+                            const Time* proc, const Cost* alpha,
+                            const Cost* beta, Cost* costs,
+                            std::int32_t* pinned,
+                            Time* offsets) noexcept {
+  constexpr int K = kPortableLanes;
+  std::int32_t b = 0;
+  for (; b + K <= batch; b += K) {
+    std::int64_t row_off[K];
+    Cost cost[K];
+    std::int64_t pin[K];
+    Time off[K];
+    for (int k = 0; k < K; ++k) {
+      row_off[k] = static_cast<std::int64_t>(b + k) * stride;
+    }
+    CddLanesPortable<K>(n, d, seqs, row_off, proc, alpha, beta, cost, pin,
+                        off);
+    StoreLanes<K>(cost, pin, off, b, costs, pinned, offsets);
+  }
+  for (; b < batch; ++b) {
+    const EvalResult r = EvalCddFused(
+        n, d, seqs + static_cast<std::size_t>(b) * stride, proc, alpha,
+        beta);
+    costs[b] = r.cost;
+    if (pinned != nullptr) pinned[b] = r.pinned;
+    if (offsets != nullptr) offsets[b] = r.offset;
+  }
+}
+
+void PortableLanesUcddcpDriver(std::int32_t n, Time d, const JobId* seqs,
+                               std::int32_t stride, std::int32_t batch,
+                               const Time* proc, const Time* minproc,
+                               const Cost* alpha, const Cost* beta,
+                               const Cost* gamma, Cost* costs,
+                               std::int32_t* pinned,
+                               Time* offsets) noexcept {
+  constexpr int K = kPortableLanes;
+  std::int32_t b = 0;
+  for (; b + K <= batch; b += K) {
+    std::int64_t row_off[K];
+    Cost cost[K];
+    std::int64_t pin[K];
+    Time off[K];
+    for (int k = 0; k < K; ++k) {
+      row_off[k] = static_cast<std::int64_t>(b + k) * stride;
+    }
+    UcddcpLanesPortable<K>(n, d, seqs, row_off, proc, minproc, alpha, beta,
+                           gamma, cost, pin, off);
+    StoreLanes<K>(cost, pin, off, b, costs, pinned, offsets);
+  }
+  for (; b < batch; ++b) {
+    const EvalResult r = EvalUcddcpFused(
+        n, d, seqs + static_cast<std::size_t>(b) * stride, proc, minproc,
+        alpha, beta, gamma);
+    costs[b] = r.cost;
+    if (pinned != nullptr) pinned[b] = r.pinned;
+    if (offsets != nullptr) offsets[b] = r.offset;
+  }
+}
+
+}  // namespace
+
+bool SimdBatchCompiledIn() noexcept {
+#if defined(CDD_SIMD_X86) || defined(CDD_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool SimdBatchAvailable() noexcept {
+#if defined(CDD_SIMD_X86)
+  return core::HostCpuFeatures().avx2;
+#elif defined(CDD_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char* SimdBatchIsa() noexcept {
+#if defined(CDD_SIMD_X86)
+  return core::HostCpuFeatures().avx2 ? "avx2" : "none";
+#elif defined(CDD_SIMD_NEON)
+  return "neon";
+#else
+  return "none";
+#endif
+}
+
+void EvalCddBatchSimd(std::int32_t n, Time d, const JobId* seqs,
+                      std::int32_t stride, std::int32_t batch,
+                      const Time* proc, const Cost* alpha, const Cost* beta,
+                      Cost* costs, std::int32_t* pinned,
+                      Time* offsets) noexcept {
+#if defined(CDD_SIMD_X86)
+  if (core::HostCpuFeatures().avx2 && Packable(n, d, proc, alpha, beta)) {
+    const std::uint32_t* packE = PackEarly32(n, proc, alpha);
+    const std::uint32_t* packT = PackTardy32(n, proc, beta);
+    std::int32_t b = 0;
+    for (; b + 4 <= batch; b += 4) {
+      EvalCddGroupAvx2(n, d, seqs, static_cast<std::int64_t>(b) * stride,
+                       stride, packE, packT, b, costs, pinned, offsets);
+    }
+    for (; b < batch; ++b) {  // scalar tail
+      const EvalResult r = EvalCddFused(
+          n, d, seqs + static_cast<std::size_t>(b) * stride, proc, alpha,
+          beta);
+      costs[b] = r.cost;
+      if (pinned != nullptr) pinned[b] = r.pinned;
+      if (offsets != nullptr) offsets[b] = r.offset;
+    }
+    return;
+  }
+#elif defined(CDD_SIMD_NEON)
+  PortableLanesCddDriver(n, d, seqs, stride, batch, proc, alpha, beta,
+                         costs, pinned, offsets);
+  return;
+#endif
+  EvalCddBatch(n, d, seqs, stride, batch, proc, alpha, beta, costs, pinned,
+               offsets);
+}
+
+void EvalUcddcpBatchSimd(std::int32_t n, Time d, const JobId* seqs,
+                         std::int32_t stride, std::int32_t batch,
+                         const Time* proc, const Time* minproc,
+                         const Cost* alpha, const Cost* beta,
+                         const Cost* gamma, Cost* costs,
+                         std::int32_t* pinned, Time* offsets) noexcept {
+#if defined(CDD_SIMD_X86)
+  if (core::HostCpuFeatures().avx2 && Packable(n, d, proc, alpha, beta) &&
+      Packable2(n, minproc, gamma)) {
+    const std::uint32_t* packE = PackEarly32(n, proc, alpha);
+    const std::uint32_t* packT = PackTardy32(n, proc, beta);
+    const std::uint32_t* packC = PackCompression32(n, minproc, gamma);
+    std::int32_t b = 0;
+    for (; b + 4 <= batch; b += 4) {
+      EvalUcddcpGroupAvx2(n, d, seqs,
+                          static_cast<std::int64_t>(b) * stride, stride,
+                          packE, packT, packC, b, costs, pinned, offsets);
+    }
+    for (; b < batch; ++b) {  // scalar tail
+      const EvalResult r = EvalUcddcpFused(
+          n, d, seqs + static_cast<std::size_t>(b) * stride, proc, minproc,
+          alpha, beta, gamma);
+      costs[b] = r.cost;
+      if (pinned != nullptr) pinned[b] = r.pinned;
+      if (offsets != nullptr) offsets[b] = r.offset;
+    }
+    return;
+  }
+#elif defined(CDD_SIMD_NEON)
+  PortableLanesUcddcpDriver(n, d, seqs, stride, batch, proc, minproc,
+                            alpha, beta, gamma, costs, pinned, offsets);
+  return;
+#endif
+  EvalUcddcpBatch(n, d, seqs, stride, batch, proc, minproc, alpha, beta,
+                  gamma, costs, pinned, offsets);
+}
+
+void EvalCddBatchPortableLanes(std::int32_t n, Time d, const JobId* seqs,
+                               std::int32_t stride, std::int32_t batch,
+                               const Time* proc, const Cost* alpha,
+                               const Cost* beta, Cost* costs,
+                               std::int32_t* pinned,
+                               Time* offsets) noexcept {
+  PortableLanesCddDriver(n, d, seqs, stride, batch, proc, alpha, beta,
+                         costs, pinned, offsets);
+}
+
+void EvalUcddcpBatchPortableLanes(std::int32_t n, Time d, const JobId* seqs,
+                                  std::int32_t stride, std::int32_t batch,
+                                  const Time* proc, const Time* minproc,
+                                  const Cost* alpha, const Cost* beta,
+                                  const Cost* gamma, Cost* costs,
+                                  std::int32_t* pinned,
+                                  Time* offsets) noexcept {
+  PortableLanesUcddcpDriver(n, d, seqs, stride, batch, proc, minproc,
+                            alpha, beta, gamma, costs, pinned, offsets);
+}
+
+void EvalCddBatchDispatch(std::int32_t n, Time d, const JobId* seqs,
+                          std::int32_t stride, std::int32_t batch,
+                          const Time* proc, const Cost* alpha,
+                          const Cost* beta, Cost* costs,
+                          std::int32_t* pinned, Time* offsets) noexcept {
+  if (core::ActiveEvalBackend() == core::EvalBackend::kSimd) {
+    EvalCddBatchSimd(n, d, seqs, stride, batch, proc, alpha, beta, costs,
+                     pinned, offsets);
+  } else {
+    EvalCddBatch(n, d, seqs, stride, batch, proc, alpha, beta, costs,
+                 pinned, offsets);
+  }
+}
+
+void EvalUcddcpBatchDispatch(std::int32_t n, Time d, const JobId* seqs,
+                             std::int32_t stride, std::int32_t batch,
+                             const Time* proc, const Time* minproc,
+                             const Cost* alpha, const Cost* beta,
+                             const Cost* gamma, Cost* costs,
+                             std::int32_t* pinned, Time* offsets) noexcept {
+  if (core::ActiveEvalBackend() == core::EvalBackend::kSimd) {
+    EvalUcddcpBatchSimd(n, d, seqs, stride, batch, proc, minproc, alpha,
+                        beta, gamma, costs, pinned, offsets);
+  } else {
+    EvalUcddcpBatch(n, d, seqs, stride, batch, proc, minproc, alpha, beta,
+                    gamma, costs, pinned, offsets);
+  }
+}
+
+}  // namespace cdd::raw

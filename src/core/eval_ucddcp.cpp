@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/eval_simd.hpp"
+
 namespace cdd {
 
 UcddcpEvaluator::UcddcpEvaluator(const Instance& instance)
@@ -42,10 +44,11 @@ raw::EvalResult UcddcpEvaluator::EvaluateDetailed(
 
 void UcddcpEvaluator::EvaluateBatch(CandidatePool& pool) const {
   const CandidatePoolView v = pool.view();
-  raw::EvalUcddcpBatch(v.n, due_date_, v.seqs, v.stride,
-                       static_cast<std::int32_t>(v.count), proc_.data(),
-                       min_proc_.data(), alpha_.data(), beta_.data(),
-                       gamma_.data(), v.costs, v.pinned);
+  raw::EvalUcddcpBatchDispatch(v.n, due_date_, v.seqs, v.stride,
+                               static_cast<std::int32_t>(v.count),
+                               proc_.data(), min_proc_.data(), alpha_.data(),
+                               beta_.data(), gamma_.data(), v.costs,
+                               v.pinned);
 }
 
 Schedule UcddcpEvaluator::BuildSchedule(std::span<const JobId> seq) const {

@@ -23,6 +23,7 @@
 
 #include "core/candidate_pool.hpp"
 #include "core/eval_raw.hpp"
+#include "core/eval_simd.hpp"
 #include "core/instance.hpp"
 #include "core/sequence.hpp"
 
@@ -105,16 +106,17 @@ class SequenceObjective {
     const CandidatePoolView v = pool.view();
     switch (kind_) {
       case Kind::kCdd:
-        raw::EvalCddBatch(v.n, d_, v.seqs, v.stride,
-                          static_cast<std::int32_t>(v.count), proc_.data(),
-                          alpha_.data(), beta_.data(), v.costs, v.pinned);
+        raw::EvalCddBatchDispatch(v.n, d_, v.seqs, v.stride,
+                                  static_cast<std::int32_t>(v.count),
+                                  proc_.data(), alpha_.data(), beta_.data(),
+                                  v.costs, v.pinned);
         return;
       case Kind::kUcddcp:
-        raw::EvalUcddcpBatch(v.n, d_, v.seqs, v.stride,
-                             static_cast<std::int32_t>(v.count),
-                             proc_.data(), min_proc_.data(), alpha_.data(),
-                             beta_.data(), gamma_.data(), v.costs,
-                             v.pinned);
+        raw::EvalUcddcpBatchDispatch(v.n, d_, v.seqs, v.stride,
+                                     static_cast<std::int32_t>(v.count),
+                                     proc_.data(), min_proc_.data(),
+                                     alpha_.data(), beta_.data(),
+                                     gamma_.data(), v.costs, v.pinned);
         return;
       case Kind::kFallback:
         backend_->EvaluateBatch(pool);

@@ -1,9 +1,11 @@
 #include "parallel/detail.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 
 #include "core/eval_raw.hpp"
+#include "core/eval_simd.hpp"
 #include "cudasim/atomics.hpp"
 #include "parallel/kernels_raw.hpp"
 
@@ -54,10 +56,28 @@ void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
   opts.cooperative = use_shared;  // the barrier guards the staging phase
   opts.shared_bytes = use_shared ? shared_bytes : 0;
 
+  // The simulated device executes launches synchronously, so the whole
+  // ensemble is evaluated up front through the dispatched batch evaluator
+  // (SIMD when the host supports it) straight into the device-resident
+  // costs/pinned columns.  The kernel threads below charge exactly the
+  // memory traffic a per-thread fused evaluation performs — the modeled
+  // device timing is unchanged, and the results are bit-identical because
+  // every backend computes exact integers.
+  assert(pool.current() &&
+         "LaunchFitness: stale CandidatePoolView (pool swapped buffers)");
+  if (controllable) {
+    cdd::raw::EvalUcddcpBatchDispatch(n, d, pool.seqs, pool.stride,
+                                 static_cast<std::int32_t>(pool.count),
+                                 proc, min_proc, g_alpha, g_beta, gamma,
+                                 pool.costs, pool.pinned);
+  } else {
+    cdd::raw::EvalCddBatchDispatch(n, d, pool.seqs, pool.stride,
+                              static_cast<std::int32_t>(pool.count), proc,
+                              g_alpha, g_beta, pool.costs, pool.pinned);
+  }
+
   device.Launch(
       config.grid(), config.block(), opts, [=](sim::ThreadCtx& t) {
-        const Cost* alpha = g_alpha;
-        const Cost* beta = g_beta;
         if (use_shared) {
           // Cooperative staging: linear block => disjoint strided writes,
           // then one barrier before anyone reads (Section VI-A).
@@ -71,29 +91,19 @@ void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
             s_beta[i] = g_beta[i];
           }
           t.syncthreads();
-          alpha = s_alpha;
-          beta = s_beta;
           t.charge(static_cast<std::uint64_t>(n) / t.block_dim.count() +
                    1);
         }
         const std::uint64_t tid = t.global_thread();
         if (tid >= pool.count) return;
-        const JobId* seq = pool.row(static_cast<std::uint32_t>(tid));
-        cdd::raw::EvalResult r;
         // Charge split: sequence/processing-time traffic is always global;
         // the two penalty streams go through the selected memory path.
-        // The fused single-pass evaluators return bit-identical costs to
-        // the two-pass references, and the charge model is kept unchanged
-        // so the modeled device timing is unaffected by the fusion.
         std::uint64_t other_units;
         std::uint64_t penalty_units;
         if (controllable) {
-          r = cdd::raw::EvalUcddcpFused(n, d, seq, proc, min_proc, alpha,
-                                        beta, gamma);
           other_units = 3 * static_cast<std::uint64_t>(n);
           penalty_units = 2 * static_cast<std::uint64_t>(n);
         } else {
-          r = cdd::raw::EvalCddFused(n, d, seq, proc, alpha, beta);
           other_units = static_cast<std::uint64_t>(n);
           penalty_units = 2 * static_cast<std::uint64_t>(n);
         }
@@ -113,10 +123,7 @@ void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
             t.charge(penalty_units);
             break;
         }
-        pool.costs[tid] = r.cost;
-        if (pool.pinned != nullptr) {
-          pool.pinned[tid] = r.pinned;
-        }
+        // costs/pinned were written by the pre-launch batch evaluation.
       });
 }
 

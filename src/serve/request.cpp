@@ -1,5 +1,7 @@
 #include "serve/request.hpp"
 
+#include <string>
+
 #include "core/hash.hpp"
 
 namespace cdd::serve {
@@ -16,12 +18,26 @@ std::string_view ToString(SolveStatus status) {
       return "rejected_queue_full";
     case SolveStatus::kRejectedUnknownEngine:
       return "rejected_unknown_engine";
+    case SolveStatus::kRejectedInvalidInstance:
+      return "rejected_invalid_instance";
     case SolveStatus::kShutdown:
       return "shutdown";
     case SolveStatus::kFailed:
       return "failed";
   }
   return "unknown";
+}
+
+std::string ValidateRequestInstance(const Instance& instance) {
+  if (instance.problem() == Problem::kUcddcp &&
+      !instance.is_unrestricted()) {
+    return "restricted UCDDCP instance: d = " +
+           std::to_string(instance.due_date()) + " < sum(P_i) = " +
+           std::to_string(instance.total_processing_time()) +
+           "; the O(n) algorithm of Awasthi et al. requires the "
+           "unrestricted case (d >= sum P_i)";
+  }
+  return {};
 }
 
 std::uint64_t CacheKey(const SolveRequest& request) {

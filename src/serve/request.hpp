@@ -20,6 +20,9 @@ enum class SolveStatus {
   kDeadlineExpired,        ///< deadline hit; result is the best-so-far
   kRejectedQueueFull,      ///< backpressure: not admitted, try later
   kRejectedUnknownEngine,  ///< engine name not in the registry
+  /// Instance violates a documented evaluator precondition (e.g. a
+  /// restricted UCDDCP instance, d < sum P_i); see SolveResponse::error.
+  kRejectedInvalidInstance,
   kShutdown,               ///< service stopped before/while solving it
   kFailed,                 ///< engine threw; see SolveResponse::error
 };
@@ -57,6 +60,13 @@ struct SolveResponse {
             !result.best.empty());
   }
 };
+
+/// Rejection diagnostic for instances that violate an evaluator
+/// precondition, or the empty string when the request is admissible.
+/// Today this enforces the UCDDCP unrestricted-case precondition
+/// d >= sum(P_i) (Awasthi et al.); the service and the cdd_solve tool both
+/// gate on it so no engine ever evaluates under a violated precondition.
+std::string ValidateRequestInstance(const Instance& instance);
 
 /// Canonical 64-bit cache/dedup key: instance hash combined with the
 /// engine name and every result-determining option (generations, seed,

@@ -21,17 +21,21 @@ ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
   }
 }
 
-std::optional<ResultCache::Entry> ResultCache::Get(std::uint64_t key) {
+std::shared_ptr<const ResultCache::Entry> ResultCache::Get(
+    std::uint64_t key) {
+  // A disabled cache has nothing to find and no stats worth serializing
+  // for: return without touching a shard mutex, mirroring Put.
+  if (capacity_ == 0) return nullptr;
   Shard& shard = ShardFor(key);
   const std::scoped_lock lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
-    return std::nullopt;
+    return nullptr;
   }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->second;
+  return it->second->second;  // refcount bump, no Entry copy
 }
 
 void ResultCache::Put(std::uint64_t key, Entry entry) {
@@ -41,7 +45,8 @@ void ResultCache::Put(std::uint64_t key, Entry entry) {
   if (shard.capacity == 0) return;
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->second = std::move(entry);
+    it->second->second =
+        std::make_shared<const Entry>(std::move(entry));
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -50,7 +55,8 @@ void ResultCache::Put(std::uint64_t key, Entry entry) {
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.emplace_front(key, std::move(entry));
+  shard.lru.emplace_front(key,
+                          std::make_shared<const Entry>(std::move(entry)));
   shard.index[key] = shard.lru.begin();
 }
 

@@ -10,12 +10,16 @@
 ///
 /// Only *completed* runs belong in the cache; the service never inserts a
 /// deadline-truncated result, so a hit is always as good as a fresh solve.
+///
+/// Entries are immutable once inserted and handed out as
+/// shared_ptr<const Entry>: a hit refreshes recency and bumps a reference
+/// count instead of deep-copying the RunResult (whose convergence
+/// trajectory can dwarf the rest of the response) under the shard mutex.
 
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -39,12 +43,16 @@ class ResultCache {
     double device_seconds = 0.0;  ///< modeled GPU time (parallel engines)
   };
 
-  /// \p capacity 0 disables the cache entirely (every Get misses, Put is a
-  /// no-op).  \p shards is clamped to [1, capacity].
+  /// \p capacity 0 disables the cache entirely (every Get misses without
+  /// touching a shard mutex, Put is a no-op).  \p shards is clamped to
+  /// [1, capacity].
   explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
 
-  /// Returns the entry and refreshes its recency, or nullopt on miss.
-  std::optional<Entry> Get(std::uint64_t key);
+  /// Returns the entry and refreshes its recency, or nullptr on miss.
+  /// The entry is shared, not copied — hits are O(1) regardless of the
+  /// trajectory size — and immutable, so the pointer stays valid after
+  /// eviction.
+  std::shared_ptr<const Entry> Get(std::uint64_t key);
 
   /// Inserts or refreshes; evicts the shard's least-recently-used entry
   /// when the shard is full.
@@ -56,14 +64,14 @@ class ResultCache {
   std::size_t shards() const { return shards_.size(); }
 
  private:
+  using LruList =
+      std::list<std::pair<std::uint64_t, std::shared_ptr<const Entry>>>;
+
   struct Shard {
     std::mutex mutex;
     /// Front = most recently used.
-    std::list<std::pair<std::uint64_t, Entry>> lru;
-    std::unordered_map<
-        std::uint64_t,
-        std::list<std::pair<std::uint64_t, Entry>>::iterator>
-        index;
+    LruList lru;
+    std::unordered_map<std::uint64_t, LruList::iterator> index;
     std::size_t capacity = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;

@@ -29,6 +29,8 @@ SolverService::SolverService(ServiceConfig config,
       rejected_queue_full_(&metrics_.counter("rejected_queue_full")),
       rejected_unknown_engine_(
           &metrics_.counter("rejected_unknown_engine")),
+      rejected_invalid_instance_(
+          &metrics_.counter("rejected_invalid_instance")),
       cache_hits_(&metrics_.counter("cache_hits")),
       completed_(&metrics_.counter("completed")),
       deadline_expired_(&metrics_.counter("deadline_expired")),
@@ -69,15 +71,30 @@ std::future<SolveResponse> SolverService::Submit(SolveRequest request) {
     return done.get_future();
   }
 
+  // Evaluator preconditions are enforced at the boundary: an engine run
+  // on a violating instance would either throw deep inside a worker or,
+  // worse, return a cost computed under a violated precondition.
+  if (std::string diagnostic = ValidateRequestInstance(request.instance);
+      !diagnostic.empty()) {
+    rejected_invalid_instance_->Increment();
+    CDD_TRACE_INSTANT("serve.rejected_invalid_instance");
+    response.status = SolveStatus::kRejectedInvalidInstance;
+    response.error = std::move(diagnostic);
+    std::promise<SolveResponse> done;
+    done.set_value(std::move(response));
+    return done.get_future();
+  }
+
   const std::uint64_t key = CacheKey(request);
 
   // Fast path: an identical finished request is served synchronously, no
-  // queue slot consumed.
+  // queue slot consumed.  The hit shares the cached entry; only the
+  // response's own copy is made, outside any shard mutex.
   if (auto hit = cache_.Get(key)) {
     cache_hits_->Increment();
     CDD_TRACE_INSTANT("serve.cache_hit");
     response.status = SolveStatus::kCacheHit;
-    response.result = std::move(hit->result);
+    response.result = hit->result;
     response.device_seconds = hit->device_seconds;
     response.from_cache = true;
     std::promise<SolveResponse> done;
@@ -127,7 +144,7 @@ void SolverService::Process(Job&& job, unsigned slot) {
     cache_hits_->Increment();
     CDD_TRACE_INSTANT("serve.cache_hit");
     response.status = SolveStatus::kCacheHit;
-    response.result = std::move(hit->result);
+    response.result = hit->result;
     response.device_seconds = hit->device_seconds;
     response.from_cache = true;
     job.promise.set_value(std::move(response));

@@ -108,6 +108,7 @@ class SolverService {
   Counter* enqueued_;
   Counter* rejected_queue_full_;
   Counter* rejected_unknown_engine_;
+  Counter* rejected_invalid_instance_;
   Counter* cache_hits_;
   Counter* completed_;
   Counter* deadline_expired_;

@@ -78,6 +78,55 @@ TEST(CandidatePool, ShadowBufferSwapsInConstantTime) {
   EXPECT_EQ(pool.row(1)[3], 2);
 }
 
+TEST(CandidatePool, SwapBuffersInvalidatesOutstandingViews) {
+  // Regression: a view taken before SwapBuffers() silently points at what
+  // are now the shadow rows.  The buffer-generation counter makes that
+  // observable: the stale view fails current(), a re-fetched view does
+  // not.  (The debug assert in row() fires on the same condition; it is
+  // compiled out of NDEBUG builds, so the test asserts current() itself.)
+  CandidatePool pool(4, 2);
+  pool.Append(Sequence{0, 1, 2, 3});
+  pool.Append(Sequence{3, 2, 1, 0});
+  const CandidatePoolView before = pool.view();
+  EXPECT_TRUE(before.current());
+  EXPECT_EQ(before.generation, pool.generation());
+
+  const Sequence survivor{1, 0, 3, 2};
+  for (std::size_t b = 0; b < 2; ++b) {
+    std::copy(survivor.begin(), survivor.end(), pool.shadow_row(b).begin());
+  }
+  pool.SwapBuffers();
+  EXPECT_FALSE(before.current()) << "view must go stale across a swap";
+  EXPECT_NE(before.seqs, pool.view().seqs)
+      << "the stale view aliases the shadow rows";
+
+  const CandidatePoolView after = pool.view();
+  EXPECT_TRUE(after.current());
+  EXPECT_EQ(after.row(0)[0], 1);
+
+  // The counter is monotonic, so a second swap (which flips the storage
+  // back) still invalidates every older view — conservatively correct:
+  // costs/pinned describe the latest evaluation, not the old rows.
+  pool.SwapBuffers();
+  EXPECT_FALSE(before.current());
+  EXPECT_FALSE(after.current());
+}
+
+TEST(CandidatePoolView, DeviceBufferViewsAreExemptFromGenerations) {
+  // Views built over raw device buffers carry no owning pool; they must
+  // never report stale.
+  JobId storage[8] = {0, 1, 2, 3, 0, 1, 2, 3};
+  Cost costs[2] = {0, 0};
+  CandidatePoolView v;
+  v.seqs = storage;
+  v.costs = costs;
+  v.n = 4;
+  v.stride = 4;
+  v.count = 2;
+  EXPECT_TRUE(v.current());
+  EXPECT_EQ(v.row(1), storage + 4);
+}
+
 TEST(CandidatePoolView, IsTriviallyCopyable) {
   // The cudasim kernels capture views by value; this property is load-
   // bearing, not stylistic.

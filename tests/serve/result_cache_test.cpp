@@ -24,10 +24,10 @@ std::uint64_t ShardZeroKey(std::uint64_t k) { return k & 0xffffffffULL; }
 
 TEST(ResultCache, MissThenHit) {
   ResultCache cache(4, 1);
-  EXPECT_FALSE(cache.Get(42).has_value());
+  EXPECT_EQ(cache.Get(42), nullptr);
   cache.Put(42, EntryWithCost(7));
   const auto entry = cache.Get(42);
-  ASSERT_TRUE(entry.has_value());
+  ASSERT_TRUE(entry != nullptr);
   EXPECT_EQ(entry->result.best_cost, 7);
   EXPECT_EQ(entry->result.best, (Sequence{0, 1, 2}));
 
@@ -53,9 +53,9 @@ TEST(ResultCache, EvictsLeastRecentlyUsed) {
   cache.Put(ShardZeroKey(3), EntryWithCost(3));  // evicts key 1
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.stats().evictions, 1u);
-  EXPECT_FALSE(cache.Get(ShardZeroKey(1)).has_value());
-  EXPECT_TRUE(cache.Get(ShardZeroKey(2)).has_value());
-  EXPECT_TRUE(cache.Get(ShardZeroKey(3)).has_value());
+  EXPECT_EQ(cache.Get(ShardZeroKey(1)), nullptr);
+  EXPECT_TRUE(cache.Get(ShardZeroKey(2)) != nullptr);
+  EXPECT_TRUE(cache.Get(ShardZeroKey(3)) != nullptr);
 }
 
 TEST(ResultCache, GetRefreshesRecency) {
@@ -63,18 +63,48 @@ TEST(ResultCache, GetRefreshesRecency) {
   cache.Put(ShardZeroKey(1), EntryWithCost(1));
   cache.Put(ShardZeroKey(2), EntryWithCost(2));
   // Touch 1, so 2 is now the LRU entry.
-  EXPECT_TRUE(cache.Get(ShardZeroKey(1)).has_value());
+  EXPECT_TRUE(cache.Get(ShardZeroKey(1)) != nullptr);
   cache.Put(ShardZeroKey(3), EntryWithCost(3));  // evicts key 2, not 1
-  EXPECT_TRUE(cache.Get(ShardZeroKey(1)).has_value());
-  EXPECT_FALSE(cache.Get(ShardZeroKey(2)).has_value());
-  EXPECT_TRUE(cache.Get(ShardZeroKey(3)).has_value());
+  EXPECT_TRUE(cache.Get(ShardZeroKey(1)) != nullptr);
+  EXPECT_EQ(cache.Get(ShardZeroKey(2)), nullptr);
+  EXPECT_TRUE(cache.Get(ShardZeroKey(3)) != nullptr);
 }
 
 TEST(ResultCache, ZeroCapacityDisables) {
   ResultCache cache(0);
   cache.Put(1, EntryWithCost(1));
-  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.Get(1), nullptr);
   EXPECT_EQ(cache.size(), 0u);
+  // The disabled fast path returns before touching any shard state, so
+  // no miss is recorded either — Get mirrors the no-op Put exactly.
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(ResultCache, HitsShareTheEntryInsteadOfCopying) {
+  ResultCache cache(4, 1);
+  ResultCache::Entry entry = EntryWithCost(7);
+  entry.result.trajectory.assign(10000, 7);  // the expensive payload
+  cache.Put(42, std::move(entry));
+
+  const auto first = cache.Get(42);
+  const auto second = cache.Get(42);
+  ASSERT_TRUE(first != nullptr);
+  ASSERT_TRUE(second != nullptr);
+  // Every hit hands back the same immutable entry: same object, same
+  // trajectory storage — a refcount bump, not a deep copy.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(first->result.trajectory.data(),
+            second->result.trajectory.data());
+  EXPECT_EQ(first->result.trajectory.size(), 10000u);
+
+  // The shared entry outlives eviction of its key.
+  cache.Put(ShardZeroKey(1), EntryWithCost(1));
+  cache.Put(ShardZeroKey(2), EntryWithCost(2));
+  cache.Put(ShardZeroKey(3), EntryWithCost(3));
+  cache.Put(ShardZeroKey(4), EntryWithCost(4));
+  EXPECT_EQ(first->result.best_cost, 7);
 }
 
 TEST(ResultCache, ShardCountIsClampedToCapacity) {

@@ -55,6 +55,37 @@ TEST(SolverService, UnknownEngineRejectedImmediately) {
       service.metrics().counter("rejected_unknown_engine").value(), 1u);
 }
 
+TEST(SolverService, RestrictedUcddcpInstanceRejectedAtTheBoundary) {
+  // The O(n) UCDDCP evaluator requires d >= sum(P_i); a violating
+  // instance must be rejected synchronously with a diagnostic, never
+  // handed to an engine (which would throw deep inside a worker).
+  SolverService service(ServiceConfig{.workers = 1});
+  SolveRequest request;
+  request.id = 9;
+  request.instance =
+      Instance(Problem::kUcddcp, /*d=*/5, {6, 5, 2}, {7, 9, 6}, {9, 5, 4},
+               {5, 5, 2}, {5, 4, 3});  // sum P = 13 > d
+  request.engine = "sa";
+  request.options.generations = 10;
+  std::future<SolveResponse> future = service.Submit(std::move(request));
+  ASSERT_EQ(future.wait_for(milliseconds(0)), std::future_status::ready);
+  const SolveResponse response = future.get();
+  EXPECT_EQ(response.status, SolveStatus::kRejectedInvalidInstance);
+  EXPECT_FALSE(response.ok());
+  EXPECT_NE(response.error.find("restricted UCDDCP"), std::string::npos);
+  EXPECT_NE(response.error.find("sum(P_i) = 13"), std::string::npos);
+  EXPECT_EQ(
+      service.metrics().counter("rejected_invalid_instance").value(), 1u);
+}
+
+TEST(SolverService, UnrestrictedUcddcpInstancePassesValidation) {
+  EXPECT_TRUE(
+      ValidateRequestInstance(cdd::testing::RandomUcddcp(8, 1.2, 3))
+          .empty());
+  EXPECT_TRUE(ValidateRequestInstance(cdd::testing::RandomCdd(8, 0.4, 3))
+                  .empty());  // restricted CDD is fine — only UCDDCP gates
+}
+
 TEST(SolverService, CacheHitIsBitIdenticalToFreshSolve) {
   SolverService service(ServiceConfig{.workers = 1});
   const SolveResponse first = service.Submit(SmallRequest(1)).get();

@@ -28,6 +28,7 @@
 #include "orlib/schfile.hpp"
 #include "serve/engine_registry.hpp"
 #include "serve/replay.hpp"
+#include "serve/request.hpp"
 #include "trace/manifest.hpp"
 #include "trace/tracer.hpp"
 
@@ -120,6 +121,14 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(args.GetInt("generate", 20));
       const orlib::BiskupFeldmannGenerator gen(seed);
       instance = ucddcp ? gen.Ucddcp(n, index) : gen.Cdd(n, index, h);
+    }
+    // Evaluator preconditions are hard errors before any engine runs: a
+    // cost computed under a violated precondition is worse than no answer.
+    if (const std::string diagnostic =
+            serve::ValidateRequestInstance(instance);
+        !diagnostic.empty()) {
+      std::cerr << "error: " << diagnostic << "\n";
+      return 1;
     }
     instance.Validate();
     std::cout << "instance: " << instance.Summary() << "\n";
