@@ -34,6 +34,7 @@
 #include "common/test_instances.hpp"
 #include "core/candidate_pool.hpp"
 #include "core/cpu_features.hpp"
+#include "core/pool_allocator.hpp"
 #include "core/eval_cdd.hpp"
 #include "core/eval_raw.hpp"
 #include "core/eval_simd.hpp"
@@ -49,6 +50,8 @@ double Seconds(Clock::time_point t0, Clock::time_point t1) {
 
 struct SizeResult {
   std::uint32_t n = 0;
+  std::int32_t pool_stride = 0;   ///< row stride in JobId elements
+  std::size_t pool_row_bytes = 0; ///< stride * sizeof(JobId)
   double function_evals_per_sec = 0;
   double batch_evals_per_sec = 0;
   double speedup = 0;
@@ -79,12 +82,14 @@ int main(int argc, char** argv) {
   const std::string json_path = args.GetString("json", "BENCH_eval.json");
 
   const std::string_view backend = core::ToString(core::ActiveEvalBackend());
+  const std::string_view pool_backend =
+      core::ToString(core::ActivePoolBackend());
   const char* isa = raw::SimdBatchIsa();
   std::cout << "=== Batched SoA evaluation vs std::function dispatch "
             << "(B=" << batch << (smoke ? ", smoke" : "") << ") ===\n"
             << "dispatch backend: " << backend << " (simd isa: " << isa
             << ", available: " << (raw::SimdBatchAvailable() ? "yes" : "no")
-            << ")\n";
+            << "), pool backend: " << pool_backend << "\n";
   benchutil::TextTable table({"n", "fn evals/s", "batch evals/s", "speedup",
                               "scalar evals/s", "simd evals/s",
                               "simd speedup", "bit-identical"});
@@ -165,6 +170,9 @@ int main(int argc, char** argv) {
     const double evals = static_cast<double>(reps) * batch;
     SizeResult row;
     row.n = n;
+    row.pool_stride = view.stride;
+    row.pool_row_bytes =
+        static_cast<std::size_t>(view.stride) * sizeof(JobId);
     row.function_evals_per_sec = evals / Seconds(t0, t1);
     row.batch_evals_per_sec = evals / Seconds(t1, t2);
     row.speedup = row.batch_evals_per_sec / row.function_evals_per_sec;
@@ -204,10 +212,13 @@ int main(int argc, char** argv) {
   }
   json << "{\n  \"bench\": \"eval_batch\",\n  \"batch\": " << batch
        << ",\n  \"backend\": \"" << backend << "\",\n  \"simd_isa\": \""
-       << isa << "\",\n  \"results\": [\n";
+       << isa << "\",\n  \"pool_backend\": \"" << pool_backend
+       << "\",\n  \"pool_alignment_bytes\": 64,\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SizeResult& r = results[i];
-    json << "    {\"n\": " << r.n << ", \"function_evals_per_sec\": "
+    json << "    {\"n\": " << r.n << ", \"pool_stride\": " << r.pool_stride
+         << ", \"pool_row_bytes\": " << r.pool_row_bytes
+         << ", \"function_evals_per_sec\": "
          << benchutil::FmtDouble(r.function_evals_per_sec, 0)
          << ", \"batch_evals_per_sec\": "
          << benchutil::FmtDouble(r.batch_evals_per_sec, 0)

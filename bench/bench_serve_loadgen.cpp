@@ -8,20 +8,32 @@
 /// percentiles and cache hit rate per configuration — the serving
 /// baseline for the perf trajectory.
 ///
+/// A second mode sweeps the candidate-pool *placement* instead of the
+/// worker count (experiment: results/exp_pool_backends.txt): one run per
+/// pool backend, same traffic, reporting engine evaluations/sec plus the
+/// pool-handoff counters — zero-copy lending means every host-side
+/// placement avoids both staged copies a device round trip would cost.
+///
 ///   bench_serve_loadgen                       # quick sweep
 ///   bench_serve_loadgen --workers 1,2,4,8 --requests 4000 --clients 16
 ///   bench_serve_loadgen --dup-frac 0.5        # cache-friendly traffic
+///   bench_serve_loadgen --pool-backends host,pinned,device,numa \
+///       --engine dpso --sizes 50,200,500 --dup-frac 0
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "benchutil/cli.hpp"
 #include "benchutil/stats.hpp"
 #include "benchutil/table.hpp"
+#include "core/pool_allocator.hpp"
 #include "orlib/biskup_feldmann.hpp"
 #include "rng/philox.hpp"
 #include "serve/service.hpp"
@@ -40,19 +52,25 @@ struct SweepResult {
   double p99_ms = 0.0;
   double hit_rate = 0.0;
   std::uint64_t rejected = 0;
+  std::uint64_t evaluations = 0;     ///< objective calls across responses
+  std::uint64_t pool_handoffs = 0;   ///< request pools lent to engines
+  std::uint64_t staging_copies = 0;  ///< modeled copies the placement cost
 };
 
 SweepResult RunSweep(unsigned workers, unsigned clients,
                      std::size_t requests,
                      const std::vector<serve::SolveRequest>& pool,
-                     double dup_frac, std::uint64_t seed) {
+                     double dup_frac, std::uint64_t seed,
+                     const std::string& pool_backend = {}) {
   serve::ServiceConfig config;
   config.workers = workers;
   config.queue_capacity = std::max<std::size_t>(2 * clients, 16);
   config.cache_capacity = 4096;
+  config.pool_backend = pool_backend;
   serve::SolverService service(config);
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> evaluations{0};
   const auto t_start = std::chrono::steady_clock::now();
 
   const auto client = [&](unsigned client_id) {
@@ -74,6 +92,8 @@ SweepResult RunSweep(unsigned workers, unsigned clients,
         const serve::SolveResponse response = future.get();
         if (response.status !=
             serve::SolveStatus::kRejectedQueueFull) {
+          evaluations.fetch_add(response.result.evaluations,
+                                std::memory_order_relaxed);
           break;
         }
         std::this_thread::sleep_for(std::chrono::microseconds(100));
@@ -105,8 +125,22 @@ SweepResult RunSweep(unsigned workers, unsigned clients,
                               static_cast<double>(cache.hits + cache.misses);
   result.rejected =
       service.metrics().counter("rejected_queue_full").value();
+  result.evaluations = evaluations.load(std::memory_order_relaxed);
+  result.pool_handoffs = service.metrics().counter("pool_handoffs").value();
+  result.staging_copies =
+      service.metrics().counter("pool_staging_copies").value();
   service.Shutdown();
   return result;
+}
+
+std::vector<std::string> SplitCsv(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream stream(list);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
 }
 
 }  // namespace
@@ -118,6 +152,12 @@ int main(int argc, char** argv) {
     std::cout << "Closed-loop load generator for the solver service.\n"
                  "Flags: --workers LIST --clients C --requests N\n"
                  "       --dup-frac F --sizes LIST --gens G --seed S\n"
+                 "       --engine NAME   engine every request runs "
+                 "(default sa)\n"
+                 "       --pool-backends LIST   sweep candidate-pool "
+                 "placement\n"
+                 "           (host,pinned,device,numa) instead of the "
+                 "worker count\n"
                  "       --trace   enable runtime tracing during the sweep\n"
                  "                 (measures instrumentation overhead)\n";
     return 0;
@@ -140,6 +180,9 @@ int main(int argc, char** argv) {
       args.GetUintList("sizes", {20, 50});
   const auto gens = static_cast<std::uint64_t>(args.GetInt("gens", 200));
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const std::string engine = args.GetString("engine", "sa");
+  const std::vector<std::string> pool_backends =
+      SplitCsv(args.GetString("pool-backends", ""));
 
   // Unique request pool shared by all sweeps: serial SA over mixed-size
   // CDD instances (the cheap end of the engine table, so the sweep
@@ -153,15 +196,58 @@ int main(int argc, char** argv) {
     request.instance = gen.Cdd(sizes[u % sizes.size()],
                                static_cast<std::uint32_t>(u),
                                0.2 + 0.2 * (u % 4));
-    request.engine = "sa";
+    request.engine = engine;
     request.options.generations = gens;
     request.options.seed = seed;
     pool.push_back(std::move(request));
   }
 
+  if (!pool_backends.empty()) {
+    // Placement sweep: same traffic, one service per pool backend.  Each
+    // lent pool on a host-side placement avoids the two staged copies
+    // (H2D + D2H) a device round trip would model.
+    const unsigned workers = worker_sweep.empty() ? 2 : worker_sweep[0];
+    std::cout << "=== Candidate-pool placement sweep (" << clients
+              << " clients, " << workers << " workers, " << requests
+              << " requests/sweep, " << engine << "/" << gens << " gens, "
+              << 100.0 * dup_frac << "% duplicate offers) ===\n";
+    benchutil::TextTable table({"pool backend", "req/s", "evals/s",
+                                "p50 [ms]", "p95 [ms]", "handoffs",
+                                "staged copies", "copies avoided",
+                                "cache hit %"});
+    for (const std::string& backend : pool_backends) {
+      core::PoolBackend parsed = core::PoolBackend::kHost;
+      if (!core::ParsePoolBackend(backend, &parsed)) {
+        std::cerr << "error: unknown pool backend '" << backend << "'\n";
+        return 1;
+      }
+      const SweepResult r = RunSweep(workers, clients, requests, pool,
+                                     dup_frac, seed, backend);
+      const std::uint64_t avoided = 2 * r.pool_handoffs - r.staging_copies;
+      table.AddRow(
+          {backend,
+           benchutil::FmtDouble(
+               static_cast<double>(r.requests) / r.wall_seconds, 1),
+           benchutil::FmtDouble(
+               static_cast<double>(r.evaluations) / r.wall_seconds, 0),
+           benchutil::FmtDouble(r.p50_ms, 2),
+           benchutil::FmtDouble(r.p95_ms, 2),
+           std::to_string(r.pool_handoffs),
+           std::to_string(r.staging_copies), std::to_string(avoided),
+           benchutil::FmtDouble(100.0 * r.hit_rate, 1)});
+    }
+    std::cout << table.ToString();
+    std::cout << "\nNote: placement never changes results (the golden "
+                 "manifest replays bit-identically under every backend); "
+                 "it changes only where pool memory lives and what the "
+                 "transfer model charges for each engine handoff.\n";
+    return 0;
+  }
+
   std::cout << "=== Serving baseline: closed-loop load generator ("
             << clients << " clients, " << requests << " requests/sweep, "
-            << 100.0 * dup_frac << "% duplicate offers, sa/" << gens
+            << 100.0 * dup_frac << "% duplicate offers, " << engine << "/"
+            << gens
             << " gens, tracing " << (tracing ? "ON" : "off") << ") ===\n";
   benchutil::TextTable table({"workers", "req/s", "wall [s]", "p50 [ms]",
                               "p95 [ms]", "p99 [ms]", "cache hit %",

@@ -1,6 +1,8 @@
 #include "core/candidate_pool.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <new>
 #include <stdexcept>
 
 namespace cdd {
@@ -12,19 +14,107 @@ std::size_t RoundUpToRowAlign(std::size_t n) {
   return ((std::max<std::size_t>(n, 1) + a - 1) / a) * a;
 }
 
+std::size_t RoundUpTo64(std::size_t bytes) {
+  return (bytes + 63) / 64 * 64;
+}
+
 }  // namespace
 
 CandidatePool::CandidatePool(std::size_t n, std::size_t capacity)
+    : CandidatePool(n, capacity, core::ActivePoolAllocator()) {}
+
+CandidatePool::CandidatePool(std::size_t n, std::size_t capacity,
+                             core::PoolAllocator& allocator)
     : n_(n),
       stride_(RoundUpToRowAlign(n)),
-      capacity_(std::max<std::size_t>(capacity, 1)),
-      seqs_(stride_ * capacity_, 0),
-      shadow_(stride_ * capacity_, 0),
-      costs_(capacity_, 0),
-      pinned_(capacity_, -1) {
+      capacity_(std::max<std::size_t>(capacity, 1)) {
   if (n == 0) {
     throw std::invalid_argument("CandidatePool: n must be >= 1");
   }
+
+  // One contiguous block, four 64-byte-aligned sections:
+  //   [ seqs | shadow | costs | pinned ]
+  // so a pool costs its allocator exactly one Allocate and the fallback
+  // decision is made once, for all four arrays together.
+  const std::size_t rows_bytes =
+      RoundUpTo64(stride_ * capacity_ * sizeof(JobId));
+  const std::size_t costs_bytes = RoundUpTo64(capacity_ * sizeof(Cost));
+  const std::size_t pinned_bytes =
+      RoundUpTo64(capacity_ * sizeof(std::int32_t));
+  block_bytes_ = 2 * rows_bytes + costs_bytes + pinned_bytes;
+
+  allocator_ = &allocator;
+  block_ = allocator_->Allocate(block_bytes_, 64);
+  if (block_ == nullptr) {
+    // Graceful degradation: a pool that lives in the wrong kind of memory
+    // still computes the right answers; record the fallback and carry on.
+    core::GlobalPoolStats().fallbacks.fetch_add(1,
+                                                std::memory_order_relaxed);
+    allocator_ = &core::PoolAllocatorFor(core::PoolBackend::kHost);
+    block_ = allocator_->Allocate(block_bytes_, 64);
+    if (block_ == nullptr) {
+      throw std::bad_alloc();
+    }
+  }
+  backend_ = allocator_->backend();
+
+  auto* base = static_cast<char*>(block_);
+  seqs_ = reinterpret_cast<JobId*>(base);
+  shadow_ = reinterpret_cast<JobId*>(base + rows_bytes);
+  costs_ = reinterpret_cast<Cost*>(base + 2 * rows_bytes);
+  pinned_ = reinterpret_cast<std::int32_t*>(base + 2 * rows_bytes +
+                                            costs_bytes);
+
+  // Deterministic initial contents (what the std::vector storage used to
+  // guarantee) — also the first-touch pass for the NUMA backend.
+  std::memset(seqs_, 0, rows_bytes);
+  std::memset(shadow_, 0, rows_bytes);
+  std::memset(costs_, 0, costs_bytes);
+  std::fill_n(pinned_, capacity_, -1);
+}
+
+void CandidatePool::Release() noexcept {
+  if (block_ != nullptr) {
+    allocator_->Deallocate(block_, block_bytes_);
+    block_ = nullptr;
+  }
+}
+
+CandidatePool::~CandidatePool() { Release(); }
+
+CandidatePool::CandidatePool(CandidatePool&& other) noexcept
+    : n_(other.n_),
+      stride_(other.stride_),
+      capacity_(other.capacity_),
+      size_(other.size_),
+      generation_(other.generation_),
+      backend_(other.backend_),
+      allocator_(other.allocator_),
+      block_(std::exchange(other.block_, nullptr)),
+      block_bytes_(other.block_bytes_),
+      seqs_(other.seqs_),
+      shadow_(other.shadow_),
+      costs_(other.costs_),
+      pinned_(other.pinned_) {}
+
+CandidatePool& CandidatePool::operator=(CandidatePool&& other) noexcept {
+  if (this != &other) {
+    Release();
+    n_ = other.n_;
+    stride_ = other.stride_;
+    capacity_ = other.capacity_;
+    size_ = other.size_;
+    generation_ = other.generation_;
+    backend_ = other.backend_;
+    allocator_ = other.allocator_;
+    block_ = std::exchange(other.block_, nullptr);
+    block_bytes_ = other.block_bytes_;
+    seqs_ = other.seqs_;
+    shadow_ = other.shadow_;
+    costs_ = other.costs_;
+    pinned_ = other.pinned_;
+  }
+  return *this;
 }
 
 std::size_t CandidatePool::Append(std::span<const JobId> src) {
@@ -33,7 +123,7 @@ std::size_t CandidatePool::Append(std::span<const JobId> src) {
         "CandidatePool::Append: sequence length mismatch");
   }
   const std::size_t b = AppendUninitialized();
-  std::copy(src.begin(), src.end(), seqs_.data() + b * stride_);
+  std::copy(src.begin(), src.end(), seqs_ + b * stride_);
   return b;
 }
 

@@ -21,6 +21,13 @@
 /// the instance evaluators and par::detail::LaunchFitness all call the
 /// raw::EvalCddBatchDispatch / EvalUcddcpBatchDispatch entry points of
 /// eval_simd.hpp, which resolve through ActiveEvalBackend().
+///
+/// Thread-safety: HostCpuFeatures() and ActiveEvalBackend() are
+/// resolve-once function-local statics — safe to call concurrently from
+/// any thread, and guaranteed to return the same answer for the process
+/// lifetime (so two threads can never disagree about the backend).  The
+/// same idiom selects the candidate-pool placement backend; see
+/// core::ActivePoolBackend() in core/pool_allocator.hpp.
 
 #include <string_view>
 

@@ -36,6 +36,24 @@
 /// Call sites use the *Dispatch entry points, which resolve the backend
 /// exactly once per process via core::ActiveEvalBackend() (environment
 /// override CDD_EVAL_BACKEND=simd|scalar, then the CPU probe).
+///
+/// Preconditions (shared with the scalar evaluators of eval_raw.hpp, and
+/// unchecked here — violating them yields meaningless costs, not UB
+/// diagnostics):
+///  * every row seqs[b*stride .. b*stride+n) is a permutation of [0, n);
+///  * stride >= n (rows may be padded, e.g. CandidatePool's 64-byte
+///    stride);
+///  * the UCDDCP evaluators implement the *unrestricted* O(n) algorithm
+///    and require d >= sum(P_i); restricted instances must be rejected at
+///    the boundary (serve::ValidateRequestInstance does) before any batch
+///    call;
+///  * `pinned` / `offsets` may be null when the caller does not want
+///    those outputs; when non-null they hold `batch` entries.
+///
+/// Thread-safety: all entry points are pure functions of their arguments
+/// with no shared mutable state — concurrent calls are safe as long as
+/// their output ranges (costs/pinned/offsets) do not overlap.  The
+/// dispatch resolution itself is a thread-safe one-time initialization.
 
 #include <cstdint>
 

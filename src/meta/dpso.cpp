@@ -28,7 +28,8 @@ RunResult RunSerialDpso(const SequenceObjective& objective,
   // The evaluators consume no rng, so splitting "perturb all" from
   // "evaluate all" leaves the Philox stream order — and therefore every
   // result — bit-identical to the interleaved loop.
-  CandidatePool pool(n, params.swarm);
+  PoolLease lease(params.pool, n, params.swarm);
+  CandidatePool& pool = *lease;
 
   RunResult result;
   std::vector<Particle> swarm(params.swarm);

@@ -28,6 +28,8 @@ struct DpsoParams {
   std::uint32_t trajectory_stride = 0;
   /// Cooperative cancellation, polled between generations.
   StopToken stop{};
+  /// Optional lent candidate pool (see SaParams::pool); needs `swarm` rows.
+  CandidatePool* pool = nullptr;
 };
 
 /// Runs the serial DPSO and returns the swarm's best particle.

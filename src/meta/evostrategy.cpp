@@ -22,8 +22,10 @@ RunResult RunEvolutionStrategy(const SequenceObjective& objective,
   // Offspring are bred directly inside the pool: each child row is a copy
   // of its parent perturbed in place, and the whole brood is costed with
   // one EvaluateBatch call per generation.
-  CandidatePool pool(n, std::max<std::uint32_t>(
-                            std::max(params.lambda, params.mu), 1));
+  PoolLease lease(params.pool, n,
+                  std::max<std::uint32_t>(
+                      std::max(params.lambda, params.mu), 1));
+  CandidatePool& pool = *lease;
 
   RunResult result;
   std::vector<Individual> population;

@@ -25,6 +25,9 @@ struct EsParams {
   std::uint32_t trajectory_stride = 0;
   /// Cooperative cancellation, polled between generations.
   StopToken stop{};
+  /// Optional lent candidate pool (see SaParams::pool); needs
+  /// max(mu, lambda) rows.
+  CandidatePool* pool = nullptr;
 };
 
 /// Runs the serial evolution strategy.

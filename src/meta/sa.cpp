@@ -39,7 +39,8 @@ RunResult RunSerialSa(const SequenceObjective& objective,
   // neighbour is perturbed directly inside a single-row pool and evaluated
   // with one EvaluateBatch call — the same entry point the population
   // engines use, with no per-candidate dispatch.
-  CandidatePool pool(n, /*capacity=*/1);
+  PoolLease lease(params.pool, n, /*capacity=*/1);
+  CandidatePool& pool = *lease;
   const std::span<JobId> candidate = pool.row(pool.AppendUninitialized());
   std::vector<std::uint32_t> positions(params.pert);
   std::vector<JobId> values(params.pert);

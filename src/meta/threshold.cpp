@@ -31,7 +31,8 @@ RunResult RunThresholdAccepting(const SequenceObjective& objective,
 
   // Like the SA chain, TA is sequential: one pool row per iteration,
   // perturbed in place and evaluated through the batch entry point.
-  CandidatePool pool(n, /*capacity=*/1);
+  PoolLease lease(params.pool, n, /*capacity=*/1);
+  CandidatePool& pool = *lease;
   const std::span<JobId> candidate = pool.row(pool.AppendUninitialized());
   std::vector<std::uint32_t> positions(params.pert);
   std::vector<JobId> values(params.pert);

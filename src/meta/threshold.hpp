@@ -31,6 +31,8 @@ struct TaParams {
   std::uint32_t trajectory_stride = 0;
   /// Cooperative cancellation, polled every kStopCheckStride iterations.
   StopToken stop{};
+  /// Optional lent candidate pool (see SaParams::pool); needs one row.
+  CandidatePool* pool = nullptr;
 };
 
 /// Runs serial Threshold Accepting.

@@ -65,6 +65,19 @@ void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
   // every backend computes exact integers.
   assert(pool.current() &&
          "LaunchFitness: stale CandidatePoolView (pool swapped buffers)");
+
+  // Staging model: pageable host pools (kHost/kNuma) bounce their rows to
+  // the device before the kernel and their results back after it; pinned
+  // host pools are DMA-able in place and device-resident pools are
+  // already there, so neither fires a transfer.  The copies are modeled
+  // (the simulator shares one address space); what matters is that the
+  // H2D/D2H events and their modeled time land on the device ledger
+  // exactly when a real GPU would pay them.
+  const core::PoolTransferCost transfer = pool.transfer_cost();
+  if (transfer.device_staging) {
+    device.RecordH2D(static_cast<std::size_t>(pool.count) * pool.stride *
+                     sizeof(JobId));
+  }
   if (controllable) {
     cdd::raw::EvalUcddcpBatchDispatch(n, d, pool.seqs, pool.stride,
                                  static_cast<std::int32_t>(pool.count),
@@ -125,6 +138,14 @@ void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
         }
         // costs/pinned were written by the pre-launch batch evaluation.
       });
+
+  if (transfer.device_staging) {
+    std::size_t result_bytes = pool.count * sizeof(Cost);
+    if (pool.pinned != nullptr) {
+      result_bytes += pool.count * sizeof(std::int32_t);
+    }
+    device.RecordD2H(result_bytes);
+  }
 }
 
 void LaunchReduction(sim::Device& device, const LaunchConfig& config,

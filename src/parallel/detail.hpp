@@ -29,6 +29,23 @@ std::vector<JobId> MakeInitialSequences(std::uint32_t ensemble,
                                         std::int32_t n, std::uint64_t seed,
                                         const Sequence* base = nullptr);
 
+/// Builds a kDevice-tagged CandidatePoolView over raw device buffers
+/// (dense rows, stride == n) — the geometry LaunchFitness consumes.  The
+/// tag keeps device views exempt from the host pools' buffer-generation
+/// staleness check and tells the transfer-cost model no H2D staging is
+/// needed (the rows are already resident).
+inline CandidatePoolView DeviceView(JobId* seqs, Cost* costs,
+                                    std::int32_t n, std::uint32_t count) {
+  CandidatePoolView view;
+  view.seqs = seqs;
+  view.costs = costs;
+  view.n = n;
+  view.stride = n;
+  view.count = count;
+  view.backend = core::PoolBackend::kDevice;
+  return view;
+}
+
 /// Where the fitness kernel reads the per-unit penalties from.
 /// kShared is the paper's choice (Section VI-A); kTexture is its stated
 /// future work (Section IX); kGlobal is the unoptimized baseline.
@@ -36,10 +53,16 @@ enum class PenaltyMemory { kShared, kGlobal, kTexture };
 
 /// Launches the fitness kernel of Section VI-A over the rows of \p pool —
 /// the same CandidatePoolView geometry the host engines batch through,
-/// here built over device buffers (thread t evaluates pool.row(t) into
-/// pool.costs[t]; pool.pinned may be null).  Penalty reads go through
-/// cooperative shared-memory staging (where they fit), read-only texture
-/// fetches, or direct global loads, per \p memory.
+/// normally built over device buffers via DeviceView (thread t evaluates
+/// pool.row(t) into pool.costs[t]; pool.pinned may be null).  Penalty
+/// reads go through cooperative shared-memory staging (where they fit),
+/// read-only texture fetches, or direct global loads, per \p memory.
+///
+/// Transfer accounting: the view's backend tag decides whether the launch
+/// models staging copies.  kDevice and kPinned views are consumed in
+/// place (zero-copy — resident or DMA-able); pageable host views (kHost,
+/// kNuma) charge one H2D for the rows before the kernel and one D2H for
+/// the results after it, metered on \p device like every other transfer.
 void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
                    const LaunchConfig& config, const CandidatePoolView& pool,
                    const char* kernel_name,

@@ -74,8 +74,8 @@ GpuRunResult RunParallelDpso(sim::Device& device, const Instance& instance,
   std::int64_t* d_packed = packed_best.data();
 
   // Positions as a device-side candidate pool (dense rows, stride == n).
-  const CandidatePoolView pos_pool{d_pos, d_pos_cost, nullptr, n, n,
-                                   ensemble};
+  const CandidatePoolView pos_pool =
+      detail::DeviceView(d_pos, d_pos_cost, n, ensemble);
 
   // Initial fitness, particle bests and swarm best.
   detail::LaunchFitness(device, problem, params.config, pos_pool,

@@ -81,12 +81,11 @@ GpuRunResult RunParallelSa(sim::Device& device, const Instance& instance,
 
   // Pool views over the device buffers: same row geometry the host
   // engines evaluate through (stride == n — rows are dense on device).
-  const CandidatePoolView curr_pool{curr.data(), curr_cost.data(),
-                                    nullptr,     n,
-                                    n,           ensemble};
-  const CandidatePoolView cand_pool{cand.data(), cand_cost.data(),
-                                    nullptr,     n,
-                                    n,           ensemble};
+  // kDevice-tagged, so the fitness launches consume them without staging.
+  const CandidatePoolView curr_pool =
+      detail::DeviceView(curr.data(), curr_cost.data(), n, ensemble);
+  const CandidatePoolView cand_pool =
+      detail::DeviceView(cand.data(), cand_cost.data(), n, ensemble);
 
   // Initial fitness of the uploaded ensemble.
   detail::LaunchFitness(device, problem, params.config, curr_pool,

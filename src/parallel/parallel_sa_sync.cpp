@@ -63,12 +63,10 @@ GpuRunResult RunParallelSaSync(sim::Device& device, const Instance& instance,
   }
 
   GpuRunResult result;
-  const CandidatePoolView curr_pool{curr.data(), curr_cost.data(),
-                                    nullptr,     n,
-                                    n,           ensemble};
-  const CandidatePoolView cand_pool{cand.data(), cand_cost.data(),
-                                    nullptr,     n,
-                                    n,           ensemble};
+  const CandidatePoolView curr_pool =
+      detail::DeviceView(curr.data(), curr_cost.data(), n, ensemble);
+  const CandidatePoolView cand_pool =
+      detail::DeviceView(cand.data(), cand_cost.data(), n, ensemble);
   detail::LaunchFitness(device, problem, params.config, curr_pool,
                         "sync_fitness");
   result.evaluations += ensemble;

@@ -46,6 +46,7 @@ EngineRegistry MakeDefault() {
         params.seed = options.seed;
         params.trajectory_stride = options.trajectory_stride;
         params.stop = options.stop;
+        params.pool = options.pool;
         const meta::SequenceObjective objective =
             meta::SequenceObjective::ForInstance(instance);
         return EngineRun{meta::RunSerialSa(objective, params), 0.0};
@@ -58,6 +59,7 @@ EngineRegistry MakeDefault() {
         params.seed = options.seed;
         params.trajectory_stride = options.trajectory_stride;
         params.stop = options.stop;
+        params.pool = options.pool;
         const meta::SequenceObjective objective =
             meta::SequenceObjective::ForInstance(instance);
         return EngineRun{meta::RunSerialDpso(objective, params), 0.0};
@@ -70,6 +72,7 @@ EngineRegistry MakeDefault() {
         params.seed = options.seed;
         params.trajectory_stride = options.trajectory_stride;
         params.stop = options.stop;
+        params.pool = options.pool;
         const meta::SequenceObjective objective =
             meta::SequenceObjective::ForInstance(instance);
         return EngineRun{meta::RunThresholdAccepting(objective, params),
@@ -83,6 +86,7 @@ EngineRegistry MakeDefault() {
         params.seed = options.seed;
         params.trajectory_stride = options.trajectory_stride;
         params.stop = options.stop;
+        params.pool = options.pool;
         const meta::SequenceObjective objective =
             meta::SequenceObjective::ForInstance(instance);
         return EngineRun{meta::RunEvolutionStrategy(objective, params),
@@ -154,6 +158,26 @@ EngineRegistry MakeDefault() {
 }
 
 }  // namespace
+
+bool IsDeviceEngine(std::string_view name) {
+  return name == "psa" || name == "pdpso" || name == "psa-sync";
+}
+
+std::size_t PoolCapacityHint(std::string_view name,
+                             const EngineOptions& options) {
+  (void)options;
+  // Single-chain engines perturb one candidate row in place.
+  if (name == "sa" || name == "ta") return 1;
+  // Population engines stage a full generation per EvaluateBatch call.
+  if (name == "dpso") return meta::DpsoParams{}.swarm;
+  if (name == "es") {
+    const meta::EsParams defaults;
+    return std::max<std::size_t>(std::max(defaults.mu, defaults.lambda), 1);
+  }
+  // "host" fans out per-thread chains (each with its own pool) and the
+  // device engines keep their generations in device buffers.
+  return 0;
+}
 
 void EngineRegistry::Register(std::string name, EngineFn fn) {
   engines_[std::move(name)] = std::move(fn);

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/candidate_pool.hpp"
 #include "core/instance.hpp"
 #include "core/stop_token.hpp"
 #include "cudasim/device.hpp"
@@ -48,7 +49,25 @@ struct EngineOptions {
   /// creates a private GT 560M per call (what the service does); the CLI
   /// passes its own device so --profile sees the kernels.
   sim::Device* device = nullptr;
+  /// Request-scoped candidate pool lent by the serve layer (zero-copy
+  /// handoff; see PoolCapacityHint).  Engines that can stage their
+  /// generations in it borrow it instead of allocating; null means every
+  /// engine allocates privately.  Like `stop` and `device`, never hashed
+  /// by CacheKey — placement does not change results.
+  CandidatePool* pool = nullptr;
 };
+
+/// True for the engines that run on the simulated device ("psa", "pdpso",
+/// "psa-sync") — their generations live in device buffers, so a lent pool
+/// would sit on the wrong side of the bus.
+bool IsDeviceEngine(std::string_view name);
+
+/// Rows a request-scoped pool needs so the named engine can stage a full
+/// generation in it; 0 means the engine cannot borrow a shared pool
+/// ("host" fans out per-thread chains, device engines use device buffers)
+/// and the serve layer should not lend one.
+std::size_t PoolCapacityHint(std::string_view name,
+                             const EngineOptions& options);
 
 /// Normalized engine outcome.
 struct EngineRun {

@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <exception>
+#include <optional>
 #include <utility>
 
 #include "serve/replay.hpp"
@@ -15,6 +16,17 @@ using Clock = std::chrono::steady_clock;
 
 double MsSince(Clock::time_point start, Clock::time_point end) {
   return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+core::PoolAllocator* ResolvePoolAllocator(const ServiceConfig& config) {
+  if (config.pool_allocator != nullptr) return config.pool_allocator;
+  core::PoolBackend backend = core::ActivePoolBackend();
+  if (!config.pool_backend.empty()) {
+    // Unknown names keep the environment/default resolution, matching how
+    // CDD_POOL_BACKEND itself degrades.
+    core::ParsePoolBackend(config.pool_backend, &backend);
+  }
+  return &core::PoolAllocatorFor(backend);
 }
 
 }  // namespace
@@ -36,8 +48,12 @@ SolverService::SolverService(ServiceConfig config,
       deadline_expired_(&metrics_.counter("deadline_expired")),
       cancelled_(&metrics_.counter("cancelled")),
       failed_(&metrics_.counter("failed")),
+      pool_handoffs_(&metrics_.counter("pool_handoffs")),
+      pool_staging_copies_(&metrics_.counter("pool_staging_copies")),
+      pool_alloc_fallbacks_(&metrics_.counter("pool_alloc_fallbacks")),
       queue_ms_(&metrics_.histogram("queue_ms")),
       solve_ms_(&metrics_.histogram("solve_ms")),
+      pool_allocator_(ResolvePoolAllocator(config)),
       queue_(config.queue_capacity) {
   if (config_.workers == 0) config_.workers = 1;
   if (!config_.manifest_path.empty()) {
@@ -173,6 +189,35 @@ void SolverService::Process(Job&& job, unsigned slot) {
   // Safe because RunHostEnsembleSa is thread-count invariant: the pool
   // already provides the parallelism, each engine call stays serial.
   options.threads = 1;
+
+  // One request-scoped candidate pool, placed by the configured allocator
+  // and lent zero-copy to engines that stage their generations in it.
+  // Host-side placements hand the engine the very rows it perturbs; only
+  // a placement on the far side of the modeled bus charges staging copies.
+  std::optional<CandidatePool> request_pool;
+  const std::size_t pool_rows =
+      PoolCapacityHint(job.request.engine, options);
+  if (pool_rows > 0 && job.request.instance.size() > 0) {
+    request_pool.emplace(job.request.instance.size(), pool_rows,
+                         *pool_allocator_);
+    options.pool = &*request_pool;
+    pool_handoffs_->Increment();
+    if (request_pool->backend() != pool_allocator_->backend()) {
+      // The requested backend could not deliver memory and CandidatePool
+      // fell back to plain host pages (layout-identical, so the run's
+      // results are unchanged — only the placement degraded).
+      pool_alloc_fallbacks_->Increment();
+      CDD_TRACE_INSTANT("serve.pool_alloc_fallback");
+    }
+    // Every borrowing engine runs on the host, so a device-resident pool
+    // costs one modeled H2D (rows in) plus one D2H (costs out) per
+    // handoff; host/pinned/numa placements are zero-copy.
+    if (core::TransferCost(request_pool->backend()).host_staging) {
+      pool_staging_copies_->Increment(2);
+      CDD_TRACE_INSTANT("serve.pool_stage_h2d");
+      CDD_TRACE_INSTANT("serve.pool_stage_d2h");
+    }
+  }
 
   const Clock::time_point solve_start = Clock::now();
   try {

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "core/pool_allocator.hpp"
 #include "core/stop_token.hpp"
 #include "serve/engine_registry.hpp"
 #include "serve/job_queue.hpp"
@@ -54,6 +55,15 @@ struct ServiceConfig {
   /// re-executes and verifies bit-identically.  Truncated and failed runs
   /// are never recorded: a manifest always describes a reproducible run.
   std::string manifest_path;
+  /// Candidate-pool placement for request-scoped pools ("host", "pinned",
+  /// "device", "numa").  Empty defers to CDD_POOL_BACKEND (then "host").
+  /// Placement never changes results — only the modeled transfer cost.
+  std::string pool_backend;
+  /// Test seam: when non-null, overrides `pool_backend` entirely and every
+  /// request-scoped pool allocates through this allocator (e.g. an
+  /// always-failing one to exercise the host-fallback path).  Must outlive
+  /// the service.  Not owned.
+  core::PoolAllocator* pool_allocator = nullptr;
 };
 
 /// Concurrent solve service over the engine registry.  Thread-safe:
@@ -86,6 +96,11 @@ class SolverService {
   MetricsRegistry& metrics() { return metrics_; }
   const ResultCache& cache() const { return cache_; }
   unsigned workers() const { return config_.workers; }
+  /// Placement of request-scoped pools after config/env resolution (what
+  /// pools are *requested* on; individual pools may still fall back).
+  core::PoolBackend pool_backend() const {
+    return pool_allocator_->backend();
+  }
 
  private:
   struct Job {
@@ -114,8 +129,15 @@ class SolverService {
   Counter* deadline_expired_;
   Counter* cancelled_;
   Counter* failed_;
+  Counter* pool_handoffs_;         ///< request pools lent to an engine
+  Counter* pool_staging_copies_;   ///< modeled copies a lent pool required
+  Counter* pool_alloc_fallbacks_;  ///< pools that fell back to host memory
   LatencyHistogram* queue_ms_;
   LatencyHistogram* solve_ms_;
+
+  /// Allocator behind every request-scoped pool, resolved once from
+  /// ServiceConfig::pool_allocator / pool_backend / CDD_POOL_BACKEND.
+  core::PoolAllocator* pool_allocator_;
 
   /// Run-manifest recording (ServiceConfig::manifest_path); the mutex
   /// serializes appends so lines from concurrent workers never interleave.

@@ -1,0 +1,79 @@
+/// LaunchFitness transfer accounting: the view's backend tag decides the
+/// modeled staging cost (pageable host rows pay H2D/D2H, pinned and
+/// device-resident rows are zero-copy) while the computed costs stay
+/// bit-identical on every backend.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/test_instances.hpp"
+#include "core/candidate_pool.hpp"
+#include "core/pool_allocator.hpp"
+#include "core/sequence.hpp"
+#include "parallel/detail.hpp"
+#include "parallel/device_problem.hpp"
+#include "parallel/launch_config.hpp"
+#include "rng/philox.hpp"
+
+namespace cdd::par {
+namespace {
+
+constexpr std::int32_t kJobs = 16;
+constexpr std::uint32_t kRows = 8;
+
+struct FitnessRun {
+  std::vector<Cost> costs;
+  double sim_seconds = 0.0;
+};
+
+FitnessRun RunFitness(core::PoolBackend backend) {
+  const Instance instance = cdd::testing::RandomCdd(kJobs, 0.6, 42);
+  sim::Device device;
+  const DeviceProblem problem(device, instance);
+
+  CandidatePool pool(kJobs, kRows, core::PoolAllocatorFor(backend));
+  rng::Philox4x32 rng(/*seed=*/9, /*stream=*/0xf17ULL);
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    const Sequence seq = RandomSequence(kJobs, rng);
+    pool.Append(seq);
+  }
+
+  const LaunchConfig config = LaunchConfig::ForEnsemble(kRows, kRows);
+  device.ResetClock();  // isolate the launch from the problem upload
+  detail::LaunchFitness(device, problem, config, pool.view(),
+                        "fitness_transfer_test");
+
+  FitnessRun run;
+  run.costs.assign(pool.costs().begin(), pool.costs().end());
+  run.sim_seconds = device.sim_time_s();
+  return run;
+}
+
+TEST(FitnessTransfer, CostsAreBitIdenticalAcrossBackends) {
+  const FitnessRun reference = RunFitness(core::PoolBackend::kHost);
+  ASSERT_EQ(reference.costs.size(), kRows);
+  for (const core::PoolBackend backend :
+       {core::PoolBackend::kPinned, core::PoolBackend::kDevice,
+        core::PoolBackend::kNuma}) {
+    EXPECT_EQ(RunFitness(backend).costs, reference.costs)
+        << core::ToString(backend);
+  }
+}
+
+TEST(FitnessTransfer, PageableViewsChargeStagingAndPinnedOnesDoNot) {
+  const double host = RunFitness(core::PoolBackend::kHost).sim_seconds;
+  const double numa = RunFitness(core::PoolBackend::kNuma).sim_seconds;
+  const double pinned = RunFitness(core::PoolBackend::kPinned).sim_seconds;
+  const double device = RunFitness(core::PoolBackend::kDevice).sim_seconds;
+
+  // Pinned (DMA-able) and device-resident views are consumed in place, so
+  // the launch costs exactly the kernel; the two pageable backends pay the
+  // same modeled bounce on top of it.
+  EXPECT_DOUBLE_EQ(pinned, device);
+  EXPECT_DOUBLE_EQ(host, numa);
+  EXPECT_GT(host, pinned);
+}
+
+}  // namespace
+}  // namespace cdd::par

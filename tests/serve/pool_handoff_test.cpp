@@ -1,0 +1,229 @@
+/// Request-scoped pool handoff: the service lends one CandidatePool per
+/// solve to engines that can stage their generations in it, with zero
+/// copies on host-side placements (pinned down by counting trace events),
+/// modeled staging on device placements, graceful host fallback when the
+/// configured allocator fails, and bit-identical results on every backend.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/test_instances.hpp"
+#include "core/pool_allocator.hpp"
+#include "serve/service.hpp"
+#include "trace/tracer.hpp"
+
+namespace cdd::serve {
+namespace {
+
+SolveRequest Request(std::uint64_t id, const std::string& engine) {
+  SolveRequest request;
+  request.id = id;
+  request.instance = cdd::testing::RandomCdd(12, 0.6, 100);
+  request.engine = engine;
+  request.options.generations = 60;
+  request.options.seed = 7;
+  return request;
+}
+
+std::size_t CountEvents(const std::string& json, const std::string& name) {
+  const std::string needle = "\"name\":\"" + name + "\"";
+  std::size_t count = 0;
+  for (std::size_t pos = json.find(needle); pos != std::string::npos;
+       pos = json.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// Runs one service over \p engines with tracing on and returns the
+/// exported Chrome trace (workers joined first, so producers are
+/// quiescent).  \p metrics_out receives the pool counters.
+struct PoolCounters {
+  std::uint64_t handoffs = 0;
+  std::uint64_t staging_copies = 0;
+  std::uint64_t fallbacks = 0;
+};
+
+std::string TracedRun(ServiceConfig config,
+                      const std::vector<std::string>& engines,
+                      PoolCounters* counters) {
+  trace::ResetForTest();
+  trace::SetEnabled(true);
+  std::string json;
+  {
+    SolverService service(config);
+    std::uint64_t id = 1;
+    for (const std::string& engine : engines) {
+      const SolveResponse response =
+          service.Submit(Request(id++, engine)).get();
+      EXPECT_EQ(response.status, SolveStatus::kOk) << engine;
+    }
+    counters->handoffs =
+        service.metrics().counter("pool_handoffs").value();
+    counters->staging_copies =
+        service.metrics().counter("pool_staging_copies").value();
+    counters->fallbacks =
+        service.metrics().counter("pool_alloc_fallbacks").value();
+    service.Shutdown();
+  }
+  trace::SetEnabled(false);
+  std::ostringstream out;
+  trace::ExportChromeTrace(out);
+  return out.str();
+}
+
+TEST(PoolHandoff, HostPlacementLendsWithZeroCopies) {
+  // The tentpole's zero-copy claim: a host-placed pool handed to two
+  // different engines produces not a single modeled transfer — no
+  // staging instants, no simulated H2D/D2H, no fallback.
+  ServiceConfig config{.workers = 1};
+  config.pool_backend = "host";
+  PoolCounters counters;
+  const std::string json = TracedRun(config, {"sa", "dpso"}, &counters);
+
+  EXPECT_EQ(counters.handoffs, 2u);
+  EXPECT_EQ(counters.staging_copies, 0u);
+  EXPECT_EQ(counters.fallbacks, 0u);
+  EXPECT_EQ(CountEvents(json, "serve.pool_stage_h2d"), 0u);
+  EXPECT_EQ(CountEvents(json, "serve.pool_stage_d2h"), 0u);
+  EXPECT_EQ(CountEvents(json, "serve.pool_alloc_fallback"), 0u);
+  EXPECT_EQ(CountEvents(json, "h2d"), 0u);  // no simulated transfers at all
+  EXPECT_EQ(CountEvents(json, "d2h"), 0u);
+}
+
+TEST(PoolHandoff, PinnedPlacementIsAlsoZeroCopy) {
+  ServiceConfig config{.workers = 1};
+  config.pool_backend = "pinned";
+  PoolCounters counters;
+  const std::string json = TracedRun(config, {"sa", "ta"}, &counters);
+  EXPECT_EQ(counters.handoffs, 2u);
+  EXPECT_EQ(counters.staging_copies, 0u);
+  EXPECT_EQ(CountEvents(json, "serve.pool_stage_h2d"), 0u);
+  EXPECT_EQ(CountEvents(json, "serve.pool_stage_d2h"), 0u);
+}
+
+TEST(PoolHandoff, DevicePlacementChargesStagingPerHandoff) {
+  // A device-resident pool lent to a host engine pays the modeled bounce:
+  // rows in (H2D) and costs out (D2H), once per handoff.
+  ServiceConfig config{.workers = 1};
+  config.pool_backend = "device";
+  PoolCounters counters;
+  const std::string json = TracedRun(config, {"sa"}, &counters);
+  EXPECT_EQ(counters.handoffs, 1u);
+  EXPECT_EQ(counters.staging_copies, 2u);
+  EXPECT_EQ(counters.fallbacks, 0u);
+  EXPECT_EQ(CountEvents(json, "serve.pool_stage_h2d"), 1u);
+  EXPECT_EQ(CountEvents(json, "serve.pool_stage_d2h"), 1u);
+}
+
+TEST(PoolHandoff, EnginesWithPrivateBuffersAreNotLentAPool) {
+  // "host" fans out per-chain pools and would serialize on a shared one.
+  ServiceConfig config{.workers = 1};
+  config.pool_backend = "device";
+  PoolCounters counters;
+  SolveRequest request = Request(1, "host");
+  request.options.chains = 2;
+  request.options.generations = 30;
+  trace::ResetForTest();
+  {
+    SolverService service(config);
+    const SolveResponse response = service.Submit(std::move(request)).get();
+    EXPECT_EQ(response.status, SolveStatus::kOk);
+    counters.handoffs = service.metrics().counter("pool_handoffs").value();
+    counters.staging_copies =
+        service.metrics().counter("pool_staging_copies").value();
+  }
+  EXPECT_EQ(counters.handoffs, 0u);
+  EXPECT_EQ(counters.staging_copies, 0u);
+}
+
+/// Claims to be the pinned backend but never delivers memory.
+class FailingAllocator final : public core::PoolAllocator {
+ public:
+  void* Allocate(std::size_t, std::size_t) override { return nullptr; }
+  void Deallocate(void*, std::size_t) override {}
+  core::PoolBackend backend() const override {
+    return core::PoolBackend::kPinned;
+  }
+};
+
+TEST(PoolHandoff, AllocatorFailureFallsBackToHostAndIsObservable) {
+  // Reference answer from an ordinary host-placed service.
+  ServiceConfig host_config{.workers = 1};
+  host_config.pool_backend = "host";
+  SolveResponse expected;
+  {
+    SolverService service(host_config);
+    expected = service.Submit(Request(1, "sa")).get();
+    ASSERT_EQ(expected.status, SolveStatus::kOk);
+  }
+
+  FailingAllocator failing;
+  ServiceConfig config{.workers = 1};
+  config.pool_allocator = &failing;
+  PoolCounters counters;
+  const std::string json = TracedRun(config, {"sa"}, &counters);
+
+  // The request still succeeded (TracedRun asserts kOk), the degradation
+  // was counted and traced, and the answer is the host answer, bit for
+  // bit — fallback changes placement, never results.
+  EXPECT_EQ(counters.handoffs, 1u);
+  EXPECT_EQ(counters.fallbacks, 1u);
+  EXPECT_EQ(counters.staging_copies, 0u);  // fell back to host: zero-copy
+  EXPECT_EQ(CountEvents(json, "serve.pool_alloc_fallback"), 1u);
+}
+
+TEST(PoolHandoff, ResultsAreBitIdenticalAcrossAllBackends) {
+  SolveResponse reference;
+  {
+    ServiceConfig config{.workers = 1};
+    config.pool_backend = "host";
+    SolverService service(config);
+    reference = service.Submit(Request(1, "dpso")).get();
+    ASSERT_EQ(reference.status, SolveStatus::kOk);
+  }
+  for (const std::string backend : {"pinned", "device", "numa"}) {
+    ServiceConfig config{.workers = 1};
+    config.pool_backend = backend;
+    SolverService service(config);
+    EXPECT_EQ(service.pool_backend(),
+              [&] {
+                core::PoolBackend parsed = core::PoolBackend::kHost;
+                core::ParsePoolBackend(backend, &parsed);
+                return parsed;
+              }());
+    const SolveResponse response = service.Submit(Request(1, "dpso")).get();
+    ASSERT_EQ(response.status, SolveStatus::kOk) << backend;
+    EXPECT_EQ(response.result.best_cost, reference.result.best_cost)
+        << backend;
+    EXPECT_EQ(response.result.evaluations, reference.result.evaluations)
+        << backend;
+    EXPECT_EQ(response.result.best, reference.result.best) << backend;
+  }
+}
+
+TEST(PoolHandoff, CapacityHintsMatchEngineNeeds) {
+  const EngineOptions options;
+  EXPECT_EQ(PoolCapacityHint("sa", options), 1u);
+  EXPECT_EQ(PoolCapacityHint("ta", options), 1u);
+  EXPECT_GT(PoolCapacityHint("dpso", options), 1u);
+  EXPECT_GT(PoolCapacityHint("es", options), 1u);
+  EXPECT_EQ(PoolCapacityHint("host", options), 0u);
+  EXPECT_EQ(PoolCapacityHint("psa", options), 0u);
+  EXPECT_EQ(PoolCapacityHint("pdpso", options), 0u);
+  EXPECT_EQ(PoolCapacityHint("psa-sync", options), 0u);
+  EXPECT_EQ(PoolCapacityHint("nonsense", options), 0u);
+
+  EXPECT_TRUE(IsDeviceEngine("psa"));
+  EXPECT_TRUE(IsDeviceEngine("pdpso"));
+  EXPECT_TRUE(IsDeviceEngine("psa-sync"));
+  EXPECT_FALSE(IsDeviceEngine("sa"));
+  EXPECT_FALSE(IsDeviceEngine("host"));
+}
+
+}  // namespace
+}  // namespace cdd::serve

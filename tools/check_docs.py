@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Documentation consistency gate (CI `docs` job).
+
+Two checks, both mechanical so the docs cannot silently rot:
+
+1. Every relative markdown link in the documentation set resolves to an
+   existing file (anchors and external http/mailto links are skipped).
+2. Every environment variable the source tree actually reads — any
+   `getenv("CDD_...")` in src/ — is documented in docs/CONFIGURATION.md,
+   so a new knob cannot land without its reference entry.
+
+Exits nonzero with one line per violation.  No dependencies beyond the
+standard library; run from anywhere inside the repository:
+
+    python3 tools/check_docs.py
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# The documentation set whose links must resolve.
+DOC_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+    "docs/CONFIGURATION.md",
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+GETENV_RE = re.compile(r"getenv\(\s*\"(CDD_[A-Z0-9_]+)\"")
+
+
+def check_links():
+    errors = []
+    for rel in DOC_FILES:
+        path = os.path.join(REPO, rel)
+        if not os.path.isfile(path):
+            errors.append(f"{rel}: listed in check_docs.py but missing")
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:  # pure in-page anchor
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                line = text[: match.start()].count("\n") + 1
+                errors.append(f"{rel}:{line}: broken link -> {target}")
+    return errors
+
+
+def check_env_vars():
+    read_vars = set()
+    src = os.path.join(REPO, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for name in filenames:
+            if not name.endswith((".cpp", ".hpp", ".h", ".cc")):
+                continue
+            with open(os.path.join(dirpath, name), encoding="utf-8") as f:
+                read_vars.update(GETENV_RE.findall(f.read()))
+    config = os.path.join(REPO, "docs", "CONFIGURATION.md")
+    with open(config, encoding="utf-8") as f:
+        documented = f.read()
+    errors = []
+    for var in sorted(read_vars):
+        if var not in documented:
+            errors.append(
+                f"src/ reads {var} but docs/CONFIGURATION.md never "
+                f"mentions it")
+    if not read_vars:
+        errors.append("no getenv(\"CDD_...\") found in src/ — "
+                      "check_docs.py pattern is stale")
+    return errors
+
+
+def main():
+    errors = check_links() + check_env_vars()
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("check_docs: all links resolve, all CDD_* env vars documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

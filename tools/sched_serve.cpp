@@ -56,6 +56,8 @@ void PrintUsage() {
       "  --workers W         solver threads (default hardware)\n"
       "  --queue Q           admission queue capacity (default 128)\n"
       "  --cache C           result cache entries, 0 = off (default 4096)\n"
+      "  --pool-backend B    request-pool placement: host|pinned|device|\n"
+      "                      numa (default CDD_POOL_BACKEND, then host)\n"
       "Output:\n"
       "  --metrics           print the metrics JSON snapshot\n"
       "  --quiet             suppress the per-run summary table\n";
@@ -230,12 +232,23 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.GetInt("queue", 128));
     config.cache_capacity =
         static_cast<std::size_t>(args.GetInt("cache", 4096));
+    config.pool_backend = args.GetString("pool-backend", "");
+    if (!config.pool_backend.empty()) {
+      core::PoolBackend parsed = core::PoolBackend::kHost;
+      if (!core::ParsePoolBackend(config.pool_backend, &parsed)) {
+        std::cerr << "error: unknown --pool-backend '"
+                  << config.pool_backend
+                  << "' (host|pinned|device|numa)\n";
+        return 1;
+      }
+    }
     serve::SolverService service(config);
 
     std::cout << "sched_serve: " << workload.size() << " requests, "
               << config.workers << " workers, queue "
               << config.queue_capacity << ", cache "
-              << config.cache_capacity << "\n";
+              << config.cache_capacity << ", pool "
+              << core::ToString(service.pool_backend()) << "\n";
 
     const auto t_start = std::chrono::steady_clock::now();
     WorkloadStats stats;
