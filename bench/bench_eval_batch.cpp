@@ -39,6 +39,7 @@
 #include "core/eval_raw.hpp"
 #include "core/eval_simd.hpp"
 #include "core/sequence.hpp"
+#include "cudasim/exec/backend.hpp"
 
 namespace {
 
@@ -85,11 +86,15 @@ int main(int argc, char** argv) {
   const std::string_view pool_backend =
       core::ToString(core::ActivePoolBackend());
   const char* isa = raw::SimdBatchIsa();
+  const std::string_view exec_backend =
+      sim::exec::ToString(sim::exec::ActiveExecBackend());
+  const unsigned exec_workers = sim::exec::ActiveExecWorkers();
   std::cout << "=== Batched SoA evaluation vs std::function dispatch "
             << "(B=" << batch << (smoke ? ", smoke" : "") << ") ===\n"
             << "dispatch backend: " << backend << " (simd isa: " << isa
             << ", available: " << (raw::SimdBatchAvailable() ? "yes" : "no")
-            << "), pool backend: " << pool_backend << "\n";
+            << "), pool backend: " << pool_backend << ", exec backend: "
+            << exec_backend << " (" << exec_workers << " workers)\n";
   benchutil::TextTable table({"n", "fn evals/s", "batch evals/s", "speedup",
                               "scalar evals/s", "simd evals/s",
                               "simd speedup", "bit-identical"});
@@ -213,7 +218,9 @@ int main(int argc, char** argv) {
   json << "{\n  \"bench\": \"eval_batch\",\n  \"batch\": " << batch
        << ",\n  \"backend\": \"" << backend << "\",\n  \"simd_isa\": \""
        << isa << "\",\n  \"pool_backend\": \"" << pool_backend
-       << "\",\n  \"pool_alignment_bytes\": 64,\n  \"results\": [\n";
+       << "\",\n  \"exec_backend\": \"" << exec_backend
+       << "\",\n  \"exec_workers\": " << exec_workers
+       << ",\n  \"pool_alignment_bytes\": 64,\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SizeResult& r = results[i];
     json << "    {\"n\": " << r.n << ", \"pool_stride\": " << r.pool_stride

@@ -1,13 +1,12 @@
 #include "cudasim/device.hpp"
 
+#include "cudasim/exec/host_pool.hpp"
 #include "cudasim/stream.hpp"
 #include "trace/tracer.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstring>
-#include <mutex>
-#include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace cdd::sim {
@@ -143,6 +142,31 @@ BlockResult RunOneBlock(Dim3 grid, Dim3 block, std::size_t linear_block,
   return res;
 }
 
+/// The calling thread's persistent block-execution scratch.  Pool workers
+/// are process-lifetime threads, so keeping WorkerState (and one FiberPool
+/// per requested stack size) thread-local makes the steady state of a
+/// host-parallel engine allocation-free: fibers, contexts and shared
+/// memory are all reused across launches and across devices.
+WorkerState& ThreadWorkerState(const DeviceProperties& props,
+                               std::size_t fiber_stack_bytes) {
+  struct TlsState {
+    WorkerState ws;
+    std::unordered_map<std::size_t, FiberPool> pools;
+  };
+  thread_local TlsState tls;
+  auto it = tls.pools.find(fiber_stack_bytes);
+  if (it == tls.pools.end()) {
+    it = tls.pools
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(fiber_stack_bytes),
+                      std::forward_as_tuple(fiber_stack_bytes))
+             .first;
+  }
+  tls.ws.pool = &it->second;
+  tls.ws.props = &props;
+  return tls.ws;
+}
+
 }  // namespace
 
 void ThreadCtx::syncthreads() {
@@ -162,6 +186,13 @@ Device::~Device() = default;
 
 void Device::set_worker_threads(unsigned workers) {
   workers_ = workers == 0 ? 1u : workers;
+}
+
+unsigned Device::worker_threads() const {
+  if (workers_ != 0) return workers_;
+  return exec_backend_ == exec::ExecBackend::kHostParallel
+             ? exec::ActiveExecWorkers()
+             : 1u;
 }
 
 void Device::ValidateLaunch(Dim3 grid, Dim3 block,
@@ -195,10 +226,12 @@ double Device::ExecuteLaunch(Dim3 grid, Dim3 block,
 
   std::uint64_t total_work = 0;
   std::uint64_t max_work = 0;
-  if (workers_ <= 1) {
+  const unsigned cap = worker_threads();
+  if (cap <= 1 || grid.count() <= 1) {
     RunBlocksSequential(grid, block, opts, kernel, total_work, max_work);
   } else {
-    RunBlocksParallel(grid, block, opts, kernel, total_work, max_work);
+    RunBlocksParallel(grid, block, opts, kernel, cap, total_work,
+                      max_work);
   }
 
   const LaunchCharge charge{grid, block, total_work, max_work,
@@ -262,51 +295,32 @@ void Device::RunBlocksSequential(Dim3 grid, Dim3 block,
 
 void Device::RunBlocksParallel(Dim3 grid, Dim3 block,
                                const LaunchOptions& opts,
-                               const KernelFn& kernel,
+                               const KernelFn& kernel, unsigned cap,
                                std::uint64_t& total_work,
                                std::uint64_t& max_work) {
-  std::atomic<std::size_t> next_block{0};
-  std::atomic<std::uint64_t> total{0};
-  std::atomic<std::uint64_t> maxi{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(workers_, grid.count()));
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    threads.emplace_back([&]() {
-      WorkerState ws;
-      FiberPool pool(opts.fiber_stack_bytes);
-      ws.props = &props_;
-      ws.pool = &pool;
-      while (!failed.load(std::memory_order_relaxed)) {
-        const std::size_t b =
-            next_block.fetch_add(1, std::memory_order_relaxed);
-        if (b >= grid.count()) break;
+  // Blocks fan out over the process-wide persistent pool; each worker's
+  // charge aggregates land in a block-indexed slot (disjoint writes) and
+  // reduce below in block-index order.  The sums are exact integers, so
+  // the reduction — and therefore the modeled time — is bit-identical to
+  // the serial backend no matter which worker ran which block.
+  std::vector<BlockResult> results(grid.count());
+  exec::HostThreadPool::Instance().ParallelFor(
+      grid.count(), cap, [&](std::size_t b) {
+        WorkerState& ws =
+            ThreadWorkerState(props_, opts.fiber_stack_bytes);
         try {
-          const BlockResult r = RunOneBlock(grid, block, b, opts, kernel, ws);
-          total.fetch_add(r.total_work, std::memory_order_relaxed);
-          std::uint64_t seen = maxi.load(std::memory_order_relaxed);
-          while (r.max_work > seen &&
-                 !maxi.compare_exchange_weak(seen, r.max_work,
-                                             std::memory_order_relaxed)) {
-          }
+          results[b] = RunOneBlock(grid, block, b, opts, kernel, ws);
         } catch (...) {
-          const std::scoped_lock lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-          break;
+          // Sibling fibers of the failing block remain suspended; drop
+          // them so this worker's pool stays usable for future launches.
+          ws.pool->Clear();
+          throw;
         }
-      }
-    });
+      });
+  for (const BlockResult& r : results) {
+    total_work += r.total_work;
+    max_work = std::max(max_work, r.max_work);
   }
-  for (std::thread& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-  total_work = total.load();
-  max_work = maxi.load();
 }
 
 void Device::Synchronize() {

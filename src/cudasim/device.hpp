@@ -29,6 +29,7 @@
 #include "cudasim/device_props.hpp"
 #include "cudasim/dim3.hpp"
 #include "cudasim/error.hpp"
+#include "cudasim/exec/backend.hpp"
 #include "cudasim/fiber.hpp"
 #include "cudasim/profiler.hpp"
 #include "cudasim/timing_model.hpp"
@@ -175,11 +176,23 @@ class Device {
   const Profiler& profiler() const { return profiler_; }
   const TimingModel& timing_model() const { return model_; }
 
-  /// Host worker threads used to execute blocks (>=1).  The default is 1,
-  /// which is both deterministic and right for single-core hosts; the
-  /// parallel tests raise it to shake out races.
+  /// Execution backend for this device's launches (see exec/backend.hpp).
+  /// Defaults to the process-wide CDD_EXEC_BACKEND resolution; the serve
+  /// layer and the CLIs override it per device.  Never changes results or
+  /// modeled times — only which host threads run the blocks.
+  void set_exec_backend(exec::ExecBackend backend) {
+    exec_backend_ = backend;
+  }
+  exec::ExecBackend exec_backend() const { return exec_backend_; }
+
+  /// Hard per-device override of the block-execution worker cap (>=1).
+  /// 1 forces serial execution regardless of backend; >1 forces
+  /// host-parallel execution with that participation cap (what the race
+  /// tests use).  Unset, the cap derives from the backend: 1 for kSerial,
+  /// exec::ActiveExecWorkers() for kHostParallel.
   void set_worker_threads(unsigned workers);
-  unsigned worker_threads() const { return workers_; }
+  /// The effective worker cap launches run with (>=1).
+  unsigned worker_threads() const;
 
   /// Validates a launch configuration without launching (used by the
   /// launch-config helper and the tests).
@@ -205,14 +218,16 @@ class Device {
                            const KernelFn& kernel, std::uint64_t& total_work,
                            std::uint64_t& max_work);
   void RunBlocksParallel(Dim3 grid, Dim3 block, const LaunchOptions& opts,
-                         const KernelFn& kernel, std::uint64_t& total_work,
+                         const KernelFn& kernel, unsigned cap,
+                         std::uint64_t& total_work,
                          std::uint64_t& max_work);
 
   DeviceProperties props_;
   TimingModel model_;
   Profiler profiler_;
   double sim_time_s_ = 0.0;
-  unsigned workers_ = 1;
+  exec::ExecBackend exec_backend_ = exec::ActiveExecBackend();
+  unsigned workers_ = 0;  ///< 0 = derive the cap from exec_backend_
   std::size_t allocated_ = 0;
   std::size_t constant_allocated_ = 0;
   FiberPool pool_;  // reused by sequential launches

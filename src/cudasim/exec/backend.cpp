@@ -1,0 +1,59 @@
+#include "cudasim/exec/backend.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace cdd::sim::exec {
+
+namespace {
+
+ExecBackend Resolve() {
+  if (const char* env = std::getenv("CDD_EXEC_BACKEND")) {
+    ExecBackend parsed = ExecBackend::kSerial;
+    if (ParseExecBackend(env, &parsed)) return parsed;
+    // Unknown value: fall through to the default.  Execution placement
+    // never changes results, so degrading silently is safe — the run is
+    // merely slower, never wrong.
+  }
+  return ExecBackend::kSerial;
+}
+
+unsigned ResolveWorkers() {
+  if (const char* env = std::getenv("CDD_EXEC_WORKERS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<unsigned>(value);
+    // Zero, negative or garbage: fall through to the hardware count.
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1u : hardware;
+}
+
+}  // namespace
+
+std::string_view ToString(ExecBackend backend) {
+  return backend == ExecBackend::kHostParallel ? "host-parallel" : "serial";
+}
+
+bool ParseExecBackend(std::string_view name, ExecBackend* out) {
+  if (name == "serial") {
+    *out = ExecBackend::kSerial;
+    return true;
+  }
+  if (name == "host-parallel") {
+    *out = ExecBackend::kHostParallel;
+    return true;
+  }
+  return false;
+}
+
+ExecBackend ActiveExecBackend() {
+  static const ExecBackend backend = Resolve();
+  return backend;
+}
+
+unsigned ActiveExecWorkers() {
+  static const unsigned workers = ResolveWorkers();
+  return workers;
+}
+
+}  // namespace cdd::sim::exec

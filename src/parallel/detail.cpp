@@ -56,13 +56,16 @@ void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
   opts.cooperative = use_shared;  // the barrier guards the staging phase
   opts.shared_bytes = use_shared ? shared_bytes : 0;
 
-  // The simulated device executes launches synchronously, so the whole
-  // ensemble is evaluated up front through the dispatched batch evaluator
-  // (SIMD when the host supports it) straight into the device-resident
-  // costs/pinned columns.  The kernel threads below charge exactly the
-  // memory traffic a per-thread fused evaluation performs — the modeled
-  // device timing is unchanged, and the results are bit-identical because
-  // every backend computes exact integers.
+  // Each block evaluates its own slice of the ensemble through the
+  // dispatched batch evaluator (SIMD when the host supports it) straight
+  // into the device-resident costs/pinned columns: thread 0 of the block
+  // runs the batch kernel over the block's rows (SIMD within the block,
+  // blocks across host workers under the host-parallel exec backend).
+  // The kernel threads below charge exactly the memory traffic a
+  // per-thread fused evaluation performs — the modeled device timing is
+  // unchanged, and the results are bit-identical regardless of slicing
+  // or exec backend because every evaluator computes exact integers
+  // row-independently.
   assert(pool.current() &&
          "LaunchFitness: stale CandidatePoolView (pool swapped buffers)");
 
@@ -78,19 +81,33 @@ void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
     device.RecordH2D(static_cast<std::size_t>(pool.count) * pool.stride *
                      sizeof(JobId));
   }
-  if (controllable) {
-    cdd::raw::EvalUcddcpBatchDispatch(n, d, pool.seqs, pool.stride,
-                                 static_cast<std::int32_t>(pool.count),
-                                 proc, min_proc, g_alpha, g_beta, gamma,
-                                 pool.costs, pool.pinned);
-  } else {
-    cdd::raw::EvalCddBatchDispatch(n, d, pool.seqs, pool.stride,
-                              static_cast<std::int32_t>(pool.count), proc,
-                              g_alpha, g_beta, pool.costs, pool.pinned);
-  }
-
   device.Launch(
       config.grid(), config.block(), opts, [=](sim::ThreadCtx& t) {
+        if (t.linear_thread() == 0) {
+          // Block-sliced evaluation: rows are disjoint per block, so
+          // concurrent blocks never touch the same costs/pinned entries.
+          const std::uint64_t first =
+              static_cast<std::uint64_t>(t.linear_block()) *
+              t.block_dim.count();
+          if (first < pool.count) {
+            const auto slice = static_cast<std::int32_t>(
+                std::min<std::uint64_t>(t.block_dim.count(),
+                                        pool.count - first));
+            const JobId* rows =
+                pool.seqs + first * static_cast<std::uint64_t>(pool.stride);
+            std::int32_t* pin =
+                pool.pinned == nullptr ? nullptr : pool.pinned + first;
+            if (controllable) {
+              cdd::raw::EvalUcddcpBatchDispatch(
+                  n, d, rows, pool.stride, slice, proc, min_proc, g_alpha,
+                  g_beta, gamma, pool.costs + first, pin);
+            } else {
+              cdd::raw::EvalCddBatchDispatch(n, d, rows, pool.stride,
+                                             slice, proc, g_alpha, g_beta,
+                                             pool.costs + first, pin);
+            }
+          }
+        }
         if (use_shared) {
           // Cooperative staging: linear block => disjoint strided writes,
           // then one barrier before anyone reads (Section VI-A).
@@ -136,7 +153,7 @@ void LaunchFitness(sim::Device& device, const DeviceProblem& problem,
             t.charge(penalty_units);
             break;
         }
-        // costs/pinned were written by the pre-launch batch evaluation.
+        // costs/pinned were written by thread 0's slice evaluation above.
       });
 
   if (transfer.device_staging) {

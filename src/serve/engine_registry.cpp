@@ -21,6 +21,7 @@ template <class Fn>
 EngineRun WithDevice(const EngineOptions& options, Fn&& body) {
   if (options.device != nullptr) return body(*options.device);
   sim::Device device;  // defaults to the paper's GeForce GT 560M
+  if (options.exec_backend) device.set_exec_backend(*options.exec_backend);
   return body(device);
 }
 

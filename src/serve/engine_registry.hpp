@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,6 +50,13 @@ struct EngineOptions {
   /// creates a private GT 560M per call (what the service does); the CLI
   /// passes its own device so --profile sees the kernels.
   sim::Device* device = nullptr;
+  /// Execution backend applied to the private device the adapter creates
+  /// (serve/CLI plumbing; see sim::exec::ActiveExecBackend).  Unset
+  /// defers to the process-wide CDD_EXEC_BACKEND resolution; ignored when
+  /// `device` is supplied (the caller configured its own device).  Like
+  /// `threads`, never hashed by CacheKey — execution placement does not
+  /// change results.
+  std::optional<sim::exec::ExecBackend> exec_backend;
   /// Request-scoped candidate pool lent by the serve layer (zero-copy
   /// handoff; see PoolCapacityHint).  Engines that can stage their
   /// generations in it borrow it instead of allocating; null means every

@@ -29,6 +29,32 @@ core::PoolAllocator* ResolvePoolAllocator(const ServiceConfig& config) {
   return &core::PoolAllocatorFor(backend);
 }
 
+sim::exec::ExecBackend ResolveExecBackend(const ServiceConfig& config,
+                                          Counter* clamped) {
+  using sim::exec::ExecBackend;
+  if (!config.exec_backend.empty()) {
+    // Unknown names keep the environment/default resolution, matching how
+    // CDD_EXEC_BACKEND itself degrades.
+    ExecBackend backend = sim::exec::ActiveExecBackend();
+    sim::exec::ParseExecBackend(config.exec_backend, &backend);
+    return backend;
+  }
+  ExecBackend backend = sim::exec::ActiveExecBackend();
+  const unsigned workers = config.workers == 0 ? 1u : config.workers;
+  if (backend == ExecBackend::kHostParallel && workers > 1 &&
+      workers >= sim::exec::ActiveExecWorkers()) {
+    // Oversubscription guard: this service's worker pool alone already
+    // covers the machine, so fanning every request's blocks out over the
+    // shared exec pool would only make sibling requests contend for the
+    // same cores.  Results are backend-invariant, so clamping the
+    // env-derived default to serial is free; an explicit
+    // ServiceConfig::exec_backend is honored above without clamping.
+    clamped->Increment();
+    backend = ExecBackend::kSerial;
+  }
+  return backend;
+}
+
 }  // namespace
 
 SolverService::SolverService(ServiceConfig config,
@@ -51,9 +77,12 @@ SolverService::SolverService(ServiceConfig config,
       pool_handoffs_(&metrics_.counter("pool_handoffs")),
       pool_staging_copies_(&metrics_.counter("pool_staging_copies")),
       pool_alloc_fallbacks_(&metrics_.counter("pool_alloc_fallbacks")),
+      pool_reuse_hits_(&metrics_.counter("pool_reuse_hits")),
+      exec_clamped_(&metrics_.counter("exec_clamped")),
       queue_ms_(&metrics_.histogram("queue_ms")),
       solve_ms_(&metrics_.histogram("solve_ms")),
       pool_allocator_(ResolvePoolAllocator(config)),
+      exec_backend_(ResolveExecBackend(config, exec_clamped_)),
       queue_(config.queue_capacity) {
   if (config_.workers == 0) config_.workers = 1;
   if (!config_.manifest_path.empty()) {
@@ -189,6 +218,9 @@ void SolverService::Process(Job&& job, unsigned slot) {
   // Safe because RunHostEnsembleSa is thread-count invariant: the pool
   // already provides the parallelism, each engine call stays serial.
   options.threads = 1;
+  // Execution placement for that private device (resolved once in the
+  // constructor; backend-invariant results, so this is never hashed).
+  options.exec_backend = exec_backend_;
 
   // One request-scoped candidate pool, placed by the configured allocator
   // and lent zero-copy to engines that stage their generations in it.
@@ -198,8 +230,28 @@ void SolverService::Process(Job&& job, unsigned slot) {
   const std::size_t pool_rows =
       PoolCapacityHint(job.request.engine, options);
   if (pool_rows > 0 && job.request.instance.size() > 0) {
-    request_pool.emplace(job.request.instance.size(), pool_rows,
-                         *pool_allocator_);
+    if (pool_allocator_->backend() == core::PoolBackend::kDevice) {
+      // Same-shape reuse: an idle device-resident pool of exactly this
+      // shape (n fixes the stride, capacity fixes the block) skips the
+      // device allocation entirely.  Exact capacity match keeps the
+      // free-list from pinning oversized blocks to small requests.
+      const std::scoped_lock lock(idle_pools_mutex_);
+      for (auto it = idle_pools_.begin(); it != idle_pools_.end(); ++it) {
+        if (it->n() == job.request.instance.size() &&
+            it->capacity() == pool_rows) {
+          it->Clear();
+          request_pool.emplace(std::move(*it));
+          idle_pools_.erase(it);
+          pool_reuse_hits_->Increment();
+          CDD_TRACE_INSTANT("serve.pool_reuse_hit");
+          break;
+        }
+      }
+    }
+    if (!request_pool) {
+      request_pool.emplace(job.request.instance.size(), pool_rows,
+                           *pool_allocator_);
+    }
     options.pool = &*request_pool;
     pool_handoffs_->Increment();
     if (request_pool->backend() != pool_allocator_->backend()) {
@@ -258,6 +310,16 @@ void SolverService::Process(Job&& job, unsigned slot) {
     response.status = SolveStatus::kFailed;
     response.error = e.what();
     failed_->Increment();
+  }
+  if (request_pool &&
+      request_pool->backend() == core::PoolBackend::kDevice) {
+    // The engine is done with the lent pool; park the device block for
+    // the next same-shape request.  Bounded so a varied workload cannot
+    // hoard device memory; excess pools just release normally.
+    const std::scoped_lock lock(idle_pools_mutex_);
+    if (idle_pools_.size() < 2 * config_.workers) {
+      idle_pools_.push_back(std::move(*request_pool));
+    }
   }
   job.promise.set_value(std::move(response));
 }

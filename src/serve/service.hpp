@@ -59,6 +59,15 @@ struct ServiceConfig {
   /// "device", "numa").  Empty defers to CDD_POOL_BACKEND (then "host").
   /// Placement never changes results — only the modeled transfer cost.
   std::string pool_backend;
+  /// Block-execution backend for the private simulated devices the device
+  /// engines run on ("serial", "host-parallel"); see
+  /// sim::exec::ActiveExecBackend.  Empty defers to CDD_EXEC_BACKEND —
+  /// with one guard: a service whose worker pool alone already covers the
+  /// hardware clamps the env-derived host-parallel default back to serial
+  /// (each request would only contend with its siblings for the same
+  /// cores), counted in the `exec_clamped` metric.  An explicit setting
+  /// here is honored as-is.  Execution placement never changes results.
+  std::string exec_backend;
   /// Test seam: when non-null, overrides `pool_backend` entirely and every
   /// request-scoped pool allocates through this allocator (e.g. an
   /// always-failing one to exercise the host-fallback path).  Must outlive
@@ -101,6 +110,9 @@ class SolverService {
   core::PoolBackend pool_backend() const {
     return pool_allocator_->backend();
   }
+  /// Execution backend the device engines' private devices run with,
+  /// after config/env resolution and the oversubscription guard.
+  sim::exec::ExecBackend exec_backend() const { return exec_backend_; }
 
  private:
   struct Job {
@@ -132,12 +144,26 @@ class SolverService {
   Counter* pool_handoffs_;         ///< request pools lent to an engine
   Counter* pool_staging_copies_;   ///< modeled copies a lent pool required
   Counter* pool_alloc_fallbacks_;  ///< pools that fell back to host memory
+  Counter* pool_reuse_hits_;       ///< device pools served from the free-list
+  Counter* exec_clamped_;          ///< host-parallel defaults clamped to serial
   LatencyHistogram* queue_ms_;
   LatencyHistogram* solve_ms_;
 
   /// Allocator behind every request-scoped pool, resolved once from
   /// ServiceConfig::pool_allocator / pool_backend / CDD_POOL_BACKEND.
   core::PoolAllocator* pool_allocator_;
+
+  /// Exec backend for device engines, resolved once in the constructor
+  /// (ServiceConfig::exec_backend / CDD_EXEC_BACKEND + the guard).
+  sim::exec::ExecBackend exec_backend_;
+
+  /// Free-list of idle device-resident request pools, keyed by shape
+  /// (n, capacity; stride derives from n).  Device pools are the ones
+  /// worth caching — host-side pools are a cheap aligned allocation, but
+  /// a device pool models a resident GPU block that repeated same-shape
+  /// solves can reuse without reallocating.  Bounded; see Process().
+  std::mutex idle_pools_mutex_;
+  std::vector<CandidatePool> idle_pools_;
 
   /// Run-manifest recording (ServiceConfig::manifest_path); the mutex
   /// serializes appends so lines from concurrent workers never interleave.

@@ -27,6 +27,7 @@ constexpr std::uint32_t kFirstVirtualTrack = 1u << 16;
 struct ThreadSlot {
   std::unique_ptr<EventRing> ring;
   std::uint32_t tid = 0;
+  std::string label;  ///< empty = unnamed (exported by tid only)
 };
 
 /// Registry of every ring and every virtual track label.  Rings are owned
@@ -129,6 +130,18 @@ std::uint32_t NewTrack(std::string_view label) {
   return id;
 }
 
+void SetThreadLabel(std::string_view label) {
+  const EventRing* mine = &LocalRing();  // registers the ring if needed
+  Registry& reg = TheRegistry();
+  const std::scoped_lock lock(reg.mutex);
+  for (ThreadSlot& slot : reg.threads) {
+    if (slot.ring.get() == mine) {
+      slot.label = std::string(label);
+      return;
+    }
+  }
+}
+
 void SetRingCapacity(std::size_t events) {
   g_ring_capacity.store(events == 0 ? 8 : events,
                         std::memory_order_relaxed);
@@ -167,6 +180,7 @@ void ExportChromeTrace(std::ostream& out) {
     const std::scoped_lock lock(reg.mutex);
     tracks = reg.tracks;
     for (const ThreadSlot& slot : reg.threads) {
+      if (!slot.label.empty()) tracks.emplace_back(slot.tid, slot.label);
       dropped += slot.ring->dropped();
       for (const Event& event : slot.ring->Snapshot()) {
         all.push_back({event, slot.tid});

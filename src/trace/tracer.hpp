@@ -50,6 +50,13 @@ const char* InternName(std::string_view name);
 /// Returned ids start above any per-thread id.
 std::uint32_t NewTrack(std::string_view label);
 
+/// Labels the calling thread's per-thread track in exports (e.g.
+/// "exec-worker-3"), registering its ring if needed.  Wall-clock worker
+/// tracks thus stay distinguishable from the modeled-time device tracks
+/// created with NewTrack().  Takes the registry lock — call once per
+/// thread, not per event.
+void SetThreadLabel(std::string_view label);
+
 /// Ring capacity for threads that record their first event after this
 /// call (existing rings keep their size).  Default 8192 events.
 void SetRingCapacity(std::size_t events);

@@ -120,6 +120,45 @@ TEST(PoolHandoff, DevicePlacementChargesStagingPerHandoff) {
   EXPECT_EQ(CountEvents(json, "serve.pool_stage_d2h"), 1u);
 }
 
+TEST(PoolHandoff, DevicePoolsAreReusedAcrossSameShapeRequests) {
+  // Two uncached solves of same-shape instances on the device backend:
+  // the second must be served from the idle-pool free-list instead of
+  // allocating a fresh device pool.  Reuse changes allocation only — the
+  // modeled staging bounce is still charged once per handoff.
+  ServiceConfig config{.workers = 1};
+  config.pool_backend = "device";
+  SolverService service(config);
+  SolveRequest first = Request(1, "sa");
+  SolveRequest second = Request(2, "sa");
+  second.options.seed = 99;  // different cache key, identical pool shape
+  EXPECT_EQ(service.Submit(std::move(first)).get().status,
+            SolveStatus::kOk);
+  EXPECT_EQ(service.Submit(std::move(second)).get().status,
+            SolveStatus::kOk);
+  EXPECT_EQ(service.metrics().counter("pool_reuse_hits").value(), 1u);
+  EXPECT_EQ(service.metrics().counter("pool_handoffs").value(), 2u);
+  EXPECT_EQ(service.metrics().counter("pool_staging_copies").value(), 4u);
+}
+
+TEST(ExecConfig, ExplicitServiceBackendIsHonored) {
+  // An explicit ServiceConfig::exec_backend bypasses the oversubscription
+  // guard entirely; the resolved value is observable on the service.
+  ServiceConfig config{.workers = 4};
+  config.exec_backend = "host-parallel";
+  {
+    SolverService service(config);
+    EXPECT_EQ(service.exec_backend(),
+              sim::exec::ExecBackend::kHostParallel);
+    EXPECT_EQ(service.metrics().counter("exec_clamped").value(), 0u);
+  }
+  config.exec_backend = "serial";
+  SolverService service(config);
+  EXPECT_EQ(service.exec_backend(), sim::exec::ExecBackend::kSerial);
+  // A device engine still answers correctly under the explicit setting.
+  const SolveResponse response = service.Submit(Request(1, "psa")).get();
+  EXPECT_EQ(response.status, SolveStatus::kOk);
+}
+
 TEST(PoolHandoff, EnginesWithPrivateBuffersAreNotLentAPool) {
   // "host" fans out per-chain pools and would serialize on a shared one.
   ServiceConfig config{.workers = 1};

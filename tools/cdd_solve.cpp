@@ -60,7 +60,11 @@ void PrintUsage() {
       "  --gens G             generations / iterations (default 1000)\n"
       "  --ensemble N --block B   parallel launch geometry (default 768/192)\n"
       "  --chains N           host-ensemble chains (default 64)\n"
-      "  --vshape-init        seed ensembles with the V-shape heuristic\n\n"
+      "  --vshape-init        seed ensembles with the V-shape heuristic\n"
+      "  --exec-backend B     block execution on the simulated device:\n"
+      "                       serial|host-parallel (default\n"
+      "                       CDD_EXEC_BACKEND, then serial); never\n"
+      "                       changes results or modeled times\n\n"
       "Output:\n"
       "  --gantt              ASCII Gantt chart of the best schedule\n"
       "  --schedule           per-job schedule table\n"
@@ -135,7 +139,18 @@ int main(int argc, char** argv) {
 
     // --- run the selected engine ------------------------------------------
     sim::Device gpu(sim::GeForceGT560M());
+    const std::string exec_backend = args.GetString("exec-backend", "");
+    if (!exec_backend.empty()) {
+      sim::exec::ExecBackend parsed = sim::exec::ExecBackend::kSerial;
+      if (!sim::exec::ParseExecBackend(exec_backend, &parsed)) {
+        std::cerr << "error: unknown --exec-backend '" << exec_backend
+                  << "' (serial|host-parallel)\n";
+        return 1;
+      }
+      gpu.set_exec_backend(parsed);
+    }
     serve::EngineOptions options;
+    if (!exec_backend.empty()) options.exec_backend = gpu.exec_backend();
     options.generations =
         static_cast<std::uint64_t>(args.GetInt("gens", 1000));
     options.seed = seed;

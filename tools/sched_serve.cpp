@@ -58,6 +58,10 @@ void PrintUsage() {
       "  --cache C           result cache entries, 0 = off (default 4096)\n"
       "  --pool-backend B    request-pool placement: host|pinned|device|\n"
       "                      numa (default CDD_POOL_BACKEND, then host)\n"
+      "  --exec-backend B    block execution for device engines:\n"
+      "                      serial|host-parallel (default\n"
+      "                      CDD_EXEC_BACKEND with an oversubscription\n"
+      "                      guard; results are backend-invariant)\n"
       "Output:\n"
       "  --metrics           print the metrics JSON snapshot\n"
       "  --quiet             suppress the per-run summary table\n";
@@ -242,13 +246,23 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    config.exec_backend = args.GetString("exec-backend", "");
+    if (!config.exec_backend.empty()) {
+      sim::exec::ExecBackend parsed = sim::exec::ExecBackend::kSerial;
+      if (!sim::exec::ParseExecBackend(config.exec_backend, &parsed)) {
+        std::cerr << "error: unknown --exec-backend '"
+                  << config.exec_backend << "' (serial|host-parallel)\n";
+        return 1;
+      }
+    }
     serve::SolverService service(config);
 
     std::cout << "sched_serve: " << workload.size() << " requests, "
               << config.workers << " workers, queue "
               << config.queue_capacity << ", cache "
               << config.cache_capacity << ", pool "
-              << core::ToString(service.pool_backend()) << "\n";
+              << core::ToString(service.pool_backend()) << ", exec "
+              << sim::exec::ToString(service.exec_backend()) << "\n";
 
     const auto t_start = std::chrono::steady_clock::now();
     WorkloadStats stats;
