@@ -1,0 +1,182 @@
+/// \file bench_bnb.cpp
+/// \brief Exact-tier throughput: branch-and-bound nodes/sec and
+/// time-to-proof.
+///
+/// The heuristic benches report deviation against a best-known cost; the
+/// exact tier's currency is different — how fast the search disposes of
+/// nodes and how long a full optimality proof takes.  This bench runs
+/// BranchAndBound over a size sweep of restricted CDD, unrestricted CDD
+/// and UCDDCP instances, once single-worker (the deterministic serve
+/// default) and once at the hardware worker cap, and records nodes/sec,
+/// time-to-proof and the frontier speedup.
+///
+///   bench_bnb [--sizes 12,14,16] [--seed 1] [--json BENCH_bnb.json]
+///             [--smoke]
+///
+/// --smoke shrinks the sweep to n <= 10 and verifies every run proves
+/// optimality (lower bound == cost) — exit 1 otherwise; no JSON.  The
+/// full run writes BENCH_bnb.json; results/exp_bnb.txt captures the
+/// stdout table.
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchutil/cli.hpp"
+#include "benchutil/table.hpp"
+#include "common/test_instances.hpp"
+#include "core/instance.hpp"
+#include "cudasim/exec/backend.hpp"
+#include "exact/bnb.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct CaseResult {
+  std::string kind;
+  std::uint32_t n = 0;
+  cdd::Cost cost = 0;
+  bool proven = false;
+  std::uint64_t nodes_serial = 0;
+  double seconds_serial = 0;
+  double seconds_parallel = 0;
+  double nodes_per_sec_serial = 0;
+  double speedup = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdd;
+  const benchutil::Args args(argc, argv);
+  if (args.GetBool("help")) {
+    std::cout << "Branch-and-bound nodes/sec and time-to-proof over a size "
+                 "sweep.\nFlags: --sizes list --seed S --json PATH "
+                 "--smoke\n";
+    return 0;
+  }
+  const bool smoke = args.GetBool("smoke");
+  const std::vector<std::uint32_t> sizes =
+      smoke ? std::vector<std::uint32_t>{8, 10}
+            : args.GetUintList("sizes", {12, 14, 16});
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const std::string json_path = args.GetString("json", "BENCH_bnb.json");
+  const unsigned hw_workers = sim::exec::ActiveExecWorkers();
+
+  std::cout << "=== Branch-and-bound exact tier (workers 1 vs "
+            << hw_workers << (smoke ? ", smoke" : "") << ") ===\n";
+  benchutil::TextTable table({"case", "n", "cost", "proven", "nodes",
+                              "nodes/s", "t(1w) s", "t(" +
+                                  std::to_string(hw_workers) + "w) s",
+                              "speedup"});
+  std::vector<CaseResult> results;
+  bool all_proven = true;
+
+  struct Kind {
+    const char* name;
+    double h;
+    bool controllable;
+  };
+  const Kind kinds[] = {{"cdd-restricted", 0.6, false},
+                        {"cdd-unrestricted", 1.2, false},
+                        {"ucddcp", 1.2, true}};
+
+  for (const Kind& kind : kinds) {
+    for (const std::uint32_t n : sizes) {
+      const Instance instance =
+          kind.controllable
+              ? testing::RandomUcddcp(n, kind.h, seed + n)
+              : testing::RandomCdd(n, kind.h, seed + n);
+
+      exact::BnbParams serial;
+      serial.workers = 1;
+      serial.seed = seed;
+      const Clock::time_point t0 = Clock::now();
+      const exact::BnbResult one = exact::BranchAndBound(instance, serial);
+      const Clock::time_point t1 = Clock::now();
+
+      exact::BnbParams wide;
+      wide.workers = hw_workers;
+      wide.seed = seed;
+      const Clock::time_point t2 = Clock::now();
+      const exact::BnbResult many = exact::BranchAndBound(instance, wide);
+      const Clock::time_point t3 = Clock::now();
+
+      if (!one.proven_optimal || one.lower_bound != one.cost ||
+          many.cost != one.cost) {
+        all_proven = false;
+      }
+
+      CaseResult row;
+      row.kind = kind.name;
+      row.n = n;
+      row.cost = one.cost;
+      row.proven = one.proven_optimal && many.proven_optimal;
+      row.nodes_serial = one.nodes_expanded;
+      row.seconds_serial = Seconds(t0, t1);
+      row.seconds_parallel = Seconds(t2, t3);
+      row.nodes_per_sec_serial =
+          row.seconds_serial > 0
+              ? static_cast<double>(row.nodes_serial) / row.seconds_serial
+              : 0;
+      row.speedup = row.seconds_parallel > 0
+                        ? row.seconds_serial / row.seconds_parallel
+                        : 0;
+      results.push_back(row);
+      table.AddRow({row.kind, std::to_string(n), std::to_string(row.cost),
+                    row.proven ? "yes" : "NO",
+                    std::to_string(row.nodes_serial),
+                    benchutil::FmtDouble(row.nodes_per_sec_serial, 0),
+                    benchutil::FmtDouble(row.seconds_serial, 4),
+                    benchutil::FmtDouble(row.seconds_parallel, 4),
+                    benchutil::FmtDouble(row.speedup, 2)});
+    }
+  }
+  std::cout << table.ToString();
+
+  if (!all_proven) {
+    std::cerr << "FAIL: a run missed its optimality proof or worker "
+                 "counts disagreed on the optimum\n";
+    return 1;
+  }
+  if (smoke) {
+    std::cout << "\nsmoke: every instance proven optimal, serial and "
+                 "parallel searches agree\n";
+    return 0;
+  }
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "error: cannot write " << json_path << "\n";
+    return 1;
+  }
+  json << "{\n  \"bench\": \"bnb\",\n  \"seed\": " << seed
+       << ",\n  \"workers_parallel\": " << hw_workers
+       << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    json << "    {\"case\": \"" << r.kind << "\", \"n\": " << r.n
+         << ", \"cost\": " << r.cost
+         << ", \"proven\": " << (r.proven ? "true" : "false")
+         << ", \"nodes\": " << r.nodes_serial
+         << ", \"nodes_per_sec\": "
+         << benchutil::FmtDouble(r.nodes_per_sec_serial, 0)
+         << ", \"time_to_proof_serial_sec\": "
+         << benchutil::FmtDouble(r.seconds_serial, 6)
+         << ", \"time_to_proof_parallel_sec\": "
+         << benchutil::FmtDouble(r.seconds_parallel, 6)
+         << ", \"speedup\": " << benchutil::FmtDouble(r.speedup, 3) << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

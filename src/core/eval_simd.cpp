@@ -285,95 +285,127 @@ __attribute__((target("avx2"))) inline __m256i Lanes32(
                      static_cast<int>(pack[j3])));
 }
 
-/// The EvalCddFused walk over 4 lanes; leaves the per-lane cost, offset
-/// and pinned position in the output vectors.
-__attribute__((target("avx2"))) inline void CddLanesAvx2(
-    std::int32_t n, Time d, const JobId* seqs, std::int64_t row0,
-    std::int64_t stride, const std::uint32_t* packE,
-    const std::uint32_t* packT, __m256i& cost_v, __m256i& offset_v,
-    __m256i& pinned_v) noexcept {
-  const JobId* r0 = seqs + row0;
-  const JobId* r1 = r0 + stride;
-  const JobId* r2 = r1 + stride;
-  const JobId* r3 = r2 + stride;
-  const __m256i vd = _mm256_set1_epi64x(d);
-  const __m256i zero = _mm256_setzero_si256();
-  const __m256i neg1 = _mm256_set1_epi64x(-1);
-  const __m256i low16 = _mm256_set1_epi64x(0xffff);
+/// Resumable per-group walk state: the EvalCddFused kernel split into its
+/// phases so 8-candidate processing can software-pipeline two 4-lane
+/// groups through the long scans (two independent dependency chains per
+/// step) while keeping every per-lane operation — order included —
+/// identical to the single-group kernel, i.e. bit-identical results.
+struct CddGroupState {
+  const JobId* r0;
+  const JobId* r1;
+  const JobId* r2;
+  const JobId* r3;
+  __m256i c;
+  __m256i pe;
+  __m256i pl;
+  __m256i cost;
+  __m256i tau;
+  __m256i prefix_tau;
+  bool entered_mixed;
+  std::int32_t i;
+};
 
-  __m256i c = zero;
-  __m256i pe = zero;
-  __m256i pl = zero;
-  __m256i cost = zero;
+__attribute__((target("avx2"))) inline CddGroupState CddGroupInit(
+    const JobId* seqs, std::int64_t row0, std::int64_t stride) noexcept {
+  CddGroupState s;
+  s.r0 = seqs + row0;
+  s.r1 = s.r0 + stride;
+  s.r2 = s.r1 + stride;
+  s.r3 = s.r2 + stride;
+  s.c = _mm256_setzero_si256();
+  s.pe = _mm256_setzero_si256();
+  s.pl = _mm256_setzero_si256();
+  s.cost = _mm256_setzero_si256();
+  s.tau = _mm256_setzero_si256();
+  s.prefix_tau = _mm256_setzero_si256();
+  s.entered_mixed = false;
+  s.i = 0;
+  return s;
+}
 
-  // All-early phase: runs until the first lane's completion time would
-  // cross d; that position is left uncommitted for the mixed phase.
-  std::int32_t i = 0;
-  while (i < n) {
-    const __m256i w = Lanes32(packE, r0[i], r1[i], r2[i], r3[i]);
+/// All-early phase: runs until the first lane's completion time would
+/// cross d; that position is left uncommitted for the mixed phase.
+__attribute__((target("avx2"))) inline void CddAllEarlyPhase(
+    CddGroupState& s, std::int32_t n, __m256i vd, __m256i low16,
+    const std::uint32_t* packE) noexcept {
+  while (s.i < n) {
+    const __m256i w =
+        Lanes32(packE, s.r0[s.i], s.r1[s.i], s.r2[s.i], s.r3[s.i]);
     const __m256i pj = _mm256_and_si256(w, low16);
     const __m256i aj = _mm256_srli_epi64(w, 16);
-    const __m256i c_next = _mm256_add_epi64(c, pj);
+    const __m256i c_next = _mm256_add_epi64(s.c, pj);
     if (_mm256_movemask_pd(_mm256_castsi256_pd(
             _mm256_cmpgt_epi64(c_next, vd))) != 0) {
       break;
     }
-    c = c_next;
-    pe = _mm256_add_epi64(pe, aj);
-    cost = _mm256_add_epi64(
-        cost, _mm256_mul_epu32(aj, _mm256_sub_epi64(vd, c)));
-    ++i;
+    s.c = c_next;
+    s.pe = _mm256_add_epi64(s.pe, aj);
+    s.cost = _mm256_add_epi64(
+        s.cost, _mm256_mul_epu32(aj, _mm256_sub_epi64(vd, c_next)));
+    ++s.i;
   }
+}
 
-  // Mixed phase: lanes cross d at different positions, so the early/tardy
-  // split is a mask.  tau counts the early steps (monotone, so a masked
-  // increment replaces the blend) and prefix_tau tracks c over them.
-  bool entered_mixed = false;
-  __m256i tau = zero;
-  __m256i prefix_tau = zero;
-  if (i < n) {
-    entered_mixed = true;
-    tau = _mm256_set1_epi64x(i - 1);
-    prefix_tau = c;
-    while (i < n) {
-      const __m256i wE = Lanes32(packE, r0[i], r1[i], r2[i], r3[i]);
-      const __m256i wT = Lanes32(packT, r0[i], r1[i], r2[i], r3[i]);
-      const __m256i pj = _mm256_and_si256(wE, low16);
-      const __m256i aj = _mm256_srli_epi64(wE, 16);
-      const __m256i bj = _mm256_srli_epi64(wT, 16);
-      c = _mm256_add_epi64(c, pj);
-      const __m256i tardy = _mm256_cmpgt_epi64(c, vd);
-      const __m256i early = _mm256_xor_si256(tardy, neg1);
-      tau = _mm256_sub_epi64(tau, early);  // tau += 1 in early lanes
-      prefix_tau =
-          _mm256_add_epi64(prefix_tau, _mm256_and_si256(early, pj));
-      pe = _mm256_add_epi64(pe, _mm256_and_si256(early, aj));
-      pl = _mm256_add_epi64(pl, _mm256_and_si256(tardy, bj));
-      // dist = |c - d| via conditional negate: t in tardy lanes, -t early.
-      const __m256i t = _mm256_sub_epi64(c, vd);
-      const __m256i dist =
-          _mm256_sub_epi64(_mm256_xor_si256(t, early), early);
-      const __m256i pen = _mm256_blendv_epi8(aj, bj, tardy);
-      cost = _mm256_add_epi64(cost, _mm256_mul_epu32(pen, dist));
-      ++i;
-      if (_mm256_movemask_pd(_mm256_castsi256_pd(tardy)) == 0xf) break;
-    }
+/// Mixed phase: lanes cross d at different positions, so the early/tardy
+/// split is a mask.  tau counts the early steps (monotone, so a masked
+/// increment replaces the blend) and prefix_tau tracks c over them.
+__attribute__((target("avx2"))) inline void CddMixedPhase(
+    CddGroupState& s, std::int32_t n, __m256i vd, __m256i low16,
+    __m256i neg1, const std::uint32_t* packE,
+    const std::uint32_t* packT) noexcept {
+  if (s.i >= n) return;
+  s.entered_mixed = true;
+  s.tau = _mm256_set1_epi64x(s.i - 1);
+  s.prefix_tau = s.c;
+  while (s.i < n) {
+    const __m256i wE =
+        Lanes32(packE, s.r0[s.i], s.r1[s.i], s.r2[s.i], s.r3[s.i]);
+    const __m256i wT =
+        Lanes32(packT, s.r0[s.i], s.r1[s.i], s.r2[s.i], s.r3[s.i]);
+    const __m256i pj = _mm256_and_si256(wE, low16);
+    const __m256i aj = _mm256_srli_epi64(wE, 16);
+    const __m256i bj = _mm256_srli_epi64(wT, 16);
+    s.c = _mm256_add_epi64(s.c, pj);
+    const __m256i tardy = _mm256_cmpgt_epi64(s.c, vd);
+    const __m256i early = _mm256_xor_si256(tardy, neg1);
+    s.tau = _mm256_sub_epi64(s.tau, early);  // tau += 1 in early lanes
+    s.prefix_tau =
+        _mm256_add_epi64(s.prefix_tau, _mm256_and_si256(early, pj));
+    s.pe = _mm256_add_epi64(s.pe, _mm256_and_si256(early, aj));
+    s.pl = _mm256_add_epi64(s.pl, _mm256_and_si256(tardy, bj));
+    // dist = |c - d| via conditional negate: t in tardy lanes, -t early.
+    const __m256i t = _mm256_sub_epi64(s.c, vd);
+    const __m256i dist =
+        _mm256_sub_epi64(_mm256_xor_si256(t, early), early);
+    const __m256i pen = _mm256_blendv_epi8(aj, bj, tardy);
+    s.cost = _mm256_add_epi64(s.cost, _mm256_mul_epu32(pen, dist));
+    ++s.i;
+    if (_mm256_movemask_pd(_mm256_castsi256_pd(tardy)) == 0xf) break;
   }
+}
 
-  // All-tardy phase: tardiness is monotone, so no lane re-enters.
-  for (; i < n; ++i) {
-    const __m256i w = Lanes32(packT, r0[i], r1[i], r2[i], r3[i]);
-    const __m256i pj = _mm256_and_si256(w, low16);
-    const __m256i bj = _mm256_srli_epi64(w, 16);
-    c = _mm256_add_epi64(c, pj);
-    pl = _mm256_add_epi64(pl, bj);
-    cost = _mm256_add_epi64(
-        cost, _mm256_mul_epu32(bj, _mm256_sub_epi64(c, vd)));
-  }
+/// One all-tardy position: tardiness is monotone, so no lane re-enters.
+__attribute__((target("avx2"))) inline void CddTardyStep(
+    CddGroupState& s, __m256i vd, __m256i low16,
+    const std::uint32_t* packT) noexcept {
+  const __m256i w =
+      Lanes32(packT, s.r0[s.i], s.r1[s.i], s.r2[s.i], s.r3[s.i]);
+  const __m256i pj = _mm256_and_si256(w, low16);
+  const __m256i bj = _mm256_srli_epi64(w, 16);
+  s.c = _mm256_add_epi64(s.c, pj);
+  s.pl = _mm256_add_epi64(s.pl, bj);
+  s.cost = _mm256_add_epi64(
+      s.cost, _mm256_mul_epu32(bj, _mm256_sub_epi64(s.c, vd)));
+  ++s.i;
+}
 
-  // Breakpoint slide and Theorem-1 crossing walk, scalar per lane — the
-  // arithmetic is EvalCddFused's tail verbatim, so results stay
-  // bit-identical.
+/// Breakpoint slide and Theorem-1 crossing walk, scalar per lane — the
+/// arithmetic is EvalCddFused's tail verbatim, so results stay
+/// bit-identical.
+__attribute__((target("avx2"))) inline void CddGroupFinish(
+    const CddGroupState& s, std::int32_t n, Time d,
+    const std::uint32_t* packE, const std::uint32_t* packT, __m256i& cost_v,
+    __m256i& offset_v, __m256i& pinned_v) noexcept {
   alignas(32) std::int64_t pe_a[4];
   alignas(32) std::int64_t pl_a[4];
   alignas(32) std::int64_t cost_a[4];
@@ -381,20 +413,20 @@ __attribute__((target("avx2"))) inline void CddLanesAvx2(
   alignas(32) std::int64_t pt_a[4];
   alignas(32) std::int64_t pin_a[4];
   alignas(32) std::int64_t off_a[4];
-  _mm256_store_si256(reinterpret_cast<__m256i*>(pe_a), pe);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(pl_a), pl);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(cost_a), cost);
-  if (entered_mixed) {
-    _mm256_store_si256(reinterpret_cast<__m256i*>(tau_a), tau);
-    _mm256_store_si256(reinterpret_cast<__m256i*>(pt_a), prefix_tau);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(pe_a), s.pe);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(pl_a), s.pl);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(cost_a), s.cost);
+  if (s.entered_mixed) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tau_a), s.tau);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pt_a), s.prefix_tau);
   } else {
     // Every position stayed early in every lane: tau is the last index
     // and prefix_tau the full completion time.
-    _mm256_store_si256(reinterpret_cast<__m256i*>(pt_a), c);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pt_a), s.c);
     for (int k = 0; k < 4; ++k) tau_a[k] = n - 1;
   }
 
-  const JobId* rows[4] = {r0, r1, r2, r3};
+  const JobId* rows[4] = {s.r0, s.r1, s.r2, s.r3};
   for (int k = 0; k < 4; ++k) {
     Cost cost_k = cost_a[k];
     Cost pe_k = pe_a[k];
@@ -432,6 +464,92 @@ __attribute__((target("avx2"))) inline void CddLanesAvx2(
   offset_v = _mm256_load_si256(reinterpret_cast<const __m256i*>(off_a));
 }
 
+/// The EvalCddFused walk over 4 lanes; leaves the per-lane cost, offset
+/// and pinned position in the output vectors.
+__attribute__((target("avx2"))) inline void CddLanesAvx2(
+    std::int32_t n, Time d, const JobId* seqs, std::int64_t row0,
+    std::int64_t stride, const std::uint32_t* packE,
+    const std::uint32_t* packT, __m256i& cost_v, __m256i& offset_v,
+    __m256i& pinned_v) noexcept {
+  const __m256i vd = _mm256_set1_epi64x(d);
+  const __m256i neg1 = _mm256_set1_epi64x(-1);
+  const __m256i low16 = _mm256_set1_epi64x(0xffff);
+  CddGroupState s = CddGroupInit(seqs, row0, stride);
+  CddAllEarlyPhase(s, n, vd, low16, packE);
+  CddMixedPhase(s, n, vd, low16, neg1, packE, packT);
+  while (s.i < n) CddTardyStep(s, vd, low16, packT);
+  CddGroupFinish(s, n, d, packE, packT, cost_v, offset_v, pinned_v);
+}
+
+/// The EvalCddFused walk over 8 lanes as two interleaved 4-lane groups.
+/// The long scans carry both groups per iteration: the all-early phase
+/// advances them in lockstep while neither crosses d, the all-tardy phase
+/// pairs one step of each (the groups sit at independent positions after
+/// their mixed phases).  Interleaving only reorders operations *between*
+/// groups — per-lane order is untouched — so the result is bit-identical
+/// to two CddLanesAvx2 calls.
+__attribute__((target("avx2"))) inline void CddLanes8Avx2(
+    std::int32_t n, Time d, const JobId* seqs, std::int64_t row0,
+    std::int64_t stride, const std::uint32_t* packE,
+    const std::uint32_t* packT, __m256i cost_v[2], __m256i offset_v[2],
+    __m256i pinned_v[2]) noexcept {
+  const __m256i vd = _mm256_set1_epi64x(d);
+  const __m256i neg1 = _mm256_set1_epi64x(-1);
+  const __m256i low16 = _mm256_set1_epi64x(0xffff);
+  CddGroupState a = CddGroupInit(seqs, row0, stride);
+  CddGroupState b = CddGroupInit(seqs, row0 + 4 * stride, stride);
+
+  // Interleaved all-early phase: both groups walk the same position until
+  // either would cross d; the groups then finish their early phases (the
+  // non-crossing one may still have early positions left) independently.
+  while (a.i < n) {
+    const std::int32_t i = a.i;
+    const __m256i wa = Lanes32(packE, a.r0[i], a.r1[i], a.r2[i], a.r3[i]);
+    const __m256i wb = Lanes32(packE, b.r0[i], b.r1[i], b.r2[i], b.r3[i]);
+    const __m256i pja = _mm256_and_si256(wa, low16);
+    const __m256i pjb = _mm256_and_si256(wb, low16);
+    const __m256i aja = _mm256_srli_epi64(wa, 16);
+    const __m256i ajb = _mm256_srli_epi64(wb, 16);
+    const __m256i cna = _mm256_add_epi64(a.c, pja);
+    const __m256i cnb = _mm256_add_epi64(b.c, pjb);
+    const int cross_a = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(cna, vd)));
+    const int cross_b = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(cnb, vd)));
+    if ((cross_a | cross_b) != 0) break;
+    a.c = cna;
+    a.pe = _mm256_add_epi64(a.pe, aja);
+    a.cost = _mm256_add_epi64(
+        a.cost, _mm256_mul_epu32(aja, _mm256_sub_epi64(vd, cna)));
+    ++a.i;
+    b.c = cnb;
+    b.pe = _mm256_add_epi64(b.pe, ajb);
+    b.cost = _mm256_add_epi64(
+        b.cost, _mm256_mul_epu32(ajb, _mm256_sub_epi64(vd, cnb)));
+    ++b.i;
+  }
+  CddAllEarlyPhase(a, n, vd, low16, packE);
+  CddAllEarlyPhase(b, n, vd, low16, packE);
+
+  // Mixed phases are short (a handful of positions around d) — no
+  // interleave needed.
+  CddMixedPhase(a, n, vd, low16, neg1, packE, packT);
+  CddMixedPhase(b, n, vd, low16, neg1, packE, packT);
+
+  // Interleaved all-tardy phase at independent positions.
+  while (a.i < n && b.i < n) {
+    CddTardyStep(a, vd, low16, packT);
+    CddTardyStep(b, vd, low16, packT);
+  }
+  while (a.i < n) CddTardyStep(a, vd, low16, packT);
+  while (b.i < n) CddTardyStep(b, vd, low16, packT);
+
+  CddGroupFinish(a, n, d, packE, packT, cost_v[0], offset_v[0],
+                 pinned_v[0]);
+  CddGroupFinish(b, n, d, packE, packT, cost_v[1], offset_v[1],
+                 pinned_v[1]);
+}
+
 __attribute__((target("avx2"))) inline void Store4Avx2(
     __m256i cost, __m256i pinned, __m256i offset, std::int32_t b,
     Cost* costs, std::int32_t* pinned_out, Time* offsets_out) noexcept {
@@ -465,17 +583,31 @@ __attribute__((target("avx2"))) void EvalCddGroupAvx2(
   Store4Avx2(cost, pinned, offset, b, costs, pinned_out, offsets_out);
 }
 
-__attribute__((target("avx2"))) void EvalUcddcpGroupAvx2(
+__attribute__((target("avx2"))) void EvalCddGroup8Avx2(
+    std::int32_t n, Time d, const JobId* seqs, std::int64_t row0,
+    std::int64_t stride, const std::uint32_t* packE,
+    const std::uint32_t* packT, std::int32_t b, Cost* costs,
+    std::int32_t* pinned_out, Time* offsets_out) noexcept {
+  __m256i cost[2];
+  __m256i offset[2];
+  __m256i pinned[2];
+  CddLanes8Avx2(n, d, seqs, row0, stride, packE, packT, cost, offset,
+                pinned);
+  Store4Avx2(cost[0], pinned[0], offset[0], b, costs, pinned_out,
+             offsets_out);
+  Store4Avx2(cost[1], pinned[1], offset[1], b + 4, costs, pinned_out,
+             offsets_out);
+}
+
+/// The Property-2 suffix/prefix walks applied on top of the CDD
+/// relaxation result of one 4-lane group (base_cost/base_offset/r from a
+/// CddLanes* kernel).
+__attribute__((target("avx2"))) void UcddcpTailAvx2(
     std::int32_t n, Time d, const JobId* seqs, std::int64_t row0,
     std::int64_t stride, const std::uint32_t* packE,
     const std::uint32_t* packT, const std::uint32_t* packC, std::int32_t b,
-    Cost* costs, std::int32_t* pinned_out, Time* offsets_out) noexcept {
-  __m256i base_cost;
-  __m256i base_offset;
-  __m256i r;
-  CddLanesAvx2(n, d, seqs, row0, stride, packE, packT, base_cost,
-               base_offset, r);
-
+    __m256i base_cost, __m256i base_offset, __m256i r, Cost* costs,
+    std::int32_t* pinned_out, Time* offsets_out) noexcept {
   const __m256i zero = _mm256_setzero_si256();
   const __m256i neg1 = _mm256_set1_epi64x(-1);
   const __m256i low16 = _mm256_set1_epi64x(0xffff);
@@ -577,6 +709,41 @@ __attribute__((target("avx2"))) void EvalUcddcpGroupAvx2(
   const __m256i out_offset = _mm256_blendv_epi8(
       base_offset, _mm256_sub_epi64(vd, compressed), part);
   Store4Avx2(out_cost, r, out_offset, b, costs, pinned_out, offsets_out);
+}
+
+__attribute__((target("avx2"))) void EvalUcddcpGroupAvx2(
+    std::int32_t n, Time d, const JobId* seqs, std::int64_t row0,
+    std::int64_t stride, const std::uint32_t* packE,
+    const std::uint32_t* packT, const std::uint32_t* packC, std::int32_t b,
+    Cost* costs, std::int32_t* pinned_out, Time* offsets_out) noexcept {
+  __m256i base_cost;
+  __m256i base_offset;
+  __m256i r;
+  CddLanesAvx2(n, d, seqs, row0, stride, packE, packT, base_cost,
+               base_offset, r);
+  UcddcpTailAvx2(n, d, seqs, row0, stride, packE, packT, packC, b,
+                 base_cost, base_offset, r, costs, pinned_out, offsets_out);
+}
+
+/// 8-candidate UCDDCP group: the CDD relaxation (where the long all-early
+/// and all-tardy scans live) runs through the interleaved two-group
+/// kernel; the short Property-2 walks then finish each group in turn.
+__attribute__((target("avx2"))) void EvalUcddcpGroup8Avx2(
+    std::int32_t n, Time d, const JobId* seqs, std::int64_t row0,
+    std::int64_t stride, const std::uint32_t* packE,
+    const std::uint32_t* packT, const std::uint32_t* packC, std::int32_t b,
+    Cost* costs, std::int32_t* pinned_out, Time* offsets_out) noexcept {
+  __m256i base_cost[2];
+  __m256i base_offset[2];
+  __m256i r[2];
+  CddLanes8Avx2(n, d, seqs, row0, stride, packE, packT, base_cost,
+                base_offset, r);
+  UcddcpTailAvx2(n, d, seqs, row0, stride, packE, packT, packC, b,
+                 base_cost[0], base_offset[0], r[0], costs, pinned_out,
+                 offsets_out);
+  UcddcpTailAvx2(n, d, seqs, row0 + 4 * stride, stride, packE, packT,
+                 packC, b + 4, base_cost[1], base_offset[1], r[1], costs,
+                 pinned_out, offsets_out);
 }
 
 #endif  // CDD_SIMD_X86
@@ -682,6 +849,10 @@ void EvalCddBatchSimd(std::int32_t n, Time d, const JobId* seqs,
     const std::uint32_t* packE = PackEarly32(n, proc, alpha);
     const std::uint32_t* packT = PackTardy32(n, proc, beta);
     std::int32_t b = 0;
+    for (; b + 8 <= batch; b += 8) {  // interleaved two-group fast path
+      EvalCddGroup8Avx2(n, d, seqs, static_cast<std::int64_t>(b) * stride,
+                        stride, packE, packT, b, costs, pinned, offsets);
+    }
     for (; b + 4 <= batch; b += 4) {
       EvalCddGroupAvx2(n, d, seqs, static_cast<std::int64_t>(b) * stride,
                        stride, packE, packT, b, costs, pinned, offsets);
@@ -718,6 +889,11 @@ void EvalUcddcpBatchSimd(std::int32_t n, Time d, const JobId* seqs,
     const std::uint32_t* packT = PackTardy32(n, proc, beta);
     const std::uint32_t* packC = PackCompression32(n, minproc, gamma);
     std::int32_t b = 0;
+    for (; b + 8 <= batch; b += 8) {  // interleaved two-group fast path
+      EvalUcddcpGroup8Avx2(n, d, seqs,
+                           static_cast<std::int64_t>(b) * stride, stride,
+                           packE, packT, packC, b, costs, pinned, offsets);
+    }
     for (; b + 4 <= batch; b += 4) {
       EvalUcddcpGroupAvx2(n, d, seqs,
                           static_cast<std::int64_t>(b) * stride, stride,

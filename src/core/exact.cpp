@@ -3,18 +3,29 @@
 #include <algorithm>
 #include <functional>
 #include <stdexcept>
+#include <string>
 
 #include "core/reference_eval.hpp"
 
 namespace cdd {
+
+ExactLimitError::ExactLimitError(std::string_view solver, std::size_t n,
+                                 std::size_t limit)
+    : std::invalid_argument(std::string(solver) + ": n=" + std::to_string(n) +
+                            " exceeds the exact-tier limit " +
+                            std::to_string(limit)),
+      n_(n),
+      limit_(limit) {}
+
 namespace {
 
-ExactResult BruteForce(const Instance& instance,
+constexpr std::size_t kBruteForceLimit = 10;
+
+ExactResult BruteForce(const Instance& instance, std::string_view name,
                        const std::function<Cost(std::span<const JobId>)>&
                            evaluate) {
-  if (instance.size() > 10) {
-    throw std::invalid_argument(
-        "BruteForce: refusing n > 10 (factorial blow-up)");
+  if (instance.size() > kBruteForceLimit) {
+    throw ExactLimitError(name, instance.size(), kBruteForceLimit);
   }
   Sequence seq = IdentitySequence(instance.size());
   ExactResult best;
@@ -31,15 +42,17 @@ ExactResult BruteForce(const Instance& instance,
 }  // namespace
 
 ExactResult BruteForceCdd(const Instance& instance) {
-  return BruteForce(instance, [&](std::span<const JobId> seq) {
-    return ReferenceCddCost(instance, seq);
-  });
+  return BruteForce(instance, "BruteForceCdd",
+                    [&](std::span<const JobId> seq) {
+                      return ReferenceCddCost(instance, seq);
+                    });
 }
 
 ExactResult BruteForceUcddcp(const Instance& instance) {
-  return BruteForce(instance, [&](std::span<const JobId> seq) {
-    return ReferenceUcddcpCost(instance, seq);
-  });
+  return BruteForce(instance, "BruteForceUcddcp",
+                    [&](std::span<const JobId> seq) {
+                      return ReferenceUcddcpCost(instance, seq);
+                    });
 }
 
 ExactResult ExactVShapeCdd(const Instance& instance) {
@@ -48,8 +61,9 @@ ExactResult ExactVShapeCdd(const Instance& instance) {
         "ExactVShapeCdd: only valid for unrestricted instances");
   }
   const std::size_t n = instance.size();
-  if (n > 24) {
-    throw std::invalid_argument("ExactVShapeCdd: refusing n > 24 (2^n)");
+  constexpr std::size_t kVShapeLimit = 24;
+  if (n > kVShapeLimit) {
+    throw ExactLimitError("ExactVShapeCdd", n, kVShapeLimit);
   }
 
   // Global ratio orders.  Early side: nonincreasing P/alpha (ties broken by

@@ -11,14 +11,33 @@
 ///    nondecreasing P/beta), so only subsets need enumeration.  Handles
 ///    n <= ~20 and independently confirms the brute force.
 
+#include <cstddef>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string_view>
 
 #include "core/instance.hpp"
 #include "core/sequence.hpp"
 #include "core/types.hpp"
 
 namespace cdd {
+
+/// Thrown by every exact-tier solver when an instance exceeds the solver's
+/// size guard.  Derives from std::invalid_argument so existing callers keep
+/// working; the message always names the solver, the offending n and the
+/// limit ("BruteForceCdd: n=12 exceeds the exact-tier limit 10").
+class ExactLimitError : public std::invalid_argument {
+ public:
+  ExactLimitError(std::string_view solver, std::size_t n, std::size_t limit);
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t limit() const noexcept { return limit_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t limit_ = 0;
+};
 
 /// An exact optimum: best sequence and its cost.
 struct ExactResult {
@@ -27,15 +46,16 @@ struct ExactResult {
 };
 
 /// Exhaustive search over all sequences for the CDD problem.
-/// Throws std::invalid_argument for n > 10 (10! evaluations).
+/// Throws ExactLimitError for n > 10 (10! evaluations).
 ExactResult BruteForceCdd(const Instance& instance);
 
 /// Exhaustive search over all sequences for the UCDDCP problem
-/// (unrestricted instances only).  Throws for n > 10.
+/// (unrestricted instances only).  Throws ExactLimitError for n > 10.
 ExactResult BruteForceUcddcp(const Instance& instance);
 
 /// Exact solver for unrestricted CDD via V-shape subset enumeration.
-/// Throws std::invalid_argument when the instance is restricted or n > 24.
+/// Throws std::invalid_argument when the instance is restricted and
+/// ExactLimitError when n > 24.
 ExactResult ExactVShapeCdd(const Instance& instance);
 
 }  // namespace cdd

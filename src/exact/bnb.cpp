@@ -1,0 +1,688 @@
+#include "exact/bnb.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/vshape.hpp"
+#include "cudasim/exec/backend.hpp"
+#include "cudasim/exec/host_pool.hpp"
+#include "meta/objective.hpp"
+#include "meta/sa.hpp"
+#include "trace/tracer.hpp"
+
+namespace cdd::exact {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Environment knobs (resolve-once; neither changes a completed run's result).
+
+std::uint32_t EnvFrontierDepth() {
+  static const std::uint32_t value = [] {
+    const char* env = std::getenv("CDD_BNB_FRONTIER_DEPTH");
+    if (env == nullptr) return 0u;
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    return (end == env || *end != '\0') ? 0u
+                                        : static_cast<std::uint32_t>(parsed);
+  }();
+  return value;
+}
+
+std::uint64_t EnvWarmStartIterations() {
+  static const std::uint64_t value = [] {
+    const char* env = std::getenv("CDD_BNB_WARM_START");
+    if (env == nullptr) return std::uint64_t{256};
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    return (end == env || *end != '\0') ? std::uint64_t{256}
+                                        : static_cast<std::uint64_t>(parsed);
+  }();
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Job classes.  A "mode" commits a job to one side of the V with one
+// effective processing time: CDD jobs have two modes (early / tardy),
+// compressible UCDDCP jobs four (Property 2 makes compression
+// all-or-nothing, so the only effective times are P_i and M_i).
+
+struct Mode {
+  Time p = 0;      ///< effective processing time under this class
+  Cost pen = 0;    ///< alpha_i on the early side, beta_i on the tardy side
+  Cost extra = 0;  ///< gamma_i * (P_i - M_i) when compressed
+  bool early = false;
+};
+
+struct JobModes {
+  Mode m[4];
+  int count = 0;
+};
+
+/// Immutable per-run search data.
+struct Ctx {
+  std::int32_t n = 0;
+  Time d = 0;
+  bool restricted = false;  ///< CDD with d < sum P_i (straddler possible)
+  std::vector<JobModes> modes;  ///< by job id
+  std::vector<JobId> order;     ///< branching order (decreasing P_i)
+};
+
+Ctx BuildCtx(const Instance& instance, bool controllable) {
+  Ctx ctx;
+  ctx.n = static_cast<std::int32_t>(instance.size());
+  ctx.d = instance.due_date();
+  ctx.restricted = !controllable && !instance.is_unrestricted();
+  ctx.modes.resize(instance.size());
+  for (std::int32_t j = 0; j < ctx.n; ++j) {
+    const Job& job = instance.job(static_cast<std::size_t>(j));
+    JobModes& jm = ctx.modes[static_cast<std::size_t>(j)];
+    jm.m[jm.count++] = {job.proc, job.early, 0, true};
+    jm.m[jm.count++] = {job.proc, job.tardy, 0, false};
+    if (controllable && job.min_proc < job.proc) {
+      const Cost extra = job.compress * (job.proc - job.min_proc);
+      jm.m[jm.count++] = {job.min_proc, job.early, extra, true};
+      jm.m[jm.count++] = {job.min_proc, job.tardy, extra, false};
+    }
+  }
+  // Branch the long jobs first: they dominate every pairwise term, so the
+  // bound separates early.  Ties by id keep the tree deterministic.
+  ctx.order.resize(instance.size());
+  for (std::int32_t j = 0; j < ctx.n; ++j) {
+    ctx.order[static_cast<std::size_t>(j)] = j;
+  }
+  std::sort(ctx.order.begin(), ctx.order.end(), [&](JobId a, JobId b) {
+    const Time pa = instance.job(static_cast<std::size_t>(a)).proc;
+    const Time pb = instance.job(static_cast<std::size_t>(b)).proc;
+    return pa != pb ? pa > pb : a < b;
+  });
+  return ctx;
+}
+
+// Ratio-order predicates in exact integer cross-products (ties by id).
+// Early side: nonincreasing p/pen; tardy side: nondecreasing p/pen.
+bool EarlyBefore(Time pa, Cost na, JobId a, Time pb, Cost nb, JobId b) {
+  const Cost lhs = pa * nb;
+  const Cost rhs = pb * na;
+  return lhs != rhs ? lhs > rhs : a < b;
+}
+
+bool TardyBefore(Time pa, Cost na, JobId a, Time pb, Cost nb, JobId b) {
+  const Cost lhs = pa * nb;
+  const Cost rhs = pb * na;
+  return lhs != rhs ? lhs < rhs : a < b;
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker search state: two ratio-sorted SoA side arrays plus the
+// explicit layer stack — no recursion, bounded memory, offload-friendly.
+
+struct Side {
+  std::vector<JobId> id;
+  std::vector<Time> p;
+  std::vector<Cost> pen;
+  std::vector<Cost> inv;  ///< per-entry self+pair mass (straddler slack)
+  std::int32_t count = 0;
+
+  explicit Side(std::size_t n) : id(n), p(n), pen(n), inv(n) {}
+
+  void Insert(std::int32_t pos, JobId j, Time pj, Cost penj, Cost invj) {
+    for (std::int32_t i = count; i > pos; --i) {
+      id[static_cast<std::size_t>(i)] = id[static_cast<std::size_t>(i - 1)];
+      p[static_cast<std::size_t>(i)] = p[static_cast<std::size_t>(i - 1)];
+      pen[static_cast<std::size_t>(i)] = pen[static_cast<std::size_t>(i - 1)];
+      inv[static_cast<std::size_t>(i)] = inv[static_cast<std::size_t>(i - 1)];
+    }
+    id[static_cast<std::size_t>(pos)] = j;
+    p[static_cast<std::size_t>(pos)] = pj;
+    pen[static_cast<std::size_t>(pos)] = penj;
+    inv[static_cast<std::size_t>(pos)] = invj;
+    ++count;
+  }
+
+  void Remove(std::int32_t pos) {
+    --count;
+    for (std::int32_t i = pos; i < count; ++i) {
+      id[static_cast<std::size_t>(i)] = id[static_cast<std::size_t>(i + 1)];
+      p[static_cast<std::size_t>(i)] = p[static_cast<std::size_t>(i + 1)];
+      pen[static_cast<std::size_t>(i)] = pen[static_cast<std::size_t>(i + 1)];
+      inv[static_cast<std::size_t>(i)] = inv[static_cast<std::size_t>(i + 1)];
+    }
+  }
+};
+
+/// One stack frame of the non-recursive depth-first search.
+struct Layer {
+  std::uint8_t next_mode = 0;   ///< next class to try at this depth
+  std::uint8_t side_early = 0;  ///< side of the currently open child
+  std::int32_t pos = 0;         ///< its insertion position
+  Cost delta = 0;               ///< its committed-cost increment
+};
+
+struct Dfs {
+  const Ctx& ctx;
+  Side early;
+  Side tardy;
+  Time early_sum = 0;   ///< sum of effective early processing times
+  Cost assigned = 0;    ///< exact pairwise cost of the committed jobs
+  std::vector<Layer> layers;
+  Sequence scratch;     ///< leaf sequence buffer (reused, no allocation)
+
+  explicit Dfs(const Ctx& c)
+      : ctx(c),
+        early(static_cast<std::size_t>(c.n)),
+        tardy(static_cast<std::size_t>(c.n)),
+        layers(static_cast<std::size_t>(c.n) + 1) {
+    scratch.reserve(static_cast<std::size_t>(c.n));
+  }
+
+  // Pair/self cost of committing job j under mode m, plus its ratio-order
+  // insertion position.  Early pair contributes alpha_first * p_second
+  // (the first of the pair is farther from d), tardy pair
+  // beta_second * p_first plus the job's own beta * p.
+  Cost DeltaEarly(const Mode& m, JobId j, std::int32_t* pos_out) const {
+    std::int32_t pos = 0;
+    while (pos < early.count &&
+           !EarlyBefore(m.p, m.pen, j, early.p[static_cast<std::size_t>(pos)],
+                        early.pen[static_cast<std::size_t>(pos)],
+                        early.id[static_cast<std::size_t>(pos)])) {
+      ++pos;
+    }
+    Cost delta = m.extra;
+    for (std::int32_t i = 0; i < pos; ++i) {
+      delta += early.pen[static_cast<std::size_t>(i)] * m.p;
+    }
+    for (std::int32_t i = pos; i < early.count; ++i) {
+      delta += m.pen * early.p[static_cast<std::size_t>(i)];
+    }
+    *pos_out = pos;
+    return delta;
+  }
+
+  Cost DeltaTardy(const Mode& m, JobId j, std::int32_t* pos_out) const {
+    std::int32_t pos = 0;
+    while (pos < tardy.count &&
+           !TardyBefore(m.p, m.pen, j, tardy.p[static_cast<std::size_t>(pos)],
+                        tardy.pen[static_cast<std::size_t>(pos)],
+                        tardy.id[static_cast<std::size_t>(pos)])) {
+      ++pos;
+    }
+    Cost delta = m.extra + m.pen * m.p;
+    for (std::int32_t i = 0; i < pos; ++i) {
+      delta += m.pen * tardy.p[static_cast<std::size_t>(i)];
+    }
+    for (std::int32_t i = pos; i < tardy.count; ++i) {
+      delta += tardy.pen[static_cast<std::size_t>(i)] * m.p;
+    }
+    *pos_out = pos;
+    return delta;
+  }
+
+  void Push(const Mode& m, JobId j, std::int32_t pos, Cost delta) {
+    if (m.early) {
+      early.Insert(pos, j, m.p, m.pen, 0);
+      early_sum += m.p;
+    } else {
+      for (std::int32_t i = 0; i < pos; ++i) {
+        tardy.inv[static_cast<std::size_t>(i)] +=
+            m.pen * tardy.p[static_cast<std::size_t>(i)];
+      }
+      for (std::int32_t i = pos; i < tardy.count; ++i) {
+        tardy.inv[static_cast<std::size_t>(i)] +=
+            tardy.pen[static_cast<std::size_t>(i)] * m.p;
+      }
+      tardy.Insert(pos, j, m.p, m.pen, delta - m.extra);
+    }
+    assigned += delta;
+  }
+
+  void Pop(const Layer& layer) {
+    const std::int32_t pos = layer.pos;
+    if (layer.side_early != 0) {
+      early_sum -= early.p[static_cast<std::size_t>(pos)];
+      early.Remove(pos);
+    } else {
+      const Time pj = tardy.p[static_cast<std::size_t>(pos)];
+      const Cost penj = tardy.pen[static_cast<std::size_t>(pos)];
+      tardy.Remove(pos);
+      for (std::int32_t i = 0; i < pos; ++i) {
+        tardy.inv[static_cast<std::size_t>(i)] -=
+            penj * tardy.p[static_cast<std::size_t>(i)];
+      }
+      for (std::int32_t i = pos; i < tardy.count; ++i) {
+        tardy.inv[static_cast<std::size_t>(i)] -=
+            tardy.pen[static_cast<std::size_t>(i)] * pj;
+      }
+    }
+    assigned -= layer.delta;
+  }
+
+  // Lower bound on every canonical completion of the node whose committed
+  // jobs are order[0..depth).  Committed cost is exact; each free job adds
+  // the cheaper of its all-early / all-tardy marginals against the
+  // committed sides (free-free interactions relaxed to zero); restricted
+  // instances subtract a one-job slack so the bound stays valid when a
+  // tardy-side job straddles the due date in a start-at-0 schedule.
+  Cost Bound(std::int32_t depth) const {
+    Cost b = assigned;
+    Cost slack = 0;
+    for (std::int32_t k = depth; k < ctx.n; ++k) {
+      const JobId j = ctx.order[static_cast<std::size_t>(k)];
+      const JobModes& jm = ctx.modes[static_cast<std::size_t>(j)];
+      Cost best = kInfiniteCost;
+      for (int mi = 0; mi < jm.count; ++mi) {
+        const Mode& m = jm.m[mi];
+        std::int32_t pos = 0;
+        if (m.early) {
+          if (ctx.restricted && early_sum + m.p > ctx.d) continue;
+          best = std::min(best, DeltaEarly(m, j, &pos));
+        } else {
+          best = std::min(best, DeltaTardy(m, j, &pos));
+        }
+      }
+      // The tardy mode is always admissible, so `best` is finite.
+      b += best;
+      if (ctx.restricted) slack = std::max(slack, best);
+    }
+    if (ctx.restricted) {
+      for (std::int32_t i = 0; i < tardy.count; ++i) {
+        slack = std::max(slack, tardy.inv[static_cast<std::size_t>(i)]);
+      }
+      b -= slack;
+    }
+    return b < 0 ? Cost{0} : b;
+  }
+
+  // Canonical value of a complete assignment.  The pinned form (last early
+  // job completes exactly at d) costs exactly `assigned`; restricted
+  // instances additionally score every start-at-0 schedule with a
+  // tardy-side job promoted into the straddler slot.  Builds the winning
+  // sequence into `scratch`.
+  Cost Leaf() {
+    Cost best = assigned;
+    std::int32_t straddler = -1;
+    if (ctx.restricted && early_sum < ctx.d) {
+      Cost early_cost = 0;  // early block anchored at t = 0
+      Time c = 0;
+      for (std::int32_t i = 0; i < early.count; ++i) {
+        c += early.p[static_cast<std::size_t>(i)];
+        early_cost += early.pen[static_cast<std::size_t>(i)] * (ctx.d - c);
+      }
+      for (std::int32_t s = 0; s < tardy.count; ++s) {
+        const Time ps = tardy.p[static_cast<std::size_t>(s)];
+        if (early_sum + ps <= ctx.d) continue;  // would not straddle
+        Cost cost = early_cost;
+        Time cc = early_sum + ps;
+        cost += tardy.pen[static_cast<std::size_t>(s)] * (cc - ctx.d);
+        for (std::int32_t i = 0; i < tardy.count; ++i) {
+          if (i == s) continue;
+          cc += tardy.p[static_cast<std::size_t>(i)];
+          cost += tardy.pen[static_cast<std::size_t>(i)] * (cc - ctx.d);
+        }
+        if (cost < best) {
+          best = cost;
+          straddler = s;
+        }
+      }
+    }
+    scratch.clear();
+    for (std::int32_t i = 0; i < early.count; ++i) {
+      scratch.push_back(early.id[static_cast<std::size_t>(i)]);
+    }
+    if (straddler >= 0) {
+      scratch.push_back(tardy.id[static_cast<std::size_t>(straddler)]);
+    }
+    for (std::int32_t i = 0; i < tardy.count; ++i) {
+      if (i != straddler) {
+        scratch.push_back(tardy.id[static_cast<std::size_t>(i)]);
+      }
+    }
+    return best;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shared run control: cooperative stop + node budget, polled in strides.
+
+struct RunControl {
+  StopToken stop;
+  std::uint64_t max_nodes = 0;
+  std::atomic<std::uint64_t> nodes{0};
+  std::atomic<bool> halted{false};
+
+  /// Flushes a worker's local node count and reports whether to stop.
+  bool ShouldStop(std::uint64_t flush) {
+    if (flush > 0) nodes.fetch_add(flush, std::memory_order_relaxed);
+    if (halted.load(std::memory_order_relaxed)) return true;
+    if (stop.stop_requested() ||
+        (max_nodes != 0 &&
+         nodes.load(std::memory_order_relaxed) >= max_nodes)) {
+      halted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+};
+
+struct RootOutcome {
+  Cost best = kInfiniteCost;
+  Sequence seq;
+  std::uint64_t nodes = 0;
+  bool completed = false;
+};
+
+// Applies a frontier prefix (assumed feasible: the generator only emits
+// surviving nodes).  Layers [0, prefix.size()) record the pushes so the
+// stack shape matches a serial descent.
+void ApplyPrefix(const Ctx& ctx, Dfs& dfs,
+                 std::span<const std::uint8_t> prefix) {
+  for (std::size_t k = 0; k < prefix.size(); ++k) {
+    const JobId j = ctx.order[k];
+    const Mode& m = ctx.modes[static_cast<std::size_t>(j)].m[prefix[k]];
+    std::int32_t pos = 0;
+    const Cost delta = m.early ? dfs.DeltaEarly(m, j, &pos)
+                               : dfs.DeltaTardy(m, j, &pos);
+    dfs.Push(m, j, pos, delta);
+    Layer& layer = dfs.layers[k];
+    layer.side_early = m.early ? 1 : 0;
+    layer.pos = pos;
+    layer.delta = delta;
+  }
+}
+
+// Non-recursive DFS below a frontier root.  Prunes strictly against the
+// shared incumbent (ties survive), records the subtree's best canonical
+// leaf in DFS-first order, and returns false when interrupted by the stop
+// token or the node budget.
+bool RunDfs(const Ctx& ctx, Dfs& dfs, std::int32_t base,
+            std::atomic<Cost>& incumbent, RunControl& control,
+            RootOutcome& out) {
+  std::int32_t depth = base;
+  dfs.layers[static_cast<std::size_t>(depth)].next_mode = 0;
+  std::uint64_t unflushed = 0;
+  for (;;) {
+    if (depth == ctx.n) {
+      const Cost v = dfs.Leaf();
+      if (v < out.best) {
+        out.best = v;
+        out.seq = dfs.scratch;
+        Cost cur = incumbent.load(std::memory_order_relaxed);
+        while (v < cur && !incumbent.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+      }
+      if (depth == base) break;
+      --depth;
+      dfs.Pop(dfs.layers[static_cast<std::size_t>(depth)]);
+      continue;
+    }
+    Layer& layer = dfs.layers[static_cast<std::size_t>(depth)];
+    const JobId j = ctx.order[static_cast<std::size_t>(depth)];
+    const JobModes& jm = ctx.modes[static_cast<std::size_t>(j)];
+    bool descended = false;
+    while (layer.next_mode < jm.count) {
+      const Mode& m = jm.m[layer.next_mode++];
+      if (m.early && ctx.restricted && dfs.early_sum + m.p > ctx.d) {
+        continue;  // no canonical schedule fits this many early units
+      }
+      std::int32_t pos = 0;
+      const Cost delta = m.early ? dfs.DeltaEarly(m, j, &pos)
+                                 : dfs.DeltaTardy(m, j, &pos);
+      dfs.Push(m, j, pos, delta);
+      layer.side_early = m.early ? 1 : 0;
+      layer.pos = pos;
+      layer.delta = delta;
+      ++out.nodes;
+      if ((++unflushed & 63u) == 0u && control.ShouldStop(64)) {
+        unflushed = 0;
+        dfs.Pop(layer);
+        control.ShouldStop(0);
+        return false;
+      }
+      if (dfs.Bound(depth + 1) >
+          incumbent.load(std::memory_order_relaxed)) {
+        dfs.Pop(layer);
+        continue;
+      }
+      ++depth;
+      dfs.layers[static_cast<std::size_t>(depth)].next_mode = 0;
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+    if (depth == base) break;
+    --depth;
+    dfs.Pop(dfs.layers[static_cast<std::size_t>(depth)]);
+  }
+  control.ShouldStop(unflushed & 63u);
+  out.completed = true;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Frontier: breadth-first expansion of the first few layers into subtree
+// roots.  Serial and deterministic; prunes strictly against the seed
+// incumbent, so a completed run's result is independent of the split.
+
+struct Root {
+  std::vector<std::uint8_t> prefix;
+  Cost lb = 0;
+};
+
+bool GenerateFrontier(const Ctx& ctx, Cost seed_cost, std::size_t target,
+                      std::uint32_t forced_depth, const StopToken& stop,
+                      std::vector<Root>& roots, std::uint64_t& gen_nodes) {
+  roots.assign(1, Root{});
+  std::uint32_t depth = 0;
+  Dfs dfs(ctx);
+  while (depth < static_cast<std::uint32_t>(ctx.n)) {
+    const bool deep_enough = forced_depth != 0
+                                 ? depth >= forced_depth
+                                 : roots.size() >= target;
+    if (deep_enough) break;
+    if (stop.stop_requested()) return false;  // roots = last complete level
+    std::vector<Root> next;
+    next.reserve(roots.size() * 2);
+    for (const Root& r : roots) {
+      ApplyPrefix(ctx, dfs, r.prefix);
+      const JobId j = ctx.order[depth];
+      const JobModes& jm = ctx.modes[static_cast<std::size_t>(j)];
+      for (std::uint8_t mi = 0; mi < jm.count; ++mi) {
+        const Mode& m = jm.m[mi];
+        if (m.early && ctx.restricted && dfs.early_sum + m.p > ctx.d) {
+          continue;
+        }
+        std::int32_t pos = 0;
+        const Cost delta = m.early ? dfs.DeltaEarly(m, j, &pos)
+                                   : dfs.DeltaTardy(m, j, &pos);
+        dfs.Push(m, j, pos, delta);
+        ++gen_nodes;
+        const Cost lb =
+            dfs.Bound(static_cast<std::int32_t>(depth) + 1);
+        Layer layer;
+        layer.side_early = m.early ? 1 : 0;
+        layer.pos = pos;
+        layer.delta = delta;
+        if (lb <= seed_cost) {
+          Root child;
+          child.prefix = r.prefix;
+          child.prefix.push_back(mi);
+          child.lb = lb;
+          next.push_back(std::move(child));
+        }
+        dfs.Pop(layer);
+      }
+      // Unwind the prefix (pop in reverse push order).
+      for (std::size_t k = r.prefix.size(); k > 0; --k) {
+        dfs.Pop(dfs.layers[k - 1]);
+      }
+    }
+    roots = std::move(next);
+    ++depth;
+    if (roots.empty()) break;  // everything pruned: the seed is optimal
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+BnbResult Run(const Instance& raw, const BnbParams& params,
+              bool controllable) {
+  const std::size_t n = raw.size();
+  if (n > params.max_jobs) {
+    throw ExactLimitError(
+        controllable ? "BranchAndBoundUcddcp" : "BranchAndBoundCdd", n,
+        params.max_jobs);
+  }
+  if (controllable && !raw.is_unrestricted()) {
+    throw std::invalid_argument(
+        "BranchAndBoundUcddcp: instance is restricted (d < sum P_i); the "
+        "UCDDCP objective requires the unrestricted case");
+  }
+  const Instance instance =
+      controllable ? (raw.problem() == Problem::kUcddcp
+                          ? raw
+                          : Instance(Problem::kUcddcp, raw.due_date(),
+                                     raw.jobs()))
+                   : raw.as_cdd();
+
+  const Ctx ctx = BuildCtx(instance, controllable);
+
+  // Incumbent seed: the V-shape constructive heuristic, optionally
+  // polished by a short serial-SA chain on a private RNG stream.  Strict
+  // pruning means the seed only ever accelerates the search — the
+  // returned optimum does not depend on it.
+  const meta::SequenceObjective objective =
+      meta::SequenceObjective::ForInstance(instance);
+  Sequence seed_seq = VShapeSeed(instance);
+  Cost seed_cost = objective.Evaluate(seed_seq);
+  const std::uint64_t warm =
+      params.warm_start ? *params.warm_start : EnvWarmStartIterations();
+  if (warm > 0 && !params.stop.stop_requested()) {
+    meta::SaParams sa;
+    sa.iterations = warm;
+    sa.seed = params.seed;
+    sa.initial_temperature = 1.0;  // polish, not a cold-start search
+    sa.stop = params.stop;
+    const meta::RunResult polished = meta::RunSerialSa(objective, sa,
+                                                       seed_seq);
+    if (polished.best_cost < seed_cost) {
+      seed_cost = polished.best_cost;
+      seed_seq = polished.best;
+    }
+  }
+
+  unsigned workers =
+      params.workers != 0 ? params.workers : sim::exec::ActiveExecWorkers();
+  if (workers == 0) workers = 1;
+  const std::uint32_t frontier_depth = params.frontier_depth != 0
+                                           ? params.frontier_depth
+                                           : EnvFrontierDepth();
+
+  std::vector<Root> roots;
+  std::uint64_t gen_nodes = 0;
+  const std::size_t target =
+      std::max<std::size_t>(32, static_cast<std::size_t>(workers) * 8);
+  const bool gen_complete =
+      GenerateFrontier(ctx, seed_cost, target, frontier_depth, params.stop,
+                       roots, gen_nodes);
+
+  RunControl control;
+  control.stop = params.stop;
+  control.max_nodes = params.max_nodes;
+  control.nodes.store(gen_nodes, std::memory_order_relaxed);
+
+  std::atomic<Cost> incumbent{seed_cost};
+  std::vector<RootOutcome> outcomes(roots.size());
+  if (gen_complete && !roots.empty()) {
+    sim::exec::HostThreadPool::Instance().ParallelFor(
+        roots.size(), workers, [&](std::size_t r) {
+          RootOutcome& out = outcomes[r];
+          if (control.ShouldStop(0)) return;  // left incomplete
+          if (roots[r].lb > incumbent.load(std::memory_order_relaxed)) {
+            out.completed = true;  // nothing at or below the optimum here
+            return;
+          }
+          Dfs dfs(ctx);
+          ApplyPrefix(ctx, dfs, roots[r].prefix);
+          RunDfs(ctx, dfs, static_cast<std::int32_t>(roots[r].prefix.size()),
+                 incumbent, control, out);
+        });
+  }
+
+  // Deterministic reduction: roots in frontier order, strict improvement —
+  // together with strict pruning this reproduces the serial DFS-first
+  // optimum for every completed run, at any worker count.
+  Cost best_leaf = kInfiniteCost;
+  const Sequence* best_seq = nullptr;
+  std::uint64_t dfs_nodes = 0;
+  bool all_done = gen_complete;
+  Cost min_open = kInfiniteCost;
+  for (std::size_t r = 0; r < outcomes.size(); ++r) {
+    dfs_nodes += outcomes[r].nodes;
+    if (outcomes[r].best < best_leaf) {
+      best_leaf = outcomes[r].best;
+      best_seq = &outcomes[r].seq;
+    }
+    if (!outcomes[r].completed) {
+      all_done = false;
+      min_open = std::min(min_open, roots[r].lb);
+    }
+  }
+  if (!gen_complete) {
+    for (const Root& r : roots) min_open = std::min(min_open, r.lb);
+  }
+
+  BnbResult result;
+  if (best_leaf <= seed_cost && best_seq != nullptr) {
+    result.cost = best_leaf;
+    result.sequence = *best_seq;
+  } else {
+    result.cost = seed_cost;
+    result.sequence = seed_seq;
+  }
+  result.nodes_expanded = gen_nodes + dfs_nodes;
+  if (all_done || min_open >= result.cost) {
+    result.proven_optimal = true;
+    result.lower_bound = result.cost;
+  } else {
+    result.lower_bound = std::max<Cost>(0, std::min(result.cost, min_open));
+  }
+
+  CDD_TRACE_COUNTER("bnb.nodes",
+                    static_cast<Cost>(result.nodes_expanded));
+  CDD_TRACE_COUNTER("bnb.lower_bound", result.lower_bound);
+  CDD_TRACE_COUNTER("bnb.gap", result.cost - result.lower_bound);
+  return result;
+}
+
+}  // namespace
+
+BnbResult BranchAndBoundCdd(const Instance& instance,
+                            const BnbParams& params) {
+  return Run(instance, params, /*controllable=*/false);
+}
+
+BnbResult BranchAndBoundUcddcp(const Instance& instance,
+                               const BnbParams& params) {
+  return Run(instance, params, /*controllable=*/true);
+}
+
+BnbResult BranchAndBound(const Instance& instance, const BnbParams& params) {
+  switch (instance.problem()) {
+    case Problem::kCdd:
+      return BranchAndBoundCdd(instance, params);
+    case Problem::kUcddcp:
+      return BranchAndBoundUcddcp(instance, params);
+    case Problem::kCddcp:
+      break;
+  }
+  throw std::invalid_argument(
+      "BranchAndBound: the restricted controllable problem (kCddcp) has no "
+      "O(n) evaluator to bound against");
+}
+
+}  // namespace cdd::exact

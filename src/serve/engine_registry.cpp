@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exact/bnb.hpp"
 #include "meta/dpso.hpp"
 #include "meta/evostrategy.hpp"
 #include "meta/host_ensemble.hpp"
@@ -108,6 +109,28 @@ EngineRegistry MakeDefault() {
       });
 
   registry.Register(
+      "bnb", [](const Instance& instance, const EngineOptions& options) {
+        // Exact tier: runs to an optimality proof (or the request deadline),
+        // so options.generations is deliberately ignored — a heuristic
+        // iteration budget has no meaning for a certified solve.  The
+        // defaulted worker count pins to 1, not the hardware: cost and
+        // sequence are worker-invariant but the node count (reported as
+        // `evaluations`) is not, and manifest replay compares it
+        // bit-for-bit.  Parallel subtree search is opt-in via `threads`.
+        exact::BnbParams params;
+        params.workers = options.threads == 0 ? 1 : options.threads;
+        params.seed = options.seed;
+        params.stop = options.stop;
+        const exact::BnbResult bnb = exact::BranchAndBound(instance, params);
+        EngineRun run;
+        run.result.best = bnb.sequence;
+        run.result.best_cost = bnb.cost;
+        run.result.evaluations = bnb.nodes_expanded;
+        run.result.stopped = !bnb.proven_optimal;
+        return run;
+      });
+
+  registry.Register(
       "psa", [](const Instance& instance, const EngineOptions& options) {
         return WithDevice(options, [&](sim::Device& device) {
           par::ParallelSaParams params;
@@ -175,8 +198,9 @@ std::size_t PoolCapacityHint(std::string_view name,
     const meta::EsParams defaults;
     return std::max<std::size_t>(std::max(defaults.mu, defaults.lambda), 1);
   }
-  // "host" fans out per-thread chains (each with its own pool) and the
-  // device engines keep their generations in device buffers.
+  // "host" fans out per-thread chains (each with its own pool), "bnb" works
+  // on flat side arrays of its own, and the device engines keep their
+  // generations in device buffers.
   return 0;
 }
 

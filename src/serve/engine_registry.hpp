@@ -1,6 +1,7 @@
 #pragma once
 /// \file engine_registry.hpp
-/// \brief Name -> solver adapters over the library's seven engines.
+/// \brief Name -> solver adapters over the library's nine engines
+/// (eight heuristics plus the exact branch-and-bound tier).
 ///
 /// The registry is the single place where an engine name ("psa", "host",
 /// "sa", ...) maps to runnable code, so the cdd_solve CLI, the
@@ -37,7 +38,7 @@ struct EngineOptions {
   std::uint32_t ensemble = 768;  ///< parallel engines: total GPU threads
   std::uint32_t block = 192;     ///< parallel engines: threads per block
   std::uint32_t chains = 64;     ///< "host": independent SA chains
-  std::uint32_t threads = 0;     ///< "host": worker threads (0 = hardware)
+  std::uint32_t threads = 0;  ///< "host"/"bnb": workers (0 = hardware cap)
   bool vshape_init = false;      ///< parallel engines: V-shape seeding
   /// When > 0, RunResult::trajectory samples the best-so-far cost every
   /// this many iterations/generations (engines without trajectory

@@ -18,6 +18,34 @@ TEST(Exact, BruteForceRefusesLargeInstances) {
   EXPECT_THROW(BruteForceCdd(big), std::invalid_argument);
 }
 
+TEST(Exact, LimitErrorsCarrySolverSizeAndLimit) {
+  const Instance big = cdd::testing::RandomCdd(11, 1.2, 1);
+  try {
+    BruteForceCdd(big);
+    FAIL() << "expected ExactLimitError";
+  } catch (const ExactLimitError& e) {
+    EXPECT_EQ(e.n(), 11u);
+    EXPECT_EQ(e.limit(), 10u);
+    EXPECT_STREQ(e.what(),
+                 "BruteForceCdd: n=11 exceeds the exact-tier limit 10");
+  }
+  try {
+    BruteForceUcddcp(big);
+    FAIL() << "expected ExactLimitError";
+  } catch (const ExactLimitError& e) {
+    EXPECT_STREQ(e.what(),
+                 "BruteForceUcddcp: n=11 exceeds the exact-tier limit 10");
+  }
+  const Instance huge = cdd::testing::RandomCdd(25, 1.2, 2);
+  try {
+    ExactVShapeCdd(huge);
+    FAIL() << "expected ExactLimitError";
+  } catch (const ExactLimitError& e) {
+    EXPECT_EQ(e.n(), 25u);
+    EXPECT_EQ(e.limit(), 24u);
+  }
+}
+
 TEST(Exact, VShapeSolverRefusesRestrictedInstances) {
   EXPECT_THROW(ExactVShapeCdd(cdd::testing::PaperExampleCdd()),
                std::invalid_argument);

@@ -1,0 +1,182 @@
+/// Branch-and-bound property tests: agreement with both independent exact
+/// methods (brute force, V-shape subset enumeration), determinism across
+/// worker counts and tuning knobs, and certified bounds under truncation.
+
+#include "exact/bnb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/test_instances.hpp"
+#include "core/eval_cdd.hpp"
+#include "core/eval_ucddcp.hpp"
+#include "core/exact.hpp"
+#include "core/stop_token.hpp"
+
+namespace cdd::exact {
+namespace {
+
+/// Params pinned for tests: no SA polish (pure constructive seed) keeps the
+/// runs cheap; correctness must not depend on the seed anyway.
+BnbParams TestParams(unsigned workers = 1) {
+  BnbParams params;
+  params.workers = workers;
+  params.warm_start = 0;
+  return params;
+}
+
+TEST(Bnb, MatchesBruteForceCddRestrictedAndUnrestricted) {
+  for (std::uint32_t n = 1; n <= 9; ++n) {
+    for (const double h : {0.4, 0.7, 1.2}) {
+      const Instance instance =
+          cdd::testing::RandomCdd(n, h, 1000 + 31 * n);
+      const ExactResult bf = BruteForceCdd(instance);
+      const BnbResult bnb = BranchAndBoundCdd(instance, TestParams());
+      ASSERT_EQ(bnb.cost, bf.cost)
+          << instance.Summary() << " h=" << h << " n=" << n;
+      EXPECT_TRUE(bnb.proven_optimal);
+      EXPECT_EQ(bnb.lower_bound, bnb.cost);
+      // The reported sequence must achieve the reported optimum.
+      EXPECT_EQ(EvaluateCddSequence(instance, bnb.sequence), bnb.cost);
+    }
+  }
+}
+
+TEST(Bnb, MatchesBruteForceUcddcp) {
+  for (std::uint32_t n = 1; n <= 9; ++n) {
+    for (const double h : {1.0, 1.3}) {
+      const Instance instance =
+          cdd::testing::RandomUcddcp(n, h, 2000 + 17 * n);
+      const ExactResult bf = BruteForceUcddcp(instance);
+      const BnbResult bnb = BranchAndBoundUcddcp(instance, TestParams());
+      ASSERT_EQ(bnb.cost, bf.cost)
+          << instance.Summary() << " h=" << h << " n=" << n;
+      EXPECT_TRUE(bnb.proven_optimal);
+      EXPECT_EQ(EvaluateUcddcpSequence(instance, bnb.sequence), bnb.cost);
+    }
+  }
+}
+
+TEST(Bnb, MatchesVShapeSolverMediumUnrestricted) {
+  for (const std::uint32_t n : {12u, 15u, 18u}) {
+    const Instance instance = cdd::testing::RandomCdd(n, 1.1, n * 131);
+    const ExactResult vs = ExactVShapeCdd(instance);
+    const BnbResult bnb = BranchAndBoundCdd(instance, TestParams());
+    ASSERT_EQ(bnb.cost, vs.cost) << instance.Summary();
+    EXPECT_TRUE(bnb.proven_optimal);
+    EXPECT_EQ(EvaluateCddSequence(instance, bnb.sequence), bnb.cost);
+  }
+}
+
+TEST(Bnb, PaperExamplesAreProvenOptimal) {
+  const Instance cdd_example = cdd::testing::PaperExampleCdd();
+  const BnbResult cdd_result = BranchAndBoundCdd(cdd_example, TestParams());
+  EXPECT_EQ(cdd_result.cost, BruteForceCdd(cdd_example).cost);
+  EXPECT_TRUE(cdd_result.proven_optimal);
+
+  const Instance ucddcp_example = cdd::testing::PaperExampleUcddcp();
+  const BnbResult ucddcp_result =
+      BranchAndBoundUcddcp(ucddcp_example, TestParams());
+  EXPECT_EQ(ucddcp_result.cost, BruteForceUcddcp(ucddcp_example).cost);
+  EXPECT_TRUE(ucddcp_result.proven_optimal);
+}
+
+TEST(Bnb, WorkerCountInvariance) {
+  const Instance restricted = cdd::testing::RandomCdd(16, 0.6, 77);
+  const Instance controllable = cdd::testing::RandomUcddcp(12, 1.2, 78);
+  const BnbResult base_cdd = BranchAndBoundCdd(restricted, TestParams(1));
+  const BnbResult base_ucddcp =
+      BranchAndBoundUcddcp(controllable, TestParams(1));
+  ASSERT_TRUE(base_cdd.proven_optimal);
+  ASSERT_TRUE(base_ucddcp.proven_optimal);
+  for (const unsigned workers : {2u, 4u, 8u}) {
+    const BnbResult r = BranchAndBoundCdd(restricted, TestParams(workers));
+    EXPECT_EQ(r.cost, base_cdd.cost) << "workers=" << workers;
+    EXPECT_EQ(r.sequence, base_cdd.sequence) << "workers=" << workers;
+    EXPECT_TRUE(r.proven_optimal);
+    const BnbResult u =
+        BranchAndBoundUcddcp(controllable, TestParams(workers));
+    EXPECT_EQ(u.cost, base_ucddcp.cost) << "workers=" << workers;
+    EXPECT_EQ(u.sequence, base_ucddcp.sequence) << "workers=" << workers;
+  }
+}
+
+TEST(Bnb, FrontierDepthAndWarmStartInvariance) {
+  const Instance instance = cdd::testing::RandomCdd(14, 0.5, 4242);
+  const BnbResult base = BranchAndBoundCdd(instance, TestParams(2));
+  ASSERT_TRUE(base.proven_optimal);
+  for (const std::uint32_t depth : {1u, 3u, 6u}) {
+    BnbParams params = TestParams(2);
+    params.frontier_depth = depth;
+    const BnbResult r = BranchAndBoundCdd(instance, params);
+    EXPECT_EQ(r.cost, base.cost) << "frontier_depth=" << depth;
+    EXPECT_EQ(r.sequence, base.sequence) << "frontier_depth=" << depth;
+  }
+  BnbParams polished = TestParams(2);
+  polished.warm_start = 512;
+  const BnbResult r = BranchAndBoundCdd(instance, polished);
+  EXPECT_EQ(r.cost, base.cost);
+  EXPECT_EQ(r.sequence, base.sequence);
+}
+
+TEST(Bnb, ExpiredDeadlineReturnsIncumbentWithValidBound) {
+  const Instance instance = cdd::testing::RandomCdd(18, 0.6, 99);
+  StopSource source;
+  source.RequestStop();
+  BnbParams params = TestParams(4);
+  params.stop = source.token();
+  const BnbResult r = BranchAndBoundCdd(instance, params);
+  EXPECT_FALSE(r.proven_optimal);
+  EXPECT_LE(r.lower_bound, r.cost);
+  EXPECT_GE(r.lower_bound, 0);
+  // The incumbent is still a real schedule achieving the reported cost.
+  EXPECT_EQ(EvaluateCddSequence(instance, r.sequence), r.cost);
+}
+
+TEST(Bnb, NodeBudgetTruncatesWithValidBound) {
+  const Instance instance = cdd::testing::RandomCdd(20, 0.5, 555);
+  BnbParams params = TestParams(2);
+  params.max_nodes = 64;
+  const BnbResult r = BranchAndBoundCdd(instance, params);
+  EXPECT_LE(r.lower_bound, r.cost);
+  EXPECT_EQ(EvaluateCddSequence(instance, r.sequence), r.cost);
+  // Whether the proof finished, the optimum is bracketed either way.
+  if (r.proven_optimal) {
+    EXPECT_EQ(r.lower_bound, r.cost);
+  }
+}
+
+TEST(Bnb, ThrowsExactLimitErrorPastMaxJobs) {
+  const Instance big = cdd::testing::RandomCdd(9, 0.5, 7);
+  BnbParams params = TestParams();
+  params.max_jobs = 8;
+  try {
+    BranchAndBoundCdd(big, params);
+    FAIL() << "expected ExactLimitError";
+  } catch (const ExactLimitError& e) {
+    EXPECT_EQ(e.n(), 9u);
+    EXPECT_EQ(e.limit(), 8u);
+    EXPECT_NE(std::string(e.what()).find("n=9"), std::string::npos);
+  }
+  // Also catchable as std::invalid_argument (compatibility).
+  EXPECT_THROW(BranchAndBoundCdd(big, params), std::invalid_argument);
+}
+
+TEST(Bnb, UcddcpRejectsRestrictedInstances) {
+  EXPECT_THROW(
+      BranchAndBoundUcddcp(cdd::testing::PaperExampleCdd(), TestParams()),
+      std::invalid_argument);
+}
+
+TEST(Bnb, DispatcherFollowsProblemKind) {
+  const Instance cdd_instance = cdd::testing::RandomCdd(6, 0.5, 3);
+  EXPECT_EQ(BranchAndBound(cdd_instance, TestParams()).cost,
+            BruteForceCdd(cdd_instance).cost);
+  const Instance ucddcp_instance = cdd::testing::RandomUcddcp(6, 1.2, 4);
+  EXPECT_EQ(BranchAndBound(ucddcp_instance, TestParams()).cost,
+            BruteForceUcddcp(ucddcp_instance).cost);
+}
+
+}  // namespace
+}  // namespace cdd::exact

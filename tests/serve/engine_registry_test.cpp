@@ -12,11 +12,11 @@
 namespace cdd::serve {
 namespace {
 
-TEST(EngineRegistry, DefaultHasAllEightEngines) {
+TEST(EngineRegistry, DefaultHasAllNineEngines) {
   const std::vector<std::string> names =
       EngineRegistry::Default().Names();
   const std::vector<std::string> expected = {
-      "dpso", "es", "host", "pdpso", "psa", "psa-sync", "sa", "ta"};
+      "bnb", "dpso", "es", "host", "pdpso", "psa", "psa-sync", "sa", "ta"};
   EXPECT_EQ(names, expected);  // Names() is sorted
 }
 
