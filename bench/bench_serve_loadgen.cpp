@@ -55,18 +55,21 @@ struct SweepResult {
   std::uint64_t evaluations = 0;     ///< objective calls across responses
   std::uint64_t pool_handoffs = 0;   ///< request pools lent to engines
   std::uint64_t staging_copies = 0;  ///< modeled copies the placement cost
+  std::uint64_t preemptions = 0;     ///< priority preemptions at Step edges
 };
 
 SweepResult RunSweep(unsigned workers, unsigned clients,
                      std::size_t requests,
                      const std::vector<serve::SolveRequest>& pool,
                      double dup_frac, std::uint64_t seed,
-                     const std::string& pool_backend = {}) {
+                     const std::string& pool_backend = {},
+                     std::uint64_t preempt_slice = 0) {
   serve::ServiceConfig config;
   config.workers = workers;
   config.queue_capacity = std::max<std::size_t>(2 * clients, 16);
   config.cache_capacity = 4096;
   config.pool_backend = pool_backend;
+  config.preempt_slice = preempt_slice;
   serve::SolverService service(config);
 
   std::atomic<std::size_t> next{0};
@@ -129,6 +132,7 @@ SweepResult RunSweep(unsigned workers, unsigned clients,
   result.pool_handoffs = service.metrics().counter("pool_handoffs").value();
   result.staging_copies =
       service.metrics().counter("pool_staging_copies").value();
+  result.preemptions = service.metrics().counter("preemptions").value();
   service.Shutdown();
   return result;
 }
@@ -159,7 +163,14 @@ int main(int argc, char** argv) {
                  "           (host,pinned,device,numa) instead of the "
                  "worker count\n"
                  "       --trace   enable runtime tracing during the sweep\n"
-                 "                 (measures instrumentation overhead)\n";
+                 "                 (measures instrumentation overhead)\n"
+                 "       --priorities L   spread requests over priority "
+                 "levels 0..L-1\n"
+                 "       --preempt-slice N   preemption check every N Step "
+                 "units\n"
+                 "           (0 = run-to-completion; with L > 1 this makes "
+                 "priority\n"
+                 "           preemptions observable in the counter column)\n";
     return 0;
   }
 
@@ -183,6 +194,10 @@ int main(int argc, char** argv) {
   const std::string engine = args.GetString("engine", "sa");
   const std::vector<std::string> pool_backends =
       SplitCsv(args.GetString("pool-backends", ""));
+  const auto priority_levels = static_cast<std::uint32_t>(
+      std::max(1, static_cast<int>(args.GetInt("priorities", 1))));
+  const auto preempt_slice =
+      static_cast<std::uint64_t>(args.GetInt("preempt-slice", 0));
 
   // Unique request pool shared by all sweeps: serial SA over mixed-size
   // CDD instances (the cheap end of the engine table, so the sweep
@@ -199,6 +214,10 @@ int main(int argc, char** argv) {
     request.engine = engine;
     request.options.generations = gens;
     request.options.seed = seed;
+    // Deterministic priority mix: scheduling-only, not part of the cache
+    // key, so duplicates re-offered at the same level stay cache hits.
+    request.priority =
+        static_cast<int>(u % priority_levels);
     pool.push_back(std::move(request));
   }
 
@@ -251,10 +270,10 @@ int main(int argc, char** argv) {
             << " gens, tracing " << (tracing ? "ON" : "off") << ") ===\n";
   benchutil::TextTable table({"workers", "req/s", "wall [s]", "p50 [ms]",
                               "p95 [ms]", "p99 [ms]", "cache hit %",
-                              "rejections"});
+                              "rejections", "preemptions"});
   for (const std::uint32_t workers : worker_sweep) {
-    const SweepResult r =
-        RunSweep(workers, clients, requests, pool, dup_frac, seed);
+    const SweepResult r = RunSweep(workers, clients, requests, pool,
+                                   dup_frac, seed, {}, preempt_slice);
     table.AddRow({std::to_string(r.workers),
                   benchutil::FmtDouble(
                       static_cast<double>(r.requests) / r.wall_seconds, 1),
@@ -263,7 +282,8 @@ int main(int argc, char** argv) {
                   benchutil::FmtDouble(r.p95_ms, 2),
                   benchutil::FmtDouble(r.p99_ms, 2),
                   benchutil::FmtDouble(100.0 * r.hit_rate, 1),
-                  std::to_string(r.rejected)});
+                  std::to_string(r.rejected),
+                  std::to_string(r.preemptions)});
   }
   std::cout << table.ToString();
   std::cout << "\nNote: closed loop — each client waits for its response "

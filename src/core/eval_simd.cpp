@@ -1,5 +1,6 @@
 #include "core/eval_simd.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "core/cpu_features.hpp"
@@ -119,9 +120,35 @@ void UcddcpLanesPortable(std::int32_t n, Time d, const JobId* seqs,
   Cost sb[K] = {};
   Cost pa[K] = {};
 
-  // Tardy side (Property 2): lane k participates while i > r[k]; lanes
-  // with no pinned job (r < 0) never enter either walk.
-  for (std::int32_t i = n - 1; i >= 1; --i) {
+  // The per-lane crossings r[k] bound the walk phases: for i > rmax every
+  // participating lane is on the tardy side, for i <= rmin every one is
+  // on the early side.  Those two long scans run *dense* — the only lane
+  // test left is the loop-invariant participation check — and only the
+  // short mixed band between rmin and rmax pays the per-position test.
+  // Lanes with no pinned job (r < 0) never enter either walk.
+  std::int64_t rmin = n;
+  std::int64_t rmax = -1;
+  for (int k = 0; k < K; ++k) {
+    if (r[k] >= 0) {
+      rmin = std::min(rmin, r[k]);
+      rmax = std::max(rmax, r[k]);
+    }
+  }
+
+  // Tardy side (Property 2 suffix walk): lane k participates while
+  // i > r[k].  Dense phase first, then the mixed band.
+  std::int32_t i = n - 1;
+  for (; rmax >= 0 && i > rmax; --i) {
+    for (int k = 0; k < K; ++k) {
+      if (r[k] < 0) continue;
+      const JobId j = seqs[row_off[k] + i];
+      sb[k] += beta[j];
+      const Time reducible = proc[j] - minproc[j];
+      const Time x = (sb[k] > gamma[j]) ? reducible : Time{0};
+      cost[k] += (proc[j] - x) * sb[k] + gamma[j] * x;
+    }
+  }
+  for (; i >= 1; --i) {
     bool any = false;
     for (int k = 0; k < K; ++k) {
       if (r[k] < 0 || i <= r[k]) continue;
@@ -135,13 +162,25 @@ void UcddcpLanesPortable(std::int32_t n, Time d, const JobId* seqs,
     if (!any) break;
   }
 
-  // Early side: lane k participates while i <= r[k].
-  for (std::int32_t i = 0; i < n; ++i) {
+  // Early side (prefix walk): lane k participates while i <= r[k].
+  std::int32_t e = 0;
+  for (; e <= rmin && e < n; ++e) {
+    for (int k = 0; k < K; ++k) {
+      if (r[k] < 0) continue;
+      const JobId j = seqs[row_off[k] + e];
+      const Time reducible = proc[j] - minproc[j];
+      const Time x = (pa[k] > gamma[j]) ? reducible : Time{0};
+      cost[k] += (proc[j] - x) * pa[k] + gamma[j] * x;
+      compressed[k] += proc[j] - x;
+      pa[k] += alpha[j];
+    }
+  }
+  for (; e < n; ++e) {
     bool any = false;
     for (int k = 0; k < K; ++k) {
-      if (r[k] < 0 || i > r[k]) continue;
+      if (r[k] < 0 || e > r[k]) continue;
       any = true;
-      const JobId j = seqs[row_off[k] + i];
+      const JobId j = seqs[row_off[k] + e];
       const Time reducible = proc[j] - minproc[j];
       const Time x = (pa[k] > gamma[j]) ? reducible : Time{0};
       cost[k] += (proc[j] - x) * pa[k] + gamma[j] * x;
@@ -634,8 +673,56 @@ __attribute__((target("avx2"))) void UcddcpTailAvx2(
   alignas(32) std::int64_t w1[4];
   alignas(32) std::int64_t w2[4];
 
+  // The per-lane crossings bound the walk phases exactly as in the CDD
+  // kernel's early/mixed/tardy split: for i > rmax every participating
+  // lane is on the tardy side and for i <= rmin every one is on the
+  // early side, so the activity mask is the loop-invariant `part` —
+  // those dense ranges skip the per-position broadcast/compare/movemask.
+  // Only the mixed band (rmin, rmax] pays the per-position test.
+  alignas(32) std::int64_t rl[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(rl), r);
+  const int pm = _mm256_movemask_pd(_mm256_castsi256_pd(part));
+  std::int32_t rmin = n;
+  std::int32_t rmax = -1;
+  for (int k = 0; k < 4; ++k) {
+    if (((pm >> k) & 1) != 0) {
+      rmin = std::min(rmin, static_cast<std::int32_t>(rl[k]));
+      rmax = std::max(rmax, static_cast<std::int32_t>(rl[k]));
+    }
+  }
+
   // Tardy side: lane active while i > r (Property 2 suffix walk).
-  for (std::int32_t i = n - 1; i >= 1; --i) {
+  // Dense phase first (act == part for i > rmax), then the mixed band.
+  std::int32_t i = n - 1;
+  for (; i > rmax; --i) {
+    for (int k = 0; k < 4; ++k) {
+      if (((pm >> k) & 1) != 0) {
+        const JobId j = rows[k][i];
+        w1[k] = packT[j];
+        w2[k] = packC[j];
+      } else {
+        w1[k] = 0;
+        w2[k] = 0;
+      }
+    }
+    const __m256i packed1 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(w1));
+    const __m256i packed2 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(w2));
+    const __m256i pj = _mm256_and_si256(packed1, low16);
+    const __m256i bj = _mm256_srli_epi64(packed1, 16);
+    const __m256i mj = _mm256_and_si256(packed2, low16);
+    const __m256i gj = _mm256_srli_epi64(packed2, 16);
+    sb = _mm256_add_epi64(sb, _mm256_and_si256(part, bj));
+    const __m256i reducible = _mm256_sub_epi64(pj, mj);
+    const __m256i x =
+        _mm256_and_si256(_mm256_cmpgt_epi64(sb, gj), reducible);
+    const __m256i term =
+        _mm256_add_epi64(_mm256_mul_epu32(_mm256_sub_epi64(pj, x), sb),
+                         _mm256_mul_epu32(gj, x));
+    cost = _mm256_add_epi64(cost, _mm256_and_si256(part, term));
+  }
+  for (; i >= 1; --i) {
     const __m256i vi = _mm256_set1_epi64x(i);
     const __m256i act =
         _mm256_and_si256(part, _mm256_cmpgt_epi64(vi, r));
@@ -670,15 +757,46 @@ __attribute__((target("avx2"))) void UcddcpTailAvx2(
   }
 
   // Early side: lane active while i <= r (Property 2 prefix walk).
-  for (std::int32_t i = 0; i < n; ++i) {
-    const __m256i vi = _mm256_set1_epi64x(i);
+  // Dense phase first (act == part for i <= rmin), then the mixed band.
+  std::int32_t e = 0;
+  for (; e <= rmin && e < n; ++e) {
+    for (int k = 0; k < 4; ++k) {
+      if (((pm >> k) & 1) != 0) {
+        const JobId j = rows[k][e];
+        w1[k] = packE[j];
+        w2[k] = packC[j];
+      } else {
+        w1[k] = 0;
+        w2[k] = 0;
+      }
+    }
+    const __m256i packed1 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(w1));
+    const __m256i packed2 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(w2));
+    const __m256i pj = _mm256_and_si256(packed1, low16);
+    const __m256i aj = _mm256_srli_epi64(packed1, 16);
+    const __m256i mj = _mm256_and_si256(packed2, low16);
+    const __m256i gj = _mm256_srli_epi64(packed2, 16);
+    const __m256i reducible = _mm256_sub_epi64(pj, mj);
+    const __m256i x =
+        _mm256_and_si256(_mm256_cmpgt_epi64(pa, gj), reducible);
+    const __m256i pmx = _mm256_sub_epi64(pj, x);
+    const __m256i term = _mm256_add_epi64(_mm256_mul_epu32(pmx, pa),
+                                          _mm256_mul_epu32(gj, x));
+    cost = _mm256_add_epi64(cost, _mm256_and_si256(part, term));
+    compressed = _mm256_add_epi64(compressed, _mm256_and_si256(part, pmx));
+    pa = _mm256_add_epi64(pa, _mm256_and_si256(part, aj));
+  }
+  for (; e < n; ++e) {
+    const __m256i vi = _mm256_set1_epi64x(e);
     const __m256i act =
         _mm256_andnot_si256(_mm256_cmpgt_epi64(vi, r), part);
     const int am = _mm256_movemask_pd(_mm256_castsi256_pd(act));
     if (am == 0) break;
     for (int k = 0; k < 4; ++k) {
       if (((am >> k) & 1) != 0) {
-        const JobId j = rows[k][i];
+        const JobId j = rows[k][e];
         w1[k] = packE[j];
         w2[k] = packC[j];
       } else {

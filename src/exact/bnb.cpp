@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/vshape.hpp"
 #include "cudasim/exec/backend.hpp"
 #include "cudasim/exec/host_pool.hpp"
+#include "meta/engine.hpp"
 #include "meta/objective.hpp"
 #include "meta/sa.hpp"
 #include "trace/tracer.hpp"
@@ -393,17 +397,26 @@ void ApplyPrefix(const Ctx& ctx, Dfs& dfs,
   }
 }
 
+// How one ResumeDfs call ended.
+enum class DfsResume {
+  kCompleted,  ///< subtree exhausted; out.completed set
+  kHalted,     ///< stop token / node budget fired (outcome incomplete)
+  kPaused,     ///< per-call node allowance exhausted; state is resumable
+};
+
 // Non-recursive DFS below a frontier root.  Prunes strictly against the
-// shared incumbent (ties survive), records the subtree's best canonical
-// leaf in DFS-first order, and returns false when interrupted by the stop
-// token or the node budget.
-bool RunDfs(const Ctx& ctx, Dfs& dfs, std::int32_t base,
-            std::atomic<Cost>& incumbent, RunControl& control,
-            RootOutcome& out) {
-  std::int32_t depth = base;
-  dfs.layers[static_cast<std::size_t>(depth)].next_mode = 0;
-  std::uint64_t unflushed = 0;
+// shared incumbent (ties survive) and records the subtree's best canonical
+// leaf in DFS-first order.  The loop pauses — leaving (dfs, depth,
+// unflushed) a complete continuation — when the caller's node allowance
+// runs out; every push consumes one allowance unit, exactly mirroring the
+// ++out.nodes accounting, so a run split across any allowance slices
+// visits the identical node sequence as an uninterrupted run.
+DfsResume ResumeDfs(const Ctx& ctx, Dfs& dfs, std::int32_t base,
+                    std::atomic<Cost>& incumbent, RunControl& control,
+                    RootOutcome& out, std::int32_t& depth,
+                    std::uint64_t& unflushed, std::uint64_t& allowance) {
   for (;;) {
+    if (allowance == 0) return DfsResume::kPaused;
     if (depth == ctx.n) {
       const Cost v = dfs.Leaf();
       if (v < out.best) {
@@ -436,11 +449,12 @@ bool RunDfs(const Ctx& ctx, Dfs& dfs, std::int32_t base,
       layer.pos = pos;
       layer.delta = delta;
       ++out.nodes;
+      --allowance;
       if ((++unflushed & 63u) == 0u && control.ShouldStop(64)) {
         unflushed = 0;
         dfs.Pop(layer);
         control.ShouldStop(0);
-        return false;
+        return DfsResume::kHalted;
       }
       if (dfs.Bound(depth + 1) >
           incumbent.load(std::memory_order_relaxed)) {
@@ -459,7 +473,20 @@ bool RunDfs(const Ctx& ctx, Dfs& dfs, std::int32_t base,
   }
   control.ShouldStop(unflushed & 63u);
   out.completed = true;
-  return true;
+  return DfsResume::kCompleted;
+}
+
+// One-shot DFS below a frontier root (the multi-worker path): unlimited
+// allowance, so the only exits are completion and a halt.
+bool RunDfs(const Ctx& ctx, Dfs& dfs, std::int32_t base,
+            std::atomic<Cost>& incumbent, RunControl& control,
+            RootOutcome& out) {
+  std::int32_t depth = base;
+  dfs.layers[static_cast<std::size_t>(depth)].next_mode = 0;
+  std::uint64_t unflushed = 0;
+  std::uint64_t allowance = ~std::uint64_t{0};
+  return ResumeDfs(ctx, dfs, base, incumbent, control, out, depth, unflushed,
+                   allowance) == DfsResume::kCompleted;
 }
 
 // ---------------------------------------------------------------------------
@@ -528,135 +555,349 @@ bool GenerateFrontier(const Ctx& ctx, Cost seed_cost, std::size_t target,
 }
 
 // ---------------------------------------------------------------------------
+// Resumable engine.  Construction runs the whole setup phase (guards,
+// normalization, V-shape + warm-start seed, frontier split); Step processes
+// subtree roots in frontier order with nodes as the budget unit.  With one
+// worker the root loop is fully resumable — a Step slice can pause inside a
+// root and a checkpoint captures the live DFS continuation.  With several
+// workers the shared-incumbent ParallelFor cannot pause mid-flight, so the
+// first Step runs it to completion (preemption then lands after the run;
+// pass workers = 1 when slice-granular pausing matters more than speed).
 
-BnbResult Run(const Instance& raw, const BnbParams& params,
-              bool controllable) {
-  const std::size_t n = raw.size();
-  if (n > params.max_jobs) {
-    throw ExactLimitError(
-        controllable ? "BranchAndBoundUcddcp" : "BranchAndBoundCdd", n,
-        params.max_jobs);
-  }
-  if (controllable && !raw.is_unrestricted()) {
-    throw std::invalid_argument(
-        "BranchAndBoundUcddcp: instance is restricted (d < sum P_i); the "
-        "UCDDCP objective requires the unrestricted case");
-  }
-  const Instance instance =
-      controllable ? (raw.problem() == Problem::kUcddcp
-                          ? raw
-                          : Instance(Problem::kUcddcp, raw.due_date(),
-                                     raw.jobs()))
-                   : raw.as_cdd();
+using Clock = std::chrono::steady_clock;
 
-  const Ctx ctx = BuildCtx(instance, controllable);
+struct BnbCheckpoint final : meta::EngineCheckpoint {
+  BnbCheckpoint(const Side& early_in, const Side& tardy_in)
+      : early(early_in), tardy(tardy_in) {}
 
-  // Incumbent seed: the V-shape constructive heuristic, optionally
-  // polished by a short serial-SA chain on a private RNG stream.  Strict
-  // pruning means the seed only ever accelerates the search — the
-  // returned optimum does not depend on it.
-  const meta::SequenceObjective objective =
-      meta::SequenceObjective::ForInstance(instance);
-  Sequence seed_seq = VShapeSeed(instance);
-  Cost seed_cost = objective.Evaluate(seed_seq);
-  const std::uint64_t warm =
-      params.warm_start ? *params.warm_start : EnvWarmStartIterations();
-  if (warm > 0 && !params.stop.stop_requested()) {
-    meta::SaParams sa;
-    sa.iterations = warm;
-    sa.seed = params.seed;
-    sa.initial_temperature = 1.0;  // polish, not a cold-start search
-    sa.stop = params.stop;
-    const meta::RunResult polished = meta::RunSerialSa(objective, sa,
-                                                       seed_seq);
-    if (polished.best_cost < seed_cost) {
-      seed_cost = polished.best_cost;
-      seed_seq = polished.best;
+  std::size_t root = 0;
+  bool in_root = false;
+  std::int32_t depth = 0;
+  std::uint64_t unflushed = 0;
+  Side early;
+  Side tardy;
+  Time early_sum = 0;
+  Cost assigned = 0;
+  std::vector<Layer> layers;
+  std::vector<RootOutcome> outcomes;
+  Cost incumbent = kInfiniteCost;
+  std::uint64_t flushed_nodes = 0;
+  bool halted = false;
+  std::uint64_t dfs_consumed = 0;
+  meta::StepStatus status = meta::StepStatus::kRunning;
+  double elapsed = 0.0;
+};
+
+class BnbEngine final : public meta::Engine {
+ public:
+  BnbEngine(const Instance& raw, const BnbParams& params, bool controllable)
+      : params_(params) {
+    const auto t_start = Clock::now();
+    const std::size_t n = raw.size();
+    if (n > params.max_jobs) {
+      throw ExactLimitError(
+          controllable ? "BranchAndBoundUcddcp" : "BranchAndBoundCdd", n,
+          params.max_jobs);
     }
+    if (controllable && !raw.is_unrestricted()) {
+      throw std::invalid_argument(
+          "BranchAndBoundUcddcp: instance is restricted (d < sum P_i); the "
+          "UCDDCP objective requires the unrestricted case");
+    }
+    const Instance instance =
+        controllable ? (raw.problem() == Problem::kUcddcp
+                            ? raw
+                            : Instance(Problem::kUcddcp, raw.due_date(),
+                                       raw.jobs()))
+                     : raw.as_cdd();
+
+    ctx_ = BuildCtx(instance, controllable);
+
+    // Incumbent seed: the V-shape constructive heuristic, optionally
+    // polished by a short serial-SA chain on a private RNG stream.  Strict
+    // pruning means the seed only ever accelerates the search — the
+    // returned optimum does not depend on it.
+    const meta::SequenceObjective objective =
+        meta::SequenceObjective::ForInstance(instance);
+    seed_seq_ = VShapeSeed(instance);
+    seed_cost_ = objective.Evaluate(seed_seq_);
+    const std::uint64_t warm =
+        params.warm_start ? *params.warm_start : EnvWarmStartIterations();
+    if (warm > 0 && !params.stop.stop_requested()) {
+      meta::SaParams sa;
+      sa.iterations = warm;
+      sa.seed = params.seed;
+      sa.initial_temperature = 1.0;  // polish, not a cold-start search
+      sa.stop = params.stop;
+      const meta::RunResult polished = meta::RunSerialSa(objective, sa,
+                                                         seed_seq_);
+      if (polished.best_cost < seed_cost_) {
+        seed_cost_ = polished.best_cost;
+        seed_seq_ = polished.best;
+      }
+    }
+
+    workers_ =
+        params.workers != 0 ? params.workers : sim::exec::ActiveExecWorkers();
+    if (workers_ == 0) workers_ = 1;
+    const std::uint32_t frontier_depth = params.frontier_depth != 0
+                                             ? params.frontier_depth
+                                             : EnvFrontierDepth();
+
+    const std::size_t target =
+        std::max<std::size_t>(32, static_cast<std::size_t>(workers_) * 8);
+    gen_complete_ = GenerateFrontier(ctx_, seed_cost_, target, frontier_depth,
+                                     params.stop, roots_, gen_nodes_);
+
+    control_.stop = params.stop;
+    control_.max_nodes = params.max_nodes;
+    control_.nodes.store(gen_nodes_, std::memory_order_relaxed);
+    incumbent_.store(seed_cost_, std::memory_order_relaxed);
+    outcomes_.resize(roots_.size());
+    dfs_ = std::make_unique<Dfs>(ctx_);
+
+    if (!gen_complete_) {
+      status_ = meta::StepStatus::kStopped;
+    } else if (roots_.empty()) {
+      status_ = meta::StepStatus::kDone;  // everything pruned: seed optimal
+    }
+    elapsed_ += std::chrono::duration<double>(Clock::now() - t_start).count();
   }
 
-  unsigned workers =
-      params.workers != 0 ? params.workers : sim::exec::ActiveExecWorkers();
-  if (workers == 0) workers = 1;
-  const std::uint32_t frontier_depth = params.frontier_depth != 0
-                                           ? params.frontier_depth
-                                           : EnvFrontierDepth();
+  meta::StepStatus Step(std::uint64_t units) override {
+    if (status_ != meta::StepStatus::kRunning || units == 0) return status_;
+    const auto t_start = Clock::now();
+    CDD_TRACE_SPAN("exact.bnb");
+    if (workers_ > 1) {
+      StepParallel();
+    } else {
+      StepSerial(units);
+    }
+    elapsed_ += std::chrono::duration<double>(Clock::now() - t_start).count();
+    return status_;
+  }
 
-  std::vector<Root> roots;
-  std::uint64_t gen_nodes = 0;
-  const std::size_t target =
-      std::max<std::size_t>(32, static_cast<std::size_t>(workers) * 8);
-  const bool gen_complete =
-      GenerateFrontier(ctx, seed_cost, target, frontier_depth, params.stop,
-                       roots, gen_nodes);
+  std::uint64_t Remaining() const override {
+    if (status_ != meta::StepStatus::kRunning) return 0;
+    if (params_.max_nodes == 0) return meta::kStepAll;
+    const std::uint64_t consumed = gen_nodes_ + dfs_consumed_;
+    return params_.max_nodes > consumed ? params_.max_nodes - consumed : 0;
+  }
 
-  RunControl control;
-  control.stop = params.stop;
-  control.max_nodes = params.max_nodes;
-  control.nodes.store(gen_nodes, std::memory_order_relaxed);
+  Cost BestCost() const override {
+    return incumbent_.load(std::memory_order_relaxed);
+  }
 
-  std::atomic<Cost> incumbent{seed_cost};
-  std::vector<RootOutcome> outcomes(roots.size());
-  if (gen_complete && !roots.empty()) {
+  std::unique_ptr<meta::EngineCheckpoint> Checkpoint() const override {
+    auto cp = std::make_unique<BnbCheckpoint>(dfs_->early, dfs_->tardy);
+    cp->root = root_;
+    cp->in_root = in_root_;
+    cp->depth = depth_;
+    cp->unflushed = unflushed_;
+    cp->early_sum = dfs_->early_sum;
+    cp->assigned = dfs_->assigned;
+    cp->layers = dfs_->layers;
+    cp->outcomes = outcomes_;
+    cp->incumbent = incumbent_.load(std::memory_order_relaxed);
+    cp->flushed_nodes = control_.nodes.load(std::memory_order_relaxed);
+    cp->halted = control_.halted.load(std::memory_order_relaxed);
+    cp->dfs_consumed = dfs_consumed_;
+    cp->status = status_;
+    cp->elapsed = elapsed_;
+    return cp;
+  }
+
+  void Restore(const meta::EngineCheckpoint& checkpoint) override {
+    const auto* cp = dynamic_cast<const BnbCheckpoint*>(&checkpoint);
+    if (cp == nullptr) {
+      throw std::invalid_argument("BnbEngine: foreign checkpoint");
+    }
+    root_ = cp->root;
+    in_root_ = cp->in_root;
+    depth_ = cp->depth;
+    unflushed_ = cp->unflushed;
+    dfs_->early = cp->early;
+    dfs_->tardy = cp->tardy;
+    dfs_->early_sum = cp->early_sum;
+    dfs_->assigned = cp->assigned;
+    dfs_->layers = cp->layers;
+    outcomes_ = cp->outcomes;
+    incumbent_.store(cp->incumbent, std::memory_order_relaxed);
+    control_.nodes.store(cp->flushed_nodes, std::memory_order_relaxed);
+    control_.halted.store(cp->halted, std::memory_order_relaxed);
+    dfs_consumed_ = cp->dfs_consumed;
+    status_ = cp->status;
+    elapsed_ = cp->elapsed;
+  }
+
+  meta::EngineOutput Finish() override {
+    const BnbResult bnb = FinishBnb();
+    meta::EngineOutput out;
+    out.result.best = bnb.sequence;
+    out.result.best_cost = bnb.cost;
+    out.result.evaluations = bnb.nodes_expanded;
+    out.result.wall_seconds = elapsed_;
+    out.result.stopped = !bnb.proven_optimal;
+    return out;
+  }
+
+  /// The full exact-tier record (lower bound + proof flag), which the
+  /// generic EngineOutput cannot carry.
+  BnbResult FinishBnb() {
+    // Deterministic reduction: roots in frontier order, strict improvement —
+    // together with strict pruning this reproduces the serial DFS-first
+    // optimum for every completed run, at any worker count.
+    Cost best_leaf = kInfiniteCost;
+    const Sequence* best_seq = nullptr;
+    std::uint64_t dfs_nodes = 0;
+    bool all_done = gen_complete_;
+    Cost min_open = kInfiniteCost;
+    for (std::size_t r = 0; r < outcomes_.size(); ++r) {
+      dfs_nodes += outcomes_[r].nodes;
+      if (outcomes_[r].best < best_leaf) {
+        best_leaf = outcomes_[r].best;
+        best_seq = &outcomes_[r].seq;
+      }
+      if (!outcomes_[r].completed) {
+        all_done = false;
+        min_open = std::min(min_open, roots_[r].lb);
+      }
+    }
+    if (!gen_complete_) {
+      for (const Root& r : roots_) min_open = std::min(min_open, r.lb);
+    }
+
+    BnbResult result;
+    if (best_leaf <= seed_cost_ && best_seq != nullptr) {
+      result.cost = best_leaf;
+      result.sequence = *best_seq;
+    } else {
+      result.cost = seed_cost_;
+      result.sequence = seed_seq_;
+    }
+    result.nodes_expanded = gen_nodes_ + dfs_nodes;
+    if (all_done || min_open >= result.cost) {
+      result.proven_optimal = true;
+      result.lower_bound = result.cost;
+    } else {
+      result.lower_bound =
+          std::max<Cost>(0, std::min(result.cost, min_open));
+    }
+
+    CDD_TRACE_COUNTER("bnb.nodes",
+                      static_cast<Cost>(result.nodes_expanded));
+    CDD_TRACE_COUNTER("bnb.lower_bound", result.lower_bound);
+    CDD_TRACE_COUNTER("bnb.gap", result.cost - result.lower_bound);
+    return result;
+  }
+
+ private:
+  // The multi-worker path: one shared-incumbent ParallelFor, not pausable.
+  void StepParallel() {
     sim::exec::HostThreadPool::Instance().ParallelFor(
-        roots.size(), workers, [&](std::size_t r) {
-          RootOutcome& out = outcomes[r];
-          if (control.ShouldStop(0)) return;  // left incomplete
-          if (roots[r].lb > incumbent.load(std::memory_order_relaxed)) {
+        roots_.size(), workers_, [&](std::size_t r) {
+          RootOutcome& out = outcomes_[r];
+          if (control_.ShouldStop(0)) return;  // left incomplete
+          if (roots_[r].lb > incumbent_.load(std::memory_order_relaxed)) {
             out.completed = true;  // nothing at or below the optimum here
             return;
           }
-          Dfs dfs(ctx);
-          ApplyPrefix(ctx, dfs, roots[r].prefix);
-          RunDfs(ctx, dfs, static_cast<std::int32_t>(roots[r].prefix.size()),
-                 incumbent, control, out);
+          Dfs dfs(ctx_);
+          ApplyPrefix(ctx_, dfs, roots_[r].prefix);
+          RunDfs(ctx_, dfs,
+                 static_cast<std::int32_t>(roots_[r].prefix.size()),
+                 incumbent_, control_, out);
         });
-  }
-
-  // Deterministic reduction: roots in frontier order, strict improvement —
-  // together with strict pruning this reproduces the serial DFS-first
-  // optimum for every completed run, at any worker count.
-  Cost best_leaf = kInfiniteCost;
-  const Sequence* best_seq = nullptr;
-  std::uint64_t dfs_nodes = 0;
-  bool all_done = gen_complete;
-  Cost min_open = kInfiniteCost;
-  for (std::size_t r = 0; r < outcomes.size(); ++r) {
-    dfs_nodes += outcomes[r].nodes;
-    if (outcomes[r].best < best_leaf) {
-      best_leaf = outcomes[r].best;
-      best_seq = &outcomes[r].seq;
+    bool all_completed = true;
+    for (const RootOutcome& out : outcomes_) {
+      dfs_consumed_ += out.nodes;
+      all_completed = all_completed && out.completed;
     }
-    if (!outcomes[r].completed) {
-      all_done = false;
-      min_open = std::min(min_open, roots[r].lb);
+    status_ = all_completed ? meta::StepStatus::kDone
+                            : meta::StepStatus::kStopped;
+  }
+
+  // The single-worker path: roots in frontier order on the calling thread,
+  // pausing mid-root when the slice's node allowance runs out.  Identical
+  // node visits, flush strides and incumbent updates to a one-worker
+  // ParallelFor, so completed results (and node counts) match it exactly.
+  void StepSerial(std::uint64_t units) {
+    std::uint64_t allowance = units;
+    while (root_ < roots_.size()) {
+      if (!in_root_) {
+        if (control_.ShouldStop(0)) {
+          // Remaining roots stay incomplete, exactly like workers that
+          // observe the halt flag before starting their root.
+          status_ = meta::StepStatus::kStopped;
+          return;
+        }
+        if (roots_[root_].lb >
+            incumbent_.load(std::memory_order_relaxed)) {
+          outcomes_[root_].completed = true;
+          ++root_;
+          continue;
+        }
+        // Fresh per-root search state: stale entries beyond the counts are
+        // never read, so resetting the aggregates is equivalent to the
+        // fresh Dfs a worker would construct.
+        dfs_->early.count = 0;
+        dfs_->tardy.count = 0;
+        dfs_->early_sum = 0;
+        dfs_->assigned = 0;
+        ApplyPrefix(ctx_, *dfs_, roots_[root_].prefix);
+        depth_ = static_cast<std::int32_t>(roots_[root_].prefix.size());
+        dfs_->layers[static_cast<std::size_t>(depth_)].next_mode = 0;
+        unflushed_ = 0;
+        in_root_ = true;
+      }
+      const std::uint64_t before = allowance;
+      const DfsResume res = ResumeDfs(
+          ctx_, *dfs_, static_cast<std::int32_t>(roots_[root_].prefix.size()),
+          incumbent_, control_, outcomes_[root_], depth_, unflushed_,
+          allowance);
+      dfs_consumed_ += before - allowance;
+      switch (res) {
+        case DfsResume::kPaused:
+          return;  // slice exhausted mid-root; state stays live
+        case DfsResume::kHalted:
+          status_ = meta::StepStatus::kStopped;
+          in_root_ = false;
+          return;
+        case DfsResume::kCompleted:
+          in_root_ = false;
+          ++root_;
+          break;
+      }
     }
-  }
-  if (!gen_complete) {
-    for (const Root& r : roots) min_open = std::min(min_open, r.lb);
+    status_ = meta::StepStatus::kDone;
   }
 
-  BnbResult result;
-  if (best_leaf <= seed_cost && best_seq != nullptr) {
-    result.cost = best_leaf;
-    result.sequence = *best_seq;
-  } else {
-    result.cost = seed_cost;
-    result.sequence = seed_seq;
-  }
-  result.nodes_expanded = gen_nodes + dfs_nodes;
-  if (all_done || min_open >= result.cost) {
-    result.proven_optimal = true;
-    result.lower_bound = result.cost;
-  } else {
-    result.lower_bound = std::max<Cost>(0, std::min(result.cost, min_open));
-  }
+  BnbParams params_;
+  Ctx ctx_;
+  Sequence seed_seq_;
+  Cost seed_cost_ = kInfiniteCost;
+  unsigned workers_ = 1;
+  std::vector<Root> roots_;
+  std::uint64_t gen_nodes_ = 0;
+  bool gen_complete_ = true;
+  RunControl control_;
+  std::atomic<Cost> incumbent_{kInfiniteCost};
+  std::vector<RootOutcome> outcomes_;
+  std::unique_ptr<Dfs> dfs_;
+  std::size_t root_ = 0;
+  bool in_root_ = false;
+  std::int32_t depth_ = 0;
+  std::uint64_t unflushed_ = 0;
+  std::uint64_t dfs_consumed_ = 0;
+  meta::StepStatus status_ = meta::StepStatus::kRunning;
+  double elapsed_ = 0.0;
+};
 
-  CDD_TRACE_COUNTER("bnb.nodes",
-                    static_cast<Cost>(result.nodes_expanded));
-  CDD_TRACE_COUNTER("bnb.lower_bound", result.lower_bound);
-  CDD_TRACE_COUNTER("bnb.gap", result.cost - result.lower_bound);
-  return result;
+BnbResult Run(const Instance& raw, const BnbParams& params,
+              bool controllable) {
+  BnbEngine engine(raw, params, controllable);
+  engine.Step(meta::kStepAll);
+  return engine.FinishBnb();
 }
 
 }  // namespace
@@ -682,6 +923,23 @@ BnbResult BranchAndBound(const Instance& instance, const BnbParams& params) {
   }
   throw std::invalid_argument(
       "BranchAndBound: the restricted controllable problem (kCddcp) has no "
+      "O(n) evaluator to bound against");
+}
+
+std::unique_ptr<meta::Engine> MakeBnbEngine(const Instance& instance,
+                                            const BnbParams& params) {
+  switch (instance.problem()) {
+    case Problem::kCdd:
+      return std::make_unique<BnbEngine>(instance, params,
+                                         /*controllable=*/false);
+    case Problem::kUcddcp:
+      return std::make_unique<BnbEngine>(instance, params,
+                                         /*controllable=*/true);
+    case Problem::kCddcp:
+      break;
+  }
+  throw std::invalid_argument(
+      "MakeBnbEngine: the restricted controllable problem (kCddcp) has no "
       "O(n) evaluator to bound against");
 }
 

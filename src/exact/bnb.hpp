@@ -44,6 +44,7 @@
 /// everything left unexplored.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "core/exact.hpp"
@@ -51,6 +52,7 @@
 #include "core/sequence.hpp"
 #include "core/stop_token.hpp"
 #include "core/types.hpp"
+#include "meta/engine.hpp"
 
 namespace cdd::exact {
 
@@ -115,5 +117,19 @@ BnbResult BranchAndBoundUcddcp(const Instance& instance,
 /// evaluator and is rejected with std::invalid_argument).
 BnbResult BranchAndBound(const Instance& instance,
                          const BnbParams& params = {});
+
+/// Creates a resumable branch-and-bound engine (dispatching on
+/// instance.problem() like BranchAndBound).  Construction runs the whole
+/// setup phase — guards, V-shape + warm-start seed, frontier split — and
+/// Step units are search-tree nodes.  With params.workers == 1 a Step
+/// slice can pause inside a subtree root and a checkpoint captures the
+/// live DFS continuation; with several workers the shared-incumbent
+/// parallel sweep is not pausable, so the first Step runs it to
+/// completion.  Finish() maps the exact-tier record onto EngineOutput
+/// (best_cost = incumbent, evaluations = nodes expanded, stopped = not
+/// proven optimal); callers that need the lower bound and proof flag
+/// should keep using BranchAndBound.
+std::unique_ptr<meta::Engine> MakeBnbEngine(const Instance& instance,
+                                            const BnbParams& params = {});
 
 }  // namespace cdd::exact

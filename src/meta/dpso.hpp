@@ -10,8 +10,10 @@
 /// crossover with the swarm best.
 
 #include <cstdint>
+#include <memory>
 
 #include "core/stop_token.hpp"
+#include "meta/engine.hpp"
 #include "meta/objective.hpp"
 #include "meta/result.hpp"
 
@@ -35,5 +37,11 @@ struct DpsoParams {
 /// Runs the serial DPSO and returns the swarm's best particle.
 RunResult RunSerialDpso(const SequenceObjective& objective,
                         const DpsoParams& params);
+
+/// Creates a resumable DPSO engine (see engine.hpp).  Construction runs
+/// the swarm initialization (one evaluation per particle); Step units are
+/// generations; the checkpoint carries the whole swarm.
+std::unique_ptr<Engine> MakeDpsoEngine(const SequenceObjective& objective,
+                                       const DpsoParams& params);
 
 }  // namespace cdd::meta

@@ -1,0 +1,100 @@
+#pragma once
+/// \file engine.hpp
+/// \brief Resumable engine lifecycle: Init -> Step -> Checkpoint/Restore
+/// -> Finish.
+///
+/// Every registered engine is an Engine object whose construction is the
+/// Init phase (instance + native parameters), whose search loop advances
+/// in caller-sized Step slices, and whose full search state — RNG stream
+/// position, current/best solutions, temperature/threshold/population
+/// state — can be captured into an opaque EngineCheckpoint and restored
+/// later.  The contract the property tests pin down:
+///
+///   * A run split across ANY sequence of Step slices is bit-identical to
+///     an uninterrupted run: same best cost, same best sequence, same
+///     evaluation count, same trajectory samples.
+///   * Checkpoint() at a Step boundary, further Steps, then Restore() and
+///     re-Stepping reproduces the run from the checkpoint bit-identically
+///     (speculative work is discarded without trace).
+///   * Stepping never consumes randomness beyond what the equivalent
+///     uninterrupted loop would, so the golden run manifests recorded
+///     before this refactor still replay bit-for-bit.
+///
+/// The unit of one Step is the engine's native major iteration: SA/TA
+/// iterations, DPSO/ES generations, synchronous-SA temperature levels,
+/// branch-and-bound nodes.  Callers that need wall-clock slices size the
+/// unit budget themselves.
+///
+/// This lifecycle is what the racing portfolio (src/portfolio) and the
+/// serve layer's preemption build on: both pause engines only at Step
+/// boundaries, which are by construction checkpoint boundaries.
+
+#include <cstdint>
+#include <memory>
+
+#include "meta/result.hpp"
+
+namespace cdd::meta {
+
+/// Opaque deep copy of an engine's full search state.  Only meaningful to
+/// the engine type that produced it; Restore() on any other engine throws.
+class EngineCheckpoint {
+ public:
+  virtual ~EngineCheckpoint() = default;
+};
+
+/// Outcome of a Step slice.
+enum class StepStatus {
+  kRunning,  ///< budget remains; call Step again
+  kDone,     ///< the full iteration budget ran
+  kStopped,  ///< the StopToken truncated the search
+};
+
+/// Normalized outcome of a finished engine (what the registry adapters
+/// return): the host-side result plus the modeled device time (zero for
+/// host engines).
+struct EngineOutput {
+  RunResult result;
+  double device_seconds = 0.0;
+};
+
+/// Step budget meaning "run to completion".
+inline constexpr std::uint64_t kStepAll = ~std::uint64_t{0};
+
+/// A resumable solver.  Not thread-safe: one engine is driven by one
+/// thread at a time (the serve worker or the racing portfolio).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Advances up to \p units native iterations (saturating at the
+  /// configured budget).  Step(0) is a no-op status query.
+  virtual StepStatus Step(std::uint64_t units) = 0;
+
+  /// Native iterations left in the budget (0 when done or stopped).
+  virtual std::uint64_t Remaining() const = 0;
+
+  /// Best-so-far cost — the convergence counter the racing portfolio
+  /// compares at checkpoints.  Valid from construction on.
+  virtual Cost BestCost() const = 0;
+
+  /// Deep-copies the full search state.  Call only at Step boundaries.
+  virtual std::unique_ptr<EngineCheckpoint> Checkpoint() const = 0;
+
+  /// Restores a state captured by this engine type (same instance and
+  /// parameters).  Throws std::invalid_argument on a foreign checkpoint.
+  virtual void Restore(const EngineCheckpoint& checkpoint) = 0;
+
+  /// Finalizes and returns the run record.  Idempotent; the engine stays
+  /// restorable afterwards (Finish does not consume state).
+  virtual EngineOutput Finish() = 0;
+};
+
+/// Drives \p engine to completion in one slice — the run-to-completion
+/// functions (RunSerialSa & friends) are exactly this.
+inline EngineOutput RunToCompletion(Engine& engine) {
+  engine.Step(kStepAll);
+  return engine.Finish();
+}
+
+}  // namespace cdd::meta

@@ -2,94 +2,200 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
+#include <utility>
 
 #include "core/candidate_pool.hpp"
 #include "rng/philox.hpp"
 
 namespace cdd::meta {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Individual {
+  Sequence genome;
+  Cost cost = 0;
+};
+
+/// Whole-population state at a generation boundary.  The returned best is
+/// derived from the population at Finish (as the original run did), so
+/// the checkpoint carries the population rather than a best snapshot.
+struct EsCheckpoint final : EngineCheckpoint {
+  rng::Philox4x32 rng;
+  std::vector<Individual> population;
+  std::uint64_t generation;
+  RunResult result;
+  StepStatus status;
+  double elapsed;
+
+  EsCheckpoint(const rng::Philox4x32& rng_in,
+               std::vector<Individual> population_in,
+               std::uint64_t generation_in, RunResult result_in,
+               StepStatus status_in, double elapsed_in)
+      : rng(rng_in),
+        population(std::move(population_in)),
+        generation(generation_in),
+        result(std::move(result_in)),
+        status(status_in),
+        elapsed(elapsed_in) {}
+};
+
+class EsEngine final : public Engine {
+ public:
+  EsEngine(const SequenceObjective& objective, const EsParams& params)
+      : objective_(objective),
+        params_(params),
+        rng_(params.seed, /*stream=*/0xe5ULL),
+        lease_(params.pool, objective.size(),
+               std::max<std::uint32_t>(
+                   std::max(params.lambda, params.mu), 1)),
+        positions_(params.pert),
+        values_(params.pert) {
+    const auto t_start = Clock::now();
+    const std::size_t n = objective_.size();
+
+    // Offspring are bred directly inside the pool: each child row is a
+    // copy of its parent perturbed in place, and the whole brood is costed
+    // with one EvaluateBatch call per generation.
+    CandidatePool& pool = *lease_;
+    population_.reserve(params_.mu + params_.lambda);
+    for (std::uint32_t i = 0; i < params_.mu; ++i) {
+      Individual ind;
+      ind.genome = RandomSequence(n, rng_);
+      pool.Append(ind.genome);
+      population_.push_back(std::move(ind));
+    }
+    objective_.EvaluateBatch(pool);
+    for (std::uint32_t i = 0; i < params_.mu; ++i) {
+      population_[i].cost = pool.costs()[i];
+      ++result_.evaluations;
+    }
+    if (params_.generations == 0) status_ = StepStatus::kDone;
+    elapsed_ += std::chrono::duration<double>(Clock::now() - t_start).count();
+  }
+
+  StepStatus Step(std::uint64_t units) override {
+    if (status_ != StepStatus::kRunning || units == 0) return status_;
+    const auto t_start = Clock::now();
+    CandidatePool& pool = *lease_;
+    const std::uint64_t end =
+        generation_ +
+        std::min<std::uint64_t>(units, params_.generations - generation_);
+    for (; generation_ < end; ++generation_) {
+      const std::uint64_t g = generation_;
+      // A generation evaluates lambda offspring; poll once per generation.
+      if (params_.stop.stop_requested()) {
+        result_.stopped = true;
+        status_ = StepStatus::kStopped;
+        break;
+      }
+      const std::size_t parents = population_.size();
+      pool.Clear();
+      for (std::uint32_t k = 0; k < params_.lambda; ++k) {
+        const std::uint32_t pick =
+            UniformBelow(rng_, static_cast<std::uint32_t>(parents));
+        const std::span<JobId> child =
+            pool.row(pool.Append(population_[pick].genome));
+        PartialFisherYates(child, params_.pert, rng_,
+                           std::span<std::uint32_t>(positions_),
+                           std::span<JobId>(values_));
+      }
+      objective_.EvaluateBatch(pool);
+      for (std::uint32_t k = 0; k < params_.lambda; ++k) {
+        const std::span<const JobId> genome = pool.row(k);
+        Individual child;
+        child.genome.assign(genome.begin(), genome.end());
+        child.cost = pool.costs()[k];
+        ++result_.evaluations;
+        population_.push_back(std::move(child));
+      }
+      // Plus-selection: keep the best mu individuals (stable for
+      // determinism).
+      std::stable_sort(population_.begin(), population_.end(),
+                       [](const Individual& a, const Individual& b) {
+                         return a.cost < b.cost;
+                       });
+      population_.resize(params_.mu);
+      if (params_.trajectory_stride > 0 &&
+          g % params_.trajectory_stride == 0) {
+        result_.trajectory.push_back(population_.front().cost);
+      }
+    }
+    if (status_ == StepStatus::kRunning &&
+        generation_ == params_.generations) {
+      status_ = StepStatus::kDone;
+    }
+    elapsed_ += std::chrono::duration<double>(Clock::now() - t_start).count();
+    return status_;
+  }
+
+  std::uint64_t Remaining() const override {
+    return status_ == StepStatus::kRunning
+               ? params_.generations - generation_
+               : 0;
+  }
+
+  Cost BestCost() const override {
+    // Before the first selection the population is unsorted, so scan it
+    // (mu is small); afterwards front() is the minimum anyway.
+    Cost best = kInfiniteCost;
+    for (const Individual& ind : population_) best = std::min(best, ind.cost);
+    return best;
+  }
+
+  std::unique_ptr<EngineCheckpoint> Checkpoint() const override {
+    return std::make_unique<EsCheckpoint>(rng_, population_, generation_,
+                                          result_, status_, elapsed_);
+  }
+
+  void Restore(const EngineCheckpoint& checkpoint) override {
+    const auto* cp = dynamic_cast<const EsCheckpoint*>(&checkpoint);
+    if (cp == nullptr) {
+      throw std::invalid_argument("EsEngine: foreign checkpoint");
+    }
+    rng_ = cp->rng;
+    population_ = cp->population;
+    generation_ = cp->generation;
+    result_ = cp->result;
+    status_ = cp->status;
+    elapsed_ = cp->elapsed;
+  }
+
+  EngineOutput Finish() override {
+    EngineOutput out;
+    out.result = result_;
+    out.result.best = population_.front().genome;
+    out.result.best_cost = population_.front().cost;
+    out.result.wall_seconds = elapsed_;
+    return out;
+  }
+
+ private:
+  SequenceObjective objective_;
+  EsParams params_;
+  rng::Philox4x32 rng_;
+  PoolLease lease_;
+  std::vector<std::uint32_t> positions_;
+  std::vector<JobId> values_;
+  std::vector<Individual> population_;
+  std::uint64_t generation_ = 0;
+  RunResult result_;
+  StepStatus status_ = StepStatus::kRunning;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> MakeEsEngine(const SequenceObjective& objective,
+                                     const EsParams& params) {
+  return std::make_unique<EsEngine>(objective, params);
+}
 
 RunResult RunEvolutionStrategy(const SequenceObjective& objective,
                                const EsParams& params) {
-  const auto t_start = std::chrono::steady_clock::now();
-  const std::size_t n = objective.size();
-  rng::Philox4x32 rng(params.seed, /*stream=*/0xe5ULL);
-
-  struct Individual {
-    Sequence genome;
-    Cost cost = 0;
-  };
-
-  // Offspring are bred directly inside the pool: each child row is a copy
-  // of its parent perturbed in place, and the whole brood is costed with
-  // one EvaluateBatch call per generation.
-  PoolLease lease(params.pool, n,
-                  std::max<std::uint32_t>(
-                      std::max(params.lambda, params.mu), 1));
-  CandidatePool& pool = *lease;
-
-  RunResult result;
-  std::vector<Individual> population;
-  population.reserve(params.mu + params.lambda);
-  for (std::uint32_t i = 0; i < params.mu; ++i) {
-    Individual ind;
-    ind.genome = RandomSequence(n, rng);
-    pool.Append(ind.genome);
-    population.push_back(std::move(ind));
-  }
-  objective.EvaluateBatch(pool);
-  for (std::uint32_t i = 0; i < params.mu; ++i) {
-    population[i].cost = pool.costs()[i];
-    ++result.evaluations;
-  }
-
-  std::vector<std::uint32_t> positions(params.pert);
-  std::vector<JobId> values(params.pert);
-
-  for (std::uint64_t g = 0; g < params.generations; ++g) {
-    // A generation evaluates lambda offspring; poll once per generation.
-    if (params.stop.stop_requested()) {
-      result.stopped = true;
-      break;
-    }
-    const std::size_t parents = population.size();
-    pool.Clear();
-    for (std::uint32_t k = 0; k < params.lambda; ++k) {
-      const std::uint32_t pick =
-          UniformBelow(rng, static_cast<std::uint32_t>(parents));
-      const std::span<JobId> child =
-          pool.row(pool.Append(population[pick].genome));
-      PartialFisherYates(child, params.pert, rng,
-                         std::span<std::uint32_t>(positions),
-                         std::span<JobId>(values));
-    }
-    objective.EvaluateBatch(pool);
-    for (std::uint32_t k = 0; k < params.lambda; ++k) {
-      const std::span<const JobId> genome = pool.row(k);
-      Individual child;
-      child.genome.assign(genome.begin(), genome.end());
-      child.cost = pool.costs()[k];
-      ++result.evaluations;
-      population.push_back(std::move(child));
-    }
-    // Plus-selection: keep the best mu individuals (stable for determinism).
-    std::stable_sort(population.begin(), population.end(),
-                     [](const Individual& a, const Individual& b) {
-                       return a.cost < b.cost;
-                     });
-    population.resize(params.mu);
-    if (params.trajectory_stride > 0 &&
-        g % params.trajectory_stride == 0) {
-      result.trajectory.push_back(population.front().cost);
-    }
-  }
-
-  result.best = population.front().genome;
-  result.best_cost = population.front().cost;
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    t_start)
-          .count();
-  return result;
+  EsEngine engine(objective, params);
+  return RunToCompletion(engine).result;
 }
 
 }  // namespace cdd::meta

@@ -8,8 +8,10 @@
 /// (elitist plus-selection).
 
 #include <cstdint>
+#include <memory>
 
 #include "core/stop_token.hpp"
+#include "meta/engine.hpp"
 #include "meta/objective.hpp"
 #include "meta/result.hpp"
 
@@ -33,5 +35,10 @@ struct EsParams {
 /// Runs the serial evolution strategy.
 RunResult RunEvolutionStrategy(const SequenceObjective& objective,
                                const EsParams& params);
+
+/// Creates a resumable (mu + lambda)-ES engine (see engine.hpp).  Step
+/// units are generations; the checkpoint carries the whole population.
+std::unique_ptr<Engine> MakeEsEngine(const SequenceObjective& objective,
+                                     const EsParams& params);
 
 }  // namespace cdd::meta

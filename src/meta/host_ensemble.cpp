@@ -3,80 +3,180 @@
 #include <atomic>
 #include <chrono>
 #include <limits>
-#include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "meta/temperature.hpp"
 
 namespace cdd::meta {
+namespace {
 
-RunResult RunHostEnsembleSa(const SequenceObjective& objective,
-                            const HostEnsembleParams& params) {
-  const auto t_start = std::chrono::steady_clock::now();
+using Clock = std::chrono::steady_clock;
 
-  // Resolve the initial temperature once so every chain shares the ladder
-  // (and the Salamon sampling is not repeated per chain).
-  SaParams chain = params.chain;
-  if (chain.initial_temperature <= 0.0) {
-    chain.initial_temperature =
-        InitialTemperature(objective, chain.temp_samples, chain.seed);
-  }
+/// Ensemble state = one checkpoint per chain.  The merge is recomputed at
+/// Finish from the chains, so nothing else needs saving.
+struct HostEnsembleCheckpoint final : EngineCheckpoint {
+  std::vector<std::unique_ptr<EngineCheckpoint>> chains;
+  StepStatus status = StepStatus::kRunning;
+  double elapsed = 0.0;
+};
 
-  const unsigned hw = std::thread::hardware_concurrency();
-  const unsigned workers = std::min<unsigned>(
-      params.threads == 0 ? std::max(hw, 1u) : params.threads,
-      std::max(params.chains, 1u));
+class HostEnsembleEngine final : public Engine {
+ public:
+  HostEnsembleEngine(const SequenceObjective& objective,
+                     const HostEnsembleParams& params)
+      : objective_(objective), params_(params) {
+    const auto t_start = Clock::now();
 
-  std::atomic<std::uint32_t> next{0};
-  std::mutex best_mutex;
-  RunResult best;
-  std::uint32_t best_chain = std::numeric_limits<std::uint32_t>::max();
-  std::atomic<std::uint64_t> evaluations{0};
-  std::atomic<bool> stopped{false};
+    // Resolve the initial temperature once so every chain shares the
+    // ladder (and the Salamon sampling is not repeated per chain).
+    SaParams chain = params_.chain;
+    if (chain.initial_temperature <= 0.0) {
+      chain.initial_temperature =
+          InitialTemperature(objective_, chain.temp_samples, chain.seed);
+    }
+    // Chains run concurrently, so they must not share one lent pool; each
+    // allocates its private single row (results are placement-invariant).
+    chain.pool = nullptr;
 
-  const auto worker = [&]() {
-    for (;;) {
-      if (chain.stop.stop_requested()) {
-        stopped.store(true, std::memory_order_relaxed);
-        break;
-      }
-      const std::uint32_t c = next.fetch_add(1, std::memory_order_relaxed);
-      if (c >= params.chains) break;
+    engines_.reserve(params_.chains);
+    for (std::uint32_t c = 0; c < params_.chains; ++c) {
       SaParams mine = chain;
       mine.seed = chain.seed + c;  // chain-id keyed: thread-count invariant
-      const RunResult result = RunSerialSa(objective, mine);
-      evaluations.fetch_add(result.evaluations,
-                            std::memory_order_relaxed);
-      if (result.stopped) stopped.store(true, std::memory_order_relaxed);
-      const std::scoped_lock lock(best_mutex);
+      engines_.push_back(MakeSaEngine(objective_, mine));
+    }
+    if (engines_.empty()) status_ = StepStatus::kDone;
+    elapsed_ += std::chrono::duration<double>(Clock::now() - t_start).count();
+  }
+
+  StepStatus Step(std::uint64_t units) override {
+    if (status_ != StepStatus::kRunning || units == 0) return status_;
+    const auto t_start = Clock::now();
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned workers = std::min<unsigned>(
+        params_.threads == 0 ? std::max(hw, 1u) : params_.threads,
+        static_cast<unsigned>(engines_.size()));
+
+    // Lockstep slice: every chain advances by the same unit budget, claimed
+    // dynamically so fast chains do not idle behind slow ones.  Chains are
+    // independent engines, so concurrent Steps never share state.
+    std::atomic<std::uint32_t> next{0};
+    const auto worker = [&]() {
+      for (;;) {
+        const std::uint32_t c = next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= engines_.size()) break;
+        engines_[c]->Step(units);
+      }
+    };
+    if (workers <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+    }
+
+    bool any_running = false;
+    bool any_stopped = false;
+    for (const auto& engine : engines_) {
+      switch (engine->Step(0)) {  // status query
+        case StepStatus::kRunning: any_running = true; break;
+        case StepStatus::kStopped: any_stopped = true; break;
+        case StepStatus::kDone: break;
+      }
+    }
+    if (any_stopped) {
+      status_ = StepStatus::kStopped;
+    } else if (!any_running) {
+      status_ = StepStatus::kDone;
+    }
+    elapsed_ += std::chrono::duration<double>(Clock::now() - t_start).count();
+    return status_;
+  }
+
+  std::uint64_t Remaining() const override {
+    std::uint64_t remaining = 0;
+    for (const auto& engine : engines_) {
+      remaining = std::max(remaining, engine->Remaining());
+    }
+    return status_ == StepStatus::kRunning ? remaining : 0;
+  }
+
+  Cost BestCost() const override {
+    Cost best = kInfiniteCost;
+    for (const auto& engine : engines_) {
+      best = std::min(best, engine->BestCost());
+    }
+    return best;
+  }
+
+  std::unique_ptr<EngineCheckpoint> Checkpoint() const override {
+    auto cp = std::make_unique<HostEnsembleCheckpoint>();
+    cp->chains.reserve(engines_.size());
+    for (const auto& engine : engines_) {
+      cp->chains.push_back(engine->Checkpoint());
+    }
+    cp->status = status_;
+    cp->elapsed = elapsed_;
+    return cp;
+  }
+
+  void Restore(const EngineCheckpoint& checkpoint) override {
+    const auto* cp = dynamic_cast<const HostEnsembleCheckpoint*>(&checkpoint);
+    if (cp == nullptr || cp->chains.size() != engines_.size()) {
+      throw std::invalid_argument("HostEnsembleEngine: foreign checkpoint");
+    }
+    for (std::size_t c = 0; c < engines_.size(); ++c) {
+      engines_[c]->Restore(*cp->chains[c]);
+    }
+    status_ = cp->status;
+    elapsed_ = cp->elapsed;
+  }
+
+  EngineOutput Finish() override {
+    EngineOutput out;
+    RunResult& best = out.result;
+    std::uint32_t best_chain = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t c = 0; c < engines_.size(); ++c) {
+      const EngineOutput chain = engines_[c]->Finish();
+      best.evaluations += chain.result.evaluations;
+      best.stopped = best.stopped || chain.result.stopped;
       // Ties break toward the lower chain id so the outcome does not
       // depend on scheduling.
-      if (result.best_cost < best.best_cost ||
-          (result.best_cost == best.best_cost && c < best_chain)) {
-        best.best = result.best;
-        best.best_cost = result.best_cost;
+      if (chain.result.best_cost < best.best_cost ||
+          (chain.result.best_cost == best.best_cost && c < best_chain)) {
+        best.best = chain.result.best;
+        best.best_cost = chain.result.best_cost;
         best_chain = c;
       }
     }
-  };
-
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    best.wall_seconds = elapsed_;
+    return out;
   }
 
-  best.evaluations = evaluations.load();
-  best.stopped = stopped.load();
-  best.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    t_start)
-          .count();
-  return best;
+ private:
+  SequenceObjective objective_;
+  HostEnsembleParams params_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  StepStatus status_ = StepStatus::kRunning;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> MakeHostEnsembleEngine(
+    const SequenceObjective& objective, const HostEnsembleParams& params) {
+  return std::make_unique<HostEnsembleEngine>(objective, params);
+}
+
+RunResult RunHostEnsembleSa(const SequenceObjective& objective,
+                            const HostEnsembleParams& params) {
+  HostEnsembleEngine engine(objective, params);
+  return RunToCompletion(engine).result;
 }
 
 }  // namespace cdd::meta

@@ -10,7 +10,9 @@
 /// bench_ablation_host_ensemble compares it against the modeled GPU.
 
 #include <cstdint>
+#include <memory>
 
+#include "meta/engine.hpp"
 #include "meta/objective.hpp"
 #include "meta/result.hpp"
 #include "meta/sa.hpp"
@@ -36,5 +38,12 @@ struct HostEnsembleParams {
 /// wall-clock stop lands depends on scheduling by construction.
 RunResult RunHostEnsembleSa(const SequenceObjective& objective,
                             const HostEnsembleParams& params);
+
+/// Creates a resumable host-ensemble engine (see engine.hpp): `chains`
+/// independent SA engines stepped in lockstep slices over host threads,
+/// deterministically merged at Finish.  Step units are SA iterations
+/// (applied to every chain); a checkpoint captures every chain's state.
+std::unique_ptr<Engine> MakeHostEnsembleEngine(
+    const SequenceObjective& objective, const HostEnsembleParams& params);
 
 }  // namespace cdd::meta

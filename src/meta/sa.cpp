@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 #include "core/candidate_pool.hpp"
 #include "meta/temperature.hpp"
@@ -10,89 +12,186 @@
 #include "trace/tracer.hpp"
 
 namespace cdd::meta {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Full SA chain state at a Step boundary: the Philox value copy carries
+/// the exact stream position, so resuming replays the same random draws.
+struct SaCheckpoint final : EngineCheckpoint {
+  rng::Philox4x32 rng;
+  Sequence current;
+  Cost energy;
+  std::uint64_t iteration;
+  RunResult result;
+  StepStatus status;
+  double elapsed;
+
+  SaCheckpoint(const rng::Philox4x32& rng_in, Sequence current_in,
+               Cost energy_in, std::uint64_t iteration_in,
+               RunResult result_in, StepStatus status_in, double elapsed_in)
+      : rng(rng_in),
+        current(std::move(current_in)),
+        energy(energy_in),
+        iteration(iteration_in),
+        result(std::move(result_in)),
+        status(status_in),
+        elapsed(elapsed_in) {}
+};
+
+class SaEngine final : public Engine {
+ public:
+  SaEngine(const SequenceObjective& objective, const SaParams& params,
+           const std::optional<Sequence>& initial)
+      : objective_(objective),
+        params_(params),
+        rng_(params.seed, /*stream=*/0x5a5a5a5aULL),
+        lease_(params.pool, objective.size(), /*capacity=*/1),
+        positions_(params.pert),
+        values_(params.pert) {
+    const auto t_start = Clock::now();
+    const std::size_t n = objective_.size();
+    current_ = initial.has_value() ? *initial : RandomSequence(n, rng_);
+    energy_ = objective_(current_);
+    result_.evaluations = 1;
+    result_.best = current_;
+    result_.best_cost = energy_;
+    t0_ = params_.initial_temperature > 0.0
+              ? params_.initial_temperature
+              : InitialTemperature(objective_, params_.temp_samples,
+                                   params_.seed);
+    (*lease_).AppendUninitialized();
+    if (params_.iterations == 0) status_ = StepStatus::kDone;
+    elapsed_ += std::chrono::duration<double>(Clock::now() - t_start).count();
+  }
+
+  StepStatus Step(std::uint64_t units) override {
+    if (status_ != StepStatus::kRunning || units == 0) return status_;
+    CDD_TRACE_SPAN("meta.sa");
+    const auto t_start = Clock::now();
+    const CoolingSchedule schedule(params_.cooling, t0_, params_.mu,
+                                   params_.iterations);
+    CandidatePool& pool = *lease_;
+    const std::span<JobId> candidate = pool.row(0);
+    const std::uint32_t period = std::max(params_.shuffle_period, 1u);
+    const std::uint64_t end =
+        iteration_ +
+        std::min<std::uint64_t>(units, params_.iterations - iteration_);
+    for (; iteration_ < end; ++iteration_) {
+      const std::uint64_t i = iteration_;
+      if (i % kStopCheckStride == 0 && params_.stop.stop_requested()) {
+        result_.stopped = true;
+        status_ = StepStatus::kStopped;
+        break;
+      }
+      const double temperature = schedule(i);
+      std::copy(current_.begin(), current_.end(), candidate.begin());
+      if (params_.neighborhood == NeighborhoodMode::kShuffleEveryIteration ||
+          i % period == 0) {
+        PartialFisherYates(candidate, params_.pert, rng_,
+                           std::span<std::uint32_t>(positions_),
+                           std::span<JobId>(values_));
+      } else {
+        RandomSwap(candidate, rng_);
+      }
+      objective_.EvaluateBatch(pool);
+      const Cost new_energy = pool.costs()[0];
+      ++result_.evaluations;
+
+      // Metropolis: always accept improvements; accept uphill moves with
+      // probability exp((E - E_new)/T)  (Algorithm 1, line 7).
+      const double u = rng_.NextUniform();
+      const double accept =
+          std::exp(static_cast<double>(energy_ - new_energy) /
+                   std::max(temperature, 1e-300));
+      if (accept >= u) {
+        current_.assign(candidate.begin(), candidate.end());
+        energy_ = new_energy;
+        if (energy_ < result_.best_cost) {
+          result_.best_cost = energy_;
+          result_.best = current_;
+        }
+      }
+      if (params_.trajectory_stride > 0 &&
+          i % params_.trajectory_stride == 0) {
+        result_.trajectory.push_back(result_.best_cost);
+        // Convergence telemetry rides the existing sampling points, so the
+        // trace adds no work on unsampled iterations and never touches rng.
+        CDD_TRACE_COUNTER("sa.best_cost", result_.best_cost);
+      }
+    }
+    if (status_ == StepStatus::kRunning &&
+        iteration_ == params_.iterations) {
+      status_ = StepStatus::kDone;
+    }
+    elapsed_ += std::chrono::duration<double>(Clock::now() - t_start).count();
+    return status_;
+  }
+
+  std::uint64_t Remaining() const override {
+    return status_ == StepStatus::kRunning
+               ? params_.iterations - iteration_
+               : 0;
+  }
+
+  Cost BestCost() const override { return result_.best_cost; }
+
+  std::unique_ptr<EngineCheckpoint> Checkpoint() const override {
+    return std::make_unique<SaCheckpoint>(rng_, current_, energy_,
+                                          iteration_, result_, status_,
+                                          elapsed_);
+  }
+
+  void Restore(const EngineCheckpoint& checkpoint) override {
+    const auto* cp = dynamic_cast<const SaCheckpoint*>(&checkpoint);
+    if (cp == nullptr) {
+      throw std::invalid_argument("SaEngine: foreign checkpoint");
+    }
+    rng_ = cp->rng;
+    current_ = cp->current;
+    energy_ = cp->energy;
+    iteration_ = cp->iteration;
+    result_ = cp->result;
+    status_ = cp->status;
+    elapsed_ = cp->elapsed;
+  }
+
+  EngineOutput Finish() override {
+    EngineOutput out;
+    out.result = result_;
+    out.result.wall_seconds = elapsed_;
+    return out;
+  }
+
+ private:
+  SequenceObjective objective_;
+  SaParams params_;
+  rng::Philox4x32 rng_;
+  PoolLease lease_;
+  std::vector<std::uint32_t> positions_;
+  std::vector<JobId> values_;
+  Sequence current_;
+  Cost energy_ = 0;
+  double t0_ = 0.0;
+  std::uint64_t iteration_ = 0;
+  RunResult result_;
+  StepStatus status_ = StepStatus::kRunning;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> MakeSaEngine(const SequenceObjective& objective,
+                                     const SaParams& params,
+                                     const std::optional<Sequence>& initial) {
+  return std::make_unique<SaEngine>(objective, params, initial);
+}
 
 RunResult RunSerialSa(const SequenceObjective& objective,
                       const SaParams& params,
                       const std::optional<Sequence>& initial) {
-  CDD_TRACE_SPAN("meta.sa");
-  const auto t_start = std::chrono::steady_clock::now();
-  const std::size_t n = objective.size();
-  rng::Philox4x32 rng(params.seed, /*stream=*/0x5a5a5a5aULL);
-
-  RunResult result;
-
-  Sequence current =
-      initial.has_value() ? *initial : RandomSequence(n, rng);
-  Cost energy = objective(current);
-  result.evaluations = 1;
-  result.best = current;
-  result.best_cost = energy;
-
-  const double t0 =
-      params.initial_temperature > 0.0
-          ? params.initial_temperature
-          : InitialTemperature(objective, params.temp_samples, params.seed);
-  const CoolingSchedule schedule(params.cooling, t0, params.mu,
-                                 params.iterations);
-
-  // The SA chain is sequential, so its "generation" is one candidate: the
-  // neighbour is perturbed directly inside a single-row pool and evaluated
-  // with one EvaluateBatch call — the same entry point the population
-  // engines use, with no per-candidate dispatch.
-  PoolLease lease(params.pool, n, /*capacity=*/1);
-  CandidatePool& pool = *lease;
-  const std::span<JobId> candidate = pool.row(pool.AppendUninitialized());
-  std::vector<std::uint32_t> positions(params.pert);
-  std::vector<JobId> values(params.pert);
-
-  const std::uint32_t period = std::max(params.shuffle_period, 1u);
-  for (std::uint64_t i = 0; i < params.iterations; ++i) {
-    if (i % kStopCheckStride == 0 && params.stop.stop_requested()) {
-      result.stopped = true;
-      break;
-    }
-    const double temperature = schedule(i);
-    std::copy(current.begin(), current.end(), candidate.begin());
-    if (params.neighborhood == NeighborhoodMode::kShuffleEveryIteration ||
-        i % period == 0) {
-      PartialFisherYates(candidate, params.pert, rng,
-                         std::span<std::uint32_t>(positions),
-                         std::span<JobId>(values));
-    } else {
-      RandomSwap(candidate, rng);
-    }
-    objective.EvaluateBatch(pool);
-    const Cost new_energy = pool.costs()[0];
-    ++result.evaluations;
-
-    // Metropolis: always accept improvements; accept uphill moves with
-    // probability exp((E - E_new)/T)  (Algorithm 1, line 7).
-    const double u = rng.NextUniform();
-    const double accept =
-        std::exp(static_cast<double>(energy - new_energy) /
-                 std::max(temperature, 1e-300));
-    if (accept >= u) {
-      current.assign(candidate.begin(), candidate.end());
-      energy = new_energy;
-      if (energy < result.best_cost) {
-        result.best_cost = energy;
-        result.best = current;
-      }
-    }
-    if (params.trajectory_stride > 0 &&
-        i % params.trajectory_stride == 0) {
-      result.trajectory.push_back(result.best_cost);
-      // Convergence telemetry rides the existing sampling points, so the
-      // trace adds no work on unsampled iterations and never touches rng.
-      CDD_TRACE_COUNTER("sa.best_cost", result.best_cost);
-    }
-  }
-
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    t_start)
-          .count();
-  return result;
+  SaEngine engine(objective, params, initial);
+  return RunToCompletion(engine).result;
 }
 
 }  // namespace cdd::meta

@@ -2,73 +2,181 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
+#include <utility>
 
 #include "core/candidate_pool.hpp"
 #include "meta/temperature.hpp"
 #include "rng/philox.hpp"
 
 namespace cdd::meta {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// TA chain state at a Step boundary.  The decayed threshold is a host
+/// accumulator (threshold *= decay each iteration), so it is part of the
+/// checkpoint alongside the RNG position.
+struct TaCheckpoint final : EngineCheckpoint {
+  rng::Philox4x32 rng;
+  Sequence current;
+  Cost energy;
+  double threshold;
+  std::uint64_t iteration;
+  RunResult result;
+  StepStatus status;
+  double elapsed;
+
+  TaCheckpoint(const rng::Philox4x32& rng_in, Sequence current_in,
+               Cost energy_in, double threshold_in,
+               std::uint64_t iteration_in, RunResult result_in,
+               StepStatus status_in, double elapsed_in)
+      : rng(rng_in),
+        current(std::move(current_in)),
+        energy(energy_in),
+        threshold(threshold_in),
+        iteration(iteration_in),
+        result(std::move(result_in)),
+        status(status_in),
+        elapsed(elapsed_in) {}
+};
+
+class TaEngine final : public Engine {
+ public:
+  TaEngine(const SequenceObjective& objective, const TaParams& params,
+           const std::optional<Sequence>& initial)
+      : objective_(objective),
+        params_(params),
+        rng_(params.seed, /*stream=*/0x7aULL),
+        lease_(params.pool, objective.size(), /*capacity=*/1),
+        positions_(params.pert),
+        values_(params.pert) {
+    const auto t_start = Clock::now();
+    const std::size_t n = objective_.size();
+    current_ = initial.has_value() ? *initial : RandomSequence(n, rng_);
+    energy_ = objective_(current_);
+    result_.evaluations = 1;
+    result_.best = current_;
+    result_.best_cost = energy_;
+    threshold_ =
+        params_.initial_threshold > 0.0
+            ? params_.initial_threshold
+            : 0.5 * InitialTemperature(objective_, params_.temp_samples,
+                                       params_.seed);
+    (*lease_).AppendUninitialized();
+    if (params_.iterations == 0) status_ = StepStatus::kDone;
+    elapsed_ += std::chrono::duration<double>(Clock::now() - t_start).count();
+  }
+
+  StepStatus Step(std::uint64_t units) override {
+    if (status_ != StepStatus::kRunning || units == 0) return status_;
+    const auto t_start = Clock::now();
+    CandidatePool& pool = *lease_;
+    const std::span<JobId> candidate = pool.row(0);
+    const std::uint64_t end =
+        iteration_ +
+        std::min<std::uint64_t>(units, params_.iterations - iteration_);
+    for (; iteration_ < end; ++iteration_) {
+      const std::uint64_t i = iteration_;
+      if (i % kStopCheckStride == 0 && params_.stop.stop_requested()) {
+        result_.stopped = true;
+        status_ = StepStatus::kStopped;
+        break;
+      }
+      std::copy(current_.begin(), current_.end(), candidate.begin());
+      PartialFisherYates(candidate, params_.pert, rng_,
+                         std::span<std::uint32_t>(positions_),
+                         std::span<JobId>(values_));
+      objective_.EvaluateBatch(pool);
+      const Cost new_energy = pool.costs()[0];
+      ++result_.evaluations;
+      if (static_cast<double>(new_energy - energy_) <= threshold_) {
+        current_.assign(candidate.begin(), candidate.end());
+        energy_ = new_energy;
+        if (energy_ < result_.best_cost) {
+          result_.best_cost = energy_;
+          result_.best = current_;
+        }
+      }
+      threshold_ *= params_.decay;
+      if (params_.trajectory_stride > 0 &&
+          i % params_.trajectory_stride == 0) {
+        result_.trajectory.push_back(result_.best_cost);
+      }
+    }
+    if (status_ == StepStatus::kRunning &&
+        iteration_ == params_.iterations) {
+      status_ = StepStatus::kDone;
+    }
+    elapsed_ += std::chrono::duration<double>(Clock::now() - t_start).count();
+    return status_;
+  }
+
+  std::uint64_t Remaining() const override {
+    return status_ == StepStatus::kRunning
+               ? params_.iterations - iteration_
+               : 0;
+  }
+
+  Cost BestCost() const override { return result_.best_cost; }
+
+  std::unique_ptr<EngineCheckpoint> Checkpoint() const override {
+    return std::make_unique<TaCheckpoint>(rng_, current_, energy_,
+                                          threshold_, iteration_, result_,
+                                          status_, elapsed_);
+  }
+
+  void Restore(const EngineCheckpoint& checkpoint) override {
+    const auto* cp = dynamic_cast<const TaCheckpoint*>(&checkpoint);
+    if (cp == nullptr) {
+      throw std::invalid_argument("TaEngine: foreign checkpoint");
+    }
+    rng_ = cp->rng;
+    current_ = cp->current;
+    energy_ = cp->energy;
+    threshold_ = cp->threshold;
+    iteration_ = cp->iteration;
+    result_ = cp->result;
+    status_ = cp->status;
+    elapsed_ = cp->elapsed;
+  }
+
+  EngineOutput Finish() override {
+    EngineOutput out;
+    out.result = result_;
+    out.result.wall_seconds = elapsed_;
+    return out;
+  }
+
+ private:
+  SequenceObjective objective_;
+  TaParams params_;
+  rng::Philox4x32 rng_;
+  PoolLease lease_;
+  std::vector<std::uint32_t> positions_;
+  std::vector<JobId> values_;
+  Sequence current_;
+  Cost energy_ = 0;
+  double threshold_ = 0.0;
+  std::uint64_t iteration_ = 0;
+  RunResult result_;
+  StepStatus status_ = StepStatus::kRunning;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> MakeTaEngine(const SequenceObjective& objective,
+                                     const TaParams& params,
+                                     const std::optional<Sequence>& initial) {
+  return std::make_unique<TaEngine>(objective, params, initial);
+}
 
 RunResult RunThresholdAccepting(const SequenceObjective& objective,
                                 const TaParams& params,
                                 const std::optional<Sequence>& initial) {
-  const auto t_start = std::chrono::steady_clock::now();
-  const std::size_t n = objective.size();
-  rng::Philox4x32 rng(params.seed, /*stream=*/0x7aULL);
-
-  RunResult result;
-  Sequence current = initial.has_value() ? *initial : RandomSequence(n, rng);
-  Cost energy = objective(current);
-  result.evaluations = 1;
-  result.best = current;
-  result.best_cost = energy;
-
-  double threshold =
-      params.initial_threshold > 0.0
-          ? params.initial_threshold
-          : 0.5 * InitialTemperature(objective, params.temp_samples,
-                                     params.seed);
-
-  // Like the SA chain, TA is sequential: one pool row per iteration,
-  // perturbed in place and evaluated through the batch entry point.
-  PoolLease lease(params.pool, n, /*capacity=*/1);
-  CandidatePool& pool = *lease;
-  const std::span<JobId> candidate = pool.row(pool.AppendUninitialized());
-  std::vector<std::uint32_t> positions(params.pert);
-  std::vector<JobId> values(params.pert);
-
-  for (std::uint64_t i = 0; i < params.iterations; ++i) {
-    if (i % kStopCheckStride == 0 && params.stop.stop_requested()) {
-      result.stopped = true;
-      break;
-    }
-    std::copy(current.begin(), current.end(), candidate.begin());
-    PartialFisherYates(candidate, params.pert, rng,
-                       std::span<std::uint32_t>(positions),
-                       std::span<JobId>(values));
-    objective.EvaluateBatch(pool);
-    const Cost new_energy = pool.costs()[0];
-    ++result.evaluations;
-    if (static_cast<double>(new_energy - energy) <= threshold) {
-      current.assign(candidate.begin(), candidate.end());
-      energy = new_energy;
-      if (energy < result.best_cost) {
-        result.best_cost = energy;
-        result.best = current;
-      }
-    }
-    threshold *= params.decay;
-    if (params.trajectory_stride > 0 &&
-        i % params.trajectory_stride == 0) {
-      result.trajectory.push_back(result.best_cost);
-    }
-  }
-
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    t_start)
-          .count();
-  return result;
+  TaEngine engine(objective, params, initial);
+  return RunToCompletion(engine).result;
 }
 
 }  // namespace cdd::meta

@@ -10,9 +10,11 @@
 /// heuristics).
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "core/stop_token.hpp"
+#include "meta/engine.hpp"
 #include "meta/objective.hpp"
 #include "meta/result.hpp"
 
@@ -37,6 +39,12 @@ struct TaParams {
 
 /// Runs serial Threshold Accepting.
 RunResult RunThresholdAccepting(
+    const SequenceObjective& objective, const TaParams& params,
+    const std::optional<Sequence>& initial = std::nullopt);
+
+/// Creates a resumable TA engine (see engine.hpp).  Step units are TA
+/// iterations; the decaying threshold is part of the checkpoint.
+std::unique_ptr<Engine> MakeTaEngine(
     const SequenceObjective& objective, const TaParams& params,
     const std::optional<Sequence>& initial = std::nullopt);
 

@@ -11,10 +11,12 @@
 /// remains the same as for SA").
 
 #include <cstdint>
+#include <memory>
 
 #include "core/instance.hpp"
 #include "core/stop_token.hpp"
 #include "cudasim/device.hpp"
+#include "meta/engine.hpp"
 #include "parallel/launch_config.hpp"
 #include "parallel/result.hpp"
 
@@ -40,5 +42,11 @@ struct ParallelDpsoParams {
 /// Runs the asynchronous parallel DPSO for \p instance on \p device.
 GpuRunResult RunParallelDpso(sim::Device& device, const Instance& instance,
                              const ParallelDpsoParams& params);
+
+/// Creates a resumable parallel-DPSO engine on \p device (not owned).
+/// Step units are generations; a checkpoint snapshots the swarm buffers.
+std::unique_ptr<meta::Engine> MakeParallelDpsoEngine(
+    sim::Device& device, const Instance& instance,
+    const ParallelDpsoParams& params);
 
 }  // namespace cdd::par

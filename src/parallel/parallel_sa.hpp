@@ -17,9 +17,11 @@
 /// the loop and only the winning sequence is downloaded at the end (Fig 9).
 
 #include <cstdint>
+#include <memory>
 
 #include "core/instance.hpp"
 #include "cudasim/device.hpp"
+#include "meta/engine.hpp"
 #include "meta/sa.hpp"  // NeighborhoodMode
 #include "parallel/detail.hpp"  // PenaltyMemory
 #include "parallel/launch_config.hpp"
@@ -60,5 +62,14 @@ struct ParallelSaParams {
 /// UCDDCP O(n) evaluator according to Instance::problem().
 GpuRunResult RunParallelSa(sim::Device& device, const Instance& instance,
                            const ParallelSaParams& params);
+
+/// Creates a resumable parallel-SA engine on \p device (not owned; one
+/// engine per device at a time).  Step units are generations; a checkpoint
+/// snapshots the ensemble buffers on the host without charging modeled
+/// transfer time.  Per-generation Philox streams are stateless in
+/// (seed, generation), so resumes replay bit-identically.
+std::unique_ptr<meta::Engine> MakeParallelSaEngine(
+    sim::Device& device, const Instance& instance,
+    const ParallelSaParams& params);
 
 }  // namespace cdd::par

@@ -11,10 +11,12 @@
 /// bench_ablation_sync_vs_async can show exactly that collapse.
 
 #include <cstdint>
+#include <memory>
 
 #include "core/instance.hpp"
 #include "core/stop_token.hpp"
 #include "cudasim/device.hpp"
+#include "meta/engine.hpp"
 #include "meta/sa.hpp"  // NeighborhoodMode
 #include "parallel/launch_config.hpp"
 #include "parallel/result.hpp"
@@ -44,5 +46,12 @@ struct ParallelSaSyncParams {
 /// Runs the synchronous parallel SA.
 GpuRunResult RunParallelSaSync(sim::Device& device, const Instance& instance,
                                const ParallelSaSyncParams& params);
+
+/// Creates a resumable synchronous parallel-SA engine on \p device (not
+/// owned).  Step units are temperature levels (each a full M-length chain
+/// plus the reduce/broadcast exchange — the natural pause point of Fig 8).
+std::unique_ptr<meta::Engine> MakeParallelSaSyncEngine(
+    sim::Device& device, const Instance& instance,
+    const ParallelSaSyncParams& params);
 
 }  // namespace cdd::par

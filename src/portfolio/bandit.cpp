@@ -1,0 +1,131 @@
+#include "portfolio/bandit.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace cdd::portfolio {
+
+namespace {
+
+std::uint32_t Log2Bucket(std::uint64_t value) {
+  std::uint32_t bucket = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+InstanceFeatures ComputeFeatures(const Instance& instance) {
+  InstanceFeatures features;
+  const std::size_t n = instance.size();
+  features.n_bucket = Log2Bucket(n == 0 ? 1 : n);
+
+  const Time total = instance.total_processing_time();
+  if (total > 0) {
+    // h = d / sum P_i, the Biskup-Feldmann restrictiveness knob, in
+    // 0.2-wide buckets capped at 5 (h >= 1 is the unrestricted regime).
+    const double h = static_cast<double>(instance.due_date()) /
+                     static_cast<double>(total);
+    features.h_bucket =
+        static_cast<std::uint32_t>(std::min(5.0, std::max(0.0, h / 0.2)));
+  }
+
+  Cost min_pen = 0;
+  Cost max_pen = 0;
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    const Job& job = instance.job(j);
+    const Cost lo = std::min(job.early, job.tardy);
+    const Cost hi = std::max(job.early, job.tardy);
+    if (j == 0 || lo < min_pen) min_pen = lo;
+    if (j == 0 || hi > max_pen) max_pen = hi;
+  }
+  if (min_pen > 0) {
+    features.spread_bucket =
+        Log2Bucket(static_cast<std::uint64_t>(max_pen / min_pen));
+  }
+  return features;
+}
+
+std::uint64_t FeatureKey(const InstanceFeatures& features) {
+  return (static_cast<std::uint64_t>(features.n_bucket) << 16) |
+         (static_cast<std::uint64_t>(features.h_bucket) << 8) |
+         static_cast<std::uint64_t>(features.spread_bucket);
+}
+
+BanditPrior& BanditPrior::Global() {
+  static BanditPrior prior;
+  return prior;
+}
+
+BanditPrior::Arm* BanditPrior::FindArm(std::uint64_t key,
+                                       std::string_view engine) {
+  for (Arm& arm : arms_) {
+    if (arm.key == key && arm.engine == engine) return &arm;
+  }
+  return nullptr;
+}
+
+const BanditPrior::Arm* BanditPrior::FindArm(std::uint64_t key,
+                                             std::string_view engine) const {
+  for (const Arm& arm : arms_) {
+    if (arm.key == key && arm.engine == engine) return &arm;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> BanditPrior::Rank(
+    const InstanceFeatures& features,
+    std::vector<std::string> candidates) const {
+  const std::uint64_t key = FeatureKey(features);
+  std::vector<double> score(candidates.size(), 1.0);
+  {
+    const std::scoped_lock lock(mutex_);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (const Arm* arm = FindArm(key, candidates[i]);
+          arm != nullptr && arm->stats.plays > 0) {
+        score[i] = static_cast<double>(arm->stats.wins) /
+                   static_cast<double>(arm->stats.plays);
+      }
+    }
+  }
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return score[a] > score[b];
+                   });
+  std::vector<std::string> ranked;
+  ranked.reserve(candidates.size());
+  for (const std::size_t i : order) {
+    ranked.push_back(std::move(candidates[i]));
+  }
+  return ranked;
+}
+
+void BanditPrior::RecordWin(const InstanceFeatures& features,
+                            std::string_view winner,
+                            const std::vector<std::string>& contenders) {
+  const std::uint64_t key = FeatureKey(features);
+  const std::scoped_lock lock(mutex_);
+  for (const std::string& name : contenders) {
+    Arm* arm = FindArm(key, name);
+    if (arm == nullptr) {
+      arms_.push_back(Arm{key, name, {}});
+      arm = &arms_.back();
+    }
+    ++arm->stats.plays;
+    if (name == winner) ++arm->stats.wins;
+  }
+}
+
+ArmStats BanditPrior::Stats(const InstanceFeatures& features,
+                            std::string_view engine) const {
+  const std::scoped_lock lock(mutex_);
+  const Arm* arm = FindArm(FeatureKey(features), engine);
+  return arm == nullptr ? ArmStats{} : arm->stats;
+}
+
+}  // namespace cdd::portfolio

@@ -1,0 +1,88 @@
+#pragma once
+/// \file bandit.hpp
+/// \brief Per-instance-feature prior over racing winners.
+///
+/// The racing portfolio (race.hpp) learns which engine tends to win on
+/// which kind of instance: every finished race records its winner under a
+/// coarse feature bucket — job count, due-date restrictiveness h, penalty
+/// spread — and the next adaptive race orders (and truncates) its
+/// contender list by the observed win rate in that bucket.  A plain
+/// win-rate bandit with optimistic initialization: an engine never tried
+/// on a bucket scores 1.0, so every contender gets raced at least once
+/// before the prior starts narrowing the field.
+///
+/// The prior is in-process state (no persistence): it makes a long-lived
+/// service adapt, and it deliberately makes adaptive races
+/// non-reproducible across processes — which is why the serve layer only
+/// caches and manifests races whose portfolio is pinned (see
+/// serve::RacePortfolioPinned).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace cdd::portfolio {
+
+/// Coarse, bucketed description of one instance — the bandit's context.
+/// Buckets are deliberately wide: the prior needs to generalize across a
+/// benchmark sweep, not memorize single instances.
+struct InstanceFeatures {
+  std::uint32_t n_bucket = 0;       ///< floor(log2(n))
+  std::uint32_t h_bucket = 0;       ///< h = d / sum P_i in 0.2-wide buckets
+  std::uint32_t spread_bucket = 0;  ///< floor(log2(max pen / min pen))
+};
+
+/// Computes the feature bucket of \p instance.
+InstanceFeatures ComputeFeatures(const Instance& instance);
+
+/// Packs the three buckets into one map key.
+std::uint64_t FeatureKey(const InstanceFeatures& features);
+
+/// Win-rate statistics of one (feature bucket, engine) arm.
+struct ArmStats {
+  std::uint64_t plays = 0;
+  std::uint64_t wins = 0;
+};
+
+/// Thread-safe win-rate prior.  One process-wide instance (Global())
+/// backs the serve layer; tests construct their own.
+class BanditPrior {
+ public:
+  /// The process-wide prior the adaptive "race" engine records into.
+  static BanditPrior& Global();
+
+  /// Orders \p candidates by decreasing observed win rate on this bucket;
+  /// an engine with no plays scores 1.0 (optimistic — it gets tried), and
+  /// ties preserve the input order, so a fresh prior returns the input
+  /// unchanged.
+  std::vector<std::string> Rank(const InstanceFeatures& features,
+                                std::vector<std::string> candidates) const;
+
+  /// Records one finished race: every contender is played, the winner
+  /// also wins.
+  void RecordWin(const InstanceFeatures& features, std::string_view winner,
+                 const std::vector<std::string>& contenders);
+
+  /// Stats of one arm (zeros when never played) — for tests and tools.
+  ArmStats Stats(const InstanceFeatures& features,
+                 std::string_view engine) const;
+
+ private:
+  struct Arm {
+    std::uint64_t key;
+    std::string engine;
+    ArmStats stats;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Arm> arms_;
+
+  Arm* FindArm(std::uint64_t key, std::string_view engine);
+  const Arm* FindArm(std::uint64_t key, std::string_view engine) const;
+};
+
+}  // namespace cdd::portfolio

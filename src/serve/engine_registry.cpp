@@ -1,6 +1,9 @@
 #include "serve/engine_registry.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
 
 #include "exact/bnb.hpp"
 #include "meta/dpso.hpp"
@@ -12,172 +15,259 @@
 #include "parallel/parallel_dpso.hpp"
 #include "parallel/parallel_sa.hpp"
 #include "parallel/parallel_sa_sync.hpp"
+#include "portfolio/bandit.hpp"
+#include "portfolio/race.hpp"
 
 namespace cdd::serve {
 
 namespace {
 
-/// Runs \p body with the caller's device or a private GT 560M.
+/// Keeps a private simulated device alive for exactly as long as the
+/// engine running on it — the factory path's replacement for the stack
+/// device the one-shot adapters used.  Members declare the device first
+/// so it is destroyed last (the inner engine's buffers live on it).
+class OwningDeviceEngine final : public meta::Engine {
+ public:
+  OwningDeviceEngine(std::unique_ptr<sim::Device> device,
+                     std::unique_ptr<meta::Engine> inner)
+      : device_(std::move(device)), inner_(std::move(inner)) {}
+
+  meta::StepStatus Step(std::uint64_t units) override {
+    return inner_->Step(units);
+  }
+  std::uint64_t Remaining() const override { return inner_->Remaining(); }
+  Cost BestCost() const override { return inner_->BestCost(); }
+  std::unique_ptr<meta::EngineCheckpoint> Checkpoint() const override {
+    return inner_->Checkpoint();
+  }
+  void Restore(const meta::EngineCheckpoint& checkpoint) override {
+    inner_->Restore(checkpoint);
+  }
+  meta::EngineOutput Finish() override { return inner_->Finish(); }
+
+ private:
+  std::unique_ptr<sim::Device> device_;
+  std::unique_ptr<meta::Engine> inner_;
+};
+
+/// Builds \p make's engine on the caller's device or on a private GT 560M
+/// that the returned engine then owns.
 template <class Fn>
-EngineRun WithDevice(const EngineOptions& options, Fn&& body) {
-  if (options.device != nullptr) return body(*options.device);
-  sim::Device device;  // defaults to the paper's GeForce GT 560M
-  if (options.exec_backend) device.set_exec_backend(*options.exec_backend);
-  return body(device);
+std::unique_ptr<meta::Engine> WithDeviceEngine(const EngineOptions& options,
+                                               Fn&& make) {
+  if (options.device != nullptr) return make(*options.device);
+  auto device = std::make_unique<sim::Device>();  // the paper's GT 560M
+  if (options.exec_backend) device->set_exec_backend(*options.exec_backend);
+  auto inner = make(*device);
+  return std::make_unique<OwningDeviceEngine>(std::move(device),
+                                              std::move(inner));
 }
 
-EngineRun FromGpu(const par::GpuRunResult& gpu) {
-  EngineRun run;
-  run.result.best = gpu.best;
-  run.result.best_cost = gpu.best_cost;
-  run.result.evaluations = gpu.evaluations;
-  run.result.wall_seconds = gpu.wall_seconds;
-  run.result.trajectory = gpu.trajectory;
-  run.result.stopped = gpu.stopped;
-  run.device_seconds = gpu.device_seconds;
-  return run;
+std::unique_ptr<meta::Engine> MakeEngineByName(std::string_view name,
+                                               const Instance& instance,
+                                               const EngineOptions& options);
+
+std::uint64_t EnvRaceSlice() {
+  static const std::uint64_t value = [] {
+    const char* env = std::getenv("CDD_RACE_SLICE");
+    if (env == nullptr) return std::uint64_t{64};
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    return (end == env || *end != '\0' || parsed == 0)
+               ? std::uint64_t{64}
+               : static_cast<std::uint64_t>(parsed);
+  }();
+  return value;
+}
+
+std::vector<std::string> SplitNames(std::string_view csv) {
+  std::vector<std::string> names;
+  while (!csv.empty()) {
+    const std::size_t comma = csv.find(',');
+    std::string_view token = csv.substr(0, comma);
+    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+    while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
+    if (!token.empty()) names.emplace_back(token);
+    if (comma == std::string_view::npos) break;
+    csv.remove_prefix(comma + 1);
+  }
+  return names;
+}
+
+/// The contender list of one race: the pinned list when options/env give
+/// one, otherwise the bandit prior's top three over the serial engines
+/// (cheap enough that racing three never dwarfs one full solo run).
+std::vector<std::string> ResolvePortfolio(const Instance& instance,
+                                          const EngineOptions& options) {
+  std::string csv = options.portfolio;
+  if (csv.empty()) {
+    if (const char* env = std::getenv("CDD_RACE_PORTFOLIO");
+        env != nullptr) {
+      csv = env;
+    }
+  }
+  if (!csv.empty()) {
+    std::vector<std::string> names = SplitNames(csv);
+    if (names.empty()) {
+      throw std::invalid_argument("race: empty portfolio '" + csv + "'");
+    }
+    return names;
+  }
+  std::vector<std::string> ranked = portfolio::BanditPrior::Global().Rank(
+      portfolio::ComputeFeatures(instance), {"sa", "ta", "dpso", "es"});
+  ranked.resize(std::min<std::size_t>(3, ranked.size()));
+  return ranked;
+}
+
+std::unique_ptr<meta::Engine> MakeRace(const Instance& instance,
+                                       const EngineOptions& options) {
+  const std::vector<std::string> names =
+      ResolvePortfolio(instance, options);
+  portfolio::RaceParams params;
+  params.slice =
+      options.race_slice != 0 ? options.race_slice : EnvRaceSlice();
+  params.features = portfolio::ComputeFeatures(instance);
+  std::vector<portfolio::RaceContender> contenders;
+  contenders.reserve(names.size());
+  for (const std::string& name : names) {
+    if (name == "race") {
+      throw std::invalid_argument("race: a race cannot race itself");
+    }
+    EngineOptions contender_options = options;
+    // Contenders run interleaved, so the single request-scoped pool
+    // cannot be lent to all of them; each allocates privately.
+    contender_options.pool = nullptr;
+    contenders.push_back(portfolio::RaceContender{
+        name, MakeEngineByName(name, instance, contender_options)});
+  }
+  return portfolio::MakeRaceEngine(std::move(contenders),
+                                   std::move(params));
+}
+
+/// The single name -> resumable-engine dispatch both the registry's
+/// factories and the race's contender construction go through, so a
+/// contender inside a race is configured exactly like a solo run.
+std::unique_ptr<meta::Engine> MakeEngineByName(std::string_view name,
+                                               const Instance& instance,
+                                               const EngineOptions& options) {
+  if (name == "sa") {
+    meta::SaParams params;
+    params.iterations = options.generations;
+    params.seed = options.seed;
+    params.trajectory_stride = options.trajectory_stride;
+    params.stop = options.stop;
+    params.pool = options.pool;
+    return meta::MakeSaEngine(
+        meta::SequenceObjective::ForInstance(instance), params);
+  }
+  if (name == "dpso") {
+    meta::DpsoParams params;
+    params.iterations = options.generations;
+    params.seed = options.seed;
+    params.trajectory_stride = options.trajectory_stride;
+    params.stop = options.stop;
+    params.pool = options.pool;
+    return meta::MakeDpsoEngine(
+        meta::SequenceObjective::ForInstance(instance), params);
+  }
+  if (name == "ta") {
+    meta::TaParams params;
+    params.iterations = options.generations;
+    params.seed = options.seed;
+    params.trajectory_stride = options.trajectory_stride;
+    params.stop = options.stop;
+    params.pool = options.pool;
+    return meta::MakeTaEngine(
+        meta::SequenceObjective::ForInstance(instance), params);
+  }
+  if (name == "es") {
+    meta::EsParams params;
+    params.generations = options.generations;
+    params.seed = options.seed;
+    params.trajectory_stride = options.trajectory_stride;
+    params.stop = options.stop;
+    params.pool = options.pool;
+    return meta::MakeEsEngine(
+        meta::SequenceObjective::ForInstance(instance), params);
+  }
+  if (name == "host") {
+    meta::HostEnsembleParams params;
+    params.chains = options.chains;
+    params.threads = options.threads;
+    params.chain.iterations = options.generations;
+    params.chain.seed = options.seed;
+    params.chain.stop = options.stop;
+    return meta::MakeHostEnsembleEngine(
+        meta::SequenceObjective::ForInstance(instance), params);
+  }
+  if (name == "bnb") {
+    // Exact tier: runs to an optimality proof (or the request deadline),
+    // so options.generations is deliberately ignored — a heuristic
+    // iteration budget has no meaning for a certified solve.  The
+    // defaulted worker count pins to 1, not the hardware: cost and
+    // sequence are worker-invariant but the node count (reported as
+    // `evaluations`) is not, and manifest replay compares it
+    // bit-for-bit.  Parallel subtree search is opt-in via `threads`.
+    exact::BnbParams params;
+    params.workers = options.threads == 0 ? 1 : options.threads;
+    params.seed = options.seed;
+    params.stop = options.stop;
+    return exact::MakeBnbEngine(instance, params);
+  }
+  if (name == "psa") {
+    return WithDeviceEngine(options, [&](sim::Device& device) {
+      par::ParallelSaParams params;
+      params.config = par::LaunchConfig::ForEnsemble(options.ensemble,
+                                                     options.block);
+      params.generations = options.generations;
+      params.seed = options.seed;
+      params.vshape_init = options.vshape_init;
+      params.trajectory_stride = options.trajectory_stride;
+      params.stop = options.stop;
+      return par::MakeParallelSaEngine(device, instance, params);
+    });
+  }
+  if (name == "pdpso") {
+    return WithDeviceEngine(options, [&](sim::Device& device) {
+      par::ParallelDpsoParams params;
+      params.config = par::LaunchConfig::ForEnsemble(options.ensemble,
+                                                     options.block);
+      params.generations = options.generations;
+      params.seed = options.seed;
+      params.vshape_init = options.vshape_init;
+      params.trajectory_stride = options.trajectory_stride;
+      params.stop = options.stop;
+      return par::MakeParallelDpsoEngine(device, instance, params);
+    });
+  }
+  if (name == "psa-sync") {
+    return WithDeviceEngine(options, [&](sim::Device& device) {
+      par::ParallelSaSyncParams params;
+      params.config = par::LaunchConfig::ForEnsemble(options.ensemble,
+                                                     options.block);
+      // The generation budget counts single SA steps; the synchronous
+      // variant spends them M (=chain_length) at a time per level.
+      params.temperature_levels = static_cast<std::uint32_t>(
+          std::max<std::uint64_t>(1, options.generations /
+                                         params.chain_length));
+      params.seed = options.seed;
+      params.stop = options.stop;
+      return par::MakeParallelSaSyncEngine(device, instance, params);
+    });
+  }
+  if (name == "race") return MakeRace(instance, options);
+  throw std::invalid_argument("unknown engine '" + std::string(name) + "'");
 }
 
 EngineRegistry MakeDefault() {
   EngineRegistry registry;
-
-  registry.Register(
-      "sa", [](const Instance& instance, const EngineOptions& options) {
-        meta::SaParams params;
-        params.iterations = options.generations;
-        params.seed = options.seed;
-        params.trajectory_stride = options.trajectory_stride;
-        params.stop = options.stop;
-        params.pool = options.pool;
-        const meta::SequenceObjective objective =
-            meta::SequenceObjective::ForInstance(instance);
-        return EngineRun{meta::RunSerialSa(objective, params), 0.0};
-      });
-
-  registry.Register(
-      "dpso", [](const Instance& instance, const EngineOptions& options) {
-        meta::DpsoParams params;
-        params.iterations = options.generations;
-        params.seed = options.seed;
-        params.trajectory_stride = options.trajectory_stride;
-        params.stop = options.stop;
-        params.pool = options.pool;
-        const meta::SequenceObjective objective =
-            meta::SequenceObjective::ForInstance(instance);
-        return EngineRun{meta::RunSerialDpso(objective, params), 0.0};
-      });
-
-  registry.Register(
-      "ta", [](const Instance& instance, const EngineOptions& options) {
-        meta::TaParams params;
-        params.iterations = options.generations;
-        params.seed = options.seed;
-        params.trajectory_stride = options.trajectory_stride;
-        params.stop = options.stop;
-        params.pool = options.pool;
-        const meta::SequenceObjective objective =
-            meta::SequenceObjective::ForInstance(instance);
-        return EngineRun{meta::RunThresholdAccepting(objective, params),
-                         0.0};
-      });
-
-  registry.Register(
-      "es", [](const Instance& instance, const EngineOptions& options) {
-        meta::EsParams params;
-        params.generations = options.generations;
-        params.seed = options.seed;
-        params.trajectory_stride = options.trajectory_stride;
-        params.stop = options.stop;
-        params.pool = options.pool;
-        const meta::SequenceObjective objective =
-            meta::SequenceObjective::ForInstance(instance);
-        return EngineRun{meta::RunEvolutionStrategy(objective, params),
-                         0.0};
-      });
-
-  registry.Register(
-      "host", [](const Instance& instance, const EngineOptions& options) {
-        meta::HostEnsembleParams params;
-        params.chains = options.chains;
-        params.threads = options.threads;
-        params.chain.iterations = options.generations;
-        params.chain.seed = options.seed;
-        params.chain.stop = options.stop;
-        const meta::SequenceObjective objective =
-            meta::SequenceObjective::ForInstance(instance);
-        return EngineRun{meta::RunHostEnsembleSa(objective, params), 0.0};
-      });
-
-  registry.Register(
-      "bnb", [](const Instance& instance, const EngineOptions& options) {
-        // Exact tier: runs to an optimality proof (or the request deadline),
-        // so options.generations is deliberately ignored — a heuristic
-        // iteration budget has no meaning for a certified solve.  The
-        // defaulted worker count pins to 1, not the hardware: cost and
-        // sequence are worker-invariant but the node count (reported as
-        // `evaluations`) is not, and manifest replay compares it
-        // bit-for-bit.  Parallel subtree search is opt-in via `threads`.
-        exact::BnbParams params;
-        params.workers = options.threads == 0 ? 1 : options.threads;
-        params.seed = options.seed;
-        params.stop = options.stop;
-        const exact::BnbResult bnb = exact::BranchAndBound(instance, params);
-        EngineRun run;
-        run.result.best = bnb.sequence;
-        run.result.best_cost = bnb.cost;
-        run.result.evaluations = bnb.nodes_expanded;
-        run.result.stopped = !bnb.proven_optimal;
-        return run;
-      });
-
-  registry.Register(
-      "psa", [](const Instance& instance, const EngineOptions& options) {
-        return WithDevice(options, [&](sim::Device& device) {
-          par::ParallelSaParams params;
-          params.config = par::LaunchConfig::ForEnsemble(options.ensemble,
-                                                         options.block);
-          params.generations = options.generations;
-          params.seed = options.seed;
-          params.vshape_init = options.vshape_init;
-          params.trajectory_stride = options.trajectory_stride;
-          params.stop = options.stop;
-          return FromGpu(par::RunParallelSa(device, instance, params));
+  for (const char* name : {"sa", "dpso", "ta", "es", "host", "bnb", "psa",
+                           "pdpso", "psa-sync", "race"}) {
+    registry.RegisterFactory(
+        name, [name](const Instance& instance, const EngineOptions& options) {
+          return MakeEngineByName(name, instance, options);
         });
-      });
-
-  registry.Register(
-      "pdpso", [](const Instance& instance, const EngineOptions& options) {
-        return WithDevice(options, [&](sim::Device& device) {
-          par::ParallelDpsoParams params;
-          params.config = par::LaunchConfig::ForEnsemble(options.ensemble,
-                                                         options.block);
-          params.generations = options.generations;
-          params.seed = options.seed;
-          params.vshape_init = options.vshape_init;
-          params.trajectory_stride = options.trajectory_stride;
-          params.stop = options.stop;
-          return FromGpu(par::RunParallelDpso(device, instance, params));
-        });
-      });
-
-  registry.Register(
-      "psa-sync",
-      [](const Instance& instance, const EngineOptions& options) {
-        return WithDevice(options, [&](sim::Device& device) {
-          par::ParallelSaSyncParams params;
-          params.config = par::LaunchConfig::ForEnsemble(options.ensemble,
-                                                         options.block);
-          // The generation budget counts single SA steps; the synchronous
-          // variant spends them M (=chain_length) at a time per level.
-          params.temperature_levels = static_cast<std::uint32_t>(
-              std::max<std::uint64_t>(1, options.generations /
-                                             params.chain_length));
-          params.seed = options.seed;
-          params.stop = options.stop;
-          return FromGpu(par::RunParallelSaSync(device, instance, params));
-        });
-      });
-
+  }
   return registry;
 }
 
@@ -185,6 +275,19 @@ EngineRegistry MakeDefault() {
 
 bool IsDeviceEngine(std::string_view name) {
   return name == "psa" || name == "pdpso" || name == "psa-sync";
+}
+
+bool RacePortfolioPinned(const EngineOptions& options) {
+  return !options.portfolio.empty() ||
+         std::getenv("CDD_RACE_PORTFOLIO") != nullptr;
+}
+
+void MaterializeRacePortfolio(EngineOptions& options) {
+  if (!options.portfolio.empty()) return;
+  if (const char* env = std::getenv("CDD_RACE_PORTFOLIO");
+      env != nullptr) {
+    options.portfolio = env;
+  }
 }
 
 std::size_t PoolCapacityHint(std::string_view name,
@@ -199,8 +302,9 @@ std::size_t PoolCapacityHint(std::string_view name,
     return std::max<std::size_t>(std::max(defaults.mu, defaults.lambda), 1);
   }
   // "host" fans out per-thread chains (each with its own pool), "bnb" works
-  // on flat side arrays of its own, and the device engines keep their
-  // generations in device buffers.
+  // on flat side arrays of its own, the device engines keep their
+  // generations in device buffers, and "race" interleaves contenders that
+  // cannot share one lent pool.
   return 0;
 }
 
@@ -208,9 +312,26 @@ void EngineRegistry::Register(std::string name, EngineFn fn) {
   engines_[std::move(name)] = std::move(fn);
 }
 
+void EngineRegistry::RegisterFactory(std::string name,
+                                     EngineFactory factory) {
+  engines_[name] = [factory](const Instance& instance,
+                             const EngineOptions& options) {
+    const std::unique_ptr<meta::Engine> engine = factory(instance, options);
+    const meta::EngineOutput out = meta::RunToCompletion(*engine);
+    return EngineRun{out.result, out.device_seconds};
+  };
+  factories_[std::move(name)] = std::move(factory);
+}
+
 const EngineFn* EngineRegistry::Find(std::string_view name) const {
   const auto it = engines_.find(name);
   return it == engines_.end() ? nullptr : &it->second;
+}
+
+const EngineFactory* EngineRegistry::FindFactory(
+    std::string_view name) const {
+  const auto it = factories_.find(name);
+  return it == factories_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> EngineRegistry::Names() const {

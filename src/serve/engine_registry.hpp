@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -23,6 +24,7 @@
 #include "core/instance.hpp"
 #include "core/stop_token.hpp"
 #include "cudasim/device.hpp"
+#include "meta/engine.hpp"
 #include "meta/result.hpp"
 
 namespace cdd::serve {
@@ -64,7 +66,31 @@ struct EngineOptions {
   /// engine allocates privately.  Like `stop` and `device`, never hashed
   /// by CacheKey — placement does not change results.
   CandidatePool* pool = nullptr;
+  /// "race" only: comma-separated contender names ("sa,dpso,psa").  Empty
+  /// defers to CDD_RACE_PORTFOLIO, and when that is unset too the bandit
+  /// prior picks the contenders adaptively from past wins — which makes
+  /// the run non-reproducible across processes, so the serve layer skips
+  /// the result cache and the run manifest for such races (see
+  /// RacePortfolioPinned).  Result-determining, hashed by CacheKey.
+  std::string portfolio;
+  /// "race" only: Step units each live contender advances per scheduling
+  /// round (0 defers to CDD_RACE_SLICE, then 64).  Result-determining —
+  /// the kill schedule depends on it — so CacheKey hashes it.
+  std::uint64_t race_slice = 0;
 };
+
+/// True when a "race" run with these options is reproducible: the
+/// contender list is pinned by `options.portfolio` or CDD_RACE_PORTFOLIO
+/// rather than chosen by the in-process bandit prior.  Pinned races are
+/// deterministic (cacheable, manifest-recordable); adaptive ones are not.
+bool RacePortfolioPinned(const EngineOptions& options);
+
+/// Copies CDD_RACE_PORTFOLIO into `options.portfolio` when the latter is
+/// empty.  The front doors (CLI, service Submit) call this for "race"
+/// requests so that cache keys and manifest records carry the *effective*
+/// contender list — an env-pinned race must replay identically in a
+/// process where the variable is no longer set.
+void MaterializeRacePortfolio(EngineOptions& options);
 
 /// True for the engines that run on the simulated device ("psa", "pdpso",
 /// "psa-sync") — their generations live in device buffers, so a lent pool
@@ -87,24 +113,44 @@ struct EngineRun {
 using EngineFn =
     std::function<EngineRun(const Instance&, const EngineOptions&)>;
 
+/// Creates a resumable engine (meta::Engine lifecycle) for one solve.
+/// The returned engine owns everything it needs — factories for the
+/// device engines bundle a private simulated device with the engine when
+/// `options.device` is null — so it can be stepped, checkpointed and
+/// preempted long after the factory call returns.
+using EngineFactory = std::function<std::unique_ptr<meta::Engine>(
+    const Instance&, const EngineOptions&)>;
+
 /// Immutable-after-setup name -> engine table.
 class EngineRegistry {
  public:
   /// Registers \p fn under \p name, replacing any previous entry.
   void Register(std::string name, EngineFn fn);
 
+  /// Registers a resumable-engine factory under \p name and derives the
+  /// one-shot EngineFn from it (construct, run to completion, finish), so
+  /// Find() and FindFactory() always agree on the run they produce.
+  void RegisterFactory(std::string name, EngineFactory factory);
+
   /// Looks up an engine; nullptr when the name is unknown.
   const EngineFn* Find(std::string_view name) const;
+
+  /// Looks up a resumable-engine factory; nullptr when the name is
+  /// unknown or was registered through Register() only.
+  const EngineFactory* FindFactory(std::string_view name) const;
 
   /// All registered names, sorted (for error messages and --help).
   std::vector<std::string> Names() const;
 
   /// The built-in engines: psa, pdpso, psa-sync (simulated GPU), sa, dpso,
-  /// ta, es (serial) and host (multi-threaded CPU ensemble).
+  /// ta, es (serial), host (multi-threaded CPU ensemble), bnb (exact) and
+  /// race (convergence-driven portfolio over the others).  All are
+  /// registered through RegisterFactory, so every one is resumable.
   static const EngineRegistry& Default();
 
  private:
   std::map<std::string, EngineFn, std::less<>> engines_;
+  std::map<std::string, EngineFactory, std::less<>> factories_;
 };
 
 }  // namespace cdd::serve

@@ -10,20 +10,32 @@
 /// Shutdown protocol: Close() makes all future pushes fail while consumers
 /// keep draining; Pop() returns nullopt only once the queue is closed *and*
 /// empty, so no accepted item is ever dropped.
+///
+/// Ordering: every pop hands out the highest-priority item, FIFO within a
+/// priority level (so the default all-zero workload behaves exactly like
+/// the plain FIFO it used to be).  MaxPriority()/TryPopAbove() exist for
+/// the service's preemption loop: a worker mid-solve can ask "is something
+/// more urgent waiting?" and claim it without blocking.
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <iterator>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 namespace cdd::serve {
 
-/// Bounded multi-producer multi-consumer FIFO.  T must be movable.
+/// Bounded multi-producer multi-consumer priority queue (FIFO within a
+/// priority level).  T must be movable.
 template <class T>
 class JobQueue {
  public:
+  /// MaxPriority() when the queue is empty: less than any real priority.
+  static constexpr int kNoPriority = std::numeric_limits<int>::min();
+
   /// \p capacity must be >= 1; the queue never holds more items than this.
   explicit JobQueue(std::size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
@@ -34,11 +46,11 @@ class JobQueue {
   /// Enqueues \p item if there is room and the queue is open.  On failure
   /// returns false and leaves \p item untouched (the caller still owns it
   /// and can complete it with a rejection status).
-  bool TryPush(T&& item) {
+  bool TryPush(T&& item, int priority = 0) {
     {
       const std::scoped_lock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      items_.push_back(Entry{priority, std::move(item)});
     }
     cv_.notify_one();
     return true;
@@ -49,18 +61,38 @@ class JobQueue {
   std::optional<T> Pop() {
     std::unique_lock lock(mutex_);
     cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    std::optional<T> item(std::move(items_.front()));
-    items_.pop_front();
-    return item;
+    return PopBestLocked();
   }
 
   /// Non-blocking Pop; nullopt when nothing is ready right now.
   std::optional<T> TryPop() {
     const std::scoped_lock lock(mutex_);
+    return PopBestLocked();
+  }
+
+  /// Priority of the item the next Pop would return, or kNoPriority when
+  /// the queue is empty.  A point-in-time answer — racing producers can
+  /// change it immediately — which is all the preemption check needs.
+  int MaxPriority() const {
+    const std::scoped_lock lock(mutex_);
+    int best = kNoPriority;
+    for (const Entry& entry : items_) {
+      if (entry.priority > best) best = entry.priority;
+    }
+    return best;
+  }
+
+  /// Pops the highest-priority item only if its priority is strictly
+  /// above \p floor; nullopt otherwise.  The atomic check-and-claim of
+  /// the preemption loop: a worker paused at a checkpoint claims more
+  /// urgent work, or nothing.
+  std::optional<T> TryPopAbove(int floor) {
+    const std::scoped_lock lock(mutex_);
     if (items_.empty()) return std::nullopt;
-    std::optional<T> item(std::move(items_.front()));
-    items_.pop_front();
+    const auto best = FindBestLocked();
+    if (best->priority <= floor) return std::nullopt;
+    std::optional<T> item(std::move(best->item));
+    items_.erase(best);
     return item;
   }
 
@@ -87,10 +119,34 @@ class JobQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  struct Entry {
+    int priority = 0;
+    T item;
+  };
+
+  /// First entry with the maximum priority — FIFO within a level.
+  /// Requires mutex_ held and items_ non-empty.
+  typename std::deque<Entry>::iterator FindBestLocked() {
+    auto best = items_.begin();
+    for (auto it = std::next(best); it != items_.end(); ++it) {
+      if (it->priority > best->priority) best = it;
+    }
+    return best;
+  }
+
+  /// Requires mutex_ held.
+  std::optional<T> PopBestLocked() {
+    if (items_.empty()) return std::nullopt;
+    const auto best = FindBestLocked();
+    std::optional<T> item(std::move(best->item));
+    items_.erase(best);
+    return item;
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<T> items_;
+  std::deque<Entry> items_;
   bool closed_ = false;
 };
 

@@ -25,6 +25,8 @@ trace::ManifestRecord MakeManifestRecord(const Instance& instance,
   record.options.chains = options.chains;
   record.options.trajectory_stride = options.trajectory_stride;
   record.options.vshape_init = options.vshape_init;
+  record.options.portfolio = options.portfolio;
+  record.options.race_slice = options.race_slice;
   record.best_cost = result.best_cost;
   record.evaluations = result.evaluations;
   record.trajectory_samples = result.trajectory.size();
@@ -42,6 +44,8 @@ EngineOptions OptionsFromManifest(const trace::ManifestOptions& options) {
   out.chains = options.chains;
   out.trajectory_stride = options.trajectory_stride;
   out.vshape_init = options.vshape_init;
+  out.portfolio = options.portfolio;
+  out.race_slice = options.race_slice;
   return out;
 }
 

@@ -50,6 +50,9 @@ std::uint64_t CacheKey(const SolveRequest& request) {
   h = HashCombine(h, request.options.chains);
   h = HashCombine(h, request.options.vshape_init ? 1 : 0);
   h = HashCombine(h, request.options.trajectory_stride);
+  h = HashBytes(h, request.options.portfolio.data(),
+                request.options.portfolio.size());
+  h = HashCombine(h, request.options.race_slice);
   return h;
 }
 

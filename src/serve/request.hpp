@@ -40,6 +40,12 @@ struct SolveRequest {
   /// expired request still returns its best-so-far sequence, flagged
   /// kDeadlineExpired.
   std::chrono::milliseconds deadline{0};
+  /// Scheduling priority: higher dequeues first (FIFO within a level);
+  /// with ServiceConfig::preempt_slice set, a higher-priority arrival also
+  /// preempts a running lower-priority solve at its next checkpoint
+  /// boundary.  Priority orders work but never changes any result, so it
+  /// is deliberately NOT part of the cache key.
+  int priority = 0;
 };
 
 /// Outcome delivered through the future returned by Submit().
@@ -70,10 +76,10 @@ std::string ValidateRequestInstance(const Instance& instance);
 
 /// Canonical 64-bit cache/dedup key: instance hash combined with the
 /// engine name and every result-determining option (generations, seed,
-/// ensemble geometry, chains, vshape, trajectory stride) — and nothing
-/// else, so requests that
+/// ensemble geometry, chains, vshape, trajectory stride, race portfolio
+/// and slice) — and nothing else, so requests that
 /// must produce identical results share a key regardless of deadline,
-/// thread count or submission order.
+/// priority, thread count or submission order.
 std::uint64_t CacheKey(const SolveRequest& request);
 
 }  // namespace cdd::serve

@@ -14,6 +14,11 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Nested-preemption cap: a worker's stack holds at most this many paused
+/// solves.  Beyond it, higher-priority arrivals wait for a free worker
+/// like everyone else.
+constexpr unsigned kMaxPreemptDepth = 4;
+
 double MsSince(Clock::time_point start, Clock::time_point end) {
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
@@ -79,6 +84,7 @@ SolverService::SolverService(ServiceConfig config,
       pool_alloc_fallbacks_(&metrics_.counter("pool_alloc_fallbacks")),
       pool_reuse_hits_(&metrics_.counter("pool_reuse_hits")),
       exec_clamped_(&metrics_.counter("exec_clamped")),
+      preemptions_(&metrics_.counter("preemptions")),
       queue_ms_(&metrics_.histogram("queue_ms")),
       solve_ms_(&metrics_.histogram("solve_ms")),
       pool_allocator_(ResolvePoolAllocator(config)),
@@ -130,6 +136,13 @@ std::future<SolveResponse> SolverService::Submit(SolveRequest request) {
     return done.get_future();
   }
 
+  // Race requests bake the effective (env-pinned) contender list into
+  // the options here, so the cache key, the run and the manifest record
+  // all agree — and the record stays replayable without the variable.
+  if (request.engine == "race") {
+    MaterializeRacePortfolio(request.options);
+  }
+
   const std::uint64_t key = CacheKey(request);
 
   // Fast path: an identical finished request is served synchronously, no
@@ -150,11 +163,13 @@ std::future<SolveResponse> SolverService::Submit(SolveRequest request) {
   Job job;
   job.request = std::move(request);
   job.engine = engine;
+  job.factory = registry_.FindFactory(job.request.engine);
   job.key = key;
   job.admitted = Clock::now();
   std::future<SolveResponse> future = job.promise.get_future();
 
-  if (!queue_.TryPush(std::move(job))) {
+  const int priority = job.request.priority;
+  if (!queue_.TryPush(std::move(job), priority)) {
     // TryPush moves only on success, so the job (and its promise, already
     // tied to `future`) is still ours to answer.
     rejected_queue_full_->Increment();
@@ -169,7 +184,7 @@ std::future<SolveResponse> SolverService::Submit(SolveRequest request) {
   return future;
 }
 
-void SolverService::Process(Job&& job, unsigned slot) {
+void SolverService::Process(Job&& job, unsigned slot, unsigned depth) {
   CDD_TRACE_SPAN("serve.process");
   const Clock::time_point dequeued = Clock::now();
   SolveResponse response;
@@ -275,7 +290,43 @@ void SolverService::Process(Job&& job, unsigned slot) {
   try {
     EngineRun run = [&] {
       CDD_TRACE_SPAN("serve.engine");
-      return (*job.engine)(job.request.instance, options);
+      if (config_.preempt_slice == 0 || job.factory == nullptr) {
+        // One-shot path: no preemption configured (or a legacy EngineFn
+        // registration with no resumable construction seam).
+        return (*job.engine)(job.request.instance, options);
+      }
+      // Sliced path: run the engine preempt_slice native units at a time.
+      // Between slices the engine sits at a checkpoint boundary, so a
+      // higher-priority arrival can be solved *now* on this worker — the
+      // paused engine's state just stays live on this stack frame — and
+      // the original solve resumes bit-identically afterwards (the
+      // split-run guarantee of the resumable-engine contract).
+      auto engine = (*job.factory)(job.request.instance, options);
+      meta::StepStatus status = engine->Step(0);
+      while (status == meta::StepStatus::kRunning) {
+        status = engine->Step(config_.preempt_slice);
+        if (status != meta::StepStatus::kRunning) break;
+        if (depth >= kMaxPreemptDepth ||
+            queue_.MaxPriority() <= job.request.priority) {
+          continue;
+        }
+        if (auto higher = queue_.TryPopAbove(job.request.priority)) {
+          preemptions_->Increment();
+          CDD_TRACE_INSTANT("serve.preempt_begin");
+          Process(std::move(*higher), slot, depth + 1);
+          CDD_TRACE_INSTANT("serve.preempt_end");
+          // The nested solve re-armed this slot's StopSource for its own
+          // deadline; restore ours before resuming.  Cooperative stops
+          // requested during the nested run (CancelAll) are re-applied.
+          stop.Reset();
+          if (has_deadline) {
+            stop.SetDeadline(job.admitted + job.request.deadline);
+          }
+          if (aborting_.load()) stop.RequestStop();
+        }
+      }
+      meta::EngineOutput out = engine->Finish();
+      return EngineRun{std::move(out.result), out.device_seconds};
     }();
     response.solve_ms = MsSince(solve_start, Clock::now());
     solve_ms_->Record(response.solve_ms);
@@ -293,15 +344,25 @@ void SolverService::Process(Job&& job, unsigned slot) {
     } else {
       response.status = SolveStatus::kOk;
       completed_->Increment();
-      cache_.Put(job.key, {run.result, run.device_seconds});
-      if (manifest_.is_open()) {
-        // Only full-budget runs are recorded: a manifest is a promise of
-        // bit-identical replay, which a truncated search cannot make.
-        const std::string line = trace::WriteManifestLine(
-            MakeManifestRecord(job.request.instance, job.request.engine,
-                               job.request.options, run.result));
-        const std::scoped_lock lock(manifest_mutex_);
-        manifest_ << line << "\n";
+      // An unpinned race picks its portfolio through the adaptive bandit
+      // prior, whose state evolves with every finished race — rerunning
+      // the same request later may race different contenders.  Such runs
+      // are answered but never cached or manifested: both artifacts
+      // promise bit-identical reproduction.
+      const bool reproducible = job.request.engine != "race" ||
+                                RacePortfolioPinned(job.request.options);
+      if (reproducible) {
+        cache_.Put(job.key, {run.result, run.device_seconds});
+        if (manifest_.is_open()) {
+          // Only full-budget runs are recorded: a manifest is a promise
+          // of bit-identical replay, which a truncated search cannot
+          // make.
+          const std::string line = trace::WriteManifestLine(
+              MakeManifestRecord(job.request.instance, job.request.engine,
+                                 job.request.options, run.result));
+          const std::scoped_lock lock(manifest_mutex_);
+          manifest_ << line << "\n";
+        }
       }
     }
     response.result = std::move(run.result);

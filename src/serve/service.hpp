@@ -73,6 +73,17 @@ struct ServiceConfig {
   /// always-failing one to exercise the host-fallback path).  Must outlive
   /// the service.  Not owned.
   core::PoolAllocator* pool_allocator = nullptr;
+  /// Engine-native Step units (SA iterations, DPSO generations, BnB
+  /// nodes, race rounds) a worker runs between preemption checks.  Zero
+  /// (the default) keeps the one-shot path: every solve runs to
+  /// completion uninterrupted.  When set, a worker pauses at each slice
+  /// boundary and, if a strictly higher-priority request is queued,
+  /// solves it first (nested, bounded depth) before resuming — the paused
+  /// engine's state simply stays live on the worker's stack, which is
+  /// exactly what the resumable-engine refactor buys the service.
+  /// Slicing never changes results (bit-identical split-run guarantee);
+  /// it only reorders wall-clock time between requests.
+  std::uint64_t preempt_slice = 0;
 };
 
 /// Concurrent solve service over the engine registry.  Thread-safe:
@@ -118,12 +129,18 @@ class SolverService {
   struct Job {
     SolveRequest request;
     const EngineFn* engine = nullptr;
+    /// Resumable construction path; null only for engines registered
+    /// through the legacy Register(EngineFn) seam, which then run
+    /// one-shot even under a preempt_slice.
+    const EngineFactory* factory = nullptr;
     std::uint64_t key = 0;
     std::chrono::steady_clock::time_point admitted;
     std::promise<SolveResponse> promise;
   };
 
-  void Process(Job&& job, unsigned slot);
+  /// \p depth counts nested preemptions on this worker's stack (a
+  /// preempting job can itself be preempted, up to a fixed cap).
+  void Process(Job&& job, unsigned slot, unsigned depth = 0);
 
   ServiceConfig config_;
   const EngineRegistry& registry_;
@@ -146,6 +163,7 @@ class SolverService {
   Counter* pool_alloc_fallbacks_;  ///< pools that fell back to host memory
   Counter* pool_reuse_hits_;       ///< device pools served from the free-list
   Counter* exec_clamped_;          ///< host-parallel defaults clamped to serial
+  Counter* preemptions_;           ///< solves paused for higher-priority work
   LatencyHistogram* queue_ms_;
   LatencyHistogram* solve_ms_;
 

@@ -119,8 +119,17 @@ std::string WriteManifestLine(const ManifestRecord& record) {
       << ",\"chains\":" << record.options.chains
       << ",\"trajectory_stride\":" << record.options.trajectory_stride
       << ",\"vshape_init\":"
-      << (record.options.vshape_init ? "true" : "false")
-      << "},\"best_cost\":" << record.best_cost
+      << (record.options.vshape_init ? "true" : "false");
+  // Race fields are written only when set, keeping non-race manifest
+  // lines byte-identical to the pre-race format.
+  if (!record.options.portfolio.empty()) {
+    out << ",\"portfolio\":\"" << JsonEscape(record.options.portfolio)
+        << "\"";
+  }
+  if (record.options.race_slice != 0) {
+    out << ",\"race_slice\":" << record.options.race_slice;
+  }
+  out << "},\"best_cost\":" << record.best_cost
       << ",\"evaluations\":" << record.evaluations
       << ",\"trajectory_samples\":" << record.trajectory_samples
       << ",\"trajectory_digest\":\"" << record.trajectory_digest << "\"}";
@@ -177,6 +186,15 @@ ManifestRecord ParseManifestLine(std::string_view line) {
     record.options.trajectory_stride = static_cast<std::uint32_t>(
         options.At("trajectory_stride").AsInt());
     record.options.vshape_init = options.At("vshape_init").AsBool();
+    // Optional race fields: lines recorded before racing existed (and
+    // every non-race line since) simply omit them.
+    if (const JsonValue* portfolio = options.Find("portfolio")) {
+      record.options.portfolio = portfolio->AsString();
+    }
+    if (const JsonValue* slice = options.Find("race_slice")) {
+      record.options.race_slice =
+          static_cast<std::uint64_t>(slice->AsInt());
+    }
 
     record.best_cost = root.At("best_cost").AsInt();
     record.evaluations =

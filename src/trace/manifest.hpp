@@ -48,6 +48,13 @@ struct ManifestOptions {
   std::uint32_t chains = 64;
   std::uint32_t trajectory_stride = 0;
   bool vshape_init = false;
+  /// Racing portfolio (CSV of contender names) and per-round Step slice.
+  /// Only meaningful for the "race" engine; a race is only recorded when
+  /// its portfolio was pinned (adaptive bandit selection is stateful and
+  /// therefore not replayable).  Both default to "absent" so manifest
+  /// lines written before these fields existed still parse.
+  std::string portfolio;
+  std::uint64_t race_slice = 0;
 
   friend bool operator==(const ManifestOptions&,
                          const ManifestOptions&) = default;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -157,6 +159,81 @@ TEST(ExecBackend, LowestBlockErrorWinsAndDeviceSurvives) {
     data[t.global_thread()] = 1;
   }));
   EXPECT_EQ(std::accumulate(ok.begin(), ok.end(), 0), 64);
+}
+
+/// Pins the CDD_EXEC_CHUNK value for one test body and restores the
+/// previous environment on scope exit.
+class ScopedChunkMode {
+ public:
+  explicit ScopedChunkMode(const char* mode) {
+    const char* old = std::getenv("CDD_EXEC_CHUNK");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    setenv("CDD_EXEC_CHUNK", mode, 1);
+  }
+  ~ScopedChunkMode() {
+    if (had_) {
+      setenv("CDD_EXEC_CHUNK", saved_.c_str(), 1);
+    } else {
+      unsetenv("CDD_EXEC_CHUNK");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(ExecBackend, ChunkModesAreBitIdenticalIncludingModeledTime) {
+  // The claim policy only moves block bodies between host threads; the
+  // reduction result, per-thread outputs and the virtual clock must all
+  // match the serial run under every CDD_EXEC_CHUNK value.
+  const ReductionRun serial = RunReduction(1);
+  for (const char* mode : {"static", "steal", "bogus-value"}) {
+    const ScopedChunkMode chunk(mode);
+    for (const unsigned workers : {2u, 4u}) {
+      const ReductionRun parallel = RunReduction(workers);
+      EXPECT_EQ(parallel.best, serial.best) << mode << " " << workers;
+      EXPECT_EQ(parallel.out, serial.out) << mode << " " << workers;
+      EXPECT_EQ(parallel.sim_time_s, serial.sim_time_s)
+          << mode << " " << workers;
+    }
+  }
+}
+
+TEST(ExecBackend, StealModeSurvivesSkewAndErrors) {
+  const ScopedChunkMode chunk("steal");
+  Device gpu;
+  gpu.set_worker_threads(4);
+  // Heavily skewed block costs: the last block is the only expensive
+  // one, the exact shape stealing exists for.  Every index must still
+  // run exactly once.
+  constexpr std::uint32_t kBlocks = 64;
+  std::vector<int> ran(kBlocks, 0);
+  int* data = ran.data();
+  gpu.Launch({kBlocks}, {1}, [data](ThreadCtx& t) {
+    const std::uint32_t b = t.linear_block();
+    volatile std::uint64_t spin = 0;
+    const std::uint64_t iters = b == 63 ? 200000 : 50;
+    for (std::uint64_t i = 0; i < iters; ++i) spin = spin + i;
+    data[b] += 1;
+  });
+  EXPECT_EQ(std::accumulate(ran.begin(), ran.end(), 0),
+            static_cast<int>(kBlocks));
+  EXPECT_EQ(*std::min_element(ran.begin(), ran.end()), 1);
+
+  // The deterministic lowest-block error rule holds under stealing too.
+  try {
+    gpu.Launch({16}, {8}, [](ThreadCtx& t) {
+      if (t.linear_block() >= 7) {
+        throw std::runtime_error("block " +
+                                 std::to_string(t.linear_block()));
+      }
+    });
+    FAIL() << "expected the kernel exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "block 7");
+  }
 }
 
 TEST(ExecBackend, BackendSelectionDoesNotChangeEngineResults) {

@@ -1,0 +1,141 @@
+/// Resumable-engine lifecycle properties, pinned for every registered
+/// engine (including the racing portfolio with a pinned contender list):
+///
+///   * Split-run determinism: Step(k) ... Step(rest) + Finish is
+///     bit-identical to one uninterrupted Step(kStepAll) + Finish — same
+///     best cost, sequence, evaluation count, trajectory, modeled time.
+///   * Checkpoint/Restore: speculative Steps after a Checkpoint() leave no
+///     trace once Restore() rewinds them.
+///   * Foreign checkpoints are rejected with std::invalid_argument.
+///
+/// These are the guarantees the serve preemption loop and the racing
+/// portfolio lean on when they pause engines at Step boundaries.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/test_instances.hpp"
+#include "meta/engine.hpp"
+#include "serve/engine_registry.hpp"
+
+namespace cdd::serve {
+namespace {
+
+/// Engines under test.  "race" runs with a pinned portfolio so its kill
+/// schedule (and hence its winner) is deterministic.
+const char* const kEngines[] = {"sa",  "ta",    "dpso",  "es",      "host",
+                                "bnb", "psa",   "pdpso", "psa-sync", "race"};
+
+EngineOptions SmallOptions(const std::string& name) {
+  EngineOptions options;
+  options.seed = 17;
+  options.generations = 60;
+  options.ensemble = 32;
+  options.block = 16;
+  options.chains = 8;
+  options.trajectory_stride = 8;
+  if (name == "race") {
+    options.portfolio = "sa,ta,dpso";
+    options.race_slice = 7;  // deliberately not a divisor of the budget
+  }
+  return options;
+}
+
+Instance TestInstance(const std::string& name) {
+  // The exact tier gets a small instance (its Step unit is tree nodes and
+  // the node count grows exponentially in n); heuristics get a bigger one.
+  if (name == "bnb") return cdd::testing::RandomCdd(9, 0.6, 3);
+  return cdd::testing::RandomCdd(24, 0.6, 3);
+}
+
+std::unique_ptr<meta::Engine> MakeEngine(const std::string& name) {
+  const EngineFactory* factory =
+      EngineRegistry::Default().FindFactory(name);
+  EXPECT_NE(factory, nullptr) << name;
+  return (*factory)(TestInstance(name), SmallOptions(name));
+}
+
+void ExpectSameOutput(const meta::EngineOutput& split,
+                      const meta::EngineOutput& whole,
+                      const std::string& label) {
+  EXPECT_EQ(split.result.best_cost, whole.result.best_cost) << label;
+  EXPECT_EQ(split.result.best, whole.result.best) << label;
+  EXPECT_EQ(split.result.evaluations, whole.result.evaluations) << label;
+  EXPECT_EQ(split.result.trajectory, whole.result.trajectory) << label;
+  EXPECT_EQ(split.result.stopped, whole.result.stopped) << label;
+  // Modeled device time is a float accumulation whose summation order
+  // legitimately differs across checkpoint rebasing — ULP-level drift is
+  // fine; results above are compared bit-for-bit.
+  EXPECT_NEAR(split.device_seconds, whole.device_seconds,
+              1e-9 * (1.0 + whole.device_seconds))
+      << label;
+}
+
+TEST(EngineLifecycle, SplitRunMatchesUninterrupted) {
+  for (const std::string name : kEngines) {
+    auto reference = MakeEngine(name);
+    const meta::EngineOutput whole = meta::RunToCompletion(*reference);
+
+    for (const std::uint64_t split : {1ull, 5ull, 23ull}) {
+      auto engine = MakeEngine(name);
+      engine->Step(split);
+      engine->Step(meta::kStepAll);
+      ExpectSameOutput(engine->Finish(), whole,
+                       name + " split=" + std::to_string(split));
+    }
+  }
+}
+
+TEST(EngineLifecycle, RestoreDiscardsSpeculativeSteps) {
+  for (const std::string name : kEngines) {
+    auto reference = MakeEngine(name);
+    const meta::EngineOutput whole = meta::RunToCompletion(*reference);
+
+    for (const std::uint64_t split : {1ull, 5ull, 23ull}) {
+      auto engine = MakeEngine(name);
+      engine->Step(split);
+      const auto checkpoint = engine->Checkpoint();
+      // Speculative divergence: run further, then rewind.  The rewound
+      // run must be indistinguishable from never having diverged.
+      engine->Step(split + 11);
+      engine->Restore(*checkpoint);
+      engine->Step(meta::kStepAll);
+      ExpectSameOutput(engine->Finish(), whole,
+                       name + " split=" + std::to_string(split));
+    }
+  }
+}
+
+TEST(EngineLifecycle, StepZeroIsAStatusPoll) {
+  for (const std::string name : kEngines) {
+    auto engine = MakeEngine(name);
+    EXPECT_EQ(engine->Step(0), meta::StepStatus::kRunning) << name;
+    engine->Step(meta::kStepAll);
+    EXPECT_EQ(engine->Step(0), meta::StepStatus::kDone) << name;
+    EXPECT_EQ(engine->Remaining(), 0u) << name;
+  }
+}
+
+TEST(EngineLifecycle, FinishIsIdempotent) {
+  for (const std::string name : kEngines) {
+    auto engine = MakeEngine(name);
+    engine->Step(meta::kStepAll);
+    const meta::EngineOutput first = engine->Finish();
+    ExpectSameOutput(engine->Finish(), first, name);
+  }
+}
+
+TEST(EngineLifecycle, ForeignCheckpointIsRejected) {
+  auto sa = MakeEngine("sa");
+  auto ta = MakeEngine("ta");
+  sa->Step(3);
+  const auto checkpoint = sa->Checkpoint();
+  EXPECT_THROW(ta->Restore(*checkpoint), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdd::serve

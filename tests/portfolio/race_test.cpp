@@ -1,0 +1,163 @@
+/// Racing portfolio: pinned-race determinism, the never-worse-than-the-
+/// worst-contender guarantee, kill bookkeeping, and the bandit prior's
+/// feature bucketing and ranking.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/test_instances.hpp"
+#include "meta/engine.hpp"
+#include "portfolio/bandit.hpp"
+#include "portfolio/race.hpp"
+#include "serve/engine_registry.hpp"
+
+namespace cdd::portfolio {
+namespace {
+
+serve::EngineOptions BaseOptions() {
+  serve::EngineOptions options;
+  options.seed = 21;
+  options.generations = 80;
+  return options;
+}
+
+meta::EngineOutput RunByName(const std::string& name,
+                             const Instance& instance,
+                             const serve::EngineOptions& options) {
+  const serve::EngineFactory* factory =
+      serve::EngineRegistry::Default().FindFactory(name);
+  EXPECT_NE(factory, nullptr) << name;
+  auto engine = (*factory)(instance, options);
+  return meta::RunToCompletion(*engine);
+}
+
+TEST(Race, PinnedRaceIsDeterministic) {
+  const Instance instance = cdd::testing::RandomCdd(20, 0.6, 11);
+  serve::EngineOptions options = BaseOptions();
+  options.portfolio = "sa,ta,dpso";
+  options.race_slice = 8;
+
+  const meta::EngineOutput first = RunByName("race", instance, options);
+  const meta::EngineOutput second = RunByName("race", instance, options);
+  EXPECT_EQ(first.result.best_cost, second.result.best_cost);
+  EXPECT_EQ(first.result.best, second.result.best);
+  EXPECT_EQ(first.result.evaluations, second.result.evaluations);
+  EXPECT_FALSE(first.result.stopped);
+}
+
+TEST(Race, ResultIsTheWinnersSoloRunAndNeverWorseThanWorstContender) {
+  const Instance instance = cdd::testing::RandomCdd(20, 0.6, 11);
+  const std::vector<std::string> contenders = {"sa", "ta", "dpso"};
+  serve::EngineOptions options = BaseOptions();
+  options.portfolio = "sa,ta,dpso";
+  options.race_slice = 8;
+
+  const meta::EngineOutput race = RunByName("race", instance, options);
+
+  // Solo contenders run under the same (non-race) options.
+  serve::EngineOptions solo_options = BaseOptions();
+  Cost worst = 0;
+  bool matched = false;
+  for (const std::string& name : contenders) {
+    const meta::EngineOutput solo =
+        RunByName(name, instance, solo_options);
+    worst = std::max(worst, solo.result.best_cost);
+    matched = matched || (solo.result.best_cost == race.result.best_cost &&
+                          solo.result.best == race.result.best);
+  }
+  // Survivors run their complete native budget, so the race result is
+  // bit-identical to the winner's solo run — which also bounds it by the
+  // worst contender's solo cost.
+  EXPECT_TRUE(matched);
+  EXPECT_LE(race.result.best_cost, worst);
+}
+
+TEST(Race, ReportNamesWinnerAndKills) {
+  const Instance instance = cdd::testing::RandomCdd(20, 0.6, 11);
+  std::vector<RaceContender> contenders;
+  for (const char* name : {"sa", "ta"}) {
+    const serve::EngineFactory* factory =
+        serve::EngineRegistry::Default().FindFactory(name);
+    ASSERT_NE(factory, nullptr);
+    contenders.push_back(
+        RaceContender{name, (*factory)(instance, BaseOptions())});
+  }
+  RaceParams params;
+  params.slice = 8;
+  RaceEngine race(std::move(contenders), params);
+  EXPECT_EQ(race.Step(meta::kStepAll), meta::StepStatus::kDone);
+  race.Finish();
+  const RaceReport& report = race.report();
+  EXPECT_TRUE(report.winner == "sa" || report.winner == "ta");
+  EXPECT_GT(report.rounds, 0u);
+  for (const std::string& killed : report.killed) {
+    EXPECT_NE(killed, report.winner);
+  }
+}
+
+TEST(Race, EmptyPortfolioAndSelfRaceAreRejected) {
+  EXPECT_THROW(RaceEngine({}, RaceParams{}), std::invalid_argument);
+
+  const Instance instance = cdd::testing::PaperExampleCdd();
+  const serve::EngineFactory* factory =
+      serve::EngineRegistry::Default().FindFactory("race");
+  ASSERT_NE(factory, nullptr);
+  serve::EngineOptions options = BaseOptions();
+  options.portfolio = "race,sa";  // a race must not race itself
+  EXPECT_THROW((*factory)(instance, options), std::invalid_argument);
+  options.portfolio = "no-such-engine";
+  EXPECT_THROW((*factory)(instance, options), std::invalid_argument);
+}
+
+TEST(Race, PortfolioPinningDetectsOptionAndEnvironment) {
+  serve::EngineOptions options;
+  EXPECT_FALSE(serve::RacePortfolioPinned(options));
+  options.portfolio = "sa,ta";
+  EXPECT_TRUE(serve::RacePortfolioPinned(options));
+
+  options.portfolio.clear();
+  ::setenv("CDD_RACE_PORTFOLIO", "sa,ta", 1);
+  EXPECT_TRUE(serve::RacePortfolioPinned(options));
+  ::unsetenv("CDD_RACE_PORTFOLIO");
+  EXPECT_FALSE(serve::RacePortfolioPinned(options));
+}
+
+TEST(Bandit, FeatureBucketsAreStable) {
+  const Instance small = cdd::testing::RandomCdd(16, 0.4, 5);
+  const InstanceFeatures a = ComputeFeatures(small);
+  const InstanceFeatures b = ComputeFeatures(small);
+  EXPECT_EQ(FeatureKey(a), FeatureKey(b));
+  EXPECT_EQ(a.n_bucket, 4u);  // floor(log2 16)
+
+  const Instance large = cdd::testing::RandomCdd(128, 0.4, 5);
+  EXPECT_NE(FeatureKey(ComputeFeatures(large)), FeatureKey(a));
+}
+
+TEST(Bandit, RankPrefersRecordedWinners) {
+  BanditPrior prior;
+  const InstanceFeatures features =
+      ComputeFeatures(cdd::testing::RandomCdd(32, 0.6, 9));
+  const std::vector<std::string> pool = {"sa", "ta", "dpso"};
+
+  // Unplayed arms keep their input order (optimistic tie).
+  EXPECT_EQ(prior.Rank(features, pool), pool);
+
+  prior.RecordWin(features, "dpso", pool);
+  prior.RecordWin(features, "dpso", pool);
+  const std::vector<std::string> ranked = prior.Rank(features, pool);
+  EXPECT_EQ(ranked.front(), "dpso");
+
+  // A different feature bucket is unaffected.
+  const InstanceFeatures other =
+      ComputeFeatures(cdd::testing::RandomCdd(128, 1.0, 9));
+  EXPECT_EQ(prior.Rank(other, pool), pool);
+}
+
+}  // namespace
+}  // namespace cdd::portfolio

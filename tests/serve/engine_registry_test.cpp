@@ -12,11 +12,12 @@
 namespace cdd::serve {
 namespace {
 
-TEST(EngineRegistry, DefaultHasAllNineEngines) {
+TEST(EngineRegistry, DefaultHasAllTenEngines) {
   const std::vector<std::string> names =
       EngineRegistry::Default().Names();
   const std::vector<std::string> expected = {
-      "bnb", "dpso", "es", "host", "pdpso", "psa", "psa-sync", "sa", "ta"};
+      "bnb",      "dpso", "es", "host", "pdpso",
+      "psa", "psa-sync", "race", "sa",  "ta"};
   EXPECT_EQ(names, expected);  // Names() is sorted
 }
 

@@ -95,6 +95,38 @@ TEST(JobQueue, CloseWakesBlockedConsumer) {
   EXPECT_TRUE(woke.load());
 }
 
+TEST(JobQueue, HigherPriorityPopsFirstFifoWithinLevel) {
+  JobQueue<int> queue(8);
+  EXPECT_TRUE(queue.TryPush(1, /*priority=*/0));
+  EXPECT_TRUE(queue.TryPush(2, /*priority=*/5));
+  EXPECT_TRUE(queue.TryPush(3, /*priority=*/5));
+  EXPECT_TRUE(queue.TryPush(4, /*priority=*/-1));
+  EXPECT_TRUE(queue.TryPush(5, /*priority=*/0));
+
+  EXPECT_EQ(queue.TryPop(), std::optional<int>(2));  // highest level ...
+  EXPECT_EQ(queue.TryPop(), std::optional<int>(3));  // ... FIFO within it
+  EXPECT_EQ(queue.TryPop(), std::optional<int>(1));
+  EXPECT_EQ(queue.TryPop(), std::optional<int>(5));
+  EXPECT_EQ(queue.TryPop(), std::optional<int>(4));
+}
+
+TEST(JobQueue, MaxPriorityAndTryPopAbove) {
+  JobQueue<int> queue(8);
+  EXPECT_EQ(queue.MaxPriority(), JobQueue<int>::kNoPriority);
+  EXPECT_FALSE(queue.TryPopAbove(0).has_value());
+
+  EXPECT_TRUE(queue.TryPush(1, /*priority=*/0));
+  EXPECT_TRUE(queue.TryPush(2, /*priority=*/3));
+  EXPECT_EQ(queue.MaxPriority(), 3);
+
+  // The preemption check: nothing strictly above 3, but 3 beats 0.
+  EXPECT_FALSE(queue.TryPopAbove(3).has_value());
+  EXPECT_EQ(queue.TryPopAbove(0), std::optional<int>(2));
+  EXPECT_EQ(queue.MaxPriority(), 0);
+  EXPECT_FALSE(queue.TryPopAbove(0).has_value());
+  EXPECT_EQ(queue.size(), 1u);
+}
+
 TEST(JobQueue, MpmcStressDeliversEveryItemExactlyOnce) {
   constexpr int kProducers = 4;
   constexpr int kConsumers = 4;

@@ -1,0 +1,158 @@
+/// Checkpoint-boundary preemption in the SolverService: with a
+/// preempt_slice configured, a higher-priority arrival pauses the running
+/// lower-priority solve at its next Step boundary, runs to completion on
+/// the same worker, and the paused solve then resumes and still finishes.
+/// Also pins the cache-key contract for the new race options.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "common/test_instances.hpp"
+#include "meta/engine.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+
+namespace cdd::serve {
+namespace {
+
+/// Deterministic stand-in engine: each Step unit burns ~1ms of wall time,
+/// so a solve is "long" in a way the test can reason about.  The started
+/// flag lets the test wait until the engine is actually on a worker.
+class PacedEngine final : public meta::Engine {
+ public:
+  PacedEngine(std::uint64_t budget, std::atomic<bool>* started)
+      : budget_(budget), started_(started) {}
+
+  meta::StepStatus Step(std::uint64_t units) override {
+    if (started_ != nullptr) started_->store(true);
+    while (units > 0 && consumed_ < budget_) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++consumed_;
+      --units;
+    }
+    return consumed_ < budget_ ? meta::StepStatus::kRunning
+                               : meta::StepStatus::kDone;
+  }
+
+  std::uint64_t Remaining() const override { return budget_ - consumed_; }
+  Cost BestCost() const override { return 0; }
+
+  std::unique_ptr<meta::EngineCheckpoint> Checkpoint() const override {
+    return std::make_unique<meta::EngineCheckpoint>();
+  }
+  void Restore(const meta::EngineCheckpoint&) override {}
+
+  meta::EngineOutput Finish() override {
+    meta::EngineOutput out;
+    out.result.best_cost = 0;
+    out.result.evaluations = consumed_;
+    return out;
+  }
+
+ private:
+  std::uint64_t budget_;
+  std::uint64_t consumed_ = 0;
+  std::atomic<bool>* started_;
+};
+
+TEST(ServicePreemption, HigherPriorityArrivalRunsAtSliceBoundary) {
+  std::atomic<bool> slow_started{false};
+  EngineRegistry registry;
+  registry.RegisterFactory(
+      "slow", [&](const Instance&, const EngineOptions&) {
+        return std::make_unique<PacedEngine>(300, &slow_started);
+      });
+  registry.RegisterFactory(
+      "fast", [](const Instance&, const EngineOptions&) {
+        return std::make_unique<PacedEngine>(1, nullptr);
+      });
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.cache_capacity = 0;
+  config.preempt_slice = 2;
+  SolverService service(config, registry);
+
+  SolveRequest low;
+  low.id = 1;
+  low.instance = cdd::testing::PaperExampleCdd();
+  low.engine = "slow";
+  low.priority = 0;
+  std::future<SolveResponse> low_future = service.Submit(std::move(low));
+
+  // Wait until the low-priority solve is actually running on the single
+  // worker, so the high-priority submit below must preempt (it cannot
+  // just win the queue).
+  while (!slow_started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  SolveRequest high;
+  high.id = 2;
+  high.instance = cdd::testing::PaperExampleCdd();
+  high.engine = "fast";
+  high.priority = 5;
+  std::future<SolveResponse> high_future = service.Submit(std::move(high));
+
+  const SolveResponse high_response = high_future.get();
+  EXPECT_EQ(high_response.status, SolveStatus::kOk);
+  // The high-priority request finished while the low-priority solve (with
+  // hundreds of milliseconds of budget left) was still paused on the
+  // worker's stack: that is a preemption, and the counter proves it.
+  EXPECT_EQ(low_future.wait_for(std::chrono::milliseconds(0)),
+            std::future_status::timeout);
+  EXPECT_GE(service.metrics().counter("preemptions").value(), 1u);
+
+  const SolveResponse low_response = low_future.get();
+  EXPECT_EQ(low_response.status, SolveStatus::kOk);
+  EXPECT_EQ(low_response.result.evaluations, 300u);  // resumed, not lost
+}
+
+TEST(ServicePreemption, ZeroSliceKeepsTheOneShotPath) {
+  EngineRegistry registry;
+  registry.RegisterFactory(
+      "fast", [](const Instance&, const EngineOptions&) {
+        return std::make_unique<PacedEngine>(1, nullptr);
+      });
+  ServiceConfig config;
+  config.workers = 1;
+  config.preempt_slice = 0;  // default: no preemption machinery
+  SolverService service(config, registry);
+
+  SolveRequest request;
+  request.instance = cdd::testing::PaperExampleCdd();
+  request.engine = "fast";
+  EXPECT_EQ(service.Submit(std::move(request)).get().status,
+            SolveStatus::kOk);
+  EXPECT_EQ(service.metrics().counter("preemptions").value(), 0u);
+}
+
+TEST(CacheKey, RaceOptionsAreHashedPriorityIsNot) {
+  SolveRequest base;
+  base.instance = cdd::testing::PaperExampleCdd();
+  base.engine = "race";
+  base.options.portfolio = "sa,ta";
+  base.options.race_slice = 64;
+
+  SolveRequest other_portfolio = base;
+  other_portfolio.options.portfolio = "sa,dpso";
+  EXPECT_NE(CacheKey(base), CacheKey(other_portfolio));
+
+  SolveRequest other_slice = base;
+  other_slice.options.race_slice = 128;
+  EXPECT_NE(CacheKey(base), CacheKey(other_slice));
+
+  // Priority (like deadline) orders work without changing results, so
+  // requests differing only in priority share a cache entry.
+  SolveRequest other_priority = base;
+  other_priority.priority = 9;
+  EXPECT_EQ(CacheKey(base), CacheKey(other_priority));
+}
+
+}  // namespace
+}  // namespace cdd::serve

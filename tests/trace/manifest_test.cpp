@@ -47,6 +47,27 @@ TEST(Manifest, WriteParseRoundTrip) {
   EXPECT_NO_THROW(VerifyManifestIntegrity(parsed));
 }
 
+TEST(Manifest, RaceOptionsRoundTripAndStayOptional) {
+  ManifestRecord record = SampleRecord();
+  record.engine = "race";
+  record.options.portfolio = "sa,ta,dpso";
+  record.options.race_slice = 64;
+  const ManifestRecord parsed = ParseManifestLine(WriteManifestLine(record));
+  EXPECT_EQ(parsed.options.portfolio, "sa,ta,dpso");
+  EXPECT_EQ(parsed.options.race_slice, 64u);
+  EXPECT_EQ(parsed.options, record.options);
+
+  // Lines written before the race fields existed (and every non-race line
+  // since, which omits them) still parse, defaulting both fields.
+  const ManifestRecord plain = SampleRecord();
+  const std::string line = WriteManifestLine(plain);
+  EXPECT_EQ(line.find("portfolio"), std::string::npos);
+  EXPECT_EQ(line.find("race_slice"), std::string::npos);
+  const ManifestRecord reparsed = ParseManifestLine(line);
+  EXPECT_TRUE(reparsed.options.portfolio.empty());
+  EXPECT_EQ(reparsed.options.race_slice, 0u);
+}
+
 TEST(Manifest, RoundTripsUcddcpInstances) {
   ManifestRecord record = SampleRecord();
   record.instance = orlib::BiskupFeldmannGenerator().Ucddcp(10, 0);

@@ -61,6 +61,12 @@ void PrintUsage() {
       "  --ensemble N --block B   parallel launch geometry (default 768/192)\n"
       "  --chains N           host-ensemble chains (default 64)\n"
       "  --vshape-init        seed ensembles with the V-shape heuristic\n"
+      "  --portfolio A,B,C    race contenders for --algo race (default\n"
+      "                       CDD_RACE_PORTFOLIO, then the bandit prior's\n"
+      "                       top three)\n"
+      "  --race-slice N       Step units per race scheduling round\n"
+      "                       (default CDD_RACE_SLICE, then 64); part of\n"
+      "                       the race's deterministic identity\n"
       "  --exec-backend B     block execution on the simulated device:\n"
       "                       serial|host-parallel (default\n"
       "                       CDD_EXEC_BACKEND, then serial); never\n"
@@ -159,6 +165,12 @@ int main(int argc, char** argv) {
     options.block = static_cast<std::uint32_t>(args.GetInt("block", 192));
     options.chains = static_cast<std::uint32_t>(args.GetInt("chains", 64));
     options.vshape_init = args.GetBool("vshape-init");
+    options.portfolio = args.GetString("portfolio", "");
+    options.race_slice =
+        static_cast<std::uint64_t>(args.GetInt("race-slice", 0));
+    // Bake an env-pinned contender list into the options so a recorded
+    // manifest stays replayable without CDD_RACE_PORTFOLIO set.
+    if (algo == "race") serve::MaterializeRacePortfolio(options);
     options.device = &gpu;  // so --profile sees the kernel launches
 
     const std::string trajectory_file = args.GetString("trajectory", "");
@@ -193,6 +205,13 @@ int main(int argc, char** argv) {
       if (run.result.stopped) {
         std::cerr << "error: refusing to record a manifest of a truncated "
                      "run\n";
+        return 1;
+      }
+      if (algo == "race" && !serve::RacePortfolioPinned(options)) {
+        // Same rule as the serve layer: a bandit-resolved portfolio is
+        // not replayable, so it must never enter a manifest.
+        std::cerr << "error: --manifest with --algo race needs a pinned "
+                     "portfolio (--portfolio or CDD_RACE_PORTFOLIO)\n";
         return 1;
       }
       std::ofstream out(manifest_file, std::ios::app);

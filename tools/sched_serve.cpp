@@ -11,8 +11,10 @@
 ///   sched_serve --file requests.txt --metrics
 ///
 /// Request-file format: one request per line,
-///   engine problem n index h gens seed deadline_ms
-/// e.g. "sa cdd 50 3 0.6 1000 1 250"; '#' starts a comment.
+///   engine problem n index h gens seed deadline_ms [priority]
+/// e.g. "sa cdd 50 3 0.6 1000 1 250"; '#' starts a comment; the optional
+/// trailing priority (default 0) dequeues higher values first and, with
+/// --preempt-slice, preempts lower-priority runs at Step boundaries.
 ///
 /// A rejected submission (bounded queue full) is retried with backoff
 /// until admitted, so the run terminates with zero lost requests by
@@ -49,6 +51,8 @@ void PrintUsage() {
       "  --gens G            per-request search budget (default 200)\n"
       "  --deadline-ms D     per-request deadline, 0 = none (default 0)\n"
       "  --seed S            workload seed (default 1)\n"
+      "  --priorities L      request priority levels 0..L-1, sampled\n"
+      "                      uniformly (default 1: all equal, plain FIFO)\n"
       "Workload (file):\n"
       "  --file PATH         one request per line:\n"
       "                      engine problem n index h gens seed deadline_ms\n"
@@ -56,6 +60,9 @@ void PrintUsage() {
       "  --workers W         solver threads (default hardware)\n"
       "  --queue Q           admission queue capacity (default 128)\n"
       "  --cache C           result cache entries, 0 = off (default 4096)\n"
+      "  --preempt-slice N   Step units between preemption checks; 0 =\n"
+      "                      run-to-completion (default 0); slicing never\n"
+      "                      changes results, only who waits\n"
       "  --pool-backend B    request-pool placement: host|pinned|device|\n"
       "                      numa (default CDD_POOL_BACKEND, then host)\n"
       "  --exec-backend B    block execution for device engines:\n"
@@ -124,6 +131,8 @@ std::vector<serve::SolveRequest> LoadRequestFile(const std::string& path) {
       throw std::runtime_error(path + ":" + std::to_string(line_no) +
                                ": malformed request line '" + line + "'");
     }
+    int priority = 0;
+    fields >> priority;  // optional trailing field, default 0
     if (problem != "cdd" && problem != "ucddcp") {
       throw std::runtime_error("bad problem '" + problem + "' in " + path);
     }
@@ -135,6 +144,7 @@ std::vector<serve::SolveRequest> LoadRequestFile(const std::string& path) {
     request.engine = engine;
     request.options.generations = gens;
     request.options.seed = seed;
+    request.priority = priority;
     request.deadline = std::chrono::milliseconds(deadline_ms);
     requests.push_back(std::move(request));
   }
@@ -164,8 +174,13 @@ std::vector<serve::SolveRequest> SyntheticWorkload(
   const auto gens = static_cast<std::uint64_t>(args.GetInt("gens", 200));
   const auto deadline_ms = args.GetInt("deadline-ms", 0);
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const auto priority_levels =
+      static_cast<std::uint32_t>(args.GetInt("priorities", 1));
 
   if (engines.empty()) throw std::runtime_error("--engines is empty");
+  if (priority_levels == 0) {
+    throw std::runtime_error("--priorities must be >= 1");
+  }
   if (total == 0) return {};
   const auto uniques = static_cast<std::size_t>(
       std::max(1.0, static_cast<double>(total) * (1.0 - dup_frac)));
@@ -188,6 +203,12 @@ std::vector<serve::SolveRequest> SyntheticWorkload(
     request.engine = engines[u % engines.size()];
     request.options.generations = gens;
     request.options.seed = seed;
+    // Priority is scheduling-only (never part of the cache key), so
+    // duplicates inheriting the original's level is harmless.
+    request.priority = priority_levels > 1
+                           ? static_cast<int>(UniformBelow(
+                                 rng, priority_levels))
+                           : 0;
     request.deadline = std::chrono::milliseconds(deadline_ms);
     pool.push_back(std::move(request));
   }
@@ -236,6 +257,8 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.GetInt("queue", 128));
     config.cache_capacity =
         static_cast<std::size_t>(args.GetInt("cache", 4096));
+    config.preempt_slice =
+        static_cast<std::uint64_t>(args.GetInt("preempt-slice", 0));
     config.pool_backend = args.GetString("pool-backend", "");
     if (!config.pool_backend.empty()) {
       core::PoolBackend parsed = core::PoolBackend::kHost;
