@@ -6,7 +6,9 @@
 /// service capacity, so the numbers measure the service, not the feeder).
 /// Sweeps the worker count and reports throughput, solve-latency
 /// percentiles and cache hit rate per configuration — the serving
-/// baseline for the perf trajectory.
+/// baseline for the perf trajectory.  With --socket the same traffic
+/// travels through the TCP front-end (serve/net), so the sweep measures
+/// the full wire path: framing, the epoll loop, and response fan-out.
 ///
 /// A second mode sweeps the candidate-pool *placement* instead of the
 /// worker count (experiment: results/exp_pool_backends.txt): one run per
@@ -14,17 +16,34 @@
 /// pool-handoff counters — zero-copy lending means every host-side
 /// placement avoids both staged copies a device round trip would cost.
 ///
+/// --smoke replaces the sweep with three deterministic overload/coalesce
+/// assertions (the CI gate for the serve scale-out path): single-flight
+/// duplicates receive one bit-identical solve, overload sheds the
+/// lowest-priority work first, and a manifest written through the socket
+/// front-end is byte-identical to one written in-process.
+///
 ///   bench_serve_loadgen                       # quick sweep
 ///   bench_serve_loadgen --workers 1,2,4,8 --requests 4000 --clients 16
 ///   bench_serve_loadgen --dup-frac 0.5        # cache-friendly traffic
+///   bench_serve_loadgen --socket --watermarks 8:32 --json BENCH_serve.json
+///   bench_serve_loadgen --smoke               # deterministic assertions
 ///   bench_serve_loadgen --pool-backends host,pinned,device,numa \
 ///       --engine dpso --sizes 50,200,500 --dup-frac 0
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <iostream>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -36,6 +55,8 @@
 #include "core/pool_allocator.hpp"
 #include "orlib/biskup_feldmann.hpp"
 #include "rng/philox.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/front_end.hpp"
 #include "serve/service.hpp"
 #include "trace/tracer.hpp"
 
@@ -52,47 +73,68 @@ struct SweepResult {
   double p99_ms = 0.0;
   double hit_rate = 0.0;
   std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;            ///< kShedOverload answers (watermarks)
+  std::uint64_t coalesced = 0;       ///< duplicates joined onto a flight
   std::uint64_t evaluations = 0;     ///< objective calls across responses
   std::uint64_t pool_handoffs = 0;   ///< request pools lent to engines
   std::uint64_t staging_copies = 0;  ///< modeled copies the placement cost
   std::uint64_t preemptions = 0;     ///< priority preemptions at Step edges
 };
 
-SweepResult RunSweep(unsigned workers, unsigned clients,
-                     std::size_t requests,
-                     const std::vector<serve::SolveRequest>& pool,
-                     double dup_frac, std::uint64_t seed,
-                     const std::string& pool_backend = {},
-                     std::uint64_t preempt_slice = 0) {
+struct SweepSetup {
+  unsigned workers = 2;
+  unsigned clients = 8;
+  std::size_t requests = 1000;
+  double dup_frac = 0.25;
+  std::uint64_t seed = 1;
+  std::string pool_backend;
+  std::uint64_t preempt_slice = 0;
+  bool socket = false;            ///< drive through the TCP front-end
+  std::size_t shed_low = 0;       ///< admission watermarks (0 = off)
+  std::size_t shed_high = 0;
+};
+
+SweepResult RunSweep(const SweepSetup& setup,
+                     const std::vector<serve::SolveRequest>& pool) {
   serve::ServiceConfig config;
-  config.workers = workers;
-  config.queue_capacity = std::max<std::size_t>(2 * clients, 16);
+  config.workers = setup.workers;
+  config.queue_capacity = std::max<std::size_t>(2 * setup.clients, 16);
   config.cache_capacity = 4096;
-  config.pool_backend = pool_backend;
-  config.preempt_slice = preempt_slice;
+  config.pool_backend = setup.pool_backend;
+  config.preempt_slice = setup.preempt_slice;
+  config.shed_low_watermark = setup.shed_low;
+  config.shed_high_watermark = setup.shed_high;
   serve::SolverService service(config);
+  std::optional<serve::net::FrontEnd> front_end;
+  if (setup.socket) {
+    serve::net::FrontEndConfig net;
+    net.port = 0;  // ephemeral; every client reads it back below
+    net.max_conns = setup.clients + 4;
+    front_end.emplace(net, service);
+  }
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::uint64_t> evaluations{0};
   const auto t_start = std::chrono::steady_clock::now();
 
   const auto client = [&](unsigned client_id) {
-    rng::Philox4x32 rng(seed + client_id, /*stream=*/0x10adULL);
+    rng::Philox4x32 rng(setup.seed + client_id, /*stream=*/0x10adULL);
+    std::optional<serve::net::BlockingClient> wire;
+    if (front_end) wire.emplace("127.0.0.1", front_end->port());
     for (;;) {
       const std::size_t k = next.fetch_add(1);
-      if (k >= requests) break;
+      if (k >= setup.requests) break;
       // Re-offer an earlier request with probability dup_frac: the cache
       // traffic a fleet of similar campaigns would generate.
       serve::SolveRequest request =
-          rng.NextUniform() < dup_frac
+          rng.NextUniform() < setup.dup_frac
               ? pool[UniformBelow(
                     rng, static_cast<std::uint32_t>(pool.size() / 4 + 1))]
               : pool[k % pool.size()];
       request.id = k;
       for (;;) {
-        std::future<serve::SolveResponse> future =
-            service.Submit(request);
-        const serve::SolveResponse response = future.get();
+        const serve::SolveResponse response =
+            wire ? wire->Call(request) : service.Submit(request).get();
         if (response.status !=
             serve::SolveStatus::kRejectedQueueFull) {
           evaluations.fetch_add(response.result.evaluations,
@@ -105,13 +147,15 @@ SweepResult RunSweep(unsigned workers, unsigned clients,
   };
 
   std::vector<std::thread> threads;
-  threads.reserve(clients);
-  for (unsigned c = 0; c < clients; ++c) threads.emplace_back(client, c);
+  threads.reserve(setup.clients);
+  for (unsigned c = 0; c < setup.clients; ++c) {
+    threads.emplace_back(client, c);
+  }
   for (std::thread& t : threads) t.join();
 
   SweepResult result;
-  result.workers = workers;
-  result.requests = requests;
+  result.workers = setup.workers;
+  result.requests = setup.requests;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     t_start)
@@ -128,11 +172,14 @@ SweepResult RunSweep(unsigned workers, unsigned clients,
                               static_cast<double>(cache.hits + cache.misses);
   result.rejected =
       service.metrics().counter("rejected_queue_full").value();
+  result.shed = service.metrics().counter("shed_overload").value();
+  result.coalesced = service.metrics().counter("coalesced_joins").value();
   result.evaluations = evaluations.load(std::memory_order_relaxed);
   result.pool_handoffs = service.metrics().counter("pool_handoffs").value();
   result.staging_copies =
       service.metrics().counter("pool_staging_copies").value();
   result.preemptions = service.metrics().counter("preemptions").value();
+  front_end.reset();  // stop the listener before draining the service
   service.Shutdown();
   return result;
 }
@@ -147,6 +194,290 @@ std::vector<std::string> SplitCsv(const std::string& list) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// --smoke: deterministic assertions for the serve scale-out path.
+
+/// Gate an engine can block on: the smoke tests park the single worker on
+/// a "block" solve so every subsequent arrival is observed *queued*, which
+/// makes coalescing and shedding decisions deterministic.
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<unsigned> entered{0};
+
+  void Release() {
+    {
+      const std::scoped_lock lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return open; });
+  }
+};
+
+/// Default registry plus a "block" engine that parks until gate->Release().
+serve::EngineRegistry BlockingRegistry(Gate* gate) {
+  serve::EngineRegistry registry = serve::EngineRegistry::Default();
+  registry.Register(
+      "block",
+      [gate](const Instance& instance, const serve::EngineOptions&) {
+        gate->entered.fetch_add(1);
+        gate->Wait();
+        serve::EngineRun run;
+        run.result.best = IdentitySequence(instance.size());
+        run.result.best_cost = 0;
+        run.result.evaluations = 1;
+        return run;
+      });
+  return registry;
+}
+
+bool AwaitCounter(serve::SolverService& service, const char* name,
+                  std::uint64_t at_least) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.metrics().counter(name).value() < at_least) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+struct SmokeChecker {
+  bool ok = true;
+  void Check(bool condition, const std::string& what) {
+    std::cout << (condition ? "  PASS  " : "  FAIL  ") << what << "\n";
+    ok = ok && condition;
+  }
+};
+
+/// Duplicate-heavy traffic through the socket: with the worker parked,
+/// four concurrent identical requests must produce exactly one solve; the
+/// three joiners receive the leader's bit-identical result.
+void SmokeCoalesce(SmokeChecker& smoke,
+                   const orlib::BiskupFeldmannGenerator& gen) {
+  std::cout << "[smoke] single-flight coalescing over the socket\n";
+  Gate gate;
+  const serve::EngineRegistry registry = BlockingRegistry(&gate);
+  serve::ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 64;
+  serve::SolverService service(config, registry);
+  serve::net::FrontEndConfig net;
+  net.port = 0;
+  serve::net::FrontEnd front_end(net, service);
+
+  serve::SolveRequest blocker;
+  blocker.id = 99;
+  blocker.instance = gen.Cdd(20, 999, 0.2);
+  blocker.engine = "block";
+  std::future<serve::SolveResponse> parked = service.Submit(blocker);
+  while (gate.entered.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  serve::SolveRequest duplicate;
+  duplicate.instance = gen.Cdd(20, 0, 0.4);
+  duplicate.engine = "sa";
+  duplicate.options.generations = 300;
+  duplicate.options.seed = 7;
+
+  constexpr unsigned kClients = 4;
+  std::vector<serve::SolveResponse> responses(kClients);
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::net::BlockingClient wire("127.0.0.1", front_end.port());
+      serve::SolveRequest request = duplicate;
+      request.id = c + 1;
+      responses[c] = wire.Call(request);
+    });
+  }
+  // All four are in flight (worker parked): one led, three joined.
+  const bool joined = AwaitCounter(service, "coalesced_joins", kClients - 1);
+  gate.Release();
+  for (std::thread& t : clients) t.join();
+  parked.get();
+
+  smoke.Check(joined, "three duplicates joined the in-flight leader");
+  unsigned coalesced = 0;
+  bool identical = true;
+  for (const serve::SolveResponse& r : responses) {
+    if (r.coalesced) ++coalesced;
+    identical = identical && r.status == serve::SolveStatus::kOk &&
+                r.result.best == responses[0].result.best &&
+                r.result.best_cost == responses[0].result.best_cost &&
+                r.result.evaluations == responses[0].result.evaluations;
+  }
+  smoke.Check(coalesced == kClients - 1,
+              "exactly three responses flagged coalesced (got " +
+                  std::to_string(coalesced) + ")");
+  smoke.Check(identical, "all four responses carry the identical result");
+  const std::uint64_t completed =
+      service.metrics().counter("completed").value();
+  smoke.Check(completed == 2,
+              "one solve per unique key: completed == 2 (blocker + "
+              "leader), got " +
+                  std::to_string(completed));
+  front_end.Stop();
+  service.Shutdown();
+}
+
+/// Overload ramp through one pipelined connection: past the high
+/// watermark the three lowest-priority requests — and only those — are
+/// answered kShedOverload; the survivors then solve highest-first.
+void SmokeShedOrder(SmokeChecker& smoke,
+                    const orlib::BiskupFeldmannGenerator& gen) {
+  std::cout << "[smoke] overload sheds lowest-priority first\n";
+  Gate gate;
+  const serve::EngineRegistry registry = BlockingRegistry(&gate);
+  serve::ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 8;
+  config.cache_capacity = 0;
+  config.shed_low_watermark = 1;
+  config.shed_high_watermark = 4;
+  serve::SolverService service(config, registry);
+  serve::net::FrontEndConfig net;
+  net.port = 0;
+  serve::net::FrontEnd front_end(net, service);
+
+  serve::SolveRequest blocker;
+  blocker.id = 99;
+  blocker.instance = gen.Cdd(20, 999, 0.2);
+  blocker.engine = "block";
+  std::future<serve::SolveResponse> parked = service.Submit(blocker);
+  while (gate.entered.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Arrival order fills the queue to the high watermark (4), then offers
+  // two lower-priority requests (shed on arrival) and one higher-priority
+  // request (displaces the queued priority-2 victim).
+  const std::vector<int> priorities = {5, 4, 3, 2, 1, 0, 6};
+  std::map<std::uint64_t, int> priority_of;
+  serve::net::BlockingClient wire("127.0.0.1", front_end.port());
+  for (std::size_t i = 0; i < priorities.size(); ++i) {
+    serve::SolveRequest request;
+    request.id = 10 + i;
+    request.instance =
+        gen.Cdd(20, static_cast<std::uint32_t>(i), 0.2 + 0.1 * (i % 3));
+    request.engine = "sa";
+    request.options.generations = 100;
+    request.options.seed = 3;
+    request.priority = priorities[i];
+    priority_of[request.id] = priorities[i];
+    wire.Send(request);  // pipelined: one connection, in-order arrival
+  }
+
+  // The three sheds answer immediately (the worker is parked, so nothing
+  // else can complete); ids 14 (prio 1) and 15 (prio 0) are shed on
+  // arrival, id 13 (prio 2) is displaced when priority 6 arrives.
+  std::vector<int> shed_priorities;
+  bool all_shed_status = true;
+  for (int i = 0; i < 3; ++i) {
+    const serve::SolveResponse r = wire.Receive();
+    all_shed_status =
+        all_shed_status && r.status == serve::SolveStatus::kShedOverload;
+    shed_priorities.push_back(priority_of[r.id]);
+  }
+  std::sort(shed_priorities.begin(), shed_priorities.end());
+  smoke.Check(all_shed_status, "all three dropped answers are shed_overload");
+  smoke.Check((shed_priorities == std::vector<int>{0, 1, 2}),
+              "the shed set is exactly the three lowest priorities");
+  smoke.Check(service.metrics().counter("shed_overload").value() == 3,
+              "shed_overload counter == 3");
+
+  gate.Release();
+  parked.get();
+  // Survivors complete strictly highest-priority-first on the lone worker.
+  std::vector<std::uint64_t> completion_order;
+  for (int i = 0; i < 4; ++i) completion_order.push_back(wire.Receive().id);
+  smoke.Check(
+      (completion_order == std::vector<std::uint64_t>{16, 10, 11, 12}),
+      "survivors solved highest-priority-first (6, 5, 4, 3)");
+  front_end.Stop();
+  service.Shutdown();
+}
+
+/// The replay guarantee through the wire: a manifest recorded behind the
+/// socket front-end is byte-identical to one recorded in-process.
+void SmokeManifestParity(SmokeChecker& smoke,
+                         const orlib::BiskupFeldmannGenerator& gen) {
+  std::cout << "[smoke] manifest parity: in-process vs socket\n";
+  std::vector<serve::SolveRequest> requests;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    serve::SolveRequest request;
+    request.id = i;
+    request.instance = gen.Cdd(20, i, 0.2 + 0.1 * (i % 4));
+    request.engine = "sa";
+    request.options.generations = 150;
+    request.options.seed = 5;
+    requests.push_back(std::move(request));
+  }
+
+  const std::string tag = std::to_string(::getpid());
+  const std::string path_inproc =
+      "/tmp/cdd_serve_smoke_inproc." + tag + ".jsonl";
+  const std::string path_socket =
+      "/tmp/cdd_serve_smoke_socket." + tag + ".jsonl";
+
+  {
+    serve::ServiceConfig config;
+    config.workers = 1;
+    config.manifest_path = path_inproc;
+    serve::SolverService service(config);
+    for (const serve::SolveRequest& request : requests) {
+      service.Submit(request).get();
+    }
+    service.Shutdown();
+  }
+  {
+    serve::ServiceConfig config;
+    config.workers = 1;
+    config.manifest_path = path_socket;
+    serve::SolverService service(config);
+    serve::net::FrontEndConfig net;
+    net.port = 0;
+    serve::net::FrontEnd front_end(net, service);
+    serve::net::BlockingClient wire("127.0.0.1", front_end.port());
+    for (const serve::SolveRequest& request : requests) {
+      wire.Call(request);
+    }
+    front_end.Stop();
+    service.Shutdown();
+  }
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const std::string inproc = slurp(path_inproc);
+  const std::string socket = slurp(path_socket);
+  smoke.Check(!inproc.empty(), "in-process run recorded a manifest");
+  smoke.Check(inproc == socket,
+              "socket-path manifest is byte-identical to in-process");
+  std::remove(path_inproc.c_str());
+  std::remove(path_socket.c_str());
+}
+
+int RunSmoke(std::uint64_t seed) {
+  const orlib::BiskupFeldmannGenerator gen(seed);
+  SmokeChecker smoke;
+  SmokeCoalesce(smoke, gen);
+  SmokeShedOrder(smoke, gen);
+  SmokeManifestParity(smoke, gen);
+  std::cout << (smoke.ok ? "smoke: all serve scale-out assertions passed\n"
+                         : "smoke: FAILURES above\n");
+  return smoke.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,6 +489,20 @@ int main(int argc, char** argv) {
                  "       --dup-frac F --sizes LIST --gens G --seed S\n"
                  "       --engine NAME   engine every request runs "
                  "(default sa)\n"
+                 "       --socket   drive the traffic through the TCP "
+                 "front-end\n"
+                 "           (serve/net): framing + epoll loop on the "
+                 "measured path\n"
+                 "       --watermarks LOW:HIGH   admission-control "
+                 "watermarks\n"
+                 "           (absolute queue depths; enables load "
+                 "shedding)\n"
+                 "       --json PATH   also write the sweep as JSON "
+                 "(e.g. BENCH_serve.json)\n"
+                 "       --smoke   run the deterministic overload/coalesce "
+                 "assertions\n"
+                 "           (single-flight, shed order, manifest parity) "
+                 "and exit\n"
                  "       --pool-backends LIST   sweep candidate-pool "
                  "placement\n"
                  "           (host,pinned,device,numa) instead of the "
@@ -173,6 +518,9 @@ int main(int argc, char** argv) {
                  "           preemptions observable in the counter column)\n";
     return 0;
   }
+
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  if (args.GetBool("smoke")) return RunSmoke(seed);
 
   // The tracing-overhead experiment: identical sweep with recording on vs
   // off quantifies what the instrumentation costs a hot serving path
@@ -190,7 +538,6 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> sizes =
       args.GetUintList("sizes", {20, 50});
   const auto gens = static_cast<std::uint64_t>(args.GetInt("gens", 200));
-  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
   const std::string engine = args.GetString("engine", "sa");
   const std::vector<std::string> pool_backends =
       SplitCsv(args.GetString("pool-backends", ""));
@@ -198,6 +545,26 @@ int main(int argc, char** argv) {
       std::max(1, static_cast<int>(args.GetInt("priorities", 1))));
   const auto preempt_slice =
       static_cast<std::uint64_t>(args.GetInt("preempt-slice", 0));
+  const bool socket = args.GetBool("socket");
+  const std::string json_path = args.GetString("json", "");
+
+  std::size_t shed_low = 0;
+  std::size_t shed_high = 0;
+  const std::string watermarks = args.GetString("watermarks", "");
+  if (!watermarks.empty()) {
+    const std::size_t colon = watermarks.find(':');
+    try {
+      if (colon == std::string::npos) throw std::invalid_argument("");
+      shed_low = std::stoul(watermarks.substr(0, colon));
+      shed_high = std::stoul(watermarks.substr(colon + 1));
+      if (shed_high == 0) throw std::invalid_argument("");
+    } catch (const std::exception&) {
+      std::cerr << "error: --watermarks expects LOW:HIGH with HIGH > 0, "
+                   "got '"
+                << watermarks << "'\n";
+      return 1;
+    }
+  }
 
   // Unique request pool shared by all sweeps: serial SA over mixed-size
   // CDD instances (the cheap end of the engine table, so the sweep
@@ -221,13 +588,23 @@ int main(int argc, char** argv) {
     pool.push_back(std::move(request));
   }
 
+  SweepSetup setup;
+  setup.clients = clients;
+  setup.requests = requests;
+  setup.dup_frac = dup_frac;
+  setup.seed = seed;
+  setup.preempt_slice = preempt_slice;
+  setup.socket = socket;
+  setup.shed_low = shed_low;
+  setup.shed_high = shed_high;
+
   if (!pool_backends.empty()) {
     // Placement sweep: same traffic, one service per pool backend.  Each
     // lent pool on a host-side placement avoids the two staged copies
     // (H2D + D2H) a device round trip would model.
-    const unsigned workers = worker_sweep.empty() ? 2 : worker_sweep[0];
+    setup.workers = worker_sweep.empty() ? 2 : worker_sweep[0];
     std::cout << "=== Candidate-pool placement sweep (" << clients
-              << " clients, " << workers << " workers, " << requests
+              << " clients, " << setup.workers << " workers, " << requests
               << " requests/sweep, " << engine << "/" << gens << " gens, "
               << 100.0 * dup_frac << "% duplicate offers) ===\n";
     benchutil::TextTable table({"pool backend", "req/s", "evals/s",
@@ -240,8 +617,8 @@ int main(int argc, char** argv) {
         std::cerr << "error: unknown pool backend '" << backend << "'\n";
         return 1;
       }
-      const SweepResult r = RunSweep(workers, clients, requests, pool,
-                                     dup_frac, seed, backend);
+      setup.pool_backend = backend;
+      const SweepResult r = RunSweep(setup, pool);
       const std::uint64_t avoided = 2 * r.pool_handoffs - r.staging_copies;
       table.AddRow(
           {backend,
@@ -266,14 +643,17 @@ int main(int argc, char** argv) {
   std::cout << "=== Serving baseline: closed-loop load generator ("
             << clients << " clients, " << requests << " requests/sweep, "
             << 100.0 * dup_frac << "% duplicate offers, " << engine << "/"
-            << gens
-            << " gens, tracing " << (tracing ? "ON" : "off") << ") ===\n";
+            << gens << " gens, " << (socket ? "socket" : "in-process")
+            << " path, tracing " << (tracing ? "ON" : "off") << ") ===\n";
   benchutil::TextTable table({"workers", "req/s", "wall [s]", "p50 [ms]",
                               "p95 [ms]", "p99 [ms]", "cache hit %",
-                              "rejections", "preemptions"});
+                              "rejections", "shed", "coalesced",
+                              "preemptions"});
+  std::vector<SweepResult> sweep_results;
   for (const std::uint32_t workers : worker_sweep) {
-    const SweepResult r = RunSweep(workers, clients, requests, pool,
-                                   dup_frac, seed, {}, preempt_slice);
+    setup.workers = workers;
+    const SweepResult r = RunSweep(setup, pool);
+    sweep_results.push_back(r);
     table.AddRow({std::to_string(r.workers),
                   benchutil::FmtDouble(
                       static_cast<double>(r.requests) / r.wall_seconds, 1),
@@ -282,7 +662,8 @@ int main(int argc, char** argv) {
                   benchutil::FmtDouble(r.p95_ms, 2),
                   benchutil::FmtDouble(r.p99_ms, 2),
                   benchutil::FmtDouble(100.0 * r.hit_rate, 1),
-                  std::to_string(r.rejected),
+                  std::to_string(r.rejected), std::to_string(r.shed),
+                  std::to_string(r.coalesced),
                   std::to_string(r.preemptions)});
   }
   std::cout << table.ToString();
@@ -290,5 +671,37 @@ int main(int argc, char** argv) {
                "before offering the next request, so req/s is the "
                "service's sustainable throughput at this concurrency, "
                "and backpressure rejections are retried, never lost.\n";
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 1;
+    }
+    json << "{\n  \"bench\": \"serve_loadgen\",\n  \"clients\": " << clients
+         << ",\n  \"requests\": " << requests
+         << ",\n  \"dup_frac\": " << dup_frac << ",\n  \"engine\": \""
+         << engine << "\",\n  \"gens\": " << gens
+         << ",\n  \"socket\": " << (socket ? "true" : "false")
+         << ",\n  \"watermarks\": [" << shed_low << ", " << shed_high
+         << "],\n  \"results\": [\n";
+    for (std::size_t i = 0; i < sweep_results.size(); ++i) {
+      const SweepResult& r = sweep_results[i];
+      json << "    {\"workers\": " << r.workers << ", \"req_per_s\": "
+           << benchutil::FmtDouble(
+                  static_cast<double>(r.requests) / r.wall_seconds, 1)
+           << ", \"wall_s\": " << benchutil::FmtDouble(r.wall_seconds, 3)
+           << ", \"p50_ms\": " << benchutil::FmtDouble(r.p50_ms, 3)
+           << ", \"p95_ms\": " << benchutil::FmtDouble(r.p95_ms, 3)
+           << ", \"p99_ms\": " << benchutil::FmtDouble(r.p99_ms, 3)
+           << ", \"cache_hit\": " << benchutil::FmtDouble(r.hit_rate, 4)
+           << ", \"rejected\": " << r.rejected << ", \"shed\": " << r.shed
+           << ", \"coalesced\": " << r.coalesced
+           << ", \"preemptions\": " << r.preemptions << "}"
+           << (i + 1 < sweep_results.size() ? ",\n" : "\n");
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,113 @@
+#pragma once
+/// \file inflight.hpp
+/// \brief Single-flight table: concurrent identical requests share one
+/// solve.
+///
+/// The ResultCache dedups *finished* work; this table dedups work *in
+/// flight*.  Keyed exactly like the cache (serve::CacheKey over instance
+/// + engine + result-determining options), so two requests share a flight
+/// iff a completed one would have been a cache hit for the other.  The
+/// first request through becomes the leader and runs normally; every
+/// duplicate that arrives while the leader is queued or solving attaches
+/// as a waiter and is answered with the leader's bit-identical result —
+/// no queue slot consumed, no duplicate solve, no post-hoc race into the
+/// cache.
+///
+/// When a leader cannot deliver a full-budget result (deadline expired,
+/// shutdown, engine failure), its waiters must not inherit the truncated
+/// outcome: the service *re-elects* one waiter as the new leader
+/// (ReElect) and re-enqueues it, and the rest keep waiting on the new
+/// flight.  The table therefore never strands a waiter — every entry
+/// drains through Complete() or a ReElect() cascade.
+///
+/// Thread-safe; one mutex, held only for map/vector operations (never
+/// across a solve or a promise delivery).
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace cdd::serve {
+
+/// One request parked on an in-flight solve of the same key.  Carries the
+/// full original request so a re-elected waiter can be turned back into a
+/// runnable job.
+struct InflightWaiter {
+  SolveRequest request;
+  std::chrono::steady_clock::time_point admitted;
+  std::promise<SolveResponse> promise;
+  /// Optional push-style completion (the socket front-end); invoked
+  /// before the promise is fulfilled, like any other response.
+  std::function<void(const SolveResponse&)> on_done;
+};
+
+/// Map of cache key -> waiters for the one in-flight solve of that key.
+class InflightTable {
+ public:
+  /// Attaches \p *waiter to an existing flight of \p key (moves from it,
+  /// returns true), or registers a new flight with the caller as leader
+  /// (leaves \p *waiter untouched, returns false) — the same
+  /// move-only-on-success contract as JobQueue::TryPush.
+  bool JoinOrLead(std::uint64_t key, InflightWaiter* waiter) {
+    const std::scoped_lock lock(mutex_);
+    auto [it, inserted] = flights_.try_emplace(key);
+    if (inserted) return false;
+    it->second.push_back(std::move(*waiter));
+    return true;
+  }
+
+  /// Ends the flight of \p key and returns its waiters for delivery.
+  /// Call after the leader's result is final (and cached, so a duplicate
+  /// racing with this removal hits the cache instead of a dead flight).
+  std::vector<InflightWaiter> Complete(std::uint64_t key) {
+    const std::scoped_lock lock(mutex_);
+    const auto it = flights_.find(key);
+    if (it == flights_.end()) return {};
+    std::vector<InflightWaiter> waiters = std::move(it->second);
+    flights_.erase(it);
+    return waiters;
+  }
+
+  /// Leader failed to produce a full result: pops the oldest waiter to be
+  /// promoted to leader, keeping the flight alive for the rest.  nullopt
+  /// when no waiter is left — the flight is then erased entirely.
+  std::optional<InflightWaiter> ReElect(std::uint64_t key) {
+    const std::scoped_lock lock(mutex_);
+    const auto it = flights_.find(key);
+    if (it == flights_.end()) return std::nullopt;
+    if (it->second.empty()) {
+      flights_.erase(it);
+      return std::nullopt;
+    }
+    InflightWaiter waiter = std::move(it->second.front());
+    it->second.erase(it->second.begin());
+    return waiter;
+  }
+
+  /// Number of live flights (leaders in queue or on a worker).
+  std::size_t flights() const {
+    const std::scoped_lock lock(mutex_);
+    return flights_.size();
+  }
+
+  /// Waiters parked on \p key right now (0 when no such flight).
+  std::size_t waiters(std::uint64_t key) const {
+    const std::scoped_lock lock(mutex_);
+    const auto it = flights_.find(key);
+    return it == flights_.end() ? 0 : it->second.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<InflightWaiter>> flights_;
+};
+
+}  // namespace cdd::serve

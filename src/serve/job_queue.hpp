@@ -3,9 +3,10 @@
 /// \brief Bounded MPMC queue — the admission-control point of the service.
 ///
 /// The queue is deliberately *bounded* and *rejecting*: under overload,
-/// TryPush fails immediately so the caller can answer
-/// SolveStatus::kRejectedQueueFull instead of letting latency grow without
-/// bound (load shedding at the front door, not timeouts at the back).
+/// TryPush fails immediately — with a reason, PushResult::kFull vs
+/// kClosed — so the caller can answer SolveStatus::kRejectedQueueFull
+/// (or kShuttingDown) instead of letting latency grow without bound
+/// (load shedding at the front door, not timeouts at the back).
 ///
 /// Shutdown protocol: Close() makes all future pushes fail while consumers
 /// keep draining; Pop() returns nullopt only once the queue is closed *and*
@@ -28,6 +29,17 @@
 
 namespace cdd::serve {
 
+/// Why a push was refused — distinct reasons, because the caller's answer
+/// differs: a *full* queue is backpressure on a live service (retryable,
+/// kRejectedQueueFull), a *closed* queue is shutdown (kShuttingDown, do
+/// not retry).  Conflating them made the shutdown window inflate the
+/// overload metrics.
+enum class PushResult {
+  kOk,      ///< enqueued
+  kFull,    ///< at capacity: backpressure, caller may retry later
+  kClosed,  ///< shut down: no push will ever succeed again
+};
+
 /// Bounded multi-producer multi-consumer priority queue (FIFO within a
 /// priority level).  T must be movable.
 template <class T>
@@ -43,17 +55,19 @@ class JobQueue {
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
 
-  /// Enqueues \p item if there is room and the queue is open.  On failure
-  /// returns false and leaves \p item untouched (the caller still owns it
-  /// and can complete it with a rejection status).
-  bool TryPush(T&& item, int priority = 0) {
+  /// Enqueues \p item if there is room and the queue is open.  On refusal
+  /// the reason comes back (kFull vs kClosed) and \p item is untouched —
+  /// the caller still owns it and can complete it with the matching
+  /// rejection status.
+  PushResult TryPush(T&& item, int priority = 0) {
     {
       const std::scoped_lock lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
       items_.push_back(Entry{priority, std::move(item)});
     }
     cv_.notify_one();
-    return true;
+    return PushResult::kOk;
   }
 
   /// Blocks until an item is available or the queue is closed and drained;
@@ -94,6 +108,36 @@ class JobQueue {
     std::optional<T> item(std::move(best->item));
     items_.erase(best);
     return item;
+  }
+
+  /// Removes and returns the lowest-priority queued item, but only if its
+  /// priority is strictly below \p below; nullopt otherwise (including
+  /// empty).  The newest item of the lowest level is taken — it would
+  /// have been served last anyway — so under overload a higher-priority
+  /// arrival displaces exactly the work the service would shed next.
+  std::optional<T> TryEvictLowest(int below) {
+    const std::scoped_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    auto worst = items_.begin();
+    for (auto it = std::next(worst); it != items_.end(); ++it) {
+      // >= keeps walking to the *last* entry of the lowest level.
+      if (it->priority <= worst->priority) worst = it;
+    }
+    if (worst->priority >= below) return std::nullopt;
+    std::optional<T> item(std::move(worst->item));
+    items_.erase(worst);
+    return item;
+  }
+
+  /// Priority of the item TryEvictLowest would consider, or kNoPriority
+  /// when the queue is empty.  Point-in-time, like MaxPriority().
+  int MinPriority() const {
+    const std::scoped_lock lock(mutex_);
+    int worst = std::numeric_limits<int>::max();
+    for (const Entry& entry : items_) {
+      if (entry.priority < worst) worst = entry.priority;
+    }
+    return items_.empty() ? kNoPriority : worst;
   }
 
   /// Closes the queue: producers are rejected from now on, consumers drain

@@ -1,0 +1,89 @@
+#include "serve/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/net/wire.hpp"
+
+namespace cdd::serve::net {
+
+BlockingClient::BlockingClient(const std::string& host, std::uint16_t port,
+                               std::size_t max_frame_bytes)
+    : decoder_(max_frame_bytes) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw ClientError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw ClientError("host is not an IPv4 address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw ClientError("connect " + host + ":" + std::to_string(port) +
+                      ": " + detail);
+  }
+  const int enable = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+}
+
+BlockingClient::~BlockingClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+SolveResponse BlockingClient::Call(const SolveRequest& request) {
+  Send(request);
+  return Receive();
+}
+
+void BlockingClient::Send(const SolveRequest& request) {
+  SendRaw(EncodeFrame(WriteRequest(request)));
+}
+
+void BlockingClient::SendRaw(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t wrote =
+        ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError(std::string("write: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+}
+
+SolveResponse BlockingClient::Receive() {
+  return ParseResponse(ReceiveFramePayload());
+}
+
+std::string BlockingClient::ReceiveFramePayload() {
+  for (;;) {
+    if (auto payload = decoder_.Next()) return *payload;
+    char buffer[64 * 1024];
+    const ssize_t got = ::read(fd_, buffer, sizeof(buffer));
+    if (got == 0) {
+      throw ClientError("connection closed by server");
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError(std::string("read: ") + std::strerror(errno));
+    }
+    decoder_.Append(buffer, static_cast<std::size_t>(got));
+  }
+}
+
+}  // namespace cdd::serve::net

@@ -1,0 +1,61 @@
+#pragma once
+/// \file client.hpp
+/// \brief Minimal blocking client of the serve wire protocol.
+///
+/// One TCP connection, used synchronously: Call() writes a request frame
+/// and blocks for the response frame.  The Send/Receive split exists for
+/// callers that pipeline several requests on the keep-alive connection
+/// (responses are then matched by id — the server may complete them out
+/// of order).  This is the client the tools, the load generator and the
+/// tests use; production callers with an event loop should speak the
+/// (deliberately tiny) protocol directly.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/net/frame.hpp"
+#include "serve/request.hpp"
+
+namespace cdd::serve::net {
+
+/// Connection-level failure: connect/read/write errors, or a peer that
+/// closed mid-frame.
+class ClientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BlockingClient {
+ public:
+  /// Connects immediately; throws ClientError when the server is not
+  /// reachable.
+  BlockingClient(const std::string& host, std::uint16_t port,
+                 std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// One synchronous round-trip.
+  SolveResponse Call(const SolveRequest& request);
+
+  /// Pipelining seam: write one request frame without waiting.
+  void Send(const SolveRequest& request);
+
+  /// Blocks for the next response frame on the connection.
+  SolveResponse Receive();
+
+  /// Test seam: raw bytes on the wire, bypassing framing and wire
+  /// serialization (malformed-input tests).
+  void SendRaw(std::string_view bytes);
+
+  /// Test seam: next frame payload as-is, without response parsing.
+  std::string ReceiveFramePayload();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace cdd::serve::net

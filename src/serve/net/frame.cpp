@@ -1,0 +1,43 @@
+#include "serve/net/frame.hpp"
+
+#include <cstring>
+
+namespace cdd::serve::net {
+
+std::string EncodeFrame(std::string_view payload) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>((length >> 24) & 0xff));
+  frame.push_back(static_cast<char>((length >> 16) & 0xff));
+  frame.push_back(static_cast<char>((length >> 8) & 0xff));
+  frame.push_back(static_cast<char>(length & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+std::optional<std::string> FrameDecoder::Next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t length =
+      (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+  if (length == 0) {
+    throw FrameError("zero-length frame");
+  }
+  if (length > max_frame_bytes_) {
+    throw FrameError("frame of " + std::to_string(length) +
+                     " bytes exceeds the " +
+                     std::to_string(max_frame_bytes_) + "-byte cap");
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(length)) {
+    return std::nullopt;
+  }
+  std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(length));
+  return payload;
+}
+
+}  // namespace cdd::serve::net

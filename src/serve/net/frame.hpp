@@ -1,0 +1,65 @@
+#pragma once
+/// \file frame.hpp
+/// \brief Length-prefixed message framing for the serve wire protocol.
+///
+/// Every message on the wire is one frame: a 4-byte big-endian unsigned
+/// payload length followed by exactly that many payload bytes (the JSON
+/// document; see wire.hpp).  Framing is what lets a keep-alive connection
+/// carry many requests: the decoder re-synchronizes on exact byte counts,
+/// never on delimiters inside the payload.
+///
+/// The decoder is strict: a zero-length frame and a frame longer than the
+/// configured cap are both protocol errors (FrameError), not data.  A
+/// malformed length cannot be resynchronized from — the caller must close
+/// the connection — so the cap doubles as the memory bound one peer can
+/// force on the other.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cdd::serve::net {
+
+/// Broken framing (zero-length or over-cap frame).  Unrecoverable on a
+/// stream: close the connection.
+class FrameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Default per-frame payload cap (4 MiB) — far above any real request,
+/// far below what an adversarial length prefix could demand.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// Wraps \p payload in one frame (length prefix + bytes), ready to write.
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame parser over an arbitrary chunking of the byte
+/// stream.  Append() whatever arrived; Next() yields complete payloads in
+/// order, nullopt when more bytes are needed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Append(const char* data, std::size_t size) {
+    buffer_.append(data, size);
+  }
+
+  /// Next complete payload, or nullopt when the buffer holds only a
+  /// partial frame.  Throws FrameError on a zero or over-cap length
+  /// prefix; the decoder is then poisoned (the stream cannot be trusted).
+  std::optional<std::string> Next();
+
+  /// Bytes buffered but not yet returned (partial frame).
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+};
+
+}  // namespace cdd::serve::net

@@ -1,0 +1,63 @@
+#pragma once
+/// \file wire.hpp
+/// \brief JSON payloads of the serve wire protocol (one per frame).
+///
+/// A request frame:
+///
+///   {"op":"solve","id":7,"engine":"sa",
+///    "instance":{"problem":"cdd","due":40,"proc":[...],"min_proc":[...],
+///                "early":[...],"tardy":[...],"compress":[...]},
+///    "options":{"generations":100,"seed":1,...},     // optional, defaults
+///    "deadline_ms":0,"priority":0,"tenant":""}       // optional, defaults
+///
+/// The instance object is byte-compatible with the run-manifest format —
+/// both sides go through trace::WriteInstanceJson/ParseInstanceJson, so
+/// the wire and the manifest cannot drift apart.  Parsing is strict:
+/// malformed JSON, a wrong "op", a missing required field, a mistyped
+/// value or an invalid instance all throw WireError with a diagnostic the
+/// server returns verbatim in an error response.
+///
+/// A response frame mirrors SolveResponse:
+///
+///   {"id":7,"status":"ok","best_cost":126,"best":[2,0,1],
+///    "evaluations":100,"stopped":false,"device_seconds":0.0,
+///    "queue_ms":0.1,"solve_ms":1.2,"from_cache":false,"coalesced":false}
+///
+/// plus "error" when non-empty and "trajectory":[...] when recorded.
+/// Responses on a connection are correlated by "id", not by order: a
+/// keep-alive client that pipelines requests may see them complete
+/// out of order.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "serve/request.hpp"
+
+namespace cdd::serve::net {
+
+/// Malformed or mistyped wire payload.  Per-frame, recoverable: the
+/// connection stays usable (framing is still in sync).
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes \p request as one request payload (no framing).
+std::string WriteRequest(const SolveRequest& request);
+
+/// Strict inverse of WriteRequest.  Throws WireError on any defect.
+SolveRequest ParseRequest(std::string_view payload);
+
+/// Serializes \p response as one response payload (no framing).
+std::string WriteResponse(const SolveResponse& response);
+
+/// Strict inverse of WriteResponse.  Throws WireError on any defect.
+SolveResponse ParseResponse(std::string_view payload);
+
+/// A response payload carrying only an error (unparseable request): the
+/// id is echoed when the broken request at least had one, 0 otherwise.
+std::string WriteErrorResponse(std::uint64_t id, std::string_view error);
+
+}  // namespace cdd::serve::net

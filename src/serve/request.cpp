@@ -20,12 +20,32 @@ std::string_view ToString(SolveStatus status) {
       return "rejected_unknown_engine";
     case SolveStatus::kRejectedInvalidInstance:
       return "rejected_invalid_instance";
+    case SolveStatus::kRejectedDeadlineInfeasible:
+      return "rejected_deadline_infeasible";
+    case SolveStatus::kShedOverload:
+      return "shed_overload";
+    case SolveStatus::kShuttingDown:
+      return "shutting_down";
     case SolveStatus::kShutdown:
       return "shutdown";
     case SolveStatus::kFailed:
       return "failed";
   }
   return "unknown";
+}
+
+std::optional<SolveStatus> SolveStatusFromName(std::string_view name) {
+  for (const SolveStatus status :
+       {SolveStatus::kOk, SolveStatus::kCacheHit,
+        SolveStatus::kDeadlineExpired, SolveStatus::kRejectedQueueFull,
+        SolveStatus::kRejectedUnknownEngine,
+        SolveStatus::kRejectedInvalidInstance,
+        SolveStatus::kRejectedDeadlineInfeasible, SolveStatus::kShedOverload,
+        SolveStatus::kShuttingDown, SolveStatus::kShutdown,
+        SolveStatus::kFailed}) {
+    if (ToString(status) == name) return status;
+  }
+  return std::nullopt;
 }
 
 std::string ValidateRequestInstance(const Instance& instance) {

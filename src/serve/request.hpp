@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -23,12 +24,30 @@ enum class SolveStatus {
   /// Instance violates a documented evaluator precondition (e.g. a
   /// restricted UCDDCP instance, d < sum P_i); see SolveResponse::error.
   kRejectedInvalidInstance,
+  /// Admission control predicted the request cannot meet its own deadline
+  /// (expected queue wait from the latency histograms already exceeds it),
+  /// so it was rejected instead of admitted to expire in the queue.
+  kRejectedDeadlineInfeasible,
+  /// Load shedding: the service is past its high watermark (or a tenant
+  /// is past its fair share) and this request was the lowest-priority
+  /// work available to drop.  Also used for queued work displaced by a
+  /// higher-priority arrival under overload.
+  kShedOverload,
+  /// Rejected at Submit() because the service is shutting down — the
+  /// admission queue is closed, not full.  Distinct from kShutdown (which
+  /// answers work that was already accepted) and from kRejectedQueueFull
+  /// (backpressure on a live service, worth retrying).
+  kShuttingDown,
   kShutdown,               ///< service stopped before/while solving it
   kFailed,                 ///< engine threw; see SolveResponse::error
 };
 
 /// Stable lower-case name ("ok", "cache_hit", ...), for logs and tables.
 std::string_view ToString(SolveStatus status);
+
+/// Inverse of ToString (wire protocol deserialization); nullopt for names
+/// that are not a SolveStatus.
+std::optional<SolveStatus> SolveStatusFromName(std::string_view name);
 
 /// One solve request.  The id is an opaque caller-side correlation tag.
 struct SolveRequest {
@@ -43,9 +62,16 @@ struct SolveRequest {
   /// Scheduling priority: higher dequeues first (FIFO within a level);
   /// with ServiceConfig::preempt_slice set, a higher-priority arrival also
   /// preempts a running lower-priority solve at its next checkpoint
-  /// boundary.  Priority orders work but never changes any result, so it
-  /// is deliberately NOT part of the cache key.
+  /// boundary.  Under overload (queue past the high watermark) the lowest
+  /// priority level is shed first.  Priority orders work but never changes
+  /// any result, so it is deliberately NOT part of the cache key.
   int priority = 0;
+  /// Fair-share accounting tag.  Above the low watermark, a tenant whose
+  /// queued requests already exceed its share (capacity / active tenants)
+  /// is shed before it can starve the others.  The empty string is a
+  /// valid tenant (single-tenant deployments never trip the check).
+  /// Accounting-only — never part of the cache key.
+  std::string tenant;
 };
 
 /// Outcome delivered through the future returned by Submit().
@@ -57,6 +83,10 @@ struct SolveResponse {
   double queue_ms = 0.0;        ///< admission -> dequeue
   double solve_ms = 0.0;        ///< engine run time
   bool from_cache = false;
+  /// True when this response was coalesced onto another identical request
+  /// already in flight (single-flight): the result is the winner's run,
+  /// bit-identical to what a private solve would have produced.
+  bool coalesced = false;
   std::string error;  ///< populated for kFailed
 
   /// True when `result` carries a usable sequence.
@@ -79,7 +109,7 @@ std::string ValidateRequestInstance(const Instance& instance);
 /// ensemble geometry, chains, vshape, trajectory stride, race portfolio
 /// and slice) — and nothing else, so requests that
 /// must produce identical results share a key regardless of deadline,
-/// priority, thread count or submission order.
+/// priority, tenant, thread count or submission order.
 std::uint64_t CacheKey(const SolveRequest& request);
 
 }  // namespace cdd::serve

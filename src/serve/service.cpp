@@ -1,7 +1,10 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "serve/replay.hpp"
@@ -14,13 +17,23 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Nested-preemption cap: a worker's stack holds at most this many paused
-/// solves.  Beyond it, higher-priority arrivals wait for a free worker
-/// like everyone else.
-constexpr unsigned kMaxPreemptDepth = 4;
-
 double MsSince(Clock::time_point start, Clock::time_point end) {
   return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Parses "low:high" (absolute queue depths) from CDD_SERVE_WATERMARKS.
+/// Malformed text leaves both outputs untouched — admission control stays
+/// off, matching how the other CDD_* environment overrides degrade.
+void ParseWatermarks(const char* text, std::size_t* low, std::size_t* high) {
+  if (text == nullptr) return;
+  char* end = nullptr;
+  const unsigned long long parsed_low = std::strtoull(text, &end, 10);
+  if (end == text || *end != ':') return;
+  const char* rest = end + 1;
+  const unsigned long long parsed_high = std::strtoull(rest, &end, 10);
+  if (end == rest || *end != '\0' || parsed_high == 0) return;
+  *low = static_cast<std::size_t>(parsed_low);
+  *high = static_cast<std::size_t>(parsed_high);
 }
 
 core::PoolAllocator* ResolvePoolAllocator(const ServiceConfig& config) {
@@ -70,10 +83,18 @@ SolverService::SolverService(ServiceConfig config,
       submitted_(&metrics_.counter("submitted")),
       enqueued_(&metrics_.counter("enqueued")),
       rejected_queue_full_(&metrics_.counter("rejected_queue_full")),
+      rejected_shutdown_(&metrics_.counter("rejected_shutdown")),
       rejected_unknown_engine_(
           &metrics_.counter("rejected_unknown_engine")),
       rejected_invalid_instance_(
           &metrics_.counter("rejected_invalid_instance")),
+      rejected_deadline_infeasible_(
+          &metrics_.counter("rejected_deadline_infeasible")),
+      shed_overload_(&metrics_.counter("shed_overload")),
+      shed_tenant_overquota_(&metrics_.counter("shed_tenant_overquota")),
+      coalesced_joins_(&metrics_.counter("coalesced_joins")),
+      coalesce_reelected_(&metrics_.counter("coalesce_reelected")),
+      preempt_depth_limited_(&metrics_.counter("preempt_depth_limited")),
       cache_hits_(&metrics_.counter("cache_hits")),
       completed_(&metrics_.counter("completed")),
       deadline_expired_(&metrics_.counter("deadline_expired")),
@@ -91,6 +112,15 @@ SolverService::SolverService(ServiceConfig config,
       exec_backend_(ResolveExecBackend(config, exec_clamped_)),
       queue_(config.queue_capacity) {
   if (config_.workers == 0) config_.workers = 1;
+  if (config_.shed_low_watermark == 0 && config_.shed_high_watermark == 0) {
+    ParseWatermarks(std::getenv("CDD_SERVE_WATERMARKS"),
+                    &config_.shed_low_watermark,
+                    &config_.shed_high_watermark);
+  }
+  config_.shed_high_watermark =
+      std::min(config_.shed_high_watermark, queue_.capacity());
+  config_.shed_low_watermark =
+      std::min(config_.shed_low_watermark, config_.shed_high_watermark);
   if (!config_.manifest_path.empty()) {
     manifest_.open(config_.manifest_path, std::ios::app);
   }
@@ -105,21 +135,34 @@ SolverService::SolverService(ServiceConfig config,
 
 SolverService::~SolverService() { Shutdown(); }
 
-std::future<SolveResponse> SolverService::Submit(SolveRequest request) {
+std::future<SolveResponse> SolverService::Submit(SolveRequest request,
+                                                 ResponseCallback on_done) {
   CDD_TRACE_SPAN("serve.submit");
   submitted_->Increment();
 
   SolveResponse response;
   response.id = request.id;
 
+  // Synchronous answers (rejections, cache hits) go through the same
+  // callback-then-promise funnel as worker-side deliveries.
+  const auto answer = [&](SolveResponse&& done_response) {
+    if (on_done) {
+      try {
+        on_done(done_response);
+      } catch (...) {
+      }
+    }
+    std::promise<SolveResponse> done;
+    done.set_value(std::move(done_response));
+    return done.get_future();
+  };
+
   const EngineFn* engine = registry_.Find(request.engine);
   if (engine == nullptr) {
     rejected_unknown_engine_->Increment();
     response.status = SolveStatus::kRejectedUnknownEngine;
     response.error = "unknown engine '" + request.engine + "'";
-    std::promise<SolveResponse> done;
-    done.set_value(std::move(response));
-    return done.get_future();
+    return answer(std::move(response));
   }
 
   // Evaluator preconditions are enforced at the boundary: an engine run
@@ -131,9 +174,7 @@ std::future<SolveResponse> SolverService::Submit(SolveRequest request) {
     CDD_TRACE_INSTANT("serve.rejected_invalid_instance");
     response.status = SolveStatus::kRejectedInvalidInstance;
     response.error = std::move(diagnostic);
-    std::promise<SolveResponse> done;
-    done.set_value(std::move(response));
-    return done.get_future();
+    return answer(std::move(response));
   }
 
   // Race requests bake the effective (env-pinned) contender list into
@@ -155,32 +196,126 @@ std::future<SolveResponse> SolverService::Submit(SolveRequest request) {
     response.result = hit->result;
     response.device_seconds = hit->device_seconds;
     response.from_cache = true;
-    std::promise<SolveResponse> done;
-    done.set_value(std::move(response));
-    return done.get_future();
+    return answer(std::move(response));
   }
 
+  // Single-flight: if an identical request is already queued or solving,
+  // attach to it instead of consuming a queue slot on a duplicate solve.
+  InflightWaiter waiter;
+  waiter.request = std::move(request);
+  waiter.admitted = Clock::now();
+  waiter.on_done = std::move(on_done);
+  std::future<SolveResponse> future = waiter.promise.get_future();
+  if (inflight_.JoinOrLead(key, &waiter)) {
+    coalesced_joins_->Increment();
+    CDD_TRACE_INSTANT("serve.coalesce_join");
+    return future;
+  }
+
+  // This request is the flight's leader; from here on, every exit path
+  // must resolve the flight (success or failure) or hand the job to the
+  // queue, whose consumer does.
   Job job;
-  job.request = std::move(request);
+  job.request = std::move(waiter.request);
   job.engine = engine;
   job.factory = registry_.FindFactory(job.request.engine);
   job.key = key;
-  job.admitted = Clock::now();
-  std::future<SolveResponse> future = job.promise.get_future();
+  job.admitted = waiter.admitted;
+  job.promise = std::move(waiter.promise);
+  job.on_done = std::move(waiter.on_done);
+
+  if (config_.shed_high_watermark > 0) {
+    const std::size_t depth = queue_.size();
+    if (depth >= config_.shed_low_watermark) {
+      // Deadline feasibility: if the expected wait behind `depth` queued
+      // solves (each taking the historical mean) already spends the
+      // request's own budget, admitting it would only let it expire in
+      // the queue — reject it now, while the caller can still retry
+      // elsewhere.  No history (mean 0) admits: never reject on a guess.
+      const double mean = solve_ms_->mean_ms();
+      const double deadline_ms =
+          static_cast<double>(job.request.deadline.count());
+      if (deadline_ms > 0 && mean > 0) {
+        const double predicted_wait = mean * static_cast<double>(depth) /
+                                      static_cast<double>(config_.workers);
+        if (predicted_wait + mean > deadline_ms) {
+          rejected_deadline_infeasible_->Increment();
+          CDD_TRACE_INSTANT("serve.rejected_deadline_infeasible");
+          response.status = SolveStatus::kRejectedDeadlineInfeasible;
+          response.error = "predicted wait exceeds deadline";
+          Deliver(job, std::move(response));
+          ResolveInflightFailure(key);
+          return future;
+        }
+      }
+      // Fair share: with multiple active tenants, one whose queued
+      // requests already fill its slice of the queue is shed before it
+      // can starve the rest.  Single-tenant deployments never trip this.
+      std::size_t active = 0;
+      std::size_t mine = 0;
+      {
+        const std::scoped_lock lock(tenant_mutex_);
+        active = tenant_queued_.size();
+        const auto it = tenant_queued_.find(job.request.tenant);
+        if (it == tenant_queued_.end()) {
+          ++active;  // this request would make the tenant active
+        } else {
+          mine = it->second;
+        }
+      }
+      if (active > 1 &&
+          mine >= std::max<std::size_t>(queue_.capacity() / active, 1)) {
+        shed_tenant_overquota_->Increment();
+        shed_overload_->Increment();
+        CDD_TRACE_INSTANT("serve.shed_tenant_overquota");
+        response.status = SolveStatus::kShedOverload;
+        response.error = "tenant over fair share";
+        Deliver(job, std::move(response));
+        ResolveInflightFailure(key);
+        return future;
+      }
+    }
+    if (depth >= config_.shed_high_watermark) {
+      // Overload: make room by displacing strictly-lower-priority queued
+      // work, or — when this arrival is itself the lowest — shed it.
+      if (auto victim = queue_.TryEvictLowest(job.request.priority)) {
+        ShedQueuedJob(std::move(*victim));
+      } else {
+        shed_overload_->Increment();
+        CDD_TRACE_INSTANT("serve.shed_overload");
+        response.status = SolveStatus::kShedOverload;
+        Deliver(job, std::move(response));
+        ResolveInflightFailure(key);
+        return future;
+      }
+    }
+  }
 
   const int priority = job.request.priority;
-  if (!queue_.TryPush(std::move(job), priority)) {
-    // TryPush moves only on success, so the job (and its promise, already
-    // tied to `future`) is still ours to answer.
-    rejected_queue_full_->Increment();
-    CDD_TRACE_INSTANT("serve.rejected_queue_full");
-    response.status = stopped_.load() ? SolveStatus::kShutdown
-                                      : SolveStatus::kRejectedQueueFull;
-    job.promise.set_value(std::move(response));
-    return future;
+  const std::string tenant = job.request.tenant;
+  switch (queue_.TryPush(std::move(job), priority)) {
+    case PushResult::kOk:
+      // TryPush moved the job; only the pre-saved tenant tag is needed.
+      TenantEnqueued(tenant);
+      enqueued_->Increment();
+      CDD_TRACE_INSTANT("serve.enqueued");
+      return future;
+    case PushResult::kClosed:
+      rejected_shutdown_->Increment();
+      CDD_TRACE_INSTANT("serve.rejected_shutting_down");
+      response.status = SolveStatus::kShuttingDown;
+      break;
+    case PushResult::kFull:
+      rejected_queue_full_->Increment();
+      CDD_TRACE_INSTANT("serve.rejected_queue_full");
+      response.status = SolveStatus::kRejectedQueueFull;
+      break;
   }
-  enqueued_->Increment();
-  CDD_TRACE_INSTANT("serve.enqueued");
+  // Refused push: the job (and its promise, already tied to `future`) is
+  // still ours to answer, and the flight must not strand any waiter that
+  // joined in the meantime.
+  Deliver(job, std::move(response));
+  ResolveInflightFailure(key);
   return future;
 }
 
@@ -191,11 +326,13 @@ void SolverService::Process(Job&& job, unsigned slot, unsigned depth) {
   response.id = job.request.id;
   response.queue_ms = MsSince(job.admitted, dequeued);
   queue_ms_->Record(response.queue_ms);
+  TenantDequeued(job.request.tenant);
 
   if (aborting_.load()) {
     response.status = SolveStatus::kShutdown;
     cancelled_->Increment();
-    job.promise.set_value(std::move(response));
+    Deliver(job, std::move(response));
+    ResolveInflightFailure(job.key);
     return;
   }
 
@@ -207,7 +344,8 @@ void SolverService::Process(Job&& job, unsigned slot, unsigned depth) {
     response.result = hit->result;
     response.device_seconds = hit->device_seconds;
     response.from_cache = true;
-    job.promise.set_value(std::move(response));
+    ResolveInflightSuccess(job.key, response);
+    Deliver(job, std::move(response));
     return;
   }
 
@@ -217,10 +355,12 @@ void SolverService::Process(Job&& job, unsigned slot, unsigned depth) {
   if (has_deadline) {
     const Clock::time_point deadline = job.admitted + job.request.deadline;
     if (dequeued >= deadline) {
-      // Expired while queued: answer without burning a solve.
+      // Expired while queued: answer without burning a solve.  Waiters do
+      // not inherit the expiry — one is re-elected to run for real.
       deadline_expired_->Increment();
       response.status = SolveStatus::kDeadlineExpired;
-      job.promise.set_value(std::move(response));
+      Deliver(job, std::move(response));
+      ResolveInflightFailure(job.key);
       return;
     }
     stop.SetDeadline(deadline);
@@ -306,8 +446,13 @@ void SolverService::Process(Job&& job, unsigned slot, unsigned depth) {
       while (status == meta::StepStatus::kRunning) {
         status = engine->Step(config_.preempt_slice);
         if (status != meta::StepStatus::kRunning) break;
-        if (depth >= kMaxPreemptDepth ||
-            queue_.MaxPriority() <= job.request.priority) {
+        if (queue_.MaxPriority() <= job.request.priority) continue;
+        if (depth >= config_.max_preempt_depth) {
+          // Higher-priority work is waiting but this worker's stack is at
+          // the nesting cap — count it so the starved wait is observable
+          // instead of a silent `continue`.
+          preempt_depth_limited_->Increment();
+          CDD_TRACE_INSTANT("serve.preempt_depth_limited");
           continue;
         }
         if (auto higher = queue_.TryPopAbove(job.request.priority)) {
@@ -382,7 +527,119 @@ void SolverService::Process(Job&& job, unsigned slot, unsigned depth) {
       idle_pools_.push_back(std::move(*request_pool));
     }
   }
+  if (response.status == SolveStatus::kOk) {
+    // Full-budget result: the cache entry (when reproducible) is already
+    // in place, so a duplicate racing with this removal hits the cache
+    // instead of finding a dead flight.
+    ResolveInflightSuccess(job.key, response);
+    Deliver(job, std::move(response));
+  } else {
+    // Truncated, cancelled or failed: the waiters must not inherit it.
+    Deliver(job, std::move(response));
+    ResolveInflightFailure(job.key);
+  }
+}
+
+void SolverService::Deliver(Job& job, SolveResponse&& response) {
+  if (job.on_done) {
+    try {
+      job.on_done(response);
+    } catch (...) {
+      // A throwing callback must never strand the promise.
+    }
+  }
   job.promise.set_value(std::move(response));
+}
+
+void SolverService::ResolveInflightSuccess(std::uint64_t key,
+                                           const SolveResponse& leader) {
+  for (InflightWaiter& waiter : inflight_.Complete(key)) {
+    SolveResponse response;
+    response.id = waiter.request.id;
+    response.status = leader.status == SolveStatus::kCacheHit
+                          ? SolveStatus::kCacheHit
+                          : SolveStatus::kOk;
+    response.result = leader.result;
+    response.device_seconds = leader.device_seconds;
+    response.solve_ms = leader.solve_ms;
+    response.queue_ms = MsSince(waiter.admitted, Clock::now());
+    response.from_cache = leader.from_cache;
+    response.coalesced = true;
+    if (waiter.on_done) {
+      try {
+        waiter.on_done(response);
+      } catch (...) {
+      }
+    }
+    waiter.promise.set_value(std::move(response));
+  }
+}
+
+void SolverService::ResolveInflightFailure(std::uint64_t key) {
+  // Promote the oldest waiter to leader and give it a real queue slot; a
+  // promoted waiter stranded by a closed or full queue is answered
+  // terminally and the next one tried, so the flight always drains.
+  while (auto waiter = inflight_.ReElect(key)) {
+    Job job;
+    job.request = std::move(waiter->request);
+    job.engine = registry_.Find(job.request.engine);
+    job.factory = registry_.FindFactory(job.request.engine);
+    job.key = key;
+    job.admitted = waiter->admitted;  // its own deadline clock, not the
+                                      // failed leader's
+    job.promise = std::move(waiter->promise);
+    job.on_done = std::move(waiter->on_done);
+    const int priority = job.request.priority;
+    const std::string tenant = job.request.tenant;
+    switch (queue_.TryPush(std::move(job), priority)) {
+      case PushResult::kOk:
+        TenantEnqueued(tenant);
+        coalesce_reelected_->Increment();
+        enqueued_->Increment();
+        CDD_TRACE_INSTANT("serve.coalesce_reelect");
+        return;
+      case PushResult::kClosed: {
+        SolveResponse response;
+        response.id = job.request.id;
+        response.status = SolveStatus::kShutdown;
+        cancelled_->Increment();
+        Deliver(job, std::move(response));
+        continue;
+      }
+      case PushResult::kFull: {
+        SolveResponse response;
+        response.id = job.request.id;
+        response.status = SolveStatus::kShedOverload;
+        shed_overload_->Increment();
+        Deliver(job, std::move(response));
+        continue;
+      }
+    }
+  }
+}
+
+void SolverService::ShedQueuedJob(Job&& victim) {
+  TenantDequeued(victim.request.tenant);
+  shed_overload_->Increment();
+  CDD_TRACE_INSTANT("serve.shed_overload");
+  SolveResponse response;
+  response.id = victim.request.id;
+  response.status = SolveStatus::kShedOverload;
+  response.queue_ms = MsSince(victim.admitted, Clock::now());
+  Deliver(victim, std::move(response));
+  ResolveInflightFailure(victim.key);
+}
+
+void SolverService::TenantEnqueued(const std::string& tenant) {
+  const std::scoped_lock lock(tenant_mutex_);
+  ++tenant_queued_[tenant];
+}
+
+void SolverService::TenantDequeued(const std::string& tenant) {
+  const std::scoped_lock lock(tenant_mutex_);
+  const auto it = tenant_queued_.find(tenant);
+  if (it == tenant_queued_.end()) return;
+  if (--it->second == 0) tenant_queued_.erase(it);
 }
 
 void SolverService::Shutdown() {

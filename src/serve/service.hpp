@@ -4,16 +4,26 @@
 ///
 /// Composition (one instance of each, wired in the constructor):
 ///
-///   Submit() -> [cache fast path] -> JobQueue (bounded, rejecting)
-///                                      -> WorkerPool -> EngineRegistry
-///                                           -> ResultCache / Metrics
+///   Submit() -> [cache fast path] -> [single-flight join]
+///                 -> [admission control] -> JobQueue (bounded, rejecting)
+///                     -> WorkerPool -> EngineRegistry
+///                          -> ResultCache / InflightTable / Metrics
 ///
 /// Invariants the tests pin down:
 ///  * No accepted request is ever lost: every future returned by Submit()
-///    resolves — solved, cache-served, deadline-expired, failed, or
-///    answered kShutdown during CancelAll().
+///    resolves — solved, cache-served, coalesced, deadline-expired,
+///    failed, shed, or answered kShutdown during CancelAll().
 ///  * Backpressure is synchronous: a full queue rejects at Submit() time
-///    with kRejectedQueueFull; nothing is silently queued beyond capacity.
+///    with kRejectedQueueFull (kShuttingDown once the queue is closed);
+///    nothing is silently queued beyond capacity.
+///  * Single-flight: concurrent requests with the same canonical key
+///    share one solve — duplicates attach as waiters to the in-flight
+///    leader and receive its bit-identical result.  A leader that cannot
+///    deliver a full-budget result re-elects a waiter instead of handing
+///    out a truncated one.
+///  * Overload sheds lowest-priority work first: past the high watermark
+///    an arrival either displaces strictly-lower-priority queued work
+///    (which is answered kShedOverload) or is itself shed.
 ///  * Deadlines are honored cooperatively: the worker arms a per-request
 ///    StopSource and the engine's search loop truncates; a request whose
 ///    deadline passed while queued is answered without solving at all.
@@ -27,15 +37,18 @@
 #include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/pool_allocator.hpp"
 #include "core/stop_token.hpp"
 #include "serve/engine_registry.hpp"
+#include "serve/inflight.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request.hpp"
@@ -84,6 +97,28 @@ struct ServiceConfig {
   /// Slicing never changes results (bit-identical split-run guarantee);
   /// it only reorders wall-clock time between requests.
   std::uint64_t preempt_slice = 0;
+  /// Nested-preemption cap: a worker's stack holds at most this many
+  /// paused solves.  At the cap, a queued higher-priority job waits for a
+  /// free worker like everyone else — observable through the
+  /// `preempt_depth_limited` counter and `serve.preempt_depth_limited`
+  /// trace instant, so starvation at the cap is never silent.
+  unsigned max_preempt_depth = 4;
+  /// Admission-control watermarks on queue depth.  0/0 (the default)
+  /// defers to CDD_SERVE_WATERMARKS ("low:high", absolute depths); when
+  /// that is unset too, admission control is off and the queue behaves
+  /// exactly as before (full -> kRejectedQueueFull).  With a high
+  /// watermark:
+  ///  * depth >= high: overload.  An arrival displaces the newest
+  ///    strictly-lower-priority queued job (answered kShedOverload) or,
+  ///    when it is itself lowest, is shed directly.
+  ///  * depth >= low: caution.  Requests whose deadline is provably
+  ///    unattainable (predicted wait from the solve-latency histogram
+  ///    already exceeds it) are rejected kRejectedDeadlineInfeasible, and
+  ///    tenants past their fair share (capacity / active tenants) are
+  ///    shed kShedOverload.
+  /// Both are clamped to the queue capacity (low additionally to high).
+  std::size_t shed_low_watermark = 0;
+  std::size_t shed_high_watermark = 0;
 };
 
 /// Concurrent solve service over the engine registry.  Thread-safe:
@@ -100,9 +135,23 @@ class SolverService {
   SolverService(const SolverService&) = delete;
   SolverService& operator=(const SolverService&) = delete;
 
+  /// Push-style completion hook: invoked exactly once with the final
+  /// response, from whatever thread produced it (a worker, or the
+  /// submitting thread for synchronous rejections and cache hits).  Must
+  /// not block — the socket front-end uses it to enqueue the wire reply.
+  using ResponseCallback = std::function<void(const SolveResponse&)>;
+
   /// Submits one request.  Always returns a valid future; rejections
-  /// (queue full, unknown engine) and cache hits resolve it immediately.
-  std::future<SolveResponse> Submit(SolveRequest request);
+  /// (queue full, unknown engine, shed) and cache hits resolve it
+  /// immediately.
+  std::future<SolveResponse> Submit(SolveRequest request) {
+    return Submit(std::move(request), nullptr);
+  }
+
+  /// Submit with a completion callback (the future remains valid too and
+  /// resolves after the callback runs).
+  std::future<SolveResponse> Submit(SolveRequest request,
+                                    ResponseCallback on_done);
 
   /// Graceful shutdown: stop admitting, let the workers drain every queued
   /// request to completion, join.  Idempotent.
@@ -136,11 +185,34 @@ class SolverService {
     std::uint64_t key = 0;
     std::chrono::steady_clock::time_point admitted;
     std::promise<SolveResponse> promise;
+    ResponseCallback on_done;
   };
 
   /// \p depth counts nested preemptions on this worker's stack (a
   /// preempting job can itself be preempted, up to a fixed cap).
   void Process(Job&& job, unsigned slot, unsigned depth = 0);
+
+  /// Invokes the callback (if any) and fulfills the promise — the single
+  /// funnel every response of an accepted or shed job goes through.
+  static void Deliver(Job& job, SolveResponse&& response);
+
+  /// Leader finished with a full-budget (or cached) result: answer every
+  /// waiter of \p key with a bit-identical copy and end the flight.
+  void ResolveInflightSuccess(std::uint64_t key,
+                              const SolveResponse& leader);
+
+  /// Leader could not produce a full result (deadline, shutdown, shed,
+  /// failure): promote the oldest waiter to leader and re-enqueue it; any
+  /// waiter stranded by a closed or full queue is answered terminally.
+  void ResolveInflightFailure(std::uint64_t key);
+
+  /// Answers a queued job displaced by overload shedding, including its
+  /// own flight's failure resolution.
+  void ShedQueuedJob(Job&& victim);
+
+  /// Admission bookkeeping for per-tenant fair share.
+  void TenantEnqueued(const std::string& tenant);
+  void TenantDequeued(const std::string& tenant);
 
   ServiceConfig config_;
   const EngineRegistry& registry_;
@@ -151,8 +223,15 @@ class SolverService {
   Counter* submitted_;
   Counter* enqueued_;
   Counter* rejected_queue_full_;
+  Counter* rejected_shutdown_;       ///< pushes refused by a *closed* queue
   Counter* rejected_unknown_engine_;
   Counter* rejected_invalid_instance_;
+  Counter* rejected_deadline_infeasible_;  ///< admission-time deadline math
+  Counter* shed_overload_;           ///< requests dropped past the high mark
+  Counter* shed_tenant_overquota_;   ///< fair-share sheds (subset of above)
+  Counter* coalesced_joins_;         ///< duplicates attached to a flight
+  Counter* coalesce_reelected_;      ///< waiters promoted to leader
+  Counter* preempt_depth_limited_;   ///< preemptions skipped at the cap
   Counter* cache_hits_;
   Counter* completed_;
   Counter* deadline_expired_;
@@ -187,6 +266,13 @@ class SolverService {
   /// serializes appends so lines from concurrent workers never interleave.
   std::mutex manifest_mutex_;
   std::ofstream manifest_;
+
+  /// Single-flight dedup of concurrent identical requests.
+  InflightTable inflight_;
+
+  /// Per-tenant queued-request counts for the fair-share admission check.
+  std::mutex tenant_mutex_;
+  std::unordered_map<std::string, std::size_t> tenant_queued_;
 
   JobQueue<Job> queue_;
   /// One reusable StopSource per worker slot so CancelAll() can reach the

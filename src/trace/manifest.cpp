@@ -67,18 +67,7 @@ std::vector<T> ParseIntArray(const JsonValue& value, const char* what) {
 
 }  // namespace
 
-std::uint64_t TrajectoryDigest(std::span<const Cost> trajectory) {
-  if (trajectory.empty()) return 0;
-  std::uint64_t h = kHashSeed;
-  h = HashCombine(h, trajectory.size());
-  for (const Cost cost : trajectory) {
-    h = HashCombine(h, static_cast<std::uint64_t>(cost));
-  }
-  return h;
-}
-
-std::string WriteManifestLine(const ManifestRecord& record) {
-  const Instance& instance = record.instance;
+void WriteInstanceJson(std::ostream& out, const Instance& instance) {
   std::vector<Time> proc;
   std::vector<Time> min_proc;
   std::vector<Cost> early;
@@ -96,22 +85,59 @@ std::string WriteManifestLine(const ManifestRecord& record) {
     tardy.push_back(job.tardy);
     compress.push_back(job.compress);
   }
+  std::ostringstream body;
+  body << "{\"problem\":\"" << ProblemName(instance.problem())
+       << "\",\"due\":" << instance.due_date() << ",";
+  WriteIntArray(body, "proc", proc);
+  body << ",";
+  WriteIntArray(body, "min_proc", min_proc);
+  body << ",";
+  WriteIntArray(body, "early", early);
+  body << ",";
+  WriteIntArray(body, "tardy", tardy);
+  body << ",";
+  WriteIntArray(body, "compress", compress);
+  body << "}";
+  out << body.str();
+}
 
+Instance ParseInstanceJson(const JsonValue& value) {
+  try {
+    const Problem problem = ProblemFromName(value.At("problem").AsString());
+    const Time due = value.At("due").AsInt();
+    auto proc = ParseIntArray<Time>(value.At("proc"), "proc");
+    auto min_proc = ParseIntArray<Time>(value.At("min_proc"), "min_proc");
+    auto early = ParseIntArray<Cost>(value.At("early"), "early");
+    auto tardy = ParseIntArray<Cost>(value.At("tardy"), "tardy");
+    auto compress = ParseIntArray<Cost>(value.At("compress"), "compress");
+    Instance instance(problem, due, std::move(proc), std::move(early),
+                      std::move(tardy), std::move(min_proc),
+                      std::move(compress));
+    instance.Validate();
+    return instance;
+  } catch (const JsonError& e) {
+    throw ManifestError(std::string("instance field error: ") + e.what());
+  } catch (const std::invalid_argument& e) {
+    throw ManifestError(std::string("instance invalid: ") + e.what());
+  }
+}
+
+std::uint64_t TrajectoryDigest(std::span<const Cost> trajectory) {
+  if (trajectory.empty()) return 0;
+  std::uint64_t h = kHashSeed;
+  h = HashCombine(h, trajectory.size());
+  for (const Cost cost : trajectory) {
+    h = HashCombine(h, static_cast<std::uint64_t>(cost));
+  }
+  return h;
+}
+
+std::string WriteManifestLine(const ManifestRecord& record) {
   std::ostringstream out;
   out << "{\"schema\":" << kManifestSchema << ",\"engine\":\""
-      << JsonEscape(record.engine) << "\",\"instance\":{\"problem\":\""
-      << ProblemName(instance.problem())
-      << "\",\"due\":" << instance.due_date() << ",";
-  WriteIntArray(out, "proc", proc);
-  out << ",";
-  WriteIntArray(out, "min_proc", min_proc);
-  out << ",";
-  WriteIntArray(out, "early", early);
-  out << ",";
-  WriteIntArray(out, "tardy", tardy);
-  out << ",";
-  WriteIntArray(out, "compress", compress);
-  out << "},\"instance_hash\":\"" << record.instance_hash
+      << JsonEscape(record.engine) << "\",\"instance\":";
+  WriteInstanceJson(out, record.instance);
+  out << ",\"instance_hash\":\"" << record.instance_hash
       << "\",\"options\":{\"generations\":" << record.options.generations
       << ",\"seed\":" << record.options.seed
       << ",\"ensemble\":" << record.options.ensemble
@@ -156,18 +182,7 @@ ManifestRecord ParseManifestLine(std::string_view line) {
     ManifestRecord record;
     record.engine = root.At("engine").AsString();
 
-    const JsonValue& inst = root.At("instance");
-    const Problem problem = ProblemFromName(inst.At("problem").AsString());
-    const Time due = inst.At("due").AsInt();
-    auto proc = ParseIntArray<Time>(inst.At("proc"), "proc");
-    auto min_proc = ParseIntArray<Time>(inst.At("min_proc"), "min_proc");
-    auto early = ParseIntArray<Cost>(inst.At("early"), "early");
-    auto tardy = ParseIntArray<Cost>(inst.At("tardy"), "tardy");
-    auto compress = ParseIntArray<Cost>(inst.At("compress"), "compress");
-    record.instance =
-        Instance(problem, due, std::move(proc), std::move(early),
-                 std::move(tardy), std::move(min_proc), std::move(compress));
-    record.instance.Validate();
+    record.instance = ParseInstanceJson(root.At("instance"));
 
     record.instance_hash =
         ParseU64String(root.At("instance_hash"), "instance_hash");

@@ -18,6 +18,7 @@
 /// (JSON numbers only guarantee 53 bits).
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -25,6 +26,7 @@
 
 #include "core/instance.hpp"
 #include "core/types.hpp"
+#include "trace/json.hpp"
 
 namespace cdd::trace {
 
@@ -74,6 +76,17 @@ struct ManifestRecord {
 
 /// Order-sensitive 64-bit digest of a best-so-far trajectory.
 std::uint64_t TrajectoryDigest(std::span<const Cost> trajectory);
+
+/// Writes the canonical instance JSON object — {"problem":"cdd","due":N,
+/// "proc":[...],"min_proc":[...],"early":[...],"tardy":[...],
+/// "compress":[...]} — shared by the run manifest and the serve wire
+/// format, so the two formats cannot drift apart.
+void WriteInstanceJson(std::ostream& out, const Instance& instance);
+
+/// Inverse of WriteInstanceJson over a parsed JSON object; validates the
+/// instance.  Throws ManifestError on missing fields, an unknown problem
+/// name, or data that fails Instance::Validate().
+Instance ParseInstanceJson(const JsonValue& value);
 
 /// Serializes \p record as one JSON line (no trailing newline).  The
 /// engine name is JSON-escaped, so hostile names cannot break the format.

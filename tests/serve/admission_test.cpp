@@ -1,0 +1,310 @@
+/// Admission control and load shedding in the SolverService: past the
+/// high watermark the lowest-priority work is shed first, tenants past
+/// their fair share are shed above the low watermark, provably
+/// deadline-infeasible requests are rejected at admission instead of
+/// expiring in the queue, and a worker at its preemption-depth cap
+/// records the starvation instead of hiding it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/test_instances.hpp"
+#include "meta/engine.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+
+namespace cdd::serve {
+namespace {
+
+/// Parks the "block" engine until Release(): with one worker busy on it,
+/// every subsequent submit is observed *queued*, making shed decisions
+/// deterministic.  Reset() re-arms the gate for a second parked solve.
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<unsigned> entered{0};
+
+  void Release() {
+    {
+      const std::scoped_lock lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void Reset() {
+    const std::scoped_lock lock(mutex);
+    open = false;
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return open; });
+  }
+};
+
+EngineRegistry BlockingRegistry(Gate* gate) {
+  EngineRegistry registry = EngineRegistry::Default();
+  registry.Register("block",
+                    [gate](const Instance& instance, const EngineOptions&) {
+                      gate->entered.fetch_add(1);
+                      gate->Wait();
+                      EngineRun run;
+                      run.result.best = IdentitySequence(instance.size());
+                      run.result.best_cost = 0;
+                      run.result.evaluations = 1;
+                      return run;
+                    });
+  return registry;
+}
+
+std::future<SolveResponse> ParkWorker(SolverService& service, Gate& gate,
+                                      unsigned nth = 1) {
+  SolveRequest blocker;
+  blocker.id = 9000 + nth;
+  blocker.instance = cdd::testing::RandomCdd(8, 0.5, 990 + nth);
+  blocker.engine = "block";
+  std::future<SolveResponse> parked = service.Submit(std::move(blocker));
+  while (gate.entered.load() < nth) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return parked;
+}
+
+SolveRequest DistinctRequest(std::uint64_t id, int priority) {
+  SolveRequest request;
+  request.id = id;
+  request.instance =
+      cdd::testing::RandomCdd(10, 0.5, /*seed=*/id);
+  request.engine = "sa";
+  request.options.generations = 100;
+  request.priority = priority;
+  return request;
+}
+
+TEST(ServiceAdmission, OverloadShedsLowestPriorityFirst) {
+  Gate gate;
+  const EngineRegistry registry = BlockingRegistry(&gate);
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 8;
+  config.cache_capacity = 0;
+  config.shed_low_watermark = 1;
+  config.shed_high_watermark = 4;
+  SolverService service(config, registry);
+  std::future<SolveResponse> parked = ParkWorker(service, gate);
+
+  // Fill to the high watermark with priorities 5..2, then offer two
+  // lower-priority requests (shed on arrival) and one higher-priority
+  // request (displaces the queued priority-2 victim).
+  const std::vector<int> priorities = {5, 4, 3, 2, 1, 0, 6};
+  std::vector<std::future<SolveResponse>> futures;
+  for (std::size_t i = 0; i < priorities.size(); ++i) {
+    futures.push_back(
+        service.Submit(DistinctRequest(10 + i, priorities[i])));
+  }
+
+  // The shed answers resolve synchronously: prio 1 and prio 0 on arrival,
+  // prio 2 displaced by the prio-6 arrival.
+  for (const std::size_t shed_index : {std::size_t{3}, std::size_t{4},
+                                       std::size_t{5}}) {
+    ASSERT_EQ(futures[shed_index].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "priority " << priorities[shed_index];
+    EXPECT_EQ(futures[shed_index].get().status,
+              SolveStatus::kShedOverload);
+  }
+  EXPECT_EQ(service.metrics().counter("shed_overload").value(), 3u);
+
+  gate.Release();
+  parked.get();
+  // The survivors (priorities 6, 5, 4, 3) all complete.
+  for (const std::size_t kept_index : {std::size_t{0}, std::size_t{1},
+                                       std::size_t{2}, std::size_t{6}}) {
+    EXPECT_EQ(futures[kept_index].get().status, SolveStatus::kOk);
+  }
+  service.Shutdown();
+}
+
+TEST(ServiceAdmission, TenantOverFairShareIsShed) {
+  Gate gate;
+  const EngineRegistry registry = BlockingRegistry(&gate);
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 8;  // fair share with 2 tenants: 8 / 2 = 4
+  config.cache_capacity = 0;
+  config.shed_low_watermark = 1;
+  config.shed_high_watermark = 8;
+  SolverService service(config, registry);
+  std::future<SolveResponse> parked = ParkWorker(service, gate);
+
+  std::vector<std::future<SolveResponse>> greedy;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    SolveRequest request = DistinctRequest(20 + i, 0);
+    request.tenant = "greedy";
+    greedy.push_back(service.Submit(std::move(request)));
+  }
+  // A second tenant makes fair share enforceable (active > 1)...
+  SolveRequest modest = DistinctRequest(30, 0);
+  modest.tenant = "modest";
+  std::future<SolveResponse> modest_future =
+      service.Submit(std::move(modest));
+
+  // ...so the greedy tenant's fifth request (its share is 4) is shed.
+  SolveRequest fifth = DistinctRequest(31, 0);
+  fifth.tenant = "greedy";
+  std::future<SolveResponse> fifth_future =
+      service.Submit(std::move(fifth));
+  ASSERT_EQ(fifth_future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(fifth_future.get().status, SolveStatus::kShedOverload);
+  EXPECT_EQ(service.metrics().counter("shed_tenant_overquota").value(), 1u);
+
+  gate.Release();
+  parked.get();
+  for (auto& future : greedy) {
+    EXPECT_EQ(future.get().status, SolveStatus::kOk);
+  }
+  EXPECT_EQ(modest_future.get().status, SolveStatus::kOk);
+  service.Shutdown();
+}
+
+TEST(ServiceAdmission, DeadlineInfeasibleRejectedAtAdmission) {
+  Gate gate;
+  const EngineRegistry registry = BlockingRegistry(&gate);
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 8;
+  config.cache_capacity = 0;
+  config.shed_low_watermark = 1;
+  config.shed_high_watermark = 8;
+  SolverService service(config, registry);
+
+  // Seed the solve-latency history with one ~30ms solve, so the predictor
+  // has a mean to work with (no history admits unconditionally).
+  std::future<SolveResponse> first = ParkWorker(service, gate, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.Release();
+  first.get();
+
+  // Park the worker again and queue one request: depth 1 >= low.
+  gate.Reset();
+  std::future<SolveResponse> parked = ParkWorker(service, gate, 2);
+  std::future<SolveResponse> filler =
+      service.Submit(DistinctRequest(40, 0));
+
+  // A 1ms deadline behind a ~30ms mean queue wait is provably infeasible:
+  // rejected at admission, before it could expire in the queue.
+  SolveRequest doomed = DistinctRequest(41, 0);
+  doomed.deadline = std::chrono::milliseconds(1);
+  std::future<SolveResponse> doomed_future =
+      service.Submit(std::move(doomed));
+  ASSERT_EQ(doomed_future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(doomed_future.get().status,
+            SolveStatus::kRejectedDeadlineInfeasible);
+  EXPECT_EQ(
+      service.metrics().counter("rejected_deadline_infeasible").value(),
+      1u);
+
+  gate.Release();
+  parked.get();
+  EXPECT_EQ(filler.get().status, SolveStatus::kOk);
+  service.Shutdown();
+}
+
+/// Deterministic stand-in engine: each Step unit burns ~1ms of wall time
+/// (same device as preempt_test.cpp), so preemption-check boundaries are
+/// hit many times while a higher-priority request waits.
+class PacedEngine final : public meta::Engine {
+ public:
+  PacedEngine(std::uint64_t budget, std::atomic<bool>* started)
+      : budget_(budget), started_(started) {}
+
+  meta::StepStatus Step(std::uint64_t units) override {
+    if (started_ != nullptr) started_->store(true);
+    while (units > 0 && consumed_ < budget_) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++consumed_;
+      --units;
+    }
+    return consumed_ < budget_ ? meta::StepStatus::kRunning
+                               : meta::StepStatus::kDone;
+  }
+
+  std::uint64_t Remaining() const override { return budget_ - consumed_; }
+  Cost BestCost() const override { return 0; }
+
+  std::unique_ptr<meta::EngineCheckpoint> Checkpoint() const override {
+    return std::make_unique<meta::EngineCheckpoint>();
+  }
+  void Restore(const meta::EngineCheckpoint&) override {}
+
+  meta::EngineOutput Finish() override {
+    meta::EngineOutput out;
+    out.result.best_cost = 0;
+    out.result.evaluations = consumed_;
+    return out;
+  }
+
+ private:
+  std::uint64_t budget_;
+  std::uint64_t consumed_ = 0;
+  std::atomic<bool>* started_;
+};
+
+TEST(ServiceAdmission, PreemptDepthCapIsCountedNotSilent) {
+  std::atomic<bool> slow_started{false};
+  EngineRegistry registry;
+  registry.RegisterFactory(
+      "slow", [&](const Instance&, const EngineOptions&) {
+        return std::make_unique<PacedEngine>(60, &slow_started);
+      });
+  registry.RegisterFactory(
+      "fast", [](const Instance&, const EngineOptions&) {
+        return std::make_unique<PacedEngine>(1, nullptr);
+      });
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.cache_capacity = 0;
+  config.preempt_slice = 2;
+  config.max_preempt_depth = 0;  // preemption allowed by slice, barred by cap
+  SolverService service(config, registry);
+
+  SolveRequest low;
+  low.id = 1;
+  low.instance = cdd::testing::PaperExampleCdd();
+  low.engine = "slow";
+  low.priority = 0;
+  std::future<SolveResponse> low_future = service.Submit(std::move(low));
+  while (!slow_started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  SolveRequest high;
+  high.id = 2;
+  high.instance = cdd::testing::PaperExampleCdd();
+  high.engine = "fast";
+  high.priority = 5;
+  std::future<SolveResponse> high_future = service.Submit(std::move(high));
+
+  // At depth cap 0 the worker may never pause the running solve: the
+  // high-priority request waits its turn, and every slice boundary that
+  // would have preempted is counted instead of silently skipped.
+  EXPECT_EQ(low_future.get().status, SolveStatus::kOk);
+  EXPECT_EQ(high_future.get().status, SolveStatus::kOk);
+  EXPECT_EQ(service.metrics().counter("preemptions").value(), 0u);
+  EXPECT_GE(service.metrics().counter("preempt_depth_limited").value(), 1u);
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace cdd::serve

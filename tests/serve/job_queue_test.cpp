@@ -17,7 +17,7 @@ namespace {
 TEST(JobQueue, FifoOrder) {
   JobQueue<int> queue(8);
   for (int i = 0; i < 5; ++i) {
-    EXPECT_TRUE(queue.TryPush(int(i)));
+    EXPECT_EQ(PushResult::kOk, queue.TryPush(int(i)));
   }
   EXPECT_EQ(queue.size(), 5u);
   for (int i = 0; i < 5; ++i) {
@@ -30,15 +30,15 @@ TEST(JobQueue, FifoOrder) {
 
 TEST(JobQueue, RejectsWhenFull) {
   JobQueue<int> queue(2);
-  EXPECT_TRUE(queue.TryPush(1));
-  EXPECT_TRUE(queue.TryPush(2));
-  EXPECT_FALSE(queue.TryPush(3));  // backpressure, not blocking
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(1));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(2));
+  EXPECT_EQ(PushResult::kFull, queue.TryPush(3));  // backpressure, not blocking
   EXPECT_EQ(queue.size(), 2u);
 
   // Popping one frees one slot.
   EXPECT_TRUE(queue.TryPop().has_value());
-  EXPECT_TRUE(queue.TryPush(3));
-  EXPECT_FALSE(queue.TryPush(4));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(3));
+  EXPECT_EQ(PushResult::kFull, queue.TryPush(4));
 }
 
 TEST(JobQueue, FailedPushLeavesItemIntact) {
@@ -46,26 +46,27 @@ TEST(JobQueue, FailedPushLeavesItemIntact) {
   // the service relies on this to answer the rejection through the job's
   // still-valid promise.
   JobQueue<std::string> queue(1);
-  EXPECT_TRUE(queue.TryPush("first"));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush("first"));
   std::string rejected = "keep me";
-  EXPECT_FALSE(queue.TryPush(std::move(rejected)));
+  EXPECT_EQ(PushResult::kFull, queue.TryPush(std::move(rejected)));
   EXPECT_EQ(rejected, "keep me");
 }
 
 TEST(JobQueue, ZeroCapacityIsClampedToOne) {
   JobQueue<int> queue(0);
   EXPECT_EQ(queue.capacity(), 1u);
-  EXPECT_TRUE(queue.TryPush(1));
-  EXPECT_FALSE(queue.TryPush(2));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(1));
+  EXPECT_EQ(PushResult::kFull, queue.TryPush(2));
 }
 
 TEST(JobQueue, CloseRejectsProducersButDrainsConsumers) {
   JobQueue<int> queue(8);
-  EXPECT_TRUE(queue.TryPush(1));
-  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(1));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(2));
   queue.Close();
   EXPECT_TRUE(queue.closed());
-  EXPECT_FALSE(queue.TryPush(3));
+  // Closed is reported as closed, not conflated with backpressure.
+  EXPECT_EQ(PushResult::kClosed, queue.TryPush(3));
 
   // Accepted items are still delivered after Close ...
   EXPECT_EQ(queue.Pop(), std::optional<int>(1));
@@ -97,11 +98,11 @@ TEST(JobQueue, CloseWakesBlockedConsumer) {
 
 TEST(JobQueue, HigherPriorityPopsFirstFifoWithinLevel) {
   JobQueue<int> queue(8);
-  EXPECT_TRUE(queue.TryPush(1, /*priority=*/0));
-  EXPECT_TRUE(queue.TryPush(2, /*priority=*/5));
-  EXPECT_TRUE(queue.TryPush(3, /*priority=*/5));
-  EXPECT_TRUE(queue.TryPush(4, /*priority=*/-1));
-  EXPECT_TRUE(queue.TryPush(5, /*priority=*/0));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(1, /*priority=*/0));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(2, /*priority=*/5));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(3, /*priority=*/5));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(4, /*priority=*/-1));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(5, /*priority=*/0));
 
   EXPECT_EQ(queue.TryPop(), std::optional<int>(2));  // highest level ...
   EXPECT_EQ(queue.TryPop(), std::optional<int>(3));  // ... FIFO within it
@@ -115,8 +116,8 @@ TEST(JobQueue, MaxPriorityAndTryPopAbove) {
   EXPECT_EQ(queue.MaxPriority(), JobQueue<int>::kNoPriority);
   EXPECT_FALSE(queue.TryPopAbove(0).has_value());
 
-  EXPECT_TRUE(queue.TryPush(1, /*priority=*/0));
-  EXPECT_TRUE(queue.TryPush(2, /*priority=*/3));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(1, /*priority=*/0));
+  EXPECT_EQ(PushResult::kOk, queue.TryPush(2, /*priority=*/3));
   EXPECT_EQ(queue.MaxPriority(), 3);
 
   // The preemption check: nothing strictly above 3, but 3 beats 0.
@@ -143,7 +144,7 @@ TEST(JobQueue, MpmcStressDeliversEveryItemExactlyOnce) {
         int value = p * kPerProducer + i;
         // Closed-loop retry: backpressure rejections are re-offered, so
         // every value eventually lands exactly once.
-        while (!queue.TryPush(int(value))) {
+        while (queue.TryPush(int(value)) != PushResult::kOk) {
           rejected.fetch_add(1);
           std::this_thread::yield();
         }

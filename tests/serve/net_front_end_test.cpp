@@ -1,0 +1,150 @@
+/// The epoll socket front-end end-to-end: request/response round-trips
+/// over a real TCP connection, keep-alive reuse, per-frame errors that
+/// leave the connection usable, broken framing that answers once and
+/// closes, and the max_conns accept cap.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/test_instances.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/frame.hpp"
+#include "serve/net/front_end.hpp"
+#include "serve/net/wire.hpp"
+#include "serve/service.hpp"
+
+namespace cdd::serve::net {
+namespace {
+
+SolveRequest SmallRequest(std::uint64_t id) {
+  SolveRequest request;
+  request.id = id;
+  request.instance = cdd::testing::PaperExampleCdd();
+  request.engine = "sa";
+  request.options.generations = 100;
+  return request;
+}
+
+bool AwaitCounter(SolverService& service, const char* name,
+                  std::uint64_t at_least) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.metrics().counter(name).value() < at_least) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST(FrontEnd, RoundTripAndKeepAlive) {
+  ServiceConfig config;
+  config.workers = 2;
+  SolverService service(config);
+  FrontEndConfig net;
+  net.port = 0;  // ephemeral
+  FrontEnd front_end(net, service);
+  ASSERT_GT(front_end.port(), 0);
+
+  BlockingClient client("127.0.0.1", front_end.port());
+  SolveResponse first;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const SolveResponse response = client.Call(SmallRequest(i));
+    EXPECT_EQ(response.id, i);
+    ASSERT_TRUE(response.status == SolveStatus::kOk ||
+                response.status == SolveStatus::kCacheHit);
+    EXPECT_FALSE(response.result.best.empty());
+    if (i == 0) {
+      first = response;
+    } else {
+      // Identical re-offers are cache hits with the identical result.
+      EXPECT_EQ(response.status, SolveStatus::kCacheHit);
+      EXPECT_EQ(response.result.best, first.result.best);
+      EXPECT_EQ(response.result.best_cost, first.result.best_cost);
+    }
+  }
+  // Keep-alive: one accepted connection served all three frames.
+  EXPECT_EQ(front_end.connections(), 1u);
+  EXPECT_EQ(service.metrics().counter("net_accepted").value(), 1u);
+  EXPECT_EQ(service.metrics().counter("net_frames_in").value(), 3u);
+  EXPECT_EQ(service.metrics().counter("net_frames_out").value(), 3u);
+  front_end.Stop();
+  service.Shutdown();
+}
+
+TEST(FrontEnd, MalformedRequestGetsErrorReplyConnectionSurvives) {
+  ServiceConfig config;
+  config.workers = 1;
+  SolverService service(config);
+  FrontEndConfig net;
+  net.port = 0;
+  FrontEnd front_end(net, service);
+
+  BlockingClient client("127.0.0.1", front_end.port());
+  // Valid frame, defective payload: per-frame error, stream stays in sync.
+  client.SendRaw(EncodeFrame(R"({"op":"nope"})"));
+  const SolveResponse error = client.Receive();
+  EXPECT_EQ(error.status, SolveStatus::kFailed);
+  EXPECT_FALSE(error.error.empty());
+  EXPECT_GE(service.metrics().counter("net_protocol_errors").value(), 1u);
+
+  // The same connection still serves real requests afterwards.
+  const SolveResponse good = client.Call(SmallRequest(4));
+  EXPECT_EQ(good.id, 4u);
+  EXPECT_EQ(good.status, SolveStatus::kOk);
+  front_end.Stop();
+  service.Shutdown();
+}
+
+TEST(FrontEnd, BrokenFramingAnswersOnceThenCloses) {
+  ServiceConfig config;
+  config.workers = 1;
+  SolverService service(config);
+  FrontEndConfig net;
+  net.port = 0;
+  FrontEnd front_end(net, service);
+
+  BlockingClient client("127.0.0.1", front_end.port());
+  // A zero length prefix cannot be resynchronized from.
+  client.SendRaw(std::string(4, '\0'));
+  const SolveResponse error = client.Receive();
+  EXPECT_EQ(error.status, SolveStatus::kFailed);
+  // The server hangs up after draining the error reply.
+  EXPECT_THROW(client.ReceiveFramePayload(), ClientError);
+  front_end.Stop();
+  service.Shutdown();
+}
+
+TEST(FrontEnd, MaxConnsCapClosesExcessClients) {
+  ServiceConfig config;
+  config.workers = 1;
+  SolverService service(config);
+  FrontEndConfig net;
+  net.port = 0;
+  net.max_conns = 1;
+  FrontEnd front_end(net, service);
+
+  BlockingClient first("127.0.0.1", front_end.port());
+  EXPECT_EQ(first.Call(SmallRequest(1)).status, SolveStatus::kOk);
+
+  // The TCP handshake still succeeds (kernel backlog), but the front-end
+  // closes the excess connection at accept time.
+  BlockingClient second("127.0.0.1", front_end.port());
+  ASSERT_TRUE(AwaitCounter(service, "net_rejected_max_conns", 1));
+  EXPECT_THROW(
+      {
+        second.Send(SmallRequest(2));
+        (void)second.Receive();
+      },
+      ClientError);
+
+  // The first connection is unaffected (identical re-offer: cache hit).
+  EXPECT_EQ(first.Call(SmallRequest(3)).status, SolveStatus::kCacheHit);
+  front_end.Stop();
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace cdd::serve::net

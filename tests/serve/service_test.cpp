@@ -283,9 +283,12 @@ TEST(SolverService, ShutdownDrainsQueuedWork) {
                 response.status == SolveStatus::kCacheHit)
         << ToString(response.status);
   }
-  // After shutdown, new submissions are answered kShutdown, not queued.
+  // After shutdown, new submissions are answered kShuttingDown (a closed
+  // queue, distinct from backpressure on a live one), not queued.
   const SolveResponse late = service.Submit(SmallRequest(99, 99)).get();
-  EXPECT_EQ(late.status, SolveStatus::kShutdown);
+  EXPECT_EQ(late.status, SolveStatus::kShuttingDown);
+  EXPECT_EQ(service.metrics().counter("rejected_shutdown").value(), 1u);
+  EXPECT_EQ(service.metrics().counter("rejected_queue_full").value(), 0u);
 }
 
 TEST(SolverService, CancelAllStopsBusyWorkersAndAnswersEveryFuture) {
@@ -396,8 +399,14 @@ TEST(SolverService, ThousandMixedRequestsNoneLostCacheWarm) {
 
   const CacheStats cache = service.cache().stats();
   EXPECT_GT(cache.hits, 0u);  // the 25% duplicate traffic paid off
+  // Every request was answered by exactly one of: a fresh solve, the
+  // result cache, or a coalesced join onto an in-flight duplicate.  A
+  // re-elected waiter counts twice (once joined, once completed), so it
+  // is subtracted back out; nothing fails here, so it stays zero anyway.
   EXPECT_EQ(service.metrics().counter("completed").value() +
-                service.metrics().counter("cache_hits").value(),
+                service.metrics().counter("cache_hits").value() +
+                service.metrics().counter("coalesced_joins").value() -
+                service.metrics().counter("coalesce_reelected").value(),
             kRequests);
 }
 

@@ -9,22 +9,35 @@
 ///   sched_serve --requests 1000 --dup-frac 0.25 --workers 8
 ///   sched_serve --requests 500 --engines sa,ta,es --deadline-ms 50
 ///   sched_serve --file requests.txt --metrics
+///   sched_serve --requests 200 --listen 0 --clients 8  # full wire path
 ///
 /// Request-file format: one request per line,
 ///   engine problem n index h gens seed deadline_ms [priority]
 /// e.g. "sa cdd 50 3 0.6 1000 1 250"; '#' starts a comment; the optional
 /// trailing priority (default 0) dequeues higher values first and, with
 /// --preempt-slice, preempts lower-priority runs at Step boundaries.
+/// A malformed priority field is a hard error with a path:line diagnostic
+/// — a typo must not silently run at priority 0.
+///
+/// With --listen the tool starts the epoll socket front-end on loopback
+/// and drives the same workload through keep-alive wire-protocol
+/// connections (--clients of them), exercising framing, parsing and the
+/// callback delivery path end to end.
 ///
 /// A rejected submission (bounded queue full) is retried with backoff
 /// until admitted, so the run terminates with zero lost requests by
 /// construction — backpressure slows the feeder down instead of dropping
-/// work on the floor.
+/// work on the floor.  Shed and deadline-infeasible responses (admission
+/// control; see --watermarks) are terminal outcomes, reported per status.
 
+#include <atomic>
+#include <charconv>
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -33,6 +46,8 @@
 #include "benchutil/table.hpp"
 #include "orlib/biskup_feldmann.hpp"
 #include "rng/philox.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/front_end.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -69,6 +84,15 @@ void PrintUsage() {
       "                      serial|host-parallel (default\n"
       "                      CDD_EXEC_BACKEND with an oversubscription\n"
       "                      guard; results are backend-invariant)\n"
+      "  --watermarks L:H    admission-control queue-depth watermarks\n"
+      "                      (default CDD_SERVE_WATERMARKS, else off)\n"
+      "  --manifest PATH     append a JSONL run manifest of every\n"
+      "                      completed solve (replayable, bit-identical)\n"
+      "Socket front-end:\n"
+      "  --listen PORT       serve the workload through the epoll socket\n"
+      "                      front-end on 127.0.0.1:PORT (0 = ephemeral)\n"
+      "  --max-conns N       connection cap of the listener (default 256)\n"
+      "  --clients C         wire-protocol client connections (default 8)\n"
       "Output:\n"
       "  --metrics           print the metrics JSON snapshot\n"
       "  --quiet             suppress the per-run summary table\n";
@@ -132,7 +156,25 @@ std::vector<serve::SolveRequest> LoadRequestFile(const std::string& path) {
                                ": malformed request line '" + line + "'");
     }
     int priority = 0;
-    fields >> priority;  // optional trailing field, default 0
+    if (std::string priority_text; fields >> priority_text) {
+      // Strict: the trailing field, when present, must be a whole
+      // integer.  A typo ("1O", "high") must fail loudly, not silently
+      // schedule the request at priority 0.
+      const char* first = priority_text.data();
+      const char* last = first + priority_text.size();
+      const auto [ptr, ec] = std::from_chars(first, last, priority);
+      if (ec != std::errc() || ptr != last) {
+        throw std::runtime_error(
+            path + ":" + std::to_string(line_no) +
+            ": malformed priority '" + priority_text + "' in '" + line +
+            "'");
+      }
+      if (std::string extra; fields >> extra) {
+        throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                                 ": trailing field '" + extra + "' in '" +
+                                 line + "'");
+      }
+    }
     if (problem != "cdd" && problem != "ucddcp") {
       throw std::runtime_error("bad problem '" + problem + "' in " + path);
     }
@@ -278,6 +320,25 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    config.manifest_path = args.GetString("manifest", "");
+    if (const std::string watermarks = args.GetString("watermarks", "");
+        !watermarks.empty()) {
+      std::size_t low = 0;
+      std::size_t high = 0;
+      const char* first = watermarks.data();
+      const char* last = first + watermarks.size();
+      const auto low_end = std::from_chars(first, last, low);
+      if (low_end.ec != std::errc() || low_end.ptr == last ||
+          *low_end.ptr != ':' ||
+          std::from_chars(low_end.ptr + 1, last, high).ptr != last ||
+          high == 0) {
+        std::cerr << "error: --watermarks wants LOW:HIGH depths, got '"
+                  << watermarks << "'\n";
+        return 1;
+      }
+      config.shed_low_watermark = low;
+      config.shed_high_watermark = high;
+    }
     serve::SolverService service(config);
 
     std::cout << "sched_serve: " << workload.size() << " requests, "
@@ -287,23 +348,77 @@ int main(int argc, char** argv) {
               << core::ToString(service.pool_backend()) << ", exec "
               << sim::exec::ToString(service.exec_backend()) << "\n";
 
-    const auto t_start = std::chrono::steady_clock::now();
-    WorkloadStats stats;
-    std::vector<std::future<serve::SolveResponse>> futures;
-    futures.reserve(workload.size());
-    for (serve::SolveRequest& request : workload) {
-      futures.push_back(
-          SubmitReliably(service, std::move(request), stats));
+    std::optional<serve::net::FrontEnd> front_end;
+    if (args.Has("listen")) {
+      serve::net::FrontEndConfig net_config;
+      net_config.port =
+          static_cast<std::uint16_t>(args.GetInt("listen", 0));
+      net_config.max_conns =
+          static_cast<std::size_t>(args.GetInt("max-conns", 256));
+      front_end.emplace(net_config, service);
+      std::cout << "listening on 127.0.0.1:" << front_end->port()
+                << " (max-conns " << net_config.max_conns << ")\n";
     }
 
+    const std::size_t total_requests = workload.size();
+    const auto t_start = std::chrono::steady_clock::now();
+    WorkloadStats stats;
     std::map<std::string, std::size_t> by_status;
     std::size_t resolved = 0;
     Cost cost_sum = 0;
-    for (auto& future : futures) {
-      serve::SolveResponse response = future.get();
-      ++resolved;
-      ++by_status[std::string(serve::ToString(response.status))];
-      if (response.ok()) cost_sum += response.result.best_cost;
+
+    if (front_end) {
+      // Wire path: closed-loop clients over keep-alive connections, each
+      // retrying its own backpressure rejections — the socket equivalent
+      // of SubmitReliably.
+      const auto clients = static_cast<std::size_t>(
+          std::max<std::int64_t>(args.GetInt("clients", 8), 1));
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> retries{0};
+      std::mutex aggregate_mutex;
+      const auto client_loop = [&] {
+        serve::net::BlockingClient client("127.0.0.1",
+                                          front_end->port());
+        for (;;) {
+          const std::size_t k = next.fetch_add(1);
+          if (k >= workload.size()) break;
+          serve::SolveResponse response;
+          for (;;) {
+            response = client.Call(workload[k]);
+            if (response.status !=
+                serve::SolveStatus::kRejectedQueueFull) {
+              break;
+            }
+            retries.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+          const std::scoped_lock lock(aggregate_mutex);
+          ++resolved;
+          ++by_status[std::string(serve::ToString(response.status))];
+          if (response.ok()) cost_sum += response.result.best_cost;
+        }
+      };
+      std::vector<std::thread> threads;
+      for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back(client_loop);
+      }
+      for (std::thread& t : threads) t.join();
+      stats.submitted = total_requests;
+      stats.retries = retries.load();
+      front_end->Stop();
+    } else {
+      std::vector<std::future<serve::SolveResponse>> futures;
+      futures.reserve(workload.size());
+      for (serve::SolveRequest& request : workload) {
+        futures.push_back(
+            SubmitReliably(service, std::move(request), stats));
+      }
+      for (auto& future : futures) {
+        serve::SolveResponse response = future.get();
+        ++resolved;
+        ++by_status[std::string(serve::ToString(response.status))];
+        if (response.ok()) cost_sum += response.result.best_cost;
+      }
     }
     service.Shutdown();
     const double wall =
@@ -324,7 +439,7 @@ int main(int argc, char** argv) {
         table.AddRow({status, std::to_string(count)});
       }
       std::cout << table.ToString();
-      std::cout << "resolved " << resolved << "/" << futures.size()
+      std::cout << "resolved " << resolved << "/" << total_requests
                 << " requests in " << wall << " s ("
                 << static_cast<double>(resolved) / wall
                 << " req/s), retries " << stats.retries
@@ -334,7 +449,7 @@ int main(int argc, char** argv) {
       std::cout << service.metrics().SnapshotJson() << "\n";
     }
 
-    const bool lost = resolved != futures.size();
+    const bool lost = resolved != total_requests;
     const bool failed = by_status.count("failed") > 0 ||
                         by_status.count("rejected_unknown_engine") > 0;
     if (lost) std::cerr << "error: lost requests\n";
