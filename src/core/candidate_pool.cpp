@@ -20,28 +20,40 @@ std::size_t RoundUpTo64(std::size_t bytes) {
 
 }  // namespace
 
-CandidatePool::CandidatePool(std::size_t n, std::size_t capacity)
-    : CandidatePool(n, capacity, core::ActivePoolAllocator()) {}
+CandidatePool::CandidatePool(std::size_t n, std::size_t capacity,
+                             std::size_t machines)
+    : CandidatePool(n, capacity, core::ActivePoolAllocator(), machines) {}
 
 CandidatePool::CandidatePool(std::size_t n, std::size_t capacity,
-                             core::PoolAllocator& allocator)
+                             core::PoolAllocator& allocator,
+                             std::size_t machines)
     : n_(n),
       stride_(RoundUpToRowAlign(n)),
-      capacity_(std::max<std::size_t>(capacity, 1)) {
+      capacity_(std::max<std::size_t>(capacity, 1)),
+      machines_(machines) {
   if (n == 0) {
     throw std::invalid_argument("CandidatePool: n must be >= 1");
   }
+  if (machines == 0) {
+    throw std::invalid_argument("CandidatePool: machines must be >= 1");
+  }
 
-  // One contiguous block, four 64-byte-aligned sections:
-  //   [ seqs | shadow | costs | pinned ]
-  // so a pool costs its allocator exactly one Allocate and the fallback
-  // decision is made once, for all four arrays together.
+  // One contiguous block of 64-byte-aligned sections:
+  //   [ seqs | shadow | costs | pinned | splits | shadow-splits ]
+  // (the two splits sections exist only for multi-machine pools) so a pool
+  // costs its allocator exactly one Allocate and the fallback decision is
+  // made once, for all arrays together.
   const std::size_t rows_bytes =
       RoundUpTo64(stride_ * capacity_ * sizeof(JobId));
   const std::size_t costs_bytes = RoundUpTo64(capacity_ * sizeof(Cost));
   const std::size_t pinned_bytes =
       RoundUpTo64(capacity_ * sizeof(std::int32_t));
-  block_bytes_ = 2 * rows_bytes + costs_bytes + pinned_bytes;
+  const std::size_t splits_bytes =
+      machines_ > 1
+          ? RoundUpTo64((machines_ - 1) * capacity_ * sizeof(std::int32_t))
+          : 0;
+  block_bytes_ =
+      2 * rows_bytes + costs_bytes + pinned_bytes + 2 * splits_bytes;
 
   allocator_ = &allocator;
   block_ = allocator_->Allocate(block_bytes_, 64);
@@ -64,6 +76,12 @@ CandidatePool::CandidatePool(std::size_t n, std::size_t capacity,
   costs_ = reinterpret_cast<Cost*>(base + 2 * rows_bytes);
   pinned_ = reinterpret_cast<std::int32_t*>(base + 2 * rows_bytes +
                                             costs_bytes);
+  if (machines_ > 1) {
+    splits_ = reinterpret_cast<std::int32_t*>(base + 2 * rows_bytes +
+                                              costs_bytes + pinned_bytes);
+    shadow_splits_ = reinterpret_cast<std::int32_t*>(
+        base + 2 * rows_bytes + costs_bytes + pinned_bytes + splits_bytes);
+  }
 
   // Deterministic initial contents (what the std::vector storage used to
   // guarantee) — also the first-touch pass for the NUMA backend.
@@ -71,6 +89,10 @@ CandidatePool::CandidatePool(std::size_t n, std::size_t capacity,
   std::memset(shadow_, 0, rows_bytes);
   std::memset(costs_, 0, costs_bytes);
   std::fill_n(pinned_, capacity_, -1);
+  if (machines_ > 1) {
+    std::memset(splits_, 0, splits_bytes);
+    std::memset(shadow_splits_, 0, splits_bytes);
+  }
 }
 
 void CandidatePool::Release() noexcept {
@@ -86,6 +108,7 @@ CandidatePool::CandidatePool(CandidatePool&& other) noexcept
     : n_(other.n_),
       stride_(other.stride_),
       capacity_(other.capacity_),
+      machines_(other.machines_),
       size_(other.size_),
       generation_(other.generation_),
       backend_(other.backend_),
@@ -95,7 +118,9 @@ CandidatePool::CandidatePool(CandidatePool&& other) noexcept
       seqs_(other.seqs_),
       shadow_(other.shadow_),
       costs_(other.costs_),
-      pinned_(other.pinned_) {}
+      pinned_(other.pinned_),
+      splits_(other.splits_),
+      shadow_splits_(other.shadow_splits_) {}
 
 CandidatePool& CandidatePool::operator=(CandidatePool&& other) noexcept {
   if (this != &other) {
@@ -103,6 +128,7 @@ CandidatePool& CandidatePool::operator=(CandidatePool&& other) noexcept {
     n_ = other.n_;
     stride_ = other.stride_;
     capacity_ = other.capacity_;
+    machines_ = other.machines_;
     size_ = other.size_;
     generation_ = other.generation_;
     backend_ = other.backend_;
@@ -113,6 +139,8 @@ CandidatePool& CandidatePool::operator=(CandidatePool&& other) noexcept {
     shadow_ = other.shadow_;
     costs_ = other.costs_;
     pinned_ = other.pinned_;
+    splits_ = other.splits_;
+    shadow_splits_ = other.shadow_splits_;
   }
   return *this;
 }

@@ -73,8 +73,12 @@ struct CandidatePoolView {
   JobId* seqs = nullptr;          ///< row b at seqs[b*stride]
   Cost* costs = nullptr;          ///< per-row objective values
   std::int32_t* pinned = nullptr; ///< optional per-row pinned positions
+  /// Per-row machine split positions (machines-1 ascending values per row,
+  /// row b at splits[b*(machines-1)]); nullptr for single-machine pools.
+  std::int32_t* splits = nullptr;
   std::int32_t n = 0;             ///< jobs per sequence
   std::int32_t stride = 0;        ///< row pitch in elements (>= n)
+  std::int32_t machines = 1;      ///< machines per candidate (>= 1)
   std::uint32_t count = 0;        ///< number of live rows
   /// Buffer generation of the owning pool when this view was taken; stale
   /// after the pool's next SwapBuffers() (see the file comment).
@@ -116,15 +120,20 @@ class CandidatePool {
 
   /// Pool for sequences of \p n jobs with room for \p capacity rows,
   /// backed by the process's active allocator (CDD_POOL_BACKEND).
-  /// Preconditions: n >= 1 (throws std::invalid_argument otherwise);
-  /// capacity 0 is clamped to 1 — a pool always holds at least one row.
-  CandidatePool(std::size_t n, std::size_t capacity);
+  /// \p machines > 1 additionally reserves machines-1 split positions per
+  /// row (the m-machine candidate encoding of eval_raw.hpp), double
+  /// buffered alongside the sequence rows.
+  /// Preconditions: n >= 1 and machines >= 1 (throws std::invalid_argument
+  /// otherwise); capacity 0 is clamped to 1 — a pool always holds at least
+  /// one row.
+  CandidatePool(std::size_t n, std::size_t capacity,
+                std::size_t machines = 1);
 
   /// Same, backed by an explicit allocator (the serve layer passes the
   /// allocator its ServiceConfig selected).  If \p allocator fails, falls
   /// back to the host backend — see the file comment.
   CandidatePool(std::size_t n, std::size_t capacity,
-                core::PoolAllocator& allocator);
+                core::PoolAllocator& allocator, std::size_t machines = 1);
 
   ~CandidatePool();
 
@@ -136,6 +145,8 @@ class CandidatePool {
   std::size_t n() const { return n_; }
   std::size_t stride() const { return stride_; }
   std::size_t capacity() const { return capacity_; }
+  /// Machines per candidate (1 = plain permutation rows, no splits).
+  std::size_t machines() const { return machines_; }
   /// Number of live rows appended since the last Clear().
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -168,13 +179,31 @@ class CandidatePool {
     return {shadow_ + b * stride_, n_};
   }
 
-  /// O(1) exchange of live and shadow sequence storage.  Costs and pinned
-  /// arrays describe whatever was evaluated last and are not swapped.
+  /// Machine split positions of live row \p b (machines-1 elements,
+  /// ascending, in [0, n]; see eval_raw.hpp).  Empty for single-machine
+  /// pools.
+  std::span<std::int32_t> splits_row(std::size_t b) {
+    return {splits_ + b * (machines_ - 1), machines_ - 1};
+  }
+  std::span<const std::int32_t> splits_row(std::size_t b) const {
+    return {splits_ + b * (machines_ - 1), machines_ - 1};
+  }
+
+  /// Shadow half of the splits double buffer (parallel to shadow_row).
+  std::span<std::int32_t> shadow_splits_row(std::size_t b) {
+    return {shadow_splits_ + b * (machines_ - 1), machines_ - 1};
+  }
+
+  /// O(1) exchange of live and shadow sequence storage (and, for
+  /// multi-machine pools, the splits storage — a row and its splits always
+  /// travel together).  Costs and pinned arrays describe whatever was
+  /// evaluated last and are not swapped.
   /// Invalidates every outstanding view (see the file comment): the swap
   /// bumps the buffer generation, so stale views fail current() and the
   /// debug assert in CandidatePoolView::row().
   void SwapBuffers() {
     std::swap(seqs_, shadow_);
+    std::swap(splits_, shadow_splits_);
     ++generation_;
   }
 
@@ -195,8 +224,10 @@ class CandidatePool {
     return {seqs_,
             costs_,
             pinned_,
+            splits_,
             static_cast<std::int32_t>(n_),
             static_cast<std::int32_t>(stride_),
+            static_cast<std::int32_t>(machines_),
             static_cast<std::uint32_t>(size_),
             generation_,
             &generation_,
@@ -209,6 +240,7 @@ class CandidatePool {
   std::size_t n_ = 0;
   std::size_t stride_ = 0;
   std::size_t capacity_ = 0;
+  std::size_t machines_ = 1;
   std::size_t size_ = 0;
   std::uint32_t generation_ = 0;
   core::PoolBackend backend_ = core::PoolBackend::kHost;
@@ -221,6 +253,8 @@ class CandidatePool {
   JobId* shadow_ = nullptr;
   Cost* costs_ = nullptr;
   std::int32_t* pinned_ = nullptr;
+  std::int32_t* splits_ = nullptr;         ///< nullptr when machines_ == 1
+  std::int32_t* shadow_splits_ = nullptr;  ///< nullptr when machines_ == 1
 };
 
 /// Borrow-or-own helper for the serve layer's zero-copy pool handoff: an
@@ -230,13 +264,14 @@ class CandidatePool {
 /// allocator.  Pass nullptr when nothing was lent.
 class PoolLease {
  public:
-  PoolLease(CandidatePool* lent, std::size_t n, std::size_t capacity) {
-    if (lent != nullptr && lent->n() == n &&
+  PoolLease(CandidatePool* lent, std::size_t n, std::size_t capacity,
+            std::size_t machines = 1) {
+    if (lent != nullptr && lent->n() == n && lent->machines() == machines &&
         lent->capacity() >= std::max<std::size_t>(capacity, 1)) {
       lent->Clear();
       pool_ = lent;
     } else {
-      owned_.emplace(n, capacity);
+      owned_.emplace(n, capacity, machines);
       pool_ = &*owned_;
     }
   }

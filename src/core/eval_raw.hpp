@@ -315,6 +315,113 @@ inline EvalResult EvalUcddcpFused(std::int32_t n, Time d, const JobId* seq,
   return {cost, d - compressed_before_d, r};
 }
 
+/// --- Parallel machines & early work ------------------------------------
+///
+/// An m-machine candidate is a permutation row plus m-1 ascending split
+/// positions in [0, n]: machine k runs the contiguous slice
+/// [splits[k-1], splits[k]) of the row (splits[-1] = 0, splits[m-1] = n),
+/// in row order, as its own single-machine schedule.  Slices may be empty
+/// — an idle machine contributes zero cost.  The splits of row b live at
+/// splits[b*(m-1) .. b*(m-1) + m-1) in the pool's splits array.
+///
+/// EvalCddMachines evaluates the paper's total-penalty objective per
+/// machine with the fused O(n) evaluator — each machine chooses its own
+/// optimal start offset independently, so the sum of per-slice optima is
+/// the optimal cost of the assignment+order encoded by the row.
+///
+/// EvalEarlyWork evaluates the late-work objective of arXiv:2007.12388:
+/// every machine starts at t = 0 with no idle time, the work a machine
+/// processes after d is max(0, L_k - d) where L_k is its load, and the
+/// returned cost is the total late work (minimizing it maximizes total
+/// early work, since the loads sum to a constant).  Order within a
+/// machine cannot change its load, so the objective is a function of the
+/// assignment alone — the search effectively explores set partitions.
+
+/// Total-penalty cost of an m-machine candidate (see the block comment).
+/// With m == 1 (splits may then be nullptr) this is exactly EvalCddFused.
+inline EvalResult EvalCddMachines(std::int32_t n, std::int32_t m, Time d,
+                                  const JobId* seq,
+                                  const std::int32_t* splits,
+                                  const Time* proc, const Cost* alpha,
+                                  const Cost* beta) noexcept {
+  if (m <= 1) return EvalCddFused(n, d, seq, proc, alpha, beta);
+  Cost cost = 0;
+  std::int32_t begin = 0;
+  for (std::int32_t k = 0; k < m; ++k) {
+    const std::int32_t end = (k + 1 < m) ? splits[k] : n;
+    if (end > begin) {
+      cost += EvalCddFused(end - begin, d, seq + begin, proc, alpha, beta)
+                  .cost;
+    }
+    begin = end;
+  }
+  // The per-machine offsets/pinned positions do not fold into one scalar;
+  // multi-machine results report cost only.
+  return {cost, 0, -1};
+}
+
+/// Late-work cost of an m-machine candidate (see the block comment).
+/// Also defined for m == 1: the whole row is one machine's load.
+inline EvalResult EvalEarlyWork(std::int32_t n, std::int32_t m, Time d,
+                                const JobId* seq, const std::int32_t* splits,
+                                const Time* proc) noexcept {
+  Cost cost = 0;
+  std::int32_t begin = 0;
+  for (std::int32_t k = 0; k < m; ++k) {
+    const std::int32_t end = (k + 1 < m) ? splits[k] : n;
+    Time load = 0;
+    for (std::int32_t i = begin; i < end; ++i) load += proc[seq[i]];
+    if (load > d) cost += load - d;
+    begin = end;
+  }
+  return {cost, 0, -1};
+}
+
+/// Batched total-penalty evaluation of m-machine rows: row b pairs
+/// seqs[b*stride ..) with splits[b*(m-1) ..).  With m == 1 this is
+/// EvalCddBatch (splits may be nullptr).
+inline void EvalCddMachinesBatch(std::int32_t n, std::int32_t m, Time d,
+                                 const JobId* seqs, std::int32_t stride,
+                                 const std::int32_t* splits,
+                                 std::int32_t batch, const Time* proc,
+                                 const Cost* alpha, const Cost* beta,
+                                 Cost* costs,
+                                 std::int32_t* pinned = nullptr,
+                                 Time* offsets = nullptr) noexcept {
+  if (m <= 1) {
+    EvalCddBatch(n, d, seqs, stride, batch, proc, alpha, beta, costs,
+                 pinned, offsets);
+    return;
+  }
+  for (std::int32_t b = 0; b < batch; ++b) {
+    const EvalResult r = EvalCddMachines(
+        n, m, d, seqs + static_cast<std::size_t>(b) * stride,
+        splits + static_cast<std::size_t>(b) * (m - 1), proc, alpha, beta);
+    costs[b] = r.cost;
+    if (pinned != nullptr) pinned[b] = r.pinned;
+    if (offsets != nullptr) offsets[b] = r.offset;
+  }
+}
+
+/// Batched late-work evaluation of m-machine rows (layout as above;
+/// m == 1 rows need no splits array).
+inline void EvalEarlyWorkBatch(std::int32_t n, std::int32_t m, Time d,
+                               const JobId* seqs, std::int32_t stride,
+                               const std::int32_t* splits,
+                               std::int32_t batch, const Time* proc,
+                               Cost* costs, std::int32_t* pinned = nullptr,
+                               Time* offsets = nullptr) noexcept {
+  for (std::int32_t b = 0; b < batch; ++b) {
+    const EvalResult r = EvalEarlyWork(
+        n, m, d, seqs + static_cast<std::size_t>(b) * stride,
+        m > 1 ? splits + static_cast<std::size_t>(b) * (m - 1) : nullptr,
+        proc);
+    costs[b] = r.cost;
+    if (pinned != nullptr) pinned[b] = r.pinned;
+    if (offsets != nullptr) offsets[b] = r.offset;
+  }
+}
+
 /// Batched UCDDCP evaluation over a stride-aligned SoA pool; see
 /// EvalCddBatch for the layout contract.
 inline void EvalUcddcpBatch(std::int32_t n, Time d, const JobId* seqs,

@@ -1086,4 +1086,40 @@ void EvalUcddcpBatchDispatch(std::int32_t n, Time d, const JobId* seqs,
   }
 }
 
+void EvalCddMachinesBatchDispatch(std::int32_t n, std::int32_t m, Time d,
+                                  const JobId* seqs, std::int32_t stride,
+                                  const std::int32_t* splits,
+                                  std::int32_t batch, const Time* proc,
+                                  const Cost* alpha, const Cost* beta,
+                                  Cost* costs, std::int32_t* pinned,
+                                  Time* offsets) noexcept {
+  // Lane-per-candidate SIMD pairs position i of several rows; with per-row
+  // splits the machine boundary of lane 0 may fall mid-slice of lane 1, so
+  // the lanes would straddle machines.  Multi-machine batches therefore
+  // take the scalar batch under every CDD_EVAL_BACKEND value — results are
+  // bit-identical across backends by construction (pinned by test).
+  // Single-machine batches keep the full SIMD dispatch.
+  if (m <= 1) {
+    EvalCddBatchDispatch(n, d, seqs, stride, batch, proc, alpha, beta,
+                         costs, pinned, offsets);
+    return;
+  }
+  EvalCddMachinesBatch(n, m, d, seqs, stride, splits, batch, proc, alpha,
+                       beta, costs, pinned, offsets);
+}
+
+void EvalEarlyWorkBatchDispatch(std::int32_t n, std::int32_t m, Time d,
+                                const JobId* seqs, std::int32_t stride,
+                                const std::int32_t* splits,
+                                std::int32_t batch, const Time* proc,
+                                Cost* costs, std::int32_t* pinned,
+                                Time* offsets) noexcept {
+  // Late work is a per-machine load sum — memory-bound, no breakpoint
+  // walk to vectorize — so the scalar batch is the only build; the
+  // dispatch entry point exists for call-site symmetry and so the
+  // CDD_EVAL_BACKEND cross-replay in CI covers this objective too.
+  EvalEarlyWorkBatch(n, m, d, seqs, stride, splits, batch, proc, costs,
+                     pinned, offsets);
+}
+
 }  // namespace cdd::raw

@@ -126,4 +126,28 @@ void EvalUcddcpBatchDispatch(std::int32_t n, Time d, const JobId* seqs,
                              std::int32_t* pinned = nullptr,
                              Time* offsets = nullptr) noexcept;
 
+/// Dispatch entry point of raw::EvalCddMachinesBatch.  Multi-machine rows
+/// (m > 1) always take the scalar batch: lane-per-candidate SIMD would
+/// straddle machine boundaries that differ per row, so the SIMD backend
+/// deliberately falls back — results are bit-identical under every
+/// CDD_EVAL_BACKEND value.  m == 1 routes to the full single-machine
+/// dispatch (SIMD when available).
+void EvalCddMachinesBatchDispatch(std::int32_t n, std::int32_t m, Time d,
+                                  const JobId* seqs, std::int32_t stride,
+                                  const std::int32_t* splits,
+                                  std::int32_t batch, const Time* proc,
+                                  const Cost* alpha, const Cost* beta,
+                                  Cost* costs,
+                                  std::int32_t* pinned = nullptr,
+                                  Time* offsets = nullptr) noexcept;
+
+/// Dispatch entry point of raw::EvalEarlyWorkBatch (scalar on every
+/// backend; see the .cpp note).
+void EvalEarlyWorkBatchDispatch(std::int32_t n, std::int32_t m, Time d,
+                                const JobId* seqs, std::int32_t stride,
+                                const std::int32_t* splits,
+                                std::int32_t batch, const Time* proc,
+                                Cost* costs, std::int32_t* pinned = nullptr,
+                                Time* offsets = nullptr) noexcept;
+
 }  // namespace cdd::raw

@@ -36,6 +36,17 @@ std::uint64_t HashInstance(const Instance& instance) {
   h = HashCombine(h, static_cast<std::uint64_t>(instance.problem()));
   h = HashCombine(h, static_cast<std::uint64_t>(instance.due_date()));
   h = HashCombine(h, instance.size());
+  // Single-machine total-penalty instances hash exactly as they did before
+  // the parallel-machine tier existed, so every instance_hash recorded in a
+  // pre-existing manifest (and every cache key derived from one) is stable.
+  if (instance.machines() > 1) {
+    h = HashCombine(h, static_cast<std::uint64_t>(instance.machines()));
+  }
+  if (instance.objective() != ScheduleObjective::kTotalPenalty) {
+    h = HashCombine(h,
+                    0xea51ULL ^ static_cast<std::uint64_t>(
+                                    instance.objective()));
+  }
   for (const Job& job : instance.jobs()) {
     h = HashCombine(h, static_cast<std::uint64_t>(job.proc));
     h = HashCombine(h, static_cast<std::uint64_t>(job.min_proc));

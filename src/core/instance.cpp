@@ -56,6 +56,18 @@ Instance Instance::with_due_date(Time d) const {
   return copy;
 }
 
+Instance Instance::with_machines(std::int32_t m) const {
+  Instance copy = *this;
+  copy.machines_ = m;
+  return copy;
+}
+
+Instance Instance::with_objective(ScheduleObjective objective) const {
+  Instance copy = *this;
+  copy.objective_ = objective;
+  return copy;
+}
+
 Instance Instance::as_cdd() const {
   Instance copy = *this;
   copy.problem_ = Problem::kCdd;
@@ -93,6 +105,26 @@ void Instance::Validate() const {
         "Instance: UCDDCP requires d >= sum(P_i) (unrestricted case); use "
         "Problem::kCddcp for the restricted controllable problem");
   }
+  if (machines_ < 1) {
+    throw std::invalid_argument("Instance: machines must be >= 1");
+  }
+  if (machines_ > 1) {
+    if (problem_ != Problem::kCdd) {
+      throw std::invalid_argument(
+          "Instance: parallel machines are defined for the CDD problem "
+          "only (controllable processing times stay single-machine)");
+    }
+    if (static_cast<std::size_t>(machines_) > jobs_.size()) {
+      throw std::invalid_argument(
+          "Instance: more machines than jobs (m must be <= n)");
+    }
+  }
+  if (objective_ == ScheduleObjective::kEarlyWork &&
+      problem_ != Problem::kCdd) {
+    throw std::invalid_argument(
+        "Instance: the early-work objective is defined for CDD job data "
+        "only (compression has no early-work semantics)");
+  }
 }
 
 std::string Instance::Summary() const {
@@ -102,10 +134,12 @@ std::string Instance::Summary() const {
   if (problem_ == Problem::kCddcp) name = "CDDCP";
   os << name << " n=" << size()
      << " d=" << due_date_;
+  if (machines_ > 1) os << " m=" << machines_;
   os << " h=";
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.2f", restrictiveness());
   os << buf;
+  if (objective_ == ScheduleObjective::kEarlyWork) os << " obj=early-work";
   return os.str();
 }
 

@@ -43,6 +43,20 @@ enum class Problem {
   kCddcp,
 };
 
+/// Which objective the solvers minimize over an instance's schedules.
+enum class ScheduleObjective {
+  /// Weighted earliness/tardiness (+ compression) penalties — objective
+  /// (1)/(2) of the source paper.  The default everywhere.
+  kTotalPenalty,
+  /// Late-work minimization, the complement of early-work maximization on
+  /// identical parallel machines with a common due date (Györgyi & Kis;
+  /// arXiv:2007.12388): cost = sum over machines of max(0, L_k - d) where
+  /// L_k is machine k's load.  Maximizing total early work
+  /// sum_k min(L_k, d) is equivalent since sum_k L_k is constant.
+  /// Per-job penalties are ignored; only P_i and d matter.
+  kEarlyWork,
+};
+
 /// \brief A complete problem instance.
 ///
 /// Invariants (checked by Validate()):
@@ -65,6 +79,11 @@ class Instance {
 
   Problem problem() const { return problem_; }
   Time due_date() const { return due_date_; }
+  /// Number of identical parallel machines (1 = the source paper's
+  /// single-machine setting; >1 follows arXiv:1405.1234 / 2007.12388).
+  std::int32_t machines() const { return machines_; }
+  /// Objective minimized over this instance's schedules.
+  ScheduleObjective objective() const { return objective_; }
   std::size_t size() const { return jobs_.size(); }
   const Job& job(std::size_t i) const { return jobs_[i]; }
   const std::vector<Job>& jobs() const { return jobs_; }
@@ -88,6 +107,14 @@ class Instance {
   /// harness to sweep h on a fixed job set).
   Instance with_due_date(Time d) const;
 
+  /// Returns a copy spread over \p m identical parallel machines.
+  /// Validate() then requires m >= 1, a kCdd problem, and m <= n.
+  Instance with_machines(std::int32_t m) const;
+
+  /// Returns a copy minimizing \p objective.  kEarlyWork requires a kCdd
+  /// problem (compression has no early-work semantics).
+  Instance with_objective(ScheduleObjective objective) const;
+
   /// Returns a CDD view of this instance (drops compressibility).
   Instance as_cdd() const;
 
@@ -103,6 +130,8 @@ class Instance {
  private:
   Problem problem_ = Problem::kCdd;
   Time due_date_ = 0;
+  std::int32_t machines_ = 1;
+  ScheduleObjective objective_ = ScheduleObjective::kTotalPenalty;
   std::vector<Job> jobs_;
 };
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/eval_raw.hpp"
+
 namespace cdd {
 
 Time StartTime(const Instance& instance, const Schedule& schedule,
@@ -17,6 +19,22 @@ Time StartTime(const Instance& instance, const Schedule& schedule,
 Cost EvaluateSchedule(const Instance& instance, const Schedule& schedule) {
   const Time d = instance.due_date();
   Cost cost = 0;
+  if (instance.objective() == ScheduleObjective::kEarlyWork) {
+    // Late work Y_j = min(P_j - X_j, max(0, C_j - d)): the part of each
+    // job executed after the due date.  Summed per job this is the
+    // first-principles form; on idle-free start-at-zero machines it
+    // telescopes to max(0, load - d) per machine (the evaluator's form).
+    for (std::size_t k = 0; k < schedule.size(); ++k) {
+      const Job& job =
+          instance.job(static_cast<std::size_t>(schedule.order[k]));
+      const Time x =
+          schedule.compression.empty() ? Time{0} : schedule.compression[k];
+      const Time effective = job.proc - x;
+      cost += std::min<Time>(effective,
+                             std::max<Time>(0, schedule.completion[k] - d));
+    }
+    return cost;
+  }
   for (std::size_t k = 0; k < schedule.size(); ++k) {
     const Job& job = instance.job(static_cast<std::size_t>(schedule.order[k]));
     const Time c = schedule.completion[k];
@@ -39,9 +57,30 @@ void ValidateSchedule(const Instance& instance, const Schedule& schedule,
   if (!schedule.compression.empty() && schedule.compression.size() != n) {
     throw std::invalid_argument("schedule: compression array length mismatch");
   }
+  const std::int32_t m = instance.machines();
+  if (!schedule.machine.empty() && schedule.machine.size() != n) {
+    throw std::invalid_argument("schedule: machine array length mismatch");
+  }
   Time prev_completion = 0;
+  std::int32_t prev_machine = 0;
   for (std::size_t k = 0; k < n; ++k) {
     const Job& job = instance.job(static_cast<std::size_t>(schedule.order[k]));
+    const std::int32_t mk = schedule.machine_of(k);
+    if (mk < 0 || mk >= m) {
+      std::ostringstream os;
+      os << "schedule: machine " << mk << " outside [0, " << m
+         << ") at position " << k;
+      throw std::invalid_argument(os.str());
+    }
+    if (mk < prev_machine) {
+      std::ostringstream os;
+      os << "schedule: machine assignment not contiguous at position " << k;
+      throw std::invalid_argument(os.str());
+    }
+    if (mk > prev_machine) {
+      prev_completion = 0;  // a fresh machine starts its own timeline at 0
+      prev_machine = mk;
+    }
     const Time x =
         schedule.compression.empty() ? Time{0} : schedule.compression[k];
     if (x < 0 || x > job.proc - job.min_proc) {
@@ -58,13 +97,69 @@ void ValidateSchedule(const Instance& instance, const Schedule& schedule,
          << schedule.completion[k] << " but cannot finish before " << earliest;
       throw std::invalid_argument(os.str());
     }
-    if (require_no_idle && k > 0 && schedule.completion[k] != earliest) {
+    const bool first_on_machine =
+        k == 0 || schedule.machine_of(k - 1) != mk;
+    if (require_no_idle && !first_on_machine &&
+        schedule.completion[k] != earliest) {
       std::ostringstream os;
       os << "schedule: idle time before position " << k;
       throw std::invalid_argument(os.str());
     }
     prev_completion = schedule.completion[k];
   }
+}
+
+Schedule BuildMachineSchedule(const Instance& instance,
+                              std::span<const JobId> seq,
+                              std::span<const std::int32_t> splits) {
+  const std::size_t n = instance.size();
+  const std::int32_t m = instance.machines();
+  ValidateSequence(seq, n);
+  if (splits.size() != static_cast<std::size_t>(m - 1)) {
+    throw std::invalid_argument(
+        "BuildMachineSchedule: splits length must be machines-1");
+  }
+  std::vector<Time> proc(n);
+  std::vector<Cost> alpha(n);
+  std::vector<Cost> beta(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Job& job = instance.job(j);
+    proc[j] = job.proc;
+    alpha[j] = job.early;
+    beta[j] = job.tardy;
+  }
+
+  Schedule s;
+  s.order.assign(seq.begin(), seq.end());
+  s.completion.resize(n);
+  s.compression.assign(n, 0);
+  if (m > 1) s.machine.resize(n);
+
+  std::int32_t begin = 0;
+  for (std::int32_t k = 0; k < m; ++k) {
+    const std::int32_t end =
+        k + 1 < m ? splits[static_cast<std::size_t>(k)]
+                  : static_cast<std::int32_t>(n);
+    if (end < begin || end > static_cast<std::int32_t>(n)) {
+      throw std::invalid_argument(
+          "BuildMachineSchedule: splits not ascending within [0, n]");
+    }
+    Time c = 0;
+    if (instance.objective() == ScheduleObjective::kTotalPenalty &&
+        end > begin) {
+      c = raw::EvalCddFused(end - begin, instance.due_date(),
+                            seq.data() + begin, proc.data(), alpha.data(),
+                            beta.data())
+              .offset;
+    }
+    for (std::int32_t p = begin; p < end; ++p) {
+      c += proc[static_cast<std::size_t>(seq[static_cast<std::size_t>(p)])];
+      s.completion[static_cast<std::size_t>(p)] = c;
+      if (m > 1) s.machine[static_cast<std::size_t>(p)] = k;
+    }
+    begin = end;
+  }
+  return s;
 }
 
 std::string RenderGantt(const Instance& instance, const Schedule& schedule,

@@ -17,17 +17,30 @@
 
 namespace cdd {
 
-/// A concrete single-machine schedule for an Instance.
+/// A concrete schedule for an Instance, single- or multi-machine.
 ///
 /// All vectors are indexed by *position* k (processing order), not job id:
 /// order[k] is the job processed k-th, completion[k] its completion time and
 /// compression[k] the reduction X applied to its processing time.
+///
+/// Multi-machine schedules (Instance::machines() > 1) additionally carry
+/// `machine[k]`, the machine running position k; positions of one machine
+/// are contiguous and ascending in k (the per-machine V-shape sequence),
+/// and completion times are ordered *within* a machine, not globally.  An
+/// empty `machine` vector means the single-machine layout (machine 0
+/// everywhere).
 struct Schedule {
   Sequence order;
   std::vector<Time> completion;
   std::vector<Time> compression;
+  std::vector<std::int32_t> machine;
 
   std::size_t size() const { return order.size(); }
+
+  /// Machine of position \p k (0 when the vector is absent).
+  std::int32_t machine_of(std::size_t k) const {
+    return machine.empty() ? 0 : machine[k];
+  }
 };
 
 /// Start time of the job at position \p k (completion minus effective
@@ -50,6 +63,17 @@ Cost EvaluateSchedule(const Instance& instance, const Schedule& schedule);
 /// \p require_no_idle to enforce equality in the spacing constraints.
 void ValidateSchedule(const Instance& instance, const Schedule& schedule,
                       bool require_no_idle = false);
+
+/// \brief Materializes a multi-machine schedule from a permutation plus the
+/// (machines()-1) ascending split positions of the candidate encoding (see
+/// eval_raw.hpp): machine k runs the slice [splits[k-1], splits[k]) of
+/// \p seq.  Under the total-penalty objective each machine's slice starts
+/// at its slice-optimal offset (EvalCddFused); under early work every
+/// machine starts at time zero.  Works for machines() == 1 with an empty
+/// \p splits span.
+Schedule BuildMachineSchedule(const Instance& instance,
+                              std::span<const JobId> seq,
+                              std::span<const std::int32_t> splits);
 
 /// Renders a small ASCII Gantt chart of the schedule with the due date
 /// marked, mirroring Figures 1-6 of the paper.  Intended for the examples;

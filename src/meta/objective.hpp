@@ -16,6 +16,7 @@
 /// O(n) evaluator; lp::MakeLpObjective supplies a BatchEvaluator fallback
 /// behind the same interface, so every engine is written once.
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -53,14 +54,26 @@ class BatchEvaluator {
 /// Concrete objective over job sequences (lower is better).
 class SequenceObjective {
  public:
-  /// Builds the O(n) evaluator for the instance's problem.
+  /// Builds the O(n) evaluator for the instance's problem variant.
   /// Problem::kCddcp has no O(n) evaluator — use lp::MakeLpObjective.
+  /// Multi-machine and early-work instances (Instance::machines() > 1 /
+  /// ScheduleObjective::kEarlyWork, CDD only — Instance::Validate enforces
+  /// that) get the splits-aware kinds; their candidates carry the
+  /// (machines-1) ascending split positions of eval_raw.hpp next to the
+  /// permutation, so only pools built with the matching machine count are
+  /// accepted by EvaluateBatch.
   static SequenceObjective ForInstance(const Instance& instance) {
     if (instance.problem() == Problem::kCddcp) {
       throw std::invalid_argument(
           "SequenceObjective::ForInstance: the restricted controllable "
           "problem has no O(n) evaluator; build the objective with "
           "lp::MakeLpObjective");
+    }
+    if (instance.objective() == ScheduleObjective::kEarlyWork) {
+      return SequenceObjective(Kind::kEarlyWork, instance);
+    }
+    if (instance.machines() > 1) {
+      return SequenceObjective(Kind::kCddMachines, instance);
     }
     return SequenceObjective(instance.problem() == Problem::kUcddcp
                                  ? Kind::kUcddcp
@@ -78,13 +91,23 @@ class SequenceObjective {
   }
 
   /// Optimal cost of one sequence (the cold path; generations should go
-  /// through EvaluateBatch).
+  /// through EvaluateBatch).  Multi-machine objectives need the splits
+  /// overload below; calling this one with machines() > 1 throws.
   Cost Evaluate(std::span<const JobId> seq) const {
+    if (machines_ > 1) {
+      throw std::invalid_argument(
+          "SequenceObjective::Evaluate: multi-machine objective needs the "
+          "(seq, splits) overload");
+    }
     const auto n = static_cast<std::int32_t>(seq.size());
     switch (kind_) {
       case Kind::kCdd:
+      case Kind::kCddMachines:  // m == 1 degenerates to the fused evaluator
         return raw::EvalCddFused(n, d_, seq.data(), proc_.data(),
                                  alpha_.data(), beta_.data())
+            .cost;
+      case Kind::kEarlyWork:
+        return raw::EvalEarlyWork(n, 1, d_, seq.data(), nullptr, proc_.data())
             .cost;
       case Kind::kUcddcp:
         return raw::EvalUcddcpFused(n, d_, seq.data(), proc_.data(),
@@ -97,6 +120,27 @@ class SequenceObjective {
     return backend_->Evaluate(seq);
   }
 
+  /// Optimal cost of one multi-machine candidate: \p splits holds the
+  /// (machines()-1) ascending split positions (empty for machines() == 1).
+  Cost Evaluate(std::span<const JobId> seq,
+                std::span<const std::int32_t> splits) const {
+    if (splits.size() !=
+        static_cast<std::size_t>(std::max<std::int32_t>(machines_, 1) - 1)) {
+      throw std::invalid_argument(
+          "SequenceObjective::Evaluate: splits length must be machines-1");
+    }
+    if (machines_ <= 1) return Evaluate(seq);
+    const auto n = static_cast<std::int32_t>(seq.size());
+    if (kind_ == Kind::kEarlyWork) {
+      return raw::EvalEarlyWork(n, machines_, d_, seq.data(), splits.data(),
+                                proc_.data())
+          .cost;
+    }
+    return raw::EvalCddMachines(n, machines_, d_, seq.data(), splits.data(),
+                                proc_.data(), alpha_.data(), beta_.data())
+        .cost;
+  }
+
   Cost operator()(std::span<const JobId> seq) const { return Evaluate(seq); }
 
   /// Evaluates every live row of \p pool in one call: costs() and pinned()
@@ -104,12 +148,29 @@ class SequenceObjective {
   /// engine's generation hot path.
   void EvaluateBatch(CandidatePool& pool) const {
     const CandidatePoolView v = pool.view();
+    if (machines_ > 1 && v.machines != machines_) {
+      throw std::invalid_argument(
+          "SequenceObjective::EvaluateBatch: pool machine count does not "
+          "match the objective");
+    }
     switch (kind_) {
       case Kind::kCdd:
         raw::EvalCddBatchDispatch(v.n, d_, v.seqs, v.stride,
                                   static_cast<std::int32_t>(v.count),
                                   proc_.data(), alpha_.data(), beta_.data(),
                                   v.costs, v.pinned);
+        return;
+      case Kind::kCddMachines:
+        raw::EvalCddMachinesBatchDispatch(
+            v.n, machines_, d_, v.seqs, v.stride, v.splits,
+            static_cast<std::int32_t>(v.count), proc_.data(), alpha_.data(),
+            beta_.data(), v.costs, v.pinned);
+        return;
+      case Kind::kEarlyWork:
+        raw::EvalEarlyWorkBatchDispatch(v.n, machines_, d_, v.seqs, v.stride,
+                                        v.splits,
+                                        static_cast<std::int32_t>(v.count),
+                                        proc_.data(), v.costs, v.pinned);
         return;
       case Kind::kUcddcp:
         raw::EvalUcddcpBatchDispatch(v.n, d_, v.seqs, v.stride,
@@ -126,15 +187,25 @@ class SequenceObjective {
 
   std::size_t size() const { return n_; }
 
+  /// Machine count of the instance this objective evaluates (1 for all
+  /// single-machine kinds, including the LP fallback).
+  std::int32_t machines() const { return machines_; }
+
+  /// True for the early-work (late-work minimization) objective variant.
+  bool early_work() const { return kind_ == Kind::kEarlyWork; }
+
   /// True when the objective evaluates through the O(n) SoA fast path
   /// (false for backend-driven objectives such as the LP fallback).
   bool direct() const { return kind_ != Kind::kFallback; }
 
  private:
-  enum class Kind { kCdd, kUcddcp, kFallback };
+  enum class Kind { kCdd, kUcddcp, kCddMachines, kEarlyWork, kFallback };
 
   SequenceObjective(Kind kind, const Instance& instance)
-      : kind_(kind), n_(instance.size()), d_(instance.due_date()) {
+      : kind_(kind),
+        n_(instance.size()),
+        d_(instance.due_date()),
+        machines_(instance.machines()) {
     proc_.reserve(n_);
     alpha_.reserve(n_);
     beta_.reserve(n_);
@@ -163,6 +234,7 @@ class SequenceObjective {
   Kind kind_;
   std::size_t n_;
   Time d_ = 0;
+  std::int32_t machines_ = 1;
   std::vector<Time> proc_;
   std::vector<Time> min_proc_;
   std::vector<Cost> alpha_;

@@ -13,6 +13,10 @@ namespace cdd::meta {
 struct RunResult {
   Sequence best;                  ///< best sequence found
   Cost best_cost = kInfiniteCost; ///< its objective value
+  /// Ascending split positions of the best multi-machine candidate
+  /// (machines-1 entries; machine k runs best[splits[k-1] .. splits[k])).
+  /// Empty for single-machine runs.
+  std::vector<std::int32_t> best_splits;
   std::uint64_t evaluations = 0;  ///< objective calls performed
   double wall_seconds = 0.0;      ///< measured host wall-clock time
   /// True when the run was cut short by its StopToken (explicit stop or

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/candidate_pool.hpp"
+#include "meta/splits.hpp"
 #include "meta/temperature.hpp"
 #include "rng/philox.hpp"
 #include "trace/tracer.hpp"
@@ -16,11 +17,18 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Probability of proposing a machine-reassignment (split-shift) move
+/// instead of a sequence move on multi-machine instances.  The selection
+/// uniform is drawn only when machines > 1, so single-machine runs keep
+/// their exact RNG schedule.
+constexpr float kReassignProb = 0.25f;
+
 /// Full SA chain state at a Step boundary: the Philox value copy carries
 /// the exact stream position, so resuming replays the same random draws.
 struct SaCheckpoint final : EngineCheckpoint {
   rng::Philox4x32 rng;
   Sequence current;
+  std::vector<std::int32_t> splits;
   Cost energy;
   std::uint64_t iteration;
   RunResult result;
@@ -28,10 +36,12 @@ struct SaCheckpoint final : EngineCheckpoint {
   double elapsed;
 
   SaCheckpoint(const rng::Philox4x32& rng_in, Sequence current_in,
-               Cost energy_in, std::uint64_t iteration_in,
-               RunResult result_in, StepStatus status_in, double elapsed_in)
+               std::vector<std::int32_t> splits_in, Cost energy_in,
+               std::uint64_t iteration_in, RunResult result_in,
+               StepStatus status_in, double elapsed_in)
       : rng(rng_in),
         current(std::move(current_in)),
+        splits(std::move(splits_in)),
         energy(energy_in),
         iteration(iteration_in),
         result(std::move(result_in)),
@@ -45,17 +55,27 @@ class SaEngine final : public Engine {
            const std::optional<Sequence>& initial)
       : objective_(objective),
         params_(params),
+        machines_(objective.machines()),
         rng_(params.seed, /*stream=*/0x5a5a5a5aULL),
-        lease_(params.pool, objective.size(), /*capacity=*/1),
+        lease_(params.pool, objective.size(), /*capacity=*/1,
+               static_cast<std::size_t>(objective.machines())),
         positions_(params.pert),
         values_(params.pert) {
     const auto t_start = Clock::now();
     const std::size_t n = objective_.size();
     current_ = initial.has_value() ? *initial : RandomSequence(n, rng_);
-    energy_ = objective_(current_);
+    if (machines_ > 1) {
+      // Deterministic even initial assignment — no RNG draws consumed.
+      current_splits_.resize(static_cast<std::size_t>(machines_ - 1));
+      EvenSplits(current_splits_, n);
+      energy_ = objective_.Evaluate(current_, current_splits_);
+    } else {
+      energy_ = objective_(current_);
+    }
     result_.evaluations = 1;
     result_.best = current_;
     result_.best_cost = energy_;
+    result_.best_splits = current_splits_;
     t0_ = params_.initial_temperature > 0.0
               ? params_.initial_temperature
               : InitialTemperature(objective_, params_.temp_samples,
@@ -86,13 +106,28 @@ class SaEngine final : public Engine {
       }
       const double temperature = schedule(i);
       std::copy(current_.begin(), current_.end(), candidate.begin());
-      if (params_.neighborhood == NeighborhoodMode::kShuffleEveryIteration ||
-          i % period == 0) {
-        PartialFisherYates(candidate, params_.pert, rng_,
-                           std::span<std::uint32_t>(positions_),
-                           std::span<JobId>(values_));
-      } else {
-        RandomSwap(candidate, rng_);
+      bool sequence_move = true;
+      if (machines_ > 1) {
+        std::copy(current_splits_.begin(), current_splits_.end(),
+                  pool.splits_row(0).begin());
+        // Move-family selection draws happen only on the m > 1 path, so
+        // single-machine runs replay their historical RNG schedule.
+        if (rng_.NextUniform() <= kReassignProb) {
+          sequence_move = false;
+          SplitShift(pool.splits_row(0),
+                     static_cast<std::int32_t>(current_.size()), rng_);
+        }
+      }
+      if (sequence_move) {
+        if (params_.neighborhood ==
+                NeighborhoodMode::kShuffleEveryIteration ||
+            i % period == 0) {
+          PartialFisherYates(candidate, params_.pert, rng_,
+                             std::span<std::uint32_t>(positions_),
+                             std::span<JobId>(values_));
+        } else {
+          RandomSwap(candidate, rng_);
+        }
       }
       objective_.EvaluateBatch(pool);
       const Cost new_energy = pool.costs()[0];
@@ -106,10 +141,15 @@ class SaEngine final : public Engine {
                    std::max(temperature, 1e-300));
       if (accept >= u) {
         current_.assign(candidate.begin(), candidate.end());
+        if (machines_ > 1) {
+          const auto splits = pool.splits_row(0);
+          current_splits_.assign(splits.begin(), splits.end());
+        }
         energy_ = new_energy;
         if (energy_ < result_.best_cost) {
           result_.best_cost = energy_;
           result_.best = current_;
+          result_.best_splits = current_splits_;
         }
       }
       if (params_.trajectory_stride > 0 &&
@@ -137,9 +177,9 @@ class SaEngine final : public Engine {
   Cost BestCost() const override { return result_.best_cost; }
 
   std::unique_ptr<EngineCheckpoint> Checkpoint() const override {
-    return std::make_unique<SaCheckpoint>(rng_, current_, energy_,
-                                          iteration_, result_, status_,
-                                          elapsed_);
+    return std::make_unique<SaCheckpoint>(rng_, current_, current_splits_,
+                                          energy_, iteration_, result_,
+                                          status_, elapsed_);
   }
 
   void Restore(const EngineCheckpoint& checkpoint) override {
@@ -149,6 +189,7 @@ class SaEngine final : public Engine {
     }
     rng_ = cp->rng;
     current_ = cp->current;
+    current_splits_ = cp->splits;
     energy_ = cp->energy;
     iteration_ = cp->iteration;
     result_ = cp->result;
@@ -166,11 +207,13 @@ class SaEngine final : public Engine {
  private:
   SequenceObjective objective_;
   SaParams params_;
+  std::int32_t machines_ = 1;
   rng::Philox4x32 rng_;
   PoolLease lease_;
   std::vector<std::uint32_t> positions_;
   std::vector<JobId> values_;
   Sequence current_;
+  std::vector<std::int32_t> current_splits_;
   Cost energy_ = 0;
   double t0_ = 0.0;
   std::uint64_t iteration_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/candidate_pool.hpp"
+#include "meta/splits.hpp"
 #include "rng/philox.hpp"
 
 namespace cdd::meta {
@@ -18,9 +19,11 @@ double InitialTemperature(const SequenceObjective& objective,
   // then consumes the costs in their original sample order, so the
   // resulting temperature is bit-identical.
   constexpr std::uint64_t kChunk = 256;
+  const auto machines = static_cast<std::size_t>(objective.machines());
   CandidatePool pool(objective.size(),
                      static_cast<std::size_t>(std::min(
-                         std::max<std::uint64_t>(samples, 1), kChunk)));
+                         std::max<std::uint64_t>(samples, 1), kChunk)),
+                     machines);
   double mean = 0.0;
   double m2 = 0.0;
   std::uint64_t k = 0;
@@ -29,7 +32,13 @@ double InitialTemperature(const SequenceObjective& objective,
     const std::uint64_t batch = std::min<std::uint64_t>(samples - k, kChunk);
     for (std::uint64_t b = 0; b < batch; ++b) {
       FisherYates(std::span<JobId>(seq), rng);
-      pool.Append(seq);
+      const std::size_t row = pool.Append(seq);
+      if (machines > 1) {
+        // Sample the temperature over even machine assignments: the split
+        // layout is deterministic, so multi-machine sampling consumes the
+        // same Philox outputs as single-machine sampling.
+        EvenSplits(pool.splits_row(row), objective.size());
+      }
     }
     objective.EvaluateBatch(pool);
     for (std::uint64_t b = 0; b < batch; ++b) {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/candidate_pool.hpp"
+#include "meta/splits.hpp"
 #include "meta/temperature.hpp"
 #include "rng/philox.hpp"
 
@@ -14,12 +15,18 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Probability of proposing a machine-reassignment (split-shift) move on
+/// multi-machine instances; the selection uniform is drawn only when
+/// machines > 1 so single-machine runs keep their exact RNG schedule.
+constexpr float kReassignProb = 0.25f;
+
 /// TA chain state at a Step boundary.  The decayed threshold is a host
 /// accumulator (threshold *= decay each iteration), so it is part of the
 /// checkpoint alongside the RNG position.
 struct TaCheckpoint final : EngineCheckpoint {
   rng::Philox4x32 rng;
   Sequence current;
+  std::vector<std::int32_t> splits;
   Cost energy;
   double threshold;
   std::uint64_t iteration;
@@ -28,11 +35,12 @@ struct TaCheckpoint final : EngineCheckpoint {
   double elapsed;
 
   TaCheckpoint(const rng::Philox4x32& rng_in, Sequence current_in,
-               Cost energy_in, double threshold_in,
-               std::uint64_t iteration_in, RunResult result_in,
-               StepStatus status_in, double elapsed_in)
+               std::vector<std::int32_t> splits_in, Cost energy_in,
+               double threshold_in, std::uint64_t iteration_in,
+               RunResult result_in, StepStatus status_in, double elapsed_in)
       : rng(rng_in),
         current(std::move(current_in)),
+        splits(std::move(splits_in)),
         energy(energy_in),
         threshold(threshold_in),
         iteration(iteration_in),
@@ -47,17 +55,26 @@ class TaEngine final : public Engine {
            const std::optional<Sequence>& initial)
       : objective_(objective),
         params_(params),
+        machines_(objective.machines()),
         rng_(params.seed, /*stream=*/0x7aULL),
-        lease_(params.pool, objective.size(), /*capacity=*/1),
+        lease_(params.pool, objective.size(), /*capacity=*/1,
+               static_cast<std::size_t>(objective.machines())),
         positions_(params.pert),
         values_(params.pert) {
     const auto t_start = Clock::now();
     const std::size_t n = objective_.size();
     current_ = initial.has_value() ? *initial : RandomSequence(n, rng_);
-    energy_ = objective_(current_);
+    if (machines_ > 1) {
+      current_splits_.resize(static_cast<std::size_t>(machines_ - 1));
+      EvenSplits(current_splits_, n);
+      energy_ = objective_.Evaluate(current_, current_splits_);
+    } else {
+      energy_ = objective_(current_);
+    }
     result_.evaluations = 1;
     result_.best = current_;
     result_.best_cost = energy_;
+    result_.best_splits = current_splits_;
     threshold_ =
         params_.initial_threshold > 0.0
             ? params_.initial_threshold
@@ -84,18 +101,37 @@ class TaEngine final : public Engine {
         break;
       }
       std::copy(current_.begin(), current_.end(), candidate.begin());
-      PartialFisherYates(candidate, params_.pert, rng_,
-                         std::span<std::uint32_t>(positions_),
-                         std::span<JobId>(values_));
+      bool sequence_move = true;
+      if (machines_ > 1) {
+        std::copy(current_splits_.begin(), current_splits_.end(),
+                  pool.splits_row(0).begin());
+        // Extra draws are gated on m > 1: single-machine runs replay their
+        // historical RNG schedule bit for bit.
+        if (rng_.NextUniform() <= kReassignProb) {
+          sequence_move = false;
+          SplitShift(pool.splits_row(0),
+                     static_cast<std::int32_t>(current_.size()), rng_);
+        }
+      }
+      if (sequence_move) {
+        PartialFisherYates(candidate, params_.pert, rng_,
+                           std::span<std::uint32_t>(positions_),
+                           std::span<JobId>(values_));
+      }
       objective_.EvaluateBatch(pool);
       const Cost new_energy = pool.costs()[0];
       ++result_.evaluations;
       if (static_cast<double>(new_energy - energy_) <= threshold_) {
         current_.assign(candidate.begin(), candidate.end());
+        if (machines_ > 1) {
+          const auto splits = pool.splits_row(0);
+          current_splits_.assign(splits.begin(), splits.end());
+        }
         energy_ = new_energy;
         if (energy_ < result_.best_cost) {
           result_.best_cost = energy_;
           result_.best = current_;
+          result_.best_splits = current_splits_;
         }
       }
       threshold_ *= params_.decay;
@@ -121,9 +157,9 @@ class TaEngine final : public Engine {
   Cost BestCost() const override { return result_.best_cost; }
 
   std::unique_ptr<EngineCheckpoint> Checkpoint() const override {
-    return std::make_unique<TaCheckpoint>(rng_, current_, energy_,
-                                          threshold_, iteration_, result_,
-                                          status_, elapsed_);
+    return std::make_unique<TaCheckpoint>(rng_, current_, current_splits_,
+                                          energy_, threshold_, iteration_,
+                                          result_, status_, elapsed_);
   }
 
   void Restore(const EngineCheckpoint& checkpoint) override {
@@ -133,6 +169,7 @@ class TaEngine final : public Engine {
     }
     rng_ = cp->rng;
     current_ = cp->current;
+    current_splits_ = cp->splits;
     energy_ = cp->energy;
     threshold_ = cp->threshold;
     iteration_ = cp->iteration;
@@ -151,11 +188,13 @@ class TaEngine final : public Engine {
  private:
   SequenceObjective objective_;
   TaParams params_;
+  std::int32_t machines_ = 1;
   rng::Philox4x32 rng_;
   PoolLease lease_;
   std::vector<std::uint32_t> positions_;
   std::vector<JobId> values_;
   Sequence current_;
+  std::vector<std::int32_t> current_splits_;
   Cost energy_ = 0;
   double threshold_ = 0.0;
   std::uint64_t iteration_ = 0;

@@ -150,6 +150,7 @@ std::unique_ptr<meta::Engine> MakeRace(const Instance& instance,
 std::unique_ptr<meta::Engine> MakeEngineByName(std::string_view name,
                                                const Instance& instance,
                                                const EngineOptions& options) {
+  RequireEngineSupports(name, instance);
   if (name == "sa") {
     meta::SaParams params;
     params.iterations = options.generations;
@@ -275,6 +276,34 @@ EngineRegistry MakeDefault() {
 
 bool IsDeviceEngine(std::string_view name) {
   return name == "psa" || name == "pdpso" || name == "psa-sync";
+}
+
+bool EngineSupportsInstance(std::string_view name,
+                            const Instance& instance) {
+  if (instance.machines() <= 1 &&
+      instance.objective() == ScheduleObjective::kTotalPenalty) {
+    return true;
+  }
+  return name == "sa" || name == "ta";
+}
+
+std::string EngineSupportDiagnostic(std::string_view name,
+                                    const Instance& instance) {
+  if (EngineSupportsInstance(name, instance)) return {};
+  const std::string variant =
+      instance.objective() == ScheduleObjective::kEarlyWork
+          ? std::string("the early-work objective")
+          : "parallel machines (m=" + std::to_string(instance.machines()) +
+                ")";
+  return "engine '" + std::string(name) + "' does not support " + variant +
+         "; supported engines: sa, ta";
+}
+
+void RequireEngineSupports(std::string_view name, const Instance& instance) {
+  if (std::string diagnostic = EngineSupportDiagnostic(name, instance);
+      !diagnostic.empty()) {
+    throw std::invalid_argument(diagnostic);
+  }
 }
 
 bool RacePortfolioPinned(const EngineOptions& options) {

@@ -1,7 +1,8 @@
 #pragma once
 /// \file engine_registry.hpp
-/// \brief Name -> solver adapters over the library's nine engines
-/// (eight heuristics plus the exact branch-and-bound tier).
+/// \brief Name -> solver adapters over the library's ten engines
+/// (eight heuristics, the exact branch-and-bound tier and the racing
+/// portfolio).
 ///
 /// The registry is the single place where an engine name ("psa", "host",
 /// "sa", ...) maps to runnable code, so the cdd_solve CLI, the
@@ -96,6 +97,25 @@ void MaterializeRacePortfolio(EngineOptions& options);
 /// "psa-sync") — their generations live in device buffers, so a lent pool
 /// would sit on the wrong side of the bus.
 bool IsDeviceEngine(std::string_view name);
+
+/// True when the named engine can solve \p instance's problem variant.
+/// Single-machine total-penalty instances are supported by every engine.
+/// Parallel-machine (Instance::machines() > 1) and early-work instances
+/// are searched over (permutation, splits) candidates; only the
+/// single-chain "sa" and "ta" engines carry that move set (see
+/// docs/WORKLOADS.md for the support matrix).
+bool EngineSupportsInstance(std::string_view name, const Instance& instance);
+
+/// Human-readable reason EngineSupportsInstance is false, empty when the
+/// engine supports the variant.  The service's admission path returns it
+/// as the rejection diagnostic.
+std::string EngineSupportDiagnostic(std::string_view name,
+                                    const Instance& instance);
+
+/// Throws std::invalid_argument with EngineSupportDiagnostic's message
+/// when EngineSupportsInstance is false, so the CLI, the service and race
+/// contender construction reject unsupported variants identically.
+void RequireEngineSupports(std::string_view name, const Instance& instance);
 
 /// Rows a request-scoped pool needs so the named engine can stage a full
 /// generation in it; 0 means the engine cannot borrow a shared pool

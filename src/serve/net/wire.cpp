@@ -134,6 +134,13 @@ std::string WriteResponse(const SolveResponse& response) {
       << ",\"solve_ms\":" << response.solve_ms
       << ",\"from_cache\":" << (response.from_cache ? "true" : "false")
       << ",\"coalesced\":" << (response.coalesced ? "true" : "false");
+  // Multi-machine solves carry the machine-assignment splits of the best
+  // candidate; single-machine responses omit the field, keeping their
+  // payloads byte-identical to the pre-parallel-machine wire format.
+  if (!response.result.best_splits.empty()) {
+    out << ",";
+    WriteIntArray(out, "best_splits", response.result.best_splits);
+  }
   if (!response.result.trajectory.empty()) {
     out << ",";
     WriteIntArray(out, "trajectory", response.result.trajectory);
@@ -177,6 +184,12 @@ SolveResponse ParseResponse(std::string_view payload) {
     response.solve_ms = root.At("solve_ms").AsDouble();
     response.from_cache = root.At("from_cache").AsBool();
     response.coalesced = root.At("coalesced").AsBool();
+    if (const JsonValue* splits = root.Find("best_splits")) {
+      for (const JsonValue& split : splits->AsArray()) {
+        response.result.best_splits.push_back(
+            static_cast<std::int32_t>(split.AsInt()));
+      }
+    }
     if (const JsonValue* trajectory = root.Find("trajectory")) {
       for (const JsonValue& cost : trajectory->AsArray()) {
         response.result.trajectory.push_back(

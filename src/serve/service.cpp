@@ -177,6 +177,19 @@ std::future<SolveResponse> SolverService::Submit(SolveRequest request,
     return answer(std::move(response));
   }
 
+  // Variant support is an admission decision too: an engine without the
+  // multi-machine / early-work move set must reject here, not throw deep
+  // inside a worker.
+  if (std::string diagnostic =
+          EngineSupportDiagnostic(request.engine, request.instance);
+      !diagnostic.empty()) {
+    rejected_invalid_instance_->Increment();
+    CDD_TRACE_INSTANT("serve.rejected_invalid_instance");
+    response.status = SolveStatus::kRejectedInvalidInstance;
+    response.error = std::move(diagnostic);
+    return answer(std::move(response));
+  }
+
   // Race requests bake the effective (env-pinned) contender list into
   // the options here, so the cache key, the run and the manifest record
   // all agree — and the record stays replayable without the variable.
@@ -384,16 +397,20 @@ void SolverService::Process(Job&& job, unsigned slot, unsigned depth) {
   std::optional<CandidatePool> request_pool;
   const std::size_t pool_rows =
       PoolCapacityHint(job.request.engine, options);
+  const auto pool_machines =
+      static_cast<std::size_t>(job.request.instance.machines());
   if (pool_rows > 0 && job.request.instance.size() > 0) {
     if (pool_allocator_->backend() == core::PoolBackend::kDevice) {
       // Same-shape reuse: an idle device-resident pool of exactly this
-      // shape (n fixes the stride, capacity fixes the block) skips the
-      // device allocation entirely.  Exact capacity match keeps the
-      // free-list from pinning oversized blocks to small requests.
+      // shape (n fixes the stride, capacity fixes the block, the machine
+      // count fixes the splits sections) skips the device allocation
+      // entirely.  Exact capacity match keeps the free-list from pinning
+      // oversized blocks to small requests.
       const std::scoped_lock lock(idle_pools_mutex_);
       for (auto it = idle_pools_.begin(); it != idle_pools_.end(); ++it) {
         if (it->n() == job.request.instance.size() &&
-            it->capacity() == pool_rows) {
+            it->capacity() == pool_rows &&
+            it->machines() == pool_machines) {
           it->Clear();
           request_pool.emplace(std::move(*it));
           idle_pools_.erase(it);
@@ -405,7 +422,7 @@ void SolverService::Process(Job&& job, unsigned slot, unsigned depth) {
     }
     if (!request_pool) {
       request_pool.emplace(job.request.instance.size(), pool_rows,
-                           *pool_allocator_);
+                           *pool_allocator_, pool_machines);
     }
     options.pool = &*request_pool;
     pool_handoffs_->Increment();

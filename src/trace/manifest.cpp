@@ -88,6 +88,16 @@ void WriteInstanceJson(std::ostream& out, const Instance& instance) {
   std::ostringstream body;
   body << "{\"problem\":\"" << ProblemName(instance.problem())
        << "\",\"due\":" << instance.due_date() << ",";
+  // Optional variant fields, written only when non-default so every
+  // single-machine total-penalty line stays byte-identical to the
+  // pre-parallel-machine format (same contract as the race fields of
+  // WriteManifestLine).
+  if (instance.machines() > 1) {
+    body << "\"machines\":" << instance.machines() << ",";
+  }
+  if (instance.objective() == ScheduleObjective::kEarlyWork) {
+    body << "\"objective\":\"early-work\",";
+  }
   WriteIntArray(body, "proc", proc);
   body << ",";
   WriteIntArray(body, "min_proc", min_proc);
@@ -113,6 +123,20 @@ Instance ParseInstanceJson(const JsonValue& value) {
     Instance instance(problem, due, std::move(proc), std::move(early),
                       std::move(tardy), std::move(min_proc),
                       std::move(compress));
+    // Optional variant fields: lines recorded before parallel machines /
+    // early work existed simply omit them and parse as before.
+    if (const JsonValue* machines = value.Find("machines")) {
+      instance = instance.with_machines(
+          static_cast<std::int32_t>(machines->AsInt()));
+    }
+    if (const JsonValue* objective = value.Find("objective")) {
+      const std::string name = objective->AsString();
+      if (name == "early-work") {
+        instance = instance.with_objective(ScheduleObjective::kEarlyWork);
+      } else if (name != "total-penalty") {
+        throw ManifestError("unknown objective '" + name + "'");
+      }
+    }
     instance.Validate();
     return instance;
   } catch (const JsonError& e) {

@@ -1,0 +1,326 @@
+/// Multi-machine and early-work evaluators cross-checked against brute
+/// force (docs/WORKLOADS.md): per-candidate exhaustive start-offset search
+/// for the total-penalty objective, the first-principles per-job late-work
+/// sum for early work, batch/dispatch bit-identity, and the schedule-level
+/// round trip through BuildMachineSchedule / EvaluateSchedule.
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/eval_raw.hpp"
+#include "core/eval_simd.hpp"
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace cdd {
+namespace {
+
+struct Candidate {
+  std::int32_t n = 0;
+  std::int32_t m = 1;
+  Time d = 0;
+  std::vector<JobId> seq;
+  std::vector<std::int32_t> splits;  // m-1 ascending positions in [0, n]
+  std::vector<Time> proc;
+  std::vector<Cost> alpha;
+  std::vector<Cost> beta;
+};
+
+/// Cost of one machine's slice by exhaustive search over integer start
+/// offsets.  The cost is convex piecewise-linear in the offset and strictly
+/// increasing once every job is tardy, so the optimum lies in [0, d].
+Cost BruteSliceCost(const Candidate& c, std::int32_t begin,
+                    std::int32_t end) {
+  if (begin >= end) return 0;
+  Cost best = -1;
+  for (Time s = 0; s <= c.d; ++s) {
+    Cost cost = 0;
+    Time t = s;
+    for (std::int32_t i = begin; i < end; ++i) {
+      const JobId j = c.seq[i];
+      t += c.proc[j];
+      cost += (t <= c.d) ? c.alpha[j] * (c.d - t) : c.beta[j] * (t - c.d);
+    }
+    if (best < 0 || cost < best) best = cost;
+  }
+  return best;
+}
+
+Cost BruteCandidateCost(const Candidate& c) {
+  Cost total = 0;
+  std::int32_t begin = 0;
+  for (std::int32_t k = 0; k < c.m; ++k) {
+    const std::int32_t end =
+        (k + 1 < c.m) ? c.splits[static_cast<std::size_t>(k)] : c.n;
+    total += BruteSliceCost(c, begin, end);
+    begin = end;
+  }
+  return total;
+}
+
+/// First-principles late work: per job, the part of its processing that
+/// falls after d on its machine's start-at-zero no-idle schedule.
+Cost BruteEarlyWorkCost(const Candidate& c) {
+  Cost total = 0;
+  std::int32_t begin = 0;
+  for (std::int32_t k = 0; k < c.m; ++k) {
+    const std::int32_t end =
+        (k + 1 < c.m) ? c.splits[static_cast<std::size_t>(k)] : c.n;
+    Time t = 0;
+    for (std::int32_t i = begin; i < end; ++i) {
+      const JobId j = c.seq[i];
+      t += c.proc[j];
+      const Time late = std::min<Time>(c.proc[j], std::max<Time>(0, t - c.d));
+      total += late;
+    }
+    begin = end;
+  }
+  return total;
+}
+
+Candidate RandomCandidate(std::mt19937& rng, std::int32_t n, std::int32_t m,
+                          double h) {
+  Candidate c;
+  c.n = n;
+  c.m = m;
+  std::uniform_int_distribution<Time> proc_dist(1, 20);
+  std::uniform_int_distribution<Cost> pen_dist(1, 10);
+  Time total = 0;
+  for (std::int32_t j = 0; j < n; ++j) {
+    c.proc.push_back(proc_dist(rng));
+    c.alpha.push_back(pen_dist(rng));
+    c.beta.push_back(pen_dist(rng));
+    total += c.proc.back();
+  }
+  c.d = static_cast<Time>(h * static_cast<double>(total));
+  c.seq.resize(static_cast<std::size_t>(n));
+  std::iota(c.seq.begin(), c.seq.end(), 0);
+  std::shuffle(c.seq.begin(), c.seq.end(), rng);
+  std::uniform_int_distribution<std::int32_t> split_dist(0, n);
+  for (std::int32_t k = 0; k + 1 < m; ++k) {
+    c.splits.push_back(split_dist(rng));
+  }
+  std::sort(c.splits.begin(), c.splits.end());
+  return c;
+}
+
+TEST(EvalMachines, TotalPenaltyMatchesBruteForce) {
+  std::mt19937 rng(20160516);
+  for (std::int32_t n = 2; n <= 9; ++n) {
+    for (const std::int32_t m : {2, 3}) {
+      for (const double h : {0.3, 0.6, 1.0}) {
+        for (int rep = 0; rep < 8; ++rep) {
+          const Candidate c = RandomCandidate(rng, n, m, h);
+          const raw::EvalResult r = raw::EvalCddMachines(
+              c.n, c.m, c.d, c.seq.data(), c.splits.data(), c.proc.data(),
+              c.alpha.data(), c.beta.data());
+          EXPECT_EQ(r.cost, BruteCandidateCost(c))
+              << "n=" << n << " m=" << m << " h=" << h << " rep=" << rep;
+        }
+      }
+    }
+  }
+}
+
+TEST(EvalMachines, EarlyWorkMatchesBruteForce) {
+  std::mt19937 rng(20071238);
+  for (std::int32_t n = 2; n <= 9; ++n) {
+    for (const std::int32_t m : {2, 3}) {
+      for (const double h : {0.3, 0.6, 1.0}) {
+        for (int rep = 0; rep < 8; ++rep) {
+          const Candidate c = RandomCandidate(rng, n, m, h);
+          const raw::EvalResult r =
+              raw::EvalEarlyWork(c.n, c.m, c.d, c.seq.data(),
+                                 c.splits.data(), c.proc.data());
+          EXPECT_EQ(r.cost, BruteEarlyWorkCost(c))
+              << "n=" << n << " m=" << m << " h=" << h << " rep=" << rep;
+        }
+      }
+    }
+  }
+}
+
+TEST(EvalMachines, SingleMachineReducesToFusedEvaluator) {
+  std::mt19937 rng(11);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Candidate c = RandomCandidate(rng, 9, 1, 0.6);
+    const raw::EvalResult machines = raw::EvalCddMachines(
+        c.n, 1, c.d, c.seq.data(), nullptr, c.proc.data(), c.alpha.data(),
+        c.beta.data());
+    const raw::EvalResult fused = raw::EvalCddFused(
+        c.n, c.d, c.seq.data(), c.proc.data(), c.alpha.data(),
+        c.beta.data());
+    EXPECT_EQ(machines.cost, fused.cost);
+    EXPECT_EQ(machines.offset, fused.offset);
+    EXPECT_EQ(machines.pinned, fused.pinned);
+  }
+}
+
+TEST(EvalMachines, EmptySlicesAreIdleMachines) {
+  // All splits at 0 (machine m-1 runs everything) and all at n (machine 0
+  // runs everything) must both equal the single-machine evaluation.
+  std::mt19937 rng(12);
+  Candidate c = RandomCandidate(rng, 7, 3, 0.6);
+  const Cost single =
+      raw::EvalCddFused(c.n, c.d, c.seq.data(), c.proc.data(),
+                        c.alpha.data(), c.beta.data())
+          .cost;
+  c.splits = {0, 0};
+  EXPECT_EQ(raw::EvalCddMachines(c.n, c.m, c.d, c.seq.data(),
+                                 c.splits.data(), c.proc.data(),
+                                 c.alpha.data(), c.beta.data())
+                .cost,
+            single);
+  c.splits = {c.n, c.n};
+  EXPECT_EQ(raw::EvalCddMachines(c.n, c.m, c.d, c.seq.data(),
+                                 c.splits.data(), c.proc.data(),
+                                 c.alpha.data(), c.beta.data())
+                .cost,
+            single);
+}
+
+/// The permutation+splits encoding reaches every machine assignment: the
+/// best candidate cost equals the best over all m^n assignments under the
+/// early-work objective (which depends on the assignment alone).
+TEST(EvalMachines, CandidateSpaceCoversAllAssignments) {
+  std::mt19937 rng(13);
+  const std::int32_t n = 6;
+  const std::int32_t m = 2;
+  Candidate c = RandomCandidate(rng, n, m, 0.4);
+
+  Cost best_assignment = -1;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Time load[2] = {0, 0};
+    for (std::int32_t j = 0; j < n; ++j) {
+      load[(mask >> j) & 1u] += c.proc[static_cast<std::size_t>(j)];
+    }
+    const Cost cost = std::max<Time>(0, load[0] - c.d) +
+                      std::max<Time>(0, load[1] - c.d);
+    if (best_assignment < 0 || cost < best_assignment) {
+      best_assignment = cost;
+    }
+  }
+
+  Cost best_candidate = -1;
+  std::vector<JobId> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    for (std::int32_t split = 0; split <= n; ++split) {
+      const raw::EvalResult r =
+          raw::EvalEarlyWork(n, m, c.d, perm.data(), &split, c.proc.data());
+      if (best_candidate < 0 || r.cost < best_candidate) {
+        best_candidate = r.cost;
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  EXPECT_EQ(best_candidate, best_assignment);
+}
+
+TEST(EvalMachines, BatchAndDispatchAreBitIdentical) {
+  std::mt19937 rng(14);
+  const std::int32_t n = 8;
+  const std::int32_t m = 3;
+  const std::int32_t batch = 17;
+  const std::int32_t stride = 16;
+  const Candidate proto = RandomCandidate(rng, n, m, 0.6);
+
+  std::vector<JobId> seqs(static_cast<std::size_t>(batch * stride), 0);
+  std::vector<std::int32_t> splits(
+      static_cast<std::size_t>(batch * (m - 1)), 0);
+  for (std::int32_t b = 0; b < batch; ++b) {
+    const Candidate c = RandomCandidate(rng, n, m, 0.6);
+    std::copy(c.seq.begin(), c.seq.end(),
+              seqs.begin() + static_cast<std::size_t>(b) * stride);
+    std::copy(c.splits.begin(), c.splits.end(),
+              splits.begin() + static_cast<std::size_t>(b) * (m - 1));
+  }
+
+  // Scalar reference: one EvalCddMachines / EvalEarlyWork call per row.
+  std::vector<Cost> ref_penalty(static_cast<std::size_t>(batch));
+  std::vector<Cost> ref_late(static_cast<std::size_t>(batch));
+  for (std::int32_t b = 0; b < batch; ++b) {
+    const JobId* row = seqs.data() + static_cast<std::size_t>(b) * stride;
+    const std::int32_t* row_splits =
+        splits.data() + static_cast<std::size_t>(b) * (m - 1);
+    ref_penalty[static_cast<std::size_t>(b)] =
+        raw::EvalCddMachines(n, m, proto.d, row, row_splits,
+                             proto.proc.data(), proto.alpha.data(),
+                             proto.beta.data())
+            .cost;
+    ref_late[static_cast<std::size_t>(b)] =
+        raw::EvalEarlyWork(n, m, proto.d, row, row_splits,
+                           proto.proc.data())
+            .cost;
+  }
+
+  std::vector<Cost> got(static_cast<std::size_t>(batch), -1);
+  raw::EvalCddMachinesBatch(n, m, proto.d, seqs.data(), stride,
+                            splits.data(), batch, proto.proc.data(),
+                            proto.alpha.data(), proto.beta.data(),
+                            got.data());
+  EXPECT_EQ(got, ref_penalty);
+
+  // The dispatch entry point must agree whatever backend is active (the CI
+  // matrix runs this suite under CDD_EVAL_BACKEND=simd and =scalar).
+  std::fill(got.begin(), got.end(), -1);
+  raw::EvalCddMachinesBatchDispatch(n, m, proto.d, seqs.data(), stride,
+                                    splits.data(), batch, proto.proc.data(),
+                                    proto.alpha.data(), proto.beta.data(),
+                                    got.data());
+  EXPECT_EQ(got, ref_penalty);
+
+  std::fill(got.begin(), got.end(), -1);
+  raw::EvalEarlyWorkBatch(n, m, proto.d, seqs.data(), stride, splits.data(),
+                          batch, proto.proc.data(), got.data());
+  EXPECT_EQ(got, ref_late);
+
+  std::fill(got.begin(), got.end(), -1);
+  raw::EvalEarlyWorkBatchDispatch(n, m, proto.d, seqs.data(), stride,
+                                  splits.data(), batch, proto.proc.data(),
+                                  got.data());
+  EXPECT_EQ(got, ref_late);
+}
+
+/// Schedule-level round trip: materializing the candidate and evaluating
+/// it from first principles (EvaluateSchedule is independent of the O(n)
+/// evaluators) reproduces the evaluator cost, for both objectives.
+TEST(EvalMachines, ScheduleRoundTripMatchesEvaluators) {
+  std::mt19937 rng(15);
+  for (const std::int32_t m : {2, 3}) {
+    for (int rep = 0; rep < 10; ++rep) {
+      const Candidate c = RandomCandidate(rng, 8, m, 0.6);
+      const Instance penalty_instance =
+          Instance(Problem::kCdd, c.d, c.proc, c.alpha, c.beta)
+              .with_machines(m);
+      const Schedule penalty_schedule =
+          BuildMachineSchedule(penalty_instance, c.seq, c.splits);
+      EXPECT_NO_THROW(
+          ValidateSchedule(penalty_instance, penalty_schedule));
+      EXPECT_EQ(EvaluateSchedule(penalty_instance, penalty_schedule),
+                raw::EvalCddMachines(c.n, c.m, c.d, c.seq.data(),
+                                     c.splits.data(), c.proc.data(),
+                                     c.alpha.data(), c.beta.data())
+                    .cost);
+
+      const Instance late_instance =
+          penalty_instance.with_objective(ScheduleObjective::kEarlyWork);
+      const Schedule late_schedule =
+          BuildMachineSchedule(late_instance, c.seq, c.splits);
+      EXPECT_NO_THROW(ValidateSchedule(late_instance, late_schedule,
+                                       /*require_no_idle=*/true));
+      EXPECT_EQ(EvaluateSchedule(late_instance, late_schedule),
+                raw::EvalEarlyWork(c.n, c.m, c.d, c.seq.data(),
+                                   c.splits.data(), c.proc.data())
+                    .cost);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdd

@@ -174,6 +174,44 @@ TEST(Wire, ResponseRoundTripsIncludingOverloadStatuses) {
   EXPECT_FALSE(SolveStatusFromName("no_such_status").has_value());
 }
 
+TEST(Wire, VariantInstancesAndSplitsRoundTrip) {
+  // A parallel-machine early-work request travels through the shared
+  // instance codec; the canonical key must separate it from the plain
+  // single-machine request over the same job data.
+  SolveRequest plain;
+  plain.id = 3;
+  plain.engine = "sa";
+  plain.instance = cdd::testing::PaperExampleCdd();
+  SolveRequest variant = plain;
+  variant.instance = plain.instance.with_machines(2).with_objective(
+      ScheduleObjective::kEarlyWork);
+
+  const SolveRequest parsed = ParseRequest(WriteRequest(variant));
+  EXPECT_EQ(parsed.instance.machines(), 2);
+  EXPECT_EQ(parsed.instance.objective(), ScheduleObjective::kEarlyWork);
+  EXPECT_EQ(CacheKey(parsed), CacheKey(variant));
+  EXPECT_NE(CacheKey(parsed), CacheKey(plain));
+  // Single-machine payloads carry neither variant field — byte-compatible
+  // with pre-variant clients.
+  const std::string plain_payload = WriteRequest(plain);
+  EXPECT_EQ(plain_payload.find("machines"), std::string::npos);
+  EXPECT_EQ(plain_payload.find("objective"), std::string::npos);
+
+  // best_splits round-trips on responses and stays optional.
+  SolveResponse response;
+  response.id = 4;
+  response.status = SolveStatus::kOk;
+  response.result.best = {2, 0, 1, 3, 4};
+  response.result.best_cost = 9;
+  response.result.best_splits = {2};
+  const SolveResponse back = ParseResponse(WriteResponse(response));
+  EXPECT_EQ(back.result.best_splits, response.result.best_splits);
+  response.result.best_splits.clear();
+  const std::string no_splits = WriteResponse(response);
+  EXPECT_EQ(no_splits.find("best_splits"), std::string::npos);
+  EXPECT_TRUE(ParseResponse(no_splits).result.best_splits.empty());
+}
+
 TEST(Wire, ErrorResponseParsesAsFailed) {
   const SolveResponse parsed =
       ParseResponse(WriteErrorResponse(0, "request is not valid JSON"));

@@ -140,6 +140,30 @@ TEST(PoolHandoff, DevicePoolsAreReusedAcrossSameShapeRequests) {
   EXPECT_EQ(service.metrics().counter("pool_staging_copies").value(), 4u);
 }
 
+TEST(PoolHandoff, FreeListKeysOnMachineCount) {
+  // The free-list shape key includes the machine count: a multi-machine
+  // request must not be handed an idle single-machine pool of the same n
+  // and capacity (it would have no splits sections), and vice versa.
+  ServiceConfig config{.workers = 1};
+  config.pool_backend = "device";
+  SolverService service(config);
+  SolveRequest plain = Request(1, "sa");
+  SolveRequest multi = Request(2, "sa");
+  multi.instance = multi.instance.with_machines(3);
+  SolveRequest multi_again = Request(3, "sa");
+  multi_again.instance = multi_again.instance.with_machines(3);
+  multi_again.options.seed = 99;  // different cache key, same pool shape
+  EXPECT_EQ(service.Submit(std::move(plain)).get().status,
+            SolveStatus::kOk);
+  EXPECT_EQ(service.Submit(std::move(multi)).get().status,
+            SolveStatus::kOk);
+  // plain -> multi: no reuse (machine counts differ); multi -> multi: hit.
+  EXPECT_EQ(service.metrics().counter("pool_reuse_hits").value(), 0u);
+  EXPECT_EQ(service.Submit(std::move(multi_again)).get().status,
+            SolveStatus::kOk);
+  EXPECT_EQ(service.metrics().counter("pool_reuse_hits").value(), 1u);
+}
+
 TEST(ExecConfig, ExplicitServiceBackendIsHonored) {
   // An explicit ServiceConfig::exec_backend bypasses the oversubscription
   // guard entirely; the resolved value is observable on the service.

@@ -78,6 +78,68 @@ TEST(SolverService, RestrictedUcddcpInstanceRejectedAtTheBoundary) {
       service.metrics().counter("rejected_invalid_instance").value(), 1u);
 }
 
+TEST(SolverService, VariantInstanceWithUnsupportedEngineRejected) {
+  // Pairing a parallel-machine or early-work instance with an engine
+  // outside the support matrix (docs/WORKLOADS.md) is rejected
+  // synchronously with the support diagnostic, never queued.
+  SolverService service(ServiceConfig{.workers = 1});
+  SolveRequest request = SmallRequest(21);
+  request.engine = "dpso";
+  request.instance = request.instance.with_machines(3);
+  std::future<SolveResponse> future = service.Submit(std::move(request));
+  ASSERT_EQ(future.wait_for(milliseconds(0)), std::future_status::ready);
+  const SolveResponse response = future.get();
+  EXPECT_EQ(response.status, SolveStatus::kRejectedInvalidInstance);
+  EXPECT_NE(response.error.find("parallel machines (m=3)"),
+            std::string::npos)
+      << response.error;
+  EXPECT_NE(response.error.find("sa, ta"), std::string::npos);
+  EXPECT_EQ(
+      service.metrics().counter("rejected_invalid_instance").value(), 1u);
+
+  SolveRequest early = SmallRequest(22);
+  early.engine = "es";
+  early.instance =
+      early.instance.with_objective(ScheduleObjective::kEarlyWork);
+  const SolveResponse early_response =
+      service.Submit(std::move(early)).get();
+  EXPECT_EQ(early_response.status, SolveStatus::kRejectedInvalidInstance);
+  EXPECT_NE(early_response.error.find("early-work"), std::string::npos);
+  EXPECT_EQ(
+      service.metrics().counter("rejected_invalid_instance").value(), 2u);
+}
+
+TEST(SolverService, VariantInstanceWithSupportedEngineSolves) {
+  SolverService service(ServiceConfig{.workers = 2});
+  SolveRequest request = SmallRequest(23);
+  request.engine = "ta";
+  request.instance = request.instance.with_machines(2).with_objective(
+      ScheduleObjective::kEarlyWork);
+  const SolveResponse response = service.Submit(std::move(request)).get();
+  EXPECT_EQ(response.status, SolveStatus::kOk);
+  EXPECT_NO_THROW(ValidateSequence(response.result.best, 12));
+  ASSERT_EQ(response.result.best_splits.size(), 1u);
+  EXPECT_GE(response.result.best_splits[0], 0);
+  EXPECT_LE(response.result.best_splits[0], 12);
+
+  // The variant fields are part of the canonical key: the same request is
+  // a cache hit, the single-machine twin is not.
+  SolveRequest again = SmallRequest(24);
+  again.engine = "ta";
+  again.instance = again.instance.with_machines(2).with_objective(
+      ScheduleObjective::kEarlyWork);
+  const SolveResponse hit = service.Submit(std::move(again)).get();
+  EXPECT_EQ(hit.status, SolveStatus::kCacheHit);
+  EXPECT_EQ(hit.result.best_splits, response.result.best_splits);
+  EXPECT_EQ(hit.result.best_cost, response.result.best_cost);
+
+  SolveRequest plain = SmallRequest(25);
+  plain.engine = "ta";
+  const SolveResponse miss = service.Submit(std::move(plain)).get();
+  EXPECT_EQ(miss.status, SolveStatus::kOk);
+  EXPECT_TRUE(miss.result.best_splits.empty());
+}
+
 TEST(SolverService, UnrestrictedUcddcpInstancePassesValidation) {
   EXPECT_TRUE(
       ValidateRequestInstance(cdd::testing::RandomUcddcp(8, 1.2, 3))

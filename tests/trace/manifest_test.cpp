@@ -77,6 +77,73 @@ TEST(Manifest, RoundTripsUcddcpInstances) {
   EXPECT_NO_THROW(VerifyManifestIntegrity(parsed));
 }
 
+TEST(Manifest, VariantFieldsRoundTripAndStayOptional) {
+  // Parallel-machine and early-work instances round-trip through the
+  // optional "machines"/"objective" members.
+  ManifestRecord record = SampleRecord();
+  record.instance = record.instance.with_machines(3).with_objective(
+      ScheduleObjective::kEarlyWork);
+  record.instance_hash = HashInstance(record.instance);
+  const std::string line = WriteManifestLine(record);
+  EXPECT_NE(line.find("\"machines\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"objective\":\"early-work\""), std::string::npos);
+  const ManifestRecord parsed = ParseManifestLine(line);
+  EXPECT_EQ(parsed.instance.machines(), 3);
+  EXPECT_EQ(parsed.instance.objective(), ScheduleObjective::kEarlyWork);
+  EXPECT_EQ(parsed.instance, record.instance);
+  EXPECT_NO_THROW(VerifyManifestIntegrity(parsed));
+
+  // Single-machine total-penalty lines omit both fields — they are
+  // byte-identical to the pre-variant format, which is what lets
+  // results/golden_manifest.jsonl replay unchanged.
+  const std::string plain = WriteManifestLine(SampleRecord());
+  EXPECT_EQ(plain.find("machines"), std::string::npos);
+  EXPECT_EQ(plain.find("objective"), std::string::npos);
+  const ManifestRecord reparsed = ParseManifestLine(plain);
+  EXPECT_EQ(reparsed.instance.machines(), 1);
+  EXPECT_EQ(reparsed.instance.objective(),
+            ScheduleObjective::kTotalPenalty);
+}
+
+TEST(Manifest, PreVariantLinesStillParse) {
+  // A line captured verbatim from the pre-variant writer (no "machines",
+  // no "objective") must parse to a default-variant instance and survive
+  // the integrity check — tampering with the variant fields must not.
+  ManifestRecord record = SampleRecord();
+  const std::string line = WriteManifestLine(record);
+  const ManifestRecord parsed = ParseManifestLine(line);
+  EXPECT_EQ(parsed.instance.machines(), 1);
+  EXPECT_NO_THROW(VerifyManifestIntegrity(parsed));
+
+  // Splicing "machines":2 into the recorded line changes the instance
+  // hash, so the integrity check rejects the edit.
+  const std::string needle = "\"due\":";
+  const auto pos = line.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  std::string tampered = line;
+  tampered.insert(pos, "\"machines\":2,");
+  const ManifestRecord altered = ParseManifestLine(tampered);
+  EXPECT_EQ(altered.instance.machines(), 2);
+  EXPECT_THROW(VerifyManifestIntegrity(altered), ManifestError);
+}
+
+TEST(Manifest, RejectsUnknownObjective) {
+  ManifestRecord record = SampleRecord();
+  const std::string line = WriteManifestLine(record);
+  const std::string needle = "\"due\":";
+  const auto pos = line.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  // "total-penalty" is the accepted spelling of the default; anything
+  // else is a hard parse error, not a silent fallback.
+  std::string spelled = line;
+  spelled.insert(pos, "\"objective\":\"total-penalty\",");
+  EXPECT_EQ(ParseManifestLine(spelled).instance.objective(),
+            ScheduleObjective::kTotalPenalty);
+  std::string unknown = line;
+  unknown.insert(pos, "\"objective\":\"lateness\",");
+  EXPECT_THROW(ParseManifestLine(unknown), ManifestError);
+}
+
 TEST(Manifest, HashesSurvive64BitRange) {
   // Hashes above 2^53 lose bits as JSON doubles; the format must carry
   // them as decimal strings and round-trip exactly.

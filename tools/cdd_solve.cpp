@@ -54,6 +54,11 @@ void PrintUsage() {
       "  --file PATH          read an OR-library sch file instead\n"
       "  --problem cdd|ucddcp problem variant (default cdd)\n"
       "  --h H                restrictiveness factor for CDD (default 0.6)\n"
+      "  --machines M         parallel identical machines (default 1; CDD\n"
+      "                       only; m > 1 supported by --algo sa|ta)\n"
+      "  --objective O        total-penalty|early-work (default\n"
+      "                       total-penalty; early-work is CDD only,\n"
+      "                       supported by --algo sa|ta)\n"
       "  --seed S             generator / algorithm seed (default 1)\n\n"
       "Algorithm:\n"
       "  --algo " << algos << "   (default psa)\n"
@@ -132,10 +137,31 @@ int main(int argc, char** argv) {
       const orlib::BiskupFeldmannGenerator gen(seed);
       instance = ucddcp ? gen.Ucddcp(n, index) : gen.Cdd(n, index, h);
     }
+    // Problem-variant flags: parallel identical machines and the
+    // early-work objective (CDD only; Instance::Validate enforces the
+    // combinations).
+    const auto machines =
+        static_cast<std::int32_t>(args.GetInt("machines", 1));
+    if (machines != 1) instance = instance.with_machines(machines);
+    const std::string objective =
+        args.GetString("objective", "total-penalty");
+    if (objective == "early-work") {
+      instance = instance.with_objective(ScheduleObjective::kEarlyWork);
+    } else if (objective != "total-penalty") {
+      std::cerr << "error: unknown --objective '" << objective
+                << "' (total-penalty|early-work)\n";
+      return 1;
+    }
     // Evaluator preconditions are hard errors before any engine runs: a
     // cost computed under a violated precondition is worse than no answer.
     if (const std::string diagnostic =
             serve::ValidateRequestInstance(instance);
+        !diagnostic.empty()) {
+      std::cerr << "error: " << diagnostic << "\n";
+      return 1;
+    }
+    if (const std::string diagnostic =
+            serve::EngineSupportDiagnostic(algo, instance);
         !diagnostic.empty()) {
       std::cerr << "error: " << diagnostic << "\n";
       return 1;
@@ -231,32 +257,71 @@ int main(int argc, char** argv) {
                 << " evaluations\n";
     }
     std::cout << "best cost: " << run.result.best_cost << "\n";
+    if (!run.result.best_splits.empty()) {
+      std::cout << "machine splits:";
+      for (const std::int32_t s : run.result.best_splits) {
+        std::cout << " " << s;
+      }
+      std::cout << "\n";
+    }
     const Sequence& best = run.result.best;
 
     // --- schedule output ----------------------------------------------------
+    const bool variant = instance.machines() > 1 ||
+                         instance.objective() == ScheduleObjective::kEarlyWork;
     Schedule schedule;
-    if (ucddcp) {
+    if (variant) {
+      schedule = BuildMachineSchedule(instance, best,
+                                      run.result.best_splits);
+    } else if (ucddcp) {
       schedule = UcddcpEvaluator(instance).BuildSchedule(best);
     } else {
       schedule = CddEvaluator(instance).BuildSchedule(best);
     }
     if (args.GetBool("gantt")) {
-      std::cout << RenderGantt(instance, schedule);
+      if (instance.machines() > 1) {
+        // One lane per machine: slice the flat schedule at the machine
+        // boundaries and render each slice on its own timeline.
+        for (std::int32_t mk = 0; mk < instance.machines(); ++mk) {
+          Schedule lane;
+          for (std::size_t k = 0; k < schedule.size(); ++k) {
+            if (schedule.machine_of(k) != mk) continue;
+            lane.order.push_back(schedule.order[k]);
+            lane.completion.push_back(schedule.completion[k]);
+            lane.compression.push_back(
+                schedule.compression.empty() ? Time{0}
+                                             : schedule.compression[k]);
+          }
+          std::cout << "machine " << mk << ":\n";
+          std::cout << (lane.size() == 0 ? std::string("(idle)\n")
+                                         : RenderGantt(instance, lane));
+        }
+      } else {
+        std::cout << RenderGantt(instance, schedule);
+      }
     }
     if (args.GetBool("schedule")) {
-      benchutil::TextTable table(
-          {"slot", "job", "start", "done", "early", "tardy", "X"});
+      const bool show_machine = instance.machines() > 1;
+      std::vector<std::string> header = {"slot",  "job",   "start", "done",
+                                         "early", "tardy", "X"};
+      if (show_machine) header.insert(header.begin() + 1, "m");
+      benchutil::TextTable table(header);
       for (std::size_t k = 0; k < schedule.size(); ++k) {
         const Time c = schedule.completion[k];
         const Time d = instance.due_date();
-        table.AddRow({std::to_string(k), std::to_string(schedule.order[k]),
-                      std::to_string(StartTime(instance, schedule, k)),
-                      std::to_string(c),
-                      std::to_string(std::max<Time>(0, d - c)),
-                      std::to_string(std::max<Time>(0, c - d)),
-                      std::to_string(schedule.compression.empty()
-                                         ? 0
-                                         : schedule.compression[k])});
+        std::vector<std::string> row = {
+            std::to_string(k), std::to_string(schedule.order[k]),
+            std::to_string(StartTime(instance, schedule, k)),
+            std::to_string(c), std::to_string(std::max<Time>(0, d - c)),
+            std::to_string(std::max<Time>(0, c - d)),
+            std::to_string(schedule.compression.empty()
+                               ? 0
+                               : schedule.compression[k])};
+        if (show_machine) {
+          row.insert(row.begin() + 1,
+                     std::to_string(schedule.machine_of(k)));
+        }
+        table.AddRow(row);
       }
       std::cout << table.ToString();
     }

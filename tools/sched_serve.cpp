@@ -68,6 +68,12 @@ void PrintUsage() {
       "  --seed S            workload seed (default 1)\n"
       "  --priorities L      request priority levels 0..L-1, sampled\n"
       "                      uniformly (default 1: all equal, plain FIFO)\n"
+      "  --machines M        parallel identical machines per CDD instance\n"
+      "                      (default 1; m > 1 needs --engines from sa,ta\n"
+      "                      and --ucddcp-frac 0)\n"
+      "  --objective O       total-penalty|early-work (default\n"
+      "                      total-penalty; early-work needs --engines\n"
+      "                      from sa,ta and --ucddcp-frac 0)\n"
       "Workload (file):\n"
       "  --file PATH         one request per line:\n"
       "                      engine problem n index h gens seed deadline_ms\n"
@@ -218,10 +224,36 @@ std::vector<serve::SolveRequest> SyntheticWorkload(
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
   const auto priority_levels =
       static_cast<std::uint32_t>(args.GetInt("priorities", 1));
+  const auto machines =
+      static_cast<std::int32_t>(args.GetInt("machines", 1));
+  const std::string objective_name =
+      args.GetString("objective", "total-penalty");
+  if (objective_name != "total-penalty" && objective_name != "early-work") {
+    throw std::runtime_error("--objective must be total-penalty|early-work");
+  }
+  const bool variant_workload =
+      machines > 1 || objective_name == "early-work";
 
   if (engines.empty()) throw std::runtime_error("--engines is empty");
   if (priority_levels == 0) {
     throw std::runtime_error("--priorities must be >= 1");
+  }
+  if (variant_workload) {
+    // Fail the whole run up front instead of filling the summary table
+    // with rejected_invalid_instance rows.
+    if (ucddcp_frac > 0.0) {
+      throw std::runtime_error(
+          "--machines/--objective early-work apply to CDD instances only; "
+          "set --ucddcp-frac 0");
+    }
+    for (const std::string& engine : engines) {
+      if (engine != "sa" && engine != "ta") {
+        throw std::runtime_error(
+            "engine '" + engine +
+            "' does not support --machines/--objective early-work; use "
+            "--engines from sa,ta");
+      }
+    }
   }
   if (total == 0) return {};
   const auto uniques = static_cast<std::size_t>(
@@ -242,6 +274,13 @@ std::vector<serve::SolveRequest> SyntheticWorkload(
     request.instance = ucddcp
                            ? gen.Ucddcp(n, index)
                            : gen.Cdd(n, index, 0.2 + 0.2 * (u % 4));
+    if (machines > 1) {
+      request.instance = request.instance.with_machines(machines);
+    }
+    if (objective_name == "early-work") {
+      request.instance = request.instance.with_objective(
+          ScheduleObjective::kEarlyWork);
+    }
     request.engine = engines[u % engines.size()];
     request.options.generations = gens;
     request.options.seed = seed;
